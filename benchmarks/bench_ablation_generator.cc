@@ -1,0 +1,91 @@
+// Ablation benches for the FFT-DG design choices DESIGN.md calls out:
+//  (a) density-factor response — does 10x alpha give ~2x edges (paper
+//      Section 4.2.1's empirical claim)?
+//  (b) diameter-control accuracy — measured diameter vs target across
+//      targets and scales, justifying the calibrated group_diameter;
+//  (c) degree-budget tail — how the Pareto exponent gamma shapes the
+//      alpha response (heavier tails = more truncation headroom).
+
+#include "bench_common.h"
+#include "stats/graph_stats.h"
+
+namespace gab {
+namespace {
+
+int Run() {
+  bench::Banner("Ablation — FFT-DG design choices",
+                "Density factor response, diameter accuracy, budget tail");
+  const VertexId n = static_cast<VertexId>(
+      10 * ScaleVertices(bench::BaseScale()));
+
+  std::printf("\n(a) Density factor response (n=%s):\n",
+              Table::FmtCount(n).c_str());
+  Table density({"alpha", "Edges", "Ratio vs prev", "AvgDeg"});
+  uint64_t prev = 0;
+  for (double alpha : {1.0, 10.0, 100.0, 1000.0}) {
+    FftDgConfig config;
+    config.num_vertices = n;
+    config.alpha = alpha;
+    config.seed = 5;
+    GenStats stats;
+    GenerateFftDg(config, &stats);
+    density.AddRow({Table::Fmt(alpha, 0), Table::FmtCount(stats.edges),
+                    prev == 0 ? "-"
+                              : Table::Fmt(static_cast<double>(stats.edges) /
+                                               static_cast<double>(prev),
+                                           2) + "x",
+                    Table::Fmt(2.0 * static_cast<double>(stats.edges) /
+                                   static_cast<double>(n),
+                               1)});
+    prev = stats.edges;
+  }
+  density.Print();
+  std::printf("(paper: increasing alpha ten-fold gives roughly 2x edges)\n");
+
+  std::printf("\n(b) Diameter-control accuracy (calibrated group_diameter "
+              "= 4):\n");
+  Table diameter({"Target", "Groups", "Measured", "Error"});
+  for (uint32_t target : {25u, 50u, 100u, 200u}) {
+    FftDgConfig config;
+    config.num_vertices = n;
+    config.target_diameter = target;
+    config.seed = 5;
+    uint32_t groups = FftDgGroupCount(config);
+    CsrGraph g = GraphBuilder::Build(GenerateFftDg(config));
+    uint32_t measured = ApproxDiameter(g);
+    double error = 100.0 * (static_cast<double>(measured) - target) / target;
+    diameter.AddRow({std::to_string(target), std::to_string(groups),
+                     std::to_string(measured), Table::Fmt(error, 0) + "%"});
+  }
+  diameter.Print();
+
+  std::printf("\n(c) Degree-budget tail (gamma) vs alpha response:\n");
+  Table tail({"gamma", "Edges(alpha=10)", "Edges(alpha=1000)", "Response"});
+  for (double gamma : {1.9, 2.1, 2.5, 3.0}) {
+    uint64_t at10 = 0;
+    uint64_t at1000 = 0;
+    for (double alpha : {10.0, 1000.0}) {
+      FftDgConfig config;
+      config.num_vertices = n / 4;
+      config.alpha = alpha;
+      config.degrees.gamma = gamma;
+      config.seed = 5;
+      GenStats stats;
+      GenerateFftDg(config, &stats);
+      (alpha == 10.0 ? at10 : at1000) = stats.edges;
+    }
+    tail.AddRow({Table::Fmt(gamma, 1), Table::FmtCount(at10),
+                 Table::FmtCount(at1000),
+                 Table::Fmt(static_cast<double>(at1000) /
+                                static_cast<double>(at10),
+                            2) + "x"});
+  }
+  tail.Print();
+  std::printf("(heavier tails leave more budget for alpha to unlock)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gab
+
+int main() { return gab::Run(); }

@@ -1,0 +1,53 @@
+#ifndef GAB_BENCH_BENCH_COMMON_H_
+#define GAB_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the experiment binaries. Each bench regenerates one
+// paper table/figure; all honor:
+//   GAB_SCALE   — base dataset scale (default 5 => S5/S6 families; the
+//                 paper's S8/S9 are reachable by raising this, budget
+//                 permitting).
+//   GAB_TRIALS  — trial count for randomized evaluations (default 64).
+//   GAB_THREADS — worker threads (default: hardware concurrency).
+
+#include <cstdio>
+
+#include "gab/gab.h"
+#include "util/table.h"
+#include "util/threading.h"
+#include "util/timer.h"
+
+namespace gab {
+namespace bench {
+
+inline uint32_t BaseScale() {
+  return static_cast<uint32_t>(EnvOr("GAB_SCALE", 5));
+}
+
+inline uint32_t Trials() {
+  return static_cast<uint32_t>(EnvOr("GAB_TRIALS", 64));
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* artifact, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("%s\n", description);
+  std::printf("(GAB_SCALE=%u, seed-deterministic; see EXPERIMENTS.md)\n",
+              BaseScale());
+  std::printf("================================================================\n");
+}
+
+/// The measured-configuration descriptor used to anchor cluster
+/// simulations: a single machine with this process's worker threads.
+inline ClusterConfig MeasuredConfig() {
+  ClusterConfig config;
+  config.machines = 1;
+  config.threads_per_machine =
+      static_cast<uint32_t>(DefaultPool().num_threads());
+  return config;
+}
+
+}  // namespace bench
+}  // namespace gab
+
+#endif  // GAB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,150 @@
+// google-benchmark microbenchmarks for the engine primitives: EdgeMap in
+// both directions, a vertex-centric superstep, a GAS iteration, and a
+// dataflow (shuffle) superstep on a fixed graph.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+
+#include "engines/dataflow.h"
+#include "engines/gas.h"
+#include "engines/vertex_centric.h"
+#include "engines/vertex_subset.h"
+#include "gen/fft_dg.h"
+#include "graph/builder.h"
+
+namespace gab {
+namespace {
+
+const CsrGraph& TestGraph() {
+  static const CsrGraph& g = *new CsrGraph([] {
+    FftDgConfig config;
+    config.num_vertices = 20000;
+    config.seed = 3;
+    return GraphBuilder::Build(GenerateFftDg(config));
+  }());
+  return g;
+}
+
+void BM_EdgeMapPush(benchmark::State& state) {
+  const CsrGraph& g = TestGraph();
+  VertexSubsetEngine engine(g, 64);
+  VertexSubsetEngine::Functors f;
+  f.update_atomic = [](VertexId, VertexId, Weight) { return false; };
+  f.update = f.update_atomic;
+  EdgeMapOptions options;
+  options.direction = EdgeMapDirection::kPush;
+  VertexSubset all = VertexSubset::All(g.num_vertices());
+  for (auto _ : state) {
+    VertexSubset out = engine.EdgeMap(all, f, options);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.counters["arcs/s"] = benchmark::Counter(
+      static_cast<double>(g.num_arcs()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EdgeMapPush);
+
+void BM_EdgeMapPull(benchmark::State& state) {
+  const CsrGraph& g = TestGraph();
+  VertexSubsetEngine engine(g, 64);
+  VertexSubsetEngine::Functors f;
+  f.update_atomic = [](VertexId, VertexId, Weight) { return false; };
+  f.update = f.update_atomic;
+  EdgeMapOptions options;
+  options.direction = EdgeMapDirection::kPull;
+  VertexSubset all = VertexSubset::All(g.num_vertices());
+  for (auto _ : state) {
+    VertexSubset out = engine.EdgeMap(all, f, options);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.counters["arcs/s"] = benchmark::Counter(
+      static_cast<double>(g.num_arcs()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EdgeMapPull);
+
+void BM_VertexCentricSuperstep(benchmark::State& state) {
+  const CsrGraph& g = TestGraph();
+  for (auto _ : state) {
+    using Engine = VertexCentricEngine<double, double>;
+    Engine::Config config;
+    config.num_partitions = 64;
+    config.max_supersteps = 2;
+    config.combiner = +[](const double& a, const double& b) { return a + b; };
+    Engine engine(config);
+    auto out = engine.Run(
+        g, [](VertexId, double& v) { v = 1.0; },
+        [&](Engine::Context& ctx, VertexId v, double&,
+            std::span<const double>) {
+          if (ctx.superstep() == 0) {
+            for (VertexId u : g.OutNeighbors(v)) ctx.SendTo(u, 1.0);
+          }
+        });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(g.num_arcs()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VertexCentricSuperstep);
+
+void BM_GasIteration(benchmark::State& state) {
+  const CsrGraph& g = TestGraph();
+  for (auto _ : state) {
+    using Engine = GasEngine<double, double>;
+    Engine::Config config;
+    config.num_partitions = 64;
+    config.max_iterations = 1;
+    config.all_active = true;
+    Engine engine(config);
+    Engine::Program program;
+    program.init = 0;
+    program.gather = [](VertexId, VertexId, Weight, const double& v) {
+      return v;
+    };
+    program.sum = [](const double& a, const double& b) { return a + b; };
+    program.apply = [](VertexId, double& v, const double& acc, uint32_t) {
+      v = acc;
+      return false;
+    };
+    std::vector<double> values(g.num_vertices(), 1.0);
+    engine.Run(g, program, &values);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.counters["gathers/s"] = benchmark::Counter(
+      static_cast<double>(g.num_arcs()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GasIteration);
+
+void BM_DataflowSuperstep(benchmark::State& state) {
+  const CsrGraph& g = TestGraph();
+  for (auto _ : state) {
+    using Engine = DataflowEngine<double, double>;
+    Engine::Config config;
+    config.num_partitions = 64;
+    config.max_supersteps = 2;
+    Engine engine(config);
+    std::vector<double> initial(g.num_vertices(), 1.0);
+    auto out = engine.RunPregel(
+        g, std::move(initial), 0.0,
+        [&](VertexId, VertexId dst, Weight, const double& sv, const double&,
+            std::vector<std::pair<VertexId, double>>* msgs) {
+          if (sv == 1.0) msgs->push_back({dst, 1.0});
+        },
+        [](const double& a, const double& b) { return a + b; },
+        [](VertexId, const double& old, const double&) { return old + 1.0; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["shuffled_msgs/s"] = benchmark::Counter(
+      static_cast<double>(g.num_arcs()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DataflowSuperstep);
+
+}  // namespace
+}  // namespace gab
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// google-benchmark microbenchmarks for the data-generator inner loops:
+// FFT-DG vs LDBC-DG edge production across density factors, plus the
+// classic baselines.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/classic.h"
+#include "gen/fft_dg.h"
+#include "gen/ldbc_dg.h"
+
+namespace gab {
+namespace {
+
+void BM_FftDg(benchmark::State& state) {
+  FftDgConfig config;
+  config.num_vertices = 20000;
+  config.alpha = static_cast<double>(state.range(0));
+  config.seed = 7;
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    GenStats stats;
+    EdgeList el = GenerateFftDg(config, &stats);
+    benchmark::DoNotOptimize(el.edges().data());
+    edges = stats.edges;
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  state.counters["edges/s"] = benchmark::Counter(
+      static_cast<double>(edges) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FftDg)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_LdbcDg(benchmark::State& state) {
+  LdbcDgConfig config = LdbcConfigForAlpha(20000, state.range(0));
+  config.seed = 7;
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    GenStats stats;
+    EdgeList el = GenerateLdbcDg(config, &stats);
+    benchmark::DoNotOptimize(el.edges().data());
+    edges = stats.edges;
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  state.counters["edges/s"] = benchmark::Counter(
+      static_cast<double>(edges) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LdbcDg)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ErdosRenyi(benchmark::State& state) {
+  for (auto _ : state) {
+    EdgeList el = GenerateErdosRenyi(20000, 200000, 7);
+    benchmark::DoNotOptimize(el.edges().data());
+  }
+}
+BENCHMARK(BM_ErdosRenyi);
+
+void BM_BarabasiAlbert(benchmark::State& state) {
+  for (auto _ : state) {
+    EdgeList el = GenerateBarabasiAlbert(20000, 8, 7);
+    benchmark::DoNotOptimize(el.edges().data());
+  }
+}
+BENCHMARK(BM_BarabasiAlbert);
+
+void BM_Rmat(benchmark::State& state) {
+  for (auto _ : state) {
+    EdgeList el = GenerateRmat(14, 200000, 0.57, 0.19, 0.19, 7);
+    benchmark::DoNotOptimize(el.edges().data());
+  }
+}
+BENCHMARK(BM_Rmat);
+
+}  // namespace
+}  // namespace gab
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Robustness under stragglers (extends the paper's Table 5 robustness
+// axis beyond the memory stress test): in a BSP cluster every superstep
+// waits for the slowest machine, so one degraded machine stalls all 16.
+// For PR and SSSP, this bench compares the simulated 16-machine runtime
+// with a healthy cluster against one with a single 2x / 4x straggler and
+// reports the end-to-end slowdown per platform. Platforms whose time is
+// dominated by per-superstep coordination or network (rather than
+// compute) absorb stragglers better — an inversion of the usual ranking.
+
+#include "bench_common.h"
+
+namespace gab {
+namespace {
+
+int Run() {
+  bench::Banner("Robustness — straggler sensitivity (BSP tail latency)",
+                "Simulated 16x32 cluster with one slow machine");
+  const uint32_t scale = bench::BaseScale() + 1;
+  CsrGraph g = BuildDataset(StdDataset(scale));
+  AlgoParams params;
+  ClusterConfig measured_on = bench::MeasuredConfig();
+
+  Table table({"Algo", "Platform", "Healthy(s)", "1x2 straggler",
+               "1x4 straggler", "Slowdown@4x"});
+  for (Algorithm algo : {Algorithm::kPageRank, Algorithm::kSssp}) {
+    for (const Platform* platform : AllPlatforms()) {
+      if (!platform->Supports(algo)) continue;
+      if (!platform->SupportsDistributed()) continue;
+      ExperimentRecord record = ExperimentExecutor::Execute(
+          *platform, algo, g, "robustness", params);
+      ClusterConfig healthy{16, 32};
+      double t_healthy = ExperimentExecutor::SimulateOnCluster(
+          record, *platform, measured_on, healthy);
+      ClusterConfig slow2 = healthy;
+      slow2.stragglers = 1;
+      slow2.straggler_slowdown = 2.0;
+      double t2 = ExperimentExecutor::SimulateOnCluster(record, *platform,
+                                                        measured_on, slow2);
+      ClusterConfig slow4 = healthy;
+      slow4.stragglers = 1;
+      slow4.straggler_slowdown = 4.0;
+      double t4 = ExperimentExecutor::SimulateOnCluster(record, *platform,
+                                                        measured_on, slow4);
+      table.AddRow({AlgorithmName(algo), platform->abbrev(),
+                    Table::Fmt(t_healthy, 4), Table::Fmt(t2, 4),
+                    Table::Fmt(t4, 4), Table::Fmt(t4 / t_healthy, 2) + "x"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: compute-bound platforms approach the straggler's\n"
+      "full 4x slowdown (BSP barriers transfer it 1:1); platforms whose\n"
+      "makespan is dominated by scheduling overhead or network transfer\n"
+      "(GraphX above all) are damped well below it.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gab
+
+int main() { return gab::Run(); }

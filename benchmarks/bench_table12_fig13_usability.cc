@@ -1,0 +1,90 @@
+// Regenerates paper Figure 13 + Table 12 (Section 8.4): the multi-level
+// LLM-based API usability evaluation. The simulated code generator and
+// evaluator replace GPT-4o (DESIGN.md §2); scores are averaged over
+// GAB_TRIALS seeded generations, and the framework's rankings are compared
+// against the paper's embedded human-study scores with Spearman's rho
+// (paper: 0.75 Intermediate, 0.714 Senior).
+
+#include <algorithm>
+#include <numeric>
+
+#include "bench_common.h"
+#include "usability/api_spec.h"
+
+namespace gab {
+namespace {
+
+std::vector<size_t> RankOrder(const std::vector<double>& scores) {
+  // rank[i] = 1-based rank of platform i (1 = best).
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  std::vector<size_t> rank(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) rank[order[i]] = i + 1;
+  return rank;
+}
+
+int Run() {
+  bench::Banner("Figure 13 + Table 12 — API usability evaluation",
+                "Multi-level simulated-LLM framework, human-study baseline");
+  UsabilityReport report = RunUsabilityEvaluation(bench::Trials(), 2025);
+
+  std::printf("\nFigure 13 — scores per prompt level "
+              "(Compliance / Correctness / Readability / Weighted):\n");
+  for (PromptLevel level : AllPromptLevels()) {
+    std::printf("\nLevel: %s\n", PromptLevelName(level));
+    Table table({"Platform", "Compliance", "Correctness", "Readability",
+                 "Weighted", "Rank"});
+    std::vector<double> weighted = report.WeightedRow(level);
+    std::vector<size_t> ranks = RankOrder(weighted);
+    size_t i = 0;
+    for (const ApiSpec& spec : AllApiSpecs()) {
+      const UsabilityScores& s = report.Cell(spec.abbrev, level).scores;
+      table.AddRow({spec.abbrev, Table::Fmt(s.compliance, 1),
+                    Table::Fmt(s.correctness, 1),
+                    Table::Fmt(s.readability, 1), Table::Fmt(s.Weighted(), 1),
+                    std::to_string(ranks[i])});
+      ++i;
+    }
+    table.Print();
+  }
+
+  std::printf("\nTable 12 — framework vs human study (weighted scores, "
+              "ranks in parentheses):\n");
+  for (PromptLevel level :
+       {PromptLevel::kIntermediate, PromptLevel::kSenior}) {
+    std::vector<double> ours = report.WeightedRow(level);
+    std::vector<double> humans = HumanBaselineScores(level);
+    std::vector<size_t> our_ranks = RankOrder(ours);
+    std::vector<size_t> human_ranks = RankOrder(humans);
+    std::printf("\nLevel: %s\n", PromptLevelName(level));
+    std::vector<std::string> header = {"Eval."};
+    for (const ApiSpec& spec : AllApiSpecs()) header.push_back(spec.abbrev);
+    Table table(header);
+    std::vector<std::string> ours_row = {"Framework"};
+    std::vector<std::string> human_row = {"Human"};
+    for (size_t i = 0; i < ours.size(); ++i) {
+      ours_row.push_back(Table::Fmt(ours[i], 1) + "(" +
+                         std::to_string(our_ranks[i]) + ")");
+      human_row.push_back(Table::Fmt(humans[i], 1) + "(" +
+                          std::to_string(human_ranks[i]) + ")");
+    }
+    table.AddRow(ours_row);
+    table.AddRow(human_row);
+    table.Print();
+    std::printf("Spearman's rho vs humans: %.3f (paper: %s)\n",
+                RankAgreementWithHumans(report, level),
+                level == PromptLevel::kIntermediate ? "0.750" : "0.714");
+  }
+  std::printf(
+      "\nPaper shape check: GraphX tops every level; Grape scores lowest\n"
+      "with juniors and climbs steeply with seniority; Flash/Ligra/\n"
+      "G-thinker share the low-junior/high-senior pattern.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gab
+
+int main() { return gab::Run(); }

@@ -1,0 +1,198 @@
+// Regenerates paper Table 8 + Figure 7 (Section 8.1, "Generation
+// Similarity"): how closely FFT-DG and LDBC-DG graphs match a real-world
+// target's community-statistic distributions. The offline stand-in for
+// LiveJournal is an independently-generated proxy (Watts–Strogatz
+// communities + Barabási–Albert overlay; DESIGN.md §2). For each graph,
+// communities are detected, six statistics are computed per community
+// (Prat-Pérez methodology), and the per-statistic distributions are
+// compared with Jensen–Shannon divergence.
+// Headline to reproduce: FFT-DG's divergence is roughly half LDBC-DG's.
+
+#include <array>
+
+#include "bench_common.h"
+
+namespace gab {
+namespace {
+
+struct MetricHistogramSpec {
+  CommunityMetric metric;
+  double lo;
+  double hi;
+  size_t bins;
+};
+
+const std::array<MetricHistogramSpec, kNumCommunityMetrics> kSpecs = {{
+    {CommunityMetric::kClusteringCoefficient, 0.0, 1.0, 20},
+    {CommunityMetric::kTriangleParticipation, 0.0, 1.0, 20},
+    {CommunityMetric::kBridgeRatio, 0.0, 1.0, 20},
+    {CommunityMetric::kDiameter, 0.0, 30.0, 30},
+    {CommunityMetric::kConductance, 0.0, 1.0, 20},
+    {CommunityMetric::kSize, 0.0, 400.0, 20},
+}};
+
+std::array<Histogram, kNumCommunityMetrics> HistogramsOf(
+    const std::vector<CommunityStats>& stats) {
+  std::array<Histogram, kNumCommunityMetrics> result = {
+      Histogram(kSpecs[0].lo, kSpecs[0].hi, kSpecs[0].bins),
+      Histogram(kSpecs[1].lo, kSpecs[1].hi, kSpecs[1].bins),
+      Histogram(kSpecs[2].lo, kSpecs[2].hi, kSpecs[2].bins),
+      Histogram(kSpecs[3].lo, kSpecs[3].hi, kSpecs[3].bins),
+      Histogram(kSpecs[4].lo, kSpecs[4].hi, kSpecs[4].bins),
+      Histogram(kSpecs[5].lo, kSpecs[5].hi, kSpecs[5].bins)};
+  for (const CommunityStats& s : stats) {
+    for (int m = 0; m < kNumCommunityMetrics; ++m) {
+      result[m].Add(CommunityMetricValue(s, kSpecs[m].metric));
+    }
+  }
+  return result;
+}
+
+// Sizes both generators to the target edge count the way the paper does
+// (Section 8.1): degree budgets shrink ("for LDBC-DG, we reduce the degree
+// of all vertices") while each generator keeps its characteristic sampling
+// behavior — FFT-DG its locality-concentrating density factor, LDBC-DG its
+// p/p_limit probability floor (the very thing that spreads its edges to
+// arbitrarily distant vertices).
+template <typename ConfigFn>
+uint32_t TuneMinDegree(uint64_t target_edges,
+                       const ConfigFn& edges_for_min_degree) {
+  uint32_t best = 2;
+  double best_gap = 1e30;
+  for (uint32_t min_degree : {2u, 3u, 4u, 5u, 6u, 8u, 10u, 12u, 16u}) {
+    double edges = static_cast<double>(edges_for_min_degree(min_degree));
+    double gap = std::abs(edges - static_cast<double>(target_edges));
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = min_degree;
+    }
+  }
+  return best;
+}
+
+int Run() {
+  bench::Banner("Table 8 + Figure 7 — Generation similarity",
+                "JSD of community statistics vs the real-world proxy graph");
+  const VertexId n = static_cast<VertexId>(
+      8 * ScaleVertices(bench::BaseScale()));
+
+  // Ground truth: the real-world proxy with planted communities.
+  RealWorldProxyConfig proxy_config;
+  proxy_config.num_vertices = n;
+  proxy_config.seed = 101;
+  std::vector<uint32_t> planted;
+  CsrGraph real =
+      GraphBuilder::Build(GenerateRealWorldProxy(proxy_config, &planted));
+  std::printf("proxy graph: n=%s m=%s\n",
+              Table::FmtCount(real.num_vertices()).c_str(),
+              Table::FmtCount(real.num_edges()).c_str());
+
+  // Tune both generators to the proxy's size (paper §8.1).
+  uint32_t fft_min_degree = TuneMinDegree(real.num_edges(), [&](uint32_t d) {
+    FftDgConfig config;
+    config.num_vertices = n;
+    config.degrees.min_degree = d;
+    config.seed = 102;
+    GenStats stats;
+    GenerateFftDg(config, &stats);
+    return stats.edges;
+  });
+  uint32_t ldbc_min_degree = TuneMinDegree(real.num_edges(), [&](uint32_t d) {
+    LdbcDgConfig config;
+    config.num_vertices = n;
+    config.degrees.min_degree = d;
+    config.seed = 103;
+    GenStats stats;
+    GenerateLdbcDg(config, &stats);
+    return stats.edges;
+  });
+
+  FftDgConfig fft_config;
+  fft_config.num_vertices = n;
+  fft_config.degrees.min_degree = fft_min_degree;
+  fft_config.seed = 102;
+  CsrGraph fft = GraphBuilder::Build(GenerateFftDg(fft_config));
+  LdbcDgConfig ldbc_config;
+  ldbc_config.num_vertices = n;
+  ldbc_config.degrees.min_degree = ldbc_min_degree;
+  ldbc_config.seed = 103;
+  CsrGraph ldbc = GraphBuilder::Build(GenerateLdbcDg(ldbc_config));
+  std::printf("FFT-DG  (min_degree=%u): m=%s\nLDBC-DG (min_degree=%u): m=%s\n",
+              fft_min_degree, Table::FmtCount(fft.num_edges()).c_str(),
+              ldbc_min_degree, Table::FmtCount(ldbc.num_edges()).c_str());
+
+  // Communities: one detection method for all three graphs (LPA, as the
+  // paper "generates communities over the social network"); the planted
+  // proxy assignment is reported alongside as a sanity anchor.
+  auto real_stats =
+      ComputeCommunityStats(real, DetectCommunitiesLpa(real, 20, 7));
+  auto planted_stats = ComputeCommunityStats(real, planted);
+  std::printf("(planted proxy communities for reference: %zu)\n",
+              planted_stats.size());
+  auto fft_stats =
+      ComputeCommunityStats(fft, DetectCommunitiesLpa(fft, 20, 7));
+  auto ldbc_stats =
+      ComputeCommunityStats(ldbc, DetectCommunitiesLpa(ldbc, 20, 7));
+  std::printf("communities analyzed: proxy=%zu fft=%zu ldbc=%zu\n\n",
+              real_stats.size(), fft_stats.size(), ldbc_stats.size());
+
+  auto real_hists = HistogramsOf(real_stats);
+  auto fft_hists = HistogramsOf(fft_stats);
+  auto ldbc_hists = HistogramsOf(ldbc_stats);
+
+  // Table 8: JSD per statistic.
+  std::vector<std::string> header = {"Generator"};
+  for (const auto& spec : kSpecs) {
+    header.push_back(CommunityMetricName(spec.metric));
+  }
+  header.push_back("Mean");
+  Table table(header);
+  double fft_mean = 0;
+  double ldbc_mean = 0;
+  std::vector<std::string> fft_row = {"FFT-DG"};
+  std::vector<std::string> ldbc_row = {"LDBC-DG"};
+  for (int m = 0; m < kNumCommunityMetrics; ++m) {
+    double fft_jsd = JsDivergence(real_hists[m], fft_hists[m]);
+    double ldbc_jsd = JsDivergence(real_hists[m], ldbc_hists[m]);
+    fft_mean += fft_jsd / kNumCommunityMetrics;
+    ldbc_mean += ldbc_jsd / kNumCommunityMetrics;
+    fft_row.push_back(Table::Fmt(fft_jsd, 3));
+    ldbc_row.push_back(Table::Fmt(ldbc_jsd, 3));
+  }
+  fft_row.push_back(Table::Fmt(fft_mean, 3));
+  ldbc_row.push_back(Table::Fmt(ldbc_mean, 3));
+  table.AddRow(fft_row);
+  table.AddRow(ldbc_row);
+  table.Print();
+  std::printf(
+      "\nPaper shape check (Table 8): FFT-DG achieves ~2x lower divergence\n"
+      "on average. Measured ratio: %.2fx.\n\n",
+      ldbc_mean / fft_mean);
+
+  // Figure 7: normalized distributions per statistic.
+  std::printf("Figure 7 — community statistic distributions (probability "
+              "mass per bin)\n");
+  for (int m = 0; m < kNumCommunityMetrics; ++m) {
+    std::printf("\n%s (bins over [%g, %g]):\n",
+                CommunityMetricName(kSpecs[m].metric), kSpecs[m].lo,
+                kSpecs[m].hi);
+    Table dist({"Series", "distribution (bin mass, left to right)"});
+    auto render = [&](const Histogram& h) {
+      std::string out;
+      for (double p : h.Normalized()) {
+        out += Table::Fmt(p, 2) + " ";
+      }
+      return out;
+    };
+    dist.AddRow({"proxy", render(real_hists[m])});
+    dist.AddRow({"FFT-DG", render(fft_hists[m])});
+    dist.AddRow({"LDBC-DG", render(ldbc_hists[m])});
+    dist.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gab
+
+int main() { return gab::Run(); }

@@ -1,0 +1,80 @@
+// Platform selection advisor (paper Section 9): run a miniature version
+// of the benchmark on the user's own workload profile and print a
+// recommendation, mirroring the paper's guidance ("Grape for maximum
+// performance despite its learning curve, GraphX for usability, ...").
+//
+//   ./build/examples/platform_selection [iterative|sequential|subgraph]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "gab/gab.h"
+
+int main(int argc, char** argv) {
+  using namespace gab;
+  const char* profile = argc > 1 ? argv[1] : "iterative";
+  AlgorithmClass wanted = AlgorithmClass::kIterative;
+  if (std::strcmp(profile, "sequential") == 0) {
+    wanted = AlgorithmClass::kSequential;
+  } else if (std::strcmp(profile, "subgraph") == 0) {
+    wanted = AlgorithmClass::kSubgraph;
+  }
+  std::printf("workload profile: %s algorithms\n",
+              AlgorithmClassName(wanted));
+
+  CsrGraph graph = BuildDataset(StdDataset(5));
+  AlgoParams params;
+
+  // Performance: geometric-mean runtime over the class's algorithms.
+  std::map<std::string, double> perf;
+  std::map<std::string, int> coverage;
+  for (const Platform* platform : AllPlatforms()) {
+    std::vector<double> times;
+    for (Algorithm algo : AllAlgorithms()) {
+      if (ClassOf(algo) != wanted) continue;
+      if (!platform->Supports(algo)) continue;
+      times.push_back(platform->Run(algo, graph, params).seconds);
+      ++coverage[platform->abbrev()];
+    }
+    if (!times.empty()) perf[platform->abbrev()] = GeometricMean(times);
+  }
+
+  // Usability: junior-level weighted score (how fast a new team ramps up).
+  UsabilityReport usability = RunUsabilityEvaluation(32, 11);
+  std::vector<double> junior = usability.WeightedRow(PromptLevel::kJunior);
+
+  std::printf("\n%-12s %-10s %-12s %-10s\n", "Platform", "Coverage",
+              "GeoMeanTime", "JuniorScore");
+  std::vector<std::pair<double, std::string>> candidates;
+  size_t i = 0;
+  for (const Platform* platform : AllPlatforms()) {
+    std::string ab = platform->abbrev();
+    double junior_score = junior[i++];
+    if (perf.find(ab) == perf.end()) {
+      std::printf("%-12s (does not support this class)\n",
+                  platform->name().c_str());
+      continue;
+    }
+    std::printf("%-12s %d algos     %.4fs      %.1f\n",
+                platform->name().c_str(), coverage[ab], perf[ab],
+                junior_score);
+    // Composite: fast is good, usable is good.
+    double best_time = 1e30;
+    for (const auto& [_, t] : perf) best_time = std::min(best_time, t);
+    candidates.push_back(
+        {0.6 * best_time / perf[ab] + 0.4 * junior_score / 100.0, ab});
+  }
+  std::sort(candidates.rbegin(), candidates.rend());
+  std::printf("\nrecommendation for %s workloads: %s", profile,
+              PlatformByAbbrev(candidates.front().second)->name().c_str());
+  if (candidates.size() > 1) {
+    std::printf(" (runner-up: %s)",
+                PlatformByAbbrev(candidates[1].second)->name().c_str());
+  }
+  std::printf("\n(paper Section 9: performance-usability trade-offs differ "
+              "per class — rerun with another profile argument)\n");
+  return 0;
+}

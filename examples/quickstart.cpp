@@ -1,0 +1,60 @@
+// Quickstart: generate a benchmark dataset with FFT-DG, run PageRank on
+// two platforms, verify both against the reference implementation, and
+// look at the numbers the benchmark would report.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "gab/gab.h"
+#include "util/threading.h"
+
+int main() {
+  using namespace gab;
+
+  // 1. Generate a graph with the paper's FFT-DG generator: 10k vertices,
+  //    density factor 10 (the "Std" social-network setting), weighted.
+  FftDgConfig config;
+  config.num_vertices = 10000;
+  config.alpha = 10.0;
+  config.weighted = true;
+  config.seed = 42;
+  GenStats gen_stats;
+  EdgeList edges = GenerateFftDg(config, &gen_stats);
+  CsrGraph graph = GraphBuilder::Build(std::move(edges));
+  std::printf("generated %u vertices, %llu edges (%.2f trials/edge)\n",
+              graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              gen_stats.TrialsPerEdge());
+
+  // 2. Run PageRank on two platforms with different computing models.
+  AlgoParams params;  // paper defaults: 10 iterations, damping 0.85
+  for (const char* abbrev : {"LI", "GR"}) {
+    const Platform* platform = PlatformByAbbrev(abbrev);
+    ExperimentRecord record = ExperimentExecutor::Execute(
+        *platform, Algorithm::kPageRank, graph, "quickstart", params);
+    VerifyResult verdict = ExperimentExecutor::Verify(
+        Algorithm::kPageRank, graph, params, record.run.output);
+    std::printf("%-10s (%s): %.4fs, %.2e edges/s, verified=%s\n",
+                platform->name().c_str(),
+                ComputeModelName(platform->model()),
+                record.timing.running_seconds, record.throughput_eps,
+                verdict.ok ? "yes" : verdict.detail.c_str());
+  }
+
+  // 3. Ask the cluster simulator what the same run would cost on the
+  //    paper's 16-machine testbed.
+  const Platform* grape = PlatformByAbbrev("GR");
+  ExperimentRecord record = ExperimentExecutor::Execute(
+      *grape, Algorithm::kPageRank, graph, "quickstart", params);
+  ClusterConfig measured_on{1, static_cast<uint32_t>(
+                                   DefaultPool().num_threads())};
+  for (uint32_t machines : {1u, 4u, 16u}) {
+    double t = ExperimentExecutor::SimulateOnCluster(record, *grape,
+                                                     measured_on,
+                                                     {machines, 32});
+    std::printf("Grape PageRank on %2u machines x 32 threads: ~%.4fs\n",
+                machines, t);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Driving the API-usability framework directly (paper Section 5): build a
+// prompt, inspect the simulated code generator's artifact, score it with
+// the code evaluator, and run the full multi-level pipeline for one
+// platform.
+//
+//   ./build/examples/usability_evaluation
+
+#include <cstdio>
+
+#include "gab/gab.h"
+#include "usability/api_spec.h"
+#include "usability/codegen_sim.h"
+#include "usability/evaluator.h"
+
+int main() {
+  using namespace gab;
+
+  // 1. The prompt a (simulated) LLM receives at each level.
+  std::printf("=== Senior-level prompt ===\n%s\n",
+              RenderPrompt(SpecForLevel(PromptLevel::kSenior),
+                           "Implement the PageRank algorithm on this "
+                           "platform")
+                  .c_str());
+
+  // 2. One generation + evaluation, token by token.
+  const ApiSpec& grape = ApiSpecByAbbrev("GR");
+  std::printf("=== One generation against %s (junior prompt) ===\n",
+              grape.platform.c_str());
+  GeneratedCode code = SimulateCodeGeneration(
+      grape, SpecForLevel(PromptLevel::kJunior), /*seed=*/7);
+  std::printf("effective knowledge: %.2f\n", code.knowledge);
+  const char* outcome_names[] = {"correct", "misused", "hallucinated",
+                                 "generic-fallback"};
+  for (size_t i = 0; i < code.tokens.size(); ++i) {
+    std::printf("  API call %zu: %s\n", i + 1,
+                outcome_names[static_cast<int>(code.tokens[i])]);
+  }
+  UsabilityScores scores = EvaluateCode(code, grape);
+  std::printf("scores: compliance %.1f, correctness %.1f, readability "
+              "%.1f -> weighted %.1f\n\n",
+              scores.compliance, scores.correctness, scores.readability,
+              scores.Weighted());
+
+  // 3. The full framework for every level of one platform.
+  UsabilityReport report = RunUsabilityEvaluation(/*trials=*/64, /*seed=*/1);
+  std::printf("=== %s across prompt levels (64 trials each) ===\n",
+              grape.platform.c_str());
+  for (PromptLevel level : AllPromptLevels()) {
+    const UsabilityScores& s = report.Cell("GR", level).scores;
+    std::printf("  %-12s weighted %.1f\n", PromptLevelName(level),
+                s.Weighted());
+  }
+  std::printf("\n(the steep junior-to-expert climb is the paper's Grape "
+              "finding: powerful once mastered)\n");
+  return 0;
+}

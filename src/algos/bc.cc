@@ -1,0 +1,49 @@
+#include "algos/bc.h"
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+namespace gab {
+
+std::vector<double> BcReference(const CsrGraph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> delta(n, 0.0);
+  if (n == 0) return delta;
+
+  constexpr uint32_t kUnvisited = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> dist(n, kUnvisited);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<VertexId> order;  // vertices in BFS (non-decreasing distance)
+  order.reserve(n);
+
+  dist[source] = 0;
+  sigma[source] = 1.0;
+  std::queue<VertexId> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop();
+    order.push_back(u);
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (dist[v] == kUnvisited) {
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+      if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  // Backward accumulation in reverse BFS order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    VertexId w = *it;
+    for (VertexId v : g.OutNeighbors(w)) {
+      if (dist[v] + 1 == dist[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+    }
+  }
+  delta[source] = 0.0;
+  return delta;
+}
+
+}  // namespace gab

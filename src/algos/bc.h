@@ -1,0 +1,19 @@
+#ifndef GAB_ALGOS_BC_H_
+#define GAB_ALGOS_BC_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// Reference single-source betweenness centrality (Brandes' algorithm with
+/// unweighted BFS): the dependency score delta(v) of every vertex with
+/// respect to shortest paths from `source`. The benchmark fixes source = 0
+/// (paper §7.2), making BC a sequential-class algorithm comparable across
+/// platforms: one forward BFS phase plus one backward accumulation phase.
+std::vector<double> BcReference(const CsrGraph& g, VertexId source);
+
+}  // namespace gab
+
+#endif  // GAB_ALGOS_BC_H_

@@ -1,0 +1,25 @@
+#include "algos/bfs.h"
+
+#include <queue>
+
+namespace gab {
+
+std::vector<uint32_t> BfsReference(const CsrGraph& g, VertexId source) {
+  std::vector<uint32_t> level(g.num_vertices(), kUnreachedLevel);
+  if (g.num_vertices() == 0) return level;
+  std::queue<VertexId> queue;
+  level[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop();
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (level[v] != kUnreachedLevel) continue;
+      level[v] = level[u] + 1;
+      queue.push(v);
+    }
+  }
+  return level;
+}
+
+}  // namespace gab

@@ -1,0 +1,23 @@
+#ifndef GAB_ALGOS_BFS_H_
+#define GAB_ALGOS_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// Level of unreached vertices in a BFS result.
+inline constexpr uint32_t kUnreachedLevel = 0xffffffffu;
+
+/// Reference breadth-first search: hop distance from `source` per vertex.
+/// BFS is one of LDBC Graphalytics' six core algorithms; this benchmark
+/// replaces it (paper Section 3: BFS is subsumed by SSSP's traversal
+/// coverage) but implements it for the LDBC-compatibility comparison in
+/// bench_ablation_diversity.
+std::vector<uint32_t> BfsReference(const CsrGraph& g, VertexId source);
+
+}  // namespace gab
+
+#endif  // GAB_ALGOS_BFS_H_

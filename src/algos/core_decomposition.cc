@@ -1,0 +1,87 @@
+#include "algos/core_decomposition.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gab {
+
+namespace {
+
+// Bucket peeling; fills coreness and, optionally, the removal order.
+void Peel(const CsrGraph& g, std::vector<uint32_t>* coreness,
+          std::vector<VertexId>* order) {
+  const VertexId n = g.num_vertices();
+  coreness->assign(n, 0);
+  if (order != nullptr) {
+    order->clear();
+    order->reserve(n);
+  }
+  if (n == 0) return;
+
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(g.OutDegree(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // bucket sort vertices by degree: bin[d] = start offset of degree-d run.
+  std::vector<VertexId> bin(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v] + 1];
+  for (uint32_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+  std::vector<VertexId> vert(n);   // vertices sorted by current degree
+  std::vector<VertexId> pos(n);    // position of vertex in `vert`
+  {
+    std::vector<VertexId> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]]++;
+      vert[pos[v]] = v;
+    }
+  }
+  for (VertexId i = 0; i < n; ++i) {
+    VertexId v = vert[i];
+    (*coreness)[v] = degree[v];
+    if (order != nullptr) order->push_back(v);
+    for (VertexId u : g.OutNeighbors(v)) {
+      if (degree[u] <= degree[v]) continue;
+      // Move u into the next-lower bucket: swap with the first vertex of
+      // its current degree run, then shrink the run.
+      uint32_t du = degree[u];
+      VertexId pu = pos[u];
+      VertexId pw = bin[du];
+      VertexId w = vert[pw];
+      if (u != w) {
+        pos[u] = pw;
+        pos[w] = pu;
+        vert[pu] = w;
+        vert[pw] = u;
+      }
+      ++bin[du];
+      --degree[u];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> CoreDecompositionReference(const CsrGraph& g) {
+  std::vector<uint32_t> coreness;
+  Peel(g, &coreness, nullptr);
+  return coreness;
+}
+
+uint32_t Degeneracy(const CsrGraph& g) {
+  std::vector<uint32_t> coreness = CoreDecompositionReference(g);
+  uint32_t best = 0;
+  for (uint32_t c : coreness) best = std::max(best, c);
+  return best;
+}
+
+std::vector<VertexId> DegeneracyOrder(const CsrGraph& g) {
+  std::vector<uint32_t> coreness;
+  std::vector<VertexId> order;
+  Peel(g, &coreness, &order);
+  return order;
+}
+
+}  // namespace gab

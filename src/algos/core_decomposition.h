@@ -1,0 +1,26 @@
+#ifndef GAB_ALGOS_CORE_DECOMPOSITION_H_
+#define GAB_ALGOS_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// Reference core decomposition: the coreness of every vertex (the largest
+/// k such that the vertex belongs to the k-core), computed with the
+/// O(n + m) bucket-peeling algorithm of Batagelj–Zaversnik. The benchmark
+/// (paper §7.2) peels from coreness 1 upward until the graph is empty.
+std::vector<uint32_t> CoreDecompositionReference(const CsrGraph& g);
+
+/// Largest coreness value in the graph (the degeneracy).
+uint32_t Degeneracy(const CsrGraph& g);
+
+/// Vertex order of increasing coreness removal (degeneracy order); used by
+/// the k-clique reference to bound enumeration work.
+std::vector<VertexId> DegeneracyOrder(const CsrGraph& g);
+
+}  // namespace gab
+
+#endif  // GAB_ALGOS_CORE_DECOMPOSITION_H_

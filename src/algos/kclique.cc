@@ -1,0 +1,81 @@
+#include "algos/kclique.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "algos/core_decomposition.h"
+#include "util/logging.h"
+
+namespace gab {
+
+namespace {
+
+// Counts cliques of `remaining` more vertices extendable from `candidates`
+// (sorted in orientation rank). adjacency(v) yields v's oriented sorted
+// out-neighborhood.
+uint64_t CountFrom(const std::vector<std::vector<VertexId>>& oriented,
+                   const std::vector<VertexId>& rank,
+                   const std::vector<VertexId>& candidates,
+                   uint32_t remaining) {
+  if (remaining == 1) return candidates.size();
+  uint64_t total = 0;
+  std::vector<VertexId> next;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    VertexId v = candidates[i];
+    const auto& nv = oriented[v];
+    // next = candidates ∩ oriented-out(v); both lists are sorted by rank,
+    // so a rank-comparing merge intersects them in linear time.
+    next.clear();
+    size_t a = i + 1;
+    size_t b = 0;
+    while (a < candidates.size() && b < nv.size()) {
+      if (rank[candidates[a]] < rank[nv[b]]) {
+        ++a;
+      } else if (rank[candidates[a]] > rank[nv[b]]) {
+        ++b;
+      } else {
+        next.push_back(candidates[a]);
+        ++a;
+        ++b;
+      }
+    }
+    if (next.size() + 1 >= remaining) {
+      total += CountFrom(oriented, rank, next, remaining - 1);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+uint64_t KCliqueCountReference(const CsrGraph& g, uint32_t k) {
+  GAB_CHECK(g.is_undirected());
+  GAB_CHECK(k >= 2);
+  const VertexId n = g.num_vertices();
+  if (n == 0) return 0;
+
+  // Orient edges along the degeneracy order: rank[v] < rank[u] => v -> u.
+  std::vector<VertexId> order = DegeneracyOrder(g);
+  std::vector<VertexId> rank(n);
+  for (VertexId i = 0; i < n; ++i) rank[order[i]] = i;
+
+  // oriented[v] = out-neighbors of v (later in degeneracy order), stored as
+  // vertex ids but sorted by *rank* so intersections stay rank-sorted.
+  std::vector<std::vector<VertexId>> oriented(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.OutNeighbors(v)) {
+      if (rank[u] > rank[v]) oriented[v].push_back(u);
+    }
+    std::sort(oriented[v].begin(), oriented[v].end(),
+              [&](VertexId a, VertexId b) { return rank[a] < rank[b]; });
+  }
+
+  uint64_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (oriented[v].size() + 1 < k) continue;
+    total += CountFrom(oriented, rank, oriented[v], k - 1);
+  }
+  return total;
+}
+
+}  // namespace gab

@@ -1,0 +1,23 @@
+#ifndef GAB_ALGOS_KCLIQUE_H_
+#define GAB_ALGOS_KCLIQUE_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// The clique size the benchmark reports by default (k = 4; k = 3 would
+/// duplicate TC and larger k explodes combinatorially on dense datasets).
+inline constexpr uint32_t kDefaultCliqueSize = 4;
+
+/// Reference k-clique count of an undirected graph. Enumerates over the
+/// degeneracy orientation (each edge directed from earlier to later in
+/// degeneracy order), recursively intersecting candidate sets — the
+/// standard Chiba–Nishizeki / kClist scheme, exact and duplicate-free.
+uint64_t KCliqueCountReference(const CsrGraph& g,
+                               uint32_t k = kDefaultCliqueSize);
+
+}  // namespace gab
+
+#endif  // GAB_ALGOS_KCLIQUE_H_

@@ -1,0 +1,19 @@
+#include "algos/lcc.h"
+
+#include "stats/graph_stats.h"
+
+namespace gab {
+
+std::vector<double> LccReference(const CsrGraph& g) {
+  std::vector<uint64_t> triangles = TrianglesPerVertex(g);
+  std::vector<double> lcc(g.num_vertices(), 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    uint64_t d = g.OutDegree(v);
+    if (d < 2) continue;
+    lcc[v] = static_cast<double>(triangles[v]) /
+             (static_cast<double>(d) * static_cast<double>(d - 1) / 2.0);
+  }
+  return lcc;
+}
+
+}  // namespace gab

@@ -1,0 +1,19 @@
+#ifndef GAB_ALGOS_LCC_H_
+#define GAB_ALGOS_LCC_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// Reference local clustering coefficient per vertex:
+/// triangles(v) / (deg(v) * (deg(v)-1) / 2), 0 for degree < 2.
+/// LCC is one of LDBC Graphalytics' six core algorithms; this benchmark
+/// replaces it with TC/KC (paper Section 3) but implements it for the
+/// LDBC-compatibility comparison in bench_ablation_diversity.
+std::vector<double> LccReference(const CsrGraph& g);
+
+}  // namespace gab
+
+#endif  // GAB_ALGOS_LCC_H_

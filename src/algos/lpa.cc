@@ -1,0 +1,37 @@
+#include "algos/lpa.h"
+
+#include <unordered_map>
+
+namespace gab {
+
+std::vector<uint32_t> LpaReference(const CsrGraph& g, uint32_t iterations) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  std::vector<uint32_t> next(n);
+  std::unordered_map<uint32_t, uint32_t> freq;
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      auto nbrs = g.OutNeighbors(v);
+      if (nbrs.empty()) {
+        next[v] = label[v];
+        continue;
+      }
+      freq.clear();
+      uint32_t best_label = 0;
+      uint32_t best_count = 0;
+      for (VertexId u : nbrs) {
+        uint32_t c = ++freq[label[u]];
+        if (c > best_count || (c == best_count && label[u] < best_label)) {
+          best_count = c;
+          best_label = label[u];
+        }
+      }
+      next[v] = best_label;
+    }
+    label.swap(next);
+  }
+  return label;
+}
+
+}  // namespace gab

@@ -1,0 +1,22 @@
+#ifndef GAB_ALGOS_LPA_H_
+#define GAB_ALGOS_LPA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// Canonical label-propagation specification shared by the reference and
+/// every platform implementation so outputs are bit-identical:
+///  - labels start as vertex ids;
+///  - updates are synchronous (all vertices read the previous round);
+///  - each vertex adopts its neighbors' most frequent label, breaking ties
+///    toward the smallest label; isolated vertices keep their label;
+///  - exactly `iterations` rounds are run (paper §7.2 fixes 10).
+std::vector<uint32_t> LpaReference(const CsrGraph& g, uint32_t iterations = 10);
+
+}  // namespace gab
+
+#endif  // GAB_ALGOS_LPA_H_

@@ -1,0 +1,32 @@
+#include "algos/pagerank.h"
+
+namespace gab {
+
+std::vector<double> PageRankReference(const CsrGraph& g,
+                                      const PageRankParams& params) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return {};
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, inv_n);
+  std::vector<double> next(n, 0.0);
+
+  for (uint32_t iter = 0; iter < params.iterations; ++iter) {
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (g.OutDegree(v) == 0) dangling += rank[v];
+    }
+    std::fill(next.begin(), next.end(),
+              (1.0 - params.damping) * inv_n +
+                  params.damping * dangling * inv_n);
+    for (VertexId u = 0; u < n; ++u) {
+      size_t deg = g.OutDegree(u);
+      if (deg == 0) continue;
+      double share = params.damping * rank[u] / static_cast<double>(deg);
+      for (VertexId v : g.OutNeighbors(u)) next[v] += share;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace gab

@@ -1,0 +1,27 @@
+#ifndef GAB_ALGOS_PAGERANK_H_
+#define GAB_ALGOS_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// Canonical PageRank parameters used throughout the benchmark (paper
+/// Section 7.2 fixes the iteration count at 10).
+struct PageRankParams {
+  double damping = 0.85;
+  uint32_t iterations = 10;
+};
+
+/// Reference sequential PageRank. Synchronous power iteration:
+///   pr'(v) = (1-d)/n + d * (sum_{u->v} pr(u)/outdeg(u) + dangling/n)
+/// Dangling mass is redistributed uniformly. Every platform implementation
+/// must match this within floating-point tolerance.
+std::vector<double> PageRankReference(const CsrGraph& g,
+                                      const PageRankParams& params = {});
+
+}  // namespace gab
+
+#endif  // GAB_ALGOS_PAGERANK_H_

@@ -1,0 +1,35 @@
+#include "algos/sssp.h"
+
+#include <queue>
+#include <utility>
+
+namespace gab {
+
+std::vector<Dist> SsspReference(const CsrGraph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  std::vector<Dist> dist(n, kInfDist);
+  if (n == 0) return dist;
+  using Entry = std::pair<Dist, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.push({0, source});
+  const bool weighted = g.has_weights();
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;  // stale entry
+    auto nbrs = g.OutNeighbors(u);
+    auto weights = weighted ? g.OutWeights(u) : std::span<const Weight>{};
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      Dist w = weighted ? weights[i] : 1;
+      Dist nd = d + w;
+      if (nd < dist[nbrs[i]]) {
+        dist[nbrs[i]] = nd;
+        heap.push({nd, nbrs[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace gab

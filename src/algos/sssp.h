@@ -1,0 +1,17 @@
+#ifndef GAB_ALGOS_SSSP_H_
+#define GAB_ALGOS_SSSP_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// Reference single-source shortest paths: Dijkstra with a binary heap.
+/// Unweighted graphs are treated as weight-1 per edge. Unreachable vertices
+/// get kInfDist. The benchmark fixes the source at vertex 0 (paper §7.2).
+std::vector<Dist> SsspReference(const CsrGraph& g, VertexId source);
+
+}  // namespace gab
+
+#endif  // GAB_ALGOS_SSSP_H_

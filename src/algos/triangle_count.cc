@@ -1,0 +1,40 @@
+#include "algos/triangle_count.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gab {
+
+uint64_t TriangleCountReference(const CsrGraph& g) {
+  GAB_CHECK(g.is_undirected());
+  uint64_t triangles = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto nu = g.OutNeighbors(u);
+    size_t u_hi = std::upper_bound(nu.begin(), nu.end(), u) - nu.begin();
+    auto fu = nu.subspan(u_hi);  // neighbors of u with id > u
+    for (size_t a = 0; a < fu.size(); ++a) {
+      VertexId v = fu[a];
+      auto nv = g.OutNeighbors(v);
+      size_t v_hi = std::upper_bound(nv.begin(), nv.end(), v) - nv.begin();
+      auto fv = nv.subspan(v_hi);
+      // |{w : w > v, w in N(u), w in N(v)}|
+      size_t i = a + 1;  // fu entries > v start right after v itself
+      size_t j = 0;
+      while (i < fu.size() && j < fv.size()) {
+        if (fu[i] < fv[j]) {
+          ++i;
+        } else if (fu[i] > fv[j]) {
+          ++j;
+        } else {
+          ++triangles;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+}  // namespace gab

@@ -1,0 +1,17 @@
+#ifndef GAB_ALGOS_TRIANGLE_COUNT_H_
+#define GAB_ALGOS_TRIANGLE_COUNT_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// Reference triangle count of an undirected graph. Forward algorithm:
+/// each triangle {u < v < w} is found exactly once by intersecting the
+/// higher-id adjacency suffixes of an edge's endpoints.
+uint64_t TriangleCountReference(const CsrGraph& g);
+
+}  // namespace gab
+
+#endif  // GAB_ALGOS_TRIANGLE_COUNT_H_

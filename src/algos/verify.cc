@@ -1,0 +1,68 @@
+#include "algos/verify.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace gab {
+
+VerifyResult CompareDoubles(const std::vector<double>& actual,
+                            const std::vector<double>& expected,
+                            double rel_tol, double abs_tol) {
+  if (actual.size() != expected.size()) {
+    return VerifyResult::Fail("size mismatch: " +
+                              std::to_string(actual.size()) + " vs " +
+                              std::to_string(expected.size()));
+  }
+  for (size_t i = 0; i < actual.size(); ++i) {
+    double diff = std::abs(actual[i] - expected[i]);
+    double bound = abs_tol + rel_tol * std::abs(expected[i]);
+    if (diff > bound) {
+      return VerifyResult::Fail(
+          "index " + std::to_string(i) + ": " + std::to_string(actual[i]) +
+          " vs expected " + std::to_string(expected[i]));
+    }
+  }
+  return VerifyResult::Ok();
+}
+
+VerifyResult CompareExact(const std::vector<uint64_t>& actual,
+                          const std::vector<uint64_t>& expected) {
+  if (actual.size() != expected.size()) {
+    return VerifyResult::Fail("size mismatch: " +
+                              std::to_string(actual.size()) + " vs " +
+                              std::to_string(expected.size()));
+  }
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] != expected[i]) {
+      return VerifyResult::Fail(
+          "index " + std::to_string(i) + ": " + std::to_string(actual[i]) +
+          " vs expected " + std::to_string(expected[i]));
+    }
+  }
+  return VerifyResult::Ok();
+}
+
+VerifyResult ComparePartitions(const std::vector<uint64_t>& actual,
+                               const std::vector<uint64_t>& expected) {
+  if (actual.size() != expected.size()) {
+    return VerifyResult::Fail("size mismatch");
+  }
+  // A bijection between label spaces must exist in both directions.
+  std::unordered_map<uint64_t, uint64_t> fwd;
+  std::unordered_map<uint64_t, uint64_t> bwd;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    auto [fit, finserted] = fwd.try_emplace(actual[i], expected[i]);
+    if (!finserted && fit->second != expected[i]) {
+      return VerifyResult::Fail("partition mismatch at index " +
+                                std::to_string(i));
+    }
+    auto [bit, binserted] = bwd.try_emplace(expected[i], actual[i]);
+    if (!binserted && bit->second != actual[i]) {
+      return VerifyResult::Fail("partition mismatch at index " +
+                                std::to_string(i));
+    }
+  }
+  return VerifyResult::Ok();
+}
+
+}  // namespace gab

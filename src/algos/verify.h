@@ -1,0 +1,42 @@
+#ifndef GAB_ALGOS_VERIFY_H_
+#define GAB_ALGOS_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gab {
+
+/// Result of comparing a platform's output against the reference
+/// implementation. `ok` plus a human-readable first-mismatch description.
+struct VerifyResult {
+  bool ok = true;
+  std::string detail;
+
+  static VerifyResult Ok() { return {}; }
+  static VerifyResult Fail(std::string detail) {
+    return {false, std::move(detail)};
+  }
+};
+
+/// Element-wise comparison of floating-point vectors (PR, BC) with a
+/// combined absolute/relative tolerance.
+VerifyResult CompareDoubles(const std::vector<double>& actual,
+                            const std::vector<double>& expected,
+                            double rel_tol = 1e-9, double abs_tol = 1e-12);
+
+/// Exact comparison of integer outputs (SSSP distances, coreness, labels).
+VerifyResult CompareExact(const std::vector<uint64_t>& actual,
+                          const std::vector<uint64_t>& expected);
+
+/// Compares two labelings as *partitions*: labels may differ as long as
+/// they induce the same groups (used for LPA, where synchronous ties make
+/// labels canonical, as a second line of defense).
+VerifyResult ComparePartitions(const std::vector<uint64_t>& actual,
+                               const std::vector<uint64_t>& expected);
+
+}  // namespace gab
+
+#endif  // GAB_ALGOS_VERIFY_H_

@@ -1,0 +1,57 @@
+#include "algos/wcc.h"
+
+#include <unordered_set>
+
+namespace gab {
+
+std::vector<VertexId> WccReference(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) parent[v] = v;
+  auto find = [&](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      VertexId ru = find(u);
+      VertexId rv = find(v);
+      if (ru == rv) continue;
+      // Union toward the smaller id so the final label is the component min.
+      if (ru < rv) {
+        parent[rv] = ru;
+      } else {
+        parent[ru] = rv;
+      }
+    }
+  }
+  // For directed graphs the in-edges must be unioned too ("weakly"
+  // connected); for undirected graphs OutNeighbors already covers both.
+  if (!g.is_undirected() && g.has_in_edges()) {
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v : g.InNeighbors(u)) {
+        VertexId ru = find(u);
+        VertexId rv = find(v);
+        if (ru == rv) continue;
+        if (ru < rv) {
+          parent[rv] = ru;
+        } else {
+          parent[ru] = rv;
+        }
+      }
+    }
+  }
+  std::vector<VertexId> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = find(v);
+  return label;
+}
+
+size_t CountComponents(const std::vector<VertexId>& labels) {
+  std::unordered_set<VertexId> distinct(labels.begin(), labels.end());
+  return distinct.size();
+}
+
+}  // namespace gab

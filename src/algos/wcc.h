@@ -1,0 +1,21 @@
+#ifndef GAB_ALGOS_WCC_H_
+#define GAB_ALGOS_WCC_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// Reference weakly-connected components via union-find. The returned label
+/// of every vertex is the minimum vertex id of its component, which is also
+/// the fixpoint of min-label propagation — so platform outputs compare
+/// directly. Edge direction is ignored (paper §7.2 runs WCC undirected).
+std::vector<VertexId> WccReference(const CsrGraph& g);
+
+/// Number of distinct components in a label assignment.
+size_t CountComponents(const std::vector<VertexId>& labels);
+
+}  // namespace gab
+
+#endif  // GAB_ALGOS_WCC_H_

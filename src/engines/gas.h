@@ -1,0 +1,223 @@
+#ifndef GAB_ENGINES_GAS_H_
+#define GAB_ENGINES_GAS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engines/trace.h"
+#include "graph/csr_graph.h"
+#include "graph/partition.h"
+#include "util/logging.h"
+#include "util/threading.h"
+
+namespace gab {
+
+/// Edge-centric Gather-Apply-Scatter engine (PowerGraph's model, paper
+/// Section 3.3). Synchronous semantics: every iteration,
+///
+///   gather  — fold a commutative/associative accumulator over the edges
+///             of each active vertex (reading neighbor values from the
+///             previous iteration's snapshot, like PowerGraph's replicas);
+///   apply   — update the vertex value from the accumulator;
+///   scatter — decide which neighbors to activate for the next iteration.
+///
+/// The gather phase parallelizes over edges grouped by vertex partition,
+/// which is how the model "resolves load skew in power-law graphs"; the
+/// trace charges cross-partition gather reads as network bytes (replica
+/// synchronization in a distributed deployment).
+///
+/// V = vertex value, G = gather accumulator (both trivially copyable).
+template <typename V, typename G>
+class GasEngine {
+ public:
+  struct Config {
+    uint32_t num_partitions = 64;
+    PartitionStrategy strategy = PartitionStrategy::kHash;
+    uint32_t max_iterations = 100000;
+    /// Re-activate every vertex each iteration (iterative algorithms like
+    /// PR/LPA, where scatter-driven activation would starve vertices whose
+    /// neighbors did not change).
+    bool all_active = false;
+  };
+
+  struct Program {
+    /// Identity accumulator.
+    G init{};
+    /// gather(center, nbr, edge_weight, nbr_snapshot_value).
+    std::function<G(VertexId, VertexId, Weight, const V&)> gather;
+    /// Accumulator merge.
+    std::function<G(const G&, const G&)> sum;
+    /// apply(v, value, acc, iteration); returns true iff the value changed
+    /// (which triggers scatter for v).
+    std::function<bool(VertexId, V&, const G&, uint32_t)> apply;
+    /// scatter(v, new_value, nbr): activate nbr next iteration?
+    /// nullptr = activate all neighbors of changed vertices.
+    std::function<bool(VertexId, const V&, VertexId)> scatter;
+  };
+
+  explicit GasEngine(Config config) : config_(config) {}
+
+  /// Runs until no vertex is active. `values` must be pre-initialized.
+  void Run(const CsrGraph& g, const Program& program,
+           std::vector<V>* values) {
+    Setup(g);
+    const uint32_t num_p = config_.num_partitions;
+    const VertexId n = g.num_vertices();
+    std::vector<uint8_t> active(n, 1);
+    std::vector<uint8_t> next_active(n, 0);
+    std::vector<V> snapshot;
+
+    while (iterations_ < config_.max_iterations) {
+      trace_.BeginSuperstep();
+      // Replica synchronization: neighbors read the previous iteration.
+      snapshot = *values;
+      std::fill(next_active.begin(), next_active.end(), 0);
+
+      DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
+        uint32_t p = static_cast<uint32_t>(pt);
+        uint64_t work = 0;
+        std::vector<uint64_t> bytes(num_p, 0);
+        for (VertexId v : partitioning_->Members(p)) {
+          if (!active[v]) continue;
+          auto nbrs = g.OutNeighbors(v);
+          auto weights =
+              g.has_weights() ? g.OutWeights(v) : std::span<const Weight>{};
+          work += 1 + nbrs.size();
+          G acc = program.init;
+          bool first = true;
+          for (size_t i = 0; i < nbrs.size(); ++i) {
+            VertexId u = nbrs[i];
+            uint32_t q = partitioning_->PartitionOf(u);
+            if (q != p) bytes[q] += sizeof(V);
+            Weight w = weights.empty() ? Weight{1} : weights[i];
+            G contribution = program.gather(v, u, w, snapshot[u]);
+            if (first) {
+              acc = contribution;
+              first = false;
+            } else {
+              acc = program.sum(acc, contribution);
+            }
+          }
+          if (!program.apply(v, (*values)[v], acc, iterations_)) continue;
+          for (VertexId u : nbrs) {
+            if (program.scatter == nullptr ||
+                program.scatter(v, (*values)[v], u)) {
+              next_active[u] = 1;  // byte-sized flag; racy writes benign
+              uint32_t q = partitioning_->PartitionOf(u);
+              if (q != p) bytes[q] += sizeof(VertexId);
+            }
+          }
+        }
+        trace_.AddWork(p, work);
+        for (uint32_t q = 0; q < num_p; ++q) {
+          if (bytes[q] != 0) trace_.AddBytes(p, q, bytes[q]);
+        }
+      });
+
+      ++iterations_;
+      if (config_.all_active) {
+        // Fixed-iteration algorithms: every vertex runs every iteration
+        // until max_iterations bounds the loop.
+        std::fill(active.begin(), active.end(), 1);
+        continue;
+      }
+      active.swap(next_active);
+      bool any = false;
+      for (VertexId v = 0; v < n; ++v) {
+        if (active[v]) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) break;
+    }
+  }
+
+  /// Vertex-parallel utility charging 1 + degree work units and replica
+  /// read bytes per cross-partition edge, calling fn once per vertex.
+  /// Used for gather-style passes whose accumulator is not a POD monoid
+  /// (LPA's label histogram, CD's alive-degree recount).
+  void VertexGatherMap(const CsrGraph& g,
+                       const std::function<void(VertexId)>& fn) {
+    Setup(g);
+    const uint32_t num_p = config_.num_partitions;
+    trace_.BeginSuperstep();
+    DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
+      uint32_t p = static_cast<uint32_t>(pt);
+      uint64_t work = 0;
+      std::vector<uint64_t> bytes(num_p, 0);
+      for (VertexId u : partitioning_->Members(p)) {
+        work += 1 + g.OutDegree(u);
+        for (VertexId v : g.OutNeighbors(u)) {
+          uint32_t q = partitioning_->PartitionOf(v);
+          if (q != p) bytes[q] += sizeof(V);
+        }
+        fn(u);
+      }
+      trace_.AddWork(p, work);
+      for (uint32_t q = 0; q < num_p; ++q) {
+        if (bytes[q] != 0) trace_.AddBytes(p, q, bytes[q]);
+      }
+    });
+    ++iterations_;
+  }
+
+  /// Edge-parallel utility for tasks that are edge maps rather than GAS
+  /// fixpoints (PowerGraph runs TC this way: one intersection per edge).
+  /// fn(u, v, weight) is called once per stored arc; per-partition work and
+  /// replica-read bytes are traced.
+  void EdgeParallelMap(
+      const CsrGraph& g,
+      const std::function<void(VertexId, VertexId, Weight)>& fn) {
+    Setup(g);
+    const uint32_t num_p = config_.num_partitions;
+    trace_.BeginSuperstep();
+    DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
+      uint32_t p = static_cast<uint32_t>(pt);
+      uint64_t work = 0;
+      std::vector<uint64_t> bytes(num_p, 0);
+      for (VertexId u : partitioning_->Members(p)) {
+        auto nbrs = g.OutNeighbors(u);
+        auto weights =
+            g.has_weights() ? g.OutWeights(u) : std::span<const Weight>{};
+        work += 1 + nbrs.size();
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          uint32_t q = partitioning_->PartitionOf(nbrs[i]);
+          if (q != p) bytes[q] += sizeof(VertexId) * 2;
+          fn(u, nbrs[i], weights.empty() ? Weight{1} : weights[i]);
+        }
+      }
+      trace_.AddWork(p, work);
+      for (uint32_t q = 0; q < num_p; ++q) {
+        if (bytes[q] != 0) trace_.AddBytes(p, q, bytes[q]);
+      }
+    });
+    ++iterations_;
+  }
+
+  const ExecutionTrace& trace() const { return trace_; }
+  uint32_t iterations_run() const { return iterations_; }
+  const Partitioning& partitioning() const { return *partitioning_; }
+
+ private:
+  void Setup(const CsrGraph& g) {
+    if (partitioning_ == nullptr || setup_graph_ != &g) {
+      partitioning_ = std::make_unique<Partitioning>(
+          g, config_.num_partitions, config_.strategy);
+      trace_ = ExecutionTrace(config_.num_partitions);
+      iterations_ = 0;
+      setup_graph_ = &g;
+    }
+  }
+
+  Config config_;
+  const CsrGraph* setup_graph_ = nullptr;
+  std::unique_ptr<Partitioning> partitioning_;
+  ExecutionTrace trace_;
+  uint32_t iterations_ = 0;
+};
+
+}  // namespace gab
+
+#endif  // GAB_ENGINES_GAS_H_

@@ -1,0 +1,172 @@
+#ifndef GAB_ENGINES_SUBGRAPH_CENTRIC_H_
+#define GAB_ENGINES_SUBGRAPH_CENTRIC_H_
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engines/trace.h"
+#include "graph/csr_graph.h"
+#include "graph/partition.h"
+#include "util/logging.h"
+#include "util/threading.h"
+
+namespace gab {
+
+/// Subgraph-centric task engine following G-thinker (paper Section 3.3):
+/// the unit of computation is a *subgraph task* (a partial match plus its
+/// candidate extension set), not a vertex. Tasks are seeded per vertex,
+/// processed by a worker pool, and may spawn child tasks; results are
+/// reduced with a commutative monoid (counting, for TC/KC).
+///
+/// The model has no iterative control flow — which is exactly why the
+/// paper's coverage matrix marks PR/LPA/SSSP/WCC/BC/CD unimplementable on
+/// G-thinker — but it parallelizes mining workloads with no supersteps and
+/// no synchronization, giving the paper's strong TC/KC scale-up.
+///
+/// Task must be movable.
+template <typename Task>
+class SubgraphCentricEngine {
+ public:
+  struct Config {
+    uint32_t num_partitions = 64;
+    PartitionStrategy strategy = PartitionStrategy::kHash;
+    /// Tasks processed per queue pop (amortizes queue contention).
+    uint32_t batch_size = 64;
+  };
+
+  /// Worker-side context: spawn children, count results, record work.
+  class TaskContext {
+   public:
+    /// Enqueues a child task (processed by any worker, possibly this one).
+    void Spawn(Task task) { spawned_.push_back(std::move(task)); }
+    /// Adds to the global reduction (summed across all tasks).
+    void EmitCount(uint64_t count) { count_ += count; }
+    void AddWork(uint64_t units) { work_ += units; }
+    /// Charges the cost of fetching a remote vertex's adjacency list
+    /// (G-thinker pulls subgraph data from owning machines on demand).
+    void ChargeAdjacencyFetch(VertexId owner_of, uint64_t list_length) {
+      uint32_t q = engine_->partitioning_->PartitionOf(owner_of);
+      if (q != home_partition_) {
+        bytes_[q] += list_length * sizeof(VertexId);
+      }
+    }
+
+   private:
+    friend class SubgraphCentricEngine;
+    SubgraphCentricEngine* engine_ = nullptr;
+    uint32_t home_partition_ = 0;
+    uint64_t count_ = 0;
+    uint64_t work_ = 0;
+    std::vector<Task> spawned_;
+    std::vector<uint64_t> bytes_;
+  };
+
+  /// seed(v) appends v's seed tasks (if any) to the given vector.
+  using SeedFn = std::function<void(VertexId, std::vector<Task>*)>;
+  /// process(ctx, task): count matches, optionally spawn children.
+  using ProcessFn = std::function<void(TaskContext&, const Task&)>;
+  /// Home partition of a task (for work/traffic attribution).
+  using HomeFn = std::function<VertexId(const Task&)>;
+
+  explicit SubgraphCentricEngine(Config config) : config_(config) {}
+
+  /// Runs the full task graph to completion; returns the count reduction.
+  uint64_t RunCount(const CsrGraph& g, const SeedFn& seed,
+                    const ProcessFn& process, const HomeFn& home) {
+    graph_ = &g;
+    partitioning_ = std::make_unique<Partitioning>(g, config_.num_partitions,
+                                                   config_.strategy);
+    trace_ = ExecutionTrace(config_.num_partitions);
+    trace_.BeginSuperstep();  // one logical phase: mining has no supersteps
+
+    // Seed queue.
+    {
+      std::vector<Task> seeds;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) seed(v, &seeds);
+      queue_.assign(std::make_move_iterator(seeds.begin()),
+                    std::make_move_iterator(seeds.end()));
+    }
+
+    const size_t workers = DefaultPool().num_threads();
+    std::atomic<uint64_t> total{0};
+    std::atomic<uint32_t> in_flight{0};
+    // Per-partition accumulation buffers (merged under the queue mutex).
+    std::vector<uint64_t> work(config_.num_partitions, 0);
+    std::vector<uint64_t> bytes(
+        static_cast<size_t>(config_.num_partitions) * config_.num_partitions,
+        0);
+
+    DefaultPool().RunTasks(workers, [&](size_t, size_t) {
+      std::vector<Task> batch;
+      TaskContext ctx;
+      ctx.engine_ = this;
+      ctx.bytes_.assign(config_.num_partitions, 0);
+      while (true) {
+        batch.clear();
+        {
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          while (batch.size() < config_.batch_size && !queue_.empty()) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+          }
+          if (!batch.empty()) {
+            in_flight.fetch_add(1, std::memory_order_acq_rel);
+          }
+        }
+        if (batch.empty()) {
+          // Queue drained; finish only when no worker may still spawn.
+          if (in_flight.load(std::memory_order_acquire) == 0) break;
+          std::this_thread::yield();
+          continue;
+        }
+        for (const Task& task : batch) {
+          VertexId home_v = home(task);
+          ctx.home_partition_ = partitioning_->PartitionOf(home_v);
+          ctx.count_ = 0;
+          ctx.work_ = 1;
+          std::fill(ctx.bytes_.begin(), ctx.bytes_.end(), 0);
+          process(ctx, task);
+          total.fetch_add(ctx.count_, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          work[ctx.home_partition_] += ctx.work_;
+          for (uint32_t q = 0; q < config_.num_partitions; ++q) {
+            if (ctx.bytes_[q] != 0) {
+              bytes[static_cast<size_t>(ctx.home_partition_) *
+                        config_.num_partitions +
+                    q] += ctx.bytes_[q];
+            }
+          }
+          for (Task& child : ctx.spawned_) {
+            queue_.push_back(std::move(child));
+          }
+          ctx.spawned_.clear();
+        }
+        in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+
+    trace_.MergeWork(work);
+    trace_.MergeBytes(bytes);
+    return total.load();
+  }
+
+  const ExecutionTrace& trace() const { return trace_; }
+  const Partitioning& partitioning() const { return *partitioning_; }
+
+ private:
+  Config config_;
+  const CsrGraph* graph_ = nullptr;
+  std::unique_ptr<Partitioning> partitioning_;
+  ExecutionTrace trace_;
+  std::mutex queue_mu_;
+  std::deque<Task> queue_;
+};
+
+}  // namespace gab
+
+#endif  // GAB_ENGINES_SUBGRAPH_CENTRIC_H_

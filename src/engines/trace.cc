@@ -1,0 +1,74 @@
+#include "engines/trace.h"
+
+#include "util/logging.h"
+
+namespace gab {
+
+void ExecutionTrace::BeginSuperstep() {
+  SuperstepTrace step;
+  step.work.assign(num_partitions_, 0);
+  step.bytes.assign(static_cast<size_t>(num_partitions_) * num_partitions_, 0);
+  supersteps_.push_back(std::move(step));
+}
+
+void ExecutionTrace::AddWork(uint32_t p, uint64_t units) {
+  GAB_DCHECK(!supersteps_.empty());
+  supersteps_.back().work[p] += units;
+}
+
+void ExecutionTrace::AddBytes(uint32_t p, uint32_t q, uint64_t bytes) {
+  GAB_DCHECK(!supersteps_.empty());
+  supersteps_.back().bytes[static_cast<size_t>(p) * num_partitions_ + q] +=
+      bytes;
+}
+
+void ExecutionTrace::MergeWork(const std::vector<uint64_t>& work) {
+  GAB_CHECK(!supersteps_.empty());
+  GAB_CHECK(work.size() == supersteps_.back().work.size());
+  auto& dst = supersteps_.back().work;
+  for (size_t i = 0; i < work.size(); ++i) dst[i] += work[i];
+}
+
+void ExecutionTrace::MergeBytes(const std::vector<uint64_t>& bytes) {
+  GAB_CHECK(!supersteps_.empty());
+  GAB_CHECK(bytes.size() == supersteps_.back().bytes.size());
+  auto& dst = supersteps_.back().bytes;
+  for (size_t i = 0; i < bytes.size(); ++i) dst[i] += bytes[i];
+}
+
+void ExecutionTrace::Append(const ExecutionTrace& other) {
+  GAB_CHECK(other.num_partitions_ == num_partitions_);
+  supersteps_.insert(supersteps_.end(), other.supersteps_.begin(),
+                     other.supersteps_.end());
+}
+
+uint64_t ExecutionTrace::TotalWork() const {
+  uint64_t total = 0;
+  for (const auto& step : supersteps_) {
+    for (uint64_t w : step.work) total += w;
+  }
+  return total;
+}
+
+uint64_t ExecutionTrace::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& step : supersteps_) {
+    for (uint64_t b : step.bytes) total += b;
+  }
+  return total;
+}
+
+uint64_t ExecutionTrace::CrossPartitionBytes() const {
+  uint64_t total = 0;
+  for (const auto& step : supersteps_) {
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      for (uint32_t q = 0; q < num_partitions_; ++q) {
+        if (p == q) continue;
+        total += step.bytes[static_cast<size_t>(p) * num_partitions_ + q];
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace gab

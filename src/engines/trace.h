@@ -1,0 +1,66 @@
+#ifndef GAB_ENGINES_TRACE_H_
+#define GAB_ENGINES_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gab {
+
+/// Per-superstep record of what one engine execution did, at logical
+/// partition granularity: work units (vertices + edges touched) per
+/// partition and the message-byte matrix between partitions.
+///
+/// This is the substitution that makes the paper's 16-machine experiments
+/// reproducible offline: a single in-process run produces the trace, and
+/// runtime/cluster_sim.h replays it against an (m machines x t threads)
+/// cluster model to obtain scale-up/scale-out estimates (see DESIGN.md §2).
+struct SuperstepTrace {
+  /// work[p] = abstract work units executed by partition p.
+  std::vector<uint64_t> work;
+  /// bytes[p * P + q] = message bytes sent from partition p to partition q.
+  std::vector<uint64_t> bytes;
+};
+
+/// Trace of a full engine execution.
+class ExecutionTrace {
+ public:
+  ExecutionTrace() : num_partitions_(0) {}
+  explicit ExecutionTrace(uint32_t num_partitions)
+      : num_partitions_(num_partitions) {}
+
+  uint32_t num_partitions() const { return num_partitions_; }
+  size_t num_supersteps() const { return supersteps_.size(); }
+  const std::vector<SuperstepTrace>& supersteps() const { return supersteps_; }
+
+  /// Opens a new superstep; subsequent Add* calls land in it.
+  void BeginSuperstep();
+
+  /// Adds work units to partition p of the current superstep.
+  void AddWork(uint32_t p, uint64_t units);
+
+  /// Adds message traffic from partition p to partition q.
+  void AddBytes(uint32_t p, uint32_t q, uint64_t bytes);
+
+  /// Bulk-merge of per-task local counters (engines accumulate locally per
+  /// partition task and flush once to avoid contention).
+  void MergeWork(const std::vector<uint64_t>& work);
+  void MergeBytes(const std::vector<uint64_t>& bytes);
+
+  /// Appends another trace's supersteps (multi-phase algorithms such as
+  /// BC's forward+backward runs, or CD's per-k peeling stages).
+  void Append(const ExecutionTrace& other);
+
+  uint64_t TotalWork() const;
+  uint64_t TotalBytes() const;
+  /// Bytes that cross partitions (excludes the p == q diagonal).
+  uint64_t CrossPartitionBytes() const;
+
+ private:
+  uint32_t num_partitions_;
+  std::vector<SuperstepTrace> supersteps_;
+};
+
+}  // namespace gab
+
+#endif  // GAB_ENGINES_TRACE_H_

@@ -1,0 +1,311 @@
+#ifndef GAB_ENGINES_VERTEX_CENTRIC_H_
+#define GAB_ENGINES_VERTEX_CENTRIC_H_
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "engines/trace.h"
+#include "graph/csr_graph.h"
+#include "graph/partition.h"
+#include "util/logging.h"
+#include "util/threading.h"
+
+namespace gab {
+
+/// Vertex-centric BSP engine with Pregel semantics ("Think Like A Vertex",
+/// paper Section 3.3). Pregel+ and the message-passing half of GraphX are
+/// built on top of it.
+///
+/// Semantics:
+///  - superstep 0 runs Compute on every vertex with an empty inbox;
+///  - Compute may send a message to *any* vertex (global communication, the
+///    capability the paper credits Flash/Pregel+ with for HashMin WCC);
+///  - a vertex is active in superstep s > 0 iff it received a message in
+///    superstep s-1 or was explicitly kept active;
+///  - execution stops when no vertex is active or max_supersteps is hit.
+///
+/// An optional commutative/associative combiner collapses all messages per
+/// destination into one (Pregel+'s message-reduction technique); the trace
+/// then records the reduced byte volume, which is exactly why Pregel+
+/// scales out better than the combiner-less platforms.
+///
+/// V = vertex value type, M = message type (both trivially copyable).
+template <typename V, typename M>
+class VertexCentricEngine {
+ public:
+  struct Config {
+    uint32_t num_partitions = 64;
+    PartitionStrategy strategy = PartitionStrategy::kHash;
+    uint32_t max_supersteps = 100000;
+    /// Optional message combiner (nullptr = deliver all messages).
+    M (*combiner)(const M&, const M&) = nullptr;
+  };
+
+  /// Per-partition execution context handed to Compute.
+  class Context {
+   public:
+    uint32_t superstep() const { return engine_->superstep_; }
+    VertexId num_vertices() const { return engine_->graph_->num_vertices(); }
+
+    /// Sends a message to any vertex (delivered next superstep).
+    void SendTo(VertexId dst, const M& msg) {
+      uint32_t q = engine_->partitioning_->PartitionOf(dst);
+      engine_->outbox_[partition_][q].push_back({dst, msg});
+    }
+
+    /// Keeps the current vertex active next superstep even without
+    /// incoming messages (deviation from pure Pregel that Pregel-family
+    /// systems expose as "activate self").
+    void KeepActive() { engine_->next_active_[current_vertex_] = 1; }
+
+    /// Records algorithm-side work (e.g. edges scanned) in the trace.
+    void AddWork(uint64_t units) { work_ += units; }
+
+    /// Sum-aggregators, available to every vertex in the next superstep
+    /// (Pregel aggregator / Pregel+ reducer).
+    void AggregateDouble(double v) { agg_double_ += v; }
+    void AggregateInt(int64_t v) { agg_int_ += v; }
+    double PrevDoubleAggregate() const { return engine_->prev_agg_double_; }
+    int64_t PrevIntAggregate() const { return engine_->prev_agg_int_; }
+
+   private:
+    friend class VertexCentricEngine;
+    VertexCentricEngine* engine_ = nullptr;
+    uint32_t partition_ = 0;
+    VertexId current_vertex_ = 0;
+    uint64_t work_ = 0;
+    double agg_double_ = 0;
+    int64_t agg_int_ = 0;
+  };
+
+  using InitFn = std::function<void(VertexId, V&)>;
+  using ComputeFn =
+      std::function<void(Context&, VertexId, V&, std::span<const M>)>;
+
+  explicit VertexCentricEngine(Config config) : config_(config) {}
+
+  /// Runs to halt. Returns vertex values; trace()/supersteps() afterwards.
+  std::vector<V> Run(const CsrGraph& g, const InitFn& init,
+                     const ComputeFn& compute) {
+    Setup(g);
+    std::vector<V> values(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) init(v, values[v]);
+
+    const uint32_t num_p = config_.num_partitions;
+    while (superstep_ < config_.max_supersteps) {
+      trace_.BeginSuperstep();
+      std::fill(next_active_.begin(), next_active_.end(), 0);
+
+      // Compute phase: one task per partition.
+      std::vector<double> agg_double(num_p, 0);
+      std::vector<int64_t> agg_int(num_p, 0);
+      DefaultPool().RunTasks(num_p, [&](size_t p, size_t) {
+        Context ctx;
+        ctx.engine_ = this;
+        ctx.partition_ = static_cast<uint32_t>(p);
+        for (VertexId v : partitioning_->Members(static_cast<uint32_t>(p))) {
+          auto inbox = InboxOf(v);
+          if (superstep_ > 0 && inbox.empty() && !active_[v]) continue;
+          ctx.current_vertex_ = v;
+          ctx.work_ += 1 + inbox.size();
+          compute(ctx, v, values[v], inbox);
+        }
+        trace_.AddWork(static_cast<uint32_t>(p), ctx.work_);
+        agg_double[p] = ctx.agg_double_;
+        agg_int[p] = ctx.agg_int_;
+      });
+      prev_agg_double_ = 0;
+      prev_agg_int_ = 0;
+      for (uint32_t p = 0; p < num_p; ++p) {
+        prev_agg_double_ += agg_double[p];
+        prev_agg_int_ += agg_int[p];
+      }
+
+      // Exchange phase: record traffic, then regroup messages by receiver.
+      uint64_t messages = ExchangeMessages();
+      active_.swap(next_active_);
+      bool any_active = messages > 0;
+      if (!any_active) {
+        for (uint8_t a : active_) {
+          if (a) {
+            any_active = true;
+            break;
+          }
+        }
+      }
+      ++superstep_;
+      if (!any_active) break;
+    }
+    return values;
+  }
+
+  const ExecutionTrace& trace() const { return trace_; }
+  uint32_t supersteps_run() const { return superstep_; }
+  uint64_t peak_message_bytes() const { return peak_message_bytes_; }
+  /// Final values of the sum-aggregators (from the last superstep).
+  double final_double_aggregate() const { return prev_agg_double_; }
+  int64_t final_int_aggregate() const { return prev_agg_int_; }
+
+ private:
+  static constexpr size_t kMsgBytes = sizeof(M) + sizeof(VertexId);
+
+  void Setup(const CsrGraph& g) {
+    graph_ = &g;
+    partitioning_ = std::make_unique<Partitioning>(g, config_.num_partitions,
+                                                   config_.strategy);
+    trace_ = ExecutionTrace(config_.num_partitions);
+    const VertexId n = g.num_vertices();
+    local_index_.assign(n, 0);
+    for (uint32_t p = 0; p < config_.num_partitions; ++p) {
+      const auto& members = partitioning_->Members(p);
+      for (size_t i = 0; i < members.size(); ++i) {
+        local_index_[members[i]] = static_cast<uint32_t>(i);
+      }
+    }
+    active_.assign(n, 1);
+    next_active_.assign(n, 0);
+    outbox_.assign(config_.num_partitions,
+                   std::vector<std::vector<std::pair<VertexId, M>>>(
+                       config_.num_partitions));
+    inbox_data_.assign(config_.num_partitions, {});
+    inbox_offsets_.assign(config_.num_partitions, {});
+    superstep_ = 0;
+  }
+
+  std::span<const M> InboxOf(VertexId v) const {
+    if (superstep_ == 0) return {};
+    uint32_t q = partitioning_->PartitionOf(v);
+    const auto& offsets = inbox_offsets_[q];
+    if (offsets.empty()) return {};
+    uint32_t i = local_index_[v];
+    return {inbox_data_[q].data() + offsets[i],
+            inbox_data_[q].data() + offsets[i + 1]};
+  }
+
+  // Moves outboxes into per-destination-partition inboxes grouped by
+  // receiving vertex. Returns the number of delivered messages.
+  uint64_t ExchangeMessages() {
+    const uint32_t num_p = config_.num_partitions;
+    if (config_.combiner != nullptr) {
+      // Sender-side combining (Pregel+'s message reduction): collapse each
+      // (sender partition, receiver) message group before it hits the
+      // "wire", so both the grouped volume and the recorded traffic shrink.
+      DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
+        for (uint32_t q = 0; q < num_p; ++q) {
+          auto& buf = outbox_[pt][q];
+          if (buf.size() < 2) continue;
+          std::sort(buf.begin(), buf.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                    });
+          size_t w = 0;
+          for (size_t r = 1; r < buf.size(); ++r) {
+            if (buf[r].first == buf[w].first) {
+              buf[w].second = config_.combiner(buf[w].second, buf[r].second);
+            } else {
+              buf[++w] = buf[r];
+            }
+          }
+          buf.resize(w + 1);
+        }
+      });
+    }
+    // Traffic accounting (sender-partition rows are task-private).
+    uint64_t total_messages = 0;
+    uint64_t step_bytes = 0;
+    for (uint32_t p = 0; p < num_p; ++p) {
+      for (uint32_t q = 0; q < num_p; ++q) {
+        size_t count = outbox_[p][q].size();
+        if (count == 0) continue;
+        total_messages += count;
+        uint64_t bytes = count * kMsgBytes;
+        trace_.AddBytes(p, q, bytes);
+        step_bytes += bytes;
+      }
+    }
+    peak_message_bytes_ = std::max(peak_message_bytes_, step_bytes);
+
+    // Group per receiving partition, in parallel.
+    DefaultPool().RunTasks(num_p, [&](size_t qt, size_t) {
+      uint32_t q = static_cast<uint32_t>(qt);
+      const auto& members = partitioning_->Members(q);
+      auto& offsets = inbox_offsets_[q];
+      auto& data = inbox_data_[q];
+      if (config_.combiner != nullptr) {
+        // Combine all messages per receiver into one.
+        offsets.assign(members.size() + 1, 0);
+        std::vector<uint8_t> has(members.size(), 0);
+        std::vector<M> acc(members.size());
+        for (uint32_t p = 0; p < num_p; ++p) {
+          for (const auto& [dst, msg] : outbox_[p][q]) {
+            uint32_t i = local_index_[dst];
+            if (has[i]) {
+              acc[i] = config_.combiner(acc[i], msg);
+            } else {
+              acc[i] = msg;
+              has[i] = 1;
+            }
+          }
+        }
+        data.clear();
+        for (size_t i = 0; i < members.size(); ++i) {
+          offsets[i] = static_cast<uint32_t>(data.size());
+          if (has[i]) {
+            data.push_back(acc[i]);
+            next_active_[members[i]] = 1;
+          }
+        }
+        offsets[members.size()] = static_cast<uint32_t>(data.size());
+      } else {
+        // Two-pass counting group-by receiver.
+        offsets.assign(members.size() + 1, 0);
+        for (uint32_t p = 0; p < num_p; ++p) {
+          for (const auto& [dst, msg] : outbox_[p][q]) {
+            ++offsets[local_index_[dst] + 1];
+          }
+        }
+        for (size_t i = 0; i < members.size(); ++i) {
+          offsets[i + 1] += offsets[i];
+        }
+        data.resize(offsets[members.size()]);
+        std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+        for (uint32_t p = 0; p < num_p; ++p) {
+          for (const auto& [dst, msg] : outbox_[p][q]) {
+            uint32_t i = local_index_[dst];
+            data[cursor[i]++] = msg;
+            next_active_[dst] = 1;
+          }
+        }
+      }
+      for (uint32_t p = 0; p < num_p; ++p) outbox_[p][q].clear();
+    });
+    return total_messages;
+  }
+
+  Config config_;
+  const CsrGraph* graph_ = nullptr;
+  std::unique_ptr<Partitioning> partitioning_;
+  ExecutionTrace trace_;
+  uint32_t superstep_ = 0;
+
+  std::vector<uint32_t> local_index_;
+  std::vector<uint8_t> active_;
+  std::vector<uint8_t> next_active_;
+  // outbox_[src_partition][dst_partition] = (dst vertex, message) pairs.
+  std::vector<std::vector<std::vector<std::pair<VertexId, M>>>> outbox_;
+  // Per destination partition: messages grouped by receiver local index.
+  std::vector<std::vector<M>> inbox_data_;
+  std::vector<std::vector<uint32_t>> inbox_offsets_;
+
+  double prev_agg_double_ = 0;
+  int64_t prev_agg_int_ = 0;
+  uint64_t peak_message_bytes_ = 0;
+};
+
+}  // namespace gab
+
+#endif  // GAB_ENGINES_VERTEX_CENTRIC_H_

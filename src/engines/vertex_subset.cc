@@ -1,0 +1,255 @@
+#include "engines/vertex_subset.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gab {
+
+VertexSubset VertexSubset::Empty(VertexId num_vertices) {
+  VertexSubset s;
+  s.num_vertices_ = num_vertices;
+  s.size_ = 0;
+  s.has_sparse_ = true;
+  return s;
+}
+
+VertexSubset VertexSubset::Single(VertexId num_vertices, VertexId v) {
+  VertexSubset s;
+  s.num_vertices_ = num_vertices;
+  s.size_ = 1;
+  s.sparse_ = {v};
+  s.has_sparse_ = true;
+  return s;
+}
+
+VertexSubset VertexSubset::All(VertexId num_vertices) {
+  VertexSubset s;
+  s.num_vertices_ = num_vertices;
+  s.size_ = num_vertices;
+  s.dense_.assign(num_vertices, 1);
+  s.has_dense_ = true;
+  return s;
+}
+
+VertexSubset VertexSubset::FromSparse(VertexId num_vertices,
+                                      std::vector<VertexId> vertices) {
+  VertexSubset s;
+  s.num_vertices_ = num_vertices;
+  s.size_ = vertices.size();
+  s.sparse_ = std::move(vertices);
+  s.has_sparse_ = true;
+  return s;
+}
+
+VertexSubset VertexSubset::FromDense(VertexId num_vertices,
+                                     std::vector<uint8_t> flags) {
+  GAB_CHECK(flags.size() == num_vertices);
+  VertexSubset s;
+  s.num_vertices_ = num_vertices;
+  s.dense_ = std::move(flags);
+  s.has_dense_ = true;
+  s.size_ = 0;
+  for (uint8_t f : s.dense_) {
+    if (f) ++s.size_;
+  }
+  return s;
+}
+
+bool VertexSubset::Contains(VertexId v) const {
+  return Dense()[v] != 0;
+}
+
+const std::vector<VertexId>& VertexSubset::Sparse() const {
+  if (!has_sparse_) {
+    sparse_.clear();
+    sparse_.reserve(size_);
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      if (dense_[v]) sparse_.push_back(v);
+    }
+    has_sparse_ = true;
+  }
+  return sparse_;
+}
+
+const std::vector<uint8_t>& VertexSubset::Dense() const {
+  if (!has_dense_) {
+    dense_.assign(num_vertices_, 0);
+    for (VertexId v : sparse_) dense_[v] = 1;
+    has_dense_ = true;
+  }
+  return dense_;
+}
+
+VertexSubsetEngine::VertexSubsetEngine(const CsrGraph& g,
+                                       uint32_t num_partitions,
+                                       PartitionStrategy strategy)
+    : graph_(&g),
+      partitioning_(std::make_unique<Partitioning>(g, num_partitions,
+                                                   strategy)),
+      trace_(num_partitions),
+      out_flags_(g.num_vertices()) {}
+
+VertexSubset VertexSubsetEngine::EdgeMap(const VertexSubset& frontier,
+                                         const Functors& f,
+                                         const EdgeMapOptions& options) {
+  trace_.BeginSuperstep();
+  if (frontier.empty()) {
+    last_direction_ = EdgeMapDirection::kPush;
+    return VertexSubset::Empty(graph_->num_vertices());
+  }
+  EdgeMapDirection dir = options.direction;
+  if (dir == EdgeMapDirection::kAuto) {
+    uint64_t frontier_degree = 0;
+    for (VertexId v : frontier.Sparse()) frontier_degree += graph_->OutDegree(v);
+    uint64_t threshold =
+        (graph_->num_arcs() + graph_->num_vertices()) /
+        options.threshold_denominator;
+    dir = (frontier_degree + frontier.size() > threshold)
+              ? EdgeMapDirection::kPull
+              : EdgeMapDirection::kPush;
+  }
+  last_direction_ = dir;
+  return dir == EdgeMapDirection::kPush ? EdgeMapPush(frontier, f)
+                                        : EdgeMapPull(frontier, f);
+}
+
+VertexSubset VertexSubsetEngine::EdgeMapPush(const VertexSubset& frontier,
+                                             const Functors& f) {
+  const uint32_t num_p = partitioning_->num_partitions();
+  // Bucket the frontier by owning partition so each partition task scans
+  // only its own sources (and trace rows stay task-private).
+  std::vector<std::vector<VertexId>> by_partition(num_p);
+  for (VertexId v : frontier.Sparse()) {
+    by_partition[partitioning_->PartitionOf(v)].push_back(v);
+  }
+
+  out_flags_.Clear();
+  std::vector<std::vector<VertexId>> results(num_p);
+  DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
+    uint32_t p = static_cast<uint32_t>(pt);
+    uint64_t work = 0;
+    std::vector<uint64_t> bytes(num_p, 0);
+    auto& out = results[p];
+    for (VertexId s : by_partition[p]) {
+      auto nbrs = graph_->OutNeighbors(s);
+      auto weights = graph_->has_weights() ? graph_->OutWeights(s)
+                                           : std::span<const Weight>{};
+      work += 1 + nbrs.size();
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        VertexId d = nbrs[i];
+        uint32_t q = partitioning_->PartitionOf(d);
+        if (q != p) bytes[q] += sizeof(VertexId) + sizeof(uint64_t);
+        if (f.cond && !f.cond(d)) continue;
+        Weight w = weights.empty() ? Weight{1} : weights[i];
+        if (f.update_atomic(s, d, w) && out_flags_.TestAndSet(d)) {
+          out.push_back(d);
+        }
+      }
+    }
+    trace_.AddWork(p, work);
+    for (uint32_t q = 0; q < num_p; ++q) {
+      if (bytes[q] != 0) trace_.AddBytes(p, q, bytes[q]);
+    }
+  });
+  size_t total = 0;
+  for (const auto& r : results) total += r.size();
+  std::vector<VertexId> merged;
+  merged.reserve(total);
+  for (auto& r : results) {
+    merged.insert(merged.end(), r.begin(), r.end());
+  }
+  return VertexSubset::FromSparse(graph_->num_vertices(), std::move(merged));
+}
+
+VertexSubset VertexSubsetEngine::EdgeMapPull(const VertexSubset& frontier,
+                                             const Functors& f) {
+  const uint32_t num_p = partitioning_->num_partitions();
+  const auto& in_frontier = frontier.Dense();
+  std::vector<std::vector<VertexId>> results(num_p);
+  DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
+    uint32_t p = static_cast<uint32_t>(pt);
+    uint64_t work = 0;
+    std::vector<uint64_t> bytes(num_p, 0);
+    auto& out = results[p];
+    for (VertexId d : partitioning_->Members(p)) {
+      if (f.cond && !f.cond(d)) continue;
+      auto nbrs = graph_->InNeighbors(d);
+      auto weights = graph_->has_weights() ? graph_->InWeights(d)
+                                           : std::span<const Weight>{};
+      work += 1 + nbrs.size();
+      bool added = false;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        VertexId s = nbrs[i];
+        if (!in_frontier[s]) continue;
+        uint32_t q = partitioning_->PartitionOf(s);
+        // Pull reads the remote source's state.
+        if (q != p) bytes[q] += sizeof(VertexId) + sizeof(uint64_t);
+        if (f.update(s, d, weights.empty() ? Weight{1} : weights[i])) {
+          added = true;
+        }
+        // Ligra's early exit: stop scanning once cond(d) flips (correct
+        // for first-writer-wins updates such as BFS parent assignment).
+        if (f.pull_early_exit && f.cond && !f.cond(d)) break;
+      }
+      if (added) out.push_back(d);
+    }
+    trace_.AddWork(p, work);
+    for (uint32_t q = 0; q < num_p; ++q) {
+      if (bytes[q] != 0) trace_.AddBytes(p, q, bytes[q]);
+    }
+  });
+  size_t total = 0;
+  for (const auto& r : results) total += r.size();
+  std::vector<VertexId> merged;
+  merged.reserve(total);
+  for (auto& r : results) {
+    merged.insert(merged.end(), r.begin(), r.end());
+  }
+  return VertexSubset::FromSparse(graph_->num_vertices(), std::move(merged));
+}
+
+void VertexSubsetEngine::VertexMap(const VertexSubset& subset,
+                                   const std::function<void(VertexId)>& fn,
+                                   bool charge_degree) {
+  const auto& vs = subset.Sparse();
+  trace_.BeginSuperstep();
+  const uint32_t num_p = partitioning_->num_partitions();
+  std::vector<std::vector<VertexId>> by_partition(num_p);
+  for (VertexId v : vs) {
+    by_partition[partitioning_->PartitionOf(v)].push_back(v);
+  }
+  DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
+    uint32_t p = static_cast<uint32_t>(pt);
+    uint64_t work = 0;
+    for (VertexId v : by_partition[p]) {
+      fn(v);
+      work += 1 + (charge_degree ? graph_->OutDegree(v) : 0);
+    }
+    trace_.AddWork(p, work);
+  });
+}
+
+VertexSubset VertexSubsetEngine::VertexFilter(
+    const VertexSubset& subset, const std::function<bool(VertexId)>& fn) {
+  const auto& vs = subset.Sparse();
+  trace_.BeginSuperstep();
+  const uint32_t num_p = partitioning_->num_partitions();
+  std::vector<std::vector<VertexId>> by_partition(num_p);
+  for (VertexId v : vs) {
+    by_partition[partitioning_->PartitionOf(v)].push_back(v);
+  }
+  std::vector<std::vector<VertexId>> results(num_p);
+  DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
+    uint32_t p = static_cast<uint32_t>(pt);
+    for (VertexId v : by_partition[p]) {
+      if (fn(v)) results[p].push_back(v);
+    }
+    trace_.AddWork(p, by_partition[p].size());
+  });
+  std::vector<VertexId> merged;
+  for (auto& r : results) merged.insert(merged.end(), r.begin(), r.end());
+  return VertexSubset::FromSparse(graph_->num_vertices(), std::move(merged));
+}
+
+}  // namespace gab

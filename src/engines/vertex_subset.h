@@ -1,0 +1,126 @@
+#ifndef GAB_ENGINES_VERTEX_SUBSET_H_
+#define GAB_ENGINES_VERTEX_SUBSET_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engines/trace.h"
+#include "graph/csr_graph.h"
+#include "graph/partition.h"
+#include "util/atomic_bitset.h"
+#include "util/threading.h"
+
+namespace gab {
+
+/// A set of vertices with dual sparse (id list) / dense (bitmap)
+/// representation — Ligra's core data structure. Conversions are lazy.
+class VertexSubset {
+ public:
+  VertexSubset() : num_vertices_(0) {}
+
+  static VertexSubset Empty(VertexId num_vertices);
+  static VertexSubset Single(VertexId num_vertices, VertexId v);
+  static VertexSubset All(VertexId num_vertices);
+  static VertexSubset FromSparse(VertexId num_vertices,
+                                 std::vector<VertexId> vertices);
+  static VertexSubset FromDense(VertexId num_vertices,
+                                std::vector<uint8_t> flags);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// O(1) with the dense form; materializes it on first use.
+  bool Contains(VertexId v) const;
+
+  /// Sparse id list (materialized on demand, unsorted).
+  const std::vector<VertexId>& Sparse() const;
+  /// Dense flag array (materialized on demand).
+  const std::vector<uint8_t>& Dense() const;
+
+ private:
+  VertexId num_vertices_;
+  size_t size_ = 0;
+  mutable bool has_sparse_ = false;
+  mutable bool has_dense_ = false;
+  mutable std::vector<VertexId> sparse_;
+  mutable std::vector<uint8_t> dense_;
+};
+
+/// Direction policy for EdgeMap (paper §8.2 credits Flash/Ligra's push-pull
+/// optimization for their sequential-algorithm efficiency).
+enum class EdgeMapDirection {
+  kAuto,  // Ligra's heuristic: pull when the frontier is heavy
+  kPush,
+  kPull,
+};
+
+struct EdgeMapOptions {
+  EdgeMapDirection direction = EdgeMapDirection::kAuto;
+  /// kAuto switches to pull when frontier degree sum > arcs / threshold.
+  uint64_t threshold_denominator = 20;
+};
+
+/// Ligra-style engine: EdgeMap/VertexMap over vertex subsets with
+/// direction optimization, running on the default thread pool, recording a
+/// partition-granular trace for the cluster simulator.
+class VertexSubsetEngine {
+ public:
+  struct Functors {
+    /// Applied edge-wise in push direction; must be thread-safe (CAS-like).
+    /// Returns true iff the destination became part of the output frontier.
+    std::function<bool(VertexId src, VertexId dst, Weight w)> update_atomic;
+    /// Applied edge-wise in pull direction; only one thread touches a given
+    /// destination, so no atomics are needed. Same return convention.
+    std::function<bool(VertexId src, VertexId dst, Weight w)> update;
+    /// Pull direction skips destinations failing this (e.g. already done).
+    std::function<bool(VertexId dst)> cond;
+    /// Pull direction may stop scanning a destination's in-edges once cond
+    /// flips (Ligra's early exit, correct for BFS-like "first writer wins"
+    /// updates but wrong for accumulating ones like PR/BC sigma).
+    bool pull_early_exit = false;
+  };
+
+  VertexSubsetEngine(const CsrGraph& g, uint32_t num_partitions,
+                     PartitionStrategy strategy = PartitionStrategy::kHash);
+
+  /// Applies the functors over edges out of `frontier`, returning the new
+  /// frontier. Starts a new superstep in the trace.
+  VertexSubset EdgeMap(const VertexSubset& frontier, const Functors& f,
+                       const EdgeMapOptions& options = EdgeMapOptions());
+
+  /// Applies fn to every subset member (parallel). Counts 1 work unit each,
+  /// plus the vertex's degree when charge_degree is set (for vertex maps
+  /// that scan their neighborhood, e.g. LPA's mode computation).
+  void VertexMap(const VertexSubset& subset,
+                 const std::function<void(VertexId)>& fn,
+                 bool charge_degree = false);
+
+  /// VertexMap variant returning the members for which fn returned true.
+  VertexSubset VertexFilter(const VertexSubset& subset,
+                            const std::function<bool(VertexId)>& fn);
+
+  const CsrGraph& graph() const { return *graph_; }
+  const Partitioning& partitioning() const { return *partitioning_; }
+  const ExecutionTrace& trace() const { return trace_; }
+  ExecutionTrace& mutable_trace() { return trace_; }
+
+  /// Direction chosen by the last EdgeMap (exposed for tests/ablation).
+  EdgeMapDirection last_direction() const { return last_direction_; }
+
+ private:
+  VertexSubset EdgeMapPush(const VertexSubset& frontier, const Functors& f);
+  VertexSubset EdgeMapPull(const VertexSubset& frontier, const Functors& f);
+
+  const CsrGraph* graph_;
+  std::unique_ptr<Partitioning> partitioning_;
+  ExecutionTrace trace_;
+  AtomicBitset out_flags_;
+  EdgeMapDirection last_direction_ = EdgeMapDirection::kAuto;
+};
+
+}  // namespace gab
+
+#endif  // GAB_ENGINES_VERTEX_SUBSET_H_

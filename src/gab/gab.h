@@ -1,0 +1,42 @@
+#ifndef GAB_GAB_H_
+#define GAB_GAB_H_
+
+/// Umbrella header for the GABench library: the graph analytics benchmark
+/// of "Revisiting Graph Analytics Benchmark" (SIGMOD 2025), reimplemented
+/// as a self-contained C++20 library. Include subsystem headers directly
+/// in performance-sensitive code; this header is for examples and quick
+/// starts.
+
+#include "algos/bc.h"                    // IWYU pragma: export
+#include "algos/bfs.h"                   // IWYU pragma: export
+#include "algos/core_decomposition.h"    // IWYU pragma: export
+#include "algos/kclique.h"               // IWYU pragma: export
+#include "algos/lcc.h"                   // IWYU pragma: export
+#include "algos/lpa.h"                   // IWYU pragma: export
+#include "algos/pagerank.h"              // IWYU pragma: export
+#include "algos/sssp.h"                  // IWYU pragma: export
+#include "algos/triangle_count.h"        // IWYU pragma: export
+#include "algos/verify.h"                // IWYU pragma: export
+#include "algos/wcc.h"                   // IWYU pragma: export
+#include "gen/classic.h"                 // IWYU pragma: export
+#include "gen/datasets.h"                // IWYU pragma: export
+#include "gen/fft_dg.h"                  // IWYU pragma: export
+#include "gen/ldbc_dg.h"                 // IWYU pragma: export
+#include "gen/weights.h"                 // IWYU pragma: export
+#include "graph/builder.h"               // IWYU pragma: export
+#include "graph/csr_graph.h"             // IWYU pragma: export
+#include "graph/io.h"                    // IWYU pragma: export
+#include "platforms/platform.h"          // IWYU pragma: export
+#include "platforms/registry.h"          // IWYU pragma: export
+#include "runtime/cluster_sim.h"         // IWYU pragma: export
+#include "runtime/executor.h"            // IWYU pragma: export
+#include "runtime/metrics.h"             // IWYU pragma: export
+#include "runtime/stress.h"              // IWYU pragma: export
+#include "stats/community.h"             // IWYU pragma: export
+#include "stats/correlation.h"           // IWYU pragma: export
+#include "stats/divergence.h"            // IWYU pragma: export
+#include "stats/graph_stats.h"           // IWYU pragma: export
+#include "usability/framework.h"         // IWYU pragma: export
+#include "util/table.h"                  // IWYU pragma: export
+
+#endif  // GAB_GAB_H_

@@ -1,0 +1,175 @@
+#include "gen/classic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gab {
+
+EdgeList GenerateErdosRenyi(VertexId n, EdgeId m, uint64_t seed) {
+  GAB_CHECK(n >= 2);
+  Rng rng(seed);
+  EdgeList edges(n);
+  edges.Reserve(m);
+  for (EdgeId i = 0; i < m; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    while (v == u) v = static_cast<VertexId>(rng.NextBounded(n));
+    edges.AddEdge(u, v);
+  }
+  return edges;
+}
+
+EdgeList GenerateWattsStrogatz(VertexId n, uint32_t k, double beta,
+                               uint64_t seed) {
+  GAB_CHECK(n >= 2);
+  GAB_CHECK(k >= 1);
+  Rng rng(seed);
+  EdgeList edges(n);
+  edges.Reserve(static_cast<size_t>(n) * k);
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint32_t d = 1; d <= k; ++d) {
+      VertexId v = static_cast<VertexId>((u + d) % n);
+      if (rng.NextUnit() < beta) {
+        // Rewire to a uniform random target.
+        v = static_cast<VertexId>(rng.NextBounded(n));
+        while (v == u) v = static_cast<VertexId>(rng.NextBounded(n));
+      }
+      edges.AddEdge(u, v);
+    }
+  }
+  return edges;
+}
+
+EdgeList GenerateBarabasiAlbert(VertexId n, uint32_t attach, uint64_t seed) {
+  GAB_CHECK(n >= 2);
+  GAB_CHECK(attach >= 1);
+  Rng rng(seed);
+  EdgeList edges(n);
+  // `targets` holds one entry per edge endpoint, so uniform sampling from it
+  // is degree-proportional sampling — the standard BA trick.
+  std::vector<VertexId> targets;
+  targets.reserve(static_cast<size_t>(n) * attach * 2);
+  // Seed clique over the first attach+1 vertices.
+  VertexId seed_size = std::min<VertexId>(n, attach + 1);
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      edges.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (VertexId u = seed_size; u < n; ++u) {
+    for (uint32_t a = 0; a < attach; ++a) {
+      VertexId v = targets[rng.NextBounded(targets.size())];
+      if (v == u) v = static_cast<VertexId>(rng.NextBounded(u));
+      edges.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  edges.set_num_vertices(n);
+  return edges;
+}
+
+EdgeList GenerateRmat(uint32_t scale, EdgeId m, double a, double b, double c,
+                      uint64_t seed) {
+  GAB_CHECK(scale >= 1 && scale < 31);
+  double d = 1.0 - a - b - c;
+  GAB_CHECK(d >= 0.0);
+  Rng rng(seed);
+  VertexId n = VertexId{1} << scale;
+  EdgeList edges(n);
+  edges.Reserve(m);
+  for (EdgeId i = 0; i < m; ++i) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.NextUnit();
+      // Quadrant choice: (0,0) w.p. a, (0,1) w.p. b, (1,0) w.p. c, else (1,1).
+      uint32_t ubit = (r >= a + b) ? 1 : 0;
+      uint32_t vbit = (r >= a && r < a + b) || (r >= a + b + c) ? 1 : 0;
+      u = (u << 1) | ubit;
+      v = (v << 1) | vbit;
+    }
+    if (u == v) {
+      v ^= 1;  // deterministic self-loop fixup
+    }
+    edges.AddEdge(u, v);
+  }
+  edges.set_num_vertices(n);
+  return edges;
+}
+
+EdgeList GenerateRealWorldProxy(const RealWorldProxyConfig& config,
+                                std::vector<uint32_t>* community_of) {
+  const VertexId n = config.num_vertices;
+  GAB_CHECK(n >= 16);
+  Rng rng(config.seed);
+  EdgeList edges(n);
+
+  // Carve [0, n) into contiguous communities with power-law sizes around
+  // mean_community_size (exponent 2.5, min size 8).
+  std::vector<VertexId> community_start;
+  if (community_of != nullptr) community_of->assign(n, 0);
+  VertexId pos = 0;
+  uint32_t community = 0;
+  const double gamma = 2.5;
+  const uint32_t min_size = 8;
+  while (pos < n) {
+    double u = rng.NextUnitOpenClosed();
+    double raw = static_cast<double>(min_size) *
+                 std::pow(u, -1.0 / (gamma - 1.0));
+    // Scale so the mean lands near mean_community_size:
+    // E[pareto(min=8, gamma=2.5)] = 8 * 1.5 / 0.5 = 24.
+    raw *= static_cast<double>(config.mean_community_size) / 24.0;
+    VertexId size = static_cast<VertexId>(
+        std::min<double>(raw, static_cast<double>(n) / 4));
+    if (size < min_size) size = min_size;
+    if (pos + size > n) size = n - pos;
+    community_start.push_back(pos);
+
+    // Intra-community Watts–Strogatz ring with rewiring *inside* the
+    // community: high clustering, community-local.
+    for (VertexId i = 0; i < size; ++i) {
+      VertexId u_local = pos + i;
+      if (community_of != nullptr) (*community_of)[u_local] = community;
+      for (uint32_t dd = 1; dd <= config.intra_k && dd < size; ++dd) {
+        VertexId v_local = pos + (i + dd) % size;
+        if (rng.NextUnit() < config.intra_beta && size > 2) {
+          v_local = pos + static_cast<VertexId>(rng.NextBounded(size));
+          while (v_local == u_local) {
+            v_local = pos + static_cast<VertexId>(rng.NextBounded(size));
+          }
+        }
+        if (u_local < v_local) edges.AddEdge(u_local, v_local);
+        else if (v_local < u_local) edges.AddEdge(v_local, u_local);
+      }
+    }
+    pos += size;
+    ++community;
+  }
+
+  // Global preferential-attachment overlay: power-law hubs + small diameter.
+  std::vector<VertexId> targets;
+  targets.reserve(static_cast<size_t>(n) * config.global_attach * 2);
+  for (const Edge& e : edges.edges()) {
+    targets.push_back(e.src);
+    targets.push_back(e.dst);
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint32_t a = 0; a < config.global_attach; ++a) {
+      VertexId v = targets[rng.NextBounded(targets.size())];
+      if (v == u) continue;
+      edges.AddEdge(std::min(u, v), std::max(u, v));
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  edges.set_num_vertices(n);
+  return edges;
+}
+
+}  // namespace gab

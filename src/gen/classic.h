@@ -1,0 +1,62 @@
+#ifndef GAB_GEN_CLASSIC_H_
+#define GAB_GEN_CLASSIC_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace gab {
+
+/// Classic random-graph generators (paper Section 2, "Synthetic Graph Data
+/// Generators in Benchmarks"). They serve three purposes here: baselines in
+/// generator tests, building blocks of the real-world proxy graph, and
+/// reference points for the ablation benches.
+
+/// Erdős–Rényi G(n, m): m edges drawn uniformly at random (no self loops;
+/// duplicates are possible and removed by the builder).
+EdgeList GenerateErdosRenyi(VertexId n, EdgeId m, uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side,
+/// each edge rewired with probability beta. High clustering, low diameter.
+EdgeList GenerateWattsStrogatz(VertexId n, uint32_t k, double beta,
+                               uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices with probability proportional to degree.
+/// Produces a power-law degree distribution.
+EdgeList GenerateBarabasiAlbert(VertexId n, uint32_t attach, uint64_t seed);
+
+/// R-MAT / Kronecker-style recursive generator (Graph500's model):
+/// 2^scale vertices, edge endpoints chosen by recursive quadrant descent
+/// with probabilities (a, b, c, d = 1-a-b-c).
+EdgeList GenerateRmat(uint32_t scale, EdgeId m, double a, double b, double c,
+                      uint64_t seed);
+
+/// The "LiveJournal proxy": an independent generator used as the
+/// ground-truth target of the Table 8/9 similarity experiments (the real
+/// LiveJournal snapshot is not available offline; see DESIGN.md).
+/// Communities with power-law sizes are built as dense Watts–Strogatz
+/// blocks, then overlaid with Barabási–Albert long-range edges — yielding
+/// the high clustering + power-law degrees + small diameter mix of real
+/// social networks, produced by a mechanism neither FFT-DG nor LDBC-DG uses.
+struct RealWorldProxyConfig {
+  VertexId num_vertices = 100000;
+  /// Mean community size (community sizes are power-law distributed).
+  uint32_t mean_community_size = 60;
+  /// Ring-lattice half-width inside communities.
+  uint32_t intra_k = 6;
+  /// Rewiring probability inside communities.
+  double intra_beta = 0.1;
+  /// Global preferential-attachment edges per vertex.
+  uint32_t global_attach = 3;
+  uint64_t seed = 1;
+};
+
+/// Generates the proxy graph and, optionally, the planted community id per
+/// vertex (used by the community-statistics pipeline).
+EdgeList GenerateRealWorldProxy(const RealWorldProxyConfig& config,
+                                std::vector<uint32_t>* community_of = nullptr);
+
+}  // namespace gab
+
+#endif  // GAB_GEN_CLASSIC_H_

@@ -1,0 +1,76 @@
+#include "gen/datasets.h"
+
+#include <cmath>
+
+#include "graph/builder.h"
+#include "util/logging.h"
+
+namespace gab {
+
+namespace {
+
+std::string ScaleName(uint32_t scale, const char* suffix) {
+  return "S" + std::to_string(scale) + "-" + suffix;
+}
+
+}  // namespace
+
+VertexId ScaleVertices(uint32_t scale) {
+  GAB_CHECK(scale >= 3 && scale <= 9);
+  double n = 3.6 * std::pow(10.0, static_cast<double>(scale) - 2.0);
+  return static_cast<VertexId>(n);
+}
+
+DatasetSpec StdDataset(uint32_t scale) {
+  return {ScaleName(scale, "Std"), ScaleVertices(scale), /*alpha=*/10.0,
+          /*target_diameter=*/0, /*seed=*/42};
+}
+
+DatasetSpec DenseDataset(uint32_t scale) {
+  // Paper: Dense keeps roughly the same edge count with a third of the
+  // vertices by raising alpha to 1000 (S8-Dense: 1.2M vs S8-Std: 3.6M).
+  return {ScaleName(scale, "Dense"), ScaleVertices(scale) / 3,
+          /*alpha=*/1000.0, /*target_diameter=*/0, /*seed=*/43};
+}
+
+DatasetSpec DiamDataset(uint32_t scale) {
+  return {ScaleName(scale, "Diam"), ScaleVertices(scale), /*alpha=*/10.0,
+          /*target_diameter=*/100, /*seed=*/44};
+}
+
+std::vector<DatasetSpec> DefaultDatasets(uint32_t base_scale) {
+  std::vector<DatasetSpec> specs;
+  specs.push_back(StdDataset(base_scale));
+  specs.push_back(DenseDataset(base_scale));
+  specs.push_back(DiamDataset(base_scale));
+  specs.push_back(StdDataset(base_scale + 1));
+  specs.push_back(DenseDataset(base_scale + 1));
+  specs.push_back(DiamDataset(base_scale + 1));
+  // The paper's S9.5-Std and S10-Std analogues (used by the stress test):
+  // intermediate and double-step scales.
+  DatasetSpec s_half = StdDataset(base_scale + 1);
+  s_half.name = "S" + std::to_string(base_scale + 1) + ".5-Std";
+  s_half.num_vertices = static_cast<VertexId>(
+      static_cast<double>(ScaleVertices(base_scale + 1)) * 2.83);
+  s_half.seed = 45;
+  specs.push_back(s_half);
+  specs.push_back(StdDataset(base_scale + 2));
+  return specs;
+}
+
+FftDgConfig ConfigForDataset(const DatasetSpec& spec) {
+  FftDgConfig config;
+  config.num_vertices = spec.num_vertices;
+  config.alpha = spec.alpha;
+  config.target_diameter = spec.target_diameter;
+  config.weighted = true;  // SSSP needs weights; other algorithms ignore them
+  config.seed = spec.seed;
+  return config;
+}
+
+CsrGraph BuildDataset(const DatasetSpec& spec) {
+  EdgeList edges = GenerateFftDg(ConfigForDataset(spec));
+  return GraphBuilder::Build(std::move(edges));
+}
+
+}  // namespace gab

@@ -1,0 +1,45 @@
+#ifndef GAB_GEN_DATASETS_H_
+#define GAB_GEN_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "gen/fft_dg.h"
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// A named benchmark dataset recipe (paper Table 4). Datasets are always
+/// regenerated deterministically from the recipe rather than shipped.
+struct DatasetSpec {
+  std::string name;         // e.g. "S6-Std"
+  VertexId num_vertices;
+  double alpha;             // FFT-DG density factor (Std: 10, Dense: 1000)
+  uint32_t target_diameter; // 0 = standard small-world, ~100 for Diam
+  uint64_t seed;
+};
+
+/// Vertex count of the Sx-Std dataset: 3.6 * 10^(x-2), matching the paper's
+/// scale naming (S8-Std has 3.6M vertices; this repo defaults to S6).
+VertexId ScaleVertices(uint32_t scale);
+
+/// The three dataset variants at one scale (paper Section 4.3):
+/// Std (alpha=10), Dense (n/3 vertices, alpha=1000), Diam (diameter ~100).
+DatasetSpec StdDataset(uint32_t scale);
+DatasetSpec DenseDataset(uint32_t scale);
+DatasetSpec DiamDataset(uint32_t scale);
+
+/// The full eight-dataset default family mirroring Table 4's structure:
+/// {Sx, Sx+1} x {Std, Dense, Diam}, plus Sx+1.5-Std and Sx+2-Std.
+/// base_scale defaults to the GAB_SCALE environment variable (or 6).
+std::vector<DatasetSpec> DefaultDatasets(uint32_t base_scale);
+
+/// Generates the dataset as an undirected weighted CSR graph.
+CsrGraph BuildDataset(const DatasetSpec& spec);
+
+/// The FFT-DG configuration a spec expands to (exposed for tests/benches).
+FftDgConfig ConfigForDataset(const DatasetSpec& spec);
+
+}  // namespace gab
+
+#endif  // GAB_GEN_DATASETS_H_

@@ -1,0 +1,33 @@
+#ifndef GAB_GEN_GENERATOR_H_
+#define GAB_GEN_GENERATOR_H_
+
+#include <cstdint>
+
+namespace gab {
+
+/// Instrumentation shared by all generators. The paper's Figure 9 compares
+/// generators by trials-per-edge and edges-per-second; every generator
+/// reports both ingredients here.
+struct GenStats {
+  /// Total sampling attempts (accepted + rejected + overshoot draws).
+  uint64_t trials = 0;
+  /// Edges actually emitted.
+  uint64_t edges = 0;
+  /// Wall-clock seconds spent inside the edge-sampling loop.
+  double seconds = 0.0;
+
+  double TrialsPerEdge() const {
+    return edges == 0 ? 0.0 : static_cast<double>(trials) /
+                                  static_cast<double>(edges);
+  }
+  double EdgesPerSecond() const {
+    return seconds <= 0.0 ? 0.0 : static_cast<double>(edges) / seconds;
+  }
+  double TrialsPerSecond() const {
+    return seconds <= 0.0 ? 0.0 : static_cast<double>(trials) / seconds;
+  }
+};
+
+}  // namespace gab
+
+#endif  // GAB_GEN_GENERATOR_H_

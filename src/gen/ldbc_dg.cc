@@ -1,0 +1,78 @@
+#include "gen/ldbc_dg.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace gab {
+
+LdbcDgConfig LdbcConfigForAlpha(VertexId num_vertices, double alpha) {
+  LdbcDgConfig config;
+  config.num_vertices = num_vertices;
+  config.p_limit = 0.2 * alpha / 1000.0;
+  if (config.p_limit > 0.95) config.p_limit = 0.95;
+  return config;
+}
+
+EdgeList GenerateLdbcDg(const LdbcDgConfig& config, GenStats* stats) {
+  GAB_CHECK(config.num_vertices >= 2);
+  GAB_CHECK(config.base_p > 0.0 && config.base_p < 1.0);
+  GAB_CHECK(config.p_limit > 0.0 && config.p_limit <= 1.0);
+
+  const VertexId n = config.num_vertices;
+  Rng rng(config.seed);
+  std::vector<uint32_t> budget;
+  if (config.explicit_budgets.empty()) {
+    budget = SampleTargetDegrees(config.degrees, n, rng);
+  } else {
+    GAB_CHECK(config.explicit_budgets.size() == n);
+    budget = config.explicit_budgets;
+  }
+
+  EdgeList edges(n);
+  GenStats local;
+  WallTimer timer;
+  bool capped = false;
+
+  for (VertexId i = 0; i < n - 1 && !capped; ++i) {
+    uint32_t accepted = 0;
+    // Probability decays multiplicatively with distance until it floors at
+    // p_limit; tracking it incrementally avoids a pow() per probe (this is
+    // why LDBC-DG performs *trials* faster than FFT-DG even though it needs
+    // many more of them per edge).
+    double p = 1.0;
+    bool floored = false;
+    for (uint64_t j = static_cast<uint64_t>(i) + 1;
+         j < n && accepted < budget[i]; ++j) {
+      if (!floored) {
+        p *= config.base_p;
+        if (p <= config.p_limit) {
+          p = config.p_limit;
+          floored = true;
+        }
+      }
+      ++local.trials;
+      if (rng.NextUnit() >= p) continue;  // failed trial
+      if (config.weighted) {
+        edges.AddEdge(i, static_cast<VertexId>(j),
+                      static_cast<Weight>(rng.NextBounded(kMaxEdgeWeight) + 1));
+      } else {
+        edges.AddEdge(i, static_cast<VertexId>(j));
+      }
+      ++local.edges;
+      ++accepted;
+      if (config.max_edges != 0 && local.edges >= config.max_edges) {
+        capped = true;
+        break;
+      }
+    }
+  }
+
+  local.seconds = timer.Seconds();
+  if (stats != nullptr) *stats = local;
+  return edges;
+}
+
+}  // namespace gab

@@ -1,0 +1,52 @@
+#ifndef GAB_GEN_LDBC_DG_H_
+#define GAB_GEN_LDBC_DG_H_
+
+#include <cstdint>
+
+#include "gen/degree_dist.h"
+#include "gen/generator.h"
+#include "graph/edge_list.h"
+
+namespace gab {
+
+/// LDBC Graphalytics data generator (LDBC-DG) — the baseline FFT-DG is
+/// compared against (paper Section 4, Figure 1).
+///
+/// After drawing per-vertex degree budgets and ordering vertices by
+/// similarity (steps shared with FFT-DG), LDBC-DG probes every candidate
+/// position j > i successively and accepts the edge (i, j) with probability
+///
+///   Pr[e(u_i, u_j)] = max(p^(j-i), p_limit).
+///
+/// Each probe is a trial; the rapidly decaying exponential means most
+/// probes fail, which is exactly the inefficiency FFT-DG removes.
+struct LdbcDgConfig {
+  VertexId num_vertices = 0;
+  /// Base probability p (paper default 0.95).
+  double base_p = 0.95;
+  /// Probability lower bound p_limit (paper default 0.2). Lowering it makes
+  /// the generated graph sparser — and the generator slower, since the
+  /// acceptance rate of distant probes drops with it.
+  double p_limit = 0.2;
+  /// Per-vertex degree-budget distribution (same step 1 as FFT-DG).
+  DegreeDistConfig degrees;
+  /// When non-empty (size must equal num_vertices), overrides the sampled
+  /// budgets (see FitBudgetsToGraph in gen/degree_dist.h).
+  std::vector<uint32_t> explicit_budgets;
+  bool weighted = false;
+  EdgeId max_edges = 0;
+  uint64_t seed = 1;
+};
+
+/// Maps the benchmark's density factor alpha onto LDBC-DG's density knob so
+/// the Figure 9 sweep drives both generators with one parameter:
+/// p_limit = 0.2 * alpha / 1000 (alpha = 1000 recovers the LDBC default).
+LdbcDgConfig LdbcConfigForAlpha(VertexId num_vertices, double alpha);
+
+/// Runs LDBC-DG and returns the (forward-only) edge list. Optionally
+/// reports trial/edge/time statistics.
+EdgeList GenerateLdbcDg(const LdbcDgConfig& config, GenStats* stats = nullptr);
+
+}  // namespace gab
+
+#endif  // GAB_GEN_LDBC_DG_H_

@@ -1,0 +1,17 @@
+#include "gen/weights.h"
+
+#include "util/rng.h"
+
+namespace gab {
+
+void AssignUniformWeights(EdgeList* edges, uint64_t seed) {
+  if (edges->has_weights()) return;
+  Rng rng(seed);
+  auto& weights = edges->mutable_weights();
+  weights.resize(edges->num_edges());
+  for (auto& w : weights) {
+    w = static_cast<Weight>(rng.NextBounded(kMaxEdgeWeight) + 1);
+  }
+}
+
+}  // namespace gab

@@ -1,0 +1,17 @@
+#ifndef GAB_GEN_WEIGHTS_H_
+#define GAB_GEN_WEIGHTS_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace gab {
+
+/// Assigns uniform integer weights in [1, kMaxEdgeWeight] to every edge of
+/// an unweighted edge list (used to weight graphs from generators that do
+/// not produce weights themselves). No-op if already weighted.
+void AssignUniformWeights(EdgeList* edges, uint64_t seed);
+
+}  // namespace gab
+
+#endif  // GAB_GEN_WEIGHTS_H_

@@ -1,0 +1,114 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace gab {
+
+CsrGraph GraphBuilder::Build(EdgeList edges, const Options& options) {
+  if (options.undirected) {
+    // Canonicalize to src < dst before deduplication so an undirected edge
+    // has exactly one weight even when the input contains both (u, v) and
+    // (v, u) with different weights — otherwise the two stored directions
+    // would disagree and pull-based engines would relax with the wrong arc.
+    for (Edge& e : edges.mutable_edges()) {
+      if (e.src > e.dst) std::swap(e.src, e.dst);
+    }
+    // Undirected graphs are always deduplicated and self-loop free (a
+    // self loop would otherwise become an odd, ill-defined half-arc).
+    edges.SortAndDedupe(/*remove_self_loops=*/true);
+    edges.Symmetrize();
+    edges.SortAndDedupe(/*remove_self_loops=*/false);
+  } else if (options.dedupe || options.remove_self_loops) {
+    edges.SortAndDedupe(options.remove_self_loops);
+  }
+
+  const VertexId n = edges.num_vertices();
+  const auto& e = edges.edges();
+  const auto& w = edges.weights();
+  const bool weighted = edges.has_weights();
+
+  CsrGraph g;
+  g.num_vertices_ = n;
+  g.undirected_ = options.undirected;
+
+  // Counting pass over sources.
+  g.out_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (const Edge& edge : e) ++g.out_offsets_[edge.src + 1];
+  for (VertexId v = 0; v < n; ++v) g.out_offsets_[v + 1] += g.out_offsets_[v];
+
+  g.out_neighbors_.resize(e.size());
+  if (weighted) g.out_weights_.resize(e.size());
+  {
+    std::vector<EdgeId> cursor(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+    for (size_t i = 0; i < e.size(); ++i) {
+      EdgeId pos = cursor[e[i].src]++;
+      g.out_neighbors_[pos] = e[i].dst;
+      if (weighted) g.out_weights_[pos] = w[i];
+    }
+  }
+  // SortAndDedupe already ordered (src, dst); when dedupe was skipped the
+  // neighbor lists may be unsorted, so sort them per vertex.
+  if (!options.dedupe && !options.remove_self_loops) {
+    for (VertexId v = 0; v < n; ++v) {
+      auto begin = g.out_neighbors_.begin() + g.out_offsets_[v];
+      auto end = g.out_neighbors_.begin() + g.out_offsets_[v + 1];
+      if (weighted) {
+        // Keep weights aligned: sort index pairs.
+        size_t deg = static_cast<size_t>(end - begin);
+        std::vector<std::pair<VertexId, Weight>> tmp(deg);
+        for (size_t i = 0; i < deg; ++i) {
+          tmp[i] = {g.out_neighbors_[g.out_offsets_[v] + i],
+                    g.out_weights_[g.out_offsets_[v] + i]};
+        }
+        std::sort(tmp.begin(), tmp.end());
+        for (size_t i = 0; i < deg; ++i) {
+          g.out_neighbors_[g.out_offsets_[v] + i] = tmp[i].first;
+          g.out_weights_[g.out_offsets_[v] + i] = tmp[i].second;
+        }
+      } else {
+        std::sort(begin, end);
+      }
+    }
+  }
+
+  if (options.undirected) {
+    GAB_CHECK(e.size() % 2 == 0);
+    g.num_edges_ = e.size() / 2;
+  } else {
+    g.num_edges_ = e.size();
+    if (options.build_in_edges) {
+      g.in_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+      for (const Edge& edge : e) ++g.in_offsets_[edge.dst + 1];
+      for (VertexId v = 0; v < n; ++v) {
+        g.in_offsets_[v + 1] += g.in_offsets_[v];
+      }
+      g.in_neighbors_.resize(e.size());
+      if (weighted) g.in_weights_.resize(e.size());
+      std::vector<EdgeId> cursor(g.in_offsets_.begin(),
+                                 g.in_offsets_.end() - 1);
+      for (size_t i = 0; i < e.size(); ++i) {
+        EdgeId pos = cursor[e[i].dst]++;
+        g.in_neighbors_[pos] = e[i].src;
+        if (weighted) g.in_weights_[pos] = w[i];
+      }
+      // (src sorted order within each dst bucket comes for free because the
+      // edge list is sorted by (src, dst).)
+    }
+  }
+  return g;
+}
+
+CsrGraph GraphBuilder::FromPairs(
+    VertexId num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs, bool undirected) {
+  EdgeList el(num_vertices);
+  for (const auto& [s, d] : pairs) el.AddEdge(s, d);
+  Options options;
+  options.undirected = undirected;
+  return Build(std::move(el), options);
+}
+
+}  // namespace gab

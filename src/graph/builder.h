@@ -1,0 +1,44 @@
+#ifndef GAB_GRAPH_BUILDER_H_
+#define GAB_GRAPH_BUILDER_H_
+
+#include "graph/csr_graph.h"
+#include "graph/edge_list.h"
+
+namespace gab {
+
+/// Converts edge lists into immutable CsrGraph instances.
+class GraphBuilder {
+ public:
+  struct Options {
+    /// Store every edge in both directions and treat the result as
+    /// undirected (the default for this benchmark's core algorithms; the
+    /// paper runs WCC and the subgraph algorithms on undirected graphs).
+    /// Undirected graphs are always deduplicated with self loops removed,
+    /// and {u, v} carries one weight regardless of input direction.
+    bool undirected = true;
+    /// Drop (u, u) edges.
+    bool remove_self_loops = true;
+    /// Drop duplicate edges (first weight wins).
+    bool dedupe = true;
+    /// For directed graphs, also build the reverse adjacency.
+    bool build_in_edges = true;
+  };
+
+  /// Builds a CSR graph. The input edge list is consumed (moved from) to
+  /// avoid a doubled peak memory footprint on large graphs.
+  static CsrGraph Build(EdgeList edges, const Options& options);
+
+  /// Builds with default options (undirected, deduped, no self loops).
+  static CsrGraph Build(EdgeList edges) { return Build(std::move(edges), Options()); }
+
+  /// Convenience: builds an undirected weighted/unweighted graph from raw
+  /// (src, dst) pairs. Used heavily by tests.
+  static CsrGraph FromPairs(VertexId num_vertices,
+                            const std::vector<std::pair<VertexId, VertexId>>&
+                                pairs,
+                            bool undirected = true);
+};
+
+}  // namespace gab
+
+#endif  // GAB_GRAPH_BUILDER_H_

@@ -1,0 +1,57 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gab {
+
+size_t CsrGraph::InDegree(VertexId v) const {
+  if (undirected_) return OutDegree(v);
+  GAB_DCHECK(!in_offsets_.empty());
+  return static_cast<size_t>(in_offsets_[v + 1] - in_offsets_[v]);
+}
+
+std::span<const VertexId> CsrGraph::InNeighbors(VertexId v) const {
+  if (undirected_) return OutNeighbors(v);
+  GAB_DCHECK(!in_offsets_.empty());
+  return {in_neighbors_.data() + in_offsets_[v],
+          in_neighbors_.data() + in_offsets_[v + 1]};
+}
+
+std::span<const Weight> CsrGraph::InWeights(VertexId v) const {
+  if (undirected_) return OutWeights(v);
+  GAB_DCHECK(!in_offsets_.empty());
+  return {in_weights_.data() + in_offsets_[v],
+          in_weights_.data() + in_offsets_[v + 1]};
+}
+
+bool CsrGraph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+CsrGraph CsrGraph::Clone() const {
+  CsrGraph g;
+  g.num_vertices_ = num_vertices_;
+  g.num_edges_ = num_edges_;
+  g.undirected_ = undirected_;
+  g.out_offsets_ = out_offsets_;
+  g.out_neighbors_ = out_neighbors_;
+  g.out_weights_ = out_weights_;
+  g.in_offsets_ = in_offsets_;
+  g.in_neighbors_ = in_neighbors_;
+  g.in_weights_ = in_weights_;
+  return g;
+}
+
+size_t CsrGraph::MemoryBytes() const {
+  return out_offsets_.size() * sizeof(EdgeId) +
+         out_neighbors_.size() * sizeof(VertexId) +
+         out_weights_.size() * sizeof(Weight) +
+         in_offsets_.size() * sizeof(EdgeId) +
+         in_neighbors_.size() * sizeof(VertexId) +
+         in_weights_.size() * sizeof(Weight);
+}
+
+}  // namespace gab

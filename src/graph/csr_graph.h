@@ -1,0 +1,90 @@
+#ifndef GAB_GRAPH_CSR_GRAPH_H_
+#define GAB_GRAPH_CSR_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gab {
+
+/// Immutable compressed-sparse-row graph. This is the single in-memory
+/// format every engine and algorithm consumes.
+///
+/// For undirected graphs each edge is stored in both adjacency directions and
+/// num_edges() counts *undirected* edges (half the stored arcs). For directed
+/// graphs num_edges() counts arcs and the reverse (in-) adjacency is stored
+/// separately when built with GraphBuilder::Options::build_in_edges.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  // Movable, not copyable: graphs are large; use Clone() for explicit copies.
+  CsrGraph(CsrGraph&&) = default;
+  CsrGraph& operator=(CsrGraph&&) = default;
+  CsrGraph(const CsrGraph&) = delete;
+  CsrGraph& operator=(const CsrGraph&) = delete;
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return num_edges_; }
+  /// Stored arc count (== 2 * num_edges() for undirected graphs).
+  EdgeId num_arcs() const { return out_neighbors_.size(); }
+  bool is_undirected() const { return undirected_; }
+  bool has_weights() const { return !out_weights_.empty(); }
+  bool has_in_edges() const { return undirected_ || !in_offsets_.empty(); }
+
+  size_t OutDegree(VertexId v) const {
+    return static_cast<size_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {out_neighbors_.data() + out_offsets_[v],
+            out_neighbors_.data() + out_offsets_[v + 1]};
+  }
+  std::span<const Weight> OutWeights(VertexId v) const {
+    return {out_weights_.data() + out_offsets_[v],
+            out_weights_.data() + out_offsets_[v + 1]};
+  }
+
+  size_t InDegree(VertexId v) const;
+  std::span<const VertexId> InNeighbors(VertexId v) const;
+  std::span<const Weight> InWeights(VertexId v) const;
+
+  /// Degree in the undirected sense (== OutDegree for undirected graphs).
+  size_t Degree(VertexId v) const {
+    return undirected_ ? OutDegree(v) : OutDegree(v) + InDegree(v);
+  }
+
+  /// True iff the (sorted) out-adjacency of u contains v. O(log deg(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Deep copy (explicit because copies are expensive).
+  CsrGraph Clone() const;
+
+  /// Approximate resident bytes of the CSR arrays.
+  size_t MemoryBytes() const;
+
+  const std::vector<EdgeId>& out_offsets() const { return out_offsets_; }
+  const std::vector<VertexId>& out_neighbors() const { return out_neighbors_; }
+  const std::vector<Weight>& out_weights() const { return out_weights_; }
+
+ private:
+  friend class GraphBuilder;
+
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
+  bool undirected_ = true;
+
+  std::vector<EdgeId> out_offsets_;       // n+1
+  std::vector<VertexId> out_neighbors_;   // sorted per vertex
+  std::vector<Weight> out_weights_;       // parallel to out_neighbors_
+
+  // Reverse adjacency; empty for undirected graphs (out arrays serve both).
+  std::vector<EdgeId> in_offsets_;
+  std::vector<VertexId> in_neighbors_;
+  std::vector<Weight> in_weights_;
+};
+
+}  // namespace gab
+
+#endif  // GAB_GRAPH_CSR_GRAPH_H_

@@ -1,0 +1,72 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace gab {
+
+void EdgeList::AddEdge(VertexId src, VertexId dst) {
+  GAB_DCHECK(weights_.empty());
+  edges_.push_back({src, dst});
+  VertexId hi = std::max(src, dst);
+  if (hi >= num_vertices_) num_vertices_ = hi + 1;
+}
+
+void EdgeList::AddEdge(VertexId src, VertexId dst, Weight w) {
+  GAB_CHECK(weights_.size() == edges_.size());
+  edges_.push_back({src, dst});
+  weights_.push_back(w);
+  VertexId hi = std::max(src, dst);
+  if (hi >= num_vertices_) num_vertices_ = hi + 1;
+}
+
+size_t EdgeList::SortAndDedupe(bool remove_self_loops) {
+  size_t before = edges_.size();
+  if (weights_.empty()) {
+    std::sort(edges_.begin(), edges_.end());
+    auto last = std::unique(edges_.begin(), edges_.end());
+    edges_.erase(last, edges_.end());
+    if (remove_self_loops) {
+      edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                                  [](const Edge& e) { return e.src == e.dst; }),
+                   edges_.end());
+    }
+    return before - edges_.size();
+  }
+  // Weighted: sort an index permutation, then compact keeping first weight.
+  std::vector<size_t> order(edges_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (edges_[a] != edges_[b]) return edges_[a] < edges_[b];
+    return a < b;  // stable: the earliest weight wins
+  });
+  std::vector<Edge> new_edges;
+  std::vector<Weight> new_weights;
+  new_edges.reserve(edges_.size());
+  new_weights.reserve(edges_.size());
+  for (size_t idx : order) {
+    const Edge& e = edges_[idx];
+    if (remove_self_loops && e.src == e.dst) continue;
+    if (!new_edges.empty() && new_edges.back() == e) continue;
+    new_edges.push_back(e);
+    new_weights.push_back(weights_[idx]);
+  }
+  edges_ = std::move(new_edges);
+  weights_ = std::move(new_weights);
+  return before - edges_.size();
+}
+
+void EdgeList::Symmetrize() {
+  size_t original = edges_.size();
+  edges_.reserve(original * 2);
+  if (!weights_.empty()) weights_.reserve(original * 2);
+  for (size_t i = 0; i < original; ++i) {
+    Edge e = edges_[i];
+    edges_.push_back({e.dst, e.src});
+    if (!weights_.empty()) weights_.push_back(weights_[i]);
+  }
+}
+
+}  // namespace gab

@@ -1,0 +1,55 @@
+#ifndef GAB_GRAPH_EDGE_LIST_H_
+#define GAB_GRAPH_EDGE_LIST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gab {
+
+/// Mutable edge-list representation produced by the data generators and
+/// consumed by GraphBuilder. Weights are optional and, when present, run
+/// parallel to edges().
+class EdgeList {
+ public:
+  EdgeList() : num_vertices_(0) {}
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  void set_num_vertices(VertexId n) { num_vertices_ = n; }
+
+  EdgeId num_edges() const { return edges_.size(); }
+  bool has_weights() const { return !weights_.empty(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& mutable_edges() { return edges_; }
+  const std::vector<Weight>& weights() const { return weights_; }
+  std::vector<Weight>& mutable_weights() { return weights_; }
+
+  void Reserve(size_t n) { edges_.reserve(n); }
+
+  /// Appends an unweighted edge. Grows num_vertices if endpoints exceed it.
+  void AddEdge(VertexId src, VertexId dst);
+
+  /// Appends a weighted edge; only valid if the list is empty or weighted.
+  void AddEdge(VertexId src, VertexId dst, Weight w);
+
+  /// Sorts by (src, dst) and removes duplicate edges (keeping the first
+  /// weight) and, optionally, self loops. Returns removed edge count.
+  size_t SortAndDedupe(bool remove_self_loops);
+
+  /// Adds the reverse of every edge (skipping those already present is the
+  /// builder's dedupe job); used to turn a one-direction generator output
+  /// into an undirected graph.
+  void Symmetrize();
+
+ private:
+  VertexId num_vertices_;
+  std::vector<Edge> edges_;
+  std::vector<Weight> weights_;
+};
+
+}  // namespace gab
+
+#endif  // GAB_GRAPH_EDGE_LIST_H_

@@ -1,0 +1,129 @@
+#include "graph/io.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace gab {
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x4741424547463031ULL;  // "GABEGF01"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status WriteEdgeListText(const EdgeList& edges, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  std::fprintf(f.get(), "# gabench edge list: %u vertices, %" PRIu64 " edges\n",
+               edges.num_vertices(), edges.num_edges());
+  const bool weighted = edges.has_weights();
+  for (size_t i = 0; i < edges.edges().size(); ++i) {
+    const Edge& e = edges.edges()[i];
+    if (weighted) {
+      std::fprintf(f.get(), "%u %u %u\n", e.src, e.dst, edges.weights()[i]);
+    } else {
+      std::fprintf(f.get(), "%u %u\n", e.src, e.dst);
+    }
+  }
+  if (std::ferror(f.get())) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status ReadEdgeListText(const std::string& path, EdgeList* edges) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  *edges = EdgeList();
+  char line[256];
+  size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++line_no;
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
+    unsigned src = 0;
+    unsigned dst = 0;
+    unsigned w = 0;
+    int fields = std::sscanf(line, "%u %u %u", &src, &dst, &w);
+    if (fields < 2) {
+      return Status::InvalidArgument("malformed line " +
+                                     std::to_string(line_no) + " in " + path);
+    }
+    bool want_weight = fields == 3;
+    if (edges->num_edges() == 0) {
+      // First edge decides weightedness.
+      if (want_weight) {
+        edges->AddEdge(src, dst, static_cast<Weight>(w));
+      } else {
+        edges->AddEdge(src, dst);
+      }
+    } else if (edges->has_weights() != want_weight) {
+      return Status::InvalidArgument("mixed weighted/unweighted lines in " +
+                                     path);
+    } else if (want_weight) {
+      edges->AddEdge(src, dst, static_cast<Weight>(w));
+    } else {
+      edges->AddEdge(src, dst);
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteEdgeListBinary(const EdgeList& edges, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  uint64_t header[4] = {kBinaryMagic, edges.num_vertices(), edges.num_edges(),
+                        edges.has_weights() ? uint64_t{1} : uint64_t{0}};
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) {
+    return Status::IoError("header write failed: " + path);
+  }
+  const auto& e = edges.edges();
+  if (!e.empty() &&
+      std::fwrite(e.data(), sizeof(Edge), e.size(), f.get()) != e.size()) {
+    return Status::IoError("edge write failed: " + path);
+  }
+  if (edges.has_weights()) {
+    const auto& w = edges.weights();
+    if (std::fwrite(w.data(), sizeof(Weight), w.size(), f.get()) != w.size()) {
+      return Status::IoError("weight write failed: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ReadEdgeListBinary(const std::string& path, EdgeList* edges) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  uint64_t header[4];
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1) {
+    return Status::IoError("header read failed: " + path);
+  }
+  if (header[0] != kBinaryMagic) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  *edges = EdgeList(static_cast<VertexId>(header[1]));
+  size_t m = static_cast<size_t>(header[2]);
+  bool weighted = header[3] != 0;
+  edges->mutable_edges().resize(m);
+  if (m > 0 && std::fread(edges->mutable_edges().data(), sizeof(Edge), m,
+                          f.get()) != m) {
+    return Status::IoError("edge read failed: " + path);
+  }
+  if (weighted) {
+    edges->mutable_weights().resize(m);
+    if (m > 0 && std::fread(edges->mutable_weights().data(), sizeof(Weight), m,
+                            f.get()) != m) {
+      return Status::IoError("weight read failed: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gab

@@ -1,0 +1,25 @@
+#ifndef GAB_GRAPH_IO_H_
+#define GAB_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/edge_list.h"
+#include "util/status.h"
+
+namespace gab {
+
+/// Edge-list persistence. Two formats:
+///  - text: one "src dst [weight]" line per edge, '#' comments allowed
+///    (SNAP-compatible, what the evaluated platforms ingest);
+///  - binary: a fixed little-endian header + packed arrays, for fast reload
+///    of generated benchmark datasets.
+
+Status WriteEdgeListText(const EdgeList& edges, const std::string& path);
+Status ReadEdgeListText(const std::string& path, EdgeList* edges);
+
+Status WriteEdgeListBinary(const EdgeList& edges, const std::string& path);
+Status ReadEdgeListBinary(const std::string& path, EdgeList* edges);
+
+}  // namespace gab
+
+#endif  // GAB_GRAPH_IO_H_

@@ -1,0 +1,58 @@
+#include "graph/partition.h"
+
+#include "util/logging.h"
+
+namespace gab {
+
+Partitioning::Partitioning(const CsrGraph& g, uint32_t num_partitions,
+                           PartitionStrategy strategy)
+    : num_partitions_(num_partitions), strategy_(strategy) {
+  GAB_CHECK(num_partitions > 0);
+  const VertexId n = g.num_vertices();
+  members_.resize(num_partitions);
+  degree_sum_.assign(num_partitions, 0);
+
+  if (strategy == PartitionStrategy::kHash) {
+    for (VertexId v = 0; v < n; ++v) {
+      uint32_t p = PartitionOf(v);
+      members_[p].push_back(v);
+      degree_sum_[p] += g.OutDegree(v);
+    }
+    return;
+  }
+
+  range_owner_.assign(n, 0);
+  if (strategy == PartitionStrategy::kRange) {
+    // Equal vertex-count contiguous ranges.
+    uint64_t per = (static_cast<uint64_t>(n) + num_partitions - 1) /
+                   num_partitions;
+    if (per == 0) per = 1;
+    for (VertexId v = 0; v < n; ++v) {
+      uint32_t p = static_cast<uint32_t>(v / per);
+      if (p >= num_partitions) p = num_partitions - 1;
+      range_owner_[v] = p;
+      members_[p].push_back(v);
+      degree_sum_[p] += g.OutDegree(v);
+    }
+    return;
+  }
+
+  // kRangeByDegree: contiguous ranges with (approximately) equal degree sum.
+  uint64_t total_degree = g.num_arcs();
+  uint64_t target = total_degree / num_partitions + 1;
+  uint32_t p = 0;
+  uint64_t acc = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    range_owner_[v] = p;
+    members_[p].push_back(v);
+    uint64_t d = g.OutDegree(v);
+    degree_sum_[p] += d;
+    acc += d;
+    if (acc >= target && p + 1 < num_partitions) {
+      ++p;
+      acc = 0;
+    }
+  }
+}
+
+}  // namespace gab

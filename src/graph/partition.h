@@ -1,0 +1,63 @@
+#ifndef GAB_GRAPH_PARTITION_H_
+#define GAB_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace gab {
+
+/// Vertex partitioning strategies. Every engine runs over P logical
+/// partitions; the cluster simulator later maps partitions onto machines.
+enum class PartitionStrategy {
+  /// Multiplicative hash of the vertex id: balances power-law degree skew,
+  /// destroys locality. Default for vertex/edge-centric platforms.
+  kHash,
+  /// Contiguous vertex ranges, balanced by vertex count: preserves the
+  /// generator's locality, favoring block-centric platforms (Grape).
+  kRange,
+  /// Contiguous ranges balanced by *degree sum*: the smarter range variant
+  /// Grape-style systems actually use.
+  kRangeByDegree,
+};
+
+/// Immutable assignment of vertices to partitions.
+class Partitioning {
+ public:
+  /// Computes an assignment of g's vertices into num_partitions parts.
+  Partitioning(const CsrGraph& g, uint32_t num_partitions,
+               PartitionStrategy strategy);
+
+  uint32_t num_partitions() const { return num_partitions_; }
+  PartitionStrategy strategy() const { return strategy_; }
+
+  uint32_t PartitionOf(VertexId v) const {
+    if (strategy_ == PartitionStrategy::kHash) {
+      // Multiplicative (Fibonacci) hash, folded into the partition count.
+      uint64_t h = static_cast<uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+      return static_cast<uint32_t>((h >> 32) % num_partitions_);
+    }
+    return range_owner_[v];
+  }
+
+  /// Vertices owned by partition p (contiguous for range strategies).
+  const std::vector<VertexId>& Members(uint32_t p) const {
+    return members_[p];
+  }
+
+  /// Sum of degrees of partition p's vertices (load-balance diagnostics).
+  uint64_t DegreeSum(uint32_t p) const { return degree_sum_[p]; }
+
+ private:
+  uint32_t num_partitions_;
+  PartitionStrategy strategy_;
+  std::vector<uint32_t> range_owner_;  // for range strategies
+  std::vector<std::vector<VertexId>> members_;
+  std::vector<uint64_t> degree_sum_;
+};
+
+}  // namespace gab
+
+#endif  // GAB_GRAPH_PARTITION_H_

@@ -1,0 +1,39 @@
+#ifndef GAB_GRAPH_TYPES_H_
+#define GAB_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace gab {
+
+/// Vertex identifier. 32 bits covers every dataset class this benchmark
+/// generates (the paper's largest, S10, has 210M vertices).
+using VertexId = uint32_t;
+
+/// Edge index / edge count type.
+using EdgeId = uint64_t;
+
+/// Integer edge weight used by SSSP; the generators draw weights uniformly
+/// from [1, kMaxEdgeWeight].
+using Weight = uint32_t;
+
+/// Shortest-path distance accumulator (wide enough that no path overflows).
+using Dist = uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
+inline constexpr Weight kMaxEdgeWeight = 64;
+
+/// A directed edge (or an undirected edge stored canonically src < dst).
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+}  // namespace gab
+
+#endif  // GAB_GRAPH_TYPES_H_

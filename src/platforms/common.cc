@@ -1,0 +1,117 @@
+#include "platforms/common.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "algos/core_decomposition.h"
+
+namespace gab {
+
+std::vector<double> PageRankBases(const CsrGraph& g,
+                                  const AlgoParams& params) {
+  const double n = static_cast<double>(g.num_vertices());
+  const double d = params.pr_damping;
+  uint64_t isolated = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.OutDegree(v) == 0) ++isolated;
+  }
+  // Isolated vertices all carry the same rank r_t; dangling_t = k * r_t.
+  std::vector<double> bases(params.iterations + 1, 0.0);
+  double r = 1.0 / n;  // isolated rank before iteration 1
+  for (uint32_t t = 1; t <= params.iterations; ++t) {
+    double dangling = static_cast<double>(isolated) * r;
+    bases[t] = (1.0 - d) / n + d * dangling / n;
+    r = bases[t];  // isolated vertices receive nothing: rank == base
+  }
+  return bases;
+}
+
+bool AtomicMinU64(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t current = slot->load(std::memory_order_relaxed);
+  while (value < current) {
+    if (slot->compare_exchange_weak(current, value,
+                                    std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AtomicAddDouble(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (!slot->compare_exchange_weak(current, current + value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::vector<VertexId>> BuildOrientedAdjacency(
+    const CsrGraph& g, std::vector<VertexId>* rank) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order = DegeneracyOrder(g);
+  rank->assign(n, 0);
+  for (VertexId i = 0; i < n; ++i) (*rank)[order[i]] = i;
+  std::vector<std::vector<VertexId>> oriented(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.OutNeighbors(v)) {
+      if ((*rank)[u] > (*rank)[v]) oriented[v].push_back(u);
+    }
+    std::sort(oriented[v].begin(), oriented[v].end(),
+              [&](VertexId a, VertexId b) { return (*rank)[a] < (*rank)[b]; });
+  }
+  return oriented;
+}
+
+uint64_t CountCliquesFrom(const std::vector<std::vector<VertexId>>& oriented,
+                          const std::vector<VertexId>& rank,
+                          const std::vector<VertexId>& candidates,
+                          uint32_t remaining, uint64_t* intersections,
+                          uint64_t* candidate_bytes) {
+  if (remaining == 1) return candidates.size();
+  uint64_t total = 0;
+  std::vector<VertexId> next;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    VertexId v = candidates[i];
+    const auto& nv = oriented[v];
+    next.clear();
+    size_t a = i + 1;
+    size_t b = 0;
+    while (a < candidates.size() && b < nv.size()) {
+      if (rank[candidates[a]] < rank[nv[b]]) {
+        ++a;
+      } else if (rank[candidates[a]] > rank[nv[b]]) {
+        ++b;
+      } else {
+        next.push_back(candidates[a]);
+        ++a;
+        ++b;
+      }
+    }
+    if (intersections != nullptr) ++*intersections;
+    if (candidate_bytes != nullptr) {
+      *candidate_bytes += next.size() * sizeof(VertexId);
+    }
+    if (next.size() + 1 >= remaining) {
+      total += CountCliquesFrom(oriented, rank, next, remaining - 1,
+                                intersections, candidate_bytes);
+    }
+  }
+  return total;
+}
+
+uint32_t LpaMode(std::span<const uint32_t> labels) {
+  thread_local std::unordered_map<uint32_t, uint32_t>& freq =
+      *new std::unordered_map<uint32_t, uint32_t>();
+  freq.clear();
+  uint32_t best_label = 0;
+  uint32_t best_count = 0;
+  for (uint32_t label : labels) {
+    uint32_t c = ++freq[label];
+    if (c > best_count || (c == best_count && label < best_label)) {
+      best_count = c;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace gab

@@ -1,0 +1,56 @@
+#ifndef GAB_PLATFORMS_COMMON_H_
+#define GAB_PLATFORMS_COMMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "platforms/platform.h"
+
+namespace gab {
+
+/// Precomputed per-iteration PageRank base terms
+///   base_t = (1-d)/n + d * dangling_{t-1} / n,  t = 1..iterations,
+/// where dangling mass comes from zero-out-degree vertices. On undirected
+/// benchmark graphs those are isolated vertices whose rank follows a closed
+/// recurrence, so every platform can fold dangling redistribution into a
+/// host-side constant table and still match the reference bit-for-bit in
+/// the common case.
+std::vector<double> PageRankBases(const CsrGraph& g,
+                                  const AlgoParams& params);
+
+/// Atomic min on a uint64 slot; returns true iff the value decreased.
+bool AtomicMinU64(std::atomic<uint64_t>* slot, uint64_t value);
+
+/// Atomic add on a double slot (CAS loop).
+void AtomicAddDouble(std::atomic<double>* slot, double value);
+
+/// Adjacency oriented by degeneracy order (edges point from lower to
+/// higher rank; lists sorted by rank). Shared by the TC/KC implementations
+/// of several platforms. `rank` is filled with the degeneracy rank per
+/// vertex.
+std::vector<std::vector<VertexId>> BuildOrientedAdjacency(
+    const CsrGraph& g, std::vector<VertexId>* rank);
+
+/// Counts cliques of `remaining` further vertices from rank-sorted
+/// candidates (the recursion shared by all k-clique implementations).
+/// `intersections` and `candidate_bytes`, when provided, accumulate the
+/// number of candidate-set intersections performed and the bytes of
+/// candidate lists produced — the analytically-accounted communication
+/// volume for message-passing platforms (see DESIGN.md).
+uint64_t CountCliquesFrom(const std::vector<std::vector<VertexId>>& oriented,
+                          const std::vector<VertexId>& rank,
+                          const std::vector<VertexId>& candidates,
+                          uint32_t remaining, uint64_t* intersections,
+                          uint64_t* candidate_bytes);
+
+/// Synchronous-LPA mode computation over a label multiset: most frequent
+/// label, ties toward the smallest (the canonical rule of algos/lpa.h).
+/// Thread-safe (uses thread-local scratch).
+uint32_t LpaMode(std::span<const uint32_t> labels);
+
+}  // namespace gab
+
+#endif  // GAB_PLATFORMS_COMMON_H_

@@ -1,0 +1,22 @@
+#ifndef GAB_PLATFORMS_GRAPE_GRAPE_ALGOS_H_
+#define GAB_PLATFORMS_GRAPE_GRAPE_ALGOS_H_
+
+#include "graph/csr_graph.h"
+#include "platforms/platform.h"
+
+namespace gab {
+
+/// Grape algorithm implementations (block-centric PIE model: sequential
+/// algorithms per block + boundary messages).
+RunResult GrapePageRank(const CsrGraph& g, const AlgoParams& params);
+RunResult GrapeLpa(const CsrGraph& g, const AlgoParams& params);
+RunResult GrapeSssp(const CsrGraph& g, const AlgoParams& params);
+RunResult GrapeWcc(const CsrGraph& g, const AlgoParams& params);
+RunResult GrapeBc(const CsrGraph& g, const AlgoParams& params);
+RunResult GrapeCd(const CsrGraph& g, const AlgoParams& params);
+RunResult GrapeTc(const CsrGraph& g, const AlgoParams& params);
+RunResult GrapeKc(const CsrGraph& g, const AlgoParams& params);
+
+}  // namespace gab
+
+#endif  // GAB_PLATFORMS_GRAPE_GRAPE_ALGOS_H_

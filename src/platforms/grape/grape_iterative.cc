@@ -1,0 +1,144 @@
+#include "engines/block_centric.h"
+#include "platforms/common.h"
+#include "platforms/grape/grape_algos.h"
+#include "util/timer.h"
+
+namespace gab {
+
+RunResult GrapePageRank(const CsrGraph& g, const AlgoParams& params) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> bases = PageRankBases(g, params);
+  const double damping = params.pr_damping;
+  const uint32_t iterations = params.iterations;
+
+  using Engine = BlockCentricEngine<double>;
+  Engine::Config config;
+  config.num_blocks = params.num_partitions;
+  config.always_run = true;
+  Engine engine(config);
+
+  // Owner-written state: rank after t updates and the accumulation buffer
+  // for update t+1. Intra-block contributions are applied directly; only
+  // boundary contributions travel as messages (the block-centric saving —
+  // with range partitions over the generator's similarity order, most
+  // edges stay inside a block).
+  std::vector<double> rank(n, n == 0 ? 0.0 : 1.0 / n);
+  std::vector<double> acc(n, 0.0);
+
+  auto emit_contributions = [&](Engine::BlockContext& ctx) {
+    for (VertexId u : ctx.Members()) {
+      size_t deg = g.OutDegree(u);
+      if (deg == 0) continue;
+      double share = rank[u] / static_cast<double>(deg);
+      ctx.AddWork(deg);
+      for (VertexId v : g.OutNeighbors(u)) {
+        if (ctx.BlockOf(v) == ctx.block()) {
+          acc[v] += share;
+        } else {
+          ctx.SendTo(v, share);
+        }
+      }
+    }
+  };
+
+  WallTimer timer;
+  engine.Run(
+      g,
+      /*peval=*/[&](Engine::BlockContext& ctx) { emit_contributions(ctx); },
+      /*inceval=*/
+      [&](Engine::BlockContext& ctx,
+          std::span<const std::pair<VertexId, double>> inbox) {
+        // Rounds are globally synchronous: round r applies update r.
+        uint32_t round = engine.rounds_run();
+        for (const auto& [v, share] : inbox) acc[v] += share;
+        ctx.AddWork(inbox.size());
+        for (VertexId v : ctx.Members()) {
+          rank[v] = bases[round] + damping * acc[v];
+          acc[v] = 0.0;
+        }
+        ctx.AddWork(ctx.Members().size());
+        if (round < iterations) emit_contributions(ctx);
+      });
+
+  RunResult result;
+  result.output.doubles = std::move(rank);
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  return result;
+}
+
+RunResult GrapeLpa(const CsrGraph& g, const AlgoParams& params) {
+  const VertexId n = g.num_vertices();
+  const uint32_t iterations = params.iterations;
+
+  // Boundary labels travel as (source vertex << 32 | label) packed words;
+  // the destination vertex only routes the message to the owning block.
+  using Engine = BlockCentricEngine<uint64_t>;
+  Engine::Config config;
+  config.num_blocks = params.num_partitions;
+  config.always_run = true;
+  Engine engine(config);
+
+  std::vector<uint32_t> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  std::vector<uint32_t> ghost(n, 0);  // labels of remote boundary vertices
+  std::vector<uint32_t> next(n);
+
+  auto send_boundary = [&](Engine::BlockContext& ctx) {
+    for (VertexId u : ctx.Members()) {
+      uint64_t packed =
+          (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(label[u]);
+      // Neighbor ids are sorted and range blocks are contiguous, so block
+      // ids along the adjacency are non-decreasing: a "previous block"
+      // filter delivers u's label exactly once per neighboring block.
+      uint32_t prev_block = ctx.block();
+      for (VertexId v : g.OutNeighbors(u)) {
+        uint32_t b = ctx.BlockOf(v);
+        if (b == ctx.block() || b == prev_block) continue;
+        prev_block = b;
+        ctx.SendTo(v, packed);
+      }
+      ctx.AddWork(1);
+    }
+  };
+
+  WallTimer timer;
+  thread_local std::vector<uint32_t>* scratch = nullptr;
+  engine.Run(
+      g,
+      [&](Engine::BlockContext& ctx) { send_boundary(ctx); },
+      [&](Engine::BlockContext& ctx,
+          std::span<const std::pair<VertexId, uint64_t>> inbox) {
+        uint32_t round = engine.rounds_run();
+        for (const auto& [dst, packed] : inbox) {
+          (void)dst;
+          ghost[packed >> 32] = static_cast<uint32_t>(packed);
+        }
+        ctx.AddWork(inbox.size());
+        if (scratch == nullptr) scratch = new std::vector<uint32_t>();
+        for (VertexId v : ctx.Members()) {
+          auto nbrs = g.OutNeighbors(v);
+          if (nbrs.empty()) {
+            next[v] = label[v];
+            continue;
+          }
+          scratch->clear();
+          for (VertexId u : nbrs) {
+            scratch->push_back(ctx.BlockOf(u) == ctx.block() ? label[u]
+                                                             : ghost[u]);
+          }
+          next[v] = LpaMode(*scratch);
+          ctx.AddWork(nbrs.size());
+        }
+        for (VertexId v : ctx.Members()) label[v] = next[v];
+        if (round < iterations) send_boundary(ctx);
+      });
+
+  RunResult result;
+  result.output.ints.assign(label.begin(), label.end());
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  return result;
+}
+
+}  // namespace gab

@@ -1,0 +1,64 @@
+#include "platforms/grape/grape_algos.h"
+#include "platforms/platform.h"
+#include "platforms/registry.h"
+#include "util/logging.h"
+
+namespace gab {
+
+namespace {
+
+/// Grape (Fan et al., SIGMOD'17): block-centric PIE platform that
+/// parallelizes *sequential* graph algorithms — PEval runs a textbook
+/// algorithm inside each block, IncEval processes boundary updates. Best
+/// scale-up in the paper (Table 10) but saturating scale-out (Table 11)
+/// because block coupling turns into inter-machine chatter.
+class GrapePlatform : public Platform {
+ public:
+  std::string name() const override { return "Grape"; }
+  std::string abbrev() const override { return "GR"; }
+  ComputeModel model() const override { return ComputeModel::kBlockCentric; }
+  bool Supports(Algorithm) const override { return true; }
+
+  const PlatformCostProfile& cost_profile() const override {
+    static constexpr PlatformCostProfile kProfile = {
+        /*superstep_overhead_s=*/6e-4,  // heavyweight per-round assembly
+        /*bytes_factor=*/1.1,
+        /*memory_factor=*/1.2,
+        /*serial_fraction=*/0.008,      // blocks parallelize cleanly
+    };
+    return kProfile;
+  }
+
+  RunResult Run(Algorithm algo, const CsrGraph& g,
+                const AlgoParams& params) const override {
+    switch (algo) {
+      case Algorithm::kPageRank:
+        return GrapePageRank(g, params);
+      case Algorithm::kLpa:
+        return GrapeLpa(g, params);
+      case Algorithm::kSssp:
+        return GrapeSssp(g, params);
+      case Algorithm::kWcc:
+        return GrapeWcc(g, params);
+      case Algorithm::kBc:
+        return GrapeBc(g, params);
+      case Algorithm::kCd:
+        return GrapeCd(g, params);
+      case Algorithm::kTc:
+        return GrapeTc(g, params);
+      case Algorithm::kKc:
+        return GrapeKc(g, params);
+    }
+    GAB_CHECK(false);
+    return {};
+  }
+};
+
+}  // namespace
+
+const Platform* GetGrapePlatform() {
+  static const Platform* platform = new GrapePlatform();
+  return platform;
+}
+
+}  // namespace gab

@@ -1,0 +1,399 @@
+#include <algorithm>
+#include <atomic>
+#include <queue>
+
+#include "engines/block_centric.h"
+#include "platforms/common.h"
+#include "platforms/grape/grape_algos.h"
+#include "util/timer.h"
+
+namespace gab {
+
+namespace {
+
+/// Block-local multi-source Dijkstra: relaxes only intra-block edges from
+/// the seeded heap, emitting boundary relaxations for remote neighbors.
+/// This is Grape's PIE pattern — a textbook sequential algorithm per block.
+template <typename Ctx>
+void LocalDijkstra(const CsrGraph& g, Ctx& ctx, std::vector<uint64_t>& dist,
+                   std::priority_queue<std::pair<uint64_t, VertexId>,
+                                       std::vector<std::pair<uint64_t, VertexId>>,
+                                       std::greater<>>& heap) {
+  const bool weighted = g.has_weights();
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;
+    auto nbrs = g.OutNeighbors(u);
+    auto weights = weighted ? g.OutWeights(u) : std::span<const Weight>{};
+    ctx.AddWork(1 + nbrs.size());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      VertexId v = nbrs[i];
+      uint64_t nd = d + (weighted ? weights[i] : 1);
+      if (ctx.BlockOf(v) == ctx.block()) {
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          heap.push({nd, v});
+        }
+      } else {
+        // Boundary relaxation: the owner decides whether it improves.
+        ctx.SendTo(v, nd);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RunResult GrapeSssp(const CsrGraph& g, const AlgoParams& params) {
+  const VertexId n = g.num_vertices();
+  const VertexId source = params.source;
+
+  using Engine = BlockCentricEngine<uint64_t>;
+  Engine::Config config;
+  config.num_blocks = params.num_partitions;
+  Engine engine(config);
+
+  std::vector<uint64_t> dist(n, kInfDist);
+
+  WallTimer timer;
+  engine.Run(
+      g,
+      /*peval=*/
+      [&](Engine::BlockContext& ctx) {
+        if (ctx.BlockOf(source) != ctx.block()) return;
+        std::priority_queue<std::pair<uint64_t, VertexId>,
+                            std::vector<std::pair<uint64_t, VertexId>>,
+                            std::greater<>>
+            heap;
+        dist[source] = 0;
+        heap.push({0, source});
+        LocalDijkstra(g, ctx, dist, heap);
+      },
+      /*inceval=*/
+      [&](Engine::BlockContext& ctx,
+          std::span<const std::pair<VertexId, uint64_t>> inbox) {
+        std::priority_queue<std::pair<uint64_t, VertexId>,
+                            std::vector<std::pair<uint64_t, VertexId>>,
+                            std::greater<>>
+            heap;
+        for (const auto& [v, cand] : inbox) {
+          if (cand < dist[v]) {
+            dist[v] = cand;
+            heap.push({cand, v});
+          }
+        }
+        ctx.AddWork(inbox.size());
+        LocalDijkstra(g, ctx, dist, heap);
+      });
+
+  RunResult result;
+  result.output.ints = std::move(dist);
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  return result;
+}
+
+RunResult GrapeWcc(const CsrGraph& g, const AlgoParams& params) {
+  const VertexId n = g.num_vertices();
+
+  using Engine = BlockCentricEngine<uint64_t>;
+  Engine::Config config;
+  config.num_blocks = params.num_partitions;
+  Engine engine(config);
+
+  // Per-block disjoint sets built once in PEval (local edges only); after
+  // that only best-known component minima flow between blocks. parent[] is
+  // owner-written; find() from a block only traverses its own vertices.
+  std::vector<VertexId> parent(n);
+  std::vector<uint64_t> best(n);  // per local root: smallest label known
+  for (VertexId v = 0; v < n; ++v) {
+    parent[v] = v;
+    best[v] = v;
+  }
+  auto find = [&](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  // boundary[root] = local vertices of the root's component with remote
+  // neighbors (computed in PEval, static afterwards).
+  std::vector<std::vector<VertexId>> boundary(n);
+
+  auto broadcast = [&](auto& ctx, VertexId root) {
+    uint64_t packed = best[root];
+    for (VertexId u : boundary[root]) {
+      // Every remote neighbor must hear the minimum individually: two
+      // neighbors in the same remote block may belong to *different* local
+      // components there, so per-block deduplication would strand one.
+      for (VertexId v : g.OutNeighbors(u)) {
+        if (ctx.BlockOf(v) == ctx.block()) continue;
+        ctx.SendTo(v, packed);
+      }
+    }
+  };
+
+  WallTimer timer;
+  engine.Run(
+      g,
+      [&](Engine::BlockContext& ctx) {
+        // Sequential union-find over intra-block edges.
+        for (VertexId u : ctx.Members()) {
+          ctx.AddWork(1 + g.OutDegree(u));
+          for (VertexId v : g.OutNeighbors(u)) {
+            if (ctx.BlockOf(v) != ctx.block()) continue;
+            VertexId ru = find(u);
+            VertexId rv = find(v);
+            if (ru == rv) continue;
+            if (ru < rv) {
+              parent[rv] = ru;
+            } else {
+              parent[ru] = rv;
+            }
+          }
+        }
+        // Collect boundary vertices per root and broadcast initial minima.
+        for (VertexId u : ctx.Members()) {
+          bool has_remote = false;
+          for (VertexId v : g.OutNeighbors(u)) {
+            if (ctx.BlockOf(v) != ctx.block()) {
+              has_remote = true;
+              break;
+            }
+          }
+          if (has_remote) boundary[find(u)].push_back(u);
+        }
+        for (VertexId u : ctx.Members()) {
+          if (find(u) == u && !boundary[u].empty()) broadcast(ctx, u);
+        }
+      },
+      [&](Engine::BlockContext& ctx,
+          std::span<const std::pair<VertexId, uint64_t>> inbox) {
+        ctx.AddWork(inbox.size());
+        // Improve component minima; re-broadcast only changed roots.
+        thread_local std::vector<VertexId>* changed = nullptr;
+        if (changed == nullptr) changed = new std::vector<VertexId>();
+        changed->clear();
+        for (const auto& [v, label] : inbox) {
+          VertexId root = find(v);
+          if (label < best[root]) {
+            best[root] = label;
+            changed->push_back(root);
+          }
+        }
+        std::sort(changed->begin(), changed->end());
+        changed->erase(std::unique(changed->begin(), changed->end()),
+                       changed->end());
+        for (VertexId root : *changed) broadcast(ctx, root);
+      });
+
+  RunResult result;
+  result.output.ints.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.output.ints[v] = best[find(v)];
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  return result;
+}
+
+namespace {
+
+constexpr uint32_t kUnreachedLevel = 0xffffffffu;
+
+// Packs BC forward messages: high 32 bits sigma-as-float is lossy, so use
+// two message streams instead: level arrival is implied by the round; the
+// payload is the sigma contribution.
+}  // namespace
+
+RunResult GrapeBc(const CsrGraph& g, const AlgoParams& params) {
+  const VertexId n = g.num_vertices();
+  const VertexId source = params.source;
+
+  // Forward: level-synchronous BFS where *all* frontier expansion flows as
+  // messages (self-block messages included) so sigma sums stay level-exact.
+  using Engine = BlockCentricEngine<double>;
+  Engine::Config fwd_config;
+  fwd_config.num_blocks = params.num_partitions;
+  Engine fwd(fwd_config);
+
+  std::vector<uint32_t> level(n, kUnreachedLevel);
+  std::vector<double> sigma(n, 0.0);
+
+  auto expand = [&](Engine::BlockContext& ctx, VertexId v) {
+    ctx.AddWork(1 + g.OutDegree(v));
+    for (VertexId u : g.OutNeighbors(v)) ctx.SendTo(u, sigma[v]);
+  };
+
+  WallTimer timer;
+  fwd.Run(
+      g,
+      [&](Engine::BlockContext& ctx) {
+        if (ctx.BlockOf(source) != ctx.block()) return;
+        level[source] = 0;
+        sigma[source] = 1.0;
+        expand(ctx, source);
+      },
+      [&](Engine::BlockContext& ctx,
+          std::span<const std::pair<VertexId, double>> inbox) {
+        uint32_t round = fwd.rounds_run();
+        ctx.AddWork(inbox.size());
+        thread_local std::vector<VertexId>* fresh = nullptr;
+        if (fresh == nullptr) fresh = new std::vector<VertexId>();
+        fresh->clear();
+        for (const auto& [v, sig] : inbox) {
+          if (level[v] == kUnreachedLevel) {
+            level[v] = round;
+            fresh->push_back(v);
+          }
+          if (level[v] == round) sigma[v] += sig;
+        }
+        for (VertexId v : *fresh) expand(ctx, v);
+      });
+
+  uint32_t max_level = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (level[v] != kUnreachedLevel) max_level = std::max(max_level, level[v]);
+  }
+
+  // Backward: dependency accumulation, one level per round (deepest
+  // first); message payload is (1 + delta)/sigma of the sender, receivers
+  // multiply by their own sigma at their turn.
+  Engine::Config bwd_config;
+  bwd_config.num_blocks = params.num_partitions;
+  bwd_config.always_run = true;
+  bwd_config.max_rounds = max_level + 2;
+  Engine bwd(bwd_config);
+
+  std::vector<double> delta(n, 0.0);
+  std::vector<double> pending(n, 0.0);  // contributions awaiting the turn
+
+  auto settle = [&](Engine::BlockContext& ctx, uint32_t turn_level) {
+    for (VertexId v : ctx.Members()) {
+      if (level[v] != turn_level) continue;
+      delta[v] = sigma[v] * pending[v];
+      if (turn_level == 0) continue;
+      double contribution = (1.0 + delta[v]) / sigma[v];
+      ctx.AddWork(1 + g.OutDegree(v));
+      for (VertexId u : g.OutNeighbors(v)) ctx.SendTo(u, contribution);
+    }
+  };
+
+  bwd.Run(
+      g,
+      [&](Engine::BlockContext& ctx) { settle(ctx, max_level); },
+      [&](Engine::BlockContext& ctx,
+          std::span<const std::pair<VertexId, double>> inbox) {
+        uint32_t round = bwd.rounds_run();
+        if (round > max_level) return;
+        uint32_t turn_level = max_level - round;
+        ctx.AddWork(inbox.size());
+        for (const auto& [v, contribution] : inbox) {
+          // Only successors' messages arrive exactly at v's turn.
+          if (level[v] == turn_level) pending[v] += contribution;
+        }
+        settle(ctx, turn_level);
+      });
+
+  RunResult result;
+  result.output.doubles.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.output.doubles[v] = (v == source) ? 0.0 : delta[v];
+  }
+  result.seconds = timer.Seconds();
+  result.trace = fwd.trace();
+  result.trace.Append(bwd.trace());
+  return result;
+}
+
+RunResult GrapeCd(const CsrGraph& g, const AlgoParams& params) {
+  const VertexId n = g.num_vertices();
+
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint32_t> alive_degree(n);
+  std::vector<uint64_t> coreness(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    alive_degree[v] = static_cast<uint32_t>(g.OutDegree(v));
+  }
+  VertexId remaining = n;
+  uint64_t k = 0;
+
+  // One engine run per coreness stage: blocks cascade removals *locally*
+  // (the sequential peeling Grape can call directly), and only remote
+  // degree decrements cross block boundaries.
+  using Engine = BlockCentricEngine<uint32_t>;
+  WallTimer timer;
+  RunResult result;
+  bool first_stage = true;
+
+  while (remaining > 0) {
+    Engine::Config config;
+    config.num_blocks = params.num_partitions;
+    Engine engine(config);
+    std::atomic<VertexId> removed{0};
+
+    auto cascade = [&](Engine::BlockContext& ctx,
+                       std::vector<VertexId>& queue) {
+      VertexId local_removed = 0;
+      while (!queue.empty()) {
+        VertexId v = queue.back();
+        queue.pop_back();
+        if (!alive[v] || alive_degree[v] > k) continue;
+        alive[v] = 0;
+        coreness[v] = k;
+        ++local_removed;
+        ctx.AddWork(1 + g.OutDegree(v));
+        for (VertexId u : g.OutNeighbors(v)) {
+          if (!alive[u]) continue;
+          if (ctx.BlockOf(u) == ctx.block()) {
+            if (--alive_degree[u] <= k) queue.push_back(u);
+          } else {
+            ctx.SendTo(u, 1);
+          }
+        }
+      }
+      removed.fetch_add(local_removed, std::memory_order_relaxed);
+    };
+
+    engine.Run(
+        g,
+        [&](Engine::BlockContext& ctx) {
+          std::vector<VertexId> queue;
+          for (VertexId v : ctx.Members()) {
+            if (alive[v] && alive_degree[v] <= k) queue.push_back(v);
+          }
+          ctx.AddWork(ctx.Members().size());
+          cascade(ctx, queue);
+        },
+        [&](Engine::BlockContext& ctx,
+            std::span<const std::pair<VertexId, uint32_t>> inbox) {
+          std::vector<VertexId> queue;
+          for (const auto& [v, dec] : inbox) {
+            if (!alive[v]) continue;
+            alive_degree[v] -= dec;
+            if (alive_degree[v] <= k) queue.push_back(v);
+          }
+          ctx.AddWork(inbox.size());
+          cascade(ctx, queue);
+        });
+
+    if (first_stage) {
+      result.trace = engine.trace();
+      first_stage = false;
+    } else {
+      result.trace.Append(engine.trace());
+    }
+    VertexId total_removed = removed.load();
+    if (total_removed == 0) {
+      ++k;
+    } else {
+      remaining -= total_removed;
+    }
+  }
+
+  result.output.ints = std::move(coreness);
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace gab

@@ -1,0 +1,64 @@
+#include "platforms/graphx/gx_algos.h"
+#include "platforms/platform.h"
+#include "platforms/registry.h"
+#include "util/logging.h"
+
+namespace gab {
+
+namespace {
+
+/// GraphX (Gonzalez et al., OSDI'14): Pregel interfaces over Spark RDDs
+/// (Table 6). The paper's most usable API and its slowest executor: every
+/// superstep is a Spark job with serialization, sort-based reduceByKey,
+/// and immutable-table materialization (all paid for real by the dataflow
+/// engine underneath).
+class GraphxPlatform : public Platform {
+ public:
+  std::string name() const override { return "GraphX"; }
+  std::string abbrev() const override { return "GX"; }
+  ComputeModel model() const override { return ComputeModel::kDataflow; }
+  bool Supports(Algorithm) const override { return true; }
+
+  const PlatformCostProfile& cost_profile() const override {
+    static constexpr PlatformCostProfile kProfile = {
+        /*superstep_overhead_s=*/5e-2,  // Spark DAG scheduling per job
+        /*bytes_factor=*/3.0,           // JVM serialization envelopes
+        /*memory_factor=*/4.0,          // boxed objects + lineage (OOM-prone)
+        /*serial_fraction=*/0.08,       // driver-side coordination
+    };
+    return kProfile;
+  }
+
+  RunResult Run(Algorithm algo, const CsrGraph& g,
+                const AlgoParams& params) const override {
+    switch (algo) {
+      case Algorithm::kPageRank:
+        return GraphxPageRank(g, params);
+      case Algorithm::kLpa:
+        return GraphxLpa(g, params);
+      case Algorithm::kSssp:
+        return GraphxSssp(g, params);
+      case Algorithm::kWcc:
+        return GraphxWcc(g, params);
+      case Algorithm::kBc:
+        return GraphxBc(g, params);
+      case Algorithm::kCd:
+        return GraphxCd(g, params);
+      case Algorithm::kTc:
+        return GraphxTc(g, params);
+      case Algorithm::kKc:
+        return GraphxKc(g, params);
+    }
+    GAB_CHECK(false);
+    return {};
+  }
+};
+
+}  // namespace
+
+const Platform* GetGraphxPlatform() {
+  static const Platform* platform = new GraphxPlatform();
+  return platform;
+}
+
+}  // namespace gab

@@ -1,0 +1,23 @@
+#ifndef GAB_PLATFORMS_GRAPHX_GX_ALGOS_H_
+#define GAB_PLATFORMS_GRAPHX_GX_ALGOS_H_
+
+#include "graph/csr_graph.h"
+#include "platforms/platform.h"
+
+namespace gab {
+
+/// GraphX algorithm implementations (Pregel over the RDD dataflow engine;
+/// every superstep pays real serialization, sort-based reduceByKey, and
+/// vertex-table materialization costs).
+RunResult GraphxPageRank(const CsrGraph& g, const AlgoParams& params);
+RunResult GraphxLpa(const CsrGraph& g, const AlgoParams& params);
+RunResult GraphxSssp(const CsrGraph& g, const AlgoParams& params);
+RunResult GraphxWcc(const CsrGraph& g, const AlgoParams& params);
+RunResult GraphxBc(const CsrGraph& g, const AlgoParams& params);
+RunResult GraphxCd(const CsrGraph& g, const AlgoParams& params);
+RunResult GraphxTc(const CsrGraph& g, const AlgoParams& params);
+RunResult GraphxKc(const CsrGraph& g, const AlgoParams& params);
+
+}  // namespace gab
+
+#endif  // GAB_PLATFORMS_GRAPHX_GX_ALGOS_H_

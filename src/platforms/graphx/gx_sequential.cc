@@ -1,0 +1,350 @@
+#include <algorithm>
+#include <cstring>
+
+#include "engines/dataflow.h"
+#include "graph/partition.h"
+#include "platforms/common.h"
+#include "platforms/graphx/gx_algos.h"
+#include "util/threading.h"
+#include "util/timer.h"
+
+namespace gab {
+
+RunResult GraphxSssp(const CsrGraph& g, const AlgoParams& params) {
+  const VertexId n = g.num_vertices();
+  using Engine = DataflowEngine<uint64_t, uint64_t>;
+  Engine::Config config;
+  config.num_partitions = params.num_partitions;
+  Engine engine(config);
+
+  std::vector<uint64_t> initial(n, kInfDist);
+  initial[params.source] = 0;
+
+  WallTimer timer;
+  std::vector<uint64_t> dist = engine.RunPregel(
+      g, std::move(initial), /*initial_msg=*/kInfDist,
+      [&](VertexId, VertexId dst, Weight w, const uint64_t& sv,
+          const uint64_t& dv,
+          std::vector<std::pair<VertexId, uint64_t>>* out) {
+        if (sv == kInfDist) return;
+        uint64_t candidate = sv + static_cast<uint64_t>(w);
+        // Triplet view: GraphX's sendMsg sees both endpoint values and
+        // suppresses useless messages.
+        if (candidate < dv) out->push_back({dst, candidate});
+      },
+      [](const uint64_t& a, const uint64_t& b) { return a < b ? a : b; },
+      [](VertexId, const uint64_t& old, const uint64_t& msg) {
+        return msg < old ? msg : old;
+      });
+
+  RunResult result;
+  result.output.ints = std::move(dist);
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  result.peak_extra_bytes = engine.peak_shuffle_bytes();
+  return result;
+}
+
+RunResult GraphxWcc(const CsrGraph& g, const AlgoParams& params) {
+  const VertexId n = g.num_vertices();
+  using Engine = DataflowEngine<uint64_t, uint64_t>;
+  Engine::Config config;
+  config.num_partitions = params.num_partitions;
+  Engine engine(config);
+
+  std::vector<uint64_t> initial(n);
+  for (VertexId v = 0; v < n; ++v) initial[v] = v;
+
+  WallTimer timer;
+  std::vector<uint64_t> label = engine.RunPregel(
+      g, std::move(initial), /*initial_msg=*/kInfDist,
+      [](VertexId, VertexId dst, Weight, const uint64_t& sv,
+         const uint64_t& dv, std::vector<std::pair<VertexId, uint64_t>>* out) {
+        // GraphX WCC can only message direct neighbors (the paper contrasts
+        // this with Pregel+/Flash's global HashMin messaging).
+        if (sv < dv) out->push_back({dst, sv});
+      },
+      [](const uint64_t& a, const uint64_t& b) { return a < b ? a : b; },
+      [](VertexId, const uint64_t& old, const uint64_t& msg) {
+        return msg < old ? msg : old;
+      });
+
+  RunResult result;
+  result.output.ints = std::move(label);
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  result.peak_extra_bytes = engine.peak_shuffle_bytes();
+  return result;
+}
+
+namespace {
+
+constexpr uint32_t kUnreached = 0xffffffffu;
+
+struct GxBcValue {
+  uint32_t level;
+  float fresh;  // 1.0 right after being visited, else 0
+  double sigma;
+};
+
+struct GxBcMsg {
+  uint32_t level;
+  double sigma;
+};
+
+}  // namespace
+
+RunResult GraphxBc(const CsrGraph& g, const AlgoParams& params) {
+  const VertexId n = g.num_vertices();
+  const VertexId source = params.source;
+  const uint32_t num_p = params.num_partitions;
+
+  // Forward phase on the Pregel engine.
+  using Engine = DataflowEngine<GxBcValue, GxBcMsg>;
+  Engine::Config config;
+  config.num_partitions = num_p;
+  Engine engine(config);
+
+  std::vector<GxBcValue> initial(n, {kUnreached, 0.0f, 0.0});
+  initial[source] = {0, 1.0f, 1.0};
+
+  WallTimer timer;
+  std::vector<GxBcValue> state = engine.RunPregel(
+      g, std::move(initial), /*initial_msg=*/GxBcMsg{kUnreached, 0.0},
+      [](VertexId, VertexId dst, Weight, const GxBcValue& sv,
+         const GxBcValue& dv,
+         std::vector<std::pair<VertexId, GxBcMsg>>* out) {
+        if (sv.fresh == 0.0f || dv.level != kUnreached) return;
+        out->push_back({dst, {sv.level, sv.sigma}});
+      },
+      [](const GxBcMsg& a, const GxBcMsg& b) {
+        if (a.level < b.level) return a;
+        if (b.level < a.level) return b;
+        return GxBcMsg{a.level, a.sigma + b.sigma};
+      },
+      [](VertexId, const GxBcValue& old, const GxBcMsg& msg) {
+        // Initial message: no update (the source must keep fresh == 1).
+        if (msg.level == kUnreached) return old;
+        if (old.level != kUnreached) {
+          GxBcValue stale = old;  // late same-level message: ignore
+          stale.fresh = 0.0f;
+          return stale;
+        }
+        return GxBcValue{msg.level + 1, 1.0f, msg.sigma};
+      });
+
+  uint32_t max_level = 0;
+  std::vector<std::vector<VertexId>> by_level;
+  for (VertexId v = 0; v < n; ++v) {
+    if (state[v].level == kUnreached) continue;
+    max_level = std::max(max_level, state[v].level);
+    if (by_level.size() <= state[v].level) by_level.resize(state[v].level + 1);
+    by_level[state[v].level].push_back(v);
+  }
+
+  // Backward phase: one Spark-style job per BFS level — flatMap the
+  // contributions of the level's vertices through serialized shuffle
+  // buffers, sort-reduce by key, and materialize a *new* delta table.
+  // O(levels) full materializations is exactly why the paper's GraphX
+  // fails sequential algorithms on large-diameter datasets.
+  Partitioning partitioning(g, num_p, PartitionStrategy::kHash);
+  ExecutionTrace bwd_trace(num_p);
+  std::vector<double> delta(n, 0.0);
+  for (size_t l = by_level.size(); l-- > 1;) {
+    bwd_trace.BeginSuperstep();
+    // flatMap + serialize.
+    std::vector<std::vector<std::vector<uint8_t>>> shuffle(
+        num_p, std::vector<std::vector<uint8_t>>(num_p));
+    std::vector<std::vector<VertexId>> level_by_p(num_p);
+    for (VertexId v : by_level[l]) {
+      level_by_p[partitioning.PartitionOf(v)].push_back(v);
+    }
+    DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
+      uint32_t p = static_cast<uint32_t>(pt);
+      uint64_t work = 0;
+      for (VertexId v : level_by_p[p]) {
+        double contribution = (1.0 + delta[v]) / state[v].sigma;
+        work += 1 + g.OutDegree(v);
+        for (VertexId u : g.OutNeighbors(v)) {
+          if (state[u].level + 1 != state[v].level) continue;
+          uint32_t q = partitioning.PartitionOf(u);
+          auto& buf = shuffle[p][q];
+          size_t pos = buf.size();
+          buf.resize(pos + sizeof(VertexId) + sizeof(double));
+          std::memcpy(buf.data() + pos, &u, sizeof(VertexId));
+          std::memcpy(buf.data() + pos + sizeof(VertexId), &contribution,
+                      sizeof(double));
+        }
+      }
+      bwd_trace.AddWork(p, work);
+    });
+    for (uint32_t p = 0; p < num_p; ++p) {
+      for (uint32_t q = 0; q < num_p; ++q) {
+        if (!shuffle[p][q].empty()) {
+          bwd_trace.AddBytes(p, q, shuffle[p][q].size());
+        }
+      }
+    }
+    // reduceByKey + join into a fresh delta table (RDD materialization).
+    std::vector<double> next_delta = delta;
+    DefaultPool().RunTasks(num_p, [&](size_t qt, size_t) {
+      uint32_t q = static_cast<uint32_t>(qt);
+      uint64_t work = 0;
+      std::vector<std::pair<VertexId, double>> records;
+      for (uint32_t p = 0; p < num_p; ++p) {
+        const auto& buf = shuffle[p][q];
+        size_t count = buf.size() / (sizeof(VertexId) + sizeof(double));
+        for (size_t i = 0; i < count; ++i) {
+          const uint8_t* rec =
+              buf.data() + i * (sizeof(VertexId) + sizeof(double));
+          VertexId u;
+          double c;
+          std::memcpy(&u, rec, sizeof(VertexId));
+          std::memcpy(&c, rec + sizeof(VertexId), sizeof(double));
+          records.push_back({u, c});
+        }
+      }
+      std::sort(records.begin(), records.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      size_t i = 0;
+      while (i < records.size()) {
+        VertexId u = records[i].first;
+        double acc = 0.0;
+        size_t j = i;
+        while (j < records.size() && records[j].first == u) {
+          acc += records[j].second;
+          ++j;
+        }
+        next_delta[u] = delta[u] + state[u].sigma * acc;
+        work += j - i;
+        i = j;
+      }
+      bwd_trace.AddWork(q, work);
+    });
+    delta = std::move(next_delta);
+  }
+
+  RunResult result;
+  result.output.doubles.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.output.doubles[v] = (v == source) ? 0.0 : delta[v];
+  }
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  result.trace.Append(bwd_trace);
+  result.peak_extra_bytes = engine.peak_shuffle_bytes();
+  return result;
+}
+
+RunResult GraphxCd(const CsrGraph& g, const AlgoParams& params) {
+  // Host-driven peeling over RDD-style tables: every sweep filters the
+  // *entire* vertex table (GraphX cannot maintain an active subset — the
+  // paper's §8.2 explanation for its extreme CD slowness), shuffles the
+  // decrements, and materializes fresh degree/alive tables.
+  const VertexId n = g.num_vertices();
+  const uint32_t num_p = params.num_partitions;
+  Partitioning partitioning(g, num_p, PartitionStrategy::kHash);
+  ExecutionTrace trace(num_p);
+
+  std::vector<uint32_t> degree(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(g.OutDegree(v));
+  }
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint64_t> coreness(n, 0);
+  VertexId remaining = n;
+  uint64_t k = 0;
+
+  WallTimer timer;
+  while (remaining > 0) {
+    trace.BeginSuperstep();
+    // Filter stage: full scan of the vertex table.
+    std::vector<std::vector<VertexId>> peeled(num_p);
+    DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
+      uint32_t p = static_cast<uint32_t>(pt);
+      uint64_t work = 0;
+      for (VertexId v : partitioning.Members(p)) {
+        ++work;
+        if (alive[v] && degree[v] <= k) peeled[p].push_back(v);
+      }
+      trace.AddWork(p, work);
+    });
+    size_t removed = 0;
+    for (const auto& vec : peeled) removed += vec.size();
+    if (removed == 0) {
+      ++k;
+      continue;
+    }
+    remaining -= static_cast<VertexId>(removed);
+
+    // Decrement shuffle: serialize (u, 1) records, sort-reduce by key, and
+    // join into *new* degree/alive tables — the full Spark stage cost.
+    std::vector<std::vector<std::vector<uint8_t>>> shuffle(
+        num_p, std::vector<std::vector<uint8_t>>(num_p));
+    DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
+      uint32_t p = static_cast<uint32_t>(pt);
+      uint64_t work = 0;
+      for (VertexId v : peeled[p]) {
+        coreness[v] = k;
+        work += 1 + g.OutDegree(v);
+        for (VertexId u : g.OutNeighbors(v)) {
+          if (!alive[u]) continue;
+          uint32_t q = partitioning.PartitionOf(u);
+          auto& buf = shuffle[p][q];
+          size_t pos = buf.size();
+          buf.resize(pos + sizeof(VertexId));
+          std::memcpy(buf.data() + pos, &u, sizeof(VertexId));
+        }
+      }
+      trace.AddWork(p, work);
+    });
+    std::vector<uint32_t> next_degree = degree;  // RDD materialization
+    std::vector<uint8_t> next_alive = alive;
+    for (uint32_t p = 0; p < num_p; ++p) {
+      for (VertexId v : peeled[p]) next_alive[v] = 0;
+      for (uint32_t q = 0; q < num_p; ++q) {
+        if (p != q && !shuffle[p][q].empty()) {
+          trace.AddBytes(p, q, shuffle[p][q].size());
+        }
+      }
+    }
+    DefaultPool().RunTasks(num_p, [&](size_t qt, size_t) {
+      uint32_t q = static_cast<uint32_t>(qt);
+      uint64_t work = 0;
+      std::vector<VertexId> records;
+      for (uint32_t p = 0; p < num_p; ++p) {
+        const auto& buf = shuffle[p][q];
+        size_t count = buf.size() / sizeof(VertexId);
+        for (size_t i = 0; i < count; ++i) {
+          VertexId u;
+          std::memcpy(&u, buf.data() + i * sizeof(VertexId),
+                      sizeof(VertexId));
+          records.push_back(u);
+        }
+      }
+      std::sort(records.begin(), records.end());
+      size_t i = 0;
+      while (i < records.size()) {
+        VertexId u = records[i];
+        size_t j = i;
+        while (j < records.size() && records[j] == u) ++j;
+        next_degree[u] -= static_cast<uint32_t>(j - i);
+        work += j - i;
+        i = j;
+      }
+      trace.AddWork(q, work);
+    });
+    // Vertices peeled in the same sweep may have decremented each other;
+    // that matches the synchronous semantics (degrees are snapshots).
+    degree = std::move(next_degree);
+    alive = std::move(next_alive);
+  }
+
+  RunResult result;
+  result.output.ints = std::move(coreness);
+  result.seconds = timer.Seconds();
+  result.trace = std::move(trace);
+  return result;
+}
+
+}  // namespace gab

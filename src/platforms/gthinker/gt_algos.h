@@ -1,0 +1,17 @@
+#ifndef GAB_PLATFORMS_GTHINKER_GT_ALGOS_H_
+#define GAB_PLATFORMS_GTHINKER_GT_ALGOS_H_
+
+#include "graph/csr_graph.h"
+#include "platforms/platform.h"
+
+namespace gab {
+
+/// G-thinker algorithm implementations. Only the subgraph (mining)
+/// algorithms exist: the model has no iterative control flow, so the
+/// paper's coverage matrix marks the other six algorithms unimplementable.
+RunResult GthinkerTc(const CsrGraph& g, const AlgoParams& params);
+RunResult GthinkerKc(const CsrGraph& g, const AlgoParams& params);
+
+}  // namespace gab
+
+#endif  // GAB_PLATFORMS_GTHINKER_GT_ALGOS_H_

@@ -1,0 +1,143 @@
+#include <algorithm>
+
+#include "engines/subgraph_centric.h"
+#include "platforms/common.h"
+#include "platforms/gthinker/gt_algos.h"
+#include "util/timer.h"
+
+namespace gab {
+
+namespace {
+
+/// A partial match: the seed vertex, the current recursion depth, and the
+/// rank-sorted candidate set that every extension must intersect.
+struct CliqueTask {
+  VertexId seed;
+  uint32_t remaining;
+  std::vector<VertexId> candidates;
+};
+
+}  // namespace
+
+RunResult GthinkerTc(const CsrGraph& g, const AlgoParams& params) {
+  using Engine = SubgraphCentricEngine<CliqueTask>;
+  Engine::Config config;
+  config.num_partitions = params.num_partitions;
+  Engine engine(config);
+
+  WallTimer timer;
+  std::vector<VertexId> rank;
+  std::vector<std::vector<VertexId>> oriented =
+      BuildOrientedAdjacency(g, &rank);
+
+  uint64_t total = engine.RunCount(
+      g,
+      /*seed=*/
+      [&](VertexId v, std::vector<CliqueTask>* out) {
+        if (oriented[v].size() >= 2) {
+          out->push_back({v, 2, oriented[v]});
+        }
+      },
+      /*process=*/
+      [&](Engine::TaskContext& ctx, const CliqueTask& task) {
+        // Count triangles through the seed: intersect each candidate's
+        // oriented adjacency (pulled from its owner) with the candidates.
+        const auto& cands = task.candidates;
+        uint64_t local = 0;
+        for (size_t i = 0; i < cands.size(); ++i) {
+          const auto& nv = oriented[cands[i]];
+          ctx.ChargeAdjacencyFetch(cands[i], nv.size());
+          ctx.AddWork(nv.size() + (cands.size() - i));
+          size_t a = i + 1;
+          size_t b = 0;
+          while (a < cands.size() && b < nv.size()) {
+            if (rank[cands[a]] < rank[nv[b]]) {
+              ++a;
+            } else if (rank[cands[a]] > rank[nv[b]]) {
+              ++b;
+            } else {
+              ++local;
+              ++a;
+              ++b;
+            }
+          }
+        }
+        ctx.EmitCount(local);
+      },
+      /*home=*/[](const CliqueTask& task) { return task.seed; });
+
+  RunResult result;
+  result.output.scalar = total;
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  return result;
+}
+
+RunResult GthinkerKc(const CsrGraph& g, const AlgoParams& params) {
+  using Engine = SubgraphCentricEngine<CliqueTask>;
+  Engine::Config config;
+  config.num_partitions = params.num_partitions;
+  Engine engine(config);
+  const uint32_t k = params.clique_k;
+
+  WallTimer timer;
+  std::vector<VertexId> rank;
+  std::vector<std::vector<VertexId>> oriented =
+      BuildOrientedAdjacency(g, &rank);
+
+  uint64_t total = engine.RunCount(
+      g,
+      /*seed=*/
+      [&](VertexId v, std::vector<CliqueTask>* out) {
+        if (oriented[v].size() + 1 >= k) {
+          out->push_back({v, k - 1, oriented[v]});
+        }
+      },
+      /*process=*/
+      [&](Engine::TaskContext& ctx, const CliqueTask& task) {
+        if (task.remaining == 1) {
+          ctx.EmitCount(task.candidates.size());
+          return;
+        }
+        // Expand one level: each extension spawns an independent child
+        // task — G-thinker's decomposition that keeps all workers busy
+        // without any superstep barrier.
+        const auto& cands = task.candidates;
+        std::vector<VertexId> next;
+        for (size_t i = 0; i < cands.size(); ++i) {
+          VertexId v = cands[i];
+          const auto& nv = oriented[v];
+          ctx.ChargeAdjacencyFetch(v, nv.size());
+          ctx.AddWork(nv.size() + (cands.size() - i));
+          next.clear();
+          size_t a = i + 1;
+          size_t b = 0;
+          while (a < cands.size() && b < nv.size()) {
+            if (rank[cands[a]] < rank[nv[b]]) {
+              ++a;
+            } else if (rank[cands[a]] > rank[nv[b]]) {
+              ++b;
+            } else {
+              next.push_back(cands[a]);
+              ++a;
+              ++b;
+            }
+          }
+          if (next.size() + 1 < task.remaining) continue;
+          if (task.remaining == 2) {
+            ctx.EmitCount(next.size());
+          } else {
+            ctx.Spawn({task.seed, task.remaining - 1, next});
+          }
+        }
+      },
+      /*home=*/[](const CliqueTask& task) { return task.seed; });
+
+  RunResult result;
+  result.output.scalar = total;
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  return result;
+}
+
+}  // namespace gab

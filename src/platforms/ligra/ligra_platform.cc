@@ -1,0 +1,69 @@
+#include "platforms/common.h"
+#include "platforms/platform.h"
+#include "platforms/registry.h"
+#include "platforms/subset_kernels.h"
+#include "util/logging.h"
+
+namespace gab {
+
+namespace {
+
+/// Ligra (Shun & Blelloch, PPoPP'13): lightweight shared-memory
+/// vertex-centric platform built on vertexSubset/edgeMap with push-pull
+/// direction optimization. Single machine only (paper Table 6) — the
+/// fastest platform thread-for-thread, excluded from scale-out experiments.
+class LigraPlatform : public Platform {
+ public:
+  std::string name() const override { return "Ligra"; }
+  std::string abbrev() const override { return "LI"; }
+  ComputeModel model() const override { return ComputeModel::kVertexCentric; }
+  bool Supports(Algorithm) const override { return true; }
+  bool SupportsDistributed() const override { return false; }
+
+  const PlatformCostProfile& cost_profile() const override {
+    static constexpr PlatformCostProfile kProfile = {
+        /*superstep_overhead_s=*/2e-5,  // fork-join barrier only
+        /*bytes_factor=*/1.0,
+        /*memory_factor=*/1.1,
+        /*serial_fraction=*/0.004,
+    };
+    return kProfile;
+  }
+
+  RunResult Run(Algorithm algo, const CsrGraph& g,
+                const AlgoParams& params) const override {
+    SubsetKernelOptions options;
+    options.num_partitions = params.num_partitions;
+    options.strategy = PartitionStrategy::kHash;
+    options.threshold_denominator = 20;  // Ligra's published default
+    switch (algo) {
+      case Algorithm::kPageRank:
+        return SubsetPageRank(g, params, options);
+      case Algorithm::kLpa:
+        return SubsetLpa(g, params, options);
+      case Algorithm::kSssp:
+        return SubsetSssp(g, params, options);
+      case Algorithm::kWcc:
+        return SubsetWcc(g, params, options);
+      case Algorithm::kBc:
+        return SubsetBc(g, params, options);
+      case Algorithm::kCd:
+        return SubsetCd(g, params, options);
+      case Algorithm::kTc:
+        return SubsetTc(g, params, options);
+      case Algorithm::kKc:
+        return SubsetKc(g, params, options);
+    }
+    GAB_CHECK(false);
+    return {};
+  }
+};
+
+}  // namespace
+
+const Platform* GetLigraPlatform() {
+  static const Platform* platform = new LigraPlatform();
+  return platform;
+}
+
+}  // namespace gab

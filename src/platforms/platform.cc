@@ -1,0 +1,119 @@
+#include "platforms/platform.h"
+
+#include "platforms/registry.h"
+#include "util/logging.h"
+
+namespace gab {
+
+const char* AlgorithmName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kPageRank:
+      return "PR";
+    case Algorithm::kLpa:
+      return "LPA";
+    case Algorithm::kSssp:
+      return "SSSP";
+    case Algorithm::kWcc:
+      return "WCC";
+    case Algorithm::kBc:
+      return "BC";
+    case Algorithm::kCd:
+      return "CD";
+    case Algorithm::kTc:
+      return "TC";
+    case Algorithm::kKc:
+      return "KC";
+  }
+  return "?";
+}
+
+const char* AlgorithmLongName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kPageRank:
+      return "PageRank";
+    case Algorithm::kLpa:
+      return "Label Propagation";
+    case Algorithm::kSssp:
+      return "Single Source Shortest Path";
+    case Algorithm::kWcc:
+      return "Weakly Connected Components";
+    case Algorithm::kBc:
+      return "Betweenness Centrality";
+    case Algorithm::kCd:
+      return "Core Decomposition";
+    case Algorithm::kTc:
+      return "Triangle Counting";
+    case Algorithm::kKc:
+      return "k-Clique";
+  }
+  return "?";
+}
+
+std::vector<Algorithm> AllAlgorithms() {
+  return {Algorithm::kPageRank, Algorithm::kLpa, Algorithm::kSssp,
+          Algorithm::kWcc,      Algorithm::kBc,  Algorithm::kCd,
+          Algorithm::kTc,       Algorithm::kKc};
+}
+
+AlgorithmClass ClassOf(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kPageRank:
+    case Algorithm::kLpa:
+      return AlgorithmClass::kIterative;
+    case Algorithm::kSssp:
+    case Algorithm::kWcc:
+    case Algorithm::kBc:
+    case Algorithm::kCd:
+      return AlgorithmClass::kSequential;
+    case Algorithm::kTc:
+    case Algorithm::kKc:
+      return AlgorithmClass::kSubgraph;
+  }
+  return AlgorithmClass::kIterative;
+}
+
+const char* AlgorithmClassName(AlgorithmClass c) {
+  switch (c) {
+    case AlgorithmClass::kIterative:
+      return "Iterative";
+    case AlgorithmClass::kSequential:
+      return "Sequential";
+    case AlgorithmClass::kSubgraph:
+      return "Subgraph";
+  }
+  return "?";
+}
+
+const char* ComputeModelName(ComputeModel model) {
+  switch (model) {
+    case ComputeModel::kVertexCentric:
+      return "vertex-centric";
+    case ComputeModel::kEdgeCentric:
+      return "edge-centric";
+    case ComputeModel::kBlockCentric:
+      return "block-centric";
+    case ComputeModel::kSubgraphCentric:
+      return "subgraph-centric";
+    case ComputeModel::kDataflow:
+      return "vertex-centric (dataflow)";
+  }
+  return "?";
+}
+
+const std::vector<const Platform*>& AllPlatforms() {
+  static const std::vector<const Platform*>& platforms =
+      *new std::vector<const Platform*>{
+          GetGraphxPlatform(), GetPowerGraphPlatform(), GetFlashPlatform(),
+          GetGrapePlatform(),  GetPregelPlusPlatform(), GetLigraPlatform(),
+          GetGthinkerPlatform()};
+  return platforms;
+}
+
+const Platform* PlatformByAbbrev(const std::string& abbrev) {
+  for (const Platform* p : AllPlatforms()) {
+    if (p->abbrev() == abbrev) return p;
+  }
+  return nullptr;
+}
+
+}  // namespace gab

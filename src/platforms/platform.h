@@ -1,0 +1,129 @@
+#ifndef GAB_PLATFORMS_PLATFORM_H_
+#define GAB_PLATFORMS_PLATFORM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engines/trace.h"
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// The benchmark's eight core algorithms (paper Section 3).
+enum class Algorithm {
+  kPageRank = 0,
+  kLpa,
+  kSssp,
+  kWcc,
+  kBc,
+  kCd,
+  kTc,
+  kKc,
+};
+inline constexpr int kNumAlgorithms = 8;
+const char* AlgorithmName(Algorithm algo);    // "PR", "LPA", ...
+const char* AlgorithmLongName(Algorithm algo);
+std::vector<Algorithm> AllAlgorithms();
+
+/// The algorithm classes of paper Section 3.3.
+enum class AlgorithmClass { kIterative, kSequential, kSubgraph };
+AlgorithmClass ClassOf(Algorithm algo);
+const char* AlgorithmClassName(AlgorithmClass c);
+
+/// Computing models (paper Sections 3.3 and 7.1, Table 6).
+enum class ComputeModel {
+  kVertexCentric,
+  kEdgeCentric,
+  kBlockCentric,
+  kSubgraphCentric,
+  kDataflow,  // GraphX: vertex-centric over Spark RDDs
+};
+const char* ComputeModelName(ComputeModel model);
+
+/// Canonical run parameters (paper Section 7.2 defaults).
+struct AlgoParams {
+  uint32_t iterations = 10;    // PR, LPA
+  VertexId source = 0;         // SSSP, BC
+  uint32_t clique_k = 4;       // KC
+  uint32_t num_partitions = 64;
+  double pr_damping = 0.85;
+};
+
+/// Union-ish output container; which field is set depends on the algorithm:
+/// doubles: PR ranks, BC scores. ints: SSSP distances, WCC/LPA labels, CD
+/// coreness. scalar: TC/KC counts.
+struct AlgoOutput {
+  std::vector<double> doubles;
+  std::vector<uint64_t> ints;
+  uint64_t scalar = 0;
+};
+
+/// Result of running one algorithm on one platform.
+struct RunResult {
+  AlgoOutput output;
+  /// Measured wall-clock seconds (single-machine, real threads).
+  double seconds = 0;
+  /// Instrumented BSP trace for the cluster simulator.
+  ExecutionTrace trace;
+  /// Engine-accounted transient memory high-water mark (message buffers,
+  /// shuffle buffers) on top of the input graph.
+  uint64_t peak_extra_bytes = 0;
+};
+
+/// Per-platform constants for the cluster cost model (see
+/// runtime/cluster_sim.h). Values encode *relative* model-level overheads
+/// the paper attributes to each platform, not absolute measurements.
+struct PlatformCostProfile {
+  /// Fixed per-superstep coordination cost on a cluster (seconds). Spark's
+  /// DAG scheduler makes GraphX's large; native MPI-style platforms small.
+  double superstep_overhead_s = 1e-4;
+  /// Serialization multiplier applied to traced message bytes.
+  double bytes_factor = 1.0;
+  /// Resident-memory multiplier over the raw CSR size (JVM object headers
+  /// push GraphX's far above the C++ platforms').
+  double memory_factor = 1.0;
+  /// Fraction of per-superstep work that is inherently serial on one
+  /// machine (Amdahl term; limits thread scale-up).
+  double serial_fraction = 0.01;
+};
+
+/// A graph analytics platform under benchmark. Implementations live in
+/// src/platforms/<name>/ and run on the in-process engines (see DESIGN.md
+/// Section 2 for the substitution rationale).
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  virtual std::string name() const = 0;    // "Pregel+"
+  virtual std::string abbrev() const = 0;  // "PP"
+  virtual ComputeModel model() const = 0;
+  /// The paper's coverage matrix (Section 8.2): 49 of 56 combos run.
+  virtual bool Supports(Algorithm algo) const = 0;
+  /// Ligra is single-machine; everything else scales out.
+  virtual bool SupportsDistributed() const { return true; }
+  virtual const PlatformCostProfile& cost_profile() const = 0;
+
+  /// Runs the algorithm. Must only be called when Supports(algo).
+  virtual RunResult Run(Algorithm algo, const CsrGraph& g,
+                        const AlgoParams& params) const = 0;
+
+  /// Performs (and times) the platform's graph-ingestion work — the paper's
+  /// "Upload Time" metric (Table 5): partitioning, format conversion,
+  /// replica/index construction. The work is real: GraphX materializes
+  /// boxed per-vertex collections, PowerGraph builds its replica index,
+  /// Grape its degree-balanced ranges, and so on. Returns seconds.
+  virtual double MeasureUpload(const CsrGraph& g,
+                               const AlgoParams& params) const;
+};
+
+/// Registry of the seven evaluated platforms, in the paper's order:
+/// GraphX, PowerGraph, Flash, Grape, Pregel+, Ligra, G-thinker.
+const std::vector<const Platform*>& AllPlatforms();
+
+/// Lookup by abbreviation ("GX", "PG", ...); nullptr when unknown.
+const Platform* PlatformByAbbrev(const std::string& abbrev);
+
+}  // namespace gab
+
+#endif  // GAB_PLATFORMS_PLATFORM_H_

@@ -1,0 +1,22 @@
+#ifndef GAB_PLATFORMS_POWERGRAPH_PG_ALGOS_H_
+#define GAB_PLATFORMS_POWERGRAPH_PG_ALGOS_H_
+
+#include "graph/csr_graph.h"
+#include "platforms/platform.h"
+
+namespace gab {
+
+/// PowerGraph algorithm implementations (synchronous GAS on the
+/// edge-centric engine).
+RunResult PowerGraphPageRank(const CsrGraph& g, const AlgoParams& params);
+RunResult PowerGraphLpa(const CsrGraph& g, const AlgoParams& params);
+RunResult PowerGraphSssp(const CsrGraph& g, const AlgoParams& params);
+RunResult PowerGraphWcc(const CsrGraph& g, const AlgoParams& params);
+RunResult PowerGraphBc(const CsrGraph& g, const AlgoParams& params);
+RunResult PowerGraphCd(const CsrGraph& g, const AlgoParams& params);
+RunResult PowerGraphTc(const CsrGraph& g, const AlgoParams& params);
+RunResult PowerGraphKc(const CsrGraph& g, const AlgoParams& params);
+
+}  // namespace gab
+
+#endif  // GAB_PLATFORMS_POWERGRAPH_PG_ALGOS_H_

@@ -1,0 +1,82 @@
+#include "engines/gas.h"
+#include "platforms/common.h"
+#include "platforms/powergraph/pg_algos.h"
+#include "util/timer.h"
+
+namespace gab {
+
+RunResult PowerGraphPageRank(const CsrGraph& g, const AlgoParams& params) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> bases = PageRankBases(g, params);
+  const double damping = params.pr_damping;
+
+  using Engine = GasEngine<double, double>;
+  Engine::Config config;
+  config.num_partitions = params.num_partitions;
+  config.max_iterations = params.iterations;
+  config.all_active = true;
+  Engine engine(config);
+
+  Engine::Program program;
+  program.init = 0.0;
+  program.gather = [&](VertexId, VertexId u, Weight, const double& rank_u) {
+    return rank_u / static_cast<double>(g.OutDegree(u));
+  };
+  program.sum = [](const double& a, const double& b) { return a + b; };
+  program.apply = [&](VertexId, double& rank, const double& acc,
+                      uint32_t iteration) {
+    rank = bases[iteration + 1] + damping * acc;
+    return true;
+  };
+
+  std::vector<double> ranks(n, n == 0 ? 0.0 : 1.0 / n);
+  WallTimer timer;
+  engine.Run(g, program, &ranks);
+
+  RunResult result;
+  result.output.doubles = std::move(ranks);
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  return result;
+}
+
+RunResult PowerGraphLpa(const CsrGraph& g, const AlgoParams& params) {
+  // PowerGraph's LPA gather accumulator is a label histogram — not a POD
+  // monoid — so the gather runs through the engine's vertex-gather pass
+  // with a host-side map, reproducing the "local hash table" pattern the
+  // paper describes for the native platforms.
+  const VertexId n = g.num_vertices();
+  using Engine = GasEngine<uint32_t, uint32_t>;
+  Engine::Config config;
+  config.num_partitions = params.num_partitions;
+  Engine engine(config);
+
+  std::vector<uint32_t> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  std::vector<uint32_t> next(n);
+
+  WallTimer timer;
+  thread_local std::vector<uint32_t>* scratch = nullptr;
+  for (uint32_t t = 0; t < params.iterations; ++t) {
+    engine.VertexGatherMap(g, [&](VertexId v) {
+      auto nbrs = g.OutNeighbors(v);
+      if (nbrs.empty()) {
+        next[v] = label[v];
+        return;
+      }
+      if (scratch == nullptr) scratch = new std::vector<uint32_t>();
+      scratch->clear();
+      for (VertexId u : nbrs) scratch->push_back(label[u]);
+      next[v] = LpaMode(*scratch);
+    });
+    label.swap(next);
+  }
+
+  RunResult result;
+  result.output.ints.assign(label.begin(), label.end());
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  return result;
+}
+
+}  // namespace gab

@@ -1,0 +1,62 @@
+#include "platforms/platform.h"
+#include "platforms/powergraph/pg_algos.h"
+#include "platforms/registry.h"
+#include "util/logging.h"
+
+namespace gab {
+
+namespace {
+
+/// PowerGraph (Gonzalez et al., OSDI'12): edge-centric GAS with vertex
+/// replication, designed around load balance on power-law graphs
+/// (paper Table 6).
+class PowerGraphPlatform : public Platform {
+ public:
+  std::string name() const override { return "PowerGraph"; }
+  std::string abbrev() const override { return "PG"; }
+  ComputeModel model() const override { return ComputeModel::kEdgeCentric; }
+  bool Supports(Algorithm) const override { return true; }
+
+  const PlatformCostProfile& cost_profile() const override {
+    static constexpr PlatformCostProfile kProfile = {
+        /*superstep_overhead_s=*/3e-4,  // GAS phase barriers (3 per step)
+        /*bytes_factor=*/1.5,           // replica synchronization traffic
+        /*memory_factor=*/1.6,          // vertex replicas
+        /*serial_fraction=*/0.02,
+    };
+    return kProfile;
+  }
+
+  RunResult Run(Algorithm algo, const CsrGraph& g,
+                const AlgoParams& params) const override {
+    switch (algo) {
+      case Algorithm::kPageRank:
+        return PowerGraphPageRank(g, params);
+      case Algorithm::kLpa:
+        return PowerGraphLpa(g, params);
+      case Algorithm::kSssp:
+        return PowerGraphSssp(g, params);
+      case Algorithm::kWcc:
+        return PowerGraphWcc(g, params);
+      case Algorithm::kBc:
+        return PowerGraphBc(g, params);
+      case Algorithm::kCd:
+        return PowerGraphCd(g, params);
+      case Algorithm::kTc:
+        return PowerGraphTc(g, params);
+      case Algorithm::kKc:
+        return PowerGraphKc(g, params);
+    }
+    GAB_CHECK(false);
+    return {};
+  }
+};
+
+}  // namespace
+
+const Platform* GetPowerGraphPlatform() {
+  static const Platform* platform = new PowerGraphPlatform();
+  return platform;
+}
+
+}  // namespace gab

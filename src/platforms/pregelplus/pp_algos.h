@@ -1,0 +1,24 @@
+#ifndef GAB_PLATFORMS_PREGELPLUS_PP_ALGOS_H_
+#define GAB_PLATFORMS_PREGELPLUS_PP_ALGOS_H_
+
+#include "graph/csr_graph.h"
+#include "platforms/platform.h"
+
+namespace gab {
+
+/// Pregel+ algorithm implementations (vertex-centric engine with sender-side
+/// message combining — Yan et al.'s message-reduction technique). CD is
+/// deliberately absent: the paper's coverage matrix (§8.2) reports that
+/// Pregel+'s interface cannot manage the cross-superstep global coreness
+/// state CD requires.
+RunResult PregelPlusPageRank(const CsrGraph& g, const AlgoParams& params);
+RunResult PregelPlusLpa(const CsrGraph& g, const AlgoParams& params);
+RunResult PregelPlusSssp(const CsrGraph& g, const AlgoParams& params);
+RunResult PregelPlusWcc(const CsrGraph& g, const AlgoParams& params);
+RunResult PregelPlusBc(const CsrGraph& g, const AlgoParams& params);
+RunResult PregelPlusTc(const CsrGraph& g, const AlgoParams& params);
+RunResult PregelPlusKc(const CsrGraph& g, const AlgoParams& params);
+
+}  // namespace gab
+
+#endif  // GAB_PLATFORMS_PREGELPLUS_PP_ALGOS_H_

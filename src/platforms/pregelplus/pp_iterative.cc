@@ -1,0 +1,88 @@
+#include "engines/vertex_centric.h"
+#include "platforms/common.h"
+#include "platforms/pregelplus/pp_algos.h"
+#include "util/timer.h"
+
+namespace gab {
+
+namespace {
+
+double SumCombiner(const double& a, const double& b) { return a + b; }
+
+}  // namespace
+
+RunResult PregelPlusPageRank(const CsrGraph& g, const AlgoParams& params) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> bases = PageRankBases(g, params);
+  const double damping = params.pr_damping;
+  const uint32_t iterations = params.iterations;
+
+  using Engine = VertexCentricEngine<double, double>;
+  Engine::Config config;
+  config.num_partitions = params.num_partitions;
+  config.combiner = &SumCombiner;
+  Engine engine(config);
+
+  WallTimer timer;
+  std::vector<double> ranks = engine.Run(
+      g, [&](VertexId, double& rank) { rank = 1.0 / static_cast<double>(n); },
+      [&](Engine::Context& ctx, VertexId v, double& rank,
+          std::span<const double> msgs) {
+        uint32_t s = ctx.superstep();
+        if (s > 0) {
+          double sum = msgs.empty() ? 0.0 : msgs[0];  // combined
+          rank = bases[s] + damping * sum;
+        }
+        if (s < iterations) {
+          size_t deg = g.OutDegree(v);
+          if (deg > 0) {
+            double share = rank / static_cast<double>(deg);
+            for (VertexId u : g.OutNeighbors(v)) ctx.SendTo(u, share);
+            ctx.AddWork(deg);
+          }
+          // All vertices participate in every PR iteration (vertices with
+          // no incoming messages still need their base-term update).
+          ctx.KeepActive();
+        }
+      });
+
+  RunResult result;
+  result.output.doubles = std::move(ranks);
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  result.peak_extra_bytes = engine.peak_message_bytes();
+  return result;
+}
+
+RunResult PregelPlusLpa(const CsrGraph& g, const AlgoParams& params) {
+  const uint32_t iterations = params.iterations;
+  using Engine = VertexCentricEngine<uint32_t, uint32_t>;
+  Engine::Config config;
+  config.num_partitions = params.num_partitions;
+  Engine engine(config);
+
+  WallTimer timer;
+  std::vector<uint32_t> labels = engine.Run(
+      g, [&](VertexId v, uint32_t& label) { label = v; },
+      [&](Engine::Context& ctx, VertexId v, uint32_t& label,
+          std::span<const uint32_t> msgs) {
+        uint32_t s = ctx.superstep();
+        if (s > 0 && !msgs.empty()) {
+          label = LpaMode(msgs);
+          ctx.AddWork(msgs.size());
+        }
+        if (s < iterations) {
+          for (VertexId u : g.OutNeighbors(v)) ctx.SendTo(u, label);
+          ctx.AddWork(g.OutDegree(v));
+        }
+      });
+
+  RunResult result;
+  result.output.ints.assign(labels.begin(), labels.end());
+  result.seconds = timer.Seconds();
+  result.trace = engine.trace();
+  result.peak_extra_bytes = engine.peak_message_bytes();
+  return result;
+}
+
+}  // namespace gab

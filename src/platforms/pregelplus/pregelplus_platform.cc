@@ -1,0 +1,66 @@
+#include "platforms/platform.h"
+#include "platforms/pregelplus/pp_algos.h"
+#include "platforms/registry.h"
+#include "util/logging.h"
+
+namespace gab {
+
+namespace {
+
+/// Pregel+ (Yan et al., WWW'15): vertex-centric Pregel extended with vertex
+/// mirroring and sender-side message combining, the techniques behind its
+/// strong scale-out behavior (paper §8.3). Coverage: everything except CD,
+/// whose per-coreness global state its compute()/reducer() API cannot carry
+/// across supersteps (paper §8.2).
+class PregelPlusPlatform : public Platform {
+ public:
+  std::string name() const override { return "Pregel+"; }
+  std::string abbrev() const override { return "PP"; }
+  ComputeModel model() const override { return ComputeModel::kVertexCentric; }
+  bool Supports(Algorithm algo) const override {
+    return algo != Algorithm::kCd;
+  }
+
+  const PlatformCostProfile& cost_profile() const override {
+    static constexpr PlatformCostProfile kProfile = {
+        /*superstep_overhead_s=*/1.5e-4,  // lean MPI barrier
+        /*bytes_factor=*/0.9,             // combiners shrink envelopes too
+        /*memory_factor=*/1.3,            // mirrors
+        /*serial_fraction=*/0.015,
+    };
+    return kProfile;
+  }
+
+  RunResult Run(Algorithm algo, const CsrGraph& g,
+                const AlgoParams& params) const override {
+    switch (algo) {
+      case Algorithm::kPageRank:
+        return PregelPlusPageRank(g, params);
+      case Algorithm::kLpa:
+        return PregelPlusLpa(g, params);
+      case Algorithm::kSssp:
+        return PregelPlusSssp(g, params);
+      case Algorithm::kWcc:
+        return PregelPlusWcc(g, params);
+      case Algorithm::kBc:
+        return PregelPlusBc(g, params);
+      case Algorithm::kTc:
+        return PregelPlusTc(g, params);
+      case Algorithm::kKc:
+        return PregelPlusKc(g, params);
+      case Algorithm::kCd:
+        break;
+    }
+    GAB_CHECK(false);  // caller must respect Supports()
+    return {};
+  }
+};
+
+}  // namespace
+
+const Platform* GetPregelPlusPlatform() {
+  static const Platform* platform = new PregelPlusPlatform();
+  return platform;
+}
+
+}  // namespace gab

@@ -1,0 +1,19 @@
+#ifndef GAB_PLATFORMS_REGISTRY_H_
+#define GAB_PLATFORMS_REGISTRY_H_
+
+#include "platforms/platform.h"
+
+namespace gab {
+
+/// Singleton accessors for the seven platform facades (never destroyed).
+const Platform* GetGraphxPlatform();
+const Platform* GetPowerGraphPlatform();
+const Platform* GetFlashPlatform();
+const Platform* GetGrapePlatform();
+const Platform* GetPregelPlusPlatform();
+const Platform* GetLigraPlatform();
+const Platform* GetGthinkerPlatform();
+
+}  // namespace gab
+
+#endif  // GAB_PLATFORMS_REGISTRY_H_

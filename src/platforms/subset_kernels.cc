@@ -1,0 +1,446 @@
+#include "platforms/subset_kernels.h"
+
+#include <atomic>
+#include <memory>
+
+#include "platforms/common.h"
+#include "util/timer.h"
+
+namespace gab {
+
+namespace {
+
+VertexSubsetEngine MakeEngine(const CsrGraph& g,
+                              const SubsetKernelOptions& options) {
+  return VertexSubsetEngine(g, options.num_partitions, options.strategy);
+}
+
+EdgeMapOptions MapOptions(const SubsetKernelOptions& options) {
+  EdgeMapOptions mo;
+  mo.direction = options.force_direction;
+  mo.threshold_denominator = options.threshold_denominator;
+  return mo;
+}
+
+RunResult Finish(VertexSubsetEngine& engine, double seconds,
+                 AlgoOutput output, uint64_t peak_extra_bytes = 0) {
+  RunResult result;
+  result.output = std::move(output);
+  result.seconds = seconds;
+  result.trace = engine.trace();
+  result.peak_extra_bytes = peak_extra_bytes;
+  return result;
+}
+
+}  // namespace
+
+RunResult SubsetPageRank(const CsrGraph& g, const AlgoParams& params,
+                         const SubsetKernelOptions& options) {
+  VertexSubsetEngine engine = MakeEngine(g, options);
+  const VertexId n = g.num_vertices();
+  std::vector<double> bases = PageRankBases(g, params);
+  std::vector<double> rank(n, n == 0 ? 0.0 : 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  const double d = params.pr_damping;
+
+  // Dense iterations: rank flows along in-edges, so EdgeMap runs in pull
+  // direction where each destination is owned by one task (no atomics).
+  VertexSubsetEngine::Functors f;
+  f.update = [&](VertexId s, VertexId dst, Weight) {
+    next[dst] += d * rank[s] / static_cast<double>(g.OutDegree(s));
+    return false;
+  };
+  f.update_atomic = f.update;  // pull is forced below; never called pushed
+  EdgeMapOptions mo = MapOptions(options);
+  mo.direction = EdgeMapDirection::kPull;
+
+  WallTimer timer;
+  VertexSubset all = VertexSubset::All(n);
+  for (uint32_t t = 1; t <= params.iterations; ++t) {
+    std::fill(next.begin(), next.end(), bases[t]);
+    engine.EdgeMap(all, f, mo);
+    rank.swap(next);
+  }
+  AlgoOutput out;
+  out.doubles = std::move(rank);
+  return Finish(engine, timer.Seconds(), std::move(out));
+}
+
+RunResult SubsetLpa(const CsrGraph& g, const AlgoParams& params,
+                    const SubsetKernelOptions& options) {
+  VertexSubsetEngine engine = MakeEngine(g, options);
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  std::vector<uint32_t> next(n);
+
+  WallTimer timer;
+  VertexSubset all = VertexSubset::All(n);
+  thread_local std::vector<uint32_t>* nbr_labels = nullptr;
+  for (uint32_t t = 0; t < params.iterations; ++t) {
+    engine.VertexMap(
+        all,
+        [&](VertexId v) {
+          auto nbrs = g.OutNeighbors(v);
+          if (nbrs.empty()) {
+            next[v] = label[v];
+            return;
+          }
+          if (nbr_labels == nullptr) {
+            nbr_labels = new std::vector<uint32_t>();
+          }
+          nbr_labels->clear();
+          for (VertexId u : nbrs) nbr_labels->push_back(label[u]);
+          next[v] = LpaMode(*nbr_labels);
+        },
+        /*charge_degree=*/true);
+    label.swap(next);
+  }
+  AlgoOutput out;
+  out.ints.assign(label.begin(), label.end());
+  return Finish(engine, timer.Seconds(), std::move(out));
+}
+
+RunResult SubsetSssp(const CsrGraph& g, const AlgoParams& params,
+                     const SubsetKernelOptions& options) {
+  VertexSubsetEngine engine = MakeEngine(g, options);
+  const VertexId n = g.num_vertices();
+  auto dist = std::make_unique<std::atomic<uint64_t>[]>(n);
+  for (VertexId v = 0; v < n; ++v) {
+    dist[v].store(kInfDist, std::memory_order_relaxed);
+  }
+  dist[params.source].store(0, std::memory_order_relaxed);
+
+  VertexSubsetEngine::Functors f;
+  f.update_atomic = [&](VertexId s, VertexId dst, Weight w) {
+    uint64_t candidate =
+        dist[s].load(std::memory_order_relaxed) + static_cast<uint64_t>(w);
+    return AtomicMinU64(&dist[dst], candidate);
+  };
+  f.update = f.update_atomic;
+
+  WallTimer timer;
+  VertexSubset frontier = VertexSubset::Single(n, params.source);
+  EdgeMapOptions mo = MapOptions(options);
+  while (!frontier.empty()) {
+    frontier = engine.EdgeMap(frontier, f, mo);
+  }
+  AlgoOutput out;
+  out.ints.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    out.ints[v] = dist[v].load(std::memory_order_relaxed);
+  }
+  return Finish(engine, timer.Seconds(), std::move(out));
+}
+
+RunResult SubsetWcc(const CsrGraph& g, const AlgoParams& params,
+                    const SubsetKernelOptions& options) {
+  VertexSubsetEngine engine = MakeEngine(g, options);
+  const VertexId n = g.num_vertices();
+  auto label = std::make_unique<std::atomic<uint64_t>[]>(n);
+  for (VertexId v = 0; v < n; ++v) {
+    label[v].store(v, std::memory_order_relaxed);
+  }
+  VertexSubsetEngine::Functors f;
+  f.update_atomic = [&](VertexId s, VertexId dst, Weight) {
+    return AtomicMinU64(&label[dst], label[s].load(std::memory_order_relaxed));
+  };
+  f.update = f.update_atomic;
+
+  WallTimer timer;
+  VertexSubset frontier = VertexSubset::All(n);
+  EdgeMapOptions mo = MapOptions(options);
+  while (!frontier.empty()) {
+    frontier = engine.EdgeMap(frontier, f, mo);
+  }
+  (void)params;
+  AlgoOutput out;
+  out.ints.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    out.ints[v] = label[v].load(std::memory_order_relaxed);
+  }
+  return Finish(engine, timer.Seconds(), std::move(out));
+}
+
+RunResult SubsetBc(const CsrGraph& g, const AlgoParams& params,
+                   const SubsetKernelOptions& options) {
+  VertexSubsetEngine engine = MakeEngine(g, options);
+  const VertexId n = g.num_vertices();
+  constexpr uint32_t kUnvisited = 0xffffffffu;
+  std::vector<uint32_t> level(n, kUnvisited);
+  auto sigma = std::make_unique<std::atomic<double>[]>(n);
+  for (VertexId v = 0; v < n; ++v) {
+    sigma[v].store(0.0, std::memory_order_relaxed);
+  }
+  std::vector<uint8_t> visited(n, 0);
+
+  WallTimer timer;
+  level[params.source] = 0;
+  sigma[params.source].store(1.0, std::memory_order_relaxed);
+  visited[params.source] = 1;
+
+  // Forward: level-synchronous BFS accumulating path counts. `visited` is
+  // only flipped after each round, so all same-level contributions land.
+  VertexSubsetEngine::Functors fwd;
+  fwd.cond = [&](VertexId d) { return visited[d] == 0; };
+  fwd.update_atomic = [&](VertexId s, VertexId d, Weight) {
+    AtomicAddDouble(&sigma[d], sigma[s].load(std::memory_order_relaxed));
+    return true;
+  };
+  fwd.update = fwd.update_atomic;
+  EdgeMapOptions mo = MapOptions(options);
+
+  std::vector<VertexSubset> levels;
+  levels.push_back(VertexSubset::Single(n, params.source));
+  uint32_t depth = 0;
+  while (true) {
+    VertexSubset next = engine.EdgeMap(levels.back(), fwd, mo);
+    if (next.empty()) break;
+    ++depth;
+    for (VertexId v : next.Sparse()) {
+      visited[v] = 1;
+      level[v] = depth;
+    }
+    levels.push_back(std::move(next));
+  }
+
+  // Backward: accumulate dependencies level by level (deepest first).
+  std::vector<double> delta(n, 0.0);
+  for (size_t l = levels.size(); l-- > 0;) {
+    engine.VertexMap(
+        levels[l],
+        [&](VertexId v) {
+          double acc = 0.0;
+          double sv = sigma[v].load(std::memory_order_relaxed);
+          for (VertexId u : g.OutNeighbors(v)) {
+            if (level[u] == level[v] + 1) {
+              acc += sv / sigma[u].load(std::memory_order_relaxed) *
+                     (1.0 + delta[u]);
+            }
+          }
+          delta[v] = acc;
+        },
+        /*charge_degree=*/true);
+  }
+  delta[params.source] = 0.0;
+  AlgoOutput out;
+  out.doubles = std::move(delta);
+  return Finish(engine, timer.Seconds(), std::move(out));
+}
+
+RunResult SubsetCd(const CsrGraph& g, const AlgoParams& params,
+                   const SubsetKernelOptions& options) {
+  (void)params;
+  VertexSubsetEngine engine = MakeEngine(g, options);
+  const VertexId n = g.num_vertices();
+  auto degree = std::make_unique<std::atomic<uint64_t>[]>(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v].store(g.OutDegree(v), std::memory_order_relaxed);
+  }
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint64_t> coreness(n, 0);
+
+  // Peel-set decrement: frontier = just-removed vertices.
+  VertexSubsetEngine::Functors peel;
+  peel.cond = [&](VertexId d) { return alive[d] != 0; };
+  peel.update_atomic = [&](VertexId, VertexId d, Weight) {
+    degree[d].fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  };
+  peel.update = [&](VertexId, VertexId d, Weight) {
+    degree[d].fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  };
+  EdgeMapOptions mo = MapOptions(options);
+  // Decrements must reach every alive neighbor; pull early-exit stays off
+  // and pull direction would skip non-frontier sources, so force push.
+  mo.direction = EdgeMapDirection::kPush;
+
+  WallTimer timer;
+  VertexSubset remaining = VertexSubset::All(n);
+  uint64_t k = 0;
+  while (!remaining.empty()) {
+    // The vertex-subset advantage the paper highlights for CD: only the
+    // *remaining* vertices are examined per round, not all n.
+    VertexSubset peeled = engine.VertexFilter(remaining, [&](VertexId v) {
+      return degree[v].load(std::memory_order_relaxed) <= k;
+    });
+    if (peeled.empty()) {
+      ++k;
+      continue;
+    }
+    for (VertexId v : peeled.Sparse()) {
+      coreness[v] = k;
+      alive[v] = 0;
+    }
+    engine.EdgeMap(peeled, peel, mo);
+    remaining = engine.VertexFilter(remaining,
+                                    [&](VertexId v) { return alive[v] != 0; });
+  }
+  AlgoOutput out;
+  out.ints = std::move(coreness);
+  return Finish(engine, timer.Seconds(), std::move(out));
+}
+
+RunResult SubsetTc(const CsrGraph& g, const AlgoParams& params,
+                   const SubsetKernelOptions& options) {
+  (void)params;
+  VertexSubsetEngine engine = MakeEngine(g, options);
+  const VertexId n = g.num_vertices();
+  std::atomic<uint64_t> total{0};
+
+  WallTimer timer;
+  engine.VertexMap(
+      VertexSubset::All(n),
+      [&](VertexId u) {
+        auto nu = g.OutNeighbors(u);
+        size_t u_hi = std::upper_bound(nu.begin(), nu.end(), u) - nu.begin();
+        auto fu = nu.subspan(u_hi);
+        uint64_t local = 0;
+        for (size_t a = 0; a < fu.size(); ++a) {
+          VertexId v = fu[a];
+          auto nv = g.OutNeighbors(v);
+          size_t v_hi =
+              std::upper_bound(nv.begin(), nv.end(), v) - nv.begin();
+          auto fv = nv.subspan(v_hi);
+          size_t i = a + 1;
+          size_t j = 0;
+          while (i < fu.size() && j < fv.size()) {
+            if (fu[i] < fv[j]) {
+              ++i;
+            } else if (fu[i] > fv[j]) {
+              ++j;
+            } else {
+              ++local;
+              ++i;
+              ++j;
+            }
+          }
+        }
+        if (local != 0) total.fetch_add(local, std::memory_order_relaxed);
+      },
+      /*charge_degree=*/true);
+  AlgoOutput out;
+  out.scalar = total.load();
+  return Finish(engine, timer.Seconds(), std::move(out));
+}
+
+RunResult SubsetKc(const CsrGraph& g, const AlgoParams& params,
+                   const SubsetKernelOptions& options) {
+  VertexSubsetEngine engine = MakeEngine(g, options);
+  const VertexId n = g.num_vertices();
+
+  WallTimer timer;
+  std::vector<VertexId> rank;
+  std::vector<std::vector<VertexId>> oriented = BuildOrientedAdjacency(g, &rank);
+  std::atomic<uint64_t> total{0};
+  const uint32_t k = params.clique_k;
+  engine.VertexMap(
+      VertexSubset::All(n),
+      [&](VertexId v) {
+        if (oriented[v].size() + 1 < k) return;
+        uint64_t local = CountCliquesFrom(oriented, rank, oriented[v], k - 1,
+                                          nullptr, nullptr);
+        if (local != 0) total.fetch_add(local, std::memory_order_relaxed);
+      },
+      /*charge_degree=*/true);
+  AlgoOutput out;
+  out.scalar = total.load();
+  return Finish(engine, timer.Seconds(), std::move(out));
+}
+
+RunResult SubsetBfs(const CsrGraph& g, const AlgoParams& params,
+                    const SubsetKernelOptions& options) {
+  VertexSubsetEngine engine = MakeEngine(g, options);
+  const VertexId n = g.num_vertices();
+  auto level = std::make_unique<std::atomic<uint32_t>[]>(n);
+  constexpr uint32_t kUnreached = 0xffffffffu;
+  for (VertexId v = 0; v < n; ++v) {
+    level[v].store(kUnreached, std::memory_order_relaxed);
+  }
+  level[params.source].store(0, std::memory_order_relaxed);
+
+  WallTimer timer;
+  uint32_t depth = 0;
+  VertexSubsetEngine::Functors f;
+  f.cond = [&](VertexId d) {
+    return level[d].load(std::memory_order_relaxed) == kUnreached;
+  };
+  f.update_atomic = [&](VertexId, VertexId d, Weight) {
+    uint32_t expected = kUnreached;
+    return level[d].compare_exchange_strong(expected, depth + 1,
+                                            std::memory_order_relaxed);
+  };
+  f.update = f.update_atomic;
+  // BFS is the showcase of Ligra's direction optimization: early exit is
+  // sound because the first writer decides a vertex's level.
+  f.pull_early_exit = true;
+  EdgeMapOptions mo = MapOptions(options);
+
+  VertexSubset frontier = VertexSubset::Single(n, params.source);
+  while (!frontier.empty()) {
+    frontier = engine.EdgeMap(frontier, f, mo);
+    ++depth;
+  }
+  AlgoOutput out;
+  out.ints.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    out.ints[v] = level[v].load(std::memory_order_relaxed);
+  }
+  return Finish(engine, timer.Seconds(), std::move(out));
+}
+
+RunResult SubsetLcc(const CsrGraph& g, const AlgoParams& params,
+                    const SubsetKernelOptions& options) {
+  (void)params;
+  VertexSubsetEngine engine = MakeEngine(g, options);
+  const VertexId n = g.num_vertices();
+  auto triangles = std::make_unique<std::atomic<uint64_t>[]>(n);
+  for (VertexId v = 0; v < n; ++v) {
+    triangles[v].store(0, std::memory_order_relaxed);
+  }
+
+  WallTimer timer;
+  // Forward triangle enumeration crediting all three corners.
+  engine.VertexMap(
+      VertexSubset::All(n),
+      [&](VertexId u) {
+        auto nu = g.OutNeighbors(u);
+        for (size_t a = 0; a < nu.size(); ++a) {
+          VertexId v = nu[a];
+          if (v <= u) continue;
+          auto nv = g.OutNeighbors(v);
+          size_t i = a + 1;
+          size_t j = 0;
+          while (i < nu.size() && j < nv.size()) {
+            if (nu[i] < nv[j]) {
+              ++i;
+            } else if (nu[i] > nv[j]) {
+              ++j;
+            } else {
+              if (nu[i] > v) {
+                triangles[u].fetch_add(1, std::memory_order_relaxed);
+                triangles[v].fetch_add(1, std::memory_order_relaxed);
+                triangles[nu[i]].fetch_add(1, std::memory_order_relaxed);
+              }
+              ++i;
+              ++j;
+            }
+          }
+        }
+      },
+      /*charge_degree=*/true);
+
+  AlgoOutput out;
+  out.doubles.resize(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t d = g.OutDegree(v);
+    if (d < 2) continue;
+    out.doubles[v] =
+        static_cast<double>(triangles[v].load(std::memory_order_relaxed)) /
+        (static_cast<double>(d) * static_cast<double>(d - 1) / 2.0);
+  }
+  return Finish(engine, timer.Seconds(), std::move(out));
+}
+
+}  // namespace gab

@@ -1,0 +1,51 @@
+#ifndef GAB_PLATFORMS_SUBSET_KERNELS_H_
+#define GAB_PLATFORMS_SUBSET_KERNELS_H_
+
+#include "engines/vertex_subset.h"
+#include "platforms/platform.h"
+
+namespace gab {
+
+/// Configuration separating the two vertex-subset platforms: Ligra (lean,
+/// shared-memory, coarse partitions) and Flash (distributed flavor, finer
+/// partitions and Flash's vertexSubset API conventions).
+struct SubsetKernelOptions {
+  uint32_t num_partitions = 64;
+  PartitionStrategy strategy = PartitionStrategy::kHash;
+  /// Direction heuristic denominator (Ligra default 20).
+  uint64_t threshold_denominator = 20;
+  /// Force a fixed direction (ablation of the push/pull optimization).
+  EdgeMapDirection force_direction = EdgeMapDirection::kAuto;
+};
+
+/// The eight core algorithms on the vertex-subset model. Each returns a
+/// fully populated RunResult (output + wall time + trace).
+RunResult SubsetPageRank(const CsrGraph& g, const AlgoParams& params,
+                         const SubsetKernelOptions& options);
+RunResult SubsetLpa(const CsrGraph& g, const AlgoParams& params,
+                    const SubsetKernelOptions& options);
+RunResult SubsetSssp(const CsrGraph& g, const AlgoParams& params,
+                     const SubsetKernelOptions& options);
+RunResult SubsetWcc(const CsrGraph& g, const AlgoParams& params,
+                    const SubsetKernelOptions& options);
+RunResult SubsetBc(const CsrGraph& g, const AlgoParams& params,
+                   const SubsetKernelOptions& options);
+RunResult SubsetCd(const CsrGraph& g, const AlgoParams& params,
+                   const SubsetKernelOptions& options);
+RunResult SubsetTc(const CsrGraph& g, const AlgoParams& params,
+                   const SubsetKernelOptions& options);
+RunResult SubsetKc(const CsrGraph& g, const AlgoParams& params,
+                   const SubsetKernelOptions& options);
+
+/// LDBC-compatibility kernels (BFS and LCC are LDBC Graphalytics core
+/// algorithms that this benchmark's set replaces; paper Section 3). Used
+/// by bench_ablation_diversity to quantify the algorithm-diversity
+/// argument. BFS levels land in output.ints; LCC values in output.doubles.
+RunResult SubsetBfs(const CsrGraph& g, const AlgoParams& params,
+                    const SubsetKernelOptions& options);
+RunResult SubsetLcc(const CsrGraph& g, const AlgoParams& params,
+                    const SubsetKernelOptions& options);
+
+}  // namespace gab
+
+#endif  // GAB_PLATFORMS_SUBSET_KERNELS_H_

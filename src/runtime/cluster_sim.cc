@@ -1,0 +1,108 @@
+#include "runtime/cluster_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gab {
+
+double ClusterSimulator::EstimateSeconds(
+    const ExecutionTrace& trace, const PlatformCostProfile& profile,
+    double work_units_per_thread_s) const {
+  GAB_CHECK(work_units_per_thread_s > 0);
+  const uint32_t num_p = trace.num_partitions();
+  const uint32_t machines = config_.machines;
+  const double threads = static_cast<double>(config_.threads_per_machine);
+
+  double total = 0.0;
+  std::vector<double> machine_work(machines);
+  std::vector<double> machine_slowest(machines);
+  std::vector<double> machine_out(machines);
+  std::vector<double> machine_in(machines);
+
+  for (const SuperstepTrace& step : trace.supersteps()) {
+    std::fill(machine_work.begin(), machine_work.end(), 0.0);
+    std::fill(machine_slowest.begin(), machine_slowest.end(), 0.0);
+    std::fill(machine_out.begin(), machine_out.end(), 0.0);
+    std::fill(machine_in.begin(), machine_in.end(), 0.0);
+
+    for (uint32_t p = 0; p < num_p; ++p) {
+      uint32_t m = p % machines;
+      double w = static_cast<double>(step.work[p]);
+      machine_work[m] += w;
+      machine_slowest[m] = std::max(machine_slowest[m], w);
+    }
+    for (uint32_t p = 0; p < num_p; ++p) {
+      uint32_t mp = p % machines;
+      for (uint32_t q = 0; q < num_p; ++q) {
+        uint32_t mq = q % machines;
+        if (mp == mq) continue;  // intra-machine traffic is free
+        double bytes = static_cast<double>(
+            step.bytes[static_cast<size_t>(p) * num_p + q]);
+        machine_out[mp] += bytes;
+        machine_in[mq] += bytes;
+      }
+    }
+
+    double compute = 0.0;
+    for (uint32_t m = 0; m < machines; ++m) {
+      // Amdahl within the machine plus a slowest-partition lower bound.
+      double parallel = machine_work[m] *
+                        (profile.serial_fraction +
+                         (1.0 - profile.serial_fraction) / threads);
+      double machine_time =
+          std::max(parallel, machine_slowest[m]) / work_units_per_thread_s;
+      if (m < config_.stragglers) {
+        machine_time *= config_.straggler_slowdown;
+      }
+      compute = std::max(compute, machine_time);
+    }
+
+    double comm = 0.0;
+    if (machines > 1) {
+      double worst_bytes = 0.0;
+      for (uint32_t m = 0; m < machines; ++m) {
+        worst_bytes =
+            std::max(worst_bytes, std::max(machine_out[m], machine_in[m]));
+      }
+      if (worst_bytes > 0.0) {
+        comm = worst_bytes * profile.bytes_factor / config_.network_bandwidth +
+               config_.network_latency_s;
+      }
+    }
+
+    total += compute + comm + profile.superstep_overhead_s;
+  }
+  return total;
+}
+
+double ClusterSimulator::CalibrateRate(const ExecutionTrace& trace,
+                                       const PlatformCostProfile& profile,
+                                       const ClusterConfig& measured_on,
+                                       double measured_seconds) {
+  GAB_CHECK(measured_seconds > 0);
+  // Fixed (rate-independent) per-run cost under the measured config.
+  ClusterSimulator sim(measured_on);
+  double fixed = static_cast<double>(trace.num_supersteps()) *
+                 profile.superstep_overhead_s;
+  // Network cost is also rate-independent.
+  // EstimateSeconds(rate) = fixed + comm + work_term / rate, so solve for
+  // rate using two probe evaluations.
+  double at_one = sim.EstimateSeconds(trace, profile, 1.0);
+  double work_term = at_one - fixed;
+  // Subtract comm by probing at a huge rate where work_term vanishes.
+  double at_inf = sim.EstimateSeconds(trace, profile, 1e30);
+  double comm = at_inf - fixed;
+  work_term -= comm;
+  double available = measured_seconds - fixed - comm;
+  if (available <= 0) {
+    // Measurement faster than the model's floor (tiny runs): fall back to
+    // attributing everything to compute.
+    available = measured_seconds;
+  }
+  if (work_term <= 0) work_term = 1.0;
+  return work_term / available;
+}
+
+}  // namespace gab

@@ -1,0 +1,68 @@
+#ifndef GAB_RUNTIME_CLUSTER_SIM_H_
+#define GAB_RUNTIME_CLUSTER_SIM_H_
+
+#include <cstdint>
+
+#include "engines/trace.h"
+#include "platforms/platform.h"
+
+namespace gab {
+
+/// A simulated cluster in the image of the paper's testbed (Section 7.1):
+/// m machines x t threads, 15 Gbps LAN.
+struct ClusterConfig {
+  uint32_t machines = 1;
+  uint32_t threads_per_machine = 32;
+  /// 15 Gbps in bytes/second.
+  double network_bandwidth = 15e9 / 8.0;
+  /// Per-superstep network round-trip cost when machines > 1.
+  double network_latency_s = 100e-6;
+  /// Robustness modeling (paper Table 5's robustness axis): the first
+  /// `stragglers` machines compute `straggler_slowdown`x slower. In a BSP
+  /// system every superstep waits for the slowest machine, so a single
+  /// straggler stalls the whole cluster — the effect this models.
+  uint32_t stragglers = 0;
+  double straggler_slowdown = 1.0;
+};
+
+/// Trace-driven BSP cluster simulator: replays an ExecutionTrace (per
+/// superstep, per-partition work + inter-partition byte matrix) against a
+/// cluster model. Partitions are assigned round-robin to machines; each
+/// superstep costs
+///
+///   max_machine(compute) + max_machine(comm) + platform superstep overhead,
+///
+/// where compute applies an Amdahl serial fraction and a slowest-partition
+/// lower bound, and comm counts only bytes crossing machine boundaries.
+///
+/// This is the substitution that regenerates the paper's 16-machine
+/// scalability and throughput results from single-process runs (DESIGN.md
+/// Section 2): the *shape* of the curves comes from real traced work and
+/// traffic, with per-platform constants from PlatformCostProfile.
+class ClusterSimulator {
+ public:
+  explicit ClusterSimulator(ClusterConfig config) : config_(config) {}
+
+  const ClusterConfig& config() const { return config_; }
+
+  /// Estimated makespan (seconds) of the traced execution with a given
+  /// per-thread processing rate (work units per second per thread).
+  double EstimateSeconds(const ExecutionTrace& trace,
+                         const PlatformCostProfile& profile,
+                         double work_units_per_thread_s) const;
+
+  /// Solves for the per-thread rate that makes this cluster's estimate of
+  /// the trace equal `measured_seconds` (anchoring the simulation to a
+  /// real measurement taken under this configuration).
+  static double CalibrateRate(const ExecutionTrace& trace,
+                              const PlatformCostProfile& profile,
+                              const ClusterConfig& measured_on,
+                              double measured_seconds);
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace gab
+
+#endif  // GAB_RUNTIME_CLUSTER_SIM_H_

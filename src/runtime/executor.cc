@@ -1,0 +1,103 @@
+#include "runtime/executor.h"
+
+#include "algos/bc.h"
+#include "algos/core_decomposition.h"
+#include "algos/kclique.h"
+#include "algos/lpa.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "algos/triangle_count.h"
+#include "algos/wcc.h"
+#include "util/logging.h"
+
+namespace gab {
+
+ExperimentRecord ExperimentExecutor::Execute(const Platform& platform,
+                                             Algorithm algo,
+                                             const CsrGraph& graph,
+                                             const std::string& dataset_name,
+                                             const AlgoParams& params,
+                                             double upload_seconds) {
+  ExperimentRecord record;
+  record.platform = platform.abbrev();
+  record.algorithm = AlgorithmName(algo);
+  record.dataset = dataset_name;
+  record.timing.upload_seconds = upload_seconds;
+  if (!platform.Supports(algo)) {
+    record.supported = false;
+    return record;
+  }
+  record.run = platform.Run(algo, graph, params);
+  record.timing.running_seconds = record.run.seconds;
+  record.timing.makespan_seconds = upload_seconds + record.run.seconds;
+  record.throughput_eps =
+      EdgesPerSecond(graph.num_edges(), record.run.seconds);
+  return record;
+}
+
+VerifyResult ExperimentExecutor::Verify(Algorithm algo, const CsrGraph& graph,
+                                        const AlgoParams& params,
+                                        const AlgoOutput& output) {
+  switch (algo) {
+    case Algorithm::kPageRank: {
+      PageRankParams pr{params.pr_damping, params.iterations};
+      return CompareDoubles(output.doubles, PageRankReference(graph, pr),
+                            /*rel_tol=*/1e-9, /*abs_tol=*/1e-12);
+    }
+    case Algorithm::kLpa: {
+      std::vector<uint32_t> expected = LpaReference(graph, params.iterations);
+      std::vector<uint64_t> expected64(expected.begin(), expected.end());
+      return CompareExact(output.ints, expected64);
+    }
+    case Algorithm::kSssp: {
+      std::vector<Dist> expected = SsspReference(graph, params.source);
+      std::vector<uint64_t> expected64(expected.begin(), expected.end());
+      return CompareExact(output.ints, expected64);
+    }
+    case Algorithm::kWcc: {
+      std::vector<VertexId> expected = WccReference(graph);
+      std::vector<uint64_t> expected64(expected.begin(), expected.end());
+      return CompareExact(output.ints, expected64);
+    }
+    case Algorithm::kBc: {
+      return CompareDoubles(output.doubles, BcReference(graph, params.source),
+                            /*rel_tol=*/1e-7, /*abs_tol=*/1e-9);
+    }
+    case Algorithm::kCd: {
+      std::vector<uint32_t> expected = CoreDecompositionReference(graph);
+      std::vector<uint64_t> expected64(expected.begin(), expected.end());
+      return CompareExact(output.ints, expected64);
+    }
+    case Algorithm::kTc: {
+      uint64_t expected = TriangleCountReference(graph);
+      if (output.scalar != expected) {
+        return VerifyResult::Fail("TC " + std::to_string(output.scalar) +
+                                  " vs expected " + std::to_string(expected));
+      }
+      return VerifyResult::Ok();
+    }
+    case Algorithm::kKc: {
+      uint64_t expected = KCliqueCountReference(graph, params.clique_k);
+      if (output.scalar != expected) {
+        return VerifyResult::Fail("KC " + std::to_string(output.scalar) +
+                                  " vs expected " + std::to_string(expected));
+      }
+      return VerifyResult::Ok();
+    }
+  }
+  return VerifyResult::Fail("unknown algorithm");
+}
+
+double ExperimentExecutor::SimulateOnCluster(const ExperimentRecord& record,
+                                             const Platform& platform,
+                                             const ClusterConfig& measured_on,
+                                             const ClusterConfig& target) {
+  GAB_CHECK(record.supported);
+  double rate = ClusterSimulator::CalibrateRate(
+      record.run.trace, platform.cost_profile(), measured_on,
+      record.timing.running_seconds);
+  ClusterSimulator sim(target);
+  return sim.EstimateSeconds(record.run.trace, platform.cost_profile(), rate);
+}
+
+}  // namespace gab

@@ -1,0 +1,53 @@
+#ifndef GAB_RUNTIME_EXECUTOR_H_
+#define GAB_RUNTIME_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "algos/verify.h"
+#include "gen/datasets.h"
+#include "platforms/platform.h"
+#include "runtime/cluster_sim.h"
+#include "runtime/metrics.h"
+
+namespace gab {
+
+/// One benchmark measurement: platform x algorithm x dataset.
+struct ExperimentRecord {
+  std::string platform;
+  std::string algorithm;
+  std::string dataset;
+  TimingMetrics timing;
+  double throughput_eps = 0;  // edges/second
+  RunResult run;              // output + trace (for the cluster simulator)
+  bool supported = true;
+};
+
+/// The paper's Experiment Executor (Section 6): runs core algorithms on
+/// datasets across platforms and gathers the Table 5 metrics.
+class ExperimentExecutor {
+ public:
+  /// Runs one combination; `upload_seconds` is the caller-measured graph
+  /// preparation time (generation happens once per dataset, outside).
+  static ExperimentRecord Execute(const Platform& platform, Algorithm algo,
+                                  const CsrGraph& graph,
+                                  const std::string& dataset_name,
+                                  const AlgoParams& params,
+                                  double upload_seconds = 0);
+
+  /// Verifies a platform's output against the reference implementation.
+  static VerifyResult Verify(Algorithm algo, const CsrGraph& graph,
+                             const AlgoParams& params,
+                             const AlgoOutput& output);
+
+  /// Simulated running time of a recorded run on an (m x t) cluster,
+  /// anchored to the wall-clock measurement (see ClusterSimulator).
+  static double SimulateOnCluster(const ExperimentRecord& record,
+                                  const Platform& platform,
+                                  const ClusterConfig& measured_on,
+                                  const ClusterConfig& target);
+};
+
+}  // namespace gab
+
+#endif  // GAB_RUNTIME_EXECUTOR_H_

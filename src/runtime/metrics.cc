@@ -1,0 +1,38 @@
+#include "runtime/metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gab {
+
+double EdgesPerSecond(uint64_t num_edges, double running_seconds) {
+  if (running_seconds <= 0) return 0;
+  return static_cast<double>(num_edges) / running_seconds;
+}
+
+std::vector<double> SpeedupSeries(const std::vector<double>& seconds) {
+  std::vector<double> speedups;
+  speedups.reserve(seconds.size());
+  if (seconds.empty()) return speedups;
+  double base = seconds.front();
+  for (double s : seconds) {
+    speedups.push_back(s > 0 ? base / s : 0.0);
+  }
+  return speedups;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  GAB_CHECK(!values.empty());
+  double log_sum = 0;
+  size_t counted = 0;
+  for (double v : values) {
+    if (v <= 0) continue;
+    log_sum += std::log(v);
+    ++counted;
+  }
+  if (counted == 0) return 0;
+  return std::exp(log_sum / static_cast<double>(counted));
+}
+
+}  // namespace gab

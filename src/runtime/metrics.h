@@ -1,0 +1,31 @@
+#ifndef GAB_RUNTIME_METRICS_H_
+#define GAB_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gab {
+
+/// The paper's performance metric set (Table 5).
+struct TimingMetrics {
+  /// Time to read/convert/partition/load the graph (generation + CSR
+  /// build + partitioning in this repository).
+  double upload_seconds = 0;
+  /// Algorithm execution time.
+  double running_seconds = 0;
+  /// End-to-end, including result extraction.
+  double makespan_seconds = 0;
+};
+
+/// Edges processed per second (paper's throughput metric).
+double EdgesPerSecond(uint64_t num_edges, double running_seconds);
+
+/// Speedup series: baseline_time / time[i] for each measured time.
+std::vector<double> SpeedupSeries(const std::vector<double>& seconds);
+
+/// Geometric mean (used to aggregate per-algorithm speedups).
+double GeometricMean(const std::vector<double>& values);
+
+}  // namespace gab
+
+#endif  // GAB_RUNTIME_METRICS_H_

@@ -1,0 +1,72 @@
+#include "runtime/stress.h"
+
+#include <algorithm>
+
+#include "gen/fft_dg.h"
+#include "util/logging.h"
+
+namespace gab {
+
+uint64_t EstimateDatasetEdges(const DatasetSpec& spec,
+                              VertexId sample_vertices) {
+  FftDgConfig config = ConfigForDataset(spec);
+  if (config.num_vertices <= sample_vertices) {
+    GenStats stats;
+    GenerateFftDg(config, &stats);
+    return stats.edges;
+  }
+  // Sample a prefix: per-vertex generation is independent given budgets,
+  // and the group structure repeats, so edges scale linearly in n.
+  FftDgConfig sample = config;
+  double scale = static_cast<double>(config.num_vertices) /
+                 static_cast<double>(sample_vertices);
+  sample.num_vertices = sample_vertices;
+  // Keep the per-vertex group size comparable to the full graph's.
+  if (config.target_diameter != 0) {
+    // group_size = n / groups; shrink groups proportionally.
+    uint32_t full_groups = FftDgGroupCount(config);
+    uint32_t sample_groups = std::max<uint32_t>(
+        1, static_cast<uint32_t>(full_groups / scale));
+    sample.target_diameter = sample_groups * (config.group_diameter + 1);
+  }
+  GenStats stats;
+  GenerateFftDg(sample, &stats);
+  return static_cast<uint64_t>(static_cast<double>(stats.edges) * scale);
+}
+
+std::vector<StressOutcome> RunStressTest(
+    const std::vector<DatasetSpec>& specs, const ClusterConfig& cluster,
+    uint64_t memory_budget_per_machine) {
+  std::vector<StressOutcome> outcomes;
+  for (const DatasetSpec& spec : specs) {
+    uint64_t edges = EstimateDatasetEdges(spec);
+    // Undirected CSR resident bytes: arcs * (id + weight) + offsets.
+    uint64_t csr_bytes = 2 * edges * (sizeof(VertexId) + sizeof(Weight)) +
+                         (static_cast<uint64_t>(spec.num_vertices) + 1) *
+                             sizeof(EdgeId);
+    for (const Platform* platform : AllPlatforms()) {
+      StressOutcome outcome;
+      outcome.platform = platform->abbrev();
+      outcome.dataset = spec.name;
+      outcome.estimated_vertices = spec.num_vertices;
+      outcome.estimated_edges = edges;
+      uint32_t machines =
+          platform->SupportsDistributed() ? cluster.machines : 1;
+      // Partitioned graph + PR's per-superstep message volume (one message
+      // per arc, combiner-less platforms buffer them all).
+      double resident = static_cast<double>(csr_bytes) / machines *
+                        platform->cost_profile().memory_factor;
+      double messages = static_cast<double>(2 * edges) / machines *
+                        (sizeof(VertexId) + sizeof(double)) *
+                        platform->cost_profile().bytes_factor;
+      outcome.estimated_bytes_per_machine =
+          static_cast<uint64_t>(resident + messages);
+      outcome.fits =
+          outcome.estimated_bytes_per_machine <= memory_budget_per_machine;
+      outcomes.push_back(outcome);
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace gab

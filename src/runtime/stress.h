@@ -1,0 +1,42 @@
+#ifndef GAB_RUNTIME_STRESS_H_
+#define GAB_RUNTIME_STRESS_H_
+
+#include <string>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "platforms/platform.h"
+#include "runtime/cluster_sim.h"
+
+namespace gab {
+
+/// Stress-test outcome for one platform x dataset (paper Table 7's
+/// "largest dataset each platform can handle").
+struct StressOutcome {
+  std::string platform;
+  std::string dataset;
+  uint64_t estimated_vertices = 0;
+  uint64_t estimated_edges = 0;
+  /// Estimated resident bytes per machine (platform memory model applied).
+  uint64_t estimated_bytes_per_machine = 0;
+  bool fits = false;
+};
+
+/// Estimates the edge count a dataset spec would produce without
+/// materializing it, by generating only a vertex sample (FFT-DG's
+/// per-vertex sampling is independent given the degree budgets, so a
+/// prefix sample extrapolates cleanly).
+uint64_t EstimateDatasetEdges(const DatasetSpec& spec,
+                              VertexId sample_vertices = 100000);
+
+/// Runs the memory-model stress test: for each dataset (ascending scale)
+/// and platform, decide whether PR would fit in
+/// `memory_budget_per_machine` on the given cluster. Ligra is evaluated as
+/// a single machine regardless of the cluster size (it cannot scale out).
+std::vector<StressOutcome> RunStressTest(
+    const std::vector<DatasetSpec>& specs, const ClusterConfig& cluster,
+    uint64_t memory_budget_per_machine);
+
+}  // namespace gab
+
+#endif  // GAB_RUNTIME_STRESS_H_

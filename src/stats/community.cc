@@ -1,0 +1,138 @@
+#include "stats/community.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "stats/graph_stats.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gab {
+
+const char* CommunityMetricName(CommunityMetric metric) {
+  switch (metric) {
+    case CommunityMetric::kClusteringCoefficient:
+      return "CC";
+    case CommunityMetric::kTriangleParticipation:
+      return "TPR";
+    case CommunityMetric::kBridgeRatio:
+      return "BR";
+    case CommunityMetric::kDiameter:
+      return "Diam";
+    case CommunityMetric::kConductance:
+      return "Cond";
+    case CommunityMetric::kSize:
+      return "Size";
+  }
+  return "?";
+}
+
+double CommunityMetricValue(const CommunityStats& stats,
+                            CommunityMetric metric) {
+  switch (metric) {
+    case CommunityMetric::kClusteringCoefficient:
+      return stats.clustering_coefficient;
+    case CommunityMetric::kTriangleParticipation:
+      return stats.triangle_participation;
+    case CommunityMetric::kBridgeRatio:
+      return stats.bridge_ratio;
+    case CommunityMetric::kDiameter:
+      return stats.diameter;
+    case CommunityMetric::kConductance:
+      return stats.conductance;
+    case CommunityMetric::kSize:
+      return stats.size;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> DetectCommunitiesLpa(const CsrGraph& g,
+                                           uint32_t max_iterations,
+                                           uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  Rng rng(seed);
+
+  std::vector<uint32_t> next(n);
+  std::unordered_map<uint32_t, uint32_t> freq;
+  for (uint32_t iter = 0; iter < max_iterations; ++iter) {
+    size_t changed = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      auto nbrs = g.OutNeighbors(v);
+      if (nbrs.empty()) {
+        next[v] = label[v];
+        continue;
+      }
+      freq.clear();
+      uint32_t best_label = label[v];
+      uint32_t best_count = 0;
+      for (VertexId u : nbrs) {
+        uint32_t c = ++freq[label[u]];
+        // Tie-break toward the smaller label for determinism.
+        if (c > best_count || (c == best_count && label[u] < best_label)) {
+          best_count = c;
+          best_label = label[u];
+        }
+      }
+      next[v] = best_label;
+      if (next[v] != label[v]) ++changed;
+    }
+    label.swap(next);
+    if (changed == 0) break;
+  }
+  return label;
+}
+
+std::vector<CommunityStats> ComputeCommunityStats(
+    const CsrGraph& g, const std::vector<uint32_t>& community_of,
+    size_t min_size, size_t max_communities) {
+  GAB_CHECK(community_of.size() == g.num_vertices());
+
+  // Group members per community.
+  std::unordered_map<uint32_t, std::vector<VertexId>> members;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    members[community_of[v]].push_back(v);
+  }
+  // Largest communities first, capped at max_communities.
+  std::vector<const std::vector<VertexId>*> selected;
+  for (const auto& [id, vs] : members) {
+    if (vs.size() >= min_size) selected.push_back(&vs);
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const auto* a, const auto* b) {
+              if (a->size() != b->size()) return a->size() > b->size();
+              return (*a)[0] < (*b)[0];  // deterministic tie-break
+            });
+  if (selected.size() > max_communities) selected.resize(max_communities);
+
+  std::vector<bool> in_set(g.num_vertices(), false);
+  std::vector<CommunityStats> out;
+  out.reserve(selected.size());
+  for (const auto* vs : selected) {
+    CsrGraph sub = InducedSubgraph(g, *vs);
+    CommunityStats s;
+    s.size = static_cast<double>(vs->size());
+    s.clustering_coefficient = AverageLocalClusteringCoefficient(sub);
+    std::vector<uint64_t> tri = TrianglesPerVertex(sub);
+    size_t participating = 0;
+    for (uint64_t t : tri) {
+      if (t > 0) ++participating;
+    }
+    s.triangle_participation =
+        static_cast<double>(participating) / static_cast<double>(tri.size());
+    std::vector<Edge> bridges = FindBridges(sub);
+    s.bridge_ratio = sub.num_edges() == 0
+                         ? 0.0
+                         : static_cast<double>(bridges.size()) /
+                               static_cast<double>(sub.num_edges());
+    s.diameter = static_cast<double>(ApproxDiameter(sub));
+    for (VertexId v : *vs) in_set[v] = true;
+    s.conductance = Conductance(g, in_set);
+    for (VertexId v : *vs) in_set[v] = false;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace gab

@@ -1,0 +1,59 @@
+#ifndef GAB_STATS_COMMUNITY_H_
+#define GAB_STATS_COMMUNITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// Per-community statistics used by the paper's generator-similarity
+/// evaluation (Section 8.1, Figure 7, Table 8), following Prat-Pérez &
+/// Dominguez-Sal's "How community-like is the structure of synthetically
+/// generated graphs?" methodology.
+struct CommunityStats {
+  /// Average local clustering coefficient inside the community subgraph.
+  double clustering_coefficient = 0;
+  /// Fraction of members in at least one intra-community triangle (TPR).
+  double triangle_participation = 0;
+  /// Fraction of intra-community edges that are bridges (BR).
+  double bridge_ratio = 0;
+  /// Diameter of the community subgraph.
+  double diameter = 0;
+  /// Conductance of the community against the rest of the graph.
+  double conductance = 0;
+  /// Member count.
+  double size = 0;
+};
+
+/// Column accessor used to build one histogram per statistic.
+enum class CommunityMetric {
+  kClusteringCoefficient = 0,
+  kTriangleParticipation,
+  kBridgeRatio,
+  kDiameter,
+  kConductance,
+  kSize,
+};
+inline constexpr int kNumCommunityMetrics = 6;
+const char* CommunityMetricName(CommunityMetric metric);
+double CommunityMetricValue(const CommunityStats& stats,
+                            CommunityMetric metric);
+
+/// Detects communities with synchronous label propagation (used when no
+/// planted assignment is available, e.g. on FFT-DG/LDBC-DG outputs, exactly
+/// as the paper "generates communities over the social network").
+std::vector<uint32_t> DetectCommunitiesLpa(const CsrGraph& g,
+                                           uint32_t max_iterations,
+                                           uint64_t seed);
+
+/// Computes per-community statistics for every community with at least
+/// `min_size` members, analyzing at most `max_communities` of the largest.
+std::vector<CommunityStats> ComputeCommunityStats(
+    const CsrGraph& g, const std::vector<uint32_t>& community_of,
+    size_t min_size = 5, size_t max_communities = 2000);
+
+}  // namespace gab
+
+#endif  // GAB_STATS_COMMUNITY_H_

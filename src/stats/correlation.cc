@@ -1,0 +1,56 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace gab {
+
+std::vector<double> FractionalRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average rank over the tie run [i, j] (1-based ranks).
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  GAB_CHECK(x.size() == y.size());
+  GAB_CHECK(!x.empty());
+  const double n = static_cast<double>(x.size());
+  double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double SpearmanRho(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  return PearsonCorrelation(FractionalRanks(x), FractionalRanks(y));
+}
+
+}  // namespace gab

@@ -1,0 +1,22 @@
+#ifndef GAB_STATS_CORRELATION_H_
+#define GAB_STATS_CORRELATION_H_
+
+#include <vector>
+
+namespace gab {
+
+/// Fractional ranks (average rank for ties), 1-based.
+std::vector<double> FractionalRanks(const std::vector<double>& values);
+
+/// Pearson correlation coefficient of two equal-length samples.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman's rank correlation (rho), the paper's measure of agreement
+/// between LLM-based and human usability rankings (Section 8.4: 0.75 for
+/// Intermediate, 0.714 for Senior).
+double SpearmanRho(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace gab
+
+#endif  // GAB_STATS_CORRELATION_H_

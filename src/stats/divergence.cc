@@ -1,0 +1,40 @@
+#include "stats/divergence.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gab {
+
+namespace {
+
+constexpr double kLog2 = 0.6931471805599453;
+
+}  // namespace
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  GAB_CHECK(p.size() == q.size());
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    double qi = q[i] > 0.0 ? q[i] : 1e-12;
+    kl += p[i] * std::log(p[i] / qi);
+  }
+  return kl / kLog2;
+}
+
+double JsDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  GAB_CHECK(p.size() == q.size());
+  std::vector<double> m(p.size());
+  for (size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  return 0.5 * KlDivergence(p, m) + 0.5 * KlDivergence(q, m);
+}
+
+double JsDivergence(const Histogram& a, const Histogram& b) {
+  GAB_CHECK(a.num_bins() == b.num_bins());
+  return JsDivergence(a.Normalized(), b.Normalized());
+}
+
+}  // namespace gab

@@ -1,0 +1,23 @@
+#ifndef GAB_STATS_DIVERGENCE_H_
+#define GAB_STATS_DIVERGENCE_H_
+
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace gab {
+
+/// Kullback–Leibler divergence KL(p || q) in bits. Zero-probability q bins
+/// are smoothed; inputs must be equal-length distributions summing to ~1.
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Jensen–Shannon divergence in bits: bounded to [0, 1], symmetric. This is
+/// the similarity measure of the paper's Table 8.
+double JsDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// JSD of two histograms binned over the same range.
+double JsDivergence(const Histogram& a, const Histogram& b);
+
+}  // namespace gab
+
+#endif  // GAB_STATS_DIVERGENCE_H_

@@ -1,0 +1,301 @@
+#include "stats/graph_stats.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/builder.h"
+#include "util/logging.h"
+
+namespace gab {
+
+double GraphDensity(const CsrGraph& g) {
+  double n = static_cast<double>(g.num_vertices());
+  if (n < 2) return 0.0;
+  return static_cast<double>(g.num_edges()) / (n * (n - 1.0) / 2.0);
+}
+
+DegreeSummary SummarizeDegrees(const CsrGraph& g) {
+  DegreeSummary s;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return s;
+  std::vector<uint64_t> degrees(n);
+  uint64_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = g.OutDegree(v);
+    total += degrees[v];
+    s.max = std::max<uint64_t>(s.max, degrees[v]);
+  }
+  s.mean = static_cast<double>(total) / static_cast<double>(n);
+  std::nth_element(degrees.begin(), degrees.begin() + n / 2, degrees.end());
+  s.median = degrees[n / 2];
+  return s;
+}
+
+namespace {
+
+// Intersection size of two sorted spans.
+uint64_t IntersectCount(std::span<const VertexId> a,
+                        std::span<const VertexId> b) {
+  uint64_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+uint64_t CountTrianglesSequential(const CsrGraph& g) {
+  GAB_CHECK(g.is_undirected());
+  uint64_t triangles = 0;
+  // Each triangle {u < v < w} counted once: for edge (u, v) with u < v,
+  // intersect the higher-id parts of both adjacency lists.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto nu = g.OutNeighbors(u);
+    for (VertexId v : nu) {
+      if (v <= u) continue;
+      auto nv = g.OutNeighbors(v);
+      // Count common neighbors w with w > v.
+      size_t ui = std::upper_bound(nu.begin(), nu.end(), v) - nu.begin();
+      size_t vi = std::upper_bound(nv.begin(), nv.end(), v) - nv.begin();
+      triangles += IntersectCount(nu.subspan(ui), nv.subspan(vi));
+    }
+  }
+  return triangles;
+}
+
+std::vector<uint64_t> TrianglesPerVertex(const CsrGraph& g) {
+  GAB_CHECK(g.is_undirected());
+  std::vector<uint64_t> count(g.num_vertices(), 0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto nu = g.OutNeighbors(u);
+    for (VertexId v : nu) {
+      if (v <= u) continue;
+      auto nv = g.OutNeighbors(v);
+      size_t i = 0;
+      size_t j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i] < nv[j]) {
+          ++i;
+        } else if (nu[i] > nv[j]) {
+          ++j;
+        } else {
+          if (nu[i] > v) {
+            ++count[u];
+            ++count[v];
+            ++count[nu[i]];
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+double GlobalClusteringCoefficient(const CsrGraph& g) {
+  uint64_t triangles = CountTrianglesSequential(g);
+  uint64_t wedges = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    uint64_t d = g.OutDegree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangles) / static_cast<double>(wedges);
+}
+
+double AverageLocalClusteringCoefficient(const CsrGraph& g) {
+  std::vector<uint64_t> tri = TrianglesPerVertex(g);
+  double sum = 0.0;
+  VertexId counted = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    uint64_t d = g.OutDegree(v);
+    if (d < 2) continue;
+    sum += static_cast<double>(tri[v]) /
+           (static_cast<double>(d) * static_cast<double>(d - 1) / 2.0);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+namespace {
+
+// BFS returning (farthest vertex, its distance); unreachable ignored.
+std::pair<VertexId, uint32_t> BfsFarthest(const CsrGraph& g, VertexId source) {
+  std::vector<uint32_t> dist(g.num_vertices(),
+                             std::numeric_limits<uint32_t>::max());
+  std::queue<VertexId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  VertexId farthest = source;
+  uint32_t best = 0;
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop();
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (dist[v] != std::numeric_limits<uint32_t>::max()) continue;
+      dist[v] = dist[u] + 1;
+      if (dist[v] > best) {
+        best = dist[v];
+        farthest = v;
+      }
+      queue.push(v);
+    }
+  }
+  return {farthest, best};
+}
+
+}  // namespace
+
+uint32_t ApproxDiameter(const CsrGraph& g, uint32_t sweeps) {
+  if (g.num_vertices() == 0) return 0;
+  VertexId start = 0;
+  uint32_t best = 0;
+  for (uint32_t s = 0; s < sweeps; ++s) {
+    auto [far, d] = BfsFarthest(g, start);
+    if (d <= best && s > 0) break;
+    best = std::max(best, d);
+    start = far;
+  }
+  return best;
+}
+
+std::vector<VertexId> ConnectedComponentLabels(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) parent[v] = v;
+  // Path-halving find.
+  auto find = [&](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      VertexId ru = find(u);
+      VertexId rv = find(v);
+      if (ru == rv) continue;
+      // Union by smaller root id so labels are canonical minima.
+      if (ru < rv) {
+        parent[rv] = ru;
+      } else {
+        parent[ru] = rv;
+      }
+    }
+  }
+  std::vector<VertexId> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = find(v);
+  return label;
+}
+
+double Conductance(const CsrGraph& g, const std::vector<bool>& in_set) {
+  GAB_CHECK(in_set.size() == g.num_vertices());
+  uint64_t cut = 0;
+  uint64_t vol_in = 0;
+  uint64_t vol_out = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    uint64_t d = g.OutDegree(u);
+    if (in_set[u]) {
+      vol_in += d;
+      for (VertexId v : g.OutNeighbors(u)) {
+        if (!in_set[v]) ++cut;
+      }
+    } else {
+      vol_out += d;
+    }
+  }
+  uint64_t denom = std::min(vol_in, vol_out);
+  if (denom == 0) return cut == 0 ? 0.0 : 1.0;
+  return static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+std::vector<Edge> FindBridges(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<Edge> bridges;
+  std::vector<uint32_t> disc(n, 0);
+  std::vector<uint32_t> low(n, 0);
+  uint32_t timer = 0;
+
+  // Iterative DFS; `frame` tracks (vertex, parent, next-neighbor index).
+  struct Frame {
+    VertexId v;
+    VertexId parent;
+    size_t next;
+    bool skipped_parent_edge;
+  };
+  std::vector<Frame> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (disc[root] != 0) continue;
+    disc[root] = low[root] = ++timer;
+    stack.push_back({root, kInvalidVertex, 0, false});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      auto nbrs = g.OutNeighbors(f.v);
+      if (f.next < nbrs.size()) {
+        VertexId w = nbrs[f.next++];
+        if (w == f.parent && !f.skipped_parent_edge) {
+          // Skip exactly one copy of the tree edge back to the parent so
+          // parallel edges are treated correctly (there are none after
+          // dedupe, but multi-edge safety is cheap).
+          f.skipped_parent_edge = true;
+          continue;
+        }
+        if (disc[w] == 0) {
+          disc[w] = low[w] = ++timer;
+          stack.push_back({w, f.v, 0, false});
+        } else {
+          low[f.v] = std::min(low[f.v], disc[w]);
+        }
+      } else {
+        VertexId v = f.v;
+        VertexId p = f.parent;
+        stack.pop_back();
+        if (p != kInvalidVertex) {
+          low[p] = std::min(low[p], low[v]);
+          if (low[v] > disc[p]) {
+            bridges.push_back({std::min(p, v), std::max(p, v)});
+          }
+        }
+      }
+    }
+  }
+  return bridges;
+}
+
+CsrGraph InducedSubgraph(const CsrGraph& g,
+                         std::span<const VertexId> vertices) {
+  std::vector<VertexId> remap(g.num_vertices(), kInvalidVertex);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    GAB_CHECK(remap[vertices[i]] == kInvalidVertex);
+    remap[vertices[i]] = static_cast<VertexId>(i);
+  }
+  EdgeList edges(static_cast<VertexId>(vertices.size()));
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    VertexId u = vertices[i];
+    for (VertexId v : g.OutNeighbors(u)) {
+      VertexId rv = remap[v];
+      if (rv == kInvalidVertex) continue;
+      // Add each undirected edge once (the builder re-symmetrizes).
+      if (static_cast<VertexId>(i) < rv) {
+        edges.AddEdge(static_cast<VertexId>(i), rv);
+      }
+    }
+  }
+  edges.set_num_vertices(static_cast<VertexId>(vertices.size()));
+  return GraphBuilder::Build(std::move(edges));
+}
+
+}  // namespace gab

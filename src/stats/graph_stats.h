@@ -1,0 +1,59 @@
+#ifndef GAB_STATS_GRAPH_STATS_H_
+#define GAB_STATS_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gab {
+
+/// Undirected graph density: m / (n * (n-1) / 2), as reported in Table 4.
+double GraphDensity(const CsrGraph& g);
+
+/// Summary of the degree distribution.
+struct DegreeSummary {
+  double mean = 0;
+  uint64_t max = 0;
+  uint64_t median = 0;
+};
+DegreeSummary SummarizeDegrees(const CsrGraph& g);
+
+/// Exact triangle count of an undirected graph (forward/neighbor
+/// intersection over sorted adjacency lists). Single-threaded reference;
+/// the parallel platform implementations live in src/platforms/.
+uint64_t CountTrianglesSequential(const CsrGraph& g);
+
+/// Per-vertex count of triangles incident to the vertex.
+std::vector<uint64_t> TrianglesPerVertex(const CsrGraph& g);
+
+/// Global clustering coefficient: 3 * triangles / open-or-closed wedges.
+double GlobalClusteringCoefficient(const CsrGraph& g);
+
+/// Average of per-vertex local clustering coefficients.
+double AverageLocalClusteringCoefficient(const CsrGraph& g);
+
+/// Approximate diameter by iterated double-sweep BFS (exact lower bound;
+/// tight on small-world graphs). Ignores edge weights and direction.
+uint32_t ApproxDiameter(const CsrGraph& g, uint32_t sweeps = 4);
+
+/// Connected-component label per vertex (union-find; labels are the
+/// smallest vertex id in the component).
+std::vector<VertexId> ConnectedComponentLabels(const CsrGraph& g);
+
+/// Conductance of the vertex set S: cut(S, V\S) / min(vol(S), vol(V\S)).
+/// in_set must have g.num_vertices() entries.
+double Conductance(const CsrGraph& g, const std::vector<bool>& in_set);
+
+/// Bridge edges (removal disconnects the graph) via iterative Tarjan
+/// low-link. Returns (u, v) pairs with u < v.
+std::vector<Edge> FindBridges(const CsrGraph& g);
+
+/// Induced subgraph over `vertices` (ids are remapped to 0..k-1 in the
+/// order given; duplicate ids are not allowed). Weights are dropped.
+CsrGraph InducedSubgraph(const CsrGraph& g, std::span<const VertexId> vertices);
+
+}  // namespace gab
+
+#endif  // GAB_STATS_GRAPH_STATS_H_

@@ -1,0 +1,46 @@
+#ifndef GAB_USABILITY_CODEGEN_SIM_H_
+#define GAB_USABILITY_CODEGEN_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "usability/api_spec.h"
+#include "usability/prompt.h"
+
+namespace gab {
+
+/// Outcome of emitting one API call in the generated program.
+enum class TokenOutcome {
+  kCorrect = 0,     // right primitive, right usage
+  kMisused,         // right primitive, wrong parameters/ordering
+  kHallucinated,    // invented a nonexistent API (paper §5.2 Step 3)
+  kGenericFallback, // fell back to plain C++ instead of the platform API
+};
+
+/// A simulated generation artifact: the per-required-call outcomes plus
+/// structural properties the evaluator scores.
+struct GeneratedCode {
+  std::vector<TokenOutcome> tokens;  // one per required API call
+  /// 0..1 structural quality (decomposition, naming discipline).
+  double structure_quality = 0;
+  /// Effective knowledge the generator operated with (diagnostic).
+  double knowledge = 0;
+};
+
+/// The simulated code generator replacing the paper's instruction-tuned
+/// GPT-4o (DESIGN.md Section 2). Per required API call, the probability of
+/// a correct emission follows a documented function of the programmer's
+/// knowledge — which combines the prompt level with the platform's
+/// documentation, examples, and abstraction level — and the call's
+/// complexity (parameters, concepts). Hallucinations become more likely
+/// exactly when knowledge is low and the API surface is large, mirroring
+/// the LLM behavior the paper reports.
+GeneratedCode SimulateCodeGeneration(const ApiSpec& api,
+                                     const PromptSpec& prompt, uint64_t seed);
+
+/// The knowledge value the model assigns (exposed for tests/ablation).
+double EffectiveKnowledge(const ApiSpec& api, const PromptSpec& prompt);
+
+}  // namespace gab
+
+#endif  // GAB_USABILITY_CODEGEN_SIM_H_

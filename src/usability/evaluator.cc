@@ -1,0 +1,66 @@
+#include "usability/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gab {
+
+namespace {
+
+double Clamp100(double x) { return std::max(0.0, std::min(100.0, x)); }
+
+}  // namespace
+
+UsabilityScores EvaluateCode(const GeneratedCode& code, const ApiSpec& api) {
+  double n = static_cast<double>(code.tokens.size());
+  double correct = 0;
+  double misused = 0;
+  double hallucinated = 0;
+  double generic = 0;
+  for (TokenOutcome outcome : code.tokens) {
+    switch (outcome) {
+      case TokenOutcome::kCorrect:
+        ++correct;
+        break;
+      case TokenOutcome::kMisused:
+        ++misused;
+        break;
+      case TokenOutcome::kHallucinated:
+        ++hallucinated;
+        break;
+      case TokenOutcome::kGenericFallback:
+        ++generic;
+        break;
+    }
+  }
+  if (n == 0) return {};
+  correct /= n;
+  misused /= n;
+  hallucinated /= n;
+  generic /= n;
+
+  UsabilityScores scores;
+  // Compliance: adherence to the platform idiom versus the reference code.
+  // Misused primitives are half credit (right idiom, wrong invocation);
+  // generic fallbacks barely comply; hallucinations are penalized beyond
+  // their share because they break the build.
+  scores.compliance = Clamp100(
+      100.0 * (0.30 + 0.70 * (correct + 0.55 * misused + 0.15 * generic)) -
+      33.0 * hallucinated);
+
+  // Correctness: does the program compute the right thing. A concave map of
+  // the correct-call fraction (one wrong call usually breaks one stage, not
+  // everything), with hallucinations again weighted heavily.
+  scores.correctness = Clamp100(
+      100.0 * (0.30 + 0.70 * std::pow(correct + 0.35 * misused, 1.15)) -
+      25.0 * hallucinated);
+
+  // Readability: naming discipline, boilerplate burden, structure.
+  scores.readability = Clamp100(
+      100.0 * (0.40 * api.naming_consistency +
+               0.28 * (1.0 - api.boilerplate_ratio) +
+               0.32 * code.structure_quality));
+  return scores;
+}
+
+}  // namespace gab

@@ -1,0 +1,35 @@
+#ifndef GAB_USABILITY_EVALUATOR_H_
+#define GAB_USABILITY_EVALUATOR_H_
+
+#include "usability/api_spec.h"
+#include "usability/codegen_sim.h"
+
+namespace gab {
+
+/// Per-metric scores on the paper's 0-100 scale.
+struct UsabilityScores {
+  double compliance = 0;   // weight 0.35 (paper §5.2, Step 3)
+  double correctness = 0;  // weight 0.35
+  double readability = 0;  // weight 0.30
+
+  double Weighted() const {
+    return 0.35 * compliance + 0.35 * correctness + 0.30 * readability;
+  }
+};
+
+/// Default metric weights (customizable per the paper).
+struct MetricWeights {
+  double compliance = 0.35;
+  double correctness = 0.35;
+  double readability = 0.30;
+};
+
+/// The Code Evaluator: scores a generated artifact against the platform's
+/// reference code. Compliance measures adherence to the platform's API
+/// idiom, correctness the algorithmic logic, readability the structure —
+/// mirroring the paper's three metrics and weighting.
+UsabilityScores EvaluateCode(const GeneratedCode& code, const ApiSpec& api);
+
+}  // namespace gab
+
+#endif  // GAB_USABILITY_EVALUATOR_H_

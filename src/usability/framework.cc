@@ -1,0 +1,78 @@
+#include "usability/framework.h"
+
+#include "stats/correlation.h"
+#include "usability/api_spec.h"
+#include "usability/codegen_sim.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gab {
+
+const PlatformLevelScore& UsabilityReport::Cell(const std::string& abbrev,
+                                                PromptLevel level) const {
+  for (const PlatformLevelScore& cell : cells) {
+    if (cell.platform_abbrev == abbrev && cell.level == level) return cell;
+  }
+  GAB_CHECK(false);
+  return cells.front();
+}
+
+std::vector<double> UsabilityReport::WeightedRow(PromptLevel level) const {
+  std::vector<double> row;
+  for (const ApiSpec& spec : AllApiSpecs()) {
+    row.push_back(Cell(spec.abbrev, level).scores.Weighted());
+  }
+  return row;
+}
+
+UsabilityReport RunUsabilityEvaluation(uint32_t trials, uint64_t seed) {
+  GAB_CHECK(trials > 0);
+  UsabilityReport report;
+  report.trials = trials;
+  SplitMix64 seeder(seed);
+  for (const ApiSpec& spec : AllApiSpecs()) {
+    for (PromptLevel level : AllPromptLevels()) {
+      PromptSpec prompt = SpecForLevel(level);
+      UsabilityScores sum;
+      for (uint32_t t = 0; t < trials; ++t) {
+        GeneratedCode code =
+            SimulateCodeGeneration(spec, prompt, seeder.Next());
+        UsabilityScores s = EvaluateCode(code, spec);
+        sum.compliance += s.compliance;
+        sum.correctness += s.correctness;
+        sum.readability += s.readability;
+      }
+      PlatformLevelScore cell;
+      cell.platform_abbrev = spec.abbrev;
+      cell.level = level;
+      cell.scores.compliance = sum.compliance / trials;
+      cell.scores.correctness = sum.correctness / trials;
+      cell.scores.readability = sum.readability / trials;
+      report.cells.push_back(cell);
+    }
+  }
+  return report;
+}
+
+std::vector<double> HumanBaselineScores(PromptLevel level) {
+  // Paper Table 12, human rows, in AllApiSpecs (paper) platform order:
+  // GX, PG, FL, GR, PP, LI, GT.
+  switch (level) {
+    case PromptLevel::kIntermediate:
+      return {77.4, 62.8, 68.8, 57.2, 70.3, 67.6, 61.7};
+    case PromptLevel::kSenior:
+      return {78.2, 61.6, 74.6, 56.8, 72.0, 72.0, 65.7};
+    default:
+      // The paper's human study only covered these two levels.
+      return {};
+  }
+}
+
+double RankAgreementWithHumans(const UsabilityReport& report,
+                               PromptLevel level) {
+  std::vector<double> humans = HumanBaselineScores(level);
+  GAB_CHECK(!humans.empty());
+  return SpearmanRho(report.WeightedRow(level), humans);
+}
+
+}  // namespace gab

@@ -1,0 +1,49 @@
+#ifndef GAB_USABILITY_FRAMEWORK_H_
+#define GAB_USABILITY_FRAMEWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "usability/evaluator.h"
+#include "usability/prompt.h"
+
+namespace gab {
+
+/// Averaged scores for one platform at one prompt level.
+struct PlatformLevelScore {
+  std::string platform_abbrev;
+  PromptLevel level;
+  UsabilityScores scores;  // trial averages
+};
+
+/// Full usability report (paper Figure 13 + Table 12).
+struct UsabilityReport {
+  std::vector<PlatformLevelScore> cells;  // platform-major, level-minor
+  uint32_t trials = 0;
+
+  const PlatformLevelScore& Cell(const std::string& abbrev,
+                                 PromptLevel level) const;
+  /// Weighted scores of every platform at a level, in AllApiSpecs order.
+  std::vector<double> WeightedRow(PromptLevel level) const;
+};
+
+/// The multi-level LLM-based usability evaluation framework (paper §5.2):
+/// for every platform and prompt level, run `trials` seeded generations
+/// through the code generator and the code evaluator, averaging the three
+/// metric scores. Deterministic for a fixed (trials, seed).
+UsabilityReport RunUsabilityEvaluation(uint32_t trials, uint64_t seed);
+
+/// The paper's human-study weighted scores (Table 12; 80+ reviewers) for
+/// the Intermediate and Senior levels, in AllApiSpecs platform order:
+/// the fixed baseline our framework's rankings are correlated against.
+std::vector<double> HumanBaselineScores(PromptLevel level);
+
+/// Spearman's rho between this report's ranking and the human baseline at
+/// a level (paper reports 0.75 Intermediate / 0.714 Senior).
+double RankAgreementWithHumans(const UsabilityReport& report,
+                               PromptLevel level);
+
+}  // namespace gab
+
+#endif  // GAB_USABILITY_FRAMEWORK_H_

@@ -1,0 +1,78 @@
+#include "usability/prompt.h"
+
+#include "util/logging.h"
+
+namespace gab {
+
+const char* PromptLevelName(PromptLevel level) {
+  switch (level) {
+    case PromptLevel::kJunior:
+      return "Junior";
+    case PromptLevel::kIntermediate:
+      return "Intermediate";
+    case PromptLevel::kSenior:
+      return "Senior";
+    case PromptLevel::kExpert:
+      return "Expert";
+  }
+  return "?";
+}
+
+std::vector<PromptLevel> AllPromptLevels() {
+  return {PromptLevel::kJunior, PromptLevel::kIntermediate,
+          PromptLevel::kSenior, PromptLevel::kExpert};
+}
+
+PromptSpec SpecForLevel(PromptLevel level) {
+  PromptSpec spec;
+  spec.level = level;
+  switch (level) {
+    case PromptLevel::kJunior:
+      spec.base_knowledge = 0.15;
+      break;
+    case PromptLevel::kIntermediate:
+      spec.gives_api_names = true;
+      spec.base_knowledge = 0.35;
+      break;
+    case PromptLevel::kSenior:
+      spec.gives_api_names = true;
+      spec.gives_api_docs = true;
+      spec.gives_examples = true;
+      spec.base_knowledge = 0.55;
+      break;
+    case PromptLevel::kExpert:
+      spec.gives_api_names = true;
+      spec.gives_api_docs = true;
+      spec.gives_examples = true;
+      spec.gives_pseudocode = true;
+      spec.base_knowledge = 0.70;
+      break;
+  }
+  return spec;
+}
+
+std::string RenderPrompt(const PromptSpec& spec,
+                         const std::string& task_description) {
+  std::string prompt =
+      "You are an advanced code generation assistant. Your task is to "
+      "generate efficient, well-structured C++ code for the anonymized "
+      "graph platform described below.\n\n";
+  prompt += "Task: " + task_description + "\n";
+  if (spec.gives_api_names) {
+    prompt += "Core APIs: <anonymized primitive names and parameters>\n";
+  }
+  if (spec.gives_api_docs) {
+    prompt += "API documentation: <detailed usage instructions>\n";
+  }
+  if (spec.gives_examples) {
+    prompt += "Example code: <sample program using the primitives>\n";
+  }
+  if (spec.gives_pseudocode) {
+    prompt += "Algorithm pseudo-code: <step-by-step reference>\n";
+  }
+  prompt += "\nThe code should rely only on the platform's lowest-level "
+            "APIs (no high-level wrappers).\n";
+  return prompt;
+}
+
+}  // namespace gab

@@ -1,0 +1,43 @@
+#ifndef GAB_USABILITY_PROMPT_H_
+#define GAB_USABILITY_PROMPT_H_
+
+#include <string>
+#include <vector>
+
+namespace gab {
+
+/// The four prompt levels simulating programmer expertise (paper §5.2,
+/// Step 2).
+enum class PromptLevel {
+  kJunior = 0,        // task description only
+  kIntermediate = 1,  // + core API names and parameters
+  kSenior = 2,        // + detailed API docs and example code
+  kExpert = 3,        // + algorithm pseudo-code
+};
+inline constexpr int kNumPromptLevels = 4;
+const char* PromptLevelName(PromptLevel level);
+std::vector<PromptLevel> AllPromptLevels();
+
+/// What a prompt level supplies to the code generator.
+struct PromptSpec {
+  PromptLevel level;
+  bool gives_api_names = false;
+  bool gives_api_docs = false;
+  bool gives_examples = false;
+  bool gives_pseudocode = false;
+  /// Baseline familiarity the simulated programmer brings (grows with
+  /// seniority independent of the platform).
+  double base_knowledge = 0.0;
+};
+
+/// The canonical spec for each level.
+PromptSpec SpecForLevel(PromptLevel level);
+
+/// Renders the prompt text a real LLM would receive (platform identifiers
+/// anonymized, paper §5.2); used by the docs/examples, exercised in tests.
+std::string RenderPrompt(const PromptSpec& spec,
+                         const std::string& task_description);
+
+}  // namespace gab
+
+#endif  // GAB_USABILITY_PROMPT_H_

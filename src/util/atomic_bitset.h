@@ -1,0 +1,76 @@
+#ifndef GAB_UTIL_ATOMIC_BITSET_H_
+#define GAB_UTIL_ATOMIC_BITSET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace gab {
+
+/// Fixed-size bitset with lock-free concurrent set/test. Used for dense
+/// frontier representations (Ligra-style edgeMap in pull direction) and for
+/// visited flags in parallel traversals.
+class AtomicBitset {
+ public:
+  AtomicBitset() : size_(0), num_words_(0) {}
+
+  explicit AtomicBitset(size_t size) { Reset(size); }
+
+  /// Re-sizes and clears all bits.
+  void Reset(size_t size) {
+    size_ = size;
+    num_words_ = (size + 63) / 64;
+    words_ = std::make_unique<std::atomic<uint64_t>[]>(num_words_);
+    Clear();
+  }
+
+  void Clear() {
+    for (size_t i = 0; i < num_words_; ++i) {
+      words_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  bool Test(size_t i) const {
+    GAB_DCHECK(i < size_);
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i) {
+    GAB_DCHECK(i < size_);
+    words_[i >> 6].fetch_or(uint64_t{1} << (i & 63), std::memory_order_relaxed);
+  }
+
+  /// Atomically sets bit i; returns true iff this call transitioned it 0→1.
+  /// This is the primitive that deduplicates frontier insertions.
+  bool TestAndSet(size_t i) {
+    GAB_DCHECK(i < size_);
+    uint64_t mask = uint64_t{1} << (i & 63);
+    uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  /// Population count (single-threaded; call between parallel phases).
+  size_t Count() const {
+    size_t total = 0;
+    for (size_t i = 0; i < num_words_; ++i) {
+      total += static_cast<size_t>(
+          __builtin_popcountll(words_[i].load(std::memory_order_relaxed)));
+    }
+    return total;
+  }
+
+ private:
+  size_t size_;
+  size_t num_words_;
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+};
+
+}  // namespace gab
+
+#endif  // GAB_UTIL_ATOMIC_BITSET_H_

@@ -1,0 +1,44 @@
+#include "util/histogram.h"
+
+#include "util/logging.h"
+
+namespace gab {
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo), hi_(hi), counts_(num_bins, 0) {
+  GAB_CHECK(num_bins > 0);
+  GAB_CHECK(hi > lo);
+  width_ = (hi - lo) / static_cast<double>(num_bins);
+}
+
+size_t Histogram::BinOf(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  size_t bin = static_cast<size_t>((value - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  return bin;
+}
+
+void Histogram::Add(double value) {
+  ++counts_[BinOf(value)];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+std::vector<double> Histogram::Normalized() const {
+  std::vector<double> p(counts_.size());
+  if (total_ == 0) {
+    double uniform = 1.0 / static_cast<double>(counts_.size());
+    for (auto& x : p) x = uniform;
+    return p;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    p[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return p;
+}
+
+}  // namespace gab

@@ -1,0 +1,44 @@
+#ifndef GAB_UTIL_HISTOGRAM_H_
+#define GAB_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gab {
+
+/// Fixed-bin histogram over a closed value range. The statistics subsystem
+/// bins community statistics with a shared Histogram per metric, then
+/// compares the normalized bin distributions with Jensen–Shannon divergence.
+class Histogram {
+ public:
+  /// Bins the range [lo, hi] into `num_bins` equal-width bins.
+  /// Values outside the range are clamped into the first/last bin.
+  Histogram(double lo, double hi, size_t num_bins);
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  size_t num_bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  size_t total_count() const { return total_; }
+  const std::vector<size_t>& counts() const { return counts_; }
+
+  /// Bin index a value falls into (after clamping).
+  size_t BinOf(double value) const;
+
+  /// Probability mass per bin; all-zero histogram yields a uniform
+  /// distribution so divergence against it is well defined.
+  std::vector<double> Normalized() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace gab
+
+#endif  // GAB_UTIL_HISTOGRAM_H_

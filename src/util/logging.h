@@ -1,0 +1,35 @@
+#ifndef GAB_UTIL_LOGGING_H_
+#define GAB_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gab {
+namespace internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "GAB_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace gab
+
+/// Always-on invariant check (fires in release builds too). Benchmark code
+/// must never run on top of violated invariants, so these are not compiled
+/// out the way assert() is.
+#define GAB_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::gab::internal_logging::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                  \
+  } while (0)
+
+#define GAB_DCHECK(expr) \
+  do {                   \
+    if (!(expr)) {       \
+    }                    \
+  } while (0)
+
+#endif  // GAB_UTIL_LOGGING_H_

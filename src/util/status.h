@@ -1,0 +1,63 @@
+#ifndef GAB_UTIL_STATUS_H_
+#define GAB_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace gab {
+
+/// Lightweight error-reporting type for fallible operations (I/O, parsing,
+/// configuration validation). The library does not throw exceptions across
+/// its public API; functions that can fail return Status or set one via an
+/// output parameter.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIoError,
+    kOutOfRange,
+    kUnsupported,
+    kResourceExhausted,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string, "OK" for success.
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace gab
+
+#endif  // GAB_UTIL_STATUS_H_

@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace gab {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  GAB_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto append_row = [&](std::string& out, const std::vector<std::string>& r) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      out += "| ";
+      out += r[c];
+      out.append(widths[c] - r[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  std::string out;
+  append_row(out, header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out += "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Table::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::FmtSci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string Table::FmtCount(uint64_t v) {
+  // Groups digits with commas: 12345678 -> "12,345,678".
+  char digits[32];
+  int n = std::snprintf(digits, sizeof(digits), "%llu",
+                        static_cast<unsigned long long>(v));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || v == 0) return fallback;
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace gab

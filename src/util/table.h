@@ -1,0 +1,44 @@
+#ifndef GAB_UTIL_TABLE_H_
+#define GAB_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gab {
+
+/// Plain-text aligned table printer. Every bench binary regenerating a paper
+/// table/figure emits its rows through this class so output is uniform and
+/// grep-friendly.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column alignment and a header separator.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formatting helpers used by bench binaries.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string FmtSci(double v, int precision = 2);
+  static std::string FmtCount(uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Reads a positive integer from an environment variable, or returns
+/// `fallback` when unset/invalid. Benches use GAB_SCALE / GAB_TRIALS.
+uint64_t EnvOr(const char* name, uint64_t fallback);
+
+}  // namespace gab
+
+#endif  // GAB_UTIL_TABLE_H_

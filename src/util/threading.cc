@@ -1,0 +1,144 @@
+#include "util/threading.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace gab {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  // Worker 0 is the calling thread; spawn the rest.
+  for (size_t i = 1; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ ||
+               (current_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      batch = current_;
+    }
+    WorkOn(*batch, worker_index);
+  }
+}
+
+void ThreadPool::WorkOn(Batch& batch, size_t worker_index) {
+  while (true) {
+    size_t task = batch.next_task.fetch_add(1, std::memory_order_relaxed);
+    if (task >= batch.num_tasks) break;
+    (*batch.fn)(task, worker_index);
+    size_t done = batch.done_tasks.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == batch.num_tasks) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunTasks(size_t num_tasks,
+                          const std::function<void(size_t, size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (num_tasks == 1 || threads_.empty()) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i, 0);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->num_tasks = num_tasks;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller participates as worker 0.
+  WorkOn(*batch, 0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return batch->done_tasks.load(std::memory_order_acquire) ==
+             batch->num_tasks;
+    });
+    if (current_ == batch) current_.reset();
+  }
+  // `fn` is only dereferenced by workers that claimed a task index below
+  // num_tasks; once done_tasks == num_tasks no further claim can succeed,
+  // so returning (and invalidating fn) here is safe even with stragglers.
+}
+
+ThreadPool& DefaultPool() {
+  static ThreadPool& pool = *new ThreadPool([] {
+    if (const char* env = std::getenv("GAB_THREADS")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<size_t>(v);
+    }
+    return static_cast<size_t>(0);
+  }());
+  return pool;
+}
+
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  GAB_CHECK(grain > 0);
+  size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks == 1) {
+    body(0, n);
+    return;
+  }
+  DefaultPool().RunTasks(num_chunks, [&](size_t chunk, size_t) {
+    size_t begin = chunk * grain;
+    size_t end = begin + grain < n ? begin + grain : n;
+    body(begin, end);
+  });
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body) {
+  size_t workers = DefaultPool().num_threads();
+  // 4 chunks per worker gives reasonable load balance without contention.
+  size_t grain = n / (workers * 4) + 1;
+  ParallelFor(n, grain, body);
+}
+
+double ParallelReduceSum(size_t n,
+                         const std::function<double(size_t, size_t)>& body) {
+  if (n == 0) return 0.0;
+  size_t workers = DefaultPool().num_threads();
+  size_t num_chunks = workers * 4;
+  size_t grain = n / num_chunks + 1;
+  num_chunks = (n + grain - 1) / grain;
+  std::vector<double> partial(num_chunks, 0.0);
+  DefaultPool().RunTasks(num_chunks, [&](size_t chunk, size_t) {
+    size_t begin = chunk * grain;
+    size_t end = begin + grain < n ? begin + grain : n;
+    partial[chunk] = body(begin, end);
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+}  // namespace gab

@@ -1,0 +1,80 @@
+#ifndef GAB_UTIL_THREADING_H_
+#define GAB_UTIL_THREADING_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gab {
+
+/// Fixed-size worker pool that executes batches of range tasks. A single
+/// process-wide pool (see DefaultPool) backs all parallel engines; engines
+/// select their logical parallelism (partitions) independently of the
+/// physical worker count so traces are machine-independent.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the calling thread that joins each batch.
+  size_t num_threads() const { return threads_.size() + 1; }
+
+  /// Runs fn(task_index, worker_index) for task_index in [0, num_tasks),
+  /// distributing tasks over workers; blocks until all complete. The calling
+  /// thread participates as worker 0, so the pool also works single-threaded.
+  void RunTasks(size_t num_tasks,
+                const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  // Heap-allocated and shared with every worker that picks it up, so a
+  // straggler worker observing the batch after RunTasks returned still
+  // reads valid memory (it sees next_task >= num_tasks and leaves without
+  // touching fn).
+  struct Batch {
+    size_t num_tasks = 0;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    std::atomic<size_t> next_task{0};
+    std::atomic<size_t> done_tasks{0};
+  };
+
+  void WorkerLoop(size_t worker_index);
+  void WorkOn(Batch& batch, size_t worker_index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Batch> current_;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Process-wide default pool, sized from GAB_THREADS (if set) or hardware
+/// concurrency. Never destroyed (intentional leak per static-lifetime rules).
+ThreadPool& DefaultPool();
+
+/// Splits [0, n) into chunks of at most `grain` and runs body(begin, end)
+/// over the default pool. body must be safe to call concurrently.
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// ParallelFor with one chunk per worker (grain chosen automatically).
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
+
+/// Parallel sum-reduction of body(begin, end) partial results.
+double ParallelReduceSum(size_t n,
+                         const std::function<double(size_t, size_t)>& body);
+
+}  // namespace gab
+
+#endif  // GAB_UTIL_THREADING_H_

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "algos/bc.h"
+#include "algos/core_decomposition.h"
+#include "algos/kclique.h"
+#include "algos/lpa.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "algos/triangle_count.h"
+#include "algos/verify.h"
+#include "algos/wcc.h"
+#include "gen/classic.h"
+#include "gen/fft_dg.h"
+#include "gen/weights.h"
+#include "graph/builder.h"
+#include "stats/graph_stats.h"
+
+namespace gab {
+namespace {
+
+CsrGraph Clique(VertexId k) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId i = 0; i < k; ++i) {
+    for (VertexId j = i + 1; j < k; ++j) pairs.push_back({i, j});
+  }
+  return GraphBuilder::FromPairs(k, pairs);
+}
+
+CsrGraph WeightedPath() {
+  // 0 -5- 1 -3- 2 -7- 3
+  EdgeList el(4);
+  el.AddEdge(0, 1, 5);
+  el.AddEdge(1, 2, 3);
+  el.AddEdge(2, 3, 7);
+  return GraphBuilder::Build(std::move(el));
+}
+
+CsrGraph RandomGraph(uint64_t seed, VertexId n = 800, EdgeId m = 4000) {
+  EdgeList el = GenerateErdosRenyi(n, m, seed);
+  AssignUniformWeights(&el, seed + 1);
+  return GraphBuilder::Build(std::move(el));
+}
+
+// ------------------------------------------------------------- PageRank ----
+
+TEST(PageRankTest, SumsToOne) {
+  CsrGraph g = RandomGraph(1);
+  auto pr = PageRankReference(g);
+  double sum = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SymmetricGraphGivesUniformRank) {
+  CsrGraph g = Clique(6);
+  auto pr = PageRankReference(g);
+  for (double r : pr) EXPECT_NEAR(r, 1.0 / 6.0, 1e-12);
+}
+
+TEST(PageRankTest, HubOutranksLeaves) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId v = 1; v < 11; ++v) pairs.push_back({0, v});
+  CsrGraph g = GraphBuilder::FromPairs(11, pairs);
+  auto pr = PageRankReference(g);
+  for (VertexId v = 1; v < 11; ++v) EXPECT_GT(pr[0], pr[v]);
+}
+
+TEST(PageRankTest, IsolatedVerticesShareDanglingMass) {
+  // Two connected vertices + one isolated; ranks must still sum to 1.
+  CsrGraph g = GraphBuilder::FromPairs(3, {{0, 1}});
+  auto pr = PageRankReference(g);
+  EXPECT_NEAR(pr[0] + pr[1] + pr[2], 1.0, 1e-9);
+  EXPECT_GT(pr[2], 0.0);
+}
+
+// ----------------------------------------------------------------- SSSP ----
+
+TEST(SsspTest, WeightedPathDistances) {
+  auto dist = SsspReference(WeightedPath(), 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 5u);
+  EXPECT_EQ(dist[2], 8u);
+  EXPECT_EQ(dist[3], 15u);
+}
+
+TEST(SsspTest, UnreachableIsInfinite) {
+  CsrGraph g = GraphBuilder::FromPairs(4, {{0, 1}, {2, 3}});
+  auto dist = SsspReference(g, 0);
+  EXPECT_EQ(dist[2], kInfDist);
+  EXPECT_EQ(dist[3], kInfDist);
+}
+
+TEST(SsspTest, PicksShorterOfTwoRoutes) {
+  EdgeList el(3);
+  el.AddEdge(0, 1, 10);
+  el.AddEdge(0, 2, 1);
+  el.AddEdge(2, 1, 2);
+  auto dist = SsspReference(GraphBuilder::Build(std::move(el)), 0);
+  EXPECT_EQ(dist[1], 3u);
+}
+
+TEST(SsspTest, UnweightedGraphCountsHops) {
+  CsrGraph g = GraphBuilder::FromPairs(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto dist = SsspReference(g, 0);
+  EXPECT_EQ(dist[3], 3u);
+}
+
+// ------------------------------------------------------------------ WCC ----
+
+TEST(WccTest, LabelsAreComponentMinima) {
+  CsrGraph g = GraphBuilder::FromPairs(6, {{1, 2}, {2, 0}, {4, 5}});
+  auto labels = WccReference(g);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[4], 4u);
+  EXPECT_EQ(labels[5], 4u);
+  EXPECT_EQ(CountComponents(labels), 3u);
+}
+
+// ------------------------------------------------------------------ LPA ----
+
+TEST(LpaTest, DeterministicAcrossRuns) {
+  CsrGraph g = RandomGraph(3);
+  EXPECT_EQ(LpaReference(g, 10), LpaReference(g, 10));
+}
+
+TEST(LpaTest, CliqueConvergesToMinLabel) {
+  auto labels = LpaReference(Clique(5), 10);
+  // All vertices see all labels; smallest most-frequent label wins and
+  // propagates to the whole clique.
+  for (uint32_t l : labels) EXPECT_EQ(l, labels[0]);
+}
+
+TEST(LpaTest, IsolatedVertexKeepsOwnLabel) {
+  CsrGraph g = GraphBuilder::FromPairs(3, {{0, 1}});
+  auto labels = LpaReference(g, 10);
+  EXPECT_EQ(labels[2], 2u);
+}
+
+// ------------------------------------------------------------------- BC ----
+
+TEST(BcTest, PathGraphDependencies) {
+  // Path 0-1-2-3 from source 0: delta(1)=2 (paths to 2,3), delta(2)=1.
+  CsrGraph g = GraphBuilder::FromPairs(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto bc = BcReference(g, 0);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 2.0);
+  EXPECT_DOUBLE_EQ(bc[2], 1.0);
+  EXPECT_DOUBLE_EQ(bc[3], 0.0);
+}
+
+TEST(BcTest, DiamondSplitsDependency) {
+  // 0 -> {1,2} -> 3: two shortest paths to 3; delta(1)=delta(2)=0.5.
+  CsrGraph g = GraphBuilder::FromPairs(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto bc = BcReference(g, 0);
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+  EXPECT_DOUBLE_EQ(bc[2], 0.5);
+  EXPECT_DOUBLE_EQ(bc[3], 0.0);
+}
+
+TEST(BcTest, CliqueHasZeroDependencies) {
+  auto bc = BcReference(Clique(5), 0);
+  for (double d : bc) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+// ------------------------------------------------------------------- CD ----
+
+TEST(CdTest, CliqueCoreness) {
+  auto coreness = CoreDecompositionReference(Clique(5));
+  for (uint32_t c : coreness) EXPECT_EQ(c, 4u);
+  EXPECT_EQ(Degeneracy(Clique(5)), 4u);
+}
+
+TEST(CdTest, CliqueWithTail) {
+  // 4-clique {0..3} plus tail 3-4-5: tail has coreness 1.
+  std::vector<std::pair<VertexId, VertexId>> pairs = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}};
+  auto coreness =
+      CoreDecompositionReference(GraphBuilder::FromPairs(6, pairs));
+  EXPECT_EQ(coreness[0], 3u);
+  EXPECT_EQ(coreness[3], 3u);
+  EXPECT_EQ(coreness[4], 1u);
+  EXPECT_EQ(coreness[5], 1u);
+}
+
+TEST(CdTest, IsolatedVertexHasCorenessZero) {
+  CsrGraph g = GraphBuilder::FromPairs(3, {{0, 1}});
+  auto coreness = CoreDecompositionReference(g);
+  EXPECT_EQ(coreness[2], 0u);
+}
+
+TEST(CdTest, DegeneracyOrderIsAPermutation) {
+  CsrGraph g = RandomGraph(7);
+  auto order = DegeneracyOrder(g);
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (VertexId v : order) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  EXPECT_EQ(order.size(), g.num_vertices());
+}
+
+// ------------------------------------------------------------------- TC ----
+
+TEST(TcTest, KnownCounts) {
+  EXPECT_EQ(TriangleCountReference(Clique(5)), 10u);
+  EXPECT_EQ(TriangleCountReference(Clique(6)), 20u);
+  CsrGraph path = GraphBuilder::FromPairs(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(TriangleCountReference(path), 0u);
+}
+
+TEST(TcTest, AgreesWithStatsCounter) {
+  CsrGraph g = RandomGraph(11, 500, 4000);
+  EXPECT_EQ(TriangleCountReference(g), CountTrianglesSequential(g));
+}
+
+// ------------------------------------------------------------------- KC ----
+
+TEST(KcTest, CliqueCounts) {
+  // C(6,4) = 15 four-cliques in K6.
+  EXPECT_EQ(KCliqueCountReference(Clique(6), 4), 15u);
+  EXPECT_EQ(KCliqueCountReference(Clique(6), 5), 6u);
+  EXPECT_EQ(KCliqueCountReference(Clique(6), 6), 1u);
+  EXPECT_EQ(KCliqueCountReference(Clique(6), 2), 15u);  // edges
+}
+
+TEST(KcTest, NoCliquesInSparseGraph) {
+  CsrGraph g = GraphBuilder::FromPairs(6, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(KCliqueCountReference(g, 4), 0u);
+}
+
+// Property suite over random graphs tying the algorithms together.
+class AlgoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AlgoPropertyTest, TriangleCountEquals3Clique) {
+  CsrGraph g = RandomGraph(GetParam());
+  EXPECT_EQ(TriangleCountReference(g), KCliqueCountReference(g, 3));
+}
+
+TEST_P(AlgoPropertyTest, EdgeCountEquals2Clique) {
+  CsrGraph g = RandomGraph(GetParam());
+  EXPECT_EQ(g.num_edges(), KCliqueCountReference(g, 2));
+}
+
+TEST_P(AlgoPropertyTest, CorenessBoundedByDegree) {
+  CsrGraph g = RandomGraph(GetParam());
+  auto coreness = CoreDecompositionReference(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(coreness[v], g.OutDegree(v));
+  }
+}
+
+TEST_P(AlgoPropertyTest, SsspDistancesSatisfyTriangleInequality) {
+  CsrGraph g = RandomGraph(GetParam());
+  auto dist = SsspReference(g, 0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (dist[u] == kInfDist) continue;
+    auto nbrs = g.OutNeighbors(u);
+    auto weights = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      ASSERT_NE(dist[nbrs[i]], kInfDist);
+      EXPECT_LE(dist[nbrs[i]], dist[u] + weights[i]);
+    }
+  }
+}
+
+TEST_P(AlgoPropertyTest, WccAgreesWithStatsComponents) {
+  CsrGraph g = RandomGraph(GetParam(), 400, 600);
+  auto a = WccReference(g);
+  auto b = ConnectedComponentLabels(g);
+  std::vector<uint64_t> a64(a.begin(), a.end());
+  std::vector<uint64_t> b64(b.begin(), b.end());
+  EXPECT_TRUE(ComparePartitions(a64, b64).ok);
+}
+
+TEST_P(AlgoPropertyTest, PageRankMassConserved) {
+  CsrGraph g = RandomGraph(GetParam());
+  auto pr = PageRankReference(g);
+  EXPECT_NEAR(std::accumulate(pr.begin(), pr.end(), 0.0), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgoPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// --------------------------------------------------------------- verify ----
+
+TEST(VerifyTest, CompareDoublesToleratesRounding) {
+  EXPECT_TRUE(CompareDoubles({1.0}, {1.0 + 1e-13}).ok);
+  EXPECT_FALSE(CompareDoubles({1.0}, {1.01}).ok);
+  EXPECT_FALSE(CompareDoubles({1.0, 2.0}, {1.0}).ok);
+}
+
+TEST(VerifyTest, CompareExact) {
+  EXPECT_TRUE(CompareExact({1, 2, 3}, {1, 2, 3}).ok);
+  VerifyResult r = CompareExact({1, 9, 3}, {1, 2, 3});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("index 1"), std::string::npos);
+}
+
+TEST(VerifyTest, ComparePartitionsUpToRelabeling) {
+  EXPECT_TRUE(ComparePartitions({0, 0, 5, 5}, {9, 9, 2, 2}).ok);
+  EXPECT_FALSE(ComparePartitions({0, 0, 5, 5}, {9, 9, 9, 2}).ok);
+  // Two source labels mapping to one target label must fail too.
+  EXPECT_FALSE(ComparePartitions({0, 1}, {3, 3}).ok);
+}
+
+}  // namespace
+}  // namespace gab

@@ -1,0 +1,120 @@
+// Degenerate-input coverage: every supported platform x algorithm
+// combination must handle tiny and pathological graphs — a single vertex,
+// a single edge, an edgeless graph, a star, and a disconnected pair of
+// triangles — and still match the reference implementations.
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "platforms/platform.h"
+#include "runtime/executor.h"
+
+namespace gab {
+namespace {
+
+enum class TinyKind {
+  kSingleVertex,
+  kSingleEdge,
+  kEdgeless,       // 5 isolated vertices
+  kStar,           // hub + 8 leaves
+  kTwoTriangles,   // disconnected components with triangles
+  kSelfLoopsOnly,  // self loops are stripped: effectively edgeless
+};
+
+const char* TinyKindName(TinyKind kind) {
+  switch (kind) {
+    case TinyKind::kSingleVertex:
+      return "SingleVertex";
+    case TinyKind::kSingleEdge:
+      return "SingleEdge";
+    case TinyKind::kEdgeless:
+      return "Edgeless";
+    case TinyKind::kStar:
+      return "Star";
+    case TinyKind::kTwoTriangles:
+      return "TwoTriangles";
+    case TinyKind::kSelfLoopsOnly:
+      return "SelfLoopsOnly";
+  }
+  return "?";
+}
+
+CsrGraph MakeTiny(TinyKind kind) {
+  switch (kind) {
+    case TinyKind::kSingleVertex:
+      return GraphBuilder::FromPairs(1, {});
+    case TinyKind::kSingleEdge: {
+      EdgeList el(2);
+      el.AddEdge(0, 1, 7);
+      return GraphBuilder::Build(std::move(el));
+    }
+    case TinyKind::kEdgeless:
+      return GraphBuilder::FromPairs(5, {});
+    case TinyKind::kStar: {
+      std::vector<std::pair<VertexId, VertexId>> pairs;
+      for (VertexId v = 1; v <= 8; ++v) pairs.push_back({0, v});
+      return GraphBuilder::FromPairs(9, pairs);
+    }
+    case TinyKind::kTwoTriangles:
+      return GraphBuilder::FromPairs(
+          6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+    case TinyKind::kSelfLoopsOnly: {
+      EdgeList el(3);
+      el.AddEdge(0, 0);
+      el.AddEdge(1, 1);
+      el.AddEdge(2, 2);
+      return GraphBuilder::Build(std::move(el));
+    }
+  }
+  return {};
+}
+
+struct TinyCombo {
+  const Platform* platform;
+  Algorithm algorithm;
+  TinyKind kind;
+};
+
+std::vector<TinyCombo> AllTinyCombos() {
+  std::vector<TinyCombo> combos;
+  for (TinyKind kind :
+       {TinyKind::kSingleVertex, TinyKind::kSingleEdge, TinyKind::kEdgeless,
+        TinyKind::kStar, TinyKind::kTwoTriangles,
+        TinyKind::kSelfLoopsOnly}) {
+    for (const Platform* platform : AllPlatforms()) {
+      for (Algorithm algo : AllAlgorithms()) {
+        if (!platform->Supports(algo)) continue;
+        combos.push_back({platform, algo, kind});
+      }
+    }
+  }
+  return combos;
+}
+
+class TinyGraphTest : public ::testing::TestWithParam<TinyCombo> {};
+
+TEST_P(TinyGraphTest, MatchesReferenceOnDegenerateInput) {
+  const TinyCombo& combo = GetParam();
+  CsrGraph g = MakeTiny(combo.kind);
+  AlgoParams params;
+  params.num_partitions = 4;
+  RunResult result = combo.platform->Run(combo.algorithm, g, params);
+  VerifyResult verdict =
+      ExperimentExecutor::Verify(combo.algorithm, g, params, result.output);
+  EXPECT_TRUE(verdict.ok) << verdict.detail;
+}
+
+std::string TinyName(const ::testing::TestParamInfo<TinyCombo>& info) {
+  std::string name = info.param.platform->abbrev();
+  name += "_";
+  name += AlgorithmName(info.param.algorithm);
+  name += "_";
+  name += TinyKindName(info.param.kind);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degenerate, TinyGraphTest,
+                         ::testing::ValuesIn(AllTinyCombos()), TinyName);
+
+}  // namespace
+}  // namespace gab

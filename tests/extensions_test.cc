@@ -1,0 +1,207 @@
+// Tests for the extension features beyond the paper's core artifacts:
+// straggler modeling in the cluster simulator, degree-distribution fitting
+// for the generators, and non-default AlgoParams sweeps across platforms.
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.h"
+#include "gen/fft_dg.h"
+#include "gen/ldbc_dg.h"
+#include "graph/builder.h"
+#include "platforms/platform.h"
+#include "runtime/cluster_sim.h"
+#include "runtime/executor.h"
+#include "stats/divergence.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace gab {
+namespace {
+
+// ----------------------------------------------------------- stragglers ----
+
+ExecutionTrace BalancedTrace(uint32_t partitions, uint32_t steps,
+                             uint64_t work) {
+  ExecutionTrace trace(partitions);
+  for (uint32_t s = 0; s < steps; ++s) {
+    trace.BeginSuperstep();
+    for (uint32_t p = 0; p < partitions; ++p) trace.AddWork(p, work);
+  }
+  return trace;
+}
+
+TEST(StragglerTest, OneSlowMachineStallsTheBspCluster) {
+  ExecutionTrace trace = BalancedTrace(64, 4, 1000000);
+  PlatformCostProfile profile{1e-6, 1.0, 1.0, 0.0};
+  ClusterConfig healthy{16, 32};
+  ClusterConfig degraded = healthy;
+  degraded.stragglers = 1;
+  degraded.straggler_slowdown = 4.0;
+  double t_healthy =
+      ClusterSimulator(healthy).EstimateSeconds(trace, profile, 1e9);
+  double t_degraded =
+      ClusterSimulator(degraded).EstimateSeconds(trace, profile, 1e9);
+  // Pure compute, perfectly balanced: the barrier transfers the full 4x.
+  EXPECT_NEAR(t_degraded / t_healthy, 4.0, 0.05);
+}
+
+TEST(StragglerTest, SlowdownMonotoneInFactor) {
+  ExecutionTrace trace = BalancedTrace(64, 4, 1000000);
+  PlatformCostProfile profile{1e-5, 1.0, 1.0, 0.01};
+  double prev = 0;
+  for (double slowdown : {1.0, 1.5, 2.0, 3.0, 8.0}) {
+    ClusterConfig config{16, 32};
+    config.stragglers = 1;
+    config.straggler_slowdown = slowdown;
+    double t = ClusterSimulator(config).EstimateSeconds(trace, profile, 1e9);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(StragglerTest, OverheadDominatedRunsAreDamped) {
+  // Huge per-superstep overhead: the straggler barely matters.
+  ExecutionTrace trace = BalancedTrace(16, 10, 1000);
+  PlatformCostProfile profile{0.05, 1.0, 1.0, 0.0};
+  ClusterConfig healthy{16, 32};
+  ClusterConfig degraded = healthy;
+  degraded.stragglers = 1;
+  degraded.straggler_slowdown = 10.0;
+  double ratio =
+      ClusterSimulator(degraded).EstimateSeconds(trace, profile, 1e9) /
+      ClusterSimulator(healthy).EstimateSeconds(trace, profile, 1e9);
+  EXPECT_LT(ratio, 1.2);
+}
+
+// ------------------------------------------------------- degree fitting ----
+
+TEST(DegreeFitTest, FittedBudgetsTrackTargetDistribution) {
+  // Target: a power-law BA graph. Fit FFT-DG budgets to it and check the
+  // generated graph's degree histogram is much closer than the default
+  // Pareto sampling with mismatched parameters.
+  CsrGraph target = GraphBuilder::Build(GenerateBarabasiAlbert(8000, 6, 3));
+  Rng rng(5);
+
+  FftDgConfig fitted;
+  fitted.num_vertices = 8000;
+  fitted.alpha = 1000;  // realize budgets with little truncation
+  fitted.explicit_budgets = FitBudgetsToGraph(target, 8000, rng);
+  fitted.seed = 6;
+  CsrGraph fitted_graph = GraphBuilder::Build(GenerateFftDg(fitted));
+
+  FftDgConfig unfitted = fitted;
+  unfitted.explicit_budgets.clear();
+  unfitted.degrees.min_degree = 40;  // deliberately wrong shape
+  CsrGraph unfitted_graph = GraphBuilder::Build(GenerateFftDg(unfitted));
+
+  auto histogram_of = [](const CsrGraph& g) {
+    Histogram h(0, 200, 40);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      h.Add(static_cast<double>(g.OutDegree(v)));
+    }
+    return h;
+  };
+  Histogram target_h = histogram_of(target);
+  double fitted_jsd = JsDivergence(target_h, histogram_of(fitted_graph));
+  double unfitted_jsd = JsDivergence(target_h, histogram_of(unfitted_graph));
+  EXPECT_LT(fitted_jsd, 0.35);
+  EXPECT_LT(fitted_jsd, unfitted_jsd * 0.8);
+}
+
+TEST(DegreeFitTest, ExplicitBudgetsCapRealizedForwardDegrees) {
+  FftDgConfig config;
+  config.num_vertices = 1000;
+  config.alpha = 1000;
+  config.explicit_budgets.assign(1000, 3);
+  config.seed = 9;
+  EdgeList el = GenerateFftDg(config);
+  std::vector<uint32_t> forward(1000, 0);
+  for (const Edge& e : el.edges()) ++forward[e.src];
+  for (VertexId v = 0; v + 1 < 1000; ++v) EXPECT_LE(forward[v], 3u);
+}
+
+TEST(DegreeFitTest, LdbcAcceptsExplicitBudgets) {
+  LdbcDgConfig config;
+  config.num_vertices = 500;
+  config.explicit_budgets.assign(500, 2);
+  config.seed = 1;
+  EdgeList el = GenerateLdbcDg(config);
+  std::vector<uint32_t> forward(500, 0);
+  for (const Edge& e : el.edges()) ++forward[e.src];
+  for (uint32_t f : forward) EXPECT_LE(f, 2u);
+}
+
+// --------------------------------------------------- AlgoParams sweeps ----
+
+struct ParamsCase {
+  const char* platform;
+  Algorithm algo;
+  AlgoParams params;
+  const char* name;
+};
+
+std::vector<ParamsCase> ParamsCases() {
+  std::vector<ParamsCase> cases;
+  for (const char* platform : {"GR", "LI", "PP"}) {
+    AlgoParams one_iter;
+    one_iter.iterations = 1;
+    cases.push_back({platform, Algorithm::kPageRank, one_iter, "PR_1iter"});
+    AlgoParams many_iter;
+    many_iter.iterations = 25;
+    cases.push_back({platform, Algorithm::kLpa, many_iter, "LPA_25iter"});
+    AlgoParams other_source;
+    other_source.source = 777;
+    cases.push_back({platform, Algorithm::kSssp, other_source, "SSSP_src777"});
+    cases.push_back({platform, Algorithm::kBc, other_source, "BC_src777"});
+  }
+  for (const char* platform : {"GT", "GX", "PG", "FL"}) {
+    AlgoParams k3;
+    k3.clique_k = 3;
+    cases.push_back({platform, Algorithm::kKc, k3, "KC_k3"});
+    AlgoParams k5;
+    k5.clique_k = 5;
+    cases.push_back({platform, Algorithm::kKc, k5, "KC_k5"});
+  }
+  // Partition-count sensitivity: results must not depend on P.
+  for (uint32_t partitions : {1u, 3u, 17u, 128u}) {
+    AlgoParams p;
+    p.num_partitions = partitions;
+    cases.push_back({"GR", Algorithm::kWcc, p, "WCC_partitions"});
+    cases.push_back({"PP", Algorithm::kSssp, p, "SSSP_partitions"});
+  }
+  return cases;
+}
+
+class ParamsSweepTest : public ::testing::TestWithParam<ParamsCase> {};
+
+TEST_P(ParamsSweepTest, NonDefaultParamsStillMatchReference) {
+  const ParamsCase& c = GetParam();
+  FftDgConfig config;
+  config.num_vertices = 2000;
+  config.weighted = true;
+  config.seed = 23;
+  static const CsrGraph& g =
+      *new CsrGraph(GraphBuilder::Build(GenerateFftDg(config)));
+  const Platform* platform = PlatformByAbbrev(c.platform);
+  ASSERT_NE(platform, nullptr);
+  ASSERT_TRUE(platform->Supports(c.algo));
+  RunResult result = platform->Run(c.algo, g, c.params);
+  VerifyResult verdict =
+      ExperimentExecutor::Verify(c.algo, g, c.params, result.output);
+  EXPECT_TRUE(verdict.ok) << verdict.detail;
+}
+
+std::string ParamsCaseName(const ::testing::TestParamInfo<ParamsCase>& info) {
+  std::string name = info.param.platform;
+  name += "_";
+  name += info.param.name;
+  name += "_";
+  name += std::to_string(info.index);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParamsSweepTest,
+                         ::testing::ValuesIn(ParamsCases()), ParamsCaseName);
+
+}  // namespace
+}  // namespace gab

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/classic.h"
+#include "gen/datasets.h"
+#include "gen/fft_dg.h"
+#include "gen/ldbc_dg.h"
+#include "gen/weights.h"
+#include "graph/builder.h"
+#include "stats/graph_stats.h"
+
+namespace gab {
+namespace {
+
+// -------------------------------------------------------------- FFT-DG ----
+
+TEST(FftDgTest, Deterministic) {
+  FftDgConfig config;
+  config.num_vertices = 5000;
+  config.seed = 99;
+  EdgeList a = GenerateFftDg(config);
+  EdgeList b = GenerateFftDg(config);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(FftDgTest, AllEdgesPointForward) {
+  FftDgConfig config;
+  config.num_vertices = 3000;
+  config.seed = 5;
+  EdgeList el = GenerateFftDg(config);
+  for (const Edge& e : el.edges()) EXPECT_LT(e.src, e.dst);
+}
+
+TEST(FftDgTest, ChainEdgesGuaranteeConnectivity) {
+  FftDgConfig config;
+  config.num_vertices = 2000;
+  config.target_diameter = 60;  // several groups
+  config.seed = 5;
+  CsrGraph g = GraphBuilder::Build(GenerateFftDg(config));
+  auto labels = ConnectedComponentLabels(g);
+  for (VertexId label : labels) EXPECT_EQ(label, 0u);
+}
+
+TEST(FftDgTest, FailureFreeTrialsMatchEdgesPlusOvershoots) {
+  // FFT-DG's defining property: every trial except the final per-vertex
+  // overshoot yields an edge, so trials/edge stays close to 1 (the paper
+  // quotes ~1.5 versus >8 for LDBC-DG).
+  FftDgConfig config;
+  config.num_vertices = 20000;
+  config.seed = 3;
+  GenStats stats;
+  GenerateFftDg(config, &stats);
+  EXPECT_GE(stats.trials, stats.edges);
+  EXPECT_LT(stats.TrialsPerEdge(), 1.6);
+}
+
+TEST(FftDgTest, MaxEdgesCapRespected) {
+  FftDgConfig config;
+  config.num_vertices = 10000;
+  config.max_edges = 500;
+  config.seed = 1;
+  GenStats stats;
+  EdgeList el = GenerateFftDg(config, &stats);
+  EXPECT_EQ(el.num_edges(), 500u);
+  EXPECT_EQ(stats.edges, 500u);
+}
+
+TEST(FftDgTest, WeightedEdgesInRange) {
+  FftDgConfig config;
+  config.num_vertices = 2000;
+  config.weighted = true;
+  config.seed = 8;
+  EdgeList el = GenerateFftDg(config);
+  ASSERT_TRUE(el.has_weights());
+  for (Weight w : el.weights()) {
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, kMaxEdgeWeight);
+  }
+}
+
+TEST(FftDgTest, GroupCountFormula) {
+  FftDgConfig config;
+  config.group_diameter = 4;
+  config.target_diameter = 0;
+  EXPECT_EQ(FftDgGroupCount(config), 1u);
+  config.target_diameter = 100;
+  EXPECT_EQ(FftDgGroupCount(config), 20u);
+  config.target_diameter = 3;  // below one group: clamp to 1
+  EXPECT_EQ(FftDgGroupCount(config), 1u);
+}
+
+TEST(FftDgTest, DiameterEdgesStayInsideGroups) {
+  FftDgConfig config;
+  config.num_vertices = 4000;
+  config.target_diameter = 50;
+  config.seed = 2;
+  uint32_t groups = FftDgGroupCount(config);
+  uint64_t group_size = (config.num_vertices + groups - 1) / groups;
+  EdgeList el = GenerateFftDg(config);
+  for (const Edge& e : el.edges()) {
+    if (e.dst == e.src + 1) continue;  // chain edges may cross groups
+    EXPECT_EQ(e.src / group_size, e.dst / group_size)
+        << e.src << "->" << e.dst;
+  }
+}
+
+// Property sweep: density factor alpha monotonically increases edge count.
+class FftDgAlphaTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FftDgAlphaTest, AlphaIncreasesDensity) {
+  uint64_t seed = GetParam();
+  uint64_t previous = 0;
+  for (double alpha : {1.0, 10.0, 100.0, 1000.0}) {
+    FftDgConfig config;
+    config.num_vertices = 8000;
+    config.alpha = alpha;
+    config.seed = seed;
+    GenStats stats;
+    GenerateFftDg(config, &stats);
+    EXPECT_GT(stats.edges, previous) << "alpha=" << alpha;
+    previous = stats.edges;
+  }
+}
+
+TEST_P(FftDgAlphaTest, SmallWorldDiameterWithoutGrouping) {
+  FftDgConfig config;
+  config.num_vertices = 8000;
+  config.seed = GetParam();
+  CsrGraph g = GraphBuilder::Build(GenerateFftDg(config));
+  EXPECT_LE(ApproxDiameter(g), 10u);  // paper: about 6
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FftDgAlphaTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+// Property sweep: the diameter adjustment lands near the target.
+class FftDgDiameterTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FftDgDiameterTest, MeasuredDiameterNearTarget) {
+  uint32_t target = GetParam();
+  FftDgConfig config;
+  config.num_vertices = 30000;
+  config.target_diameter = target;
+  config.seed = 7;
+  CsrGraph g = GraphBuilder::Build(GenerateFftDg(config));
+  uint32_t measured = ApproxDiameter(g);
+  EXPECT_GE(measured, target / 2);
+  EXPECT_LE(measured, target * 3 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, FftDgDiameterTest,
+                         ::testing::Values(50, 100, 200));
+
+// ------------------------------------------------------------- LDBC-DG ----
+
+TEST(LdbcDgTest, Deterministic) {
+  LdbcDgConfig config;
+  config.num_vertices = 3000;
+  config.seed = 4;
+  EdgeList a = GenerateLdbcDg(config);
+  EdgeList b = GenerateLdbcDg(config);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(LdbcDgTest, NeedsManyMoreTrialsThanFft) {
+  // The inefficiency FFT-DG fixes: LDBC-DG probes positions one by one.
+  LdbcDgConfig ldbc;
+  ldbc.num_vertices = 5000;
+  ldbc.seed = 11;
+  GenStats ldbc_stats;
+  GenerateLdbcDg(ldbc, &ldbc_stats);
+
+  FftDgConfig fft;
+  fft.num_vertices = 5000;
+  fft.seed = 11;
+  GenStats fft_stats;
+  GenerateFftDg(fft, &fft_stats);
+
+  EXPECT_GT(ldbc_stats.TrialsPerEdge(), 2.5);
+  EXPECT_GT(ldbc_stats.TrialsPerEdge(), 2.0 * fft_stats.TrialsPerEdge());
+}
+
+TEST(LdbcDgTest, LowerPLimitMeansSparserAndMoreTrials) {
+  LdbcDgConfig dense = LdbcConfigForAlpha(4000, 1000);
+  dense.seed = 2;
+  LdbcDgConfig sparse = LdbcConfigForAlpha(4000, 10);
+  sparse.seed = 2;
+  GenStats dense_stats;
+  GenStats sparse_stats;
+  GenerateLdbcDg(dense, &dense_stats);
+  GenerateLdbcDg(sparse, &sparse_stats);
+  EXPECT_GT(dense_stats.edges, sparse_stats.edges);
+  EXPECT_GT(sparse_stats.TrialsPerEdge(), dense_stats.TrialsPerEdge());
+}
+
+TEST(LdbcDgTest, ForwardEdgesOnly) {
+  LdbcDgConfig config;
+  config.num_vertices = 1000;
+  config.seed = 9;
+  EdgeList el = GenerateLdbcDg(config);
+  for (const Edge& e : el.edges()) EXPECT_LT(e.src, e.dst);
+}
+
+// ---------------------------------------------------- classic generators ----
+
+TEST(ClassicGenTest, ErdosRenyiEdgeCount) {
+  EdgeList el = GenerateErdosRenyi(1000, 5000, 3);
+  EXPECT_EQ(el.num_edges(), 5000u);
+  for (const Edge& e : el.edges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(ClassicGenTest, WattsStrogatzZeroBetaIsRing) {
+  EdgeList el = GenerateWattsStrogatz(100, 2, 0.0, 1);
+  CsrGraph g = GraphBuilder::Build(std::move(el));
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(g.OutDegree(v), 4u);
+  // Ring lattices are highly clustered.
+  EXPECT_GT(AverageLocalClusteringCoefficient(g), 0.4);
+}
+
+TEST(ClassicGenTest, BarabasiAlbertHasHubs) {
+  CsrGraph g = GraphBuilder::Build(GenerateBarabasiAlbert(5000, 3, 2));
+  DegreeSummary summary = SummarizeDegrees(g);
+  EXPECT_GT(summary.max, 10 * static_cast<uint64_t>(summary.mean));
+}
+
+TEST(ClassicGenTest, RmatBounds) {
+  EdgeList el = GenerateRmat(10, 4000, 0.57, 0.19, 0.19, 5);
+  EXPECT_EQ(el.num_vertices(), 1024u);
+  EXPECT_EQ(el.num_edges(), 4000u);
+  for (const Edge& e : el.edges()) {
+    EXPECT_LT(e.src, 1024u);
+    EXPECT_LT(e.dst, 1024u);
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST(ClassicGenTest, RealWorldProxyHasCommunitiesAndClustering) {
+  RealWorldProxyConfig config;
+  config.num_vertices = 5000;
+  config.seed = 6;
+  std::vector<uint32_t> community_of;
+  CsrGraph g = GraphBuilder::Build(GenerateRealWorldProxy(config, &community_of));
+  ASSERT_EQ(community_of.size(), 5000u);
+  uint32_t max_community = *std::max_element(community_of.begin(),
+                                             community_of.end());
+  EXPECT_GT(max_community, 10u);  // many communities
+  EXPECT_GT(AverageLocalClusteringCoefficient(g), 0.1);
+  // Small world: BA overlay keeps the diameter tiny.
+  EXPECT_LE(ApproxDiameter(g), 12u);
+}
+
+TEST(WeightsTest, AssignsUniformWeights) {
+  EdgeList el = GenerateErdosRenyi(500, 2000, 1);
+  AssignUniformWeights(&el, 44);
+  ASSERT_TRUE(el.has_weights());
+  ASSERT_EQ(el.weights().size(), el.num_edges());
+  for (Weight w : el.weights()) {
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, kMaxEdgeWeight);
+  }
+  // Idempotent on weighted lists.
+  Weight first = el.weights()[0];
+  AssignUniformWeights(&el, 999);
+  EXPECT_EQ(el.weights()[0], first);
+}
+
+// ------------------------------------------------------------ datasets ----
+
+TEST(DatasetsTest, ScaleVerticesMatchesPaperNaming) {
+  EXPECT_EQ(ScaleVertices(8), 3600000u);  // the paper's S8-Std
+  EXPECT_EQ(ScaleVertices(5), 3600u);
+}
+
+TEST(DatasetsTest, VariantsFollowPaperStructure) {
+  DatasetSpec std_spec = StdDataset(5);
+  DatasetSpec dense = DenseDataset(5);
+  DatasetSpec diam = DiamDataset(5);
+  EXPECT_EQ(std_spec.alpha, 10.0);
+  EXPECT_EQ(dense.alpha, 1000.0);
+  EXPECT_EQ(dense.num_vertices, std_spec.num_vertices / 3);
+  EXPECT_EQ(diam.target_diameter, 100u);
+  EXPECT_EQ(std_spec.name, "S5-Std");
+}
+
+TEST(DatasetsTest, DefaultFamilyHasEightEntries) {
+  auto specs = DefaultDatasets(5);
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[6].name, "S6.5-Std");
+  EXPECT_EQ(specs[7].name, "S7-Std");
+}
+
+TEST(DatasetsTest, BuildDatasetProducesWeightedUndirectedGraph) {
+  CsrGraph g = BuildDataset(StdDataset(4));
+  EXPECT_TRUE(g.is_undirected());
+  EXPECT_TRUE(g.has_weights());
+  EXPECT_EQ(g.num_vertices(), ScaleVertices(4));
+  EXPECT_GT(g.num_edges(), g.num_vertices());
+}
+
+TEST(DatasetsTest, DenseVariantIsDenser) {
+  CsrGraph std_g = BuildDataset(StdDataset(4));
+  CsrGraph dense_g = BuildDataset(DenseDataset(4));
+  EXPECT_GT(GraphDensity(dense_g), 2.0 * GraphDensity(std_g));
+}
+
+}  // namespace
+}  // namespace gab

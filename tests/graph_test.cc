@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/csr_graph.h"
+#include "graph/edge_list.h"
+#include "graph/io.h"
+#include "graph/partition.h"
+
+namespace gab {
+namespace {
+
+// ----------------------------------------------------------- EdgeList ----
+
+TEST(EdgeListTest, AddEdgeGrowsVertexCount) {
+  EdgeList el;
+  el.AddEdge(3, 7);
+  EXPECT_EQ(el.num_vertices(), 8u);
+  EXPECT_EQ(el.num_edges(), 1u);
+}
+
+TEST(EdgeListTest, SortAndDedupeRemovesDuplicates) {
+  EdgeList el(5);
+  el.AddEdge(1, 2);
+  el.AddEdge(0, 1);
+  el.AddEdge(1, 2);
+  el.AddEdge(2, 2);  // self loop
+  size_t removed = el.SortAndDedupe(/*remove_self_loops=*/true);
+  EXPECT_EQ(removed, 2u);
+  ASSERT_EQ(el.num_edges(), 2u);
+  EXPECT_EQ(el.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(el.edges()[1], (Edge{1, 2}));
+}
+
+TEST(EdgeListTest, WeightedDedupeKeepsFirstWeight) {
+  EdgeList el(4);
+  el.AddEdge(0, 1, 10);
+  el.AddEdge(0, 1, 20);
+  el.SortAndDedupe(false);
+  ASSERT_EQ(el.num_edges(), 1u);
+  EXPECT_EQ(el.weights()[0], 10u);
+}
+
+TEST(EdgeListTest, SymmetrizeDoublesEdges) {
+  EdgeList el(3);
+  el.AddEdge(0, 1, 5);
+  el.AddEdge(1, 2, 7);
+  el.Symmetrize();
+  EXPECT_EQ(el.num_edges(), 4u);
+  EXPECT_EQ(el.edges()[2], (Edge{1, 0}));
+  EXPECT_EQ(el.weights()[2], 5u);
+}
+
+// ------------------------------------------------------------ Builder ----
+
+TEST(GraphBuilderTest, UndirectedGraphHasBothDirections) {
+  CsrGraph g = GraphBuilder::FromPairs(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_arcs(), 4u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.is_undirected());
+}
+
+TEST(GraphBuilderTest, OffsetsAreMonotone) {
+  CsrGraph g = GraphBuilder::FromPairs(6, {{0, 1}, {0, 2}, {3, 4}, {1, 2}});
+  for (size_t i = 0; i + 1 < g.out_offsets().size(); ++i) {
+    EXPECT_LE(g.out_offsets()[i], g.out_offsets()[i + 1]);
+  }
+  EXPECT_EQ(g.out_offsets().back(), g.num_arcs());
+}
+
+TEST(GraphBuilderTest, NeighborsAreSorted) {
+  CsrGraph g = GraphBuilder::FromPairs(5, {{0, 4}, {0, 1}, {0, 3}, {0, 2}});
+  auto nbrs = g.OutNeighbors(0);
+  for (size_t i = 0; i + 1 < nbrs.size(); ++i) EXPECT_LT(nbrs[i], nbrs[i + 1]);
+}
+
+TEST(GraphBuilderTest, SelfLoopsAndDuplicatesRemoved) {
+  CsrGraph g = GraphBuilder::FromPairs(3, {{0, 0}, {0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, DirectedGraphBuildsInEdges) {
+  EdgeList el(4);
+  el.AddEdge(0, 1);
+  el.AddEdge(2, 1);
+  el.AddEdge(1, 3);
+  GraphBuilder::Options options;
+  options.undirected = false;
+  CsrGraph g = GraphBuilder::Build(std::move(el), options);
+  EXPECT_FALSE(g.is_undirected());
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  auto in = g.InNeighbors(1);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(in[0], 0u);
+  EXPECT_EQ(in[1], 2u);
+}
+
+TEST(GraphBuilderTest, WeightsTravelWithEdges) {
+  EdgeList el(3);
+  el.AddEdge(0, 1, 11);
+  el.AddEdge(1, 2, 22);
+  CsrGraph g = GraphBuilder::Build(std::move(el));
+  ASSERT_TRUE(g.has_weights());
+  auto n0 = g.OutNeighbors(0);
+  auto w0 = g.OutWeights(0);
+  ASSERT_EQ(n0.size(), 1u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(w0[0], 11u);
+  // The reverse arc carries the same weight.
+  auto w1 = g.OutWeights(1);
+  auto n1 = g.OutNeighbors(1);
+  for (size_t i = 0; i < n1.size(); ++i) {
+    if (n1[i] == 0) EXPECT_EQ(w1[i], 11u);
+    if (n1[i] == 2) EXPECT_EQ(w1[i], 22u);
+  }
+}
+
+TEST(CsrGraphTest, CloneIsDeepAndEqual) {
+  CsrGraph g = GraphBuilder::FromPairs(4, {{0, 1}, {1, 2}, {2, 3}});
+  CsrGraph copy = g.Clone();
+  EXPECT_EQ(copy.num_vertices(), g.num_vertices());
+  EXPECT_EQ(copy.num_edges(), g.num_edges());
+  EXPECT_EQ(copy.out_neighbors(), g.out_neighbors());
+}
+
+TEST(CsrGraphTest, MemoryBytesIsPositive) {
+  CsrGraph g = GraphBuilder::FromPairs(4, {{0, 1}, {1, 2}});
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  CsrGraph g = GraphBuilder::FromPairs(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+// ----------------------------------------------------------------- IO ----
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/gab_io_" + name;
+  }
+};
+
+TEST_F(IoTest, TextRoundTripUnweighted) {
+  EdgeList el(4);
+  el.AddEdge(0, 1);
+  el.AddEdge(2, 3);
+  std::string path = TempPath("t1.txt");
+  ASSERT_TRUE(WriteEdgeListText(el, path).ok());
+  EdgeList back;
+  ASSERT_TRUE(ReadEdgeListText(path, &back).ok());
+  EXPECT_EQ(back.edges(), el.edges());
+  EXPECT_FALSE(back.has_weights());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, TextRoundTripWeighted) {
+  EdgeList el(4);
+  el.AddEdge(0, 1, 9);
+  el.AddEdge(2, 3, 4);
+  std::string path = TempPath("t2.txt");
+  ASSERT_TRUE(WriteEdgeListText(el, path).ok());
+  EdgeList back;
+  ASSERT_TRUE(ReadEdgeListText(path, &back).ok());
+  EXPECT_EQ(back.edges(), el.edges());
+  EXPECT_EQ(back.weights(), el.weights());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  EdgeList el(100);
+  for (VertexId i = 0; i + 1 < 100; ++i) el.AddEdge(i, i + 1, i % 64 + 1);
+  std::string path = TempPath("b1.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(el, path).ok());
+  EdgeList back;
+  ASSERT_TRUE(ReadEdgeListBinary(path, &back).ok());
+  EXPECT_EQ(back.num_vertices(), el.num_vertices());
+  EXPECT_EQ(back.edges(), el.edges());
+  EXPECT_EQ(back.weights(), el.weights());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, ReadMissingFileFails) {
+  EdgeList el;
+  EXPECT_FALSE(ReadEdgeListText("/nonexistent/dir/file.txt", &el).ok());
+  EXPECT_FALSE(ReadEdgeListBinary("/nonexistent/dir/file.bin", &el).ok());
+}
+
+TEST_F(IoTest, MalformedTextFails) {
+  std::string path = TempPath("bad.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("0 1\nnot an edge\n", f);
+  std::fclose(f);
+  EdgeList el;
+  Status s = ReadEdgeListText(path, &el);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BadMagicFails) {
+  std::string path = TempPath("badmagic.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  uint64_t junk[4] = {1, 2, 3, 4};
+  std::fwrite(junk, sizeof(junk), 1, f);
+  std::fclose(f);
+  EdgeList el;
+  EXPECT_FALSE(ReadEdgeListBinary(path, &el).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, CommentsAndBlankLinesSkipped) {
+  std::string path = TempPath("comments.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# header\n\n0 1\n# middle\n1 2\n", f);
+  std::fclose(f);
+  EdgeList el;
+  ASSERT_TRUE(ReadEdgeListText(path, &el).ok());
+  EXPECT_EQ(el.num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------- Partitioning ----
+
+CsrGraph MakePath(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId i = 0; i + 1 < n; ++i) pairs.push_back({i, i + 1});
+  return GraphBuilder::FromPairs(n, pairs);
+}
+
+TEST(PartitionTest, HashCoversAllVerticesOnce) {
+  CsrGraph g = MakePath(1000);
+  Partitioning part(g, 16, PartitionStrategy::kHash);
+  size_t total = 0;
+  for (uint32_t p = 0; p < 16; ++p) {
+    for (VertexId v : part.Members(p)) {
+      EXPECT_EQ(part.PartitionOf(v), p);
+    }
+    total += part.Members(p).size();
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(PartitionTest, HashIsReasonablyBalanced) {
+  CsrGraph g = MakePath(10000);
+  Partitioning part(g, 8, PartitionStrategy::kHash);
+  for (uint32_t p = 0; p < 8; ++p) {
+    EXPECT_GT(part.Members(p).size(), 800u);
+    EXPECT_LT(part.Members(p).size(), 1700u);
+  }
+}
+
+TEST(PartitionTest, RangeIsContiguous) {
+  CsrGraph g = MakePath(100);
+  Partitioning part(g, 4, PartitionStrategy::kRange);
+  for (uint32_t p = 0; p < 4; ++p) {
+    const auto& members = part.Members(p);
+    for (size_t i = 0; i + 1 < members.size(); ++i) {
+      EXPECT_EQ(members[i] + 1, members[i + 1]);
+    }
+  }
+  // Ranges ascend with the partition id.
+  EXPECT_LT(part.Members(0).back(), part.Members(1).front());
+}
+
+TEST(PartitionTest, RangeByDegreeBalancesDegreeSum) {
+  // A star graph (hub has huge degree): degree-balanced ranges must not
+  // put everything after the hub into one partition.
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId v = 1; v < 401; ++v) pairs.push_back({0, v});
+  CsrGraph g = GraphBuilder::FromPairs(401, pairs);
+  Partitioning part(g, 4, PartitionStrategy::kRangeByDegree);
+  // The hub partition should be tiny, the rest roughly even.
+  EXPECT_LT(part.Members(0).size(), 100u);
+  uint64_t max_deg_sum = 0;
+  for (uint32_t p = 0; p < 4; ++p) {
+    max_deg_sum = std::max(max_deg_sum, part.DegreeSum(p));
+  }
+  EXPECT_LE(max_deg_sum, g.num_arcs() / 2);
+}
+
+TEST(PartitionTest, SinglePartitionHoldsEverything) {
+  CsrGraph g = MakePath(50);
+  Partitioning part(g, 1, PartitionStrategy::kRange);
+  EXPECT_EQ(part.Members(0).size(), 50u);
+}
+
+}  // namespace
+}  // namespace gab

@@ -1,0 +1,118 @@
+// Tests for the LDBC-compatibility algorithms (BFS, LCC) — the two LDBC
+// Graphalytics core algorithms this benchmark's suite replaces (paper
+// Section 3) — and their vertex-subset kernels.
+
+#include <gtest/gtest.h>
+
+#include "algos/bfs.h"
+#include "algos/lcc.h"
+#include "algos/sssp.h"
+#include "gen/classic.h"
+#include "gen/fft_dg.h"
+#include "graph/builder.h"
+#include "platforms/subset_kernels.h"
+
+namespace gab {
+namespace {
+
+CsrGraph Clique(VertexId k) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId i = 0; i < k; ++i) {
+    for (VertexId j = i + 1; j < k; ++j) pairs.push_back({i, j});
+  }
+  return GraphBuilder::FromPairs(k, pairs);
+}
+
+TEST(BfsTest, PathGraphLevels) {
+  CsrGraph g = GraphBuilder::FromPairs(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto levels = BfsReference(g, 0);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 2u);
+  EXPECT_EQ(levels[3], 3u);
+}
+
+TEST(BfsTest, UnreachableMarked) {
+  CsrGraph g = GraphBuilder::FromPairs(4, {{0, 1}, {2, 3}});
+  auto levels = BfsReference(g, 0);
+  EXPECT_EQ(levels[2], kUnreachedLevel);
+}
+
+TEST(BfsTest, LevelsEqualUnweightedSsspDistances) {
+  CsrGraph g = GraphBuilder::Build(GenerateErdosRenyi(800, 3000, 9));
+  auto levels = BfsReference(g, 0);
+  auto dists = SsspReference(g, 0);  // unweighted graph: weight-1 edges
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (dists[v] == kInfDist) {
+      EXPECT_EQ(levels[v], kUnreachedLevel);
+    } else {
+      EXPECT_EQ(static_cast<uint64_t>(levels[v]), dists[v]);
+    }
+  }
+}
+
+TEST(LccTest, CliqueIsFullyClustered) {
+  auto lcc = LccReference(Clique(6));
+  for (double c : lcc) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(LccTest, PathHasZeroClustering) {
+  CsrGraph g = GraphBuilder::FromPairs(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  for (double c : LccReference(g)) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(LccTest, TriangleWithTail) {
+  // Triangle {0,1,2} plus tail 2-3: vertex 2 has degree 3, 1 triangle.
+  CsrGraph g = GraphBuilder::FromPairs(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  auto lcc = LccReference(g);
+  EXPECT_DOUBLE_EQ(lcc[0], 1.0);
+  EXPECT_DOUBLE_EQ(lcc[2], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(lcc[3], 0.0);
+}
+
+TEST(LccTest, ValuesBounded) {
+  FftDgConfig config;
+  config.num_vertices = 2000;
+  config.seed = 4;
+  CsrGraph g = GraphBuilder::Build(GenerateFftDg(config));
+  for (double c : LccReference(g)) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+class SubsetCompatTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubsetCompatTest, SubsetBfsMatchesReference) {
+  CsrGraph g = GraphBuilder::Build(GenerateErdosRenyi(1000, 4000, GetParam()));
+  AlgoParams params;
+  SubsetKernelOptions options;
+  RunResult result = SubsetBfs(g, params, options);
+  auto expected = BfsReference(g, params.source);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(result.output.ints[v], static_cast<uint64_t>(expected[v]))
+        << "vertex " << v;
+  }
+  EXPECT_GT(result.trace.TotalWork(), 0u);
+}
+
+TEST_P(SubsetCompatTest, SubsetLccMatchesReference) {
+  FftDgConfig config;
+  config.num_vertices = 1200;
+  config.seed = GetParam();
+  CsrGraph g = GraphBuilder::Build(GenerateFftDg(config));
+  AlgoParams params;
+  SubsetKernelOptions options;
+  RunResult result = SubsetLcc(g, params, options);
+  auto expected = LccReference(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(result.output.doubles[v], expected[v], 1e-12)
+        << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetCompatTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace gab

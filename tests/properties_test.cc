@@ -1,0 +1,127 @@
+// Cross-cutting properties tying subsystems together:
+//  - anonymization invariance: the usability model must score on API
+//    *metrics*, never on platform identity (paper §5.2 anonymizes all
+//    platform identifiers before evaluation);
+//  - cluster-simulator monotonicity over the *real* traces of every
+//    supported platform x algorithm combination;
+//  - trace-conservation sanity for every combination.
+
+#include <gtest/gtest.h>
+
+#include "gen/fft_dg.h"
+#include "graph/builder.h"
+#include "platforms/platform.h"
+#include "runtime/cluster_sim.h"
+#include "usability/codegen_sim.h"
+#include "usability/evaluator.h"
+
+namespace gab {
+namespace {
+
+// ----------------------------------------------------- anonymization ----
+
+TEST(AnonymizationTest, ScoresDependOnlyOnApiMetrics) {
+  ApiSpec original = ApiSpecByAbbrev("GR");
+  ApiSpec renamed = original;
+  renamed.platform = "AnonymizedPlatform7";
+  renamed.abbrev = "ZZ";
+  for (PromptLevel level : AllPromptLevels()) {
+    PromptSpec prompt = SpecForLevel(level);
+    EXPECT_DOUBLE_EQ(EffectiveKnowledge(original, prompt),
+                     EffectiveKnowledge(renamed, prompt));
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+      GeneratedCode a = SimulateCodeGeneration(original, prompt, seed);
+      GeneratedCode b = SimulateCodeGeneration(renamed, prompt, seed);
+      EXPECT_EQ(a.tokens, b.tokens);
+      UsabilityScores sa = EvaluateCode(a, original);
+      UsabilityScores sb = EvaluateCode(b, renamed);
+      EXPECT_DOUBLE_EQ(sa.Weighted(), sb.Weighted());
+    }
+  }
+}
+
+// ------------------------------------------- simulator over real traces ----
+
+const CsrGraph& PropertyGraph() {
+  static const CsrGraph& g = *new CsrGraph([] {
+    FftDgConfig config;
+    config.num_vertices = 2000;
+    config.weighted = true;
+    config.seed = 99;
+    return GraphBuilder::Build(GenerateFftDg(config));
+  }());
+  return g;
+}
+
+struct PropCombo {
+  const Platform* platform;
+  Algorithm algorithm;
+};
+
+std::vector<PropCombo> AllPropCombos() {
+  std::vector<PropCombo> combos;
+  for (const Platform* platform : AllPlatforms()) {
+    for (Algorithm algo : AllAlgorithms()) {
+      if (platform->Supports(algo)) combos.push_back({platform, algo});
+    }
+  }
+  return combos;
+}
+
+class TracePropertyTest : public ::testing::TestWithParam<PropCombo> {};
+
+TEST_P(TracePropertyTest, SimulatedTimeMonotoneInThreads) {
+  const PropCombo& combo = GetParam();
+  AlgoParams params;
+  RunResult result =
+      combo.platform->Run(combo.algorithm, PropertyGraph(), params);
+  const PlatformCostProfile& profile = combo.platform->cost_profile();
+  double prev = 1e300;
+  for (uint32_t threads : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    ClusterSimulator sim({1, threads});
+    double t = sim.EstimateSeconds(result.trace, profile, 1e8);
+    EXPECT_LE(t, prev * (1.0 + 1e-9))
+        << "threads=" << threads << " regressed";
+    EXPECT_GT(t, 0.0);
+    prev = t;
+  }
+}
+
+TEST_P(TracePropertyTest, TraceIsWellFormed) {
+  const PropCombo& combo = GetParam();
+  AlgoParams params;
+  RunResult result =
+      combo.platform->Run(combo.algorithm, PropertyGraph(), params);
+  const ExecutionTrace& trace = result.trace;
+  ASSERT_GT(trace.num_supersteps(), 0u);
+  EXPECT_GT(trace.TotalWork(), 0u);
+  EXPECT_LE(trace.CrossPartitionBytes(), trace.TotalBytes());
+  for (const SuperstepTrace& step : trace.supersteps()) {
+    ASSERT_EQ(step.work.size(), trace.num_partitions());
+    ASSERT_EQ(step.bytes.size(),
+              static_cast<size_t>(trace.num_partitions()) *
+                  trace.num_partitions());
+  }
+  // Straggler slowdown can never make the cluster faster.
+  ClusterConfig healthy{8, 8};
+  ClusterConfig degraded = healthy;
+  degraded.stragglers = 2;
+  degraded.straggler_slowdown = 3.0;
+  const PlatformCostProfile& profile = combo.platform->cost_profile();
+  EXPECT_GE(ClusterSimulator(degraded).EstimateSeconds(trace, profile, 1e8),
+            ClusterSimulator(healthy).EstimateSeconds(trace, profile, 1e8) -
+                1e-12);
+}
+
+std::string PropName(const ::testing::TestParamInfo<PropCombo>& info) {
+  std::string name = info.param.platform->abbrev();
+  name += "_";
+  name += AlgorithmName(info.param.algorithm);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(RealTraces, TracePropertyTest,
+                         ::testing::ValuesIn(AllPropCombos()), PropName);
+
+}  // namespace
+}  // namespace gab

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "gen/fft_dg.h"
+#include "graph/builder.h"
+#include "platforms/platform.h"
+#include "runtime/cluster_sim.h"
+#include "runtime/executor.h"
+#include "runtime/metrics.h"
+#include "runtime/stress.h"
+
+namespace gab {
+namespace {
+
+// A synthetic trace: `steps` supersteps, perfectly balanced work, optional
+// all-to-all traffic.
+ExecutionTrace MakeTrace(uint32_t partitions, uint32_t steps,
+                         uint64_t work_per_partition, uint64_t bytes_per_pair) {
+  ExecutionTrace trace(partitions);
+  for (uint32_t s = 0; s < steps; ++s) {
+    trace.BeginSuperstep();
+    for (uint32_t p = 0; p < partitions; ++p) {
+      trace.AddWork(p, work_per_partition);
+      if (bytes_per_pair > 0) {
+        for (uint32_t q = 0; q < partitions; ++q) {
+          if (p != q) trace.AddBytes(p, q, bytes_per_pair);
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+PlatformCostProfile LeanProfile() {
+  return {/*superstep_overhead_s=*/1e-5, /*bytes_factor=*/1.0,
+          /*memory_factor=*/1.0, /*serial_fraction=*/0.01};
+}
+
+// ------------------------------------------------------- ClusterSimulator ----
+
+TEST(ClusterSimTest, MoreThreadsIsFasterOnComputeBoundTrace) {
+  ExecutionTrace trace = MakeTrace(64, 4, 1000000, 0);
+  PlatformCostProfile profile = LeanProfile();
+  double prev = 1e30;
+  for (uint32_t threads : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    ClusterSimulator sim({1, threads});
+    double t = sim.EstimateSeconds(trace, profile, 1e9);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ClusterSimTest, AmdahlBoundsThreadSpeedup) {
+  ExecutionTrace trace = MakeTrace(64, 1, 1000000, 0);
+  PlatformCostProfile profile = LeanProfile();
+  profile.serial_fraction = 0.05;
+  profile.superstep_overhead_s = 0;
+  ClusterSimulator one({1, 1});
+  ClusterSimulator many({1, 1024});
+  double speedup = one.EstimateSeconds(trace, profile, 1e9) /
+                   many.EstimateSeconds(trace, profile, 1e9);
+  EXPECT_LT(speedup, 21.0);  // 1/serial_fraction
+  EXPECT_GT(speedup, 10.0);
+}
+
+TEST(ClusterSimTest, ScaleOutHelpsComputeHurtsWithTraffic) {
+  PlatformCostProfile profile = LeanProfile();
+  // Compute-heavy: scale-out wins.
+  ExecutionTrace compute = MakeTrace(64, 2, 10000000, 0);
+  ClusterSimulator m1({1, 32});
+  ClusterSimulator m8({8, 32});
+  EXPECT_LT(m8.EstimateSeconds(compute, profile, 1e9),
+            m1.EstimateSeconds(compute, profile, 1e9));
+  // Communication-heavy: cross-machine traffic costs, single machine wins.
+  ExecutionTrace chatty = MakeTrace(64, 50, 1000, 5000000);
+  EXPECT_GT(m8.EstimateSeconds(chatty, profile, 1e9),
+            m1.EstimateSeconds(chatty, profile, 1e9));
+}
+
+TEST(ClusterSimTest, SlowestPartitionBoundsTheStep) {
+  ExecutionTrace trace(4);
+  trace.BeginSuperstep();
+  trace.AddWork(0, 1000000);  // one hot partition
+  trace.AddWork(1, 1);
+  PlatformCostProfile profile = LeanProfile();
+  ClusterSimulator sim({1, 64});
+  double t = sim.EstimateSeconds(trace, profile, 1e6);
+  EXPECT_GE(t, 1.0);  // the hot partition is indivisible
+}
+
+TEST(ClusterSimTest, CalibrationReproducesMeasurement) {
+  ExecutionTrace trace = MakeTrace(64, 3, 500000, 2000);
+  PlatformCostProfile profile = LeanProfile();
+  ClusterConfig measured_on{1, 2};
+  double measured_seconds = 0.8;
+  double rate = ClusterSimulator::CalibrateRate(trace, profile, measured_on,
+                                                measured_seconds);
+  ClusterSimulator sim(measured_on);
+  EXPECT_NEAR(sim.EstimateSeconds(trace, profile, rate), measured_seconds,
+              0.01 * measured_seconds);
+}
+
+TEST(ClusterSimTest, PerSuperstepOverheadAccumulates) {
+  ExecutionTrace trace = MakeTrace(8, 100, 10, 0);
+  PlatformCostProfile profile = LeanProfile();
+  profile.superstep_overhead_s = 0.01;
+  ClusterSimulator sim({1, 32});
+  EXPECT_GE(sim.EstimateSeconds(trace, profile, 1e12), 1.0);
+}
+
+// ---------------------------------------------------------------- metrics ----
+
+TEST(MetricsTest, EdgesPerSecond) {
+  EXPECT_DOUBLE_EQ(EdgesPerSecond(1000, 2.0), 500.0);
+  EXPECT_DOUBLE_EQ(EdgesPerSecond(1000, 0.0), 0.0);
+}
+
+TEST(MetricsTest, SpeedupSeries) {
+  auto s = SpeedupSeries({8.0, 4.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[3], 8.0);
+}
+
+TEST(MetricsTest, GeometricMean) {
+  EXPECT_NEAR(GeometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+// --------------------------------------------------------------- executor ----
+
+TEST(ExecutorTest, RunsAndVerifiesSupportedCombo) {
+  FftDgConfig config;
+  config.num_vertices = 1500;
+  config.weighted = true;
+  config.seed = 31;
+  CsrGraph g = GraphBuilder::Build(GenerateFftDg(config));
+  AlgoParams params;
+  const Platform* ligra = PlatformByAbbrev("LI");
+  ExperimentRecord record = ExperimentExecutor::Execute(
+      *ligra, Algorithm::kSssp, g, "test", params, /*upload_seconds=*/0.5);
+  ASSERT_TRUE(record.supported);
+  EXPECT_GT(record.timing.running_seconds, 0.0);
+  EXPECT_GT(record.throughput_eps, 0.0);
+  EXPECT_DOUBLE_EQ(record.timing.makespan_seconds,
+                   0.5 + record.timing.running_seconds);
+  EXPECT_TRUE(ExperimentExecutor::Verify(Algorithm::kSssp, g, params,
+                                         record.run.output)
+                  .ok);
+}
+
+TEST(ExecutorTest, UnsupportedComboIsMarked) {
+  CsrGraph g = GraphBuilder::FromPairs(4, {{0, 1}, {1, 2}});
+  AlgoParams params;
+  const Platform* gt = PlatformByAbbrev("GT");
+  ExperimentRecord record = ExperimentExecutor::Execute(
+      *gt, Algorithm::kPageRank, g, "test", params);
+  EXPECT_FALSE(record.supported);
+}
+
+TEST(ExecutorTest, ClusterSimulationProducesFiniteEstimates) {
+  FftDgConfig config;
+  config.num_vertices = 2000;
+  config.weighted = true;
+  config.seed = 33;
+  CsrGraph g = GraphBuilder::Build(GenerateFftDg(config));
+  AlgoParams params;
+  const Platform* pp = PlatformByAbbrev("PP");
+  ExperimentRecord record = ExperimentExecutor::Execute(
+      *pp, Algorithm::kPageRank, g, "test", params);
+  ClusterConfig measured_on{1, 2};
+  for (uint32_t machines : {1u, 2u, 4u, 8u, 16u}) {
+    double t = ExperimentExecutor::SimulateOnCluster(
+        record, *pp, measured_on, {machines, 32});
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, 1e4);
+  }
+}
+
+// ----------------------------------------------------------------- stress ----
+
+TEST(StressTest, EdgeEstimateCloseToActual) {
+  DatasetSpec spec = StdDataset(5);
+  uint64_t estimated = EstimateDatasetEdges(spec, /*sample_vertices=*/1000);
+  CsrGraph g = BuildDataset(spec);
+  double ratio = static_cast<double>(estimated) /
+                 static_cast<double>(g.num_edges());
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.4);
+}
+
+TEST(StressTest, BiggerBudgetFitsMoreAndGraphxFailsFirst) {
+  auto specs = std::vector<DatasetSpec>{StdDataset(4), StdDataset(5),
+                                        StdDataset(6)};
+  ClusterConfig cluster{16, 32};
+  auto tight = RunStressTest(specs, cluster, /*budget=*/64 * 1024);
+  auto roomy = RunStressTest(specs, cluster, /*budget=*/1024 * 1024 * 1024);
+  size_t tight_fits = 0;
+  size_t roomy_fits = 0;
+  for (const auto& o : tight) tight_fits += o.fits;
+  for (const auto& o : roomy) roomy_fits += o.fits;
+  EXPECT_LT(tight_fits, roomy_fits);
+  // GraphX's JVM memory factor makes it the first platform to fail.
+  for (size_t i = 0; i < roomy.size(); ++i) {
+    if (roomy[i].platform == "GX") continue;
+    // Find the GX outcome of the same dataset.
+    for (const auto& gx : roomy) {
+      if (gx.platform == "GX" && gx.dataset == roomy[i].dataset &&
+          gx.dataset != "" && roomy[i].platform != "LI") {
+        EXPECT_GE(gx.estimated_bytes_per_machine,
+                  roomy[i].estimated_bytes_per_machine);
+      }
+    }
+  }
+}
+
+TEST(StressTest, LigraIsSingleMachine) {
+  auto specs = std::vector<DatasetSpec>{StdDataset(5)};
+  ClusterConfig cluster{16, 32};
+  auto outcomes = RunStressTest(specs, cluster, 1 << 30);
+  uint64_t ligra_bytes = 0;
+  uint64_t pp_bytes = 0;
+  for (const auto& o : outcomes) {
+    if (o.platform == "LI") ligra_bytes = o.estimated_bytes_per_machine;
+    if (o.platform == "PP") pp_bytes = o.estimated_bytes_per_machine;
+  }
+  // Ligra holds the whole graph on one machine: far more resident bytes.
+  EXPECT_GT(ligra_bytes, 4 * pp_bytes);
+}
+
+}  // namespace
+}  // namespace gab

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/classic.h"
+#include "graph/builder.h"
+#include "stats/community.h"
+#include "stats/correlation.h"
+#include "stats/divergence.h"
+#include "stats/graph_stats.h"
+#include "util/rng.h"
+
+namespace gab {
+namespace {
+
+CsrGraph Clique(VertexId k) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId i = 0; i < k; ++i) {
+    for (VertexId j = i + 1; j < k; ++j) pairs.push_back({i, j});
+  }
+  return GraphBuilder::FromPairs(k, pairs);
+}
+
+CsrGraph Path(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId i = 0; i + 1 < n; ++i) pairs.push_back({i, i + 1});
+  return GraphBuilder::FromPairs(n, pairs);
+}
+
+CsrGraph Cycle(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId i = 0; i < n; ++i) pairs.push_back({i, (i + 1) % n});
+  return GraphBuilder::FromPairs(n, pairs);
+}
+
+// ---------------------------------------------------------- graph stats ----
+
+TEST(GraphStatsTest, DensityOfClique) {
+  EXPECT_DOUBLE_EQ(GraphDensity(Clique(5)), 1.0);
+  EXPECT_NEAR(GraphDensity(Path(100)), 99.0 / (100.0 * 99.0 / 2.0), 1e-12);
+}
+
+TEST(GraphStatsTest, TriangleCountsOnKnownGraphs) {
+  EXPECT_EQ(CountTrianglesSequential(Clique(4)), 4u);   // C(4,3)
+  EXPECT_EQ(CountTrianglesSequential(Clique(6)), 20u);  // C(6,3)
+  EXPECT_EQ(CountTrianglesSequential(Path(10)), 0u);
+  EXPECT_EQ(CountTrianglesSequential(Cycle(3)), 1u);
+  EXPECT_EQ(CountTrianglesSequential(Cycle(5)), 0u);
+}
+
+TEST(GraphStatsTest, TrianglesPerVertexSymmetricOnClique) {
+  auto counts = TrianglesPerVertex(Clique(5));
+  for (uint64_t c : counts) EXPECT_EQ(c, 6u);  // C(4,2)
+}
+
+TEST(GraphStatsTest, ClusteringCoefficientOfClique) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Clique(5)), 1.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClusteringCoefficient(Clique(5)), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Path(10)), 0.0);
+}
+
+TEST(GraphStatsTest, ApproxDiameterOfPathIsExact) {
+  EXPECT_EQ(ApproxDiameter(Path(50)), 49u);
+  EXPECT_EQ(ApproxDiameter(Cycle(10)), 5u);
+  EXPECT_EQ(ApproxDiameter(Clique(8)), 1u);
+}
+
+TEST(GraphStatsTest, ConnectedComponentLabels) {
+  CsrGraph g = GraphBuilder::FromPairs(6, {{0, 1}, {1, 2}, {4, 5}});
+  auto labels = ConnectedComponentLabels(g);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[4], 4u);
+  EXPECT_EQ(labels[5], 4u);
+}
+
+TEST(GraphStatsTest, ConductanceOfBalancedCut) {
+  // Two triangles joined by one edge; cutting between them: cut=1,
+  // vol(S) = 2*3 + 1 = 7.
+  CsrGraph g = GraphBuilder::FromPairs(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  std::vector<bool> in_set = {true, true, true, false, false, false};
+  EXPECT_NEAR(Conductance(g, in_set), 1.0 / 7.0, 1e-12);
+}
+
+TEST(GraphStatsTest, ConductanceEdgeCases) {
+  CsrGraph g = Clique(4);
+  std::vector<bool> none(4, false);
+  EXPECT_DOUBLE_EQ(Conductance(g, none), 0.0);
+}
+
+TEST(GraphStatsTest, BridgesInTreeAreAllEdges) {
+  CsrGraph g = Path(6);
+  EXPECT_EQ(FindBridges(g).size(), 5u);
+}
+
+TEST(GraphStatsTest, CycleHasNoBridges) {
+  EXPECT_TRUE(FindBridges(Cycle(8)).empty());
+}
+
+TEST(GraphStatsTest, BridgeBetweenTwoCliques) {
+  CsrGraph g = GraphBuilder::FromPairs(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  auto bridges = FindBridges(g);
+  ASSERT_EQ(bridges.size(), 1u);
+  EXPECT_EQ(bridges[0], (Edge{2, 3}));
+}
+
+TEST(GraphStatsTest, InducedSubgraphExtractsCorrectEdges) {
+  CsrGraph g = Clique(5);
+  std::vector<VertexId> verts = {0, 2, 4};
+  CsrGraph sub = InducedSubgraph(g, verts);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);  // still a clique among the three
+}
+
+TEST(GraphStatsTest, DegreeSummary) {
+  CsrGraph g = GraphBuilder::FromPairs(4, {{0, 1}, {0, 2}, {0, 3}});
+  DegreeSummary s = SummarizeDegrees(g);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 6.0 / 4.0);
+  EXPECT_EQ(s.median, 1u);
+}
+
+// ----------------------------------------------------------- divergence ----
+
+TEST(DivergenceTest, JsdOfIdenticalIsZero) {
+  std::vector<double> p = {0.25, 0.25, 0.5};
+  EXPECT_NEAR(JsDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(DivergenceTest, JsdIsSymmetric) {
+  std::vector<double> p = {0.7, 0.2, 0.1};
+  std::vector<double> q = {0.1, 0.3, 0.6};
+  EXPECT_NEAR(JsDivergence(p, q), JsDivergence(q, p), 1e-12);
+}
+
+TEST(DivergenceTest, JsdOfDisjointIsOneBit) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.0, 1.0};
+  EXPECT_NEAR(JsDivergence(p, q), 1.0, 1e-9);
+}
+
+TEST(DivergenceTest, JsdBounded) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> p(8);
+    std::vector<double> q(8);
+    double sp = 0;
+    double sq = 0;
+    for (int i = 0; i < 8; ++i) {
+      p[i] = rng.NextUnit();
+      q[i] = rng.NextUnit();
+      sp += p[i];
+      sq += q[i];
+    }
+    for (int i = 0; i < 8; ++i) {
+      p[i] /= sp;
+      q[i] /= sq;
+    }
+    double jsd = JsDivergence(p, q);
+    EXPECT_GE(jsd, 0.0);
+    EXPECT_LE(jsd, 1.0);
+  }
+}
+
+TEST(DivergenceTest, KlOfIdenticalIsZero) {
+  std::vector<double> p = {0.5, 0.5};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(DivergenceTest, HistogramOverload) {
+  Histogram a(0, 1, 4);
+  Histogram b(0, 1, 4);
+  a.Add(0.1);
+  b.Add(0.9);
+  EXPECT_GT(JsDivergence(a, b), 0.5);
+}
+
+// ---------------------------------------------------------- correlation ----
+
+TEST(CorrelationTest, SpearmanPerfectAgreement) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {10, 20, 30, 40, 50};
+  EXPECT_NEAR(SpearmanRho(x, y), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, SpearmanPerfectDisagreement) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {4, 3, 2, 1};
+  EXPECT_NEAR(SpearmanRho(x, y), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, SpearmanIgnoresMonotoneTransform) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {1, 4, 9, 16, 25};  // monotone but nonlinear
+  EXPECT_NEAR(SpearmanRho(x, y), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, FractionalRanksHandleTies) {
+  std::vector<double> v = {10, 20, 20, 30};
+  auto ranks = FractionalRanks(v);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(CorrelationTest, PearsonOfConstantIsZero) {
+  std::vector<double> x = {1, 1, 1};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+// ----------------------------------------------------------- community ----
+
+TEST(CommunityTest, LpaDetectsTwoCliques) {
+  // Two 5-cliques joined by a single edge: LPA should separate them.
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = i + 1; j < 5; ++j) {
+      pairs.push_back({i, j});
+      pairs.push_back({i + 5, j + 5});
+    }
+  }
+  pairs.push_back({4, 5});
+  CsrGraph g = GraphBuilder::FromPairs(10, pairs);
+  auto labels = DetectCommunitiesLpa(g, 20, 1);
+  for (VertexId v = 1; v < 5; ++v) EXPECT_EQ(labels[v], labels[0]);
+  for (VertexId v = 6; v < 10; ++v) EXPECT_EQ(labels[v], labels[5]);
+  EXPECT_NE(labels[0], labels[5]);
+}
+
+TEST(CommunityTest, StatsOfPlantedCommunities) {
+  RealWorldProxyConfig config;
+  config.num_vertices = 3000;
+  config.seed = 3;
+  std::vector<uint32_t> community_of;
+  CsrGraph g =
+      GraphBuilder::Build(GenerateRealWorldProxy(config, &community_of));
+  auto stats = ComputeCommunityStats(g, community_of, /*min_size=*/8,
+                                     /*max_communities=*/100);
+  ASSERT_GT(stats.size(), 10u);
+  for (const CommunityStats& s : stats) {
+    EXPECT_GE(s.size, 8.0);
+    EXPECT_GE(s.clustering_coefficient, 0.0);
+    EXPECT_LE(s.clustering_coefficient, 1.0);
+    EXPECT_GE(s.triangle_participation, 0.0);
+    EXPECT_LE(s.triangle_participation, 1.0);
+    EXPECT_GE(s.bridge_ratio, 0.0);
+    EXPECT_LE(s.bridge_ratio, 1.0);
+    EXPECT_GE(s.conductance, 0.0);
+    EXPECT_LE(s.conductance, 1.0);
+    EXPECT_GE(s.diameter, 1.0);
+  }
+  // Planted communities are dense: most members sit in triangles.
+  double avg_tpr = 0;
+  for (const auto& s : stats) avg_tpr += s.triangle_participation;
+  EXPECT_GT(avg_tpr / stats.size(), 0.5);
+}
+
+TEST(CommunityTest, MetricAccessorsCoverAllMetrics) {
+  CommunityStats s;
+  s.clustering_coefficient = 1;
+  s.triangle_participation = 2;
+  s.bridge_ratio = 3;
+  s.diameter = 4;
+  s.conductance = 5;
+  s.size = 6;
+  for (int m = 0; m < kNumCommunityMetrics; ++m) {
+    auto metric = static_cast<CommunityMetric>(m);
+    EXPECT_EQ(CommunityMetricValue(s, metric), static_cast<double>(m + 1));
+    EXPECT_NE(std::string(CommunityMetricName(metric)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace gab

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/atomic_bitset.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/threading.h"
+#include "util/timer.h"
+
+namespace gab {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UnitOpenClosedIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    double f = rng.NextUnitOpenClosed();
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(RngTest, UnitIsInHalfOpenRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    double f = rng.NextUnit();
+    EXPECT_GE(f, 0.0);
+    EXPECT_LT(f, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllValues) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, InRangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UnitMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextUnit();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(SplitMix64Test, Deterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+// ------------------------------------------------------------- Status ----
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad alpha");
+}
+
+TEST(StatusTest, AllConstructorsProduceTheirCode) {
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::IoError("x").code(), Status::Code::kIoError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::Unsupported("x").code(), Status::Code::kUnsupported);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            Status::Code::kResourceExhausted);
+}
+
+// ---------------------------------------------------------- Histogram ----
+
+TEST(HistogramTest, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(5.5);
+  h.Add(9.5);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[5], 1u);
+  EXPECT_EQ(h.counts()[9], 1u);
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(42.0);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+}
+
+TEST(HistogramTest, NormalizedSumsToOne) {
+  Histogram h(0.0, 1.0, 8);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) h.Add(rng.NextUnit());
+  auto p = h.Normalized();
+  double sum = std::accumulate(p.begin(), p.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptyNormalizesToUniform) {
+  Histogram h(0.0, 1.0, 4);
+  auto p = h.Normalized();
+  for (double x : p) EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+TEST(HistogramTest, BoundaryValueGoesToUpperBin) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.BinOf(10.0), 9u);
+  EXPECT_EQ(h.BinOf(0.0), 0u);
+}
+
+// -------------------------------------------------------------- Table ----
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"a", "bbbb"});
+  t.AddRow({"xx", "y"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| xx "), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(Table::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::FmtCount(1234567), "1,234,567");
+  EXPECT_EQ(Table::FmtCount(7), "7");
+  EXPECT_EQ(Table::FmtSci(12345.0, 1), "1.2e+04");
+}
+
+TEST(TableTest, EnvOrFallsBack) {
+  EXPECT_EQ(EnvOr("GAB_DEFINITELY_UNSET_VAR_123", 77), 77u);
+}
+
+// ------------------------------------------------------- AtomicBitset ----
+
+TEST(AtomicBitsetTest, SetAndTest) {
+  AtomicBitset bits(200);
+  EXPECT_FALSE(bits.Test(63));
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(199);
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(199));
+  EXPECT_FALSE(bits.Test(0));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(AtomicBitsetTest, TestAndSetReportsTransition) {
+  AtomicBitset bits(10);
+  EXPECT_TRUE(bits.TestAndSet(5));
+  EXPECT_FALSE(bits.TestAndSet(5));
+}
+
+TEST(AtomicBitsetTest, ClearResetsAll) {
+  AtomicBitset bits(100);
+  for (size_t i = 0; i < 100; i += 3) bits.Set(i);
+  bits.Clear();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(AtomicBitsetTest, ConcurrentTestAndSetIsExactlyOnce) {
+  AtomicBitset bits(1 << 14);
+  std::atomic<size_t> wins{0};
+  ParallelFor(1 << 16, 64, [&](size_t begin, size_t end) {
+    size_t local = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (bits.TestAndSet(i % (1 << 14))) ++local;
+    }
+    wins.fetch_add(local);
+  });
+  EXPECT_EQ(wins.load(), size_t{1} << 14);
+}
+
+// ---------------------------------------------------------- Threading ----
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  DefaultPool().RunTasks(1000, [&](size_t i, size_t) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsNoop) {
+  DefaultPool().RunTasks(0, [](size_t, size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ManyConsecutiveBatches) {
+  // Regression test for the batch-lifetime race: a straggler worker must
+  // never touch a completed batch's function object.
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 500; ++round) {
+    DefaultPool().RunTasks(7, [&](size_t, size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 3500u);
+}
+
+TEST(ParallelForTest, CoversRangeOnce) {
+  std::vector<std::atomic<int>> hits(10000);
+  ParallelFor(10000, 128, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, AutoGrainCoversRange) {
+  std::atomic<size_t> count{0};
+  ParallelFor(12345, [&](size_t begin, size_t end) {
+    count.fetch_add(end - begin);
+  });
+  EXPECT_EQ(count.load(), 12345u);
+}
+
+TEST(ParallelReduceTest, SumsCorrectly) {
+  double total = ParallelReduceSum(1000, [](size_t begin, size_t end) {
+    double s = 0;
+    for (size_t i = begin; i < end; ++i) s += static_cast<double>(i);
+    return s;
+  });
+  EXPECT_DOUBLE_EQ(total, 999.0 * 1000.0 / 2.0);
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.Millis(), 15.0);
+  t.Restart();
+  EXPECT_LT(t.Millis(), 15.0);
+}
+
+}  // namespace
+}  // namespace gab

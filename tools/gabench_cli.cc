@@ -1,0 +1,359 @@
+// gabench — command-line driver for the GABench library.
+//
+//   gabench generate  --type fft --n 100000 --alpha 10 --out graph.bin
+//   gabench info      --in graph.bin
+//   gabench datasets  [--scale 5]
+//   gabench run       --platform GR --algo PR --in graph.bin
+//   gabench run       --platform PP --algo SSSP --dataset S5-Std
+//   gabench simulate  --platform PP --algo PR --dataset S5-Std
+//                     --machines 16 --threads 32
+//   gabench usability [--trials 64]
+//
+// Every subcommand prints a deterministic, grep-friendly table. Exit code
+// 0 on success, 1 on usage errors, 2 on runtime failures.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "gab/gab.h"
+#include "usability/api_spec.h"
+#include "util/threading.h"
+#include "util/timer.h"
+
+namespace gab {
+namespace {
+
+// ---------------------------------------------------------- flag parsing ----
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        error_ = "unexpected argument: " + arg;
+        return;
+      }
+      std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+int Usage() {
+  std::fputs(
+      "usage: gabench <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate   --type fft|ldbc|er|ws|ba|rmat|proxy --n N --out FILE\n"
+      "             [--alpha A] [--diameter D] [--weighted] [--seed S]\n"
+      "             [--m M (er/rmat)] [--text]\n"
+      "  info       --in FILE            graph statistics\n"
+      "  datasets   [--scale S]          the Table 4 dataset registry\n"
+      "  run        --platform AB --algo NAME (--in FILE | --dataset NAME)\n"
+      "             [--source V] [--k K] [--iterations I] [--no-verify]\n"
+      "  simulate   (run flags) --machines M --threads T\n"
+      "  usability  [--trials N] [--seed S]\n",
+      stderr);
+  return 1;
+}
+
+std::optional<Algorithm> AlgorithmByName(const std::string& name) {
+  for (Algorithm algo : AllAlgorithms()) {
+    if (name == AlgorithmName(algo)) return algo;
+  }
+  return std::nullopt;
+}
+
+// Loads --in FILE (text or binary by extension) or builds --dataset NAME.
+std::optional<CsrGraph> LoadGraph(const Flags& flags) {
+  if (flags.Has("in")) {
+    std::string path = flags.Get("in", "");
+    EdgeList edges;
+    Status status = path.size() > 4 && path.substr(path.size() - 4) == ".bin"
+                        ? ReadEdgeListBinary(path, &edges)
+                        : ReadEdgeListText(path, &edges);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return std::nullopt;
+    }
+    return GraphBuilder::Build(std::move(edges));
+  }
+  if (flags.Has("dataset")) {
+    std::string name = flags.Get("dataset", "");
+    for (uint32_t scale = 3; scale <= 9; ++scale) {
+      for (const DatasetSpec& spec :
+           {StdDataset(scale), DenseDataset(scale), DiamDataset(scale)}) {
+        if (spec.name == name) return BuildDataset(spec);
+      }
+    }
+    std::fprintf(stderr, "error: unknown dataset %s (try `gabench datasets`)\n",
+                 name.c_str());
+    return std::nullopt;
+  }
+  std::fprintf(stderr, "error: need --in FILE or --dataset NAME\n");
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------- commands ----
+
+int CmdGenerate(const Flags& flags) {
+  std::string type = flags.Get("type", "fft");
+  VertexId n = static_cast<VertexId>(flags.GetInt("n", 10000));
+  uint64_t seed = flags.GetInt("seed", 42);
+  std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --out FILE required\n");
+    return 1;
+  }
+
+  EdgeList edges;
+  GenStats stats;
+  if (type == "fft") {
+    FftDgConfig config;
+    config.num_vertices = n;
+    config.alpha = flags.GetDouble("alpha", 10.0);
+    config.target_diameter =
+        static_cast<uint32_t>(flags.GetInt("diameter", 0));
+    config.weighted = flags.Has("weighted");
+    config.seed = seed;
+    edges = GenerateFftDg(config, &stats);
+  } else if (type == "ldbc") {
+    LdbcDgConfig config;
+    config.num_vertices = n;
+    config.weighted = flags.Has("weighted");
+    config.seed = seed;
+    edges = GenerateLdbcDg(config, &stats);
+  } else if (type == "er") {
+    edges = GenerateErdosRenyi(n, flags.GetInt("m", 8ull * n), seed);
+  } else if (type == "ws") {
+    edges = GenerateWattsStrogatz(
+        n, static_cast<uint32_t>(flags.GetInt("k", 4)),
+        flags.GetDouble("beta", 0.1), seed);
+  } else if (type == "ba") {
+    edges = GenerateBarabasiAlbert(
+        n, static_cast<uint32_t>(flags.GetInt("attach", 4)), seed);
+  } else if (type == "rmat") {
+    uint32_t scale = 1;
+    while ((VertexId{1} << scale) < n) ++scale;
+    edges = GenerateRmat(scale, flags.GetInt("m", 8ull * n), 0.57, 0.19,
+                         0.19, seed);
+  } else if (type == "proxy") {
+    RealWorldProxyConfig config;
+    config.num_vertices = n;
+    config.seed = seed;
+    edges = GenerateRealWorldProxy(config);
+  } else {
+    std::fprintf(stderr, "error: unknown generator type %s\n", type.c_str());
+    return 1;
+  }
+  if (flags.Has("weighted") && !edges.has_weights()) {
+    AssignUniformWeights(&edges, seed + 1);
+  }
+
+  Status status = flags.Has("text") ? WriteEdgeListText(edges, out)
+                                    : WriteEdgeListBinary(edges, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  std::printf("wrote %s: %u vertices, %llu edges", out.c_str(),
+              edges.num_vertices(),
+              static_cast<unsigned long long>(edges.num_edges()));
+  if (stats.trials > 0) {
+    std::printf(" (%.2f trials/edge)", stats.TrialsPerEdge());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  std::optional<CsrGraph> g = LoadGraph(flags);
+  if (!g) return 2;
+  DegreeSummary degrees = SummarizeDegrees(*g);
+  Table table({"Statistic", "Value"});
+  table.AddRow({"vertices", Table::FmtCount(g->num_vertices())});
+  table.AddRow({"edges", Table::FmtCount(g->num_edges())});
+  table.AddRow({"density", Table::FmtSci(GraphDensity(*g))});
+  table.AddRow({"weighted", g->has_weights() ? "yes" : "no"});
+  table.AddRow({"mean degree", Table::Fmt(degrees.mean, 2)});
+  table.AddRow({"max degree", Table::FmtCount(degrees.max)});
+  table.AddRow({"approx diameter", std::to_string(ApproxDiameter(*g))});
+  table.AddRow({"triangles",
+                Table::FmtCount(CountTrianglesSequential(*g))});
+  table.AddRow({"avg clustering",
+                Table::Fmt(AverageLocalClusteringCoefficient(*g), 4)});
+  auto labels = ConnectedComponentLabels(*g);
+  table.AddRow({"components", Table::FmtCount(CountComponents(
+                                  std::vector<VertexId>(labels.begin(),
+                                                        labels.end())))});
+  table.Print();
+  return 0;
+}
+
+int CmdDatasets(const Flags& flags) {
+  uint32_t scale = static_cast<uint32_t>(
+      flags.GetInt("scale", EnvOr("GAB_SCALE", 5)));
+  Table table({"Name", "Vertices", "alpha", "TargetDiam", "Seed"});
+  for (const DatasetSpec& spec : DefaultDatasets(scale)) {
+    table.AddRow({spec.name, Table::FmtCount(spec.num_vertices),
+                  Table::Fmt(spec.alpha, 0),
+                  spec.target_diameter == 0
+                      ? "-"
+                      : std::to_string(spec.target_diameter),
+                  std::to_string(spec.seed)});
+  }
+  table.Print();
+  return 0;
+}
+
+int CmdRun(const Flags& flags, bool simulate) {
+  const Platform* platform =
+      PlatformByAbbrev(flags.Get("platform", ""));
+  if (platform == nullptr) {
+    std::fprintf(stderr,
+                 "error: --platform must be GX|PG|FL|GR|PP|LI|GT\n");
+    return 1;
+  }
+  std::optional<Algorithm> algo = AlgorithmByName(flags.Get("algo", ""));
+  if (!algo) {
+    std::fprintf(stderr,
+                 "error: --algo must be PR|LPA|SSSP|WCC|BC|CD|TC|KC\n");
+    return 1;
+  }
+  if (!platform->Supports(*algo)) {
+    std::fprintf(stderr, "error: %s does not support %s (paper §8.2)\n",
+                 platform->name().c_str(), AlgorithmName(*algo));
+    return 1;
+  }
+  WallTimer upload_timer;
+  std::optional<CsrGraph> g = LoadGraph(flags);
+  if (!g) return 2;
+  double upload = upload_timer.Seconds();
+
+  AlgoParams params;
+  params.source = static_cast<VertexId>(flags.GetInt("source", 0));
+  params.clique_k = static_cast<uint32_t>(flags.GetInt("k", 4));
+  params.iterations =
+      static_cast<uint32_t>(flags.GetInt("iterations", 10));
+
+  ExperimentRecord record = ExperimentExecutor::Execute(
+      *platform, *algo, *g, flags.Get("dataset", flags.Get("in", "?")),
+      params, upload);
+
+  Table table({"Metric", "Value"});
+  table.AddRow({"platform", platform->name()});
+  table.AddRow({"algorithm", AlgorithmLongName(*algo)});
+  table.AddRow({"upload time (s)", Table::Fmt(upload, 3)});
+  table.AddRow({"running time (s)",
+                Table::Fmt(record.timing.running_seconds, 4)});
+  table.AddRow({"makespan (s)",
+                Table::Fmt(record.timing.makespan_seconds, 3)});
+  table.AddRow({"throughput (edges/s)",
+                Table::FmtSci(record.throughput_eps)});
+  table.AddRow({"supersteps",
+                std::to_string(record.run.trace.num_supersteps())});
+  if (*algo == Algorithm::kTc || *algo == Algorithm::kKc) {
+    table.AddRow({"count", Table::FmtCount(record.run.output.scalar)});
+  }
+  if (!flags.Has("no-verify")) {
+    VerifyResult verdict =
+        ExperimentExecutor::Verify(*algo, *g, params, record.run.output);
+    table.AddRow({"verified", verdict.ok ? "yes" : verdict.detail});
+    if (!verdict.ok) {
+      table.Print();
+      return 2;
+    }
+  }
+  if (simulate) {
+    ClusterConfig measured_on{
+        1, static_cast<uint32_t>(DefaultPool().num_threads())};
+    ClusterConfig target{
+        static_cast<uint32_t>(flags.GetInt("machines", 16)),
+        static_cast<uint32_t>(flags.GetInt("threads", 32))};
+    double t = ExperimentExecutor::SimulateOnCluster(record, *platform,
+                                                     measured_on, target);
+    table.AddRow({"simulated cluster",
+                  std::to_string(target.machines) + " x " +
+                      std::to_string(target.threads_per_machine)});
+    table.AddRow({"simulated time (s)", Table::Fmt(t, 4)});
+  }
+  table.Print();
+  return 0;
+}
+
+int CmdUsability(const Flags& flags) {
+  uint32_t trials = static_cast<uint32_t>(flags.GetInt("trials", 64));
+  UsabilityReport report =
+      RunUsabilityEvaluation(trials, flags.GetInt("seed", 2025));
+  std::vector<std::string> header = {"Level"};
+  for (const ApiSpec& spec : AllApiSpecs()) header.push_back(spec.abbrev);
+  Table table(header);
+  for (PromptLevel level : AllPromptLevels()) {
+    std::vector<std::string> row = {PromptLevelName(level)};
+    for (double score : report.WeightedRow(level)) {
+      row.push_back(Table::Fmt(score, 1));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("Spearman vs human study: %.3f (Intermediate), %.3f (Senior)\n",
+              RankAgreementWithHumans(report, PromptLevel::kIntermediate),
+              RankAgreementWithHumans(report, PromptLevel::kSenior));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    return 1;
+  }
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "datasets") return CmdDatasets(flags);
+  if (command == "run") return CmdRun(flags, /*simulate=*/false);
+  if (command == "simulate") return CmdRun(flags, /*simulate=*/true);
+  if (command == "usability") return CmdUsability(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace gab
+
+int main(int argc, char** argv) { return gab::Main(argc, argv); }
