@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_generator"
+  "../bench/bench_ablation_generator.pdb"
+  "CMakeFiles/bench_ablation_generator.dir/bench_ablation_generator.cc.o"
+  "CMakeFiles/bench_ablation_generator.dir/bench_ablation_generator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_generator_efficiency"
+  "../bench/bench_fig9_generator_efficiency.pdb"
+  "CMakeFiles/bench_fig9_generator_efficiency.dir/bench_fig9_generator_efficiency.cc.o"
+  "CMakeFiles/bench_fig9_generator_efficiency.dir/bench_fig9_generator_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_generator_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

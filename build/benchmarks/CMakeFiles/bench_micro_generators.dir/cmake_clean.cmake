@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_generators"
+  "../bench/bench_micro_generators.pdb"
+  "CMakeFiles/bench_micro_generators.dir/bench_micro_generators.cc.o"
+  "CMakeFiles/bench_micro_generators.dir/bench_micro_generators.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

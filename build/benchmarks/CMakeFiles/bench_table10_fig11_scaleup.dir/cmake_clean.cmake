@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table10_fig11_scaleup"
+  "../bench/bench_table10_fig11_scaleup.pdb"
+  "CMakeFiles/bench_table10_fig11_scaleup.dir/bench_table10_fig11_scaleup.cc.o"
+  "CMakeFiles/bench_table10_fig11_scaleup.dir/bench_table10_fig11_scaleup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_fig11_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

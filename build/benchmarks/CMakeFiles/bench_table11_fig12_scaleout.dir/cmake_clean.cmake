@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table11_fig12_scaleout"
+  "../bench/bench_table11_fig12_scaleout.pdb"
+  "CMakeFiles/bench_table11_fig12_scaleout.dir/bench_table11_fig12_scaleout.cc.o"
+  "CMakeFiles/bench_table11_fig12_scaleout.dir/bench_table11_fig12_scaleout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_fig12_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table12_fig13_usability"
+  "../bench/bench_table12_fig13_usability.pdb"
+  "CMakeFiles/bench_table12_fig13_usability.dir/bench_table12_fig13_usability.cc.o"
+  "CMakeFiles/bench_table12_fig13_usability.dir/bench_table12_fig13_usability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_fig13_usability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

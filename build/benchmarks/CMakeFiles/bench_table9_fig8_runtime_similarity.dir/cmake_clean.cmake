@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table9_fig8_runtime_similarity"
+  "../bench/bench_table9_fig8_runtime_similarity.pdb"
+  "CMakeFiles/bench_table9_fig8_runtime_similarity.dir/bench_table9_fig8_runtime_similarity.cc.o"
+  "CMakeFiles/bench_table9_fig8_runtime_similarity.dir/bench_table9_fig8_runtime_similarity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_fig8_runtime_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

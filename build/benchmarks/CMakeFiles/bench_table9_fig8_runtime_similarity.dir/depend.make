@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table9_fig8_runtime_similarity.
+# This may be replaced when dependencies are built.

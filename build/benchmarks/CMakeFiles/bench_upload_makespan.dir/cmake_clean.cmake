@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_upload_makespan"
+  "../bench/bench_upload_makespan.pdb"
+  "CMakeFiles/bench_upload_makespan.dir/bench_upload_makespan.cc.o"
+  "CMakeFiles/bench_upload_makespan.dir/bench_upload_makespan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_upload_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

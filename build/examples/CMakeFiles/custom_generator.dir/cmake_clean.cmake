@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_generator.dir/custom_generator.cpp.o"
+  "CMakeFiles/custom_generator.dir/custom_generator.cpp.o.d"
+  "custom_generator"
+  "custom_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usability_evaluation.dir/usability_evaluation.cpp.o"
+  "CMakeFiles/usability_evaluation.dir/usability_evaluation.cpp.o.d"
+  "usability_evaluation"
+  "usability_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usability_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

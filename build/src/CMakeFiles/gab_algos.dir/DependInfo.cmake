@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/bc.cc" "src/CMakeFiles/gab_algos.dir/algos/bc.cc.o" "gcc" "src/CMakeFiles/gab_algos.dir/algos/bc.cc.o.d"
+  "/root/repo/src/algos/bfs.cc" "src/CMakeFiles/gab_algos.dir/algos/bfs.cc.o" "gcc" "src/CMakeFiles/gab_algos.dir/algos/bfs.cc.o.d"
+  "/root/repo/src/algos/core_decomposition.cc" "src/CMakeFiles/gab_algos.dir/algos/core_decomposition.cc.o" "gcc" "src/CMakeFiles/gab_algos.dir/algos/core_decomposition.cc.o.d"
+  "/root/repo/src/algos/kclique.cc" "src/CMakeFiles/gab_algos.dir/algos/kclique.cc.o" "gcc" "src/CMakeFiles/gab_algos.dir/algos/kclique.cc.o.d"
+  "/root/repo/src/algos/lcc.cc" "src/CMakeFiles/gab_algos.dir/algos/lcc.cc.o" "gcc" "src/CMakeFiles/gab_algos.dir/algos/lcc.cc.o.d"
+  "/root/repo/src/algos/lpa.cc" "src/CMakeFiles/gab_algos.dir/algos/lpa.cc.o" "gcc" "src/CMakeFiles/gab_algos.dir/algos/lpa.cc.o.d"
+  "/root/repo/src/algos/pagerank.cc" "src/CMakeFiles/gab_algos.dir/algos/pagerank.cc.o" "gcc" "src/CMakeFiles/gab_algos.dir/algos/pagerank.cc.o.d"
+  "/root/repo/src/algos/sssp.cc" "src/CMakeFiles/gab_algos.dir/algos/sssp.cc.o" "gcc" "src/CMakeFiles/gab_algos.dir/algos/sssp.cc.o.d"
+  "/root/repo/src/algos/triangle_count.cc" "src/CMakeFiles/gab_algos.dir/algos/triangle_count.cc.o" "gcc" "src/CMakeFiles/gab_algos.dir/algos/triangle_count.cc.o.d"
+  "/root/repo/src/algos/verify.cc" "src/CMakeFiles/gab_algos.dir/algos/verify.cc.o" "gcc" "src/CMakeFiles/gab_algos.dir/algos/verify.cc.o.d"
+  "/root/repo/src/algos/wcc.cc" "src/CMakeFiles/gab_algos.dir/algos/wcc.cc.o" "gcc" "src/CMakeFiles/gab_algos.dir/algos/wcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gab_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gab_algos.dir/algos/bc.cc.o"
+  "CMakeFiles/gab_algos.dir/algos/bc.cc.o.d"
+  "CMakeFiles/gab_algos.dir/algos/bfs.cc.o"
+  "CMakeFiles/gab_algos.dir/algos/bfs.cc.o.d"
+  "CMakeFiles/gab_algos.dir/algos/core_decomposition.cc.o"
+  "CMakeFiles/gab_algos.dir/algos/core_decomposition.cc.o.d"
+  "CMakeFiles/gab_algos.dir/algos/kclique.cc.o"
+  "CMakeFiles/gab_algos.dir/algos/kclique.cc.o.d"
+  "CMakeFiles/gab_algos.dir/algos/lcc.cc.o"
+  "CMakeFiles/gab_algos.dir/algos/lcc.cc.o.d"
+  "CMakeFiles/gab_algos.dir/algos/lpa.cc.o"
+  "CMakeFiles/gab_algos.dir/algos/lpa.cc.o.d"
+  "CMakeFiles/gab_algos.dir/algos/pagerank.cc.o"
+  "CMakeFiles/gab_algos.dir/algos/pagerank.cc.o.d"
+  "CMakeFiles/gab_algos.dir/algos/sssp.cc.o"
+  "CMakeFiles/gab_algos.dir/algos/sssp.cc.o.d"
+  "CMakeFiles/gab_algos.dir/algos/triangle_count.cc.o"
+  "CMakeFiles/gab_algos.dir/algos/triangle_count.cc.o.d"
+  "CMakeFiles/gab_algos.dir/algos/verify.cc.o"
+  "CMakeFiles/gab_algos.dir/algos/verify.cc.o.d"
+  "CMakeFiles/gab_algos.dir/algos/wcc.cc.o"
+  "CMakeFiles/gab_algos.dir/algos/wcc.cc.o.d"
+  "libgab_algos.a"
+  "libgab_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gab_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engines/trace.cc" "src/CMakeFiles/gab_engines.dir/engines/trace.cc.o" "gcc" "src/CMakeFiles/gab_engines.dir/engines/trace.cc.o.d"
+  "/root/repo/src/engines/vertex_subset.cc" "src/CMakeFiles/gab_engines.dir/engines/vertex_subset.cc.o" "gcc" "src/CMakeFiles/gab_engines.dir/engines/vertex_subset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

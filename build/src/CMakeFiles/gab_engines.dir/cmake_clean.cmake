@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gab_engines.dir/engines/trace.cc.o"
+  "CMakeFiles/gab_engines.dir/engines/trace.cc.o.d"
+  "CMakeFiles/gab_engines.dir/engines/vertex_subset.cc.o"
+  "CMakeFiles/gab_engines.dir/engines/vertex_subset.cc.o.d"
+  "libgab_engines.a"
+  "libgab_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gab_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/classic.cc" "src/CMakeFiles/gab_gen.dir/gen/classic.cc.o" "gcc" "src/CMakeFiles/gab_gen.dir/gen/classic.cc.o.d"
+  "/root/repo/src/gen/datasets.cc" "src/CMakeFiles/gab_gen.dir/gen/datasets.cc.o" "gcc" "src/CMakeFiles/gab_gen.dir/gen/datasets.cc.o.d"
+  "/root/repo/src/gen/fft_dg.cc" "src/CMakeFiles/gab_gen.dir/gen/fft_dg.cc.o" "gcc" "src/CMakeFiles/gab_gen.dir/gen/fft_dg.cc.o.d"
+  "/root/repo/src/gen/ldbc_dg.cc" "src/CMakeFiles/gab_gen.dir/gen/ldbc_dg.cc.o" "gcc" "src/CMakeFiles/gab_gen.dir/gen/ldbc_dg.cc.o.d"
+  "/root/repo/src/gen/weights.cc" "src/CMakeFiles/gab_gen.dir/gen/weights.cc.o" "gcc" "src/CMakeFiles/gab_gen.dir/gen/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

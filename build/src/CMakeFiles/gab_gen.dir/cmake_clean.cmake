@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gab_gen.dir/gen/classic.cc.o"
+  "CMakeFiles/gab_gen.dir/gen/classic.cc.o.d"
+  "CMakeFiles/gab_gen.dir/gen/datasets.cc.o"
+  "CMakeFiles/gab_gen.dir/gen/datasets.cc.o.d"
+  "CMakeFiles/gab_gen.dir/gen/fft_dg.cc.o"
+  "CMakeFiles/gab_gen.dir/gen/fft_dg.cc.o.d"
+  "CMakeFiles/gab_gen.dir/gen/ldbc_dg.cc.o"
+  "CMakeFiles/gab_gen.dir/gen/ldbc_dg.cc.o.d"
+  "CMakeFiles/gab_gen.dir/gen/weights.cc.o"
+  "CMakeFiles/gab_gen.dir/gen/weights.cc.o.d"
+  "libgab_gen.a"
+  "libgab_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gab_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/CMakeFiles/gab_graph.dir/graph/builder.cc.o" "gcc" "src/CMakeFiles/gab_graph.dir/graph/builder.cc.o.d"
+  "/root/repo/src/graph/csr_graph.cc" "src/CMakeFiles/gab_graph.dir/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/gab_graph.dir/graph/csr_graph.cc.o.d"
+  "/root/repo/src/graph/edge_list.cc" "src/CMakeFiles/gab_graph.dir/graph/edge_list.cc.o" "gcc" "src/CMakeFiles/gab_graph.dir/graph/edge_list.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/gab_graph.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/gab_graph.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/CMakeFiles/gab_graph.dir/graph/partition.cc.o" "gcc" "src/CMakeFiles/gab_graph.dir/graph/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

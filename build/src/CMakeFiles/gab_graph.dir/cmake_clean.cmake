@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gab_graph.dir/graph/builder.cc.o"
+  "CMakeFiles/gab_graph.dir/graph/builder.cc.o.d"
+  "CMakeFiles/gab_graph.dir/graph/csr_graph.cc.o"
+  "CMakeFiles/gab_graph.dir/graph/csr_graph.cc.o.d"
+  "CMakeFiles/gab_graph.dir/graph/edge_list.cc.o"
+  "CMakeFiles/gab_graph.dir/graph/edge_list.cc.o.d"
+  "CMakeFiles/gab_graph.dir/graph/io.cc.o"
+  "CMakeFiles/gab_graph.dir/graph/io.cc.o.d"
+  "CMakeFiles/gab_graph.dir/graph/partition.cc.o"
+  "CMakeFiles/gab_graph.dir/graph/partition.cc.o.d"
+  "libgab_graph.a"
+  "libgab_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gab_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platforms/common.cc" "src/CMakeFiles/gab_platforms.dir/platforms/common.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/common.cc.o.d"
+  "/root/repo/src/platforms/flash/flash_platform.cc" "src/CMakeFiles/gab_platforms.dir/platforms/flash/flash_platform.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/flash/flash_platform.cc.o.d"
+  "/root/repo/src/platforms/grape/grape_iterative.cc" "src/CMakeFiles/gab_platforms.dir/platforms/grape/grape_iterative.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/grape/grape_iterative.cc.o.d"
+  "/root/repo/src/platforms/grape/grape_platform.cc" "src/CMakeFiles/gab_platforms.dir/platforms/grape/grape_platform.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/grape/grape_platform.cc.o.d"
+  "/root/repo/src/platforms/grape/grape_sequential.cc" "src/CMakeFiles/gab_platforms.dir/platforms/grape/grape_sequential.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/grape/grape_sequential.cc.o.d"
+  "/root/repo/src/platforms/grape/grape_subgraph.cc" "src/CMakeFiles/gab_platforms.dir/platforms/grape/grape_subgraph.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/grape/grape_subgraph.cc.o.d"
+  "/root/repo/src/platforms/graphx/graphx_platform.cc" "src/CMakeFiles/gab_platforms.dir/platforms/graphx/graphx_platform.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/graphx/graphx_platform.cc.o.d"
+  "/root/repo/src/platforms/graphx/gx_iterative.cc" "src/CMakeFiles/gab_platforms.dir/platforms/graphx/gx_iterative.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/graphx/gx_iterative.cc.o.d"
+  "/root/repo/src/platforms/graphx/gx_sequential.cc" "src/CMakeFiles/gab_platforms.dir/platforms/graphx/gx_sequential.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/graphx/gx_sequential.cc.o.d"
+  "/root/repo/src/platforms/graphx/gx_subgraph.cc" "src/CMakeFiles/gab_platforms.dir/platforms/graphx/gx_subgraph.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/graphx/gx_subgraph.cc.o.d"
+  "/root/repo/src/platforms/gthinker/gt_subgraph.cc" "src/CMakeFiles/gab_platforms.dir/platforms/gthinker/gt_subgraph.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/gthinker/gt_subgraph.cc.o.d"
+  "/root/repo/src/platforms/gthinker/gthinker_platform.cc" "src/CMakeFiles/gab_platforms.dir/platforms/gthinker/gthinker_platform.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/gthinker/gthinker_platform.cc.o.d"
+  "/root/repo/src/platforms/ligra/ligra_platform.cc" "src/CMakeFiles/gab_platforms.dir/platforms/ligra/ligra_platform.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/ligra/ligra_platform.cc.o.d"
+  "/root/repo/src/platforms/platform.cc" "src/CMakeFiles/gab_platforms.dir/platforms/platform.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/platform.cc.o.d"
+  "/root/repo/src/platforms/powergraph/pg_iterative.cc" "src/CMakeFiles/gab_platforms.dir/platforms/powergraph/pg_iterative.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/powergraph/pg_iterative.cc.o.d"
+  "/root/repo/src/platforms/powergraph/pg_sequential.cc" "src/CMakeFiles/gab_platforms.dir/platforms/powergraph/pg_sequential.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/powergraph/pg_sequential.cc.o.d"
+  "/root/repo/src/platforms/powergraph/pg_subgraph.cc" "src/CMakeFiles/gab_platforms.dir/platforms/powergraph/pg_subgraph.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/powergraph/pg_subgraph.cc.o.d"
+  "/root/repo/src/platforms/powergraph/powergraph_platform.cc" "src/CMakeFiles/gab_platforms.dir/platforms/powergraph/powergraph_platform.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/powergraph/powergraph_platform.cc.o.d"
+  "/root/repo/src/platforms/pregelplus/pp_iterative.cc" "src/CMakeFiles/gab_platforms.dir/platforms/pregelplus/pp_iterative.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/pregelplus/pp_iterative.cc.o.d"
+  "/root/repo/src/platforms/pregelplus/pp_sequential.cc" "src/CMakeFiles/gab_platforms.dir/platforms/pregelplus/pp_sequential.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/pregelplus/pp_sequential.cc.o.d"
+  "/root/repo/src/platforms/pregelplus/pp_subgraph.cc" "src/CMakeFiles/gab_platforms.dir/platforms/pregelplus/pp_subgraph.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/pregelplus/pp_subgraph.cc.o.d"
+  "/root/repo/src/platforms/pregelplus/pregelplus_platform.cc" "src/CMakeFiles/gab_platforms.dir/platforms/pregelplus/pregelplus_platform.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/pregelplus/pregelplus_platform.cc.o.d"
+  "/root/repo/src/platforms/subset_kernels.cc" "src/CMakeFiles/gab_platforms.dir/platforms/subset_kernels.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/subset_kernels.cc.o.d"
+  "/root/repo/src/platforms/upload.cc" "src/CMakeFiles/gab_platforms.dir/platforms/upload.cc.o" "gcc" "src/CMakeFiles/gab_platforms.dir/platforms/upload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gab_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gab_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gab_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

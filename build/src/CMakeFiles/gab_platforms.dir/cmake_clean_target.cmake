@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgab_platforms.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gab_runtime.dir/runtime/cluster_sim.cc.o"
+  "CMakeFiles/gab_runtime.dir/runtime/cluster_sim.cc.o.d"
+  "CMakeFiles/gab_runtime.dir/runtime/executor.cc.o"
+  "CMakeFiles/gab_runtime.dir/runtime/executor.cc.o.d"
+  "CMakeFiles/gab_runtime.dir/runtime/metrics.cc.o"
+  "CMakeFiles/gab_runtime.dir/runtime/metrics.cc.o.d"
+  "CMakeFiles/gab_runtime.dir/runtime/stress.cc.o"
+  "CMakeFiles/gab_runtime.dir/runtime/stress.cc.o.d"
+  "libgab_runtime.a"
+  "libgab_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gab_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/community.cc" "src/CMakeFiles/gab_stats.dir/stats/community.cc.o" "gcc" "src/CMakeFiles/gab_stats.dir/stats/community.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/CMakeFiles/gab_stats.dir/stats/correlation.cc.o" "gcc" "src/CMakeFiles/gab_stats.dir/stats/correlation.cc.o.d"
+  "/root/repo/src/stats/divergence.cc" "src/CMakeFiles/gab_stats.dir/stats/divergence.cc.o" "gcc" "src/CMakeFiles/gab_stats.dir/stats/divergence.cc.o.d"
+  "/root/repo/src/stats/graph_stats.cc" "src/CMakeFiles/gab_stats.dir/stats/graph_stats.cc.o" "gcc" "src/CMakeFiles/gab_stats.dir/stats/graph_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

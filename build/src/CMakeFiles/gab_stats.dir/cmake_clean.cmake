@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gab_stats.dir/stats/community.cc.o"
+  "CMakeFiles/gab_stats.dir/stats/community.cc.o.d"
+  "CMakeFiles/gab_stats.dir/stats/correlation.cc.o"
+  "CMakeFiles/gab_stats.dir/stats/correlation.cc.o.d"
+  "CMakeFiles/gab_stats.dir/stats/divergence.cc.o"
+  "CMakeFiles/gab_stats.dir/stats/divergence.cc.o.d"
+  "CMakeFiles/gab_stats.dir/stats/graph_stats.cc.o"
+  "CMakeFiles/gab_stats.dir/stats/graph_stats.cc.o.d"
+  "libgab_stats.a"
+  "libgab_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gab_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

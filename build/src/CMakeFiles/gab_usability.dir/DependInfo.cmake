@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/usability/api_spec.cc" "src/CMakeFiles/gab_usability.dir/usability/api_spec.cc.o" "gcc" "src/CMakeFiles/gab_usability.dir/usability/api_spec.cc.o.d"
+  "/root/repo/src/usability/codegen_sim.cc" "src/CMakeFiles/gab_usability.dir/usability/codegen_sim.cc.o" "gcc" "src/CMakeFiles/gab_usability.dir/usability/codegen_sim.cc.o.d"
+  "/root/repo/src/usability/evaluator.cc" "src/CMakeFiles/gab_usability.dir/usability/evaluator.cc.o" "gcc" "src/CMakeFiles/gab_usability.dir/usability/evaluator.cc.o.d"
+  "/root/repo/src/usability/framework.cc" "src/CMakeFiles/gab_usability.dir/usability/framework.cc.o" "gcc" "src/CMakeFiles/gab_usability.dir/usability/framework.cc.o.d"
+  "/root/repo/src/usability/prompt.cc" "src/CMakeFiles/gab_usability.dir/usability/prompt.cc.o" "gcc" "src/CMakeFiles/gab_usability.dir/usability/prompt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gab_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gab_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

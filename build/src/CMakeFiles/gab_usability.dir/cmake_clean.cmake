@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gab_usability.dir/usability/api_spec.cc.o"
+  "CMakeFiles/gab_usability.dir/usability/api_spec.cc.o.d"
+  "CMakeFiles/gab_usability.dir/usability/codegen_sim.cc.o"
+  "CMakeFiles/gab_usability.dir/usability/codegen_sim.cc.o.d"
+  "CMakeFiles/gab_usability.dir/usability/evaluator.cc.o"
+  "CMakeFiles/gab_usability.dir/usability/evaluator.cc.o.d"
+  "CMakeFiles/gab_usability.dir/usability/framework.cc.o"
+  "CMakeFiles/gab_usability.dir/usability/framework.cc.o.d"
+  "CMakeFiles/gab_usability.dir/usability/prompt.cc.o"
+  "CMakeFiles/gab_usability.dir/usability/prompt.cc.o.d"
+  "libgab_usability.a"
+  "libgab_usability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gab_usability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/gab_util.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/gab_util.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/gab_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/gab_util.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/gab_util.dir/util/table.cc.o" "gcc" "src/CMakeFiles/gab_util.dir/util/table.cc.o.d"
+  "/root/repo/src/util/threading.cc" "src/CMakeFiles/gab_util.dir/util/threading.cc.o" "gcc" "src/CMakeFiles/gab_util.dir/util/threading.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

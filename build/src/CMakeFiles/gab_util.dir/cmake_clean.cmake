@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gab_util.dir/util/histogram.cc.o"
+  "CMakeFiles/gab_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/gab_util.dir/util/status.cc.o"
+  "CMakeFiles/gab_util.dir/util/status.cc.o.d"
+  "CMakeFiles/gab_util.dir/util/table.cc.o"
+  "CMakeFiles/gab_util.dir/util/table.cc.o.d"
+  "CMakeFiles/gab_util.dir/util/threading.cc.o"
+  "CMakeFiles/gab_util.dir/util/threading.cc.o.d"
+  "libgab_util.a"
+  "libgab_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gab_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

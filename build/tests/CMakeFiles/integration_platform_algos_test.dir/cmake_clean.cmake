@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_platform_algos_test.dir/integration_platform_algos_test.cc.o"
+  "CMakeFiles/integration_platform_algos_test.dir/integration_platform_algos_test.cc.o.d"
+  "integration_platform_algos_test"
+  "integration_platform_algos_test.pdb"
+  "integration_platform_algos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_platform_algos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldbc_compat_test.dir/ldbc_compat_test.cc.o"
+  "CMakeFiles/ldbc_compat_test.dir/ldbc_compat_test.cc.o.d"
+  "ldbc_compat_test"
+  "ldbc_compat_test.pdb"
+  "ldbc_compat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldbc_compat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

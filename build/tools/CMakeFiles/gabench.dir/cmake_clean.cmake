@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gabench.dir/gabench_cli.cc.o"
+  "CMakeFiles/gabench.dir/gabench_cli.cc.o.d"
+  "gabench"
+  "gabench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gabench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

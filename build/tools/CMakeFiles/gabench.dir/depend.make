@@ -1,0 +1,2 @@
+# Empty dependencies file for gabench.
+# This may be replaced when dependencies are built.
