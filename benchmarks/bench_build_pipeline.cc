@@ -1,0 +1,186 @@
+// Times every stage of the parallel ingest + kernel pipeline — edge-list
+// sort/dedupe, CSR build, PageRank, WCC, triangle counting — at
+// GAB_THREADS=1 and at the configured worker count, verifying that the CSR
+// arrays and kernel outputs are bit-identical across thread counts. Writes
+// a machine-readable BENCH_build_pipeline.json next to the working
+// directory so the perf trajectory is tracked from PR to PR.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algos/pagerank.h"
+#include "algos/triangle_count.h"
+#include "algos/wcc.h"
+#include "bench_common.h"
+#include "gen/datasets.h"
+#include "gen/fft_dg.h"
+#include "graph/builder.h"
+
+namespace gab {
+namespace {
+
+struct StageTimes {
+  size_t threads = 0;
+  double sort_s = 0;
+  double build_s = 0;
+  double pagerank_s = 0;
+  double wcc_s = 0;
+  double tc_s = 0;
+
+  double Total() const { return sort_s + build_s + pagerank_s + wcc_s + tc_s; }
+};
+
+struct PipelineOutputs {
+  std::vector<EdgeId> out_offsets;
+  std::vector<VertexId> out_neighbors;
+  std::vector<double> pagerank;
+  std::vector<VertexId> wcc;
+  uint64_t triangles = 0;
+
+  bool operator==(const PipelineOutputs&) const = default;
+};
+
+// Runs the full pipeline with `threads` workers, taking the best of
+// `reps` repetitions per stage (the graph is small enough that the first
+// run pays cache-warming noise).
+StageTimes MeasureAt(const EdgeList& raw, size_t threads, uint32_t reps,
+                     PipelineOutputs* outputs) {
+  ScopedThreadPool scoped(threads);
+  StageTimes t;
+  t.threads = threads;
+
+  for (uint32_t r = 0; r < reps; ++r) {
+    EdgeList copy = raw;
+    WallTimer timer;
+    copy.SortAndDedupe(/*remove_self_loops=*/true);
+    double s = timer.Seconds();
+    t.sort_s = (r == 0) ? s : std::min(t.sort_s, s);
+  }
+
+  CsrGraph g;
+  for (uint32_t r = 0; r < reps; ++r) {
+    EdgeList copy = raw;
+    WallTimer timer;
+    CsrGraph built = GraphBuilder::Build(std::move(copy));
+    double s = timer.Seconds();
+    t.build_s = (r == 0) ? s : std::min(t.build_s, s);
+    g = std::move(built);
+  }
+
+  std::vector<double> pr;
+  for (uint32_t r = 0; r < reps; ++r) {
+    WallTimer timer;
+    pr = PageRankReference(g);
+    double s = timer.Seconds();
+    t.pagerank_s = (r == 0) ? s : std::min(t.pagerank_s, s);
+  }
+
+  std::vector<VertexId> wcc;
+  for (uint32_t r = 0; r < reps; ++r) {
+    WallTimer timer;
+    wcc = WccReference(g);
+    double s = timer.Seconds();
+    t.wcc_s = (r == 0) ? s : std::min(t.wcc_s, s);
+  }
+
+  uint64_t triangles = 0;
+  for (uint32_t r = 0; r < reps; ++r) {
+    WallTimer timer;
+    triangles = TriangleCountReference(g);
+    double s = timer.Seconds();
+    t.tc_s = (r == 0) ? s : std::min(t.tc_s, s);
+  }
+
+  outputs->out_offsets = g.out_offsets();
+  outputs->out_neighbors = g.out_neighbors();
+  outputs->pagerank = std::move(pr);
+  outputs->wcc = std::move(wcc);
+  outputs->triangles = triangles;
+  return t;
+}
+
+int Run() {
+  bench::Banner("Build-pipeline microbench — parallel ingest & kernels",
+                "sort/dedupe, CSR build, PR, WCC, TC at 1 vs N threads");
+  DatasetSpec spec = StdDataset(bench::BaseScale());
+  FftDgConfig config = ConfigForDataset(spec);
+  EdgeList raw = GenerateFftDg(config);
+  const uint32_t reps = static_cast<uint32_t>(EnvOr("GAB_PIPELINE_REPS", 3));
+
+  std::vector<size_t> thread_counts{1};
+  const size_t configured = DefaultPool().num_threads();
+  if (configured > 1) {
+    if (configured > 4) thread_counts.push_back(4);
+    thread_counts.push_back(configured);
+  }
+
+  std::vector<StageTimes> rows;
+  PipelineOutputs reference;
+  bool identical = true;
+  for (size_t threads : thread_counts) {
+    PipelineOutputs outputs;
+    rows.push_back(MeasureAt(raw, threads, reps, &outputs));
+    if (threads == thread_counts.front()) {
+      reference = std::move(outputs);
+    } else if (!(outputs == reference)) {
+      identical = false;
+    }
+  }
+
+  Table table({"Threads", "Sort (s)", "Build (s)", "PR (s)", "WCC (s)",
+               "TC (s)", "Total (s)", "Speedup"});
+  const double base_total = rows.front().Total();
+  for (const StageTimes& t : rows) {
+    table.AddRow({std::to_string(t.threads), Table::Fmt(t.sort_s, 4),
+                  Table::Fmt(t.build_s, 4), Table::Fmt(t.pagerank_s, 4),
+                  Table::Fmt(t.wcc_s, 4), Table::Fmt(t.tc_s, 4),
+                  Table::Fmt(t.Total(), 4),
+                  Table::Fmt(base_total / t.Total(), 2)});
+  }
+  table.Print();
+  std::printf(
+      "\n%s: |V|=%llu, |E|(input)=%llu; outputs across thread counts: %s\n",
+      spec.name.c_str(),
+      static_cast<unsigned long long>(raw.num_vertices()),
+      static_cast<unsigned long long>(raw.num_edges()),
+      identical ? "bit-identical" : "MISMATCH");
+
+  const char* json_path = "BENCH_build_pipeline.json";
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"build_pipeline\",\n");
+  std::fprintf(f, "  \"dataset\": \"%s\",\n", spec.name.c_str());
+  std::fprintf(f, "  \"vertices\": %llu,\n",
+               static_cast<unsigned long long>(raw.num_vertices()));
+  std::fprintf(f, "  \"input_edges\": %llu,\n",
+               static_cast<unsigned long long>(raw.num_edges()));
+  std::fprintf(f, "  \"reps\": %u,\n", reps);
+  std::fprintf(f, "  \"identical_across_threads\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const StageTimes& t = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %zu, \"sort_s\": %.6f, \"build_s\": %.6f, "
+                 "\"pagerank_s\": %.6f, \"wcc_s\": %.6f, \"tc_s\": %.6f, "
+                 "\"total_s\": %.6f, \"speedup\": %.3f}%s\n",
+                 t.threads, t.sort_s, t.build_s, t.pagerank_s, t.wcc_s,
+                 t.tc_s, t.Total(), base_total / t.Total(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gab
+
+int main() { return gab::Run(); }

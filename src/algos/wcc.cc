@@ -1,51 +1,80 @@
 #include "algos/wcc.h"
 
+#include <atomic>
+#include <memory>
 #include <unordered_set>
+
+#include "util/threading.h"
 
 namespace gab {
 
+namespace {
+
+// Find with path halving over an atomic parent array. Parents only ever
+// decrease (unions always link the larger root under the smaller), so the
+// CAS either installs a closer-to-root shortcut or loses to one.
+VertexId Find(std::atomic<VertexId>* parent, VertexId x) {
+  while (true) {
+    VertexId p = parent[x].load(std::memory_order_relaxed);
+    if (p == x) return x;
+    VertexId gp = parent[p].load(std::memory_order_relaxed);
+    if (p != gp) {
+      parent[x].compare_exchange_weak(p, gp, std::memory_order_relaxed);
+    }
+    x = p;
+  }
+}
+
+// Lock-free union-by-min: links the larger root under the smaller via CAS,
+// retrying from fresh roots on contention. Because the component's minimum
+// vertex can never acquire a parent, the final roots — and therefore the
+// labels — are the per-component minima regardless of scheduling.
+void Unite(std::atomic<VertexId>* parent, VertexId u, VertexId v) {
+  while (true) {
+    VertexId ru = Find(parent, u);
+    VertexId rv = Find(parent, v);
+    if (ru == rv) return;
+    if (ru > rv) std::swap(ru, rv);
+    VertexId expected = rv;
+    if (parent[rv].compare_exchange_strong(expected, ru,
+                                           std::memory_order_relaxed)) {
+      return;
+    }
+    u = ru;
+    v = rv;
+  }
+}
+
+}  // namespace
+
 std::vector<VertexId> WccReference(const CsrGraph& g) {
   const VertexId n = g.num_vertices();
-  std::vector<VertexId> parent(n);
-  for (VertexId v = 0; v < n; ++v) parent[v] = v;
-  auto find = [&](VertexId x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  };
-  for (VertexId u = 0; u < n; ++u) {
-    for (VertexId v : g.OutNeighbors(u)) {
-      VertexId ru = find(u);
-      VertexId rv = find(v);
-      if (ru == rv) continue;
-      // Union toward the smaller id so the final label is the component min.
-      if (ru < rv) {
-        parent[rv] = ru;
-      } else {
-        parent[ru] = rv;
-      }
-    }
-  }
-  // For directed graphs the in-edges must be unioned too ("weakly"
-  // connected); for undirected graphs OutNeighbors already covers both.
-  if (!g.is_undirected() && g.has_in_edges()) {
-    for (VertexId u = 0; u < n; ++u) {
-      for (VertexId v : g.InNeighbors(u)) {
-        VertexId ru = find(u);
-        VertexId rv = find(v);
-        if (ru == rv) continue;
-        if (ru < rv) {
-          parent[rv] = ru;
-        } else {
-          parent[ru] = rv;
-        }
-      }
-    }
-  }
   std::vector<VertexId> label(n);
-  for (VertexId v = 0; v < n; ++v) label[v] = find(v);
+  if (n == 0) return label;
+  std::unique_ptr<std::atomic<VertexId>[]> parent(
+      new std::atomic<VertexId>[n]);
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      parent[v].store(static_cast<VertexId>(v), std::memory_order_relaxed);
+    }
+  });
+  // Every edge appears in some vertex's out-adjacency (for undirected
+  // graphs in both endpoints'), so uniting out-arcs alone connects the
+  // weakly-connected components of directed graphs too.
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      for (VertexId v : g.OutNeighbors(u)) {
+        // Undirected adjacency stores both directions; one suffices.
+        if (g.is_undirected() && v < u) continue;
+        Unite(parent.get(), static_cast<VertexId>(u), v);
+      }
+    }
+  });
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      label[v] = Find(parent.get(), static_cast<VertexId>(v));
+    }
+  });
   return label;
 }
 

@@ -4,98 +4,194 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/parallel_primitives.h"
+#include "util/threading.h"
 
 namespace gab {
 
+namespace {
+
+// Fills offsets[v] = first index into `e` with src >= v, for a `src_of`
+// projection over an edge list *sorted* by that projection. Boundary
+// detection writes every slot exactly once, so no atomics are needed and
+// the result is independent of the worker count.
+template <typename SrcOf>
+void OffsetsFromSortedEdges(const std::vector<Edge>& e, VertexId n,
+                            SrcOf src_of, std::vector<EdgeId>* offsets) {
+  offsets->assign(static_cast<size_t>(n) + 1, 0);
+  const size_t m = e.size();
+  if (m == 0) return;
+  auto& off = *offsets;
+  ParallelFor(m, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      VertexId cur = src_of(e[i]);
+      VertexId first = (i == 0) ? 0 : src_of(e[i - 1]) + 1;
+      for (VertexId v = first; v <= cur; ++v) off[v] = i;
+    }
+  });
+  const VertexId last = src_of(e[m - 1]);
+  ParallelFor(static_cast<size_t>(n) - last, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) off[last + 1 + i] = m;
+  });
+}
+
+// Degree-histogram CSR build for *unsorted* edge lists: per-chunk degree
+// counts, a prefix sum over the combined offsets, then a stable scatter
+// (each edge lands at the rank its original index has within its bucket,
+// which is chunk-count independent).
+void ScatterUnsorted(const std::vector<Edge>& e, const std::vector<Weight>& w,
+                     VertexId n, bool by_dst, std::vector<EdgeId>* offsets,
+                     std::vector<VertexId>* neighbors,
+                     std::vector<Weight>* weights) {
+  const size_t m = e.size();
+  const bool weighted = !w.empty();
+  auto key = [by_dst](const Edge& edge) { return by_dst ? edge.dst : edge.src; };
+  auto val = [by_dst](const Edge& edge) { return by_dst ? edge.src : edge.dst; };
+
+  const size_t workers = DefaultPool().num_threads();
+  const size_t chunks = std::max<size_t>(1, std::min(m, workers));
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t c = 0; c <= chunks; ++c) bounds[c] = m * c / chunks;
+
+  // counts[c] = per-chunk degree histogram.
+  std::vector<std::vector<EdgeId>> counts(chunks);
+  DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+    counts[c].assign(static_cast<size_t>(n), 0);
+    for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) ++counts[c][key(e[i])];
+  });
+
+  offsets->assign(static_cast<size_t>(n) + 1, 0);
+  auto& off = *offsets;
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      EdgeId total = 0;
+      for (size_t c = 0; c < chunks; ++c) total += counts[c][v];
+      off[v + 1] = total;
+    }
+  });
+  ParallelInclusiveScan(off);
+
+  neighbors->resize(m);
+  if (weighted) weights->resize(m);
+  // Turn each chunk's histogram into its starting cursor per vertex:
+  // offsets[v] plus the counts of all earlier chunks.
+  std::vector<EdgeId> running(static_cast<size_t>(n), 0);
+  for (size_t c = 0; c < chunks; ++c) {
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        EdgeId count = counts[c][v];
+        counts[c][v] = off[v] + running[v];
+        running[v] += count;
+      }
+    });
+  }
+  DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+    for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+      EdgeId pos = counts[c][key(e[i])]++;
+      (*neighbors)[pos] = val(e[i]);
+      if (weighted) (*weights)[pos] = w[i];
+    }
+  });
+}
+
+}  // namespace
+
 CsrGraph GraphBuilder::Build(EdgeList edges, const Options& options) {
+  // True when the edge list is sorted by (src, dst) on entry to the CSR
+  // conversion, enabling the copy-based fast path.
+  bool sorted = false;
   if (options.undirected) {
     // Canonicalize to src < dst before deduplication so an undirected edge
     // has exactly one weight even when the input contains both (u, v) and
     // (v, u) with different weights — otherwise the two stored directions
     // would disagree and pull-based engines would relax with the wrong arc.
-    for (Edge& e : edges.mutable_edges()) {
-      if (e.src > e.dst) std::swap(e.src, e.dst);
-    }
+    auto& mutable_edges = edges.mutable_edges();
+    ParallelFor(mutable_edges.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        Edge& e = mutable_edges[i];
+        if (e.src > e.dst) std::swap(e.src, e.dst);
+      }
+    });
     // Undirected graphs are always deduplicated and self-loop free (a
     // self loop would otherwise become an odd, ill-defined half-arc).
     edges.SortAndDedupe(/*remove_self_loops=*/true);
     edges.Symmetrize();
     edges.SortAndDedupe(/*remove_self_loops=*/false);
-  } else if (options.dedupe || options.remove_self_loops) {
-    edges.SortAndDedupe(options.remove_self_loops);
+    sorted = true;
+  } else {
+    // Self-loop removal and deduplication are independent requests: a
+    // caller may keep duplicate edges while dropping loops (multigraph
+    // semantics), so only SortAndDedupe when dedupe was actually asked for.
+    if (options.remove_self_loops && !options.dedupe) edges.RemoveSelfLoops();
+    if (options.dedupe) {
+      edges.SortAndDedupe(options.remove_self_loops);
+      sorted = true;
+    }
   }
 
   const VertexId n = edges.num_vertices();
   const auto& e = edges.edges();
   const auto& w = edges.weights();
   const bool weighted = edges.has_weights();
+  const size_t m = e.size();
 
   CsrGraph g;
   g.num_vertices_ = n;
   g.undirected_ = options.undirected;
 
-  // Counting pass over sources.
-  g.out_offsets_.assign(static_cast<size_t>(n) + 1, 0);
-  for (const Edge& edge : e) ++g.out_offsets_[edge.src + 1];
-  for (VertexId v = 0; v < n; ++v) g.out_offsets_[v + 1] += g.out_offsets_[v];
-
-  g.out_neighbors_.resize(e.size());
-  if (weighted) g.out_weights_.resize(e.size());
-  {
-    std::vector<EdgeId> cursor(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
-    for (size_t i = 0; i < e.size(); ++i) {
-      EdgeId pos = cursor[e[i].src]++;
-      g.out_neighbors_[pos] = e[i].dst;
-      if (weighted) g.out_weights_[pos] = w[i];
-    }
-  }
-  // SortAndDedupe already ordered (src, dst); when dedupe was skipped the
-  // neighbor lists may be unsorted, so sort them per vertex.
-  if (!options.dedupe && !options.remove_self_loops) {
-    for (VertexId v = 0; v < n; ++v) {
-      auto begin = g.out_neighbors_.begin() + g.out_offsets_[v];
-      auto end = g.out_neighbors_.begin() + g.out_offsets_[v + 1];
-      if (weighted) {
-        // Keep weights aligned: sort index pairs.
-        size_t deg = static_cast<size_t>(end - begin);
-        std::vector<std::pair<VertexId, Weight>> tmp(deg);
-        for (size_t i = 0; i < deg; ++i) {
-          tmp[i] = {g.out_neighbors_[g.out_offsets_[v] + i],
-                    g.out_weights_[g.out_offsets_[v] + i]};
-        }
-        std::sort(tmp.begin(), tmp.end());
-        for (size_t i = 0; i < deg; ++i) {
-          g.out_neighbors_[g.out_offsets_[v] + i] = tmp[i].first;
-          g.out_weights_[g.out_offsets_[v] + i] = tmp[i].second;
-        }
-      } else {
-        std::sort(begin, end);
+  if (sorted) {
+    // Sorted fast path: offsets by boundary detection, adjacency by copy.
+    OffsetsFromSortedEdges(
+        e, n, [](const Edge& edge) { return edge.src; }, &g.out_offsets_);
+    g.out_neighbors_.resize(m);
+    if (weighted) g.out_weights_.resize(m);
+    ParallelFor(m, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        g.out_neighbors_[i] = e[i].dst;
+        if (weighted) g.out_weights_[i] = w[i];
       }
-    }
+    });
+  } else {
+    ScatterUnsorted(e, w, n, /*by_dst=*/false, &g.out_offsets_,
+                    &g.out_neighbors_, &g.out_weights_);
+    // The stable scatter preserved input order per vertex; sort each
+    // vertex's neighbors (with weights riding along) for HasEdge and the
+    // merge-based kernels.
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        auto first = g.out_neighbors_.begin() + g.out_offsets_[v];
+        auto last = g.out_neighbors_.begin() + g.out_offsets_[v + 1];
+        if (weighted) {
+          // Keep weights aligned: sort (neighbor, weight) pairs.
+          size_t deg = static_cast<size_t>(last - first);
+          std::vector<std::pair<VertexId, Weight>> tmp(deg);
+          for (size_t i = 0; i < deg; ++i) {
+            tmp[i] = {g.out_neighbors_[g.out_offsets_[v] + i],
+                      g.out_weights_[g.out_offsets_[v] + i]};
+          }
+          std::sort(tmp.begin(), tmp.end());
+          for (size_t i = 0; i < deg; ++i) {
+            g.out_neighbors_[g.out_offsets_[v] + i] = tmp[i].first;
+            g.out_weights_[g.out_offsets_[v] + i] = tmp[i].second;
+          }
+        } else {
+          std::sort(first, last);
+        }
+      }
+    });
   }
 
   if (options.undirected) {
-    GAB_CHECK(e.size() % 2 == 0);
-    g.num_edges_ = e.size() / 2;
+    GAB_CHECK(m % 2 == 0);
+    g.num_edges_ = m / 2;
   } else {
-    g.num_edges_ = e.size();
+    g.num_edges_ = m;
     if (options.build_in_edges) {
-      g.in_offsets_.assign(static_cast<size_t>(n) + 1, 0);
-      for (const Edge& edge : e) ++g.in_offsets_[edge.dst + 1];
-      for (VertexId v = 0; v < n; ++v) {
-        g.in_offsets_[v + 1] += g.in_offsets_[v];
-      }
-      g.in_neighbors_.resize(e.size());
-      if (weighted) g.in_weights_.resize(e.size());
-      std::vector<EdgeId> cursor(g.in_offsets_.begin(),
-                                 g.in_offsets_.end() - 1);
-      for (size_t i = 0; i < e.size(); ++i) {
-        EdgeId pos = cursor[e[i].dst]++;
-        g.in_neighbors_[pos] = e[i].src;
-        if (weighted) g.in_weights_[pos] = w[i];
-      }
-      // (src sorted order within each dst bucket comes for free because the
-      // edge list is sorted by (src, dst).)
+      // In-adjacency via histogram scatter keyed by dst. When the edge list
+      // is (src, dst)-sorted the stable scatter leaves every dst bucket
+      // sorted by src for free, matching the sequential builder.
+      ScatterUnsorted(e, w, n, /*by_dst=*/true, &g.in_offsets_,
+                      &g.in_neighbors_, &g.in_weights_);
     }
   }
   return g;

@@ -1,9 +1,9 @@
 #include "graph/edge_list.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "util/logging.h"
+#include "util/parallel_primitives.h"
 
 namespace gab {
 
@@ -25,48 +25,89 @@ void EdgeList::AddEdge(VertexId src, VertexId dst, Weight w) {
 size_t EdgeList::SortAndDedupe(bool remove_self_loops) {
   size_t before = edges_.size();
   if (weights_.empty()) {
-    std::sort(edges_.begin(), edges_.end());
-    auto last = std::unique(edges_.begin(), edges_.end());
-    edges_.erase(last, edges_.end());
-    if (remove_self_loops) {
-      edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
-                                  [](const Edge& e) { return e.src == e.dst; }),
-                   edges_.end());
-    }
+    ParallelSort(edges_);
+    const auto& e = edges_;
+    std::vector<Edge> kept(e.size());
+    size_t num_kept = ParallelCompact(
+        e.size(),
+        [&](size_t i) {
+          if (remove_self_loops && e[i].src == e[i].dst) return false;
+          return i == 0 || e[i] != e[i - 1];
+        },
+        [&](size_t i, size_t pos) { kept[pos] = e[i]; });
+    kept.resize(num_kept);
+    edges_ = std::move(kept);
     return before - edges_.size();
   }
-  // Weighted: sort an index permutation, then compact keeping first weight.
-  std::vector<size_t> order(edges_.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (edges_[a] != edges_[b]) return edges_[a] < edges_[b];
-    return a < b;  // stable: the earliest weight wins
+  // Weighted: sort (edge, weight, original index) records; the index
+  // tie-break makes the order total and stable, so the earliest weight wins
+  // exactly as in the sequential permutation sort.
+  struct Rec {
+    Edge e;
+    Weight w;
+    EdgeId idx;
+  };
+  std::vector<Rec> recs(edges_.size());
+  ParallelFor(edges_.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      recs[i] = {edges_[i], weights_[i], static_cast<EdgeId>(i)};
+    }
   });
-  std::vector<Edge> new_edges;
-  std::vector<Weight> new_weights;
-  new_edges.reserve(edges_.size());
-  new_weights.reserve(edges_.size());
-  for (size_t idx : order) {
-    const Edge& e = edges_[idx];
-    if (remove_self_loops && e.src == e.dst) continue;
-    if (!new_edges.empty() && new_edges.back() == e) continue;
-    new_edges.push_back(e);
-    new_weights.push_back(weights_[idx]);
-  }
+  ParallelSort(recs, [](const Rec& a, const Rec& b) {
+    if (a.e != b.e) return a.e < b.e;
+    return a.idx < b.idx;
+  });
+  std::vector<Edge> new_edges(recs.size());
+  std::vector<Weight> new_weights(recs.size());
+  size_t num_kept = ParallelCompact(
+      recs.size(),
+      [&](size_t i) {
+        if (remove_self_loops && recs[i].e.src == recs[i].e.dst) return false;
+        return i == 0 || recs[i].e != recs[i - 1].e;
+      },
+      [&](size_t i, size_t pos) {
+        new_edges[pos] = recs[i].e;
+        new_weights[pos] = recs[i].w;
+      });
+  new_edges.resize(num_kept);
+  new_weights.resize(num_kept);
   edges_ = std::move(new_edges);
   weights_ = std::move(new_weights);
   return before - edges_.size();
 }
 
+size_t EdgeList::RemoveSelfLoops() {
+  size_t before = edges_.size();
+  const bool weighted = !weights_.empty();
+  std::vector<Edge> kept(edges_.size());
+  std::vector<Weight> kept_w(weighted ? weights_.size() : 0);
+  size_t num_kept = ParallelCompact(
+      edges_.size(),
+      [&](size_t i) { return edges_[i].src != edges_[i].dst; },
+      [&](size_t i, size_t pos) {
+        kept[pos] = edges_[i];
+        if (weighted) kept_w[pos] = weights_[i];
+      });
+  kept.resize(num_kept);
+  edges_ = std::move(kept);
+  if (weighted) {
+    kept_w.resize(num_kept);
+    weights_ = std::move(kept_w);
+  }
+  return before - edges_.size();
+}
+
 void EdgeList::Symmetrize() {
   size_t original = edges_.size();
-  edges_.reserve(original * 2);
-  if (!weights_.empty()) weights_.reserve(original * 2);
-  for (size_t i = 0; i < original; ++i) {
-    Edge e = edges_[i];
-    edges_.push_back({e.dst, e.src});
-    if (!weights_.empty()) weights_.push_back(weights_[i]);
-  }
+  edges_.resize(original * 2);
+  if (!weights_.empty()) weights_.resize(original * 2);
+  ParallelFor(original, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Edge e = edges_[i];
+      edges_[original + i] = {e.dst, e.src};
+      if (!weights_.empty()) weights_[original + i] = weights_[i];
+    }
+  });
 }
 
 }  // namespace gab

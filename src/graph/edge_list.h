@@ -37,7 +37,14 @@ class EdgeList {
 
   /// Sorts by (src, dst) and removes duplicate edges (keeping the first
   /// weight) and, optionally, self loops. Returns removed edge count.
+  /// Runs on DefaultPool() (chunk sort + merge-path merging); the result is
+  /// bit-identical for every worker count.
   size_t SortAndDedupe(bool remove_self_loops);
+
+  /// Removes (u, u) edges, preserving order and duplicates — the self-loop
+  /// half of SortAndDedupe for callers that asked to keep duplicate edges.
+  /// Returns removed edge count.
+  size_t RemoveSelfLoops();
 
   /// Adds the reverse of every edge (skipping those already present is the
   /// builder's dedupe job); used to turn a one-direction generator output

@@ -1,0 +1,166 @@
+#ifndef GAB_UTIL_PARALLEL_PRIMITIVES_H_
+#define GAB_UTIL_PARALLEL_PRIMITIVES_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/threading.h"
+
+namespace gab {
+
+/// Header-only data-parallel building blocks for the ingest pipeline and
+/// the reference kernels, all running on DefaultPool().
+///
+/// Every primitive here is *deterministic across worker counts*: the output
+/// depends only on the input (and, where noted, on a total order), never on
+/// how the work happened to be scheduled. That property is what lets the
+/// parallel-determinism tests assert bit-identical CSR arrays and kernel
+/// outputs for GAB_THREADS=1 vs N.
+
+namespace internal {
+
+/// Merge-path co-partition: for sorted runs a[0, a_len) and b[0, b_len),
+/// returns i such that taking a[0, i) and b[0, k - i) yields exactly the
+/// first k elements std::merge would emit (ties taken from a first).
+template <typename T, typename Less>
+size_t MergeSplit(const T* a, size_t a_len, const T* b, size_t b_len,
+                  size_t k, Less less) {
+  size_t lo = k > b_len ? k - b_len : 0;
+  size_t hi = std::min(k, a_len);
+  while (lo < hi) {
+    size_t i = lo + (hi - lo) / 2;
+    size_t j = k - i;
+    // b[j-1] is emitted before a[i] only if strictly smaller (A wins ties);
+    // if not, the split needs more of a.
+    if (i < a_len && j > 0 && !less(b[j - 1], a[i])) {
+      lo = i + 1;
+    } else if (i > 0 && j < b_len && less(b[j], a[i - 1])) {
+      hi = i - 1;
+    } else {
+      return i;
+    }
+  }
+  return lo;
+}
+
+}  // namespace internal
+
+/// Sorts v with chunk-sort + merge-path pairwise merging over DefaultPool().
+/// The output is bit-identical to std::sort for any comparator under which
+/// equivalent elements are indistinguishable (exact duplicates or a total
+/// order with a tie-breaking field) — the two uses this repository has.
+template <typename T, typename Less = std::less<T>>
+void ParallelSort(std::vector<T>& v, Less less = Less()) {
+  const size_t n = v.size();
+  ThreadPool& pool = DefaultPool();
+  const size_t workers = pool.num_threads();
+  size_t chunks = 1;
+  while (chunks < workers) chunks <<= 1;
+  // Chunks below ~8K elements pay more in merge passes than they win.
+  while (chunks > 1 && n / chunks < size_t{1} << 13) chunks >>= 1;
+  if (chunks == 1) {
+    std::sort(v.begin(), v.end(), less);
+    return;
+  }
+
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
+  pool.RunTasks(chunks, [&](size_t c, size_t) {
+    std::sort(v.begin() + bounds[c], v.begin() + bounds[c + 1], less);
+  });
+
+  std::vector<T> buf(n);
+  T* src = v.data();
+  T* dst = buf.data();
+  for (size_t width = 1; width < chunks; width <<= 1) {
+    const size_t pairs = chunks / (2 * width);
+    const size_t ways = std::max<size_t>(1, 2 * workers / pairs);
+    pool.RunTasks(pairs * ways, [&](size_t task, size_t) {
+      const size_t p = task / ways;
+      const size_t s = task % ways;
+      const size_t a0 = bounds[p * 2 * width];
+      const size_t a1 = bounds[p * 2 * width + width];
+      const size_t b1 = bounds[p * 2 * width + 2 * width];
+      const T* a = src + a0;
+      const T* b = src + a1;
+      const size_t a_len = a1 - a0;
+      const size_t b_len = b1 - a1;
+      const size_t total = a_len + b_len;
+      const size_t k0 = total * s / ways;
+      const size_t k1 = total * (s + 1) / ways;
+      const size_t i0 = internal::MergeSplit(a, a_len, b, b_len, k0, less);
+      const size_t i1 = internal::MergeSplit(a, a_len, b, b_len, k1, less);
+      std::merge(a + i0, a + i1, b + (k0 - i0), b + (k1 - i1),
+                 dst + a0 + k0, less);
+    });
+    std::swap(src, dst);
+  }
+  if (src != v.data()) {
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      std::copy(src + begin, src + end, v.data() + begin);
+    });
+  }
+}
+
+/// In-place inclusive prefix sum (a[i] += a[i-1]): chunk partial sums, a
+/// short sequential scan over the chunk totals, then a parallel fix-up.
+template <typename T>
+void ParallelInclusiveScan(std::vector<T>& a) {
+  const size_t n = a.size();
+  const size_t workers = DefaultPool().num_threads();
+  if (n < size_t{1} << 15 || workers == 1) {
+    for (size_t i = 1; i < n; ++i) a[i] += a[i - 1];
+    return;
+  }
+  const size_t chunks = workers * 4;
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
+  std::vector<T> base(chunks, T{});
+  DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+    for (size_t i = bounds[c] + 1; i < bounds[c + 1]; ++i) a[i] += a[i - 1];
+    base[c] = a[bounds[c + 1] - 1];
+  });
+  for (size_t c = 1; c < chunks; ++c) base[c] += base[c - 1];
+  DefaultPool().RunTasks(chunks - 1, [&](size_t t, size_t) {
+    const size_t c = t + 1;
+    const T offset = base[c - 1];
+    for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) a[i] += offset;
+  });
+}
+
+/// Stable parallel compaction: emits the indices i in [0, n) with
+/// keep(i) == true, in ascending order, via emit(i, output_position).
+/// keep must be pure (it is evaluated twice: count, then scatter) and both
+/// callbacks must be safe to call concurrently for distinct i. Returns the
+/// number of kept elements; output positions are independent of the worker
+/// count because they equal the rank of i among all kept indices.
+template <typename Keep, typename Emit>
+size_t ParallelCompact(size_t n, Keep keep, Emit emit) {
+  if (n == 0) return 0;
+  const size_t workers = DefaultPool().num_threads();
+  const size_t chunks = std::min(n, workers * 4);
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
+  std::vector<size_t> offset(chunks + 1, 0);
+  DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+    size_t count = 0;
+    for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+      if (keep(i)) ++count;
+    }
+    offset[c + 1] = count;
+  });
+  for (size_t c = 0; c < chunks; ++c) offset[c + 1] += offset[c];
+  DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+    size_t pos = offset[c];
+    for (size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+      if (keep(i)) emit(i, pos++);
+    }
+  });
+  return offset[chunks];
+}
+
+}  // namespace gab
+
+#endif  // GAB_UTIL_PARALLEL_PRIMITIVES_H_

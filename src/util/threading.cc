@@ -89,7 +89,14 @@ void ThreadPool::RunTasks(size_t num_tasks,
   // so returning (and invalidating fn) here is safe even with stragglers.
 }
 
+namespace {
+// Active ScopedThreadPool override; read by DefaultPool() on every call.
+// Only the main thread mutates it (enforced by ScopedThreadPool's contract).
+ThreadPool* g_pool_override = nullptr;
+}  // namespace
+
 ThreadPool& DefaultPool() {
+  if (g_pool_override != nullptr) return *g_pool_override;
   static ThreadPool& pool = *new ThreadPool([] {
     if (const char* env = std::getenv("GAB_THREADS")) {
       long v = std::strtol(env, nullptr, 10);
@@ -99,6 +106,13 @@ ThreadPool& DefaultPool() {
   }());
   return pool;
 }
+
+ScopedThreadPool::ScopedThreadPool(size_t num_threads)
+    : pool_(num_threads), saved_(g_pool_override) {
+  g_pool_override = &pool_;
+}
+
+ScopedThreadPool::~ScopedThreadPool() { g_pool_override = saved_; }
 
 void ParallelFor(size_t n, size_t grain,
                  const std::function<void(size_t, size_t)>& body) {
@@ -125,11 +139,15 @@ void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body) {
 
 double ParallelReduceSum(size_t n,
                          const std::function<double(size_t, size_t)>& body) {
-  if (n == 0) return 0.0;
   size_t workers = DefaultPool().num_threads();
-  size_t num_chunks = workers * 4;
-  size_t grain = n / num_chunks + 1;
-  num_chunks = (n + grain - 1) / grain;
+  return ParallelReduceSum(n, n / (workers * 4) + 1, body);
+}
+
+double ParallelReduceSum(size_t n, size_t grain,
+                         const std::function<double(size_t, size_t)>& body) {
+  if (n == 0) return 0.0;
+  GAB_CHECK(grain > 0);
+  size_t num_chunks = (n + grain - 1) / grain;
   std::vector<double> partial(num_chunks, 0.0);
   DefaultPool().RunTasks(num_chunks, [&](size_t chunk, size_t) {
     size_t begin = chunk * grain;

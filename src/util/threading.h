@@ -63,6 +63,26 @@ class ThreadPool {
 /// concurrency. Never destroyed (intentional leak per static-lifetime rules).
 ThreadPool& DefaultPool();
 
+/// RAII override of DefaultPool() with a pool of `num_threads` workers.
+/// Lets one process exercise the same parallel code at several thread
+/// counts (the parallel-determinism tests and bench_build_pipeline compare
+/// GAB_THREADS=1 against N without re-execing). Construct and destroy only
+/// from the main thread with no parallel batch in flight; overrides nest.
+class ScopedThreadPool {
+ public:
+  explicit ScopedThreadPool(size_t num_threads);
+  ~ScopedThreadPool();
+
+  ScopedThreadPool(const ScopedThreadPool&) = delete;
+  ScopedThreadPool& operator=(const ScopedThreadPool&) = delete;
+
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  ThreadPool pool_;
+  ThreadPool* saved_;
+};
+
 /// Splits [0, n) into chunks of at most `grain` and runs body(begin, end)
 /// over the default pool. body must be safe to call concurrently.
 void ParallelFor(size_t n, size_t grain,
@@ -71,8 +91,16 @@ void ParallelFor(size_t n, size_t grain,
 /// ParallelFor with one chunk per worker (grain chosen automatically).
 void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
 
-/// Parallel sum-reduction of body(begin, end) partial results.
+/// Parallel sum-reduction of body(begin, end) partial results. Chunking
+/// follows the worker count, so the floating-point result can vary between
+/// thread counts; use the fixed-grain overload when it must not.
 double ParallelReduceSum(size_t n,
+                         const std::function<double(size_t, size_t)>& body);
+
+/// Sum-reduction with caller-fixed chunk boundaries: partials are produced
+/// per `grain`-sized chunk and combined in ascending chunk order, so the
+/// result is bit-identical for every worker count.
+double ParallelReduceSum(size_t n, size_t grain,
                          const std::function<double(size_t, size_t)>& body);
 
 }  // namespace gab

@@ -1,0 +1,341 @@
+// Bit-identical parallelism guarantees for the ingest pipeline and the
+// reference kernels: every parallelized stage must produce byte-for-byte
+// the same result at GAB_THREADS=1 and GAB_THREADS=8 (including the
+// floating-point PageRank output, whose summation order is pinned by
+// fixed-grain chunking). ScopedThreadPool lets one process run both.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "algos/pagerank.h"
+#include "algos/triangle_count.h"
+#include "algos/wcc.h"
+#include "gen/fft_dg.h"
+#include "gen/ldbc_dg.h"
+#include "graph/builder.h"
+#include "util/parallel_primitives.h"
+#include "util/rng.h"
+#include "util/threading.h"
+
+namespace gab {
+namespace {
+
+constexpr size_t kThreadsA = 1;
+constexpr size_t kThreadsB = 8;
+
+// Everything the parallel pipeline produces for one input, captured so two
+// runs at different thread counts can be compared field by field.
+struct PipelineResult {
+  std::vector<EdgeId> out_offsets;
+  std::vector<VertexId> out_neighbors;
+  std::vector<Weight> out_weights;
+  std::vector<VertexId> in_neighbors;  // flattened, directed graphs only
+  std::vector<Weight> in_weights;
+  std::vector<double> pagerank;
+  std::vector<VertexId> wcc;
+  uint64_t triangles = 0;
+};
+
+PipelineResult RunPipeline(const EdgeList& input,
+                           const GraphBuilder::Options& options,
+                           size_t num_threads) {
+  ScopedThreadPool scoped(num_threads);
+  EdgeList copy = input;  // Build consumes its input
+  CsrGraph g = GraphBuilder::Build(std::move(copy), options);
+  PipelineResult r;
+  r.out_offsets = g.out_offsets();
+  r.out_neighbors = g.out_neighbors();
+  r.out_weights = g.out_weights();
+  if (!g.is_undirected() && g.has_in_edges()) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      auto in = g.InNeighbors(v);
+      r.in_neighbors.insert(r.in_neighbors.end(), in.begin(), in.end());
+      if (g.has_weights()) {
+        auto w = g.InWeights(v);
+        r.in_weights.insert(r.in_weights.end(), w.begin(), w.end());
+      }
+    }
+  }
+  r.pagerank = PageRankReference(g);
+  r.wcc = WccReference(g);
+  if (g.is_undirected()) r.triangles = TriangleCountReference(g);
+  return r;
+}
+
+void ExpectIdentical(const PipelineResult& a, const PipelineResult& b) {
+  EXPECT_EQ(a.out_offsets, b.out_offsets);
+  EXPECT_EQ(a.out_neighbors, b.out_neighbors);
+  EXPECT_EQ(a.out_weights, b.out_weights);
+  EXPECT_EQ(a.in_neighbors, b.in_neighbors);
+  EXPECT_EQ(a.in_weights, b.in_weights);
+  // Exact double equality on purpose: the parallel PageRank pins its
+  // summation order, so even the floats must match bit for bit.
+  EXPECT_EQ(a.pagerank, b.pagerank);
+  EXPECT_EQ(a.wcc, b.wcc);
+  EXPECT_EQ(a.triangles, b.triangles);
+}
+
+struct PipelineCase {
+  const char* name;
+  bool ldbc;       // LDBC-DG input instead of FFT-DG
+  bool weighted;
+  bool undirected;
+};
+
+class ParallelPipelineTest : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(ParallelPipelineTest, ThreadCountsAgree) {
+  const PipelineCase& c = GetParam();
+  EdgeList edges;
+  if (c.ldbc) {
+    LdbcDgConfig config;
+    config.num_vertices = 3000;
+    config.weighted = c.weighted;
+    config.seed = 1234;
+    edges = GenerateLdbcDg(config);
+  } else {
+    FftDgConfig config;
+    config.num_vertices = 4000;
+    config.weighted = c.weighted;
+    config.seed = 99;
+    edges = GenerateFftDg(config);
+  }
+  GraphBuilder::Options options;
+  options.undirected = c.undirected;
+  PipelineResult a = RunPipeline(edges, options, kThreadsA);
+  PipelineResult b = RunPipeline(edges, options, kThreadsB);
+  ExpectIdentical(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ParallelPipelineTest,
+    ::testing::Values(
+        PipelineCase{"FftUnweightedUndirected", false, false, true},
+        PipelineCase{"FftWeightedUndirected", false, true, true},
+        PipelineCase{"FftUnweightedDirected", false, false, false},
+        PipelineCase{"FftWeightedDirected", false, true, false},
+        PipelineCase{"LdbcUnweightedUndirected", true, false, true},
+        PipelineCase{"LdbcWeightedUndirected", true, true, true},
+        PipelineCase{"LdbcUnweightedDirected", true, false, false},
+        PipelineCase{"LdbcWeightedDirected", true, true, false}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// An adversarial edge list: duplicates, self loops, reversed pairs, and a
+// vertex-id gap, exercising every dedupe/compaction branch.
+EdgeList MessyEdgeList(bool weighted, size_t num_edges) {
+  EdgeList el(2000);
+  SplitMix64 rng(7);
+  for (size_t i = 0; i < num_edges; ++i) {
+    VertexId u = static_cast<VertexId>(rng.Next() % 1000);
+    VertexId v = (rng.Next() % 16 == 0)
+                     ? u  // self loop
+                     : static_cast<VertexId>(rng.Next() % 1000);
+    if (rng.Next() % 4 == 0) v = static_cast<VertexId>(v + 900);  // id gap
+    if (weighted) {
+      el.AddEdge(u, v, static_cast<Weight>(rng.Next() % kMaxEdgeWeight + 1));
+    } else {
+      el.AddEdge(u, v);
+    }
+    if (rng.Next() % 8 == 0) {
+      // Exact duplicate of the previous edge (different weight when
+      // weighted, so "first weight wins" is observable).
+      if (weighted) {
+        el.AddEdge(u, v, static_cast<Weight>(rng.Next() % kMaxEdgeWeight + 1));
+      } else {
+        el.AddEdge(u, v);
+      }
+    }
+  }
+  return el;
+}
+
+TEST(ParallelSortDedupeTest, ThreadCountsAgreeUnweighted) {
+  EdgeList base = MessyEdgeList(/*weighted=*/false, 50000);
+  EdgeList a = base;
+  EdgeList b = base;
+  size_t removed_a, removed_b;
+  {
+    ScopedThreadPool scoped(kThreadsA);
+    removed_a = a.SortAndDedupe(/*remove_self_loops=*/true);
+  }
+  {
+    ScopedThreadPool scoped(kThreadsB);
+    removed_b = b.SortAndDedupe(/*remove_self_loops=*/true);
+  }
+  EXPECT_EQ(removed_a, removed_b);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(ParallelSortDedupeTest, ThreadCountsAgreeWeighted) {
+  EdgeList base = MessyEdgeList(/*weighted=*/true, 50000);
+  EdgeList a = base;
+  EdgeList b = base;
+  {
+    ScopedThreadPool scoped(kThreadsA);
+    a.SortAndDedupe(/*remove_self_loops=*/false);
+  }
+  {
+    ScopedThreadPool scoped(kThreadsB);
+    b.SortAndDedupe(/*remove_self_loops=*/false);
+  }
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(ParallelSortDedupeTest, MatchesSequentialSort) {
+  // The parallel sort must agree with plain std::sort + std::unique.
+  EdgeList el = MessyEdgeList(/*weighted=*/false, 20000);
+  std::vector<Edge> expected = el.edges();
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  {
+    ScopedThreadPool scoped(kThreadsB);
+    el.SortAndDedupe(/*remove_self_loops=*/false);
+  }
+  EXPECT_EQ(el.edges(), expected);
+}
+
+TEST(RemoveSelfLoopsTest, KeepsDuplicatesAndOrder) {
+  EdgeList el(5);
+  el.AddEdge(3, 1, 7);
+  el.AddEdge(2, 2, 9);  // self loop
+  el.AddEdge(3, 1, 4);  // duplicate, different weight
+  el.AddEdge(0, 0, 1);  // self loop
+  el.AddEdge(1, 4, 2);
+  EXPECT_EQ(el.RemoveSelfLoops(), 2u);
+  ASSERT_EQ(el.num_edges(), 3u);
+  EXPECT_EQ(el.edges()[0], (Edge{3, 1}));
+  EXPECT_EQ(el.edges()[1], (Edge{3, 1}));
+  EXPECT_EQ(el.edges()[2], (Edge{1, 4}));
+  EXPECT_EQ(el.weights(), (std::vector<Weight>{7, 4, 2}));
+}
+
+TEST(BuilderDedupeSemanticsTest, KeepingDuplicatesHonored) {
+  // dedupe=false, remove_self_loops=true previously dropped the duplicate
+  // the caller asked to keep; now only the loop goes.
+  EdgeList el(4);
+  el.AddEdge(0, 1);
+  el.AddEdge(0, 1);
+  el.AddEdge(2, 2);
+  el.AddEdge(1, 3);
+  GraphBuilder::Options options;
+  options.undirected = false;
+  options.dedupe = false;
+  options.remove_self_loops = true;
+  CsrGraph g = GraphBuilder::Build(std::move(el), options);
+  EXPECT_EQ(g.num_edges(), 3u);  // duplicate kept, loop dropped
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(2), 0u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+}
+
+TEST(ParallelPrimitivesTest, InclusiveScanMatchesSequential) {
+  std::vector<EdgeId> a(100000);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = i % 7;
+  std::vector<EdgeId> expected = a;
+  for (size_t i = 1; i < expected.size(); ++i) expected[i] += expected[i - 1];
+  ScopedThreadPool scoped(kThreadsB);
+  ParallelInclusiveScan(a);
+  EXPECT_EQ(a, expected);
+}
+
+TEST(ParallelPrimitivesTest, CompactIsStable) {
+  ScopedThreadPool scoped(kThreadsB);
+  std::vector<size_t> out(500);
+  size_t kept = ParallelCompact(
+      1000, [](size_t i) { return i % 2 == 0; },
+      [&](size_t i, size_t pos) { out[pos] = i; });
+  ASSERT_EQ(kept, 500u);
+  for (size_t i = 0; i < kept; ++i) EXPECT_EQ(out[i], 2 * i);
+}
+
+TEST(ParallelPrimitivesTest, SortHandlesTinyAndEmpty) {
+  ScopedThreadPool scoped(kThreadsB);
+  std::vector<int> empty;
+  ParallelSort(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  ParallelSort(one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(ParallelPrimitivesTest, SortLargeMatchesStdSort) {
+  SplitMix64 rng(11);
+  std::vector<uint64_t> v(200000);
+  for (auto& x : v) x = rng.Next() % 1000;  // plenty of ties
+  std::vector<uint64_t> expected = v;
+  std::sort(expected.begin(), expected.end());
+  ScopedThreadPool scoped(kThreadsB);
+  ParallelSort(v);
+  EXPECT_EQ(v, expected);
+}
+
+// ------------------------------------------------ ThreadPool stress ----
+
+TEST(ThreadPoolStressTest, NestedBatchCompletes) {
+  // A ParallelFor issued from inside a pool task must drain without
+  // deadlock (the nested caller always participates in its own batch).
+  ScopedThreadPool scoped(4);
+  std::atomic<size_t> total{0};
+  DefaultPool().RunTasks(8, [&](size_t, size_t) {
+    ParallelFor(1000, 64, [&](size_t begin, size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8000u);
+}
+
+TEST(ThreadPoolStressTest, EmptyRangeIsNoop) {
+  ScopedThreadPool scoped(4);
+  ParallelFor(0, [](size_t, size_t) { FAIL(); });
+  ParallelFor(0, 1, [](size_t, size_t) { FAIL(); });
+  EXPECT_EQ(ParallelReduceSum(0, [](size_t, size_t) { return 1.0; }), 0.0);
+}
+
+TEST(ThreadPoolStressTest, GrainOneCoversEveryIndex) {
+  ScopedThreadPool scoped(4);
+  std::vector<std::atomic<int>> hits(2000);
+  ParallelFor(hits.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolStressTest, ScopedPoolsNest) {
+  ScopedThreadPool outer(2);
+  EXPECT_EQ(DefaultPool().num_threads(), 2u);
+  {
+    ScopedThreadPool inner(5);
+    EXPECT_EQ(DefaultPool().num_threads(), 5u);
+  }
+  EXPECT_EQ(DefaultPool().num_threads(), 2u);
+}
+
+TEST(ThreadPoolStressTest, FixedGrainReduceIsThreadCountInvariant) {
+  auto body = [](size_t begin, size_t end) {
+    double s = 0;
+    // Values chosen so summation order visibly matters in doubles.
+    for (size_t i = begin; i < end; ++i) s += 1.0 / (1.0 + i);
+    return s;
+  };
+  double a, b;
+  {
+    ScopedThreadPool scoped(kThreadsA);
+    a = ParallelReduceSum(1 << 18, 1024, body);
+  }
+  {
+    ScopedThreadPool scoped(kThreadsB);
+    b = ParallelReduceSum(1 << 18, 1024, body);
+  }
+  EXPECT_EQ(a, b);  // bit-identical, not just close
+}
+
+}  // namespace
+}  // namespace gab
