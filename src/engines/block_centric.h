@@ -10,6 +10,7 @@
 #include "engines/trace.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/threading.h"
 
@@ -98,6 +99,7 @@ class BlockCentricEngine {
 
     bool first_round = true;
     while (rounds_ < config_.max_rounds) {
+      FaultPoint("block.round");
       trace_.BeginSuperstep();
       DefaultPool().RunTasks(num_b, [&](size_t bt, size_t) {
         uint32_t b = static_cast<uint32_t>(bt);

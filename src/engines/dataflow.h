@@ -11,6 +11,7 @@
 #include "engines/trace.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/threading.h"
 
@@ -112,6 +113,7 @@ class DataflowEngine {
         num_p, std::vector<std::vector<uint8_t>>(num_p));
 
     while (supersteps_ < config_.max_supersteps) {
+      FaultPoint("dataflow.superstep");
       trace_.BeginSuperstep();
       // --- Stage 1: flatMap over triplets with active sources, writing
       // serialized shuffle records.

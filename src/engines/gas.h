@@ -8,6 +8,7 @@
 #include "engines/trace.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/threading.h"
 
@@ -69,6 +70,7 @@ class GasEngine {
     std::vector<V> snapshot;
 
     while (iterations_ < config_.max_iterations) {
+      FaultPoint("gas.iteration");
       trace_.BeginSuperstep();
       // Replica synchronization: neighbors read the previous iteration.
       snapshot = *values;
@@ -142,6 +144,7 @@ class GasEngine {
                        const std::function<void(VertexId)>& fn) {
     Setup(g);
     const uint32_t num_p = config_.num_partitions;
+    FaultPoint("gas.gather_map");
     trace_.BeginSuperstep();
     DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
       uint32_t p = static_cast<uint32_t>(pt);
@@ -172,6 +175,7 @@ class GasEngine {
       const std::function<void(VertexId, VertexId, Weight)>& fn) {
     Setup(g);
     const uint32_t num_p = config_.num_partitions;
+    FaultPoint("gas.edge_map");
     trace_.BeginSuperstep();
     DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
       uint32_t p = static_cast<uint32_t>(pt);

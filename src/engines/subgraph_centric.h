@@ -12,6 +12,7 @@
 #include "engines/trace.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/threading.h"
 
@@ -82,6 +83,7 @@ class SubgraphCentricEngine {
     partitioning_ = std::make_unique<Partitioning>(g, config_.num_partitions,
                                                    config_.strategy);
     trace_ = ExecutionTrace(config_.num_partitions);
+    FaultPoint("subgraph.phase");
     trace_.BeginSuperstep();  // one logical phase: mining has no supersteps
 
     // Seed queue.

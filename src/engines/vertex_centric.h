@@ -11,6 +11,7 @@
 #include "engines/trace.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/threading.h"
 
@@ -97,6 +98,7 @@ class VertexCentricEngine {
 
     const uint32_t num_p = config_.num_partitions;
     while (superstep_ < config_.max_supersteps) {
+      FaultPoint("vc.superstep");
       trace_.BeginSuperstep();
       std::fill(next_active_.begin(), next_active_.end(), 0);
 

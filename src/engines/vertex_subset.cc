@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace gab {
@@ -93,6 +94,7 @@ VertexSubsetEngine::VertexSubsetEngine(const CsrGraph& g,
 VertexSubset VertexSubsetEngine::EdgeMap(const VertexSubset& frontier,
                                          const Functors& f,
                                          const EdgeMapOptions& options) {
+  FaultPoint("subset.edge_map");
   trace_.BeginSuperstep();
   if (frontier.empty()) {
     last_direction_ = EdgeMapDirection::kPush;
@@ -213,6 +215,7 @@ void VertexSubsetEngine::VertexMap(const VertexSubset& subset,
                                    const std::function<void(VertexId)>& fn,
                                    bool charge_degree) {
   const auto& vs = subset.Sparse();
+  FaultPoint("subset.vertex_map");
   trace_.BeginSuperstep();
   const uint32_t num_p = partitioning_->num_partitions();
   std::vector<std::vector<VertexId>> by_partition(num_p);
@@ -233,6 +236,7 @@ void VertexSubsetEngine::VertexMap(const VertexSubset& subset,
 VertexSubset VertexSubsetEngine::VertexFilter(
     const VertexSubset& subset, const std::function<bool(VertexId)>& fn) {
   const auto& vs = subset.Sparse();
+  FaultPoint("subset.vertex_filter");
   trace_.BeginSuperstep();
   const uint32_t num_p = partitioning_->num_partitions();
   std::vector<std::vector<VertexId>> by_partition(num_p);

@@ -30,6 +30,7 @@
 #include "platforms/registry.h"          // IWYU pragma: export
 #include "runtime/cluster_sim.h"         // IWYU pragma: export
 #include "runtime/executor.h"            // IWYU pragma: export
+#include "runtime/fault.h"               // IWYU pragma: export
 #include "runtime/metrics.h"             // IWYU pragma: export
 #include "runtime/stress.h"              // IWYU pragma: export
 #include "stats/community.h"             // IWYU pragma: export

@@ -1,6 +1,7 @@
 #include "graph/builder.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "util/logging.h"
@@ -195,6 +196,31 @@ CsrGraph GraphBuilder::Build(EdgeList edges, const Options& options) {
     }
   }
   return g;
+}
+
+Status GraphBuilder::BuildChecked(EdgeList edges, const Options& options,
+                                  CsrGraph* out) {
+  const VertexId n = edges.num_vertices();
+  if (edges.has_weights() && edges.weights().size() != edges.edges().size()) {
+    return Status::InvalidArgument(
+        "weight array length " + std::to_string(edges.weights().size()) +
+        " does not match edge count " +
+        std::to_string(edges.edges().size()));
+  }
+  for (const Edge& e : edges.edges()) {
+    if (e.src == kInvalidVertex || e.dst == kInvalidVertex) {
+      return Status::InvalidArgument(
+          "edge (" + std::to_string(e.src) + ", " + std::to_string(e.dst) +
+          ") uses the reserved invalid-vertex sentinel");
+    }
+    if (e.src >= n || e.dst >= n) {
+      return Status::InvalidArgument(
+          "edge (" + std::to_string(e.src) + ", " + std::to_string(e.dst) +
+          ") references a vertex >= vertex count " + std::to_string(n));
+    }
+  }
+  *out = Build(std::move(edges), options);
+  return Status::Ok();
 }
 
 CsrGraph GraphBuilder::FromPairs(

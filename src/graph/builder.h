@@ -3,6 +3,7 @@
 
 #include "graph/csr_graph.h"
 #include "graph/edge_list.h"
+#include "util/status.h"
 
 namespace gab {
 
@@ -30,6 +31,14 @@ class GraphBuilder {
 
   /// Builds with default options (undirected, deduped, no self loops).
   static CsrGraph Build(EdgeList edges) { return Build(std::move(edges), Options()); }
+
+  /// Validating build for untrusted edge lists (files, external tools):
+  /// rejects endpoint ids >= num_vertices, the reserved invalid-vertex
+  /// sentinel, and weight arrays whose length disagrees with the edge
+  /// array, returning InvalidArgument instead of corrupting the CSR
+  /// arrays. Build() itself assumes generator-produced (trusted) input.
+  static Status BuildChecked(EdgeList edges, const Options& options,
+                             CsrGraph* out);
 
   /// Convenience: builds an undirected weighted/unweighted graph from raw
   /// (src, dst) pairs. Used heavily by tests.

@@ -1,10 +1,15 @@
 #include "graph/io.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
+#include <string>
 
 namespace gab {
 
@@ -18,6 +23,51 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Parses one unsigned 32-bit field at *p, advancing *p past it. Returns
+/// false if no digits are present or the value does not fit (VertexId and
+/// Weight are both uint32_t; kInvalidVertex is additionally rejected by the
+/// caller for ids).
+bool ParseU32Field(const char** p, uint32_t* out) {
+  const char* s = *p;
+  while (*s == ' ' || *s == '\t') ++s;
+  if (!std::isdigit(static_cast<unsigned char>(*s))) return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || v > std::numeric_limits<uint32_t>::max()) {
+    return false;
+  }
+  *p = end;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+/// True if the rest of the line is blank (whitespace / newline only).
+bool RestIsBlank(const char* p) {
+  while (*p != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*p))) return false;
+    ++p;
+  }
+  return true;
+}
+
+Status LineError(const std::string& what, size_t line_no,
+                 const std::string& path) {
+  return Status::InvalidArgument(what + " at line " + std::to_string(line_no) +
+                                 " in " + path);
+}
+
+/// Size of the file underlying |f| in bytes, or -1 on error. Restores the
+/// read position to the current offset.
+long FileSizeBytes(std::FILE* f) {
+  long pos = std::ftell(f);
+  if (pos < 0) return -1;
+  if (std::fseek(f, 0, SEEK_END) != 0) return -1;
+  long size = std::ftell(f);
+  if (std::fseek(f, pos, SEEK_SET) != 0) return -1;
+  return size;
+}
 
 }  // namespace
 
@@ -43,20 +93,49 @@ Status ReadEdgeListText(const std::string& path, EdgeList* edges) {
   FilePtr f(std::fopen(path.c_str(), "r"));
   if (!f) return Status::IoError("cannot open for read: " + path);
   *edges = EdgeList();
-  char line[256];
+  std::string line;
+  char chunk[4096];
   size_t line_no = 0;
-  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
-    ++line_no;
-    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
-    unsigned src = 0;
-    unsigned dst = 0;
-    unsigned w = 0;
-    int fields = std::sscanf(line, "%u %u %u", &src, &dst, &w);
-    if (fields < 2) {
-      return Status::InvalidArgument("malformed line " +
-                                     std::to_string(line_no) + " in " + path);
+  bool at_eof = false;
+  while (!at_eof) {
+    // Assemble one full line regardless of length (fgets returns partial
+    // chunks for lines longer than the buffer).
+    line.clear();
+    while (true) {
+      if (std::fgets(chunk, sizeof(chunk), f.get()) == nullptr) {
+        at_eof = true;
+        break;
+      }
+      line += chunk;
+      if (!line.empty() && line.back() == '\n') break;
     }
-    bool want_weight = fields == 3;
+    if (line.empty()) {
+      if (at_eof) break;
+      continue;
+    }
+    ++line_no;
+    if (line[0] == '#' || line[0] == '\n') continue;
+    const char* p = line.c_str();
+    if (RestIsBlank(p)) continue;
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    if (!ParseU32Field(&p, &src) || !ParseU32Field(&p, &dst)) {
+      return LineError("malformed edge (ids must be integers < 2^32)", line_no,
+                       path);
+    }
+    if (src == kInvalidVertex || dst == kInvalidVertex) {
+      return LineError("vertex id equals the reserved invalid-vertex sentinel",
+                       line_no, path);
+    }
+    uint32_t w = 0;
+    bool want_weight = false;
+    if (!RestIsBlank(p)) {
+      if (!ParseU32Field(&p, &w) || !RestIsBlank(p)) {
+        return LineError("malformed weight field (must be an integer < 2^32)",
+                         line_no, path);
+      }
+      want_weight = true;
+    }
     if (edges->num_edges() == 0) {
       // First edge decides weightedness.
       if (want_weight) {
@@ -65,14 +144,14 @@ Status ReadEdgeListText(const std::string& path, EdgeList* edges) {
         edges->AddEdge(src, dst);
       }
     } else if (edges->has_weights() != want_weight) {
-      return Status::InvalidArgument("mixed weighted/unweighted lines in " +
-                                     path);
+      return LineError("mixed weighted/unweighted lines", line_no, path);
     } else if (want_weight) {
       edges->AddEdge(src, dst, static_cast<Weight>(w));
     } else {
       edges->AddEdge(src, dst);
     }
   }
+  if (std::ferror(f.get())) return Status::IoError("read failed: " + path);
   return Status::Ok();
 }
 
@@ -103,14 +182,47 @@ Status ReadEdgeListBinary(const std::string& path, EdgeList* edges) {
   if (!f) return Status::IoError("cannot open for read: " + path);
   uint64_t header[4];
   if (std::fread(header, sizeof(header), 1, f.get()) != 1) {
-    return Status::IoError("header read failed: " + path);
+    return Status::InvalidArgument("truncated header (file shorter than " +
+                                   std::to_string(sizeof(header)) +
+                                   " bytes): " + path);
   }
   if (header[0] != kBinaryMagic) {
     return Status::InvalidArgument("bad magic in " + path);
   }
-  *edges = EdgeList(static_cast<VertexId>(header[1]));
-  size_t m = static_cast<size_t>(header[2]);
-  bool weighted = header[3] != 0;
+  const uint64_t n = header[1];
+  const uint64_t m = header[2];
+  const uint64_t weighted_flag = header[3];
+  if (n > kInvalidVertex) {
+    return Status::InvalidArgument("vertex count " + std::to_string(n) +
+                                   " exceeds the 32-bit VertexId range in " +
+                                   path);
+  }
+  if (weighted_flag > 1) {
+    return Status::InvalidArgument("weighted flag must be 0 or 1, got " +
+                                   std::to_string(weighted_flag) + " in " +
+                                   path);
+  }
+  const bool weighted = weighted_flag != 0;
+  // Validate the declared payload against the actual file size BEFORE
+  // allocating m-sized buffers: a corrupt header must not drive a
+  // multi-gigabyte resize or a short read into uninitialized memory.
+  const uint64_t record_bytes =
+      sizeof(Edge) + (weighted ? sizeof(Weight) : 0u);
+  if (m > std::numeric_limits<uint64_t>::max() / record_bytes) {
+    return Status::InvalidArgument("edge count " + std::to_string(m) +
+                                   " overflows the payload size in " + path);
+  }
+  long actual = FileSizeBytes(f.get());
+  if (actual < 0) return Status::IoError("cannot stat: " + path);
+  const uint64_t expected = sizeof(header) + m * record_bytes;
+  if (static_cast<uint64_t>(actual) != expected) {
+    return Status::InvalidArgument(
+        "file size mismatch in " + path + ": header declares " +
+        std::to_string(m) + (weighted ? " weighted" : " unweighted") +
+        " edges (" + std::to_string(expected) + " bytes), file has " +
+        std::to_string(actual) + " bytes");
+  }
+  *edges = EdgeList(static_cast<VertexId>(n));
   edges->mutable_edges().resize(m);
   if (m > 0 && std::fread(edges->mutable_edges().data(), sizeof(Edge), m,
                           f.get()) != m) {
@@ -121,6 +233,16 @@ Status ReadEdgeListBinary(const std::string& path, EdgeList* edges) {
     if (m > 0 && std::fread(edges->mutable_weights().data(), sizeof(Weight), m,
                             f.get()) != m) {
       return Status::IoError("weight read failed: " + path);
+    }
+  }
+  // Endpoints must respect the declared vertex count; out-of-range ids
+  // would index out of bounds in GraphBuilder's CSR construction.
+  for (const Edge& e : edges->edges()) {
+    if (e.src >= n || e.dst >= n) {
+      return Status::InvalidArgument(
+          "edge (" + std::to_string(e.src) + ", " + std::to_string(e.dst) +
+          ") references a vertex >= declared count " + std::to_string(n) +
+          " in " + path);
     }
   }
   return Status::Ok();

@@ -28,6 +28,12 @@ class FlashPlatform : public Platform {
         /*bytes_factor=*/1.2,           // message envelope overhead
         /*memory_factor=*/1.4,          // global vertex state replicas
         /*serial_fraction=*/0.02,
+        /*failure_detect_s=*/1.5,
+        /*checkpoint_fixed_s=*/0.3,
+        /*checkpoint_s_per_gb=*/7.0,    // global state snapshots
+        /*restore_s_per_gb=*/3.5,
+        /*lineage_recompute_factor=*/1.0,
+        /*native_recovery=*/RecoveryStrategy::kCheckpoint,
     };
     return kProfile;
   }

@@ -25,6 +25,12 @@ class GrapePlatform : public Platform {
         /*bytes_factor=*/1.1,
         /*memory_factor=*/1.2,
         /*serial_fraction=*/0.008,      // blocks parallelize cleanly
+        /*failure_detect_s=*/1.0,       // lean MPI runtime
+        /*checkpoint_fixed_s=*/0.25,
+        /*checkpoint_s_per_gb=*/5.0,    // flat fragment arrays dump fast
+        /*restore_s_per_gb=*/2.5,
+        /*lineage_recompute_factor=*/1.0,
+        /*native_recovery=*/RecoveryStrategy::kCheckpoint,
     };
     return kProfile;
   }

@@ -25,6 +25,12 @@ class GraphxPlatform : public Platform {
         /*bytes_factor=*/3.0,           // JVM serialization envelopes
         /*memory_factor=*/4.0,          // boxed objects + lineage (OOM-prone)
         /*serial_fraction=*/0.08,       // driver-side coordination
+        /*failure_detect_s=*/8.0,       // driver re-negotiates executors
+        /*checkpoint_fixed_s=*/2.0,     // RDD checkpoint job scheduling
+        /*checkpoint_s_per_gb=*/25.0,   // JVM serialization to HDFS
+        /*restore_s_per_gb=*/12.0,
+        /*lineage_recompute_factor=*/0.35,  // only lost partitions re-derive
+        /*native_recovery=*/RecoveryStrategy::kLineage,
     };
     return kProfile;
   }

@@ -29,6 +29,12 @@ class GthinkerPlatform : public Platform {
         /*bytes_factor=*/1.0,
         /*memory_factor=*/1.5,          // in-flight task subgraphs
         /*serial_fraction=*/0.01,
+        /*failure_detect_s=*/1.5,
+        /*checkpoint_fixed_s=*/0.3,
+        /*checkpoint_s_per_gb=*/6.0,
+        /*restore_s_per_gb=*/3.0,
+        /*lineage_recompute_factor=*/1.0,
+        /*native_recovery=*/RecoveryStrategy::kRestart,  // tasks re-seeded
     };
     return kProfile;
   }

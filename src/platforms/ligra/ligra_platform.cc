@@ -26,6 +26,12 @@ class LigraPlatform : public Platform {
         /*bytes_factor=*/1.0,
         /*memory_factor=*/1.1,
         /*serial_fraction=*/0.004,
+        /*failure_detect_s=*/0.5,       // process supervisor restart
+        /*checkpoint_fixed_s=*/0.1,
+        /*checkpoint_s_per_gb=*/4.0,    // local disk, flat arrays
+        /*restore_s_per_gb=*/2.0,
+        /*lineage_recompute_factor=*/1.0,
+        /*native_recovery=*/RecoveryStrategy::kRestart,  // no checkpoint API
     };
     return kProfile;
   }

@@ -71,6 +71,19 @@ struct RunResult {
   uint64_t peak_extra_bytes = 0;
 };
 
+/// How a platform gets from "machine m died at superstep k" back to a
+/// correct running state (paper robustness axis; LDBC Graphalytics'
+/// recovery dimension):
+///  - kRestart: no persisted state — rerun the job from superstep 0
+///    (Ligra, and the C++ platforms when checkpointing is off);
+///  - kCheckpoint: periodic synchronous checkpoints; recovery restores the
+///    last checkpoint and replays the supersteps since (Pregel-family);
+///  - kLineage: no checkpoints — recompute only the lost partitions
+///    through the dependency chain (GraphX's RDD lineage). Cheaper per
+///    failure than a full restart, paid for by the platform's structurally
+///    slower supersteps.
+enum class RecoveryStrategy { kRestart = 0, kCheckpoint, kLineage };
+
 /// Per-platform constants for the cluster cost model (see
 /// runtime/cluster_sim.h). Values encode *relative* model-level overheads
 /// the paper attributes to each platform, not absolute measurements.
@@ -86,6 +99,28 @@ struct PlatformCostProfile {
   /// Fraction of per-superstep work that is inherently serial on one
   /// machine (Amdahl term; limits thread scale-up).
   double serial_fraction = 0.01;
+
+  // -- Failure model constants (DESIGN.md §7; runtime/fault.h) --
+
+  /// Seconds from a machine dying to the job resuming work: failure
+  /// detection, partition reassignment, worker respawn. Spark's driver
+  /// re-negotiates executors, so GraphX's is by far the largest.
+  double failure_detect_s = 1.0;
+  /// Fixed coordination cost of writing (or restoring) one checkpoint,
+  /// independent of state size.
+  double checkpoint_fixed_s = 0.2;
+  /// Seconds per GB (after memory_factor) to write a synchronous
+  /// checkpoint of per-machine state to stable storage.
+  double checkpoint_s_per_gb = 6.0;
+  /// Seconds per GB to load it back during recovery.
+  double restore_s_per_gb = 3.0;
+  /// Fraction of the elapsed work a lineage recovery recomputes (only
+  /// lost partitions re-derive through the dependency chain; < 1 for
+  /// GraphX, 1.0 = lineage degenerates to a full replay elsewhere).
+  double lineage_recompute_factor = 1.0;
+  /// The platform's native recovery mechanism (what bench_fault_tolerance
+  /// charges by default).
+  RecoveryStrategy native_recovery = RecoveryStrategy::kCheckpoint;
 };
 
 /// A graph analytics platform under benchmark. Implementations live in

@@ -23,6 +23,12 @@ class PowerGraphPlatform : public Platform {
         /*bytes_factor=*/1.5,           // replica synchronization traffic
         /*memory_factor=*/1.6,          // vertex replicas
         /*serial_fraction=*/0.02,
+        /*failure_detect_s=*/2.0,       // MPI fault fence + re-spawn
+        /*checkpoint_fixed_s=*/0.4,
+        /*checkpoint_s_per_gb=*/8.0,    // replicas checkpoint too
+        /*restore_s_per_gb=*/4.0,
+        /*lineage_recompute_factor=*/1.0,
+        /*native_recovery=*/RecoveryStrategy::kCheckpoint,
     };
     return kProfile;
   }

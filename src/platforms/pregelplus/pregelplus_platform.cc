@@ -27,6 +27,12 @@ class PregelPlusPlatform : public Platform {
         /*bytes_factor=*/0.9,             // combiners shrink envelopes too
         /*memory_factor=*/1.3,            // mirrors
         /*serial_fraction=*/0.015,
+        /*failure_detect_s=*/1.2,
+        /*checkpoint_fixed_s=*/0.3,
+        /*checkpoint_s_per_gb=*/6.0,    // Pregel-style synchronous snapshot
+        /*restore_s_per_gb=*/3.0,
+        /*lineage_recompute_factor=*/1.0,
+        /*native_recovery=*/RecoveryStrategy::kCheckpoint,
     };
     return kProfile;
   }

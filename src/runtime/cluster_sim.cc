@@ -7,7 +7,7 @@
 
 namespace gab {
 
-double ClusterSimulator::EstimateSeconds(
+std::vector<double> ClusterSimulator::SuperstepSeconds(
     const ExecutionTrace& trace, const PlatformCostProfile& profile,
     double work_units_per_thread_s) const {
   GAB_CHECK(work_units_per_thread_s > 0);
@@ -15,7 +15,8 @@ double ClusterSimulator::EstimateSeconds(
   const uint32_t machines = config_.machines;
   const double threads = static_cast<double>(config_.threads_per_machine);
 
-  double total = 0.0;
+  std::vector<double> result;
+  result.reserve(trace.num_supersteps());
   std::vector<double> machine_work(machines);
   std::vector<double> machine_slowest(machines);
   std::vector<double> machine_out(machines);
@@ -72,9 +73,98 @@ double ClusterSimulator::EstimateSeconds(
       }
     }
 
-    total += compute + comm + profile.superstep_overhead_s;
+    result.push_back(compute + comm + profile.superstep_overhead_s);
+  }
+  return result;
+}
+
+double ClusterSimulator::EstimateSeconds(
+    const ExecutionTrace& trace, const PlatformCostProfile& profile,
+    double work_units_per_thread_s) const {
+  double total = 0.0;
+  for (double s : SuperstepSeconds(trace, profile, work_units_per_thread_s)) {
+    total += s;
   }
   return total;
+}
+
+double ClusterSimulator::EstimateSecondsWithFaults(
+    const ExecutionTrace& trace, const PlatformCostProfile& profile,
+    double work_units_per_thread_s, const FaultPlan& plan,
+    const RecoveryConfig& recovery, FaultSimResult* detail) const {
+  const std::vector<double> costs =
+      SuperstepSeconds(trace, profile, work_units_per_thread_s);
+  const size_t steps = costs.size();
+  const bool checkpointing =
+      recovery.strategy == RecoveryStrategy::kCheckpoint;
+  if (checkpointing) GAB_CHECK(recovery.checkpoint_interval_supersteps > 0);
+
+  // prefix[i] = failure-free seconds of supersteps [0, i).
+  std::vector<double> prefix(steps + 1, 0.0);
+  for (size_t i = 0; i < steps; ++i) prefix[i + 1] = prefix[i] + costs[i];
+
+  FaultSimResult result;
+  result.fault_free_s = prefix[steps];
+
+  const std::vector<FaultEvent>& events = plan.events();
+  size_t ei = 0;
+  double t = 0.0;
+  size_t done = 0;       // supersteps whose results currently survive
+  size_t last_cp = 0;    // superstep boundary of the last checkpoint
+
+  while (done < steps) {
+    double dt = costs[done];
+    if (ei < events.size() && events[ei].time_s < t + dt) {
+      // A machine dies while this superstep runs (events that landed in a
+      // recovery/checkpoint window fire at its end, with no partial work).
+      double fail_at = std::max(events[ei].time_s, t);
+      ++ei;
+      ++result.failures;
+      double partial = fail_at - t;  // wasted slice of the interrupted step
+      t = fail_at + profile.failure_detect_s;
+      result.recovery_overhead_s += profile.failure_detect_s;
+      switch (recovery.strategy) {
+        case RecoveryStrategy::kRestart:
+          // Everything recomputes; the loop re-runs from superstep 0.
+          result.lost_work_s += prefix[done] + partial;
+          done = 0;
+          last_cp = 0;
+          break;
+        case RecoveryStrategy::kCheckpoint:
+          // Restore the last checkpoint, replay the supersteps since.
+          t += recovery.checkpoint_restore_s;
+          result.recovery_overhead_s += recovery.checkpoint_restore_s;
+          result.lost_work_s += (prefix[done] - prefix[last_cp]) + partial;
+          done = last_cp;
+          break;
+        case RecoveryStrategy::kLineage: {
+          // Only the dead machine's partitions re-derive through the
+          // lineage chain; surviving partitions wait at the barrier. The
+          // interrupted superstep then re-runs in full.
+          double recompute =
+              profile.lineage_recompute_factor * (prefix[done] + partial);
+          t += recompute;
+          result.lost_work_s += recompute + partial;
+          break;
+        }
+      }
+      continue;
+    }
+
+    t += dt;
+    ++done;
+    if (checkpointing && done < steps &&
+        done - last_cp >= recovery.checkpoint_interval_supersteps) {
+      t += recovery.checkpoint_write_s;
+      result.checkpoint_overhead_s += recovery.checkpoint_write_s;
+      ++result.checkpoints_written;
+      last_cp = done;
+    }
+  }
+
+  result.makespan_s = t;
+  if (detail != nullptr) *detail = result;
+  return t;
 }
 
 double ClusterSimulator::CalibrateRate(const ExecutionTrace& trace,

@@ -2,9 +2,11 @@
 #define GAB_RUNTIME_CLUSTER_SIM_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "engines/trace.h"
 #include "platforms/platform.h"
+#include "runtime/fault.h"
 
 namespace gab {
 
@@ -50,6 +52,26 @@ class ClusterSimulator {
   double EstimateSeconds(const ExecutionTrace& trace,
                          const PlatformCostProfile& profile,
                          double work_units_per_thread_s) const;
+
+  /// Per-superstep cost breakdown of the trace under this cluster model —
+  /// the building block EstimateSeconds sums and the failure-recovery
+  /// replay re-plays segment by segment.
+  std::vector<double> SuperstepSeconds(const ExecutionTrace& trace,
+                                       const PlatformCostProfile& profile,
+                                       double work_units_per_thread_s) const;
+
+  /// Estimated makespan of the traced execution when the machines of
+  /// `plan` crash mid-run and the platform recovers per `recovery`
+  /// (restart-from-scratch, checkpoint/restore with replay, or lineage
+  /// recomputation — see runtime/fault.h). Events past the end of the
+  /// (failure-extended) run never fire. `detail` (optional) receives the
+  /// full accounting.
+  double EstimateSecondsWithFaults(const ExecutionTrace& trace,
+                                   const PlatformCostProfile& profile,
+                                   double work_units_per_thread_s,
+                                   const FaultPlan& plan,
+                                   const RecoveryConfig& recovery,
+                                   FaultSimResult* detail = nullptr) const;
 
   /// Solves for the per-thread rate that makes this cluster's estimate of
   /// the trace equal `measured_seconds` (anchoring the simulation to a

@@ -1,5 +1,8 @@
 #include "runtime/executor.h"
 
+#include <chrono>
+#include <thread>
+
 #include "algos/bc.h"
 #include "algos/core_decomposition.h"
 #include "algos/kclique.h"
@@ -8,16 +11,53 @@
 #include "algos/sssp.h"
 #include "algos/triangle_count.h"
 #include "algos/wcc.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace gab {
+
+namespace {
+
+/// Runs platform.Run under the fault injector's armed region, retrying
+/// per `retry` when an injected transient fault propagates out. The last
+/// attempt suppresses injection, so the loop always terminates with a
+/// completed run; every attempt rebuilds all engine state from the const
+/// graph, so the recovered output is bit-identical to a fault-free run.
+RunResult RunWithRetry(const Platform& platform, Algorithm algo,
+                       const CsrGraph& graph, const AlgoParams& params,
+                       const RetryPolicy& retry, uint32_t* attempts,
+                       uint32_t* faults_recovered) {
+  GAB_CHECK(retry.max_attempts > 0);
+  double backoff_s = retry.initial_backoff_s;
+  for (uint32_t attempt = 1;; ++attempt) {
+    *attempts = attempt;
+    const bool last = attempt >= retry.max_attempts;
+    try {
+      if (last) {
+        ScopedFaultSuppression suppress;
+        return platform.Run(algo, graph, params);
+      }
+      ScopedFaultArming armed;
+      return platform.Run(algo, graph, params);
+    } catch (const TransientFault&) {
+      ++*faults_recovered;
+      if (backoff_s > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+      }
+      backoff_s *= retry.backoff_multiplier;
+    }
+  }
+}
+
+}  // namespace
 
 ExperimentRecord ExperimentExecutor::Execute(const Platform& platform,
                                              Algorithm algo,
                                              const CsrGraph& graph,
                                              const std::string& dataset_name,
                                              const AlgoParams& params,
-                                             double upload_seconds) {
+                                             double upload_seconds,
+                                             const RetryPolicy& retry) {
   ExperimentRecord record;
   record.platform = platform.abbrev();
   record.algorithm = AlgorithmName(algo);
@@ -27,7 +67,8 @@ ExperimentRecord ExperimentExecutor::Execute(const Platform& platform,
     record.supported = false;
     return record;
   }
-  record.run = platform.Run(algo, graph, params);
+  record.run = RunWithRetry(platform, algo, graph, params, retry,
+                            &record.attempts, &record.faults_recovered);
   record.timing.running_seconds = record.run.seconds;
   record.timing.makespan_seconds = upload_seconds + record.run.seconds;
   record.throughput_eps =
@@ -98,6 +139,21 @@ double ExperimentExecutor::SimulateOnCluster(const ExperimentRecord& record,
       record.timing.running_seconds);
   ClusterSimulator sim(target);
   return sim.EstimateSeconds(record.run.trace, platform.cost_profile(), rate);
+}
+
+double ExperimentExecutor::SimulateOnClusterWithFaults(
+    const ExperimentRecord& record, const Platform& platform,
+    const ClusterConfig& measured_on, const ClusterConfig& target,
+    const FaultPlan& plan, const RecoveryConfig& recovery,
+    FaultSimResult* detail) {
+  GAB_CHECK(record.supported);
+  double rate = ClusterSimulator::CalibrateRate(
+      record.run.trace, platform.cost_profile(), measured_on,
+      record.timing.running_seconds);
+  ClusterSimulator sim(target);
+  return sim.EstimateSecondsWithFaults(record.run.trace,
+                                       platform.cost_profile(), rate, plan,
+                                       recovery, detail);
 }
 
 }  // namespace gab

@@ -21,6 +21,22 @@ struct ExperimentRecord {
   double throughput_eps = 0;  // edges/second
   RunResult run;              // output + trace (for the cluster simulator)
   bool supported = true;
+  /// Attempts consumed by the retry policy (1 = fault-free first try).
+  uint32_t attempts = 1;
+  /// Injected transient faults recovered from during this experiment.
+  uint32_t faults_recovered = 0;
+};
+
+/// How Execute() reacts to injected transient faults (util/fault_injector.h):
+/// failed attempts are retried with exponential backoff; the final attempt
+/// runs with injection suppressed, so an experiment always completes and —
+/// the engines being deterministic — produces output bit-identical to a
+/// fault-free run.
+struct RetryPolicy {
+  uint32_t max_attempts = 6;
+  /// Backoff slept before retry k (0-based): initial * multiplier^k.
+  double initial_backoff_s = 0.0005;
+  double backoff_multiplier = 2.0;
 };
 
 /// The paper's Experiment Executor (Section 6): runs core algorithms on
@@ -29,11 +45,14 @@ class ExperimentExecutor {
  public:
   /// Runs one combination; `upload_seconds` is the caller-measured graph
   /// preparation time (generation happens once per dataset, outside).
+  /// Engine execution is armed for fault injection and retried per
+  /// `retry` when an injected transient fault surfaces.
   static ExperimentRecord Execute(const Platform& platform, Algorithm algo,
                                   const CsrGraph& graph,
                                   const std::string& dataset_name,
                                   const AlgoParams& params,
-                                  double upload_seconds = 0);
+                                  double upload_seconds = 0,
+                                  const RetryPolicy& retry = RetryPolicy());
 
   /// Verifies a platform's output against the reference implementation.
   static VerifyResult Verify(Algorithm algo, const CsrGraph& graph,
@@ -46,6 +65,16 @@ class ExperimentExecutor {
                                   const Platform& platform,
                                   const ClusterConfig& measured_on,
                                   const ClusterConfig& target);
+
+  /// SimulateOnCluster under machine failures: the calibrated replay is
+  /// re-run with `plan`'s crash events and the platform charged for
+  /// recovery per `recovery` (see runtime/fault.h). `detail` (optional)
+  /// receives the failure/checkpoint accounting.
+  static double SimulateOnClusterWithFaults(
+      const ExperimentRecord& record, const Platform& platform,
+      const ClusterConfig& measured_on, const ClusterConfig& target,
+      const FaultPlan& plan, const RecoveryConfig& recovery,
+      FaultSimResult* detail = nullptr);
 };
 
 }  // namespace gab

@@ -1,0 +1,83 @@
+#include "runtime/fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gab {
+
+void FaultPlan::AddFailure(double time_s, uint32_t machine) {
+  GAB_CHECK(time_s >= 0);
+  events_.push_back({time_s, machine});
+  std::sort(events_.begin(), events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.time_s < b.time_s;
+            });
+}
+
+FaultPlan FaultPlan::Poisson(double mtbf_system_s, uint32_t machines,
+                             double horizon_s, uint64_t seed) {
+  GAB_CHECK(mtbf_system_s > 0);
+  GAB_CHECK(machines > 0);
+  FaultPlan plan;
+  Rng rng(seed);
+  double t = 0;
+  while (true) {
+    // Exponential inter-arrival via inverse CDF; NextUnitOpenClosed never
+    // returns 0, so the log is finite.
+    t += -mtbf_system_s * std::log(rng.NextUnitOpenClosed());
+    if (t >= horizon_s) break;
+    uint32_t machine = static_cast<uint32_t>(rng.NextBounded(machines));
+    plan.events_.push_back({t, machine});
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::Periodic(double mtbf_system_s, uint32_t machines,
+                              double horizon_s) {
+  GAB_CHECK(mtbf_system_s > 0);
+  GAB_CHECK(machines > 0);
+  FaultPlan plan;
+  uint32_t k = 1;
+  for (double t = mtbf_system_s; t < horizon_s; t += mtbf_system_s, ++k) {
+    plan.events_.push_back({t, (k - 1) % machines});
+  }
+  return plan;
+}
+
+const char* RecoveryStrategyName(RecoveryStrategy strategy) {
+  switch (strategy) {
+    case RecoveryStrategy::kRestart:
+      return "restart";
+    case RecoveryStrategy::kCheckpoint:
+      return "checkpoint";
+    case RecoveryStrategy::kLineage:
+      return "lineage";
+  }
+  return "?";
+}
+
+double CheckpointCostSeconds(const PlatformCostProfile& profile,
+                             uint64_t state_bytes_per_machine) {
+  double gb = static_cast<double>(state_bytes_per_machine) *
+              profile.memory_factor / 1e9;
+  return profile.checkpoint_fixed_s + gb * profile.checkpoint_s_per_gb;
+}
+
+double RestoreCostSeconds(const PlatformCostProfile& profile,
+                          uint64_t state_bytes_per_machine) {
+  double gb = static_cast<double>(state_bytes_per_machine) *
+              profile.memory_factor / 1e9;
+  return profile.checkpoint_fixed_s + gb * profile.restore_s_per_gb;
+}
+
+double YoungDalyIntervalSeconds(double checkpoint_cost_s,
+                                double mtbf_system_s) {
+  GAB_CHECK(checkpoint_cost_s >= 0);
+  GAB_CHECK(mtbf_system_s > 0);
+  return std::sqrt(2.0 * checkpoint_cost_s * mtbf_system_s);
+}
+
+}  // namespace gab

@@ -1,0 +1,108 @@
+#ifndef GAB_RUNTIME_FAULT_H_
+#define GAB_RUNTIME_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "platforms/platform.h"
+
+namespace gab {
+
+/// One machine-crash event against the simulated cluster's global clock:
+/// machine `machine` fails `time_s` seconds into the run. Failed machines
+/// are assumed fail-stop (MPI-style: the job notices, reschedules the lost
+/// partitions, and resumes per the recovery strategy); the machine rejoins
+/// after recovery, matching the paper testbed's static 16-machine layout.
+struct FaultEvent {
+  double time_s = 0;
+  uint32_t machine = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// A deterministic schedule of machine failures. Two generators:
+///  - Poisson(): MTBF-driven exponential inter-arrival times (the classic
+///    fleet model Young/Daly assume), drawn from a seeded Rng so a given
+///    (mtbf, machines, horizon, seed) tuple always yields the same plan;
+///  - Periodic(): failures at fixed multiples of the system MTBF — the
+///    expected-value schedule, useful for smooth sweeps and tests.
+/// Events at or past the horizon never fire; a run that outlives its plan
+/// simply finishes failure-free (document horizons generously).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Adds an explicit failure; events are kept sorted by time.
+  void AddFailure(double time_s, uint32_t machine);
+
+  /// Exponential inter-arrival failures with per-system mean
+  /// `mtbf_system_s` (already divided by the machine count, i.e. the mean
+  /// time between *any* machine failing). Failed machine ids cycle
+  /// deterministically from the same seeded stream.
+  static FaultPlan Poisson(double mtbf_system_s, uint32_t machines,
+                           double horizon_s, uint64_t seed);
+
+  /// Failures at t = k * mtbf_system_s for k = 1, 2, ... within the
+  /// horizon, round-robin over machines.
+  static FaultPlan Periodic(double mtbf_system_s, uint32_t machines,
+                            double horizon_s);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// RecoveryStrategy lives in platforms/platform.h (PlatformCostProfile
+/// names each platform's native strategy).
+const char* RecoveryStrategyName(RecoveryStrategy strategy);
+
+/// Knobs for one recovery simulation.
+struct RecoveryConfig {
+  RecoveryStrategy strategy = RecoveryStrategy::kCheckpoint;
+  /// Checkpoint every this many supersteps (kCheckpoint only).
+  uint32_t checkpoint_interval_supersteps = 8;
+  /// Seconds to write one checkpoint (all machines, synchronous; see
+  /// CheckpointCostSeconds for the profile-driven derivation).
+  double checkpoint_write_s = 0;
+  /// Seconds to load the last checkpoint during recovery.
+  double checkpoint_restore_s = 0;
+};
+
+/// Accounting from one fault-injected simulation.
+struct FaultSimResult {
+  /// End-to-end seconds including all failures and recovery work.
+  double makespan_s = 0;
+  /// The same trace's failure-free estimate (for overhead ratios).
+  double fault_free_s = 0;
+  uint32_t failures = 0;
+  uint32_t checkpoints_written = 0;
+  /// Time spent writing checkpoints.
+  double checkpoint_overhead_s = 0;
+  /// Re-executed compute lost to failures (replay after restore/restart,
+  /// lineage recomputation).
+  double lost_work_s = 0;
+  /// Failure detection/reschedule plus checkpoint restore time.
+  double recovery_overhead_s = 0;
+};
+
+/// Checkpoint write cost for `state_bytes` of per-machine algorithm state
+/// on this platform: state_bytes * memory_factor scaled by the profile's
+/// checkpoint throughput, plus its fixed coordination cost. Restore cost
+/// is the same volume at restore throughput.
+double CheckpointCostSeconds(const PlatformCostProfile& profile,
+                             uint64_t state_bytes_per_machine);
+double RestoreCostSeconds(const PlatformCostProfile& profile,
+                          uint64_t state_bytes_per_machine);
+
+/// Young's optimal checkpoint interval: tau = sqrt(2 * delta * M) for
+/// checkpoint cost delta and system MTBF M (Young 1974; Daly 2006 refines
+/// with higher-order terms — the first-order form is what the bench
+/// compares simulated optima against).
+double YoungDalyIntervalSeconds(double checkpoint_cost_s,
+                                double mtbf_system_s);
+
+}  // namespace gab
+
+#endif  // GAB_RUNTIME_FAULT_H_

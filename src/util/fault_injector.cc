@@ -1,0 +1,61 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace gab {
+
+std::atomic<bool> FaultInjector::enabled_{false};
+std::atomic<int> FaultInjector::armed_{0};
+std::atomic<int> FaultInjector::suppressed_{0};
+
+FaultInjector::FaultInjector() {
+  double rate = 0;
+  uint64_t seed = 42;
+  if (const char* env = std::getenv("GAB_FAULT_RATE")) {
+    char* end = nullptr;
+    double v = std::strtod(env, &end);
+    if (end != env && v > 0) rate = v < 1.0 ? v : 1.0;
+  }
+  if (const char* env = std::getenv("GAB_FAULT_SEED")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env) seed = v;
+  }
+  Configure(rate, seed);
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector& injector = *new FaultInjector();
+  return injector;
+}
+
+void FaultInjector::Configure(double rate, uint64_t seed) {
+  rate_ = rate < 0 ? 0 : (rate > 1.0 ? 1.0 : rate);
+  seed_ = seed;
+  draws_.store(0, std::memory_order_relaxed);
+  injected_.store(0, std::memory_order_relaxed);
+  enabled_.store(rate_ > 0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::Tick(const char* /*site*/) {
+  if (rate_ <= 0) return false;
+  // Counter-hash draw: the n-th draw of a run is a pure function of
+  // (seed, n), so a given configuration produces a reproducible fault
+  // sequence by arrival order (exact thread interleaving may reorder which
+  // call site sees which draw — recovery must cope with either, which is
+  // the point).
+  uint64_t n = draws_.fetch_add(1, std::memory_order_relaxed);
+  SplitMix64 h(seed_ ^ (n * 0x9e3779b97f4a7c15ULL));
+  double u = static_cast<double>(h.Next() >> 11) * 0x1.0p-53;
+  return u < rate_;
+}
+
+void FaultInjector::MaybeInject(const char* site) {
+  if (!Tick(site)) return;
+  uint64_t sequence = injected_.fetch_add(1, std::memory_order_relaxed);
+  throw TransientFault{site, sequence};
+}
+
+}  // namespace gab

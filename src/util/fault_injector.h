@@ -1,0 +1,124 @@
+#ifndef GAB_UTIL_FAULT_INJECTOR_H_
+#define GAB_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gab {
+
+/// Thrown by an injection point when the fault injector decides this call
+/// site fails. Deliberately *not* derived from std::exception: transient
+/// faults must only be caught by the recovery layers that opted in
+/// (ExperimentExecutor's retry loop, tests), never by a generic handler
+/// that would mask them.
+struct TransientFault {
+  /// Static string naming the injection site ("pool.task", "vc.superstep").
+  const char* site;
+  /// Global injection sequence number (diagnostic).
+  uint64_t sequence;
+};
+
+/// Process-wide deterministic fault injector. Simulates transient machine
+/// faults (a worker dying mid-superstep, a task segfaulting and being
+/// fenced) inside the in-process engines, so the retry/recovery machinery
+/// is exercised for real instead of only in the cluster simulator.
+///
+/// Behavior is driven by a (rate, seed) pair: every injection point draws
+/// the next value of a seeded counter-hash sequence and fires when it
+/// falls below `rate`. Configuration comes from the environment
+/// (GAB_FAULT_RATE, GAB_FAULT_SEED) at first use or from Configure().
+///
+/// Injection only fires inside an *armed* region (ScopedFaultArming):
+/// arming marks "a recovery layer above me will catch TransientFault and
+/// retry". Code that calls engines directly — unit tests, examples —
+/// therefore behaves identically whether or not GAB_FAULT_RATE is set.
+/// ScopedFaultSuppression disables injection regardless of arming; the
+/// retry policy uses it on the final attempt so a run always completes.
+class FaultInjector {
+ public:
+  /// The process-wide injector, configured from GAB_FAULT_RATE (default 0)
+  /// and GAB_FAULT_SEED (default 42) on first call.
+  static FaultInjector& Global();
+
+  /// Overrides rate/seed and resets the injection sequence (tests).
+  void Configure(double rate, uint64_t seed);
+
+  double rate() const { return rate_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Total faults fired since construction/Configure.
+  uint64_t injected_count() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Deterministically decides whether this call fires. Does not throw.
+  bool Tick(const char* site);
+
+  /// Throws TransientFault when Tick fires. The hot-path guard (enabled,
+  /// armed, not suppressed) lives in the inline FaultPoint() wrapper.
+  void MaybeInject(const char* site);
+
+  /// True iff injection points are currently live (rate > 0, inside an
+  /// armed region, not suppressed).
+  static bool Active() {
+    return enabled_.load(std::memory_order_relaxed) &&
+           armed_.load(std::memory_order_relaxed) > 0 &&
+           suppressed_.load(std::memory_order_relaxed) == 0;
+  }
+
+ private:
+  friend class ScopedFaultArming;
+  friend class ScopedFaultSuppression;
+
+  FaultInjector();
+
+  double rate_ = 0;
+  uint64_t seed_ = 42;
+  std::atomic<uint64_t> draws_{0};
+  std::atomic<uint64_t> injected_{0};
+
+  // Cheap global guards so FaultPoint() costs one relaxed load when faults
+  // are off. Arming/suppression are process-wide counts (not thread-local)
+  // because pool workers must observe the region opened by the caller.
+  static std::atomic<bool> enabled_;
+  static std::atomic<int> armed_;
+  static std::atomic<int> suppressed_;
+};
+
+/// RAII region marker: "transient faults thrown below are caught and
+/// retried above". Nestable.
+class ScopedFaultArming {
+ public:
+  ScopedFaultArming() {
+    FaultInjector::armed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ScopedFaultArming() {
+    FaultInjector::armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  ScopedFaultArming(const ScopedFaultArming&) = delete;
+  ScopedFaultArming& operator=(const ScopedFaultArming&) = delete;
+};
+
+/// RAII suppression: wins over any arming. Used for a retry policy's final
+/// attempt, guaranteeing forward progress under any injection rate.
+class ScopedFaultSuppression {
+ public:
+  ScopedFaultSuppression() {
+    FaultInjector::suppressed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ScopedFaultSuppression() {
+    FaultInjector::suppressed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  ScopedFaultSuppression(const ScopedFaultSuppression&) = delete;
+  ScopedFaultSuppression& operator=(const ScopedFaultSuppression&) = delete;
+};
+
+/// Injection point. Near-free when faults are off (one relaxed load).
+/// `site` must be a string literal.
+inline void FaultPoint(const char* site) {
+  if (FaultInjector::Active()) FaultInjector::Global().MaybeInject(site);
+}
+
+}  // namespace gab
+
+#endif  // GAB_UTIL_FAULT_INJECTOR_H_

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace gab {
@@ -49,7 +50,19 @@ void ThreadPool::WorkOn(Batch& batch, size_t worker_index) {
   while (true) {
     size_t task = batch.next_task.fetch_add(1, std::memory_order_relaxed);
     if (task >= batch.num_tasks) break;
-    (*batch.fn)(task, worker_index);
+    try {
+      FaultPoint("pool.task");
+      (*batch.fn)(task, worker_index);
+    } catch (const TransientFault& fault) {
+      // A worker "dies" mid-task: record the first fault, keep draining so
+      // the barrier completes, and let RunTasks rethrow on the caller.
+      bool expected = false;
+      if (batch.faulted.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+        batch.fault_site = fault.site;
+        batch.fault_sequence = fault.sequence;
+      }
+    }
     size_t done = batch.done_tasks.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (done == batch.num_tasks) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -62,7 +75,10 @@ void ThreadPool::RunTasks(size_t num_tasks,
                           const std::function<void(size_t, size_t)>& fn) {
   if (num_tasks == 0) return;
   if (num_tasks == 1 || threads_.empty()) {
-    for (size_t i = 0; i < num_tasks; ++i) fn(i, 0);
+    for (size_t i = 0; i < num_tasks; ++i) {
+      FaultPoint("pool.task");
+      fn(i, 0);
+    }
     return;
   }
   auto batch = std::make_shared<Batch>();
@@ -87,6 +103,9 @@ void ThreadPool::RunTasks(size_t num_tasks,
   // `fn` is only dereferenced by workers that claimed a task index below
   // num_tasks; once done_tasks == num_tasks no further claim can succeed,
   // so returning (and invalidating fn) here is safe even with stragglers.
+  if (batch->faulted.load(std::memory_order_acquire)) {
+    throw TransientFault{batch->fault_site, batch->fault_sequence};
+  }
 }
 
 namespace {

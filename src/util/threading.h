@@ -32,6 +32,12 @@ class ThreadPool {
   /// Runs fn(task_index, worker_index) for task_index in [0, num_tasks),
   /// distributing tasks over workers; blocks until all complete. The calling
   /// thread participates as worker 0, so the pool also works single-threaded.
+  ///
+  /// Every task is a fault-injection point ("pool.task"): when the global
+  /// FaultInjector is armed and fires, the batch still drains (so no worker
+  /// is left stranded) and the first TransientFault is rethrown on the
+  /// calling thread after completion — modeling a worker dying mid-batch
+  /// and the runtime fencing it at the barrier.
   void RunTasks(size_t num_tasks,
                 const std::function<void(size_t, size_t)>& fn);
 
@@ -45,6 +51,11 @@ class ThreadPool {
     const std::function<void(size_t, size_t)>* fn = nullptr;
     std::atomic<size_t> next_task{0};
     std::atomic<size_t> done_tasks{0};
+    // First injected fault observed by any worker of this batch; faulted
+    // tasks still count as done so the barrier always completes.
+    std::atomic<bool> faulted{false};
+    const char* fault_site = nullptr;
+    uint64_t fault_sequence = 0;
   };
 
   void WorkerLoop(size_t worker_index);

@@ -1,0 +1,346 @@
+// Corrupted-input corpus for the edge-list readers and the validating
+// graph builder: every malformed file must come back as a clean Status
+// (no crash, no abort, no giant allocation driven by a corrupt header).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/edge_list.h"
+#include "graph/io.h"
+
+namespace gab {
+namespace {
+
+class IoCorruptionTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const char* name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  void WriteBytes(const std::string& path, const void* data, size_t size) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (size > 0) ASSERT_EQ(std::fwrite(data, 1, size, f), size);
+    std::fclose(f);
+  }
+
+  void WriteString(const std::string& path, const std::string& text) {
+    WriteBytes(path, text.data(), text.size());
+  }
+
+  // A well-formed binary file for in-place corruption: 3 vertices, 2
+  // weighted edges.
+  std::string WriteValidBinary(const char* name) {
+    EdgeList edges(3);
+    edges.AddEdge(0, 1, 5);
+    edges.AddEdge(1, 2, 7);
+    std::string path = TempPath(name);
+    EXPECT_TRUE(WriteEdgeListBinary(edges, path).ok());
+    return path;
+  }
+
+  std::vector<char> ReadAll(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    std::vector<char> data(static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    EXPECT_EQ(std::fread(data.data(), 1, data.size(), f), data.size());
+    std::fclose(f);
+    return data;
+  }
+};
+
+// ------------------------------------------------------- binary reader ----
+
+TEST_F(IoCorruptionTest, BinaryRoundTripStillWorks) {
+  EdgeList edges(4);
+  edges.AddEdge(0, 1, 10);
+  edges.AddEdge(1, 2, 20);
+  edges.AddEdge(2, 3, 30);
+  std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(edges, path).ok());
+  EdgeList loaded;
+  ASSERT_TRUE(ReadEdgeListBinary(path, &loaded).ok());
+  EXPECT_EQ(loaded.num_vertices(), 4u);
+  EXPECT_EQ(loaded.edges(), edges.edges());
+  EXPECT_EQ(loaded.weights(), edges.weights());
+}
+
+TEST_F(IoCorruptionTest, BinaryEmptyFile) {
+  std::string path = TempPath("empty.bin");
+  WriteBytes(path, nullptr, 0);
+  EdgeList edges;
+  Status status = ReadEdgeListBinary(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(IoCorruptionTest, BinaryTruncatedHeader) {
+  uint64_t partial[2] = {0x4741424547463031ULL, 3};
+  std::string path = TempPath("short_header.bin");
+  WriteBytes(path, partial, sizeof(partial));
+  EdgeList edges;
+  Status status = ReadEdgeListBinary(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(IoCorruptionTest, BinaryBadMagic) {
+  std::string path = WriteValidBinary("bad_magic.bin");
+  std::vector<char> data = ReadAll(path);
+  data[0] ^= 0xFF;
+  WriteBytes(path, data.data(), data.size());
+  EdgeList edges;
+  Status status = ReadEdgeListBinary(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+// The critical over-allocation case: a header that declares 2^56 edges in
+// a 48-byte file must be rejected *before* any resize happens.
+TEST_F(IoCorruptionTest, BinaryHugeEdgeCountInTinyFile) {
+  std::string path = WriteValidBinary("huge_m.bin");
+  std::vector<char> data = ReadAll(path);
+  uint64_t huge_m = uint64_t{1} << 56;
+  std::memcpy(data.data() + 16, &huge_m, sizeof(huge_m));
+  WriteBytes(path, data.data(), data.size());
+  EdgeList edges;
+  Status status = ReadEdgeListBinary(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_TRUE(edges.edges().empty());
+}
+
+TEST_F(IoCorruptionTest, BinaryEdgeCountOverflowingPayloadSize) {
+  std::string path = WriteValidBinary("overflow_m.bin");
+  std::vector<char> data = ReadAll(path);
+  uint64_t m = ~uint64_t{0};  // m * record_bytes wraps around
+  std::memcpy(data.data() + 16, &m, sizeof(m));
+  WriteBytes(path, data.data(), data.size());
+  EdgeList edges;
+  Status status = ReadEdgeListBinary(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(IoCorruptionTest, BinaryTruncatedEdgePayload) {
+  std::string path = WriteValidBinary("truncated_edges.bin");
+  std::vector<char> data = ReadAll(path);
+  data.resize(data.size() - 3);
+  WriteBytes(path, data.data(), data.size());
+  EdgeList edges;
+  Status status = ReadEdgeListBinary(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(IoCorruptionTest, BinaryTrailingGarbage) {
+  std::string path = WriteValidBinary("trailing.bin");
+  std::vector<char> data = ReadAll(path);
+  data.push_back('x');
+  WriteBytes(path, data.data(), data.size());
+  EdgeList edges;
+  Status status = ReadEdgeListBinary(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(IoCorruptionTest, BinaryBadWeightedFlag) {
+  std::string path = WriteValidBinary("bad_flag.bin");
+  std::vector<char> data = ReadAll(path);
+  uint64_t flag = 2;
+  std::memcpy(data.data() + 24, &flag, sizeof(flag));
+  WriteBytes(path, data.data(), data.size());
+  EdgeList edges;
+  Status status = ReadEdgeListBinary(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(IoCorruptionTest, BinaryVertexCountOverflowsVertexId) {
+  std::string path = WriteValidBinary("huge_n.bin");
+  std::vector<char> data = ReadAll(path);
+  uint64_t n = uint64_t{1} << 40;
+  std::memcpy(data.data() + 8, &n, sizeof(n));
+  WriteBytes(path, data.data(), data.size());
+  EdgeList edges;
+  Status status = ReadEdgeListBinary(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(IoCorruptionTest, BinaryEndpointOutOfDeclaredRange) {
+  std::string path = WriteValidBinary("bad_endpoint.bin");
+  std::vector<char> data = ReadAll(path);
+  // First edge's src (offset 32) -> 9, beyond the declared 3 vertices.
+  uint32_t bad = 9;
+  std::memcpy(data.data() + 32, &bad, sizeof(bad));
+  WriteBytes(path, data.data(), data.size());
+  EdgeList edges;
+  Status status = ReadEdgeListBinary(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(IoCorruptionTest, BinaryMissingFileIsIoError) {
+  EdgeList edges;
+  Status status = ReadEdgeListBinary(TempPath("does_not_exist.bin"), &edges);
+  EXPECT_EQ(status.code(), Status::Code::kIoError);
+}
+
+// --------------------------------------------------------- text reader ----
+
+TEST_F(IoCorruptionTest, TextRoundTripStillWorks) {
+  EdgeList edges(3);
+  edges.AddEdge(0, 1, 4);
+  edges.AddEdge(1, 2, 6);
+  std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(WriteEdgeListText(edges, path).ok());
+  EdgeList loaded;
+  ASSERT_TRUE(ReadEdgeListText(path, &loaded).ok());
+  EXPECT_EQ(loaded.edges(), edges.edges());
+  EXPECT_EQ(loaded.weights(), edges.weights());
+}
+
+TEST_F(IoCorruptionTest, TextMalformedLineReportsLineNumber) {
+  std::string path = TempPath("malformed.txt");
+  WriteString(path, "# comment\n0 1\nnot numbers\n2 3\n");
+  EdgeList edges;
+  Status status = ReadEdgeListText(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(IoCorruptionTest, TextMissingSecondFieldReportsLineNumber) {
+  std::string path = TempPath("one_field.txt");
+  WriteString(path, "0 1\n7\n");
+  EdgeList edges;
+  Status status = ReadEdgeListText(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("line 2"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(IoCorruptionTest, TextVertexIdOverflowRejected) {
+  std::string path = TempPath("overflow_id.txt");
+  WriteString(path, "0 1\n4294967296 2\n");  // 2^32 does not fit VertexId
+  EdgeList edges;
+  Status status = ReadEdgeListText(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("line 2"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(IoCorruptionTest, TextReservedSentinelIdRejected) {
+  std::string path = TempPath("sentinel_id.txt");
+  WriteString(path, "0 4294967295\n");  // kInvalidVertex
+  EdgeList edges;
+  Status status = ReadEdgeListText(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("line 1"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(IoCorruptionTest, TextWeightOverflowRejected) {
+  std::string path = TempPath("overflow_weight.txt");
+  WriteString(path, "0 1 99999999999999999999\n");
+  EdgeList edges;
+  Status status = ReadEdgeListText(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("line 1"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(IoCorruptionTest, TextMixedWeightedLinesReportLineNumber) {
+  std::string path = TempPath("mixed.txt");
+  WriteString(path, "0 1 5\n1 2\n");
+  EdgeList edges;
+  Status status = ReadEdgeListText(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("line 2"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(IoCorruptionTest, TextTrailingGarbageAfterFieldsRejected) {
+  std::string path = TempPath("garbage.txt");
+  WriteString(path, "0 1 5 junk\n");
+  EdgeList edges;
+  Status status = ReadEdgeListText(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("line 1"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(IoCorruptionTest, TextNegativeIdRejected) {
+  std::string path = TempPath("negative.txt");
+  WriteString(path, "-1 2\n");
+  EdgeList edges;
+  Status status = ReadEdgeListText(path, &edges);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(IoCorruptionTest, TextLongLinesAndBlankLinesAreHandled) {
+  // A >4 KiB comment line must not break line assembly or numbering.
+  std::string long_comment = "# " + std::string(10000, 'x') + "\n";
+  std::string path = TempPath("long_lines.txt");
+  WriteString(path, long_comment + "\n   \n0 1\n1 2\n");
+  EdgeList edges;
+  ASSERT_TRUE(ReadEdgeListText(path, &edges).ok());
+  EXPECT_EQ(edges.num_edges(), 2u);
+}
+
+TEST_F(IoCorruptionTest, TextFileWithoutTrailingNewline) {
+  std::string path = TempPath("no_newline.txt");
+  WriteString(path, "0 1\n1 2");
+  EdgeList edges;
+  ASSERT_TRUE(ReadEdgeListText(path, &edges).ok());
+  EXPECT_EQ(edges.num_edges(), 2u);
+}
+
+// ------------------------------------------------ GraphBuilder checking ----
+
+TEST_F(IoCorruptionTest, BuildCheckedAcceptsValidInput) {
+  EdgeList edges(4);
+  edges.AddEdge(0, 1);
+  edges.AddEdge(1, 2);
+  edges.AddEdge(2, 3);
+  CsrGraph g;
+  ASSERT_TRUE(
+      GraphBuilder::BuildChecked(std::move(edges), GraphBuilder::Options(), &g)
+          .ok());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST_F(IoCorruptionTest, BuildCheckedRejectsEndpointBeyondVertexCount) {
+  EdgeList edges(3);
+  edges.AddEdge(0, 1);
+  // Bypass AddEdge's auto-grow to model a deserialized inconsistent list.
+  edges.mutable_edges().push_back({7, 1});
+  CsrGraph g;
+  Status status =
+      GraphBuilder::BuildChecked(std::move(edges), GraphBuilder::Options(), &g);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(IoCorruptionTest, BuildCheckedRejectsSentinelEndpoint) {
+  EdgeList edges(0);
+  edges.mutable_edges().push_back({0, kInvalidVertex});
+  edges.set_num_vertices(kInvalidVertex);
+  CsrGraph g;
+  Status status =
+      GraphBuilder::BuildChecked(std::move(edges), GraphBuilder::Options(), &g);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(IoCorruptionTest, BuildCheckedRejectsWeightLengthMismatch) {
+  EdgeList edges(3);
+  edges.AddEdge(0, 1, 5);
+  edges.AddEdge(1, 2, 6);
+  edges.mutable_weights().pop_back();
+  CsrGraph g;
+  Status status =
+      GraphBuilder::BuildChecked(std::move(edges), GraphBuilder::Options(), &g);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gab

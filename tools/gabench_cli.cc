@@ -110,7 +110,14 @@ std::optional<CsrGraph> LoadGraph(const Flags& flags) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return std::nullopt;
     }
-    return GraphBuilder::Build(std::move(edges));
+    CsrGraph g;
+    status = GraphBuilder::BuildChecked(std::move(edges),
+                                        GraphBuilder::Options(), &g);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return std::nullopt;
+    }
+    return g;
   }
   if (flags.Has("dataset")) {
     std::string name = flags.Get("dataset", "");
