@@ -8,8 +8,12 @@
 //                 permitting).
 //   GAB_TRIALS  — trial count for randomized evaluations (default 64).
 //   GAB_THREADS — worker threads (default: hardware concurrency).
+//   GAB_REPORT_OUT — when set, benches that produce ExperimentRecords
+//                 also write a flat JSON run report (obs/run_report.h)
+//                 to this path on exit.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "gab/gab.h"
 #include "util/table.h"
@@ -46,6 +50,57 @@ inline ClusterConfig MeasuredConfig() {
       static_cast<uint32_t>(DefaultPool().num_threads());
   return config;
 }
+
+/// Process-wide run-report accumulator for the experiment binaries: benches
+/// Add() every ExperimentRecord they measure, and Flush() (call it at the
+/// end of main) writes the JSON report when GAB_REPORT_OUT is set. Setting
+/// GAB_REPORT_OUT also turns telemetry on, so the report's counters object
+/// is populated.
+class ReportSink {
+ public:
+  static ReportSink& Global() {
+    static ReportSink& sink = *new ReportSink();
+    return sink;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const ExperimentRecord& record) {
+    if (enabled()) report_.Add(record);
+  }
+
+  void AddWithSimulation(const ExperimentRecord& record,
+                         const Platform& platform,
+                         const ClusterConfig& measured_on,
+                         const ClusterConfig& target) {
+    if (enabled()) {
+      report_.AddWithSimulation(record, platform, measured_on, target);
+    }
+  }
+
+  /// Writes the report (no-op when GAB_REPORT_OUT is unset or nothing was
+  /// added). Returns false and prints to stderr on I/O failure.
+  bool Flush() {
+    if (!enabled() || report_.empty()) return true;
+    Status status = report_.WriteJson(path_);
+    if (!status.ok()) {
+      std::fprintf(stderr, "run report: %s\n", status.ToString().c_str());
+      return false;
+    }
+    std::printf("run report written to %s (%zu entries)\n", path_.c_str(),
+                report_.entries().size());
+    return true;
+  }
+
+ private:
+  ReportSink() {
+    if (const char* env = std::getenv("GAB_REPORT_OUT")) path_ = env;
+    if (!path_.empty()) obs::Telemetry::Enable();
+  }
+
+  std::string path_;
+  obs::RunReport report_;
+};
 
 }  // namespace bench
 }  // namespace gab

@@ -122,6 +122,7 @@ int Run() {
       const PlatformCostProfile& profile = platform->cost_profile();
       ExperimentRecord record = ExperimentExecutor::Execute(
           *platform, algo, g, spec.name, params);
+      bench::ReportSink::Global().Add(record);
       const ExecutionTrace& trace = record.run.trace;
       double rate_cal = ClusterSimulator::CalibrateRate(
           trace, profile, measured_on, record.run.seconds);
@@ -220,6 +221,7 @@ int Run() {
   yd_params.iterations = 40;
   ExperimentRecord yd_record = ExperimentExecutor::Execute(
       *yd_platform, Algorithm::kPageRank, g, spec.name, yd_params);
+  bench::ReportSink::Global().Add(yd_record);
   const ExecutionTrace& yd_trace = yd_record.run.trace;
   const PlatformCostProfile& yd_profile = yd_platform->cost_profile();
   double yd_rate_cal = ClusterSimulator::CalibrateRate(
@@ -357,6 +359,7 @@ int Run() {
   std::fclose(f);
   std::printf("wrote %s\n", json_path);
 
+  bench::ReportSink::Global().Flush();
   return (yd_pass && coverage_ok) ? 0 : 1;
 }
 

@@ -40,6 +40,7 @@ int Run() {
         }
         ExperimentRecord record = ExperimentExecutor::Execute(
             *platform, algo, g, spec.name, params, upload);
+        bench::ReportSink::Global().Add(record);
         VerifyResult verdict =
             ExperimentExecutor::Verify(algo, g, params, record.run.output);
         if (verdict.ok) {
@@ -62,6 +63,7 @@ int Run() {
       "and ignore Diam; sequential algorithms (SSSP/WCC/BC/CD) degrade on\n"
       "Diam (except block-centric Grape); subgraph algorithms (TC/KC) pay\n"
       "for Dense; GraphX is slowest on the iterative class.\n");
+  bench::ReportSink::Global().Flush();
   return 0;
 }
 

@@ -79,6 +79,7 @@ int Run() {
       if (!p->Supports(a)) continue;
       ExperimentRecord rec =
           ExperimentExecutor::Execute(*p, a, g, "S-Std", params);
+      bench::ReportSink::Global().Add(rec);
       times.push_back(rec.timing.running_seconds);
       double t1 = ExperimentExecutor::SimulateOnCluster(rec, *p, measured_on,
                                                         {1, 1});
@@ -182,6 +183,7 @@ int Run() {
   }
   std::printf("\n(Paper Section 9: Pregel+ > Grape > GraphX > G-thinker > "
               "Flash > PowerGraph > Ligra)\n");
+  bench::ReportSink::Global().Flush();
   return 0;
 }
 

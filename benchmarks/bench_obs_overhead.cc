@@ -1,0 +1,152 @@
+// Measures the runtime cost of the telemetry layer (src/obs/): PageRank
+// and WCC run through an instrumented engine twice per kernel — once with
+// telemetry disabled (the default) and once with spans + counters enabled
+// — and the relative slowdown is reported. Writes BENCH_obs_overhead.json
+// and fails (exit 1) if enabled-mode overhead exceeds 5% on a kernel that
+// runs long enough to measure reliably (>= 20ms disabled), enforcing the
+// "cheap when on, free when off" budget from DESIGN.md §8.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/datasets.h"
+#include "graph/builder.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_tracer.h"
+#include "obs/telemetry.h"
+#include "platforms/registry.h"
+
+namespace gab {
+namespace {
+
+// Disabled kernels below this runtime are too noisy for a 5% gate; they
+// are still measured and reported, just not enforced.
+constexpr double kMinEnforceSeconds = 0.020;
+constexpr double kMaxOverheadPct = 5.0;
+
+struct KernelResult {
+  const char* name = nullptr;
+  double disabled_s = 0;
+  double enabled_s = 0;
+  bool enforced = false;
+  bool pass = true;
+
+  double OverheadPct() const {
+    if (disabled_s <= 0) return 0;
+    return (enabled_s / disabled_s - 1.0) * 100.0;
+  }
+};
+
+// One timed run in the current telemetry mode. The span rings are cleared
+// first so enabled-mode reps pay steady-state recording cost, not
+// snapshot growth.
+double MeasureOnce(const Platform& platform, Algorithm algo,
+                   const CsrGraph& g, const AlgoParams& params) {
+  obs::SpanTracer::Global().Clear();
+  WallTimer timer;
+  RunResult run = platform.Run(algo, g, params);
+  (void)run;
+  return timer.Seconds();
+}
+
+// Best-of-reps per mode, with the modes interleaved (disabled rep, then
+// enabled rep, repeated) so a transient machine-wide slowdown lands on
+// both sides instead of masquerading as telemetry overhead.
+KernelResult MeasureKernel(const char* name, const Platform& platform,
+                           Algorithm algo, const CsrGraph& g,
+                           const AlgoParams& params, uint32_t reps) {
+  KernelResult result;
+  result.name = name;
+  result.disabled_s = 1e30;
+  result.enabled_s = 1e30;
+  for (uint32_t r = 0; r < reps; ++r) {
+    obs::Telemetry::Disable();
+    result.disabled_s =
+        std::min(result.disabled_s, MeasureOnce(platform, algo, g, params));
+    obs::Telemetry::Enable();
+    result.enabled_s =
+        std::min(result.enabled_s, MeasureOnce(platform, algo, g, params));
+  }
+  obs::Telemetry::Disable();
+  result.enforced = result.disabled_s >= kMinEnforceSeconds;
+  result.pass = !result.enforced || result.OverheadPct() <= kMaxOverheadPct;
+  return result;
+}
+
+int Run() {
+  bench::Banner("Telemetry overhead budget",
+                "PageRank + WCC, telemetry disabled vs enabled (<= 5%)");
+  const bool was_enabled = obs::Telemetry::Enabled();
+  const uint32_t scale = bench::BaseScale() + 1;
+  DatasetSpec spec = StdDataset(scale);
+  CsrGraph g = BuildDataset(spec);
+  std::printf("dataset: %s, n=%s m=%s\n\n", spec.name.c_str(),
+              Table::FmtCount(g.num_vertices()).c_str(),
+              Table::FmtCount(g.num_edges()).c_str());
+  AlgoParams params;
+  params.iterations = 10;
+  const uint32_t reps = 5;
+  const Platform* platform = PlatformByAbbrev("PP");
+
+  std::vector<KernelResult> results;
+  results.push_back(MeasureKernel("pagerank", *platform, Algorithm::kPageRank,
+                                  g, params, reps));
+  results.push_back(
+      MeasureKernel("wcc", *platform, Algorithm::kWcc, g, params, reps));
+
+  Table table({"Kernel", "Disabled(s)", "Enabled(s)", "Overhead", "Gate"});
+  bool all_pass = true;
+  for (const KernelResult& r : results) {
+    all_pass = all_pass && r.pass;
+    char overhead[32];
+    std::snprintf(overhead, sizeof(overhead), "%+.2f%%", r.OverheadPct());
+    table.AddRow({r.name, Table::Fmt(r.disabled_s, 4),
+                  Table::Fmt(r.enabled_s, 4), overhead,
+                  !r.enforced ? "skipped (too fast)"
+                              : (r.pass ? "pass" : "FAIL")});
+  }
+  table.Print();
+
+  const char* json_path = "BENCH_obs_overhead.json";
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"obs_overhead\",\n");
+  std::fprintf(f, "  \"dataset\": \"%s\",\n", spec.name.c_str());
+  std::fprintf(f, "  \"reps\": %u,\n", reps);
+  std::fprintf(f, "  \"max_overhead_pct\": %.1f,\n", kMaxOverheadPct);
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"disabled_s\": %.6f, "
+                 "\"enabled_s\": %.6f, \"overhead_pct\": %.3f, "
+                 "\"enforced\": %s, \"pass\": %s}%s\n",
+                 r.name, r.disabled_s, r.enabled_s, r.OverheadPct(),
+                 r.enforced ? "true" : "false", r.pass ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"pass\": %s\n", all_pass ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path);
+
+  if (was_enabled) obs::Telemetry::Enable();
+  if (!all_pass) {
+    std::printf("FAIL: telemetry overhead above %.1f%% budget\n",
+                kMaxOverheadPct);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gab
+
+int main() { return gab::Run(); }

@@ -28,6 +28,7 @@ int Run() {
       if (!platform->SupportsDistributed()) continue;
       ExperimentRecord record = ExperimentExecutor::Execute(
           *platform, algo, g, "robustness", params);
+      bench::ReportSink::Global().Add(record);
       ClusterConfig healthy{16, 32};
       double t_healthy = ExperimentExecutor::SimulateOnCluster(
           record, *platform, measured_on, healthy);
@@ -52,6 +53,7 @@ int Run() {
       "full 4x slowdown (BSP barriers transfer it 1:1); platforms whose\n"
       "makespan is dominated by scheduling overhead or network transfer\n"
       "(GraphX above all) are damped well below it.\n");
+  bench::ReportSink::Global().Flush();
   return 0;
 }
 

@@ -32,6 +32,8 @@ int Run() {
         if (!platform->Supports(algo)) continue;
         ExperimentRecord record = ExperimentExecutor::Execute(
             *platform, algo, g, spec.name, params);
+        bench::ReportSink::Global().AddWithSimulation(record, *platform,
+                                                      measured_on, {1, 32});
         std::vector<std::string> row = {AlgorithmName(algo),
                                         platform->abbrev()};
         double first = 0;
@@ -53,6 +55,7 @@ int Run() {
       "\nPaper shape check: Grape and Ligra lead the thread speedups; TC\n"
       "scales best (no synchronization), SSSP worst (many supersteps);\n"
       "GraphX's driver-side serial fraction caps its scaling.\n");
+  bench::ReportSink::Global().Flush();
   return 0;
 }
 

@@ -33,6 +33,8 @@ int Run() {
         if (!platform->SupportsDistributed()) continue;  // Ligra
         ExperimentRecord record = ExperimentExecutor::Execute(
             *platform, algo, g, spec.name, params);
+        bench::ReportSink::Global().AddWithSimulation(
+            record, *platform, measured_on, {16, 32});
         std::vector<std::string> row = {AlgorithmName(algo),
                                         platform->abbrev()};
         double first = 0;
@@ -54,6 +56,7 @@ int Run() {
       "\nPaper shape check: scale-out factors are far below the scale-up\n"
       "factors (network time); Pregel+'s combiners keep it scaling while\n"
       "Grape saturates early (block boundary chatter).\n");
+  bench::ReportSink::Global().Flush();
   return 0;
 }
 

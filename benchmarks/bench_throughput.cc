@@ -32,6 +32,8 @@ int Run() {
               *platform, algo, g, spec.name, params);
           double sim = ExperimentExecutor::SimulateOnCluster(
               record, *platform, measured_on, target);
+          bench::ReportSink::Global().AddWithSimulation(record, *platform,
+                                                        measured_on, target);
           table.AddRow({AlgorithmName(algo), platform->abbrev(),
                         Table::Fmt(sim, 4),
                         Table::FmtSci(EdgesPerSecond(g.num_edges(), sim))});
@@ -44,6 +46,7 @@ int Run() {
       "\nPaper shape check: throughput roughly doubles with the dataset\n"
       "scale for compute-bound platforms; communication-bound cases (e.g.\n"
       "Pregel+ TC) lag despite the extra machines.\n");
+  bench::ReportSink::Global().Flush();
   return 0;
 }
 

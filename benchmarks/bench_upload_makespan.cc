@@ -29,12 +29,14 @@ int Run() {
     double upload = platform->MeasureUpload(g, params);
     ExperimentRecord record = ExperimentExecutor::Execute(
         *platform, Algorithm::kPageRank, g, "upload-bench", params, upload);
+    bench::ReportSink::Global().Add(record);
     table.AddRow({platform->abbrev(), Table::Fmt(upload, 4),
                   Table::Fmt(record.timing.running_seconds, 4),
                   Table::Fmt(record.timing.makespan_seconds, 4),
                   Table::FmtSci(record.throughput_eps)});
   }
   table.Print();
+  bench::ReportSink::Global().Flush();
   std::printf(
       "\nPaper shape check: ingestion-heavy platforms (GraphX's boxed RDD\n"
       "materialization, PowerGraph's replica index) pay visibly more\n"

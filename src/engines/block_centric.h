@@ -10,6 +10,7 @@
 #include "engines/trace.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
+#include "obs/telemetry.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/threading.h"
@@ -100,6 +101,8 @@ class BlockCentricEngine {
     bool first_round = true;
     while (rounds_ < config_.max_rounds) {
       FaultPoint("block.round");
+      GAB_SPAN_VALUE("block.round", rounds_);
+      GAB_COUNT("block.rounds", 1);
       trace_.BeginSuperstep();
       DefaultPool().RunTasks(num_b, [&](size_t bt, size_t) {
         uint32_t b = static_cast<uint32_t>(bt);
@@ -133,6 +136,7 @@ class BlockCentricEngine {
           buf.clear();
         }
       }
+      GAB_COUNT("block.messages", delivered);
       if (delivered == 0) break;
     }
   }

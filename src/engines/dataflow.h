@@ -11,6 +11,7 @@
 #include "engines/trace.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
+#include "obs/telemetry.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/threading.h"
@@ -92,6 +93,8 @@ class DataflowEngine {
 
     // Superstep 0: vprog(initial_msg) everywhere — new table materialized.
     {
+      GAB_SPAN_VALUE("dataflow.superstep", 0);
+      GAB_COUNT("dataflow.supersteps", 1);
       trace_.BeginSuperstep();
       std::vector<V> next(n);
       DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
@@ -114,6 +117,8 @@ class DataflowEngine {
 
     while (supersteps_ < config_.max_supersteps) {
       FaultPoint("dataflow.superstep");
+      GAB_SPAN_VALUE("dataflow.superstep", supersteps_);
+      GAB_COUNT("dataflow.supersteps", 1);
       trace_.BeginSuperstep();
       // --- Stage 1: flatMap over triplets with active sources, writing
       // serialized shuffle records.
@@ -158,6 +163,7 @@ class DataflowEngine {
         }
       }
       peak_shuffle_bytes_ = std::max(peak_shuffle_bytes_, shuffled_bytes);
+      GAB_COUNT("dataflow.shuffled_bytes", shuffled_bytes);
       if (shuffled_bytes == 0) break;
 
       // --- Stage 2: per receiving partition, deserialize, sort-reduce by

@@ -8,6 +8,7 @@
 #include "engines/trace.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
+#include "obs/telemetry.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/threading.h"
@@ -71,6 +72,8 @@ class GasEngine {
 
     while (iterations_ < config_.max_iterations) {
       FaultPoint("gas.iteration");
+      GAB_SPAN_VALUE("gas.iteration", iterations_);
+      GAB_COUNT("gas.iterations", 1);
       trace_.BeginSuperstep();
       // Replica synchronization: neighbors read the previous iteration.
       snapshot = *values;
@@ -79,9 +82,11 @@ class GasEngine {
       DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
         uint32_t p = static_cast<uint32_t>(pt);
         uint64_t work = 0;
+        uint64_t gathered = 0;
         std::vector<uint64_t> bytes(num_p, 0);
         for (VertexId v : partitioning_->Members(p)) {
           if (!active[v]) continue;
+          ++gathered;
           auto nbrs = g.OutNeighbors(v);
           auto weights =
               g.has_weights() ? g.OutWeights(v) : std::span<const Weight>{};
@@ -112,6 +117,7 @@ class GasEngine {
           }
         }
         trace_.AddWork(p, work);
+        GAB_COUNT("gas.active_vertices", gathered);
         for (uint32_t q = 0; q < num_p; ++q) {
           if (bytes[q] != 0) trace_.AddBytes(p, q, bytes[q]);
         }
@@ -145,6 +151,7 @@ class GasEngine {
     Setup(g);
     const uint32_t num_p = config_.num_partitions;
     FaultPoint("gas.gather_map");
+    GAB_SPAN_VALUE("gas.gather_map", iterations_);
     trace_.BeginSuperstep();
     DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
       uint32_t p = static_cast<uint32_t>(pt);
@@ -176,6 +183,7 @@ class GasEngine {
     Setup(g);
     const uint32_t num_p = config_.num_partitions;
     FaultPoint("gas.edge_map");
+    GAB_SPAN_VALUE("gas.edge_map", iterations_);
     trace_.BeginSuperstep();
     DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
       uint32_t p = static_cast<uint32_t>(pt);

@@ -12,6 +12,7 @@
 #include "engines/trace.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
+#include "obs/telemetry.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/threading.h"
@@ -84,6 +85,7 @@ class SubgraphCentricEngine {
                                                    config_.strategy);
     trace_ = ExecutionTrace(config_.num_partitions);
     FaultPoint("subgraph.phase");
+    GAB_SPAN("subgraph.phase");
     trace_.BeginSuperstep();  // one logical phase: mining has no supersteps
 
     // Seed queue.
@@ -126,6 +128,7 @@ class SubgraphCentricEngine {
           std::this_thread::yield();
           continue;
         }
+        GAB_COUNT("subgraph.tasks", batch.size());
         for (const Task& task : batch) {
           VertexId home_v = home(task);
           ctx.home_partition_ = partitioning_->PartitionOf(home_v);

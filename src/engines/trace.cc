@@ -36,10 +36,49 @@ void ExecutionTrace::MergeBytes(const std::vector<uint64_t>& bytes) {
   for (size_t i = 0; i < bytes.size(); ++i) dst[i] += bytes[i];
 }
 
+Status ExecutionTrace::MergeWorkChecked(const std::vector<uint64_t>& work) {
+  if (supersteps_.empty()) {
+    return Status::InvalidArgument("MergeWork: no open superstep");
+  }
+  if (work.size() != supersteps_.back().work.size()) {
+    return Status::InvalidArgument(
+        "MergeWork: got " + std::to_string(work.size()) +
+        " partitions, trace has " +
+        std::to_string(supersteps_.back().work.size()));
+  }
+  MergeWork(work);
+  return Status::Ok();
+}
+
+Status ExecutionTrace::MergeBytesChecked(const std::vector<uint64_t>& bytes) {
+  if (supersteps_.empty()) {
+    return Status::InvalidArgument("MergeBytes: no open superstep");
+  }
+  if (bytes.size() != supersteps_.back().bytes.size()) {
+    return Status::InvalidArgument(
+        "MergeBytes: got " + std::to_string(bytes.size()) +
+        " cells, trace has " +
+        std::to_string(supersteps_.back().bytes.size()));
+  }
+  MergeBytes(bytes);
+  return Status::Ok();
+}
+
 void ExecutionTrace::Append(const ExecutionTrace& other) {
   GAB_CHECK(other.num_partitions_ == num_partitions_);
   supersteps_.insert(supersteps_.end(), other.supersteps_.begin(),
                      other.supersteps_.end());
+}
+
+Status ExecutionTrace::AppendChecked(const ExecutionTrace& other) {
+  if (other.num_partitions_ != num_partitions_) {
+    return Status::InvalidArgument(
+        "Append: partition count mismatch (" +
+        std::to_string(other.num_partitions_) + " vs " +
+        std::to_string(num_partitions_) + ")");
+  }
+  Append(other);
+  return Status::Ok();
 }
 
 uint64_t ExecutionTrace::TotalWork() const {

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.h"
+
 namespace gab {
 
 /// Per-superstep record of what one engine execution did, at logical
@@ -43,13 +45,25 @@ class ExecutionTrace {
   void AddBytes(uint32_t p, uint32_t q, uint64_t bytes);
 
   /// Bulk-merge of per-task local counters (engines accumulate locally per
-  /// partition task and flush once to avoid contention).
+  /// partition task and flush once to avoid contention). The vector size
+  /// must match the open superstep's partition layout; violations abort via
+  /// GAB_CHECK (engines control both sides, so a mismatch is a bug).
   void MergeWork(const std::vector<uint64_t>& work);
   void MergeBytes(const std::vector<uint64_t>& bytes);
 
+  /// Status-returning variants for callers merging traces from outside the
+  /// engine (tools, tests, serialized traces): InvalidArgument instead of
+  /// aborting when no superstep is open or the sizes disagree.
+  Status MergeWorkChecked(const std::vector<uint64_t>& work);
+  Status MergeBytesChecked(const std::vector<uint64_t>& bytes);
+
   /// Appends another trace's supersteps (multi-phase algorithms such as
-  /// BC's forward+backward runs, or CD's per-k peeling stages).
+  /// BC's forward+backward runs, or CD's per-k peeling stages). Partition
+  /// counts must match (GAB_CHECK).
   void Append(const ExecutionTrace& other);
+
+  /// Status-returning Append: InvalidArgument on partition-count mismatch.
+  Status AppendChecked(const ExecutionTrace& other);
 
   uint64_t TotalWork() const;
   uint64_t TotalBytes() const;

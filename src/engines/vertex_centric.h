@@ -11,6 +11,7 @@
 #include "engines/trace.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
+#include "obs/telemetry.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/threading.h"
@@ -99,6 +100,7 @@ class VertexCentricEngine {
     const uint32_t num_p = config_.num_partitions;
     while (superstep_ < config_.max_supersteps) {
       FaultPoint("vc.superstep");
+      GAB_SPAN_VALUE("vc.superstep", superstep_);
       trace_.BeginSuperstep();
       std::fill(next_active_.begin(), next_active_.end(), 0);
 
@@ -109,14 +111,17 @@ class VertexCentricEngine {
         Context ctx;
         ctx.engine_ = this;
         ctx.partition_ = static_cast<uint32_t>(p);
+        uint64_t computed = 0;
         for (VertexId v : partitioning_->Members(static_cast<uint32_t>(p))) {
           auto inbox = InboxOf(v);
           if (superstep_ > 0 && inbox.empty() && !active_[v]) continue;
           ctx.current_vertex_ = v;
           ctx.work_ += 1 + inbox.size();
+          ++computed;
           compute(ctx, v, values[v], inbox);
         }
         trace_.AddWork(static_cast<uint32_t>(p), ctx.work_);
+        GAB_COUNT("vc.active_vertices", computed);
         agg_double[p] = ctx.agg_double_;
         agg_int[p] = ctx.agg_int_;
       });
@@ -129,6 +134,8 @@ class VertexCentricEngine {
 
       // Exchange phase: record traffic, then regroup messages by receiver.
       uint64_t messages = ExchangeMessages();
+      GAB_COUNT("vc.messages", messages);
+      GAB_COUNT("vc.supersteps", 1);
       active_.swap(next_active_);
       bool any_active = messages > 0;
       if (!any_active) {

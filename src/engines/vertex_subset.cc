@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 
@@ -95,6 +96,9 @@ VertexSubset VertexSubsetEngine::EdgeMap(const VertexSubset& frontier,
                                          const Functors& f,
                                          const EdgeMapOptions& options) {
   FaultPoint("subset.edge_map");
+  GAB_SPAN_VALUE("ligra.edge_map", frontier.size());
+  GAB_COUNT("ligra.edge_maps", 1);
+  GAB_COUNT("ligra.frontier_vertices", frontier.size());
   trace_.BeginSuperstep();
   if (frontier.empty()) {
     last_direction_ = EdgeMapDirection::kPush;
@@ -216,6 +220,7 @@ void VertexSubsetEngine::VertexMap(const VertexSubset& subset,
                                    bool charge_degree) {
   const auto& vs = subset.Sparse();
   FaultPoint("subset.vertex_map");
+  GAB_SPAN_VALUE("ligra.vertex_map", vs.size());
   trace_.BeginSuperstep();
   const uint32_t num_p = partitioning_->num_partitions();
   std::vector<std::vector<VertexId>> by_partition(num_p);
@@ -237,6 +242,7 @@ VertexSubset VertexSubsetEngine::VertexFilter(
     const VertexSubset& subset, const std::function<bool(VertexId)>& fn) {
   const auto& vs = subset.Sparse();
   FaultPoint("subset.vertex_filter");
+  GAB_SPAN_VALUE("ligra.vertex_filter", vs.size());
   trace_.BeginSuperstep();
   const uint32_t num_p = partitioning_->num_partitions();
   std::vector<std::vector<VertexId>> by_partition(num_p);

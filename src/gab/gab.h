@@ -26,6 +26,9 @@
 #include "graph/builder.h"               // IWYU pragma: export
 #include "graph/csr_graph.h"             // IWYU pragma: export
 #include "graph/io.h"                    // IWYU pragma: export
+#include "obs/exporters.h"               // IWYU pragma: export
+#include "obs/run_report.h"              // IWYU pragma: export
+#include "obs/telemetry.h"               // IWYU pragma: export
 #include "platforms/platform.h"          // IWYU pragma: export
 #include "platforms/registry.h"          // IWYU pragma: export
 #include "runtime/cluster_sim.h"         // IWYU pragma: export

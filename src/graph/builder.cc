@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/telemetry.h"
 #include "util/logging.h"
 #include "util/parallel_primitives.h"
 #include "util/threading.h"
@@ -98,6 +99,9 @@ void ScatterUnsorted(const std::vector<Edge>& e, const std::vector<Weight>& w,
 }  // namespace
 
 CsrGraph GraphBuilder::Build(EdgeList edges, const Options& options) {
+  GAB_SPAN("build.csr");
+  GAB_COUNT("build.graphs", 1);
+  GAB_COUNT("build.input_edges", edges.edges().size());
   // True when the edge list is sorted by (src, dst) on entry to the CSR
   // conversion, enabling the copy-based fast path.
   bool sorted = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.h"
 #include "util/logging.h"
 #include "util/parallel_primitives.h"
 
@@ -23,6 +24,7 @@ void EdgeList::AddEdge(VertexId src, VertexId dst, Weight w) {
 }
 
 size_t EdgeList::SortAndDedupe(bool remove_self_loops) {
+  GAB_SPAN_VALUE("ingest.sort_dedupe", edges_.size());
   size_t before = edges_.size();
   if (weights_.empty()) {
     ParallelSort(edges_);
@@ -77,6 +79,7 @@ size_t EdgeList::SortAndDedupe(bool remove_self_loops) {
 }
 
 size_t EdgeList::RemoveSelfLoops() {
+  GAB_SPAN_VALUE("ingest.remove_self_loops", edges_.size());
   size_t before = edges_.size();
   const bool weighted = !weights_.empty();
   std::vector<Edge> kept(edges_.size());
@@ -98,6 +101,7 @@ size_t EdgeList::RemoveSelfLoops() {
 }
 
 void EdgeList::Symmetrize() {
+  GAB_SPAN_VALUE("ingest.symmetrize", edges_.size());
   size_t original = edges_.size();
   edges_.resize(original * 2);
   if (!weights_.empty()) weights_.resize(original * 2);

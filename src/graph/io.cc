@@ -1,5 +1,6 @@
 #include "graph/io.h"
 
+#include "obs/telemetry.h"
 #include <cctype>
 #include <cerrno>
 #include <cinttypes>
@@ -72,6 +73,7 @@ long FileSizeBytes(std::FILE* f) {
 }  // namespace
 
 Status WriteEdgeListText(const EdgeList& edges, const std::string& path) {
+  GAB_SPAN("ingest.write_text");
   FilePtr f(std::fopen(path.c_str(), "w"));
   if (!f) return Status::IoError("cannot open for write: " + path);
   std::fprintf(f.get(), "# gabench edge list: %u vertices, %" PRIu64 " edges\n",
@@ -90,6 +92,7 @@ Status WriteEdgeListText(const EdgeList& edges, const std::string& path) {
 }
 
 Status ReadEdgeListText(const std::string& path, EdgeList* edges) {
+  GAB_SPAN("ingest.read_text");
   FilePtr f(std::fopen(path.c_str(), "r"));
   if (!f) return Status::IoError("cannot open for read: " + path);
   *edges = EdgeList();
@@ -156,6 +159,7 @@ Status ReadEdgeListText(const std::string& path, EdgeList* edges) {
 }
 
 Status WriteEdgeListBinary(const EdgeList& edges, const std::string& path) {
+  GAB_SPAN("ingest.write_binary");
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::IoError("cannot open for write: " + path);
   uint64_t header[4] = {kBinaryMagic, edges.num_vertices(), edges.num_edges(),
@@ -178,6 +182,7 @@ Status WriteEdgeListBinary(const EdgeList& edges, const std::string& path) {
 }
 
 Status ReadEdgeListBinary(const std::string& path, EdgeList* edges) {
+  GAB_SPAN("ingest.read_binary");
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IoError("cannot open for read: " + path);
   uint64_t header[4];

@@ -1,0 +1,160 @@
+#include "obs/exporters.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace gab {
+namespace obs {
+
+namespace {
+
+/// Shortest round-trippable decimal for a double; integral values print
+/// without an exponent so the output stays human- and Prometheus-friendly.
+std::string FormatDouble(double v) {
+  char buf[64];
+  if (v == static_cast<int64_t>(v) && v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+void AppendFormat(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendFormat(&out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToChromeTraceJson(const std::vector<SpanEvent>& spans) {
+  std::string out;
+  out.reserve(128 + spans.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& span : spans) {
+    if (span.name == nullptr) continue;
+    if (!first) out += ',';
+    first = false;
+    uint64_t ts_us = span.start_ns / 1000;
+    uint64_t dur_us =
+        span.end_ns > span.start_ns ? (span.end_ns - span.start_ns) / 1000 : 0;
+    AppendFormat(&out,
+                 "{\"name\":\"%s\",\"cat\":\"gab\",\"ph\":\"X\",\"pid\":1,"
+                 "\"tid\":%u,\"ts\":%" PRIu64 ",\"dur\":%" PRIu64,
+                 JsonEscape(span.name).c_str(), span.tid, ts_us, dur_us);
+    AppendFormat(&out, ",\"args\":{\"depth\":%u", span.depth);
+    if (span.has_value) {
+      AppendFormat(&out, ",\"value\":%" PRIu64, span.value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "gab_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string metric = PrometheusName(name) + "_total";
+    AppendFormat(&out, "# TYPE %s counter\n", metric.c_str());
+    AppendFormat(&out, "%s %" PRIu64 "\n", metric.c_str(), value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string metric = PrometheusName(name);
+    AppendFormat(&out, "# TYPE %s gauge\n", metric.c_str());
+    AppendFormat(&out, "%s %s\n", metric.c_str(),
+                 FormatDouble(value).c_str());
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    std::string metric = PrometheusName(name);
+    AppendFormat(&out, "# TYPE %s histogram\n", metric.c_str());
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < data.bounds.size(); ++b) {
+      cumulative += data.counts[b];
+      AppendFormat(&out, "%s_bucket{le=\"%s\"} %" PRIu64 "\n",
+                   metric.c_str(), FormatDouble(data.bounds[b]).c_str(),
+                   cumulative);
+    }
+    cumulative += data.counts.empty() ? 0 : data.counts.back();
+    AppendFormat(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", metric.c_str(),
+                 cumulative);
+    AppendFormat(&out, "%s_sum %s\n", metric.c_str(),
+                 FormatDouble(data.sum).c_str());
+    AppendFormat(&out, "%s_count %" PRIu64 "\n", metric.c_str(), data.count);
+  }
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  return WriteTextFile(path,
+                       ToChromeTraceJson(SpanTracer::Global().Snapshot()));
+}
+
+Status WriteMetricsPrometheus(const std::string& path) {
+  return WriteTextFile(
+      path, ToPrometheusText(MetricsRegistry::Global().Snapshot()));
+}
+
+}  // namespace obs
+}  // namespace gab

@@ -1,0 +1,46 @@
+#ifndef GAB_OBS_EXPORTERS_H_
+#define GAB_OBS_EXPORTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/span_tracer.h"
+#include "util/status.h"
+
+namespace gab {
+namespace obs {
+
+/// Serializes spans to Chrome trace_event JSON ("X" complete events, one
+/// trace-event per span, microsecond timestamps) loadable by Perfetto /
+/// chrome://tracing. pid is fixed at 1; tid is the obs thread slot; the
+/// optional span value and nesting depth ride in "args".
+std::string ToChromeTraceJson(const std::vector<SpanEvent>& spans);
+
+/// Serializes a snapshot to Prometheus text exposition format (version
+/// 0.0.4). Metric names are prefixed "gab_" with '.' rewritten to '_';
+/// counters gain the "_total" suffix; histograms emit cumulative
+/// "le"-bucketed series plus _sum and _count. Output order follows the
+/// snapshot (sorted by name), so it is deterministic.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Prometheus-safe name: "gab_" + name with every non-alphanumeric
+/// character replaced by '_'.
+std::string PrometheusName(const std::string& name);
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+/// Snapshot the global SpanTracer and write Chrome trace JSON to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+/// Snapshot the global MetricsRegistry and write Prometheus text to `path`.
+Status WriteMetricsPrometheus(const std::string& path);
+
+/// Shared helper: write `content` to `path`, failing with IoError.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace obs
+}  // namespace gab
+
+#endif  // GAB_OBS_EXPORTERS_H_

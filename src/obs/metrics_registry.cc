@@ -1,0 +1,147 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+
+namespace gab {
+namespace obs {
+
+uint32_t ObsThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  // Bounds must be strictly increasing for BucketOf's binary search.
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  stripes_.reserve(kMetricStripes);
+  for (size_t i = 0; i < kMetricStripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>(bounds_.size() + 1));
+  }
+}
+
+size_t HistogramMetric::BucketOf(double value) const {
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+void HistogramMetric::Observe(double value) {
+  Stripe& s = *stripes_[ObsThreadStripe()];
+  s.counts[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> HistogramMetric::BucketCounts() const {
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  for (const auto& s : stripes_) {
+    for (size_t b = 0; b < merged.size(); ++b) {
+      merged[b] += s->counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+uint64_t HistogramMetric::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+double HistogramMetric::Sum() const {
+  double total = 0;
+  for (const auto& s : stripes_) {
+    total += s->sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void HistogramMetric::Reset() {
+  for (auto& s : stripes_) {
+    for (auto& c : s->counts) c.store(0, std::memory_order_relaxed);
+    s->sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& DefaultLatencyBoundsUs() {
+  static const std::vector<double>& bounds = *new std::vector<double>{
+      1,    2,    5,    10,    20,    50,    100,   200,   500,
+      1000, 2000, 5000, 10000, 20000, 50000, 100000, 1e6,  1e7};
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry& registry = *new MetricsRegistry();
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, DefaultLatencyBoundsUs());
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name,
+                                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<HistogramMetric>(std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = hist->bounds();
+    data.counts = hist->BucketCounts();
+    data.sum = hist->Sum();
+    data.count = 0;
+    for (uint64_t c : data.counts) data.count += c;
+    snapshot.histograms.emplace_back(name, std::move(data));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+}  // namespace obs
+}  // namespace gab

@@ -1,0 +1,162 @@
+#ifndef GAB_OBS_METRICS_REGISTRY_H_
+#define GAB_OBS_METRICS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gab {
+namespace obs {
+
+/// Number of independent accumulation stripes per metric. Threads map to a
+/// stripe by their obs thread slot, so concurrent writers from the worker
+/// pool rarely touch the same cache line.
+inline constexpr size_t kMetricStripes = 16;
+
+/// Small dense thread id assigned on first observability use; stable for
+/// the thread's lifetime. Also used as the span tracer's tid.
+uint32_t ObsThreadId();
+
+inline size_t ObsThreadStripe() { return ObsThreadId() % kMetricStripes; }
+
+/// Monotonic counter, striped per thread-slot. Add is one relaxed
+/// fetch_add on the caller's stripe; Value() merges all stripes.
+class Counter {
+ public:
+  void Add(uint64_t n) {
+    stripes_[ObsThreadStripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Stripe& s : stripes_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Stripe& s : stripes_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Stripe, kMetricStripes> stripes_;
+};
+
+/// Last-write-wins instantaneous value (worker count, buffer occupancy).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` semantics: bucket i counts
+/// observations v <= bounds[i] (and greater than bounds[i-1]); one
+/// implicit +Inf bucket catches the rest. Bounds are fixed at registration
+/// so two runs of the same workload produce comparable distributions.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Non-cumulative per-bucket counts (bounds().size() + 1 entries, the
+  /// last being the +Inf bucket), merged across stripes.
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t TotalCount() const;
+  double Sum() const;
+
+  /// Index of the bucket `value` lands in (first bound >= value, or the
+  /// +Inf bucket).
+  size_t BucketOf(double value) const;
+
+  void Reset();
+
+ private:
+  struct Stripe {
+    explicit Stripe(size_t num_buckets) : counts(num_buckets) {}
+    std::vector<std::atomic<uint64_t>> counts;
+    std::atomic<double> sum{0};
+    char pad[64];
+  };
+
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+/// Default histogram bounds for latency metrics, in microseconds: a 1-2-5
+/// ladder from 1us to 10s.
+const std::vector<double>& DefaultLatencyBoundsUs();
+
+/// One merged, point-in-time view of every registered metric. Entries are
+/// sorted by name (the registry stores them in ordered maps), so exporters
+/// and golden tests see a deterministic iteration order.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    /// Non-cumulative; bounds.size() + 1 entries (+Inf last).
+    std::vector<uint64_t> counts;
+    double sum = 0;
+    uint64_t count = 0;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  /// Counter value by name; 0 when absent (convenience for tests/reports).
+  uint64_t CounterValue(const std::string& name) const;
+};
+
+/// Process-wide metric registry. Registration (name -> metric) takes a
+/// mutex once per name per call site — the GAB_COUNT/GAB_HIST_US macros
+/// cache the returned reference in a function-local static, so the steady
+/// state is lock-free. Metrics live for the process lifetime; handles are
+/// never invalidated.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// Registers with DefaultLatencyBoundsUs() on first use; `bounds` (when
+  /// given) only applies to that first registration.
+  HistogramMetric& GetHistogram(const std::string& name);
+  HistogramMetric& GetHistogram(const std::string& name,
+                                std::vector<double> bounds);
+
+  /// Merged snapshot of all metrics, deterministically ordered by name.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every value while keeping registrations (and therefore every
+  /// cached handle) valid. Tests and per-run deltas.
+  void ResetValues();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace gab
+
+#endif  // GAB_OBS_METRICS_REGISTRY_H_

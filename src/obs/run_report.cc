@@ -1,0 +1,126 @@
+#include "obs/run_report.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/exporters.h"
+#include "obs/metrics_registry.h"
+
+namespace gab {
+namespace obs {
+
+namespace {
+
+void AppendFormat(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendJsonDouble(std::string* out, double v) {
+  // %.17g round-trips; JSON has no Inf/NaN, clamp to null.
+  if (v != v || v > 1.7e308 || v < -1.7e308) {
+    *out += "null";
+    return;
+  }
+  AppendFormat(out, "%.17g", v);
+}
+
+RunReportEntry EntryFromRecord(const ExperimentRecord& record) {
+  RunReportEntry entry;
+  entry.platform = record.platform;
+  entry.algorithm = record.algorithm;
+  entry.dataset = record.dataset;
+  entry.timing = record.timing;
+  entry.throughput_eps = record.throughput_eps;
+  entry.supported = record.supported;
+  entry.attempts = record.attempts;
+  entry.faults_recovered = record.faults_recovered;
+  entry.supersteps =
+      static_cast<uint32_t>(record.run.trace.num_supersteps());
+  entry.peak_extra_bytes = record.run.peak_extra_bytes;
+  return entry;
+}
+
+}  // namespace
+
+void RunReport::Add(const ExperimentRecord& record) {
+  entries_.push_back(EntryFromRecord(record));
+}
+
+void RunReport::AddWithSimulation(const ExperimentRecord& record,
+                                  const Platform& platform,
+                                  const ClusterConfig& measured_on,
+                                  const ClusterConfig& target) {
+  RunReportEntry entry = EntryFromRecord(record);
+  if (record.supported && record.run.trace.num_supersteps() > 0 &&
+      record.timing.running_seconds > 0) {
+    const PlatformCostProfile& profile = platform.cost_profile();
+    double rate = ClusterSimulator::CalibrateRate(
+        record.run.trace, profile, measured_on,
+        record.timing.running_seconds);
+    entry.superstep_costs = ClusterSimulator(target).SuperstepCostBreakdown(
+        record.run.trace, profile, rate);
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\"entries\":[";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const RunReportEntry& e = entries_[i];
+    if (i > 0) out += ',';
+    out += "{\"platform\":\"" + JsonEscape(e.platform) + "\"";
+    out += ",\"algorithm\":\"" + JsonEscape(e.algorithm) + "\"";
+    out += ",\"dataset\":\"" + JsonEscape(e.dataset) + "\"";
+    out += ",\"upload_seconds\":";
+    AppendJsonDouble(&out, e.timing.upload_seconds);
+    out += ",\"running_seconds\":";
+    AppendJsonDouble(&out, e.timing.running_seconds);
+    out += ",\"makespan_seconds\":";
+    AppendJsonDouble(&out, e.timing.makespan_seconds);
+    out += ",\"throughput_eps\":";
+    AppendJsonDouble(&out, e.throughput_eps);
+    AppendFormat(&out, ",\"supported\":%s", e.supported ? "true" : "false");
+    AppendFormat(&out, ",\"attempts\":%u", e.attempts);
+    AppendFormat(&out, ",\"faults_recovered\":%u", e.faults_recovered);
+    AppendFormat(&out, ",\"supersteps\":%u", e.supersteps);
+    AppendFormat(&out, ",\"peak_extra_bytes\":%" PRIu64, e.peak_extra_bytes);
+    if (!e.superstep_costs.empty()) {
+      out += ",\"superstep_costs\":[";
+      for (size_t s = 0; s < e.superstep_costs.size(); ++s) {
+        const SuperstepCost& c = e.superstep_costs[s];
+        if (s > 0) out += ',';
+        out += "{\"compute_s\":";
+        AppendJsonDouble(&out, c.compute_s);
+        out += ",\"comm_s\":";
+        AppendJsonDouble(&out, c.comm_s);
+        out += ",\"overhead_s\":";
+        AppendJsonDouble(&out, c.overhead_s);
+        out += '}';
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+  out += "],\"counters\":{";
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + PrometheusName(snapshot.counters[i].first) + "_total\":";
+    AppendFormat(&out, "%" PRIu64, snapshot.counters[i].second);
+  }
+  out += "}}";
+  return out;
+}
+
+Status RunReport::WriteJson(const std::string& path) const {
+  return WriteTextFile(path, ToJson());
+}
+
+}  // namespace obs
+}  // namespace gab

@@ -1,0 +1,68 @@
+#ifndef GAB_OBS_RUN_REPORT_H_
+#define GAB_OBS_RUN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/cluster_sim.h"
+#include "runtime/executor.h"
+#include "util/status.h"
+
+namespace gab {
+namespace obs {
+
+/// One experiment flattened for machine consumption: the key triple plus
+/// the Table 5 metrics and (when simulated) the cluster model's
+/// per-superstep compute/comm/overhead split.
+struct RunReportEntry {
+  std::string platform;
+  std::string algorithm;
+  std::string dataset;
+  TimingMetrics timing;
+  double throughput_eps = 0;
+  bool supported = true;
+  uint32_t attempts = 1;
+  uint32_t faults_recovered = 0;
+  uint32_t supersteps = 0;
+  uint64_t peak_extra_bytes = 0;
+  /// Filled by AddWithSimulation; empty otherwise.
+  std::vector<SuperstepCost> superstep_costs;
+};
+
+/// Accumulates experiment records and serializes them as a flat JSON run
+/// report keyed by platform/algorithm/dataset:
+///
+///   {"entries": [{"platform": "PP", "algorithm": "PR", ...}, ...],
+///    "counters": {"gab_vc_messages_total": 123, ...}}
+///
+/// The counters object is the metrics-registry snapshot at ToJson() time
+/// (Prometheus-style names), so a report ties one run's measurements to
+/// the telemetry it generated. Content is deterministic for a
+/// deterministic workload apart from the timing fields.
+class RunReport {
+ public:
+  /// Appends the record as-is (no simulation breakdown).
+  void Add(const ExperimentRecord& record);
+
+  /// Appends the record plus the cluster simulator's per-superstep cost
+  /// breakdown on `target`, calibrated against the record's measured time
+  /// on `measured_on` (mirrors ExperimentExecutor::SimulateOnCluster).
+  void AddWithSimulation(const ExperimentRecord& record,
+                         const Platform& platform,
+                         const ClusterConfig& measured_on,
+                         const ClusterConfig& target);
+
+  const std::vector<RunReportEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  std::vector<RunReportEntry> entries_;
+};
+
+}  // namespace obs
+}  // namespace gab
+
+#endif  // GAB_OBS_RUN_REPORT_H_

@@ -1,0 +1,141 @@
+#include "obs/span_tracer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/metrics_registry.h"
+#include "obs/telemetry.h"
+
+namespace gab {
+namespace obs {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+size_t CapacityFromEnv() {
+  if (const char* env = std::getenv("GAB_TRACE_BUFFER")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && v > 0) return static_cast<size_t>(v);
+  }
+  return 65536;
+}
+
+/// Per-thread span nesting depth (incremented by live spans only).
+thread_local uint16_t t_span_depth = 0;
+
+}  // namespace
+
+SpanTracer::SpanTracer(size_t capacity)
+    : capacity_(capacity), epoch_ns_(SteadyNowNs()) {}
+
+SpanTracer& SpanTracer::Global() {
+  static SpanTracer& tracer = *new SpanTracer(CapacityFromEnv());
+  return tracer;
+}
+
+uint64_t SpanTracer::NowNs() const { return SteadyNowNs() - epoch_ns_; }
+
+SpanTracer::Shard& SpanTracer::LocalShard() {
+  thread_local Shard* shard = nullptr;
+  if (shard == nullptr) {
+    auto owned = std::make_unique<Shard>();
+    shard = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(owned));
+  }
+  return *shard;
+}
+
+void SpanTracer::Record(const SpanEvent& event) {
+  Shard& shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.ring.size() < capacity_) {
+    shard.ring.push_back(event);
+  } else {
+    shard.ring[shard.next] = event;
+    shard.next = (shard.next + 1) % capacity_;
+  }
+  ++shard.total;
+}
+
+std::vector<SpanEvent> SpanTracer::Snapshot() const {
+  std::vector<SpanEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      events.insert(events.end(), shard->ring.begin(), shard->ring.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.end_ns < b.end_ns;
+            });
+  return events;
+}
+
+uint64_t SpanTracer::total_recorded() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    total += shard->total;
+  }
+  return total;
+}
+
+uint64_t SpanTracer::dropped() const {
+  uint64_t dropped = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    dropped += shard->total - shard->ring.size();
+  }
+  return dropped;
+}
+
+void SpanTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->ring.clear();
+    shard->next = 0;
+    shard->total = 0;
+  }
+}
+
+void ScopedSpan::Begin(const char* name, uint64_t value, bool has_value) {
+  if (!Telemetry::Enabled()) return;
+  name_ = name;
+  value_ = value;
+  has_value_ = has_value;
+  active_ = true;
+  ++t_span_depth;
+  start_ns_ = SpanTracer::Global().NowNs();
+}
+
+void ScopedSpan::End() {
+  SpanTracer& tracer = SpanTracer::Global();
+  SpanEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.end_ns = tracer.NowNs();
+  event.value = value_;
+  event.has_value = has_value_;
+  event.tid = ObsThreadId();
+  event.depth = --t_span_depth;
+  tracer.Record(event);
+}
+
+}  // namespace obs
+}  // namespace gab

@@ -1,0 +1,103 @@
+#ifndef GAB_OBS_SPAN_TRACER_H_
+#define GAB_OBS_SPAN_TRACER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace gab {
+namespace obs {
+
+/// One completed span. `name` is a string literal owned by the caller's
+/// code; timestamps are steady-clock nanoseconds relative to the tracer's
+/// epoch (first use), so they are comparable within one process.
+struct SpanEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  /// Optional integral argument (superstep index, attempt number).
+  uint64_t value = 0;
+  uint32_t tid = 0;
+  uint16_t depth = 0;
+  bool has_value = false;
+};
+
+/// Bounded in-memory span sink. Each thread records into its own
+/// mutex-guarded ring buffer (uncontended in steady state; safe under
+/// TSan), so a long run keeps the most recent `capacity_per_thread` spans
+/// per thread instead of growing without bound. Snapshot() merges all
+/// rings, ordered by (start_ns, tid) — deterministic in *content* for a
+/// deterministic workload, while the timestamps themselves vary run to
+/// run.
+///
+/// Capacity comes from GAB_TRACE_BUFFER (spans per thread, default 65536)
+/// read once at first use.
+class SpanTracer {
+ public:
+  static SpanTracer& Global();
+
+  void Record(const SpanEvent& event);
+
+  /// All currently-buffered spans, merged and sorted.
+  std::vector<SpanEvent> Snapshot() const;
+
+  /// Spans recorded since construction/Clear (including overwritten ones).
+  uint64_t total_recorded() const;
+  /// Spans lost to ring wrap-around.
+  uint64_t dropped() const;
+  size_t capacity_per_thread() const { return capacity_; }
+
+  /// Steady-clock nanoseconds since the tracer epoch.
+  uint64_t NowNs() const;
+
+  /// Empties every ring (tests and per-run exports).
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<SpanEvent> ring;
+    size_t next = 0;
+    uint64_t total = 0;
+  };
+
+  explicit SpanTracer(size_t capacity);
+  Shard& LocalShard();
+
+  const size_t capacity_;
+  const uint64_t epoch_ns_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// RAII span: captures start on construction, records on destruction.
+/// Construction while telemetry is disabled makes both ends no-ops, so a
+/// span that brackets an Enable() flip simply isn't recorded.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) { Begin(name, 0, false); }
+  ScopedSpan(const char* name, uint64_t value) { Begin(name, value, true); }
+  ~ScopedSpan() {
+    if (active_) End();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Begin(const char* name, uint64_t value, bool has_value);
+  void End();
+
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint64_t value_ = 0;
+  bool has_value_ = false;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace gab
+
+#endif  // GAB_OBS_SPAN_TRACER_H_

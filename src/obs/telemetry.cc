@@ -1,0 +1,22 @@
+#include "obs/telemetry.h"
+
+#include <cstdlib>
+
+namespace gab {
+namespace obs {
+
+namespace {
+
+/// GAB_TRACE turns telemetry on at process start; "" and "0" leave it off.
+bool EnabledFromEnv() {
+  const char* env = std::getenv("GAB_TRACE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+}  // namespace
+
+std::atomic<bool> Telemetry::enabled_{EnabledFromEnv()};
+
+}  // namespace obs
+}  // namespace gab

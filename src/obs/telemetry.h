@@ -1,0 +1,123 @@
+#ifndef GAB_OBS_TELEMETRY_H_
+#define GAB_OBS_TELEMETRY_H_
+
+/// Process-wide observability switchboard (DESIGN.md §8).
+///
+/// Two gates stack so instrumentation is zero-cost when unwanted:
+///  - compile time: build with -DGAB_OBS_ENABLED=0 and every GAB_* macro
+///    below expands to nothing (no clock reads, no atomics, no statics);
+///  - run time: with the default GAB_OBS_ENABLED=1 build, every macro
+///    starts with one relaxed atomic load (Telemetry::Enabled()) and does
+///    no further work while telemetry is off.
+///
+/// Telemetry turns on via Telemetry::Enable() or the GAB_TRACE environment
+/// variable (any value other than "" / "0"), read once at process start.
+/// Collection is split between two process-wide sinks:
+///  - MetricsRegistry (obs/metrics_registry.h): named counters, gauges and
+///    fixed-bucket histograms, sharded per thread-slot, merged on snapshot;
+///  - SpanTracer (obs/span_tracer.h): RAII spans with thread id, nesting
+///    depth and steady-clock timestamps in bounded per-thread ring buffers.
+/// Exporters (obs/exporters.h) serialize snapshots to Chrome trace_event
+/// JSON, Prometheus text exposition and run-report JSON.
+///
+/// Naming convention: metric and span names are dot-separated
+/// "<subsystem>.<quantity>" literals ("vc.messages", "pool.task_us",
+/// "build.csr"). Prometheus export prefixes "gab_" and rewrites '.' to '_'.
+
+#ifndef GAB_OBS_ENABLED
+#define GAB_OBS_ENABLED 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics_registry.h"
+#include "obs/span_tracer.h"
+
+namespace gab {
+namespace obs {
+
+class Telemetry {
+ public:
+  /// One relaxed load; the hot-path guard every macro starts with.
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  static void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  static void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace obs
+}  // namespace gab
+
+#define GAB_OBS_CONCAT_INNER_(a, b) a##b
+#define GAB_OBS_CONCAT_(a, b) GAB_OBS_CONCAT_INNER_(a, b)
+
+#if GAB_OBS_ENABLED
+
+/// RAII span covering the enclosing scope. `name` must be a string literal
+/// (stored by pointer). Emits nothing while telemetry is disabled.
+#define GAB_SPAN(name) \
+  ::gab::obs::ScopedSpan GAB_OBS_CONCAT_(gab_obs_span_, __LINE__)(name)
+
+/// Span carrying one integral argument (superstep index, attempt number);
+/// exported as args.value in the Chrome trace.
+#define GAB_SPAN_VALUE(name, value)                                \
+  ::gab::obs::ScopedSpan GAB_OBS_CONCAT_(gab_obs_span_, __LINE__)( \
+      name, static_cast<uint64_t>(value))
+
+/// Adds `n` to the named process-wide counter. The handle resolves once
+/// (thread-safe local static) on the first enabled pass.
+#define GAB_COUNT(name, n)                                          \
+  do {                                                              \
+    if (::gab::obs::Telemetry::Enabled()) {                         \
+      static ::gab::obs::Counter& gab_obs_counter_ =                \
+          ::gab::obs::MetricsRegistry::Global().GetCounter(name);   \
+      gab_obs_counter_.Add(static_cast<uint64_t>(n));               \
+    }                                                               \
+  } while (0)
+
+/// Sets the named gauge to `v` (last write wins).
+#define GAB_GAUGE_SET(name, v)                                      \
+  do {                                                              \
+    if (::gab::obs::Telemetry::Enabled()) {                         \
+      static ::gab::obs::Gauge& gab_obs_gauge_ =                    \
+          ::gab::obs::MetricsRegistry::Global().GetGauge(name);     \
+      gab_obs_gauge_.Set(static_cast<double>(v));                   \
+    }                                                               \
+  } while (0)
+
+/// Records a latency observation (microseconds) into the named histogram
+/// with the default latency buckets.
+#define GAB_HIST_US(name, us)                                        \
+  do {                                                               \
+    if (::gab::obs::Telemetry::Enabled()) {                          \
+      static ::gab::obs::HistogramMetric& gab_obs_hist_ =            \
+          ::gab::obs::MetricsRegistry::Global().GetHistogram(name);  \
+      gab_obs_hist_.Observe(static_cast<double>(us));                \
+    }                                                                \
+  } while (0)
+
+#else  // !GAB_OBS_ENABLED
+
+#define GAB_SPAN(name) \
+  do {                 \
+  } while (0)
+#define GAB_SPAN_VALUE(name, value) \
+  do {                              \
+  } while (0)
+#define GAB_COUNT(name, n) \
+  do {                     \
+  } while (0)
+#define GAB_GAUGE_SET(name, v) \
+  do {                         \
+  } while (0)
+#define GAB_HIST_US(name, us) \
+  do {                        \
+  } while (0)
+
+#endif  // GAB_OBS_ENABLED
+
+#endif  // GAB_OBS_TELEMETRY_H_

@@ -7,7 +7,7 @@
 
 namespace gab {
 
-std::vector<double> ClusterSimulator::SuperstepSeconds(
+std::vector<SuperstepCost> ClusterSimulator::SuperstepCostBreakdown(
     const ExecutionTrace& trace, const PlatformCostProfile& profile,
     double work_units_per_thread_s) const {
   GAB_CHECK(work_units_per_thread_s > 0);
@@ -15,7 +15,7 @@ std::vector<double> ClusterSimulator::SuperstepSeconds(
   const uint32_t machines = config_.machines;
   const double threads = static_cast<double>(config_.threads_per_machine);
 
-  std::vector<double> result;
+  std::vector<SuperstepCost> result;
   result.reserve(trace.num_supersteps());
   std::vector<double> machine_work(machines);
   std::vector<double> machine_slowest(machines);
@@ -73,7 +73,19 @@ std::vector<double> ClusterSimulator::SuperstepSeconds(
       }
     }
 
-    result.push_back(compute + comm + profile.superstep_overhead_s);
+    result.push_back(
+        SuperstepCost{compute, comm, profile.superstep_overhead_s});
+  }
+  return result;
+}
+
+std::vector<double> ClusterSimulator::SuperstepSeconds(
+    const ExecutionTrace& trace, const PlatformCostProfile& profile,
+    double work_units_per_thread_s) const {
+  std::vector<double> result;
+  for (const SuperstepCost& cost :
+       SuperstepCostBreakdown(trace, profile, work_units_per_thread_s)) {
+    result.push_back(cost.total_s());
   }
   return result;
 }

@@ -27,6 +27,15 @@ struct ClusterConfig {
   double straggler_slowdown = 1.0;
 };
 
+/// One superstep's simulated cost, split the way the BSP model charges it.
+/// Total superstep time is compute_s + comm_s + overhead_s.
+struct SuperstepCost {
+  double compute_s = 0;   // slowest machine's compute (incl. stragglers)
+  double comm_s = 0;      // cross-machine shuffle on the worst link
+  double overhead_s = 0;  // platform per-superstep barrier/scheduling cost
+  double total_s() const { return compute_s + comm_s + overhead_s; }
+};
+
 /// Trace-driven BSP cluster simulator: replays an ExecutionTrace (per
 /// superstep, per-partition work + inter-partition byte matrix) against a
 /// cluster model. Partitions are assigned round-robin to machines; each
@@ -59,6 +68,12 @@ class ClusterSimulator {
   std::vector<double> SuperstepSeconds(const ExecutionTrace& trace,
                                        const PlatformCostProfile& profile,
                                        double work_units_per_thread_s) const;
+
+  /// SuperstepSeconds with the compute/comm/overhead components kept
+  /// separate (observability run reports; DESIGN.md §8).
+  std::vector<SuperstepCost> SuperstepCostBreakdown(
+      const ExecutionTrace& trace, const PlatformCostProfile& profile,
+      double work_units_per_thread_s) const;
 
   /// Estimated makespan of the traced execution when the machines of
   /// `plan` crash mid-run and the platform recovers per `recovery`

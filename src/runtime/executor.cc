@@ -11,6 +11,7 @@
 #include "algos/sssp.h"
 #include "algos/triangle_count.h"
 #include "algos/wcc.h"
+#include "obs/telemetry.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 
@@ -33,6 +34,7 @@ RunResult RunWithRetry(const Platform& platform, Algorithm algo,
     *attempts = attempt;
     const bool last = attempt >= retry.max_attempts;
     try {
+      GAB_SPAN_VALUE("executor.attempt", attempt);
       if (last) {
         ScopedFaultSuppression suppress;
         return platform.Run(algo, graph, params);
@@ -41,6 +43,7 @@ RunResult RunWithRetry(const Platform& platform, Algorithm algo,
       return platform.Run(algo, graph, params);
     } catch (const TransientFault&) {
       ++*faults_recovered;
+      GAB_COUNT("executor.retries", 1);
       if (backoff_s > 0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
       }
@@ -67,6 +70,8 @@ ExperimentRecord ExperimentExecutor::Execute(const Platform& platform,
     record.supported = false;
     return record;
   }
+  GAB_SPAN("executor.experiment");
+  GAB_COUNT("executor.experiments", 1);
   record.run = RunWithRetry(platform, algo, graph, params, retry,
                             &record.attempts, &record.faults_recovered);
   record.timing.running_seconds = record.run.seconds;

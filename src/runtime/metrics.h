@@ -17,13 +17,18 @@ struct TimingMetrics {
   double makespan_seconds = 0;
 };
 
-/// Edges processed per second (paper's throughput metric).
+/// Edges processed per second (paper's throughput metric). Returns 0 when
+/// `running_seconds` is zero or negative (an unmeasured or degenerate run)
+/// and, naturally, when `num_edges` is 0 — callers never see inf/NaN.
 double EdgesPerSecond(uint64_t num_edges, double running_seconds);
 
 /// Speedup series: baseline_time / time[i] for each measured time.
+/// Empty input yields an empty series; non-positive entries yield 0.
 std::vector<double> SpeedupSeries(const std::vector<double>& seconds);
 
-/// Geometric mean (used to aggregate per-algorithm speedups).
+/// Geometric mean (used to aggregate per-algorithm speedups). Non-positive
+/// entries are skipped; returns 0 for an empty vector or when no entry is
+/// positive, so aggregation over unsupported platforms degrades gracefully.
 double GeometricMean(const std::vector<double>& values);
 
 }  // namespace gab

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/telemetry.h"
 #include "util/rng.h"
 
 namespace gab {
@@ -52,9 +53,12 @@ bool FaultInjector::Tick(const char* /*site*/) {
   return u < rate_;
 }
 
+void NoteFaultArmed() { GAB_COUNT("fault.armed", 1); }
+
 void FaultInjector::MaybeInject(const char* site) {
   if (!Tick(site)) return;
   uint64_t sequence = injected_.fetch_add(1, std::memory_order_relaxed);
+  GAB_COUNT("fault.fired", 1);
   throw TransientFault{site, sequence};
 }
 

@@ -85,12 +85,17 @@ class FaultInjector {
   static std::atomic<int> suppressed_;
 };
 
+/// Telemetry hook (out of line so this header stays light): bumps the
+/// "fault.armed" counter when an armed region opens.
+void NoteFaultArmed();
+
 /// RAII region marker: "transient faults thrown below are caught and
 /// retried above". Nestable.
 class ScopedFaultArming {
  public:
   ScopedFaultArming() {
     FaultInjector::armed_.fetch_add(1, std::memory_order_relaxed);
+    NoteFaultArmed();
   }
   ~ScopedFaultArming() {
     FaultInjector::armed_.fetch_sub(1, std::memory_order_relaxed);

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/telemetry.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 
@@ -32,6 +33,10 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   uint64_t seen_generation = 0;
   while (true) {
     std::shared_ptr<Batch> batch;
+    // Time spent blocked on work_cv_ is the worker's idle gap; only timed
+    // while telemetry is on (one relaxed load otherwise).
+    uint64_t idle_start_ns =
+        obs::Telemetry::Enabled() ? obs::SpanTracer::Global().NowNs() : 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
@@ -42,14 +47,29 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       seen_generation = generation_;
       batch = current_;
     }
+    if (idle_start_ns != 0) {
+      GAB_HIST_US("pool.idle_us",
+                  (obs::SpanTracer::Global().NowNs() - idle_start_ns) / 1e3);
+    }
     WorkOn(*batch, worker_index);
   }
 }
 
 void ThreadPool::WorkOn(Batch& batch, size_t worker_index) {
+  bool first_claim = true;
   while (true) {
     size_t task = batch.next_task.fetch_add(1, std::memory_order_relaxed);
     if (task >= batch.num_tasks) break;
+    uint64_t task_start_ns = 0;
+    if (obs::Telemetry::Enabled()) {
+      task_start_ns = obs::SpanTracer::Global().NowNs();
+      if (first_claim && batch.publish_ns != 0 &&
+          task_start_ns > batch.publish_ns) {
+        GAB_HIST_US("pool.queue_wait_us",
+                    (task_start_ns - batch.publish_ns) / 1e3);
+      }
+      first_claim = false;
+    }
     try {
       FaultPoint("pool.task");
       (*batch.fn)(task, worker_index);
@@ -63,6 +83,11 @@ void ThreadPool::WorkOn(Batch& batch, size_t worker_index) {
         batch.fault_sequence = fault.sequence;
       }
     }
+    if (task_start_ns != 0) {
+      GAB_HIST_US("pool.task_us",
+                  (obs::SpanTracer::Global().NowNs() - task_start_ns) / 1e3);
+    }
+    GAB_COUNT("pool.tasks", 1);
     size_t done = batch.done_tasks.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (done == batch.num_tasks) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -74,16 +99,30 @@ void ThreadPool::WorkOn(Batch& batch, size_t worker_index) {
 void ThreadPool::RunTasks(size_t num_tasks,
                           const std::function<void(size_t, size_t)>& fn) {
   if (num_tasks == 0) return;
+  GAB_COUNT("pool.batches", 1);
+  GAB_GAUGE_SET("pool.workers", num_threads());
   if (num_tasks == 1 || threads_.empty()) {
     for (size_t i = 0; i < num_tasks; ++i) {
+      uint64_t task_start_ns = obs::Telemetry::Enabled()
+                                   ? obs::SpanTracer::Global().NowNs()
+                                   : 0;
       FaultPoint("pool.task");
       fn(i, 0);
+      if (task_start_ns != 0) {
+        GAB_HIST_US(
+            "pool.task_us",
+            (obs::SpanTracer::Global().NowNs() - task_start_ns) / 1e3);
+      }
+      GAB_COUNT("pool.tasks", 1);
     }
     return;
   }
   auto batch = std::make_shared<Batch>();
   batch->num_tasks = num_tasks;
   batch->fn = &fn;
+  if (obs::Telemetry::Enabled()) {
+    batch->publish_ns = obs::SpanTracer::Global().NowNs();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     current_ = batch;

@@ -56,6 +56,9 @@ class ThreadPool {
     std::atomic<bool> faulted{false};
     const char* fault_site = nullptr;
     uint64_t fault_sequence = 0;
+    // Tracer timestamp of batch publication (0 while telemetry is off);
+    // lets each worker report its queue wait on first claim.
+    uint64_t publish_ns = 0;
   };
 
   void WorkerLoop(size_t worker_index);

@@ -65,6 +65,45 @@ TEST(TraceTest, MergeHelpers) {
   EXPECT_EQ(trace.CrossPartitionBytes(), 3u);
 }
 
+TEST(TraceTest, CheckedMergeValidatesSizes) {
+  ExecutionTrace trace(2);
+  // No superstep open yet: both merges are rejected.
+  EXPECT_FALSE(trace.MergeWorkChecked({1, 2}).ok());
+  EXPECT_FALSE(trace.MergeBytesChecked({0, 0, 0, 0}).ok());
+
+  trace.BeginSuperstep();
+  // Wrong partition count (3 vs 2) and wrong matrix size (2 vs 4).
+  EXPECT_FALSE(trace.MergeWorkChecked({1, 2, 3}).ok());
+  EXPECT_FALSE(trace.MergeBytesChecked({0, 1}).ok());
+  EXPECT_EQ(trace.TotalWork(), 0u);
+  EXPECT_EQ(trace.TotalBytes(), 0u);
+
+  // Matching sizes merge exactly like the unchecked variants.
+  EXPECT_TRUE(trace.MergeWorkChecked({3, 4}).ok());
+  EXPECT_TRUE(trace.MergeBytesChecked({0, 1, 2, 0}).ok());
+  EXPECT_EQ(trace.TotalWork(), 7u);
+  EXPECT_EQ(trace.CrossPartitionBytes(), 3u);
+}
+
+TEST(TraceTest, CheckedAppendValidatesPartitionCount) {
+  ExecutionTrace a(2);
+  a.BeginSuperstep();
+  a.AddWork(0, 1);
+
+  ExecutionTrace mismatched(3);
+  mismatched.BeginSuperstep();
+  Status status = a.AppendChecked(mismatched);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(a.num_supersteps(), 1u);  // rejected append leaves `a` intact
+
+  ExecutionTrace b(2);
+  b.BeginSuperstep();
+  b.AddWork(1, 2);
+  EXPECT_TRUE(a.AppendChecked(b).ok());
+  EXPECT_EQ(a.num_supersteps(), 2u);
+  EXPECT_EQ(a.TotalWork(), 3u);
+}
+
 // -------------------------------------------------------- vertex-centric ----
 
 TEST(VertexCentricTest, PropagatesMessagesAlongRing) {

@@ -1,0 +1,315 @@
+// Tests for the telemetry layer (src/obs/): metrics registry semantics
+// under concurrency, histogram bucket boundaries, span nesting, and the
+// three exporters' output formats.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/fft_dg.h"
+#include "graph/builder.h"
+#include "obs/exporters.h"
+#include "obs/metrics_registry.h"
+#include "obs/run_report.h"
+#include "obs/span_tracer.h"
+#include "obs/telemetry.h"
+#include "platforms/registry.h"
+#include "runtime/executor.h"
+#include "util/threading.h"
+
+namespace gab {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::SpanEvent;
+using obs::SpanTracer;
+using obs::Telemetry;
+
+/// Restores the telemetry runtime flag and clears obs state so tests stay
+/// order-independent within this binary.
+class ObsTestEnv {
+ public:
+  ObsTestEnv() : was_enabled_(Telemetry::Enabled()) {
+    MetricsRegistry::Global().ResetValues();
+    SpanTracer::Global().Clear();
+  }
+  ~ObsTestEnv() {
+    if (was_enabled_) {
+      Telemetry::Enable();
+    } else {
+      Telemetry::Disable();
+    }
+  }
+
+ private:
+  bool was_enabled_;
+};
+
+// ---------------------------------------------------------------- registry ----
+
+TEST(MetricsRegistryTest, CounterMergesStripesAcrossThreads) {
+  ObsTestEnv env;
+  obs::Counter& counter =
+      MetricsRegistry::Global().GetCounter("test.parallel_adds");
+  constexpr size_t kItems = 100000;
+  ParallelFor(kItems, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) counter.Add(1);
+  });
+  EXPECT_EQ(counter.Value(), kItems);
+  EXPECT_EQ(MetricsRegistry::Global().Snapshot().CounterValue(
+                "test.parallel_adds"),
+            kItems);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndResetKeepsRegistration) {
+  ObsTestEnv env;
+  obs::Counter& a = MetricsRegistry::Global().GetCounter("test.stable");
+  obs::Counter& b = MetricsRegistry::Global().GetCounter("test.stable");
+  EXPECT_EQ(&a, &b);  // same metric object for the same name
+  a.Add(7);
+  MetricsRegistry::Global().ResetValues();
+  EXPECT_EQ(b.Value(), 0u);  // handle survives the reset
+  b.Add(2);
+  EXPECT_EQ(a.Value(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  ObsTestEnv env;
+  MetricsRegistry::Global().GetCounter("test.zz").Add(1);
+  MetricsRegistry::Global().GetCounter("test.aa").Add(1);
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].first, snapshot.counters[i].first);
+  }
+}
+
+TEST(HistogramTest, BucketBoundariesUseLeSemantics) {
+  ObsTestEnv env;
+  obs::HistogramMetric& hist = MetricsRegistry::Global().GetHistogram(
+      "test.bounds", {1.0, 2.0, 5.0});
+  // A value equal to a bound belongs to that bound's bucket (le semantics).
+  EXPECT_EQ(hist.BucketOf(0.5), 0u);
+  EXPECT_EQ(hist.BucketOf(1.0), 0u);
+  EXPECT_EQ(hist.BucketOf(1.5), 1u);
+  EXPECT_EQ(hist.BucketOf(2.0), 1u);
+  EXPECT_EQ(hist.BucketOf(5.0), 2u);
+  EXPECT_EQ(hist.BucketOf(5.0001), 3u);  // +Inf bucket
+
+  hist.Observe(0.5);
+  hist.Observe(1.0);
+  hist.Observe(2.0);
+  hist.Observe(100.0);
+  std::vector<uint64_t> counts = hist.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(hist.TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 103.5);
+}
+
+TEST(HistogramTest, ObserveUnderParallelForLosesNothing) {
+  ObsTestEnv env;
+  obs::HistogramMetric& hist =
+      MetricsRegistry::Global().GetHistogram("test.parallel_hist", {10.0});
+  constexpr size_t kItems = 50000;
+  ParallelFor(kItems, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hist.Observe(i % 2 == 0 ? 1.0 : 20.0);
+  });
+  EXPECT_EQ(hist.TotalCount(), kItems);
+  std::vector<uint64_t> counts = hist.BucketCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0] + counts[1], kItems);
+}
+
+// ------------------------------------------------------------------ spans ----
+
+TEST(SpanTracerTest, NestedSpansRecordDepthAndContainment) {
+  ObsTestEnv env;
+  Telemetry::Enable();
+  {
+    GAB_SPAN("outer");
+    {
+      GAB_SPAN_VALUE("inner", 42);
+    }
+  }
+  std::vector<SpanEvent> spans = SpanTracer::Global().Snapshot();
+  const SpanEvent* outer = nullptr;
+  const SpanEvent* inner = nullptr;
+  for (const SpanEvent& s : spans) {
+    if (std::string(s.name) == "outer") outer = &s;
+    if (std::string(s.name) == "inner") inner = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_TRUE(inner->has_value);
+  EXPECT_EQ(inner->value, 42u);
+  EXPECT_FALSE(outer->has_value);
+  // The inner span is contained in the outer one.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->end_ns, outer->end_ns);
+}
+
+TEST(SpanTracerTest, DisabledTelemetryRecordsNothing) {
+  ObsTestEnv env;
+  Telemetry::Disable();
+  uint64_t before = SpanTracer::Global().total_recorded();
+  {
+    GAB_SPAN("invisible");
+  }
+  EXPECT_EQ(SpanTracer::Global().total_recorded(), before);
+  GAB_COUNT("test.invisible", 1);
+  EXPECT_EQ(
+      MetricsRegistry::Global().Snapshot().CounterValue("test.invisible"), 0u);
+}
+
+TEST(SpanTracerTest, RingIsBoundedAndCountsDrops) {
+  ObsTestEnv env;
+  Telemetry::Enable();
+  SpanTracer& tracer = SpanTracer::Global();
+  const size_t capacity = tracer.capacity_per_thread();
+  // Record from this one thread well past its ring capacity.
+  SpanEvent event;
+  event.name = "flood";
+  const uint64_t recorded_before = tracer.total_recorded();
+  for (size_t i = 0; i < capacity + 100; ++i) tracer.Record(event);
+  EXPECT_EQ(tracer.total_recorded() - recorded_before, capacity + 100);
+  EXPECT_GE(tracer.dropped(), 100u);
+  EXPECT_LE(tracer.Snapshot().size(), capacity * 2);  // bounded memory
+}
+
+// -------------------------------------------------------------- exporters ----
+
+TEST(ExportersTest, ChromeTraceJsonSchema) {
+  SpanEvent a;
+  a.name = "csr_build";
+  a.start_ns = 1000;
+  a.end_ns = 4000;
+  a.tid = 2;
+  a.depth = 1;
+  SpanEvent b;
+  b.name = "superstep \"0\"";  // exercises escaping
+  b.start_ns = 500;
+  b.end_ns = 800;
+  b.value = 7;
+  b.has_value = true;
+  std::string json = obs::ToChromeTraceJson({b, a});
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"csr_build\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  // 3000ns span -> 3us duration.
+  EXPECT_NE(json.find("\"dur\":3"), std::string::npos);
+  EXPECT_NE(json.find("superstep \\\"0\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+}
+
+TEST(ExportersTest, PrometheusNameSanitization) {
+  EXPECT_EQ(obs::PrometheusName("vc.messages"), "gab_vc_messages");
+  EXPECT_EQ(obs::PrometheusName("pool.task_us"), "gab_pool_task_us");
+  EXPECT_EQ(obs::PrometheusName("a-b c"), "gab_a_b_c");
+}
+
+TEST(ExportersTest, PrometheusTextIsCumulativeAndTyped) {
+  ObsTestEnv env;
+  MetricsRegistry::Global().GetCounter("test.prom_counter").Add(3);
+  MetricsRegistry::Global().GetGauge("test.prom_gauge").Set(1.5);
+  obs::HistogramMetric& hist =
+      MetricsRegistry::Global().GetHistogram("test.prom_hist", {1.0, 2.0});
+  hist.Observe(0.5);
+  hist.Observe(1.5);
+  hist.Observe(3.0);
+  std::string text =
+      obs::ToPrometheusText(MetricsRegistry::Global().Snapshot());
+  EXPECT_NE(text.find("# TYPE gab_test_prom_counter_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gab_test_prom_counter_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gab_test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gab_test_prom_hist histogram"),
+            std::string::npos);
+  // Buckets are cumulative in the exposition format.
+  EXPECT_NE(text.find("gab_test_prom_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gab_test_prom_hist_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("gab_test_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("gab_test_prom_hist_count 3"), std::string::npos);
+  EXPECT_NE(text.find("gab_test_prom_hist_sum 5"), std::string::npos);
+}
+
+TEST(ExportersTest, JsonEscapeControlCharacters) {
+  EXPECT_EQ(obs::JsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::JsonEscape("a\nb"), "a\\nb");
+}
+
+// ------------------------------------------------------------- run report ----
+
+TEST(RunReportTest, JsonCarriesKeyTripleAndMetrics) {
+  ObsTestEnv env;
+  ExperimentRecord record;
+  record.platform = "PP";
+  record.algorithm = "PR";
+  record.dataset = "S4-Std";
+  record.timing.upload_seconds = 0.25;
+  record.timing.running_seconds = 1.5;
+  record.timing.makespan_seconds = 1.75;
+  record.throughput_eps = 1e6;
+  record.attempts = 2;
+  record.faults_recovered = 1;
+  obs::RunReport report;
+  report.Add(record);
+  ASSERT_EQ(report.entries().size(), 1u);
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"platform\":\"PP\""), std::string::npos);
+  EXPECT_NE(json.find("\"algorithm\":\"PR\""), std::string::npos);
+  EXPECT_NE(json.find("\"dataset\":\"S4-Std\""), std::string::npos);
+  EXPECT_NE(json.find("\"upload_seconds\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"faults_recovered\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+}
+
+TEST(RunReportTest, AddWithSimulationEmitsSuperstepBreakdown) {
+  ObsTestEnv env;
+  FftDgConfig config;
+  config.num_vertices = 1200;
+  config.seed = 17;
+  CsrGraph g = GraphBuilder::Build(GenerateFftDg(config));
+  AlgoParams params;
+  params.iterations = 3;
+  const Platform* platform = PlatformByAbbrev("PP");
+  ASSERT_NE(platform, nullptr);
+  ExperimentRecord record = ExperimentExecutor::Execute(
+      *platform, Algorithm::kPageRank, g, "report-test", params);
+  ASSERT_TRUE(record.supported);
+
+  obs::RunReport report;
+  report.AddWithSimulation(record, *platform, {1, 4}, {2, 8});
+  ASSERT_EQ(report.entries().size(), 1u);
+  const obs::RunReportEntry& entry = report.entries()[0];
+  EXPECT_EQ(entry.supersteps, record.run.trace.num_supersteps());
+  ASSERT_FALSE(entry.superstep_costs.empty());
+  EXPECT_EQ(entry.superstep_costs.size(), entry.supersteps);
+  for (const SuperstepCost& cost : entry.superstep_costs) {
+    EXPECT_GE(cost.compute_s, 0.0);
+    EXPECT_GE(cost.comm_s, 0.0);
+    EXPECT_GE(cost.total_s(), 0.0);
+  }
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"superstep_costs\""), std::string::npos);
+  EXPECT_NE(json.find("\"compute_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"comm_s\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gab

@@ -115,6 +115,14 @@ TEST(MetricsTest, EdgesPerSecond) {
   EXPECT_DOUBLE_EQ(EdgesPerSecond(1000, 0.0), 0.0);
 }
 
+TEST(MetricsTest, EdgesPerSecondDegenerateInputs) {
+  // Documented contract: zero/negative time and zero edges return 0, never
+  // inf or NaN.
+  EXPECT_DOUBLE_EQ(EdgesPerSecond(0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(EdgesPerSecond(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(EdgesPerSecond(1000, -1.0), 0.0);
+}
+
 TEST(MetricsTest, SpeedupSeries) {
   auto s = SpeedupSeries({8.0, 4.0, 2.0, 1.0});
   EXPECT_DOUBLE_EQ(s[0], 1.0);
@@ -124,6 +132,14 @@ TEST(MetricsTest, SpeedupSeries) {
 TEST(MetricsTest, GeometricMean) {
   EXPECT_NEAR(GeometricMean({1.0, 4.0}), 2.0, 1e-12);
   EXPECT_NEAR(GeometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(MetricsTest, GeometricMeanDegenerateInputs) {
+  // Documented contract: empty input and all-non-positive input return 0;
+  // non-positive entries are skipped rather than poisoning the mean.
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({0.0, -3.0}), 0.0);
+  EXPECT_NEAR(GeometricMean({0.0, 4.0}), 4.0, 1e-12);
 }
 
 // --------------------------------------------------------------- executor ----

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Schema validation for the telemetry exporters' three output files.
+
+Usage: validate_telemetry.py <trace.json> <metrics.prom> <report.json>
+
+Run by the cli_telemetry ctest (and CI) after a `gabench run` invocation
+with GAB_TRACE=1 and --trace-out/--metrics-out/--report-out. Exits nonzero
+with a message on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"telemetry validation FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("displayTimeUnit") != "ms":
+        fail(f"{path}: missing displayTimeUnit")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    for e in events:
+        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if key not in e:
+                fail(f"{path}: event missing '{key}': {e}")
+        if e["ph"] != "X":
+            fail(f"{path}: unexpected phase {e['ph']}")
+    if not any("superstep" in e["name"] for e in events):
+        fail(f"{path}: no per-superstep span recorded")
+    print(f"{path}: {len(events)} trace events OK")
+
+
+def validate_metrics(path):
+    counters = {}
+    with open(path) as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.rsplit(" ", 1)
+            if len(parts) != 2:
+                fail(f"{path}: malformed sample line: {line!r}")
+            name, value = parts
+            if not name.startswith("gab_"):
+                fail(f"{path}: metric without gab_ prefix: {name}")
+            float(value)  # must parse
+            counters[name] = float(value)
+    if not counters:
+        fail(f"{path}: no samples")
+    for required in ("gab_pool_tasks_total", "gab_vc_supersteps_total"):
+        if counters.get(required, 0) <= 0:
+            fail(f"{path}: {required} missing or zero")
+    print(f"{path}: {len(counters)} samples OK")
+
+
+def validate_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        fail(f"{path}: entries missing or empty")
+    for e in entries:
+        for key in ("platform", "algorithm", "dataset", "running_seconds",
+                    "supersteps", "supported"):
+            if key not in e:
+                fail(f"{path}: entry missing '{key}': {e}")
+    if not isinstance(doc.get("counters"), dict) or not doc["counters"]:
+        fail(f"{path}: counters object missing or empty")
+    print(f"{path}: {len(entries)} report entries OK")
+
+
+def main():
+    if len(sys.argv) != 4:
+        fail("expected <trace.json> <metrics.prom> <report.json>")
+    validate_trace(sys.argv[1])
+    validate_metrics(sys.argv[2])
+    validate_report(sys.argv[3])
+    print("telemetry validation OK")
+
+
+if __name__ == "__main__":
+    main()

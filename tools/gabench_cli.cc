@@ -38,7 +38,13 @@ class Flags {
         return;
       }
       std::string key = arg.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // --key=value form binds inline; --key value form consumes the next
+      // argument unless it is itself a flag.
+      size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "";  // boolean flag
@@ -85,8 +91,16 @@ int Usage() {
       "  datasets   [--scale S]          the Table 4 dataset registry\n"
       "  run        --platform AB --algo NAME (--in FILE | --dataset NAME)\n"
       "             [--source V] [--k K] [--iterations I] [--no-verify]\n"
+      "             [--trace-out FILE] [--metrics-out FILE]\n"
+      "             [--report-out FILE]\n"
       "  simulate   (run flags) --machines M --threads T\n"
-      "  usability  [--trials N] [--seed S]\n",
+      "  usability  [--trials N] [--seed S]\n"
+      "\n"
+      "flags accept both `--key value` and `--key=value`. Telemetry turns\n"
+      "on automatically for the telemetry output flags above, or globally\n"
+      "via GAB_TRACE=1: --trace-out writes Chrome trace_event JSON (open in\n"
+      "Perfetto), --metrics-out writes Prometheus text exposition,\n"
+      "--report-out writes a flat JSON run report.\n",
       stderr);
   return 1;
 }
@@ -266,6 +280,15 @@ int CmdRun(const Flags& flags, bool simulate) {
                  platform->name().c_str(), AlgorithmName(*algo));
     return 1;
   }
+  // Any telemetry output flag turns collection on for this run (GAB_TRACE
+  // already enabled it at startup when set).
+  const std::string trace_out = flags.Get("trace-out", "");
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  const std::string report_out = flags.Get("report-out", "");
+  if (!trace_out.empty() || !metrics_out.empty() || !report_out.empty()) {
+    obs::Telemetry::Enable();
+  }
+
   WallTimer upload_timer;
   std::optional<CsrGraph> g = LoadGraph(flags);
   if (!g) return 2;
@@ -305,18 +328,48 @@ int CmdRun(const Flags& flags, bool simulate) {
       return 2;
     }
   }
+  ClusterConfig measured_on{
+      1, static_cast<uint32_t>(DefaultPool().num_threads())};
+  ClusterConfig target{
+      static_cast<uint32_t>(flags.GetInt("machines", 16)),
+      static_cast<uint32_t>(flags.GetInt("threads", 32))};
   if (simulate) {
-    ClusterConfig measured_on{
-        1, static_cast<uint32_t>(DefaultPool().num_threads())};
-    ClusterConfig target{
-        static_cast<uint32_t>(flags.GetInt("machines", 16)),
-        static_cast<uint32_t>(flags.GetInt("threads", 32))};
     double t = ExperimentExecutor::SimulateOnCluster(record, *platform,
                                                      measured_on, target);
     table.AddRow({"simulated cluster",
                   std::to_string(target.machines) + " x " +
                       std::to_string(target.threads_per_machine)});
     table.AddRow({"simulated time (s)", Table::Fmt(t, 4)});
+  }
+
+  // Telemetry exports (after the run so the snapshot covers everything).
+  if (!trace_out.empty()) {
+    Status status = obs::WriteChromeTrace(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    table.AddRow({"trace written", trace_out});
+  }
+  if (!metrics_out.empty()) {
+    Status status = obs::WriteMetricsPrometheus(metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    table.AddRow({"metrics written", metrics_out});
+  }
+  if (!report_out.empty()) {
+    obs::RunReport report;
+    // The run report always carries the simulated per-superstep breakdown
+    // (it is what makes the flat JSON useful for regression diffing).
+    report.AddWithSimulation(record, *platform, measured_on, target);
+    Status status = report.WriteJson(report_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    table.AddRow({"report written", report_out});
   }
   table.Print();
   return 0;
