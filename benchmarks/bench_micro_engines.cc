@@ -1,18 +1,28 @@
 // google-benchmark microbenchmarks for the engine primitives: EdgeMap in
 // both directions, a vertex-centric superstep, a GAS iteration, and a
-// dataflow (shuffle) superstep on a fixed graph.
+// dataflow (shuffle) superstep on a fixed graph — followed by a
+// GAB_THREADS ∈ {1, hw} sweep of the PR/WCC subset kernels that reports
+// through the shared ReportSink (BENCH_engines.json) and enforces a soft
+// speedup gate (see main below).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <thread>
 
+#include "bench_common.h"
 #include "engines/dataflow.h"
 #include "engines/gas.h"
 #include "engines/vertex_centric.h"
 #include "engines/vertex_subset.h"
 #include "gen/fft_dg.h"
 #include "graph/builder.h"
+#include "platforms/subset_kernels.h"
+#include "util/timer.h"
 
 namespace gab {
 namespace {
@@ -144,7 +154,106 @@ void BM_DataflowSuperstep(benchmark::State& state) {
 }
 BENCHMARK(BM_DataflowSuperstep);
 
+// ---------------------------------------------------------------------------
+// GAB_THREADS sweep with speedup gate.
+
+/// Best-of-N wall time for one kernel invocation, returning the last run
+/// (results are deterministic, so any run's output/trace is representative).
+template <typename Kernel>
+RunResult TimedBest(const Kernel& kernel, int trials, double* best_seconds) {
+  RunResult result;
+  *best_seconds = 0;
+  for (int t = 0; t < trials; ++t) {
+    WallTimer timer;
+    result = kernel();
+    double s = timer.Seconds();
+    if (t == 0 || s < *best_seconds) *best_seconds = s;
+  }
+  return result;
+}
+
+void RecordSweepPoint(const char* algorithm, size_t threads, double seconds,
+                      RunResult run, uint64_t arcs) {
+  ExperimentRecord record;
+  record.platform = "ENGINE";
+  record.algorithm = algorithm;
+  record.dataset = "fft20k/t" + std::to_string(threads);
+  record.timing.running_seconds = seconds;
+  record.timing.makespan_seconds = seconds;
+  record.throughput_eps =
+      seconds > 0 ? static_cast<double>(arcs) / seconds : 0;
+  record.run = std::move(run);
+  bench::ReportSink::Global().Add(record);
+}
+
+/// Sweeps the PR/WCC subset kernels at 1 worker and at the session's full
+/// worker count, printing the speedups and returning the process exit code:
+/// nonzero when a kernel ran >10% *slower* with all workers on a machine
+/// with at least 4 cores (<1.5x only warns — the gate is soft because
+/// small graphs cap the parallel fraction).
+int RunThreadSweep() {
+  const CsrGraph& g = TestGraph();
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t hi = std::max<size_t>(1, DefaultPool().num_threads());
+  const int trials = 3;
+  AlgoParams params;
+  SubsetKernelOptions options;
+
+  struct KernelSpec {
+    const char* name;
+    RunResult (*fn)(const CsrGraph&, const AlgoParams&,
+                    const SubsetKernelOptions&);
+  };
+  const KernelSpec kernels[] = {{"PR", &SubsetPageRank}, {"WCC", &SubsetWcc}};
+
+  std::printf("\nGAB_THREADS sweep (1 vs %zu workers, hw=%u, best of %d)\n",
+              hi, hw, trials);
+  int rc = 0;
+  for (const KernelSpec& k : kernels) {
+    double t1 = 0, thi = 0;
+    {
+      ScopedThreadPool pool(1);
+      RunResult run = TimedBest(
+          [&] { return k.fn(g, params, options); }, trials, &t1);
+      RecordSweepPoint(k.name, 1, t1, std::move(run), g.num_arcs());
+    }
+    {
+      ScopedThreadPool pool(hi);
+      RunResult run = TimedBest(
+          [&] { return k.fn(g, params, options); }, trials, &thi);
+      RecordSweepPoint(k.name, hi, thi, std::move(run), g.num_arcs());
+    }
+    double speedup = thi > 0 ? t1 / thi : 0;
+    std::printf("  %-4s t1=%.4fs t%zu=%.4fs speedup=%.2fx\n", k.name, t1, hi,
+                thi, speedup);
+    if (hi >= 4 && hw >= 4) {
+      if (speedup < 0.9) {
+        std::fprintf(stderr,
+                     "FAIL: %s slowed down by >10%% at %zu workers "
+                     "(%.2fx)\n",
+                     k.name, hi, speedup);
+        rc = 1;
+      } else if (speedup < 1.5) {
+        std::printf("  WARN: %s speedup %.2fx < 1.5x at %zu workers\n",
+                    k.name, speedup, hi);
+      }
+    } else {
+      std::printf(
+          "  note: speedup gate skipped (workers=%zu, hw=%u; needs >=4)\n",
+          hi, hw);
+    }
+  }
+  if (!bench::ReportSink::Global().Flush()) rc = 1;
+  return rc;
+}
+
 }  // namespace
 }  // namespace gab
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return gab::RunThreadSweep();
+}

@@ -119,10 +119,16 @@ class BlockCentricEngine {
       ++rounds_;
 
       // Exchange: route outboxes into next-round inboxes, recording bytes.
-      uint64_t delivered = 0;
-      for (uint32_t q = 0; q < num_b; ++q) inbox[q].clear();
-      for (uint32_t b = 0; b < num_b; ++b) {
-        for (uint32_t q = 0; q < num_b; ++q) {
+      // One task per destination block q: inbox[q], the trace column
+      // (b, q), and every context's extra_bytes_[q] / outbox_[q] cells
+      // belong to exactly that task, and appending in ascending source
+      // order b keeps the inbox order identical to the serial routing.
+      std::vector<uint64_t> received(num_b, 0);
+      DefaultPool().RunTasks(num_b, [&](size_t qt, size_t) {
+        uint32_t q = static_cast<uint32_t>(qt);
+        inbox[q].clear();
+        uint64_t messages = 0;
+        for (uint32_t b = 0; b < num_b; ++b) {
           if (contexts[b].extra_bytes_[q] != 0) {
             trace_.AddBytes(b, q, contexts[b].extra_bytes_[q]);
             contexts[b].extra_bytes_[q] = 0;
@@ -131,11 +137,14 @@ class BlockCentricEngine {
           if (buf.empty()) continue;
           trace_.AddBytes(b, q,
                           buf.size() * (sizeof(VertexId) + sizeof(Msg)));
-          delivered += buf.size();
+          messages += buf.size();
           inbox[q].insert(inbox[q].end(), buf.begin(), buf.end());
           buf.clear();
         }
-      }
+        received[q] = messages;
+      });
+      uint64_t delivered = 0;
+      for (uint32_t q = 0; q < num_b; ++q) delivered += received[q];
       GAB_COUNT("block.messages", delivered);
       if (delivered == 0) break;
     }

@@ -114,6 +114,9 @@ class DataflowEngine {
     // shuffle_out[p][q]: serialized (dst, M) records from p to q.
     std::vector<std::vector<std::vector<uint8_t>>> shuffle_out(
         num_p, std::vector<std::vector<uint8_t>>(num_p));
+    // Persistent buffer for the per-superstep RDD materialization: copied
+    // from `vertices` in parallel, written by stage 2, then swapped in.
+    std::vector<V> scratch(n);
 
     while (supersteps_ < config_.max_supersteps) {
       FaultPoint("dataflow.superstep");
@@ -151,25 +154,39 @@ class DataflowEngine {
         trace_.AddWork(p, work);
       });
 
-      // Traffic accounting for the shuffle.
-      uint64_t shuffled_bytes = 0;
-      for (uint32_t p = 0; p < num_p; ++p) {
-        for (uint32_t q = 0; q < num_p; ++q) {
+      // Traffic accounting for the shuffle, one task per destination
+      // (trace column (p, q) and the per-q subtotal are task-private).
+      std::vector<uint64_t> received(num_p, 0);
+      DefaultPool().RunTasks(num_p, [&](size_t qt, size_t) {
+        uint32_t q = static_cast<uint32_t>(qt);
+        uint64_t bytes_in = 0;
+        for (uint32_t p = 0; p < num_p; ++p) {
           size_t bytes = shuffle_out[p][q].size();
           if (bytes != 0) {
             trace_.AddBytes(p, q, bytes);
-            shuffled_bytes += bytes;
+            bytes_in += bytes;
           }
         }
-      }
+        received[q] = bytes_in;
+      });
+      uint64_t shuffled_bytes = 0;
+      for (uint32_t q = 0; q < num_p; ++q) shuffled_bytes += received[q];
       peak_shuffle_bytes_ = std::max(peak_shuffle_bytes_, shuffled_bytes);
       GAB_COUNT("dataflow.shuffled_bytes", shuffled_bytes);
       if (shuffled_bytes == 0) break;
 
       // --- Stage 2: per receiving partition, deserialize, sort-reduce by
-      // key, then join into a *new* vertex table.
-      std::vector<V> next = vertices;  // RDD copy-on-write materialization
-      std::fill(active.begin(), active.end(), 0);
+      // key, then join into a *new* vertex table (the RDD copy-on-write
+      // materialization, built in parallel into the scratch buffer).
+      std::vector<V>& next = scratch;
+      ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+        std::copy(vertices.begin() + begin, vertices.begin() + end,
+                  next.begin() + begin);
+      });
+      ParallelFor(active.size(), size_t{1} << 14,
+                  [&](size_t begin, size_t end) {
+                    std::memset(active.data() + begin, 0, end - begin);
+                  });
       DefaultPool().RunTasks(num_p, [&](size_t qt, size_t) {
         uint32_t q = static_cast<uint32_t>(qt);
         uint64_t work = 0;
@@ -213,7 +230,7 @@ class DataflowEngine {
         }
         trace_.AddWork(q, work);
       });
-      vertices = std::move(next);
+      vertices.swap(scratch);
       ++supersteps_;
     }
     return vertices;

@@ -1,11 +1,14 @@
 #ifndef GAB_ENGINES_GAS_H_
 #define GAB_ENGINES_GAS_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "engines/trace.h"
+#include "util/atomic_bitset.h"
 #include "graph/csr_graph.h"
 #include "graph/partition.h"
 #include "obs/telemetry.h"
@@ -66,9 +69,13 @@ class GasEngine {
     Setup(g);
     const uint32_t num_p = config_.num_partitions;
     const VertexId n = g.num_vertices();
-    std::vector<uint8_t> active(n, 1);
-    std::vector<uint8_t> next_active(n, 0);
-    std::vector<V> snapshot;
+    // Activation flags live in atomic bitsets: scatter tasks from several
+    // partitions may activate the same neighbor concurrently, and a relaxed
+    // fetch_or is both race-free and order-independent (set is a set).
+    AtomicBitset active(n);
+    active.SetAll();
+    AtomicBitset next_active(n);
+    std::vector<V> snapshot(n);
 
     while (iterations_ < config_.max_iterations) {
       FaultPoint("gas.iteration");
@@ -76,8 +83,14 @@ class GasEngine {
       GAB_COUNT("gas.iterations", 1);
       trace_.BeginSuperstep();
       // Replica synchronization: neighbors read the previous iteration.
-      snapshot = *values;
-      std::fill(next_active.begin(), next_active.end(), 0);
+      ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+        std::copy(values->begin() + begin, values->begin() + end,
+                  snapshot.begin() + begin);
+      });
+      ParallelFor(next_active.num_words(), 4096,
+                  [&](size_t begin, size_t end) {
+                    next_active.ClearWords(begin, end);
+                  });
 
       DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
         uint32_t p = static_cast<uint32_t>(pt);
@@ -85,7 +98,7 @@ class GasEngine {
         uint64_t gathered = 0;
         std::vector<uint64_t> bytes(num_p, 0);
         for (VertexId v : partitioning_->Members(p)) {
-          if (!active[v]) continue;
+          if (!active.Test(v)) continue;
           ++gathered;
           auto nbrs = g.OutNeighbors(v);
           auto weights =
@@ -110,7 +123,7 @@ class GasEngine {
           for (VertexId u : nbrs) {
             if (program.scatter == nullptr ||
                 program.scatter(v, (*values)[v], u)) {
-              next_active[u] = 1;  // byte-sized flag; racy writes benign
+              next_active.Set(u);
               uint32_t q = partitioning_->PartitionOf(u);
               if (q != p) bytes[q] += sizeof(VertexId);
             }
@@ -127,13 +140,13 @@ class GasEngine {
       if (config_.all_active) {
         // Fixed-iteration algorithms: every vertex runs every iteration
         // until max_iterations bounds the loop.
-        std::fill(active.begin(), active.end(), 1);
+        active.SetAll();
         continue;
       }
-      active.swap(next_active);
+      std::swap(active, next_active);
       bool any = false;
-      for (VertexId v = 0; v < n; ++v) {
-        if (active[v]) {
+      for (size_t w = 0; w < active.num_words(); ++w) {
+        if (active.Word(w) != 0) {
           any = true;
           break;
         }

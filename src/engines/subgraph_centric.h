@@ -1,6 +1,7 @@
 #ifndef GAB_ENGINES_SUBGRAPH_CENTRIC_H_
 #define GAB_ENGINES_SUBGRAPH_CENTRIC_H_
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <thread>
@@ -68,7 +69,9 @@ class SubgraphCentricEngine {
     std::vector<uint64_t> bytes_;
   };
 
-  /// seed(v) appends v's seed tasks (if any) to the given vector.
+  /// seed(v) appends v's seed tasks (if any) to the given vector. Runs in
+  /// parallel over vertex ranges, so it must be pure per vertex; the queue
+  /// still receives seeds in ascending vertex order.
   using SeedFn = std::function<void(VertexId, std::vector<Task>*)>;
   /// process(ctx, task): count matches, optionally spawn children.
   using ProcessFn = std::function<void(TaskContext&, const Task&)>;
@@ -88,24 +91,35 @@ class SubgraphCentricEngine {
     GAB_SPAN("subgraph.phase");
     trace_.BeginSuperstep();  // one logical phase: mining has no supersteps
 
-    // Seed queue.
+    // Seed queue: parallel over fixed vertex ranges, concatenated in chunk
+    // order so the queue matches the serial ascending seeding exactly.
     {
-      std::vector<Task> seeds;
-      for (VertexId v = 0; v < g.num_vertices(); ++v) seed(v, &seeds);
-      queue_.assign(std::make_move_iterator(seeds.begin()),
-                    std::make_move_iterator(seeds.end()));
+      constexpr size_t kSeedGrain = 2048;
+      const size_t n = g.num_vertices();
+      const size_t chunks = (n + kSeedGrain - 1) / kSeedGrain;
+      std::vector<std::vector<Task>> seeded(chunks);
+      DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+        const size_t begin = c * kSeedGrain;
+        const size_t end = std::min(begin + kSeedGrain, n);
+        for (size_t v = begin; v < end; ++v) {
+          seed(static_cast<VertexId>(v), &seeded[c]);
+        }
+      });
+      queue_.clear();
+      for (auto& chunk : seeded) {
+        for (Task& t : chunk) queue_.push_back(std::move(t));
+      }
     }
 
     const size_t workers = DefaultPool().num_threads();
     std::atomic<uint64_t> total{0};
     std::atomic<uint32_t> in_flight{0};
-    // Per-partition accumulation buffers (merged under the queue mutex).
-    std::vector<uint64_t> work(config_.num_partitions, 0);
-    std::vector<uint64_t> bytes(
-        static_cast<size_t>(config_.num_partitions) * config_.num_partitions,
-        0);
+    // Per-worker trace partials, committed once after the pool joins; the
+    // queue mutex is only taken for queue traffic, never for accounting.
+    PerWorkerTrace acc(workers, config_.num_partitions);
 
-    DefaultPool().RunTasks(workers, [&](size_t, size_t) {
+    DefaultPool().RunTasks(workers, [&](size_t, size_t worker) {
+      PerWorkerTrace::Partial& local = acc.partial(worker);
       std::vector<Task> batch;
       TaskContext ctx;
       ctx.engine_ = this;
@@ -137,26 +151,25 @@ class SubgraphCentricEngine {
           std::fill(ctx.bytes_.begin(), ctx.bytes_.end(), 0);
           process(ctx, task);
           total.fetch_add(ctx.count_, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(queue_mu_);
-          work[ctx.home_partition_] += ctx.work_;
+          local.AddWork(ctx.home_partition_, ctx.work_);
           for (uint32_t q = 0; q < config_.num_partitions; ++q) {
             if (ctx.bytes_[q] != 0) {
-              bytes[static_cast<size_t>(ctx.home_partition_) *
-                        config_.num_partitions +
-                    q] += ctx.bytes_[q];
+              local.AddBytes(ctx.home_partition_, q, ctx.bytes_[q]);
             }
           }
-          for (Task& child : ctx.spawned_) {
-            queue_.push_back(std::move(child));
+          if (!ctx.spawned_.empty()) {
+            std::lock_guard<std::mutex> lock(queue_mu_);
+            for (Task& child : ctx.spawned_) {
+              queue_.push_back(std::move(child));
+            }
+            ctx.spawned_.clear();
           }
-          ctx.spawned_.clear();
         }
         in_flight.fetch_sub(1, std::memory_order_acq_rel);
       }
     });
 
-    trace_.MergeWork(work);
-    trace_.MergeBytes(bytes);
+    acc.CommitTo(&trace_);
     return total.load();
   }
 

@@ -1,11 +1,13 @@
 #ifndef GAB_ENGINES_TRACE_H_
 #define GAB_ENGINES_TRACE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "util/status.h"
+#include "util/threading.h"
 
 namespace gab {
 
@@ -73,6 +75,56 @@ class ExecutionTrace {
  private:
   uint32_t num_partitions_;
   std::vector<SuperstepTrace> supersteps_;
+};
+
+/// Per-worker trace partials for one parallel phase. Partition-per-task
+/// engines keep trace rows task-private, but chunk-parallel loops (a real
+/// EdgeMap, a VertexMap over a frontier slice) have chunks that span
+/// partitions, so each worker accumulates into its own full work/bytes
+/// buffers — no synchronization on the hot path — and CommitTo() merges
+/// every worker's partials into the trace's open superstep after the phase
+/// joins. Unsigned sums commute, so the committed totals are bit-identical
+/// for every worker count and schedule: this is the determinism contract
+/// that keeps --trace-out stable across GAB_THREADS.
+class PerWorkerTrace {
+ public:
+  struct Partial {
+    std::vector<uint64_t> work;
+    std::vector<uint64_t> bytes;  // p * P + q, same layout as SuperstepTrace
+
+    void AddWork(uint32_t p, uint64_t units) { work[p] += units; }
+    void AddBytes(uint32_t p, uint32_t q, uint64_t b) {
+      bytes[static_cast<size_t>(p) * work.size() + q] += b;
+    }
+  };
+
+  PerWorkerTrace(size_t num_workers, uint32_t num_partitions) {
+    partials_.resize(num_workers);
+    for (auto& partial : partials_) {
+      partial.work.assign(num_partitions, 0);
+      partial.bytes.assign(
+          static_cast<size_t>(num_partitions) * num_partitions, 0);
+    }
+  }
+
+  /// Constructs sized for the default pool's current worker count.
+  explicit PerWorkerTrace(uint32_t num_partitions)
+      : PerWorkerTrace(DefaultPool().num_threads(), num_partitions) {}
+
+  Partial& partial(size_t worker) { return partials_[worker]; }
+
+  /// Merges all partials into trace's open superstep and resets them.
+  void CommitTo(ExecutionTrace* trace) {
+    for (auto& partial : partials_) {
+      trace->MergeWork(partial.work);
+      trace->MergeBytes(partial.bytes);
+      std::fill(partial.work.begin(), partial.work.end(), 0);
+      std::fill(partial.bytes.begin(), partial.bytes.end(), 0);
+    }
+  }
+
+ private:
+  std::vector<Partial> partials_;
 };
 
 }  // namespace gab

@@ -2,6 +2,7 @@
 #define GAB_ENGINES_VERTEX_CENTRIC_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -84,6 +85,8 @@ class VertexCentricEngine {
     int64_t agg_int_ = 0;
   };
 
+  /// Runs in parallel across vertices: must be a pure per-vertex
+  /// initializer (no shared mutable state).
   using InitFn = std::function<void(VertexId, V&)>;
   using ComputeFn =
       std::function<void(Context&, VertexId, V&, std::span<const M>)>;
@@ -95,14 +98,21 @@ class VertexCentricEngine {
                      const ComputeFn& compute) {
     Setup(g);
     std::vector<V> values(g.num_vertices());
-    for (VertexId v = 0; v < g.num_vertices(); ++v) init(v, values[v]);
+    ParallelFor(g.num_vertices(), 2048, [&](size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        init(static_cast<VertexId>(v), values[v]);
+      }
+    });
 
     const uint32_t num_p = config_.num_partitions;
     while (superstep_ < config_.max_supersteps) {
       FaultPoint("vc.superstep");
       GAB_SPAN_VALUE("vc.superstep", superstep_);
       trace_.BeginSuperstep();
-      std::fill(next_active_.begin(), next_active_.end(), 0);
+      ParallelFor(next_active_.size(), size_t{1} << 14,
+                  [&](size_t begin, size_t end) {
+                    std::memset(next_active_.data() + begin, 0, end - begin);
+                  });
 
       // Compute phase: one task per partition.
       std::vector<double> agg_double(num_p, 0);
@@ -139,12 +149,18 @@ class VertexCentricEngine {
       active_.swap(next_active_);
       bool any_active = messages > 0;
       if (!any_active) {
-        for (uint8_t a : active_) {
-          if (a) {
-            any_active = true;
-            break;
-          }
-        }
+        std::atomic<bool> found{false};
+        ParallelFor(active_.size(), size_t{1} << 14,
+                    [&](size_t begin, size_t end) {
+                      if (found.load(std::memory_order_relaxed)) return;
+                      for (size_t i = begin; i < end; ++i) {
+                        if (active_[i]) {
+                          found.store(true, std::memory_order_relaxed);
+                          return;
+                        }
+                      }
+                    });
+        any_active = found.load(std::memory_order_relaxed);
       }
       ++superstep_;
       if (!any_active) break;
@@ -223,24 +239,23 @@ class VertexCentricEngine {
         }
       });
     }
-    // Traffic accounting (sender-partition rows are task-private).
-    uint64_t total_messages = 0;
-    uint64_t step_bytes = 0;
-    for (uint32_t p = 0; p < num_p; ++p) {
-      for (uint32_t q = 0; q < num_p; ++q) {
-        size_t count = outbox_[p][q].size();
-        if (count == 0) continue;
-        total_messages += count;
-        uint64_t bytes = count * kMsgBytes;
-        trace_.AddBytes(p, q, bytes);
-        step_bytes += bytes;
-      }
-    }
-    peak_message_bytes_ = std::max(peak_message_bytes_, step_bytes);
+    // Traffic accounting folded into the delivery tasks below: each
+    // destination task owns column q of the byte matrix (AddBytes cells
+    // (p, q) for fixed q), so no two tasks touch the same trace cell.
+    // Per-q message counts merge serially after the barrier.
+    std::vector<uint64_t> delivered(num_p, 0);
 
-    // Group per receiving partition, in parallel.
+    // Account traffic and group per receiving partition, in parallel.
     DefaultPool().RunTasks(num_p, [&](size_t qt, size_t) {
       uint32_t q = static_cast<uint32_t>(qt);
+      uint64_t messages = 0;
+      for (uint32_t p = 0; p < num_p; ++p) {
+        size_t count = outbox_[p][q].size();
+        if (count == 0) continue;
+        messages += count;
+        trace_.AddBytes(p, q, count * kMsgBytes);
+      }
+      delivered[q] = messages;
       const auto& members = partitioning_->Members(q);
       auto& offsets = inbox_offsets_[q];
       auto& data = inbox_data_[q];
@@ -292,6 +307,10 @@ class VertexCentricEngine {
       }
       for (uint32_t p = 0; p < num_p; ++p) outbox_[p][q].clear();
     });
+    uint64_t total_messages = 0;
+    for (uint32_t q = 0; q < num_p; ++q) total_messages += delivered[q];
+    peak_message_bytes_ =
+        std::max(peak_message_bytes_, total_messages * kMsgBytes);
     return total_messages;
   }
 

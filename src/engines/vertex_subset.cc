@@ -1,18 +1,86 @@
 #include "engines/vertex_subset.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "obs/telemetry.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
+#include "util/parallel_primitives.h"
 
 namespace gab {
+
+namespace {
+
+/// Serializes lazy materialization across all subsets. Materialization is
+/// rare (engines build representations eagerly), so one process-wide lock
+/// beats a per-instance mutex that would break copyability.
+std::mutex& MaterializeMutex() {
+  static std::mutex& mu = *new std::mutex();
+  return mu;
+}
+
+/// Below this many elements a serial build beats a pool round-trip.
+constexpr size_t kParallelMaterializeThreshold = size_t{1} << 15;
+
+/// Fixed slice size for frontier-parallel loops. Chunk boundaries depend
+/// only on the frontier, never on the worker count — the first half of the
+/// engine's determinism contract (the second is commutative trace merges).
+constexpr size_t kFrontierGrain = 1024;
+
+/// Words per bitmap-pack chunk (256 words = 16384 vertices).
+constexpr size_t kPackWordGrain = 256;
+
+}  // namespace
+
+VertexSubset::VertexSubset(const VertexSubset& other) { *this = other; }
+
+VertexSubset& VertexSubset::operator=(const VertexSubset& other) {
+  if (this == &other) return *this;
+  // The lock freezes other's lazy builders mid-copy.
+  std::lock_guard<std::mutex> lock(MaterializeMutex());
+  num_vertices_ = other.num_vertices_;
+  size_ = other.size_;
+  sparse_ = other.sparse_;
+  dense_ = other.dense_;
+  has_sparse_.store(other.has_sparse_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  has_dense_.store(other.has_dense_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  degree_sum_.store(other.degree_sum_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  return *this;
+}
+
+VertexSubset::VertexSubset(VertexSubset&& other) noexcept {
+  *this = std::move(other);
+}
+
+VertexSubset& VertexSubset::operator=(VertexSubset&& other) noexcept {
+  if (this == &other) return *this;
+  num_vertices_ = other.num_vertices_;
+  size_ = other.size_;
+  sparse_ = std::move(other.sparse_);
+  dense_ = std::move(other.dense_);
+  has_sparse_.store(other.has_sparse_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  has_dense_.store(other.has_dense_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  degree_sum_.store(other.degree_sum_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  other.size_ = 0;
+  other.has_sparse_.store(false, std::memory_order_relaxed);
+  other.has_dense_.store(false, std::memory_order_relaxed);
+  other.degree_sum_.store(kDegreeSumUnknown, std::memory_order_relaxed);
+  return *this;
+}
 
 VertexSubset VertexSubset::Empty(VertexId num_vertices) {
   VertexSubset s;
   s.num_vertices_ = num_vertices;
   s.size_ = 0;
-  s.has_sparse_ = true;
+  s.has_sparse_.store(true, std::memory_order_relaxed);
+  s.degree_sum_.store(0, std::memory_order_relaxed);
   return s;
 }
 
@@ -21,7 +89,7 @@ VertexSubset VertexSubset::Single(VertexId num_vertices, VertexId v) {
   s.num_vertices_ = num_vertices;
   s.size_ = 1;
   s.sparse_ = {v};
-  s.has_sparse_ = true;
+  s.has_sparse_.store(true, std::memory_order_relaxed);
   return s;
 }
 
@@ -30,7 +98,7 @@ VertexSubset VertexSubset::All(VertexId num_vertices) {
   s.num_vertices_ = num_vertices;
   s.size_ = num_vertices;
   s.dense_.assign(num_vertices, 1);
-  s.has_dense_ = true;
+  s.has_dense_.store(true, std::memory_order_relaxed);
   return s;
 }
 
@@ -40,7 +108,7 @@ VertexSubset VertexSubset::FromSparse(VertexId num_vertices,
   s.num_vertices_ = num_vertices;
   s.size_ = vertices.size();
   s.sparse_ = std::move(vertices);
-  s.has_sparse_ = true;
+  s.has_sparse_.store(true, std::memory_order_relaxed);
   return s;
 }
 
@@ -50,7 +118,7 @@ VertexSubset VertexSubset::FromDense(VertexId num_vertices,
   VertexSubset s;
   s.num_vertices_ = num_vertices;
   s.dense_ = std::move(flags);
-  s.has_dense_ = true;
+  s.has_dense_.store(true, std::memory_order_relaxed);
   s.size_ = 0;
   for (uint8_t f : s.dense_) {
     if (f) ++s.size_;
@@ -63,24 +131,50 @@ bool VertexSubset::Contains(VertexId v) const {
 }
 
 const std::vector<VertexId>& VertexSubset::Sparse() const {
-  if (!has_sparse_) {
-    sparse_.clear();
-    sparse_.reserve(size_);
-    for (VertexId v = 0; v < num_vertices_; ++v) {
-      if (dense_[v]) sparse_.push_back(v);
-    }
-    has_sparse_ = true;
-  }
+  if (!has_sparse_.load(std::memory_order_acquire)) MaterializeSparse();
   return sparse_;
 }
 
 const std::vector<uint8_t>& VertexSubset::Dense() const {
-  if (!has_dense_) {
-    dense_.assign(num_vertices_, 0);
-    for (VertexId v : sparse_) dense_[v] = 1;
-    has_dense_ = true;
-  }
+  if (!has_dense_.load(std::memory_order_acquire)) MaterializeDense();
   return dense_;
+}
+
+void VertexSubset::MaterializeSparse() const {
+  std::lock_guard<std::mutex> lock(MaterializeMutex());
+  if (has_sparse_.load(std::memory_order_relaxed)) return;
+  sparse_.clear();
+  if (num_vertices_ >= kParallelMaterializeThreshold) {
+    // Rank-based parallel pack: positions equal the rank of v among set
+    // flags, so the ascending order is worker-count independent.
+    sparse_.resize(size_);
+    ParallelCompact(
+        num_vertices_, [this](size_t i) { return dense_[i] != 0; },
+        [this](size_t i, size_t pos) {
+          sparse_[pos] = static_cast<VertexId>(i);
+        });
+  } else {
+    sparse_.reserve(size_);
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      if (dense_[v]) sparse_.push_back(v);
+    }
+  }
+  has_sparse_.store(true, std::memory_order_release);
+}
+
+void VertexSubset::MaterializeDense() const {
+  std::lock_guard<std::mutex> lock(MaterializeMutex());
+  if (has_dense_.load(std::memory_order_relaxed)) return;
+  dense_.assign(num_vertices_, 0);
+  if (sparse_.size() >= kParallelMaterializeThreshold) {
+    // Scatter of unique ids: every write targets a distinct byte.
+    ParallelFor(sparse_.size(), kFrontierGrain, [this](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) dense_[sparse_[i]] = 1;
+    });
+  } else {
+    for (VertexId v : sparse_) dense_[v] = 1;
+  }
+  has_dense_.store(true, std::memory_order_release);
 }
 
 VertexSubsetEngine::VertexSubsetEngine(const CsrGraph& g,
@@ -91,6 +185,26 @@ VertexSubsetEngine::VertexSubsetEngine(const CsrGraph& g,
                                                    strategy)),
       trace_(num_partitions),
       out_flags_(g.num_vertices()) {}
+
+uint64_t VertexSubsetEngine::FrontierDegreeSum(
+    const VertexSubset& frontier) const {
+  uint64_t cached = frontier.out_degree_sum();
+  if (cached != VertexSubset::kDegreeSumUnknown) return cached;
+  const auto& sparse = frontier.Sparse();
+  const size_t chunks = (sparse.size() + kFrontierGrain - 1) / kFrontierGrain;
+  std::vector<uint64_t> partial(chunks, 0);
+  DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+    const size_t begin = c * kFrontierGrain;
+    const size_t end = std::min(begin + kFrontierGrain, sparse.size());
+    uint64_t sum = 0;
+    for (size_t i = begin; i < end; ++i) sum += graph_->OutDegree(sparse[i]);
+    partial[c] = sum;
+  });
+  uint64_t total = 0;
+  for (uint64_t p : partial) total += p;
+  frontier.set_out_degree_sum(total);
+  return total;
+}
 
 VertexSubset VertexSubsetEngine::EdgeMap(const VertexSubset& frontier,
                                          const Functors& f,
@@ -106,8 +220,7 @@ VertexSubset VertexSubsetEngine::EdgeMap(const VertexSubset& frontier,
   }
   EdgeMapDirection dir = options.direction;
   if (dir == EdgeMapDirection::kAuto) {
-    uint64_t frontier_degree = 0;
-    for (VertexId v : frontier.Sparse()) frontier_degree += graph_->OutDegree(v);
+    uint64_t frontier_degree = FrontierDegreeSum(frontier);
     uint64_t threshold =
         (graph_->num_arcs() + graph_->num_vertices()) /
         options.threshold_denominator;
@@ -123,61 +236,54 @@ VertexSubset VertexSubsetEngine::EdgeMap(const VertexSubset& frontier,
 VertexSubset VertexSubsetEngine::EdgeMapPush(const VertexSubset& frontier,
                                              const Functors& f) {
   const uint32_t num_p = partitioning_->num_partitions();
-  // Bucket the frontier by owning partition so each partition task scans
-  // only its own sources (and trace rows stay task-private).
-  std::vector<std::vector<VertexId>> by_partition(num_p);
-  for (VertexId v : frontier.Sparse()) {
-    by_partition[partitioning_->PartitionOf(v)].push_back(v);
-  }
+  // Materialized at the parallel boundary (thread-safe, parallel build).
+  const auto& sparse = frontier.Sparse();
+  ParallelFor(out_flags_.num_words(), 4096, [this](size_t b, size_t e) {
+    out_flags_.ClearWords(b, e);
+  });
 
-  out_flags_.Clear();
-  std::vector<std::vector<VertexId>> results(num_p);
-  DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
-    uint32_t p = static_cast<uint32_t>(pt);
-    uint64_t work = 0;
-    std::vector<uint64_t> bytes(num_p, 0);
-    auto& out = results[p];
-    for (VertexId s : by_partition[p]) {
+  PerWorkerTrace acc(num_p);
+  const size_t chunks = (sparse.size() + kFrontierGrain - 1) / kFrontierGrain;
+  DefaultPool().RunTasks(chunks, [&](size_t c, size_t worker) {
+    PerWorkerTrace::Partial& local = acc.partial(worker);
+    const size_t begin = c * kFrontierGrain;
+    const size_t end = std::min(begin + kFrontierGrain, sparse.size());
+    for (size_t idx = begin; idx < end; ++idx) {
+      VertexId s = sparse[idx];
+      uint32_t p = partitioning_->PartitionOf(s);
       auto nbrs = graph_->OutNeighbors(s);
       auto weights = graph_->has_weights() ? graph_->OutWeights(s)
                                            : std::span<const Weight>{};
-      work += 1 + nbrs.size();
+      local.AddWork(p, 1 + nbrs.size());
       for (size_t i = 0; i < nbrs.size(); ++i) {
         VertexId d = nbrs[i];
         uint32_t q = partitioning_->PartitionOf(d);
-        if (q != p) bytes[q] += sizeof(VertexId) + sizeof(uint64_t);
+        if (q != p) local.AddBytes(p, q, sizeof(VertexId) + sizeof(uint64_t));
         if (f.cond && !f.cond(d)) continue;
         Weight w = weights.empty() ? Weight{1} : weights[i];
-        if (f.update_atomic(s, d, w) && out_flags_.TestAndSet(d)) {
-          out.push_back(d);
-        }
+        // CAS-style update; insertion deduplicates through the bitmap, and
+        // membership is a set property, so which thread sets the bit does
+        // not affect the packed output.
+        if (f.update_atomic(s, d, w)) out_flags_.Set(d);
       }
     }
-    trace_.AddWork(p, work);
-    for (uint32_t q = 0; q < num_p; ++q) {
-      if (bytes[q] != 0) trace_.AddBytes(p, q, bytes[q]);
-    }
   });
-  size_t total = 0;
-  for (const auto& r : results) total += r.size();
-  std::vector<VertexId> merged;
-  merged.reserve(total);
-  for (auto& r : results) {
-    merged.insert(merged.end(), r.begin(), r.end());
-  }
-  return VertexSubset::FromSparse(graph_->num_vertices(), std::move(merged));
+  acc.CommitTo(&trace_);
+  return PackOutFlags();
 }
 
 VertexSubset VertexSubsetEngine::EdgeMapPull(const VertexSubset& frontier,
                                              const Functors& f) {
   const uint32_t num_p = partitioning_->num_partitions();
+  // Materialized at the parallel boundary (thread-safe, parallel build).
   const auto& in_frontier = frontier.Dense();
-  std::vector<std::vector<VertexId>> results(num_p);
+  ParallelFor(out_flags_.num_words(), 4096, [this](size_t b, size_t e) {
+    out_flags_.ClearWords(b, e);
+  });
   DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
     uint32_t p = static_cast<uint32_t>(pt);
     uint64_t work = 0;
     std::vector<uint64_t> bytes(num_p, 0);
-    auto& out = results[p];
     for (VertexId d : partitioning_->Members(p)) {
       if (f.cond && !f.cond(d)) continue;
       auto nbrs = graph_->InNeighbors(d);
@@ -198,21 +304,61 @@ VertexSubset VertexSubsetEngine::EdgeMapPull(const VertexSubset& frontier,
         // for first-writer-wins updates such as BFS parent assignment).
         if (f.pull_early_exit && f.cond && !f.cond(d)) break;
       }
-      if (added) out.push_back(d);
+      // Owner-computes: d belongs to exactly this task, no contention.
+      if (added) out_flags_.Set(d);
     }
     trace_.AddWork(p, work);
     for (uint32_t q = 0; q < num_p; ++q) {
       if (bytes[q] != 0) trace_.AddBytes(p, q, bytes[q]);
     }
   });
-  size_t total = 0;
-  for (const auto& r : results) total += r.size();
-  std::vector<VertexId> merged;
-  merged.reserve(total);
-  for (auto& r : results) {
-    merged.insert(merged.end(), r.begin(), r.end());
-  }
-  return VertexSubset::FromSparse(graph_->num_vertices(), std::move(merged));
+  return PackOutFlags();
+}
+
+VertexSubset VertexSubsetEngine::PackOutFlags() {
+  const VertexId n = graph_->num_vertices();
+  const size_t num_words = out_flags_.num_words();
+  const size_t chunks = (num_words + kPackWordGrain - 1) / kPackWordGrain;
+  if (chunks == 0) return VertexSubset::Empty(n);
+  std::vector<size_t> offsets(chunks + 1, 0);
+  DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+    const size_t begin = c * kPackWordGrain;
+    const size_t end = std::min(begin + kPackWordGrain, num_words);
+    size_t count = 0;
+    for (size_t w = begin; w < end; ++w) {
+      count += static_cast<size_t>(__builtin_popcountll(out_flags_.Word(w)));
+    }
+    offsets[c + 1] = count;
+  });
+  for (size_t c = 0; c < chunks; ++c) offsets[c + 1] += offsets[c];
+  const size_t total = offsets[chunks];
+  if (total == 0) return VertexSubset::Empty(n);
+
+  std::vector<VertexId> merged(total);
+  std::vector<uint64_t> degree_partial(chunks, 0);
+  DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+    const size_t begin = c * kPackWordGrain;
+    const size_t end = std::min(begin + kPackWordGrain, num_words);
+    size_t pos = offsets[c];
+    uint64_t degree = 0;
+    for (size_t w = begin; w < end; ++w) {
+      uint64_t bits = out_flags_.Word(w);
+      while (bits != 0) {
+        VertexId v = static_cast<VertexId>(
+            (w << 6) + static_cast<size_t>(__builtin_ctzll(bits)));
+        merged[pos++] = v;
+        degree += graph_->OutDegree(v);
+        bits &= bits - 1;
+      }
+    }
+    degree_partial[c] = degree;
+  });
+  uint64_t degree_sum = 0;
+  for (uint64_t d : degree_partial) degree_sum += d;
+  VertexSubset out = VertexSubset::FromSparse(n, std::move(merged));
+  // The measured degree sum the next kAuto decision reads for free.
+  out.set_out_degree_sum(degree_sum);
+  return out;
 }
 
 void VertexSubsetEngine::VertexMap(const VertexSubset& subset,
@@ -223,19 +369,20 @@ void VertexSubsetEngine::VertexMap(const VertexSubset& subset,
   GAB_SPAN_VALUE("ligra.vertex_map", vs.size());
   trace_.BeginSuperstep();
   const uint32_t num_p = partitioning_->num_partitions();
-  std::vector<std::vector<VertexId>> by_partition(num_p);
-  for (VertexId v : vs) {
-    by_partition[partitioning_->PartitionOf(v)].push_back(v);
-  }
-  DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
-    uint32_t p = static_cast<uint32_t>(pt);
-    uint64_t work = 0;
-    for (VertexId v : by_partition[p]) {
+  PerWorkerTrace acc(num_p);
+  const size_t chunks = (vs.size() + kFrontierGrain - 1) / kFrontierGrain;
+  DefaultPool().RunTasks(chunks, [&](size_t c, size_t worker) {
+    PerWorkerTrace::Partial& local = acc.partial(worker);
+    const size_t begin = c * kFrontierGrain;
+    const size_t end = std::min(begin + kFrontierGrain, vs.size());
+    for (size_t i = begin; i < end; ++i) {
+      VertexId v = vs[i];
       fn(v);
-      work += 1 + (charge_degree ? graph_->OutDegree(v) : 0);
+      local.AddWork(partitioning_->PartitionOf(v),
+                    1 + (charge_degree ? graph_->OutDegree(v) : 0));
     }
-    trace_.AddWork(p, work);
   });
+  acc.CommitTo(&trace_);
 }
 
 VertexSubset VertexSubsetEngine::VertexFilter(
@@ -245,20 +392,27 @@ VertexSubset VertexSubsetEngine::VertexFilter(
   GAB_SPAN_VALUE("ligra.vertex_filter", vs.size());
   trace_.BeginSuperstep();
   const uint32_t num_p = partitioning_->num_partitions();
-  std::vector<std::vector<VertexId>> by_partition(num_p);
-  for (VertexId v : vs) {
-    by_partition[partitioning_->PartitionOf(v)].push_back(v);
-  }
-  std::vector<std::vector<VertexId>> results(num_p);
-  DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
-    uint32_t p = static_cast<uint32_t>(pt);
-    for (VertexId v : by_partition[p]) {
-      if (fn(v)) results[p].push_back(v);
+  PerWorkerTrace acc(num_p);
+  const size_t chunks = (vs.size() + kFrontierGrain - 1) / kFrontierGrain;
+  std::vector<std::vector<VertexId>> kept(chunks);
+  DefaultPool().RunTasks(chunks, [&](size_t c, size_t worker) {
+    PerWorkerTrace::Partial& local = acc.partial(worker);
+    const size_t begin = c * kFrontierGrain;
+    const size_t end = std::min(begin + kFrontierGrain, vs.size());
+    for (size_t i = begin; i < end; ++i) {
+      VertexId v = vs[i];
+      local.AddWork(partitioning_->PartitionOf(v), 1);
+      if (fn(v)) kept[c].push_back(v);
     }
-    trace_.AddWork(p, by_partition[p].size());
   });
+  acc.CommitTo(&trace_);
+  // Concatenation in chunk order preserves the input order regardless of
+  // how chunks were scheduled.
+  size_t total = 0;
+  for (const auto& k : kept) total += k.size();
   std::vector<VertexId> merged;
-  for (auto& r : results) merged.insert(merged.end(), r.begin(), r.end());
+  merged.reserve(total);
+  for (const auto& k : kept) merged.insert(merged.end(), k.begin(), k.end());
   return VertexSubset::FromSparse(graph_->num_vertices(), std::move(merged));
 }
 

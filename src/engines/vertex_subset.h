@@ -1,6 +1,7 @@
 #ifndef GAB_ENGINES_VERTEX_SUBSET_H_
 #define GAB_ENGINES_VERTEX_SUBSET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -15,10 +16,27 @@
 namespace gab {
 
 /// A set of vertices with dual sparse (id list) / dense (bitmap)
-/// representation — Ligra's core data structure. Conversions are lazy.
+/// representation — Ligra's core data structure. Conversions are lazy but
+/// thread-safe: the first reader materializes the missing form under a
+/// lock with an acquire/release flag handoff, so concurrent Sparse() /
+/// Dense() / Contains() calls from pool workers are race-free. Engines
+/// still materialize eagerly (and in parallel) at the parallel boundary;
+/// the lock is the safety net, not the fast path.
+///
+/// Sparse ids must be unique; engine-produced subsets are (frontier
+/// insertion deduplicates through an atomic bitmap) and list order is
+/// always ascending, independent of the worker count.
 class VertexSubset {
  public:
+  /// Cached out-degree sum sentinel (see out_degree_sum()).
+  static constexpr uint64_t kDegreeSumUnknown = ~uint64_t{0};
+
   VertexSubset() : num_vertices_(0) {}
+
+  VertexSubset(const VertexSubset& other);
+  VertexSubset& operator=(const VertexSubset& other);
+  VertexSubset(VertexSubset&& other) noexcept;
+  VertexSubset& operator=(VertexSubset&& other) noexcept;
 
   static VertexSubset Empty(VertexId num_vertices);
   static VertexSubset Single(VertexId num_vertices, VertexId v);
@@ -35,16 +53,32 @@ class VertexSubset {
   /// O(1) with the dense form; materializes it on first use.
   bool Contains(VertexId v) const;
 
-  /// Sparse id list (materialized on demand, unsorted).
+  /// Sparse id list (materialized on demand, ascending).
   const std::vector<VertexId>& Sparse() const;
   /// Dense flag array (materialized on demand).
   const std::vector<uint8_t>& Dense() const;
 
+  /// Measured sum of members' out-degrees, stamped by the EdgeMap that
+  /// built this subset (or by the first direction decision that needed
+  /// it); kDegreeSumUnknown until then. Lets kAuto skip the degree scan.
+  uint64_t out_degree_sum() const {
+    return degree_sum_.load(std::memory_order_relaxed);
+  }
+  void set_out_degree_sum(uint64_t sum) const {
+    degree_sum_.store(sum, std::memory_order_relaxed);
+  }
+
  private:
+  /// Serialized (static mutex), double-checked builders for the lazy path;
+  /// large subsets build through the parallel primitives.
+  void MaterializeSparse() const;
+  void MaterializeDense() const;
+
   VertexId num_vertices_;
   size_t size_ = 0;
-  mutable bool has_sparse_ = false;
-  mutable bool has_dense_ = false;
+  mutable std::atomic<bool> has_sparse_{false};
+  mutable std::atomic<bool> has_dense_{false};
+  mutable std::atomic<uint64_t> degree_sum_{kDegreeSumUnknown};
   mutable std::vector<VertexId> sparse_;
   mutable std::vector<uint8_t> dense_;
 };
@@ -66,6 +100,16 @@ struct EdgeMapOptions {
 /// Ligra-style engine: EdgeMap/VertexMap over vertex subsets with
 /// direction optimization, running on the default thread pool, recording a
 /// partition-granular trace for the cluster simulator.
+///
+/// Parallel execution model:
+///  - push runs CAS-based over fixed-grain slices of the sparse frontier
+///    (update_atomic + atomic-bitmap insertion), then packs the bitmap
+///    into the ascending output list in parallel;
+///  - pull runs owner-computes over partitions (no atomics, per-vertex
+///    early exit) against the dense bitmap;
+///  - trace work/bytes aggregate per worker and merge after the barrier
+///    (PerWorkerTrace), so results, frontier order, and traces are
+///    bit-identical for every GAB_THREADS.
 class VertexSubsetEngine {
  public:
   struct Functors {
@@ -98,7 +142,8 @@ class VertexSubsetEngine {
                  const std::function<void(VertexId)>& fn,
                  bool charge_degree = false);
 
-  /// VertexMap variant returning the members for which fn returned true.
+  /// VertexMap variant returning the members for which fn returned true,
+  /// in input order (stable across worker counts).
   VertexSubset VertexFilter(const VertexSubset& subset,
                             const std::function<bool(VertexId)>& fn);
 
@@ -113,6 +158,16 @@ class VertexSubsetEngine {
  private:
   VertexSubset EdgeMapPush(const VertexSubset& frontier, const Functors& f);
   VertexSubset EdgeMapPull(const VertexSubset& frontier, const Functors& f);
+
+  /// Frontier out-degree sum for the kAuto decision: cached stamp if the
+  /// producing EdgeMap measured it, else one parallel fixed-grain reduce
+  /// (cached back on the subset for the next call).
+  uint64_t FrontierDegreeSum(const VertexSubset& frontier) const;
+
+  /// Packs out_flags_ into an ascending sparse frontier (parallel,
+  /// fixed word-chunk boundaries → order and content independent of the
+  /// worker count), measuring its out-degree sum along the way.
+  VertexSubset PackOutFlags();
 
   const CsrGraph* graph_;
   std::unique_ptr<Partitioning> partitioning_;

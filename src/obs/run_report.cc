@@ -3,9 +3,12 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "obs/exporters.h"
 #include "obs/metrics_registry.h"
+#include "util/threading.h"
 
 namespace gab {
 namespace obs {
@@ -113,6 +116,15 @@ std::string RunReport::ToJson() const {
     if (i > 0) out += ',';
     out += '"' + PrometheusName(snapshot.counters[i].first) + "_total\":";
     AppendFormat(&out, "%" PRIu64, snapshot.counters[i].second);
+  }
+  // Execution environment, so BENCH_*.json trajectories are comparable
+  // across machines and thread counts.
+  out += "},\"environment\":{";
+  AppendFormat(&out, "\"threads\":%zu", DefaultPool().num_threads());
+  AppendFormat(&out, ",\"hardware_concurrency\":%u",
+               std::thread::hardware_concurrency());
+  if (const char* env = std::getenv("GAB_THREADS")) {
+    out += ",\"gab_threads\":\"" + JsonEscape(env) + "\"";
   }
   out += "}}";
   return out;

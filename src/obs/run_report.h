@@ -33,8 +33,12 @@ struct RunReportEntry {
 /// report keyed by platform/algorithm/dataset:
 ///
 ///   {"entries": [{"platform": "PP", "algorithm": "PR", ...}, ...],
-///    "counters": {"gab_vc_messages_total": 123, ...}}
+///    "counters": {"gab_vc_messages_total": 123, ...},
+///    "environment": {"threads": 8, "hardware_concurrency": 8, ...}}
 ///
+/// The environment object records the worker-thread count (and the raw
+/// GAB_THREADS setting when present), so BENCH_*.json trajectories stay
+/// comparable across machines and thread counts.
 /// The counters object is the metrics-registry snapshot at ToJson() time
 /// (Prometheus-style names), so a report ties one run's measurements to
 /// the telemetry it generated. Content is deterministic for a

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "algos/core_decomposition.h"
+#include "util/threading.h"
 
 namespace gab {
 
@@ -49,15 +50,24 @@ std::vector<std::vector<VertexId>> BuildOrientedAdjacency(
   const VertexId n = g.num_vertices();
   std::vector<VertexId> order = DegeneracyOrder(g);
   rank->assign(n, 0);
-  for (VertexId i = 0; i < n; ++i) (*rank)[order[i]] = i;
-  std::vector<std::vector<VertexId>> oriented(n);
-  for (VertexId v = 0; v < n; ++v) {
-    for (VertexId u : g.OutNeighbors(v)) {
-      if ((*rank)[u] > (*rank)[v]) oriented[v].push_back(u);
+  ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      (*rank)[order[i]] = static_cast<VertexId>(i);
     }
-    std::sort(oriented[v].begin(), oriented[v].end(),
-              [&](VertexId a, VertexId b) { return (*rank)[a] < (*rank)[b]; });
-  }
+  });
+  std::vector<std::vector<VertexId>> oriented(n);
+  // Each task writes only its own oriented[v] rows.
+  ParallelFor(n, 1024, [&](size_t begin, size_t end) {
+    for (size_t vi = begin; vi < end; ++vi) {
+      VertexId v = static_cast<VertexId>(vi);
+      for (VertexId u : g.OutNeighbors(v)) {
+        if ((*rank)[u] > (*rank)[v]) oriented[v].push_back(u);
+      }
+      std::sort(
+          oriented[v].begin(), oriented[v].end(),
+          [&](VertexId a, VertexId b) { return (*rank)[a] < (*rank)[b]; });
+    }
+  });
   return oriented;
 }
 

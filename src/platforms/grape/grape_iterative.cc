@@ -1,6 +1,9 @@
+#include <atomic>
+
 #include "engines/block_centric.h"
 #include "platforms/common.h"
 #include "platforms/grape/grape_algos.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace gab {
@@ -80,8 +83,14 @@ RunResult GrapeLpa(const CsrGraph& g, const AlgoParams& params) {
   Engine engine(config);
 
   std::vector<uint32_t> label(n);
-  for (VertexId v = 0; v < n; ++v) label[v] = v;
-  std::vector<uint32_t> ghost(n, 0);  // labels of remote boundary vertices
+  ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) label[v] = static_cast<uint32_t>(v);
+  });
+  // Labels of remote boundary vertices. Several blocks receive the same
+  // source's boundary message in a round and each writes its label here;
+  // the writes all carry the identical round-consistent value, so relaxed
+  // atomics make the sharing race-free without changing any result.
+  std::vector<std::atomic<uint32_t>> ghost(n);
   std::vector<uint32_t> next(n);
 
   auto send_boundary = [&](Engine::BlockContext& ctx) {
@@ -112,7 +121,8 @@ RunResult GrapeLpa(const CsrGraph& g, const AlgoParams& params) {
         uint32_t round = engine.rounds_run();
         for (const auto& [dst, packed] : inbox) {
           (void)dst;
-          ghost[packed >> 32] = static_cast<uint32_t>(packed);
+          ghost[packed >> 32].store(static_cast<uint32_t>(packed),
+                                    std::memory_order_relaxed);
         }
         ctx.AddWork(inbox.size());
         if (scratch == nullptr) scratch = new std::vector<uint32_t>();
@@ -124,8 +134,9 @@ RunResult GrapeLpa(const CsrGraph& g, const AlgoParams& params) {
           }
           scratch->clear();
           for (VertexId u : nbrs) {
-            scratch->push_back(ctx.BlockOf(u) == ctx.block() ? label[u]
-                                                             : ghost[u]);
+            scratch->push_back(ctx.BlockOf(u) == ctx.block()
+                                   ? label[u]
+                                   : ghost[u].load(std::memory_order_relaxed));
           }
           next[v] = LpaMode(*scratch);
           ctx.AddWork(nbrs.size());

@@ -344,10 +344,13 @@ RunResult GrapeCd(const CsrGraph& g, const AlgoParams& params) {
         ++local_removed;
         ctx.AddWork(1 + g.OutDegree(v));
         for (VertexId u : g.OutNeighbors(v)) {
-          if (!alive[u]) continue;
           if (ctx.BlockOf(u) == ctx.block()) {
+            if (!alive[u]) continue;
             if (--alive_degree[u] <= k) queue.push_back(u);
           } else {
+            // Always notify the remote owner, which drops decrements for
+            // dead vertices; peeking at remote alive[] here would race
+            // with the owner block and make traffic timing-dependent.
             ctx.SendTo(u, 1);
           }
         }

@@ -1,6 +1,7 @@
 #include "engines/dataflow.h"
 #include "platforms/common.h"
 #include "platforms/graphx/gx_algos.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace gab {
@@ -57,10 +58,13 @@ RunResult GraphxPageRank(const CsrGraph& g, const AlgoParams& params) {
   // keep their initial rank; patch them from the closed-form base series.
   RunResult result;
   result.output.doubles.resize(n);
-  for (VertexId v = 0; v < n; ++v) {
-    result.output.doubles[v] =
-        g.OutDegree(v) == 0 ? bases[iterations] : values[v].rank;
-  }
+  ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      result.output.doubles[v] = g.OutDegree(static_cast<VertexId>(v)) == 0
+                                     ? bases[iterations]
+                                     : values[v].rank;
+    }
+  });
   result.seconds = timer.Seconds();
   result.trace = engine.trace();
   result.peak_extra_bytes = engine.peak_shuffle_bytes();
@@ -80,7 +84,11 @@ RunResult GraphxLpa(const CsrGraph& g, const AlgoParams& params) {
   Engine engine(config);
 
   std::vector<GxLpaValue> initial(n);
-  for (VertexId v = 0; v < n; ++v) initial[v] = {v, 0};
+  ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      initial[v] = {static_cast<uint32_t>(v), 0};
+    }
+  });
 
   WallTimer timer;
   std::vector<GxLpaValue> values = engine.RunPregelMulti(
@@ -101,7 +109,11 @@ RunResult GraphxLpa(const CsrGraph& g, const AlgoParams& params) {
 
   RunResult result;
   result.output.ints.resize(n);
-  for (VertexId v = 0; v < n; ++v) result.output.ints[v] = values[v].label;
+  ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      result.output.ints[v] = values[v].label;
+    }
+  });
   result.seconds = timer.Seconds();
   result.trace = engine.trace();
   result.peak_extra_bytes = engine.peak_shuffle_bytes();

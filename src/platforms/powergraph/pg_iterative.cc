@@ -1,6 +1,7 @@
 #include "engines/gas.h"
 #include "platforms/common.h"
 #include "platforms/powergraph/pg_algos.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace gab {
@@ -52,7 +53,9 @@ RunResult PowerGraphLpa(const CsrGraph& g, const AlgoParams& params) {
   Engine engine(config);
 
   std::vector<uint32_t> label(n);
-  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) label[v] = static_cast<uint32_t>(v);
+  });
   std::vector<uint32_t> next(n);
 
   WallTimer timer;

@@ -18,13 +18,18 @@ namespace {
 // TC implementations use to bound per-vertex wedge counts by O(sqrt(m)).
 std::vector<std::vector<VertexId>> DegreeOrientedAdjacency(const CsrGraph& g) {
   std::vector<std::vector<VertexId>> fwd(g.num_vertices());
-  for (VertexId u = 0; u < g.num_vertices(); ++u) {
-    size_t du = g.OutDegree(u);
-    for (VertexId v : g.OutNeighbors(u)) {
-      size_t dv = g.OutDegree(v);
-      if (dv > du || (dv == du && v > u)) fwd[u].push_back(v);
+  // Each task writes only its own fwd[u] rows.
+  ParallelFor(g.num_vertices(), 1024, [&](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      size_t du = g.OutDegree(static_cast<VertexId>(u));
+      for (VertexId v : g.OutNeighbors(static_cast<VertexId>(u))) {
+        size_t dv = g.OutDegree(v);
+        if (dv > du || (dv == du && v > static_cast<VertexId>(u))) {
+          fwd[u].push_back(v);
+        }
+      }
     }
-  }
+  });
   return fwd;
 }
 

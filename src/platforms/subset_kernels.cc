@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "platforms/common.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace gab {
@@ -32,6 +33,10 @@ RunResult Finish(VertexSubsetEngine& engine, double seconds,
   return result;
 }
 
+/// Fixed grain for vertex-parallel init/readback loops (pure per-vertex
+/// writes, so chunk boundaries do not affect results).
+constexpr size_t kVertexGrain = 4096;
+
 }  // namespace
 
 RunResult SubsetPageRank(const CsrGraph& g, const AlgoParams& params,
@@ -57,7 +62,9 @@ RunResult SubsetPageRank(const CsrGraph& g, const AlgoParams& params,
   WallTimer timer;
   VertexSubset all = VertexSubset::All(n);
   for (uint32_t t = 1; t <= params.iterations; ++t) {
-    std::fill(next.begin(), next.end(), bases[t]);
+    ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+      std::fill(next.begin() + begin, next.begin() + end, bases[t]);
+    });
     engine.EdgeMap(all, f, mo);
     rank.swap(next);
   }
@@ -71,7 +78,9 @@ RunResult SubsetLpa(const CsrGraph& g, const AlgoParams& params,
   VertexSubsetEngine engine = MakeEngine(g, options);
   const VertexId n = g.num_vertices();
   std::vector<uint32_t> label(n);
-  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) label[v] = static_cast<uint32_t>(v);
+  });
   std::vector<uint32_t> next(n);
 
   WallTimer timer;
@@ -106,9 +115,11 @@ RunResult SubsetSssp(const CsrGraph& g, const AlgoParams& params,
   VertexSubsetEngine engine = MakeEngine(g, options);
   const VertexId n = g.num_vertices();
   auto dist = std::make_unique<std::atomic<uint64_t>[]>(n);
-  for (VertexId v = 0; v < n; ++v) {
-    dist[v].store(kInfDist, std::memory_order_relaxed);
-  }
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      dist[v].store(kInfDist, std::memory_order_relaxed);
+    }
+  });
   dist[params.source].store(0, std::memory_order_relaxed);
 
   VertexSubsetEngine::Functors f;
@@ -127,9 +138,11 @@ RunResult SubsetSssp(const CsrGraph& g, const AlgoParams& params,
   }
   AlgoOutput out;
   out.ints.resize(n);
-  for (VertexId v = 0; v < n; ++v) {
-    out.ints[v] = dist[v].load(std::memory_order_relaxed);
-  }
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      out.ints[v] = dist[v].load(std::memory_order_relaxed);
+    }
+  });
   return Finish(engine, timer.Seconds(), std::move(out));
 }
 
@@ -138,9 +151,11 @@ RunResult SubsetWcc(const CsrGraph& g, const AlgoParams& params,
   VertexSubsetEngine engine = MakeEngine(g, options);
   const VertexId n = g.num_vertices();
   auto label = std::make_unique<std::atomic<uint64_t>[]>(n);
-  for (VertexId v = 0; v < n; ++v) {
-    label[v].store(v, std::memory_order_relaxed);
-  }
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      label[v].store(v, std::memory_order_relaxed);
+    }
+  });
   VertexSubsetEngine::Functors f;
   f.update_atomic = [&](VertexId s, VertexId dst, Weight) {
     return AtomicMinU64(&label[dst], label[s].load(std::memory_order_relaxed));
@@ -156,9 +171,11 @@ RunResult SubsetWcc(const CsrGraph& g, const AlgoParams& params,
   (void)params;
   AlgoOutput out;
   out.ints.resize(n);
-  for (VertexId v = 0; v < n; ++v) {
-    out.ints[v] = label[v].load(std::memory_order_relaxed);
-  }
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      out.ints[v] = label[v].load(std::memory_order_relaxed);
+    }
+  });
   return Finish(engine, timer.Seconds(), std::move(out));
 }
 
@@ -169,9 +186,11 @@ RunResult SubsetBc(const CsrGraph& g, const AlgoParams& params,
   constexpr uint32_t kUnvisited = 0xffffffffu;
   std::vector<uint32_t> level(n, kUnvisited);
   auto sigma = std::make_unique<std::atomic<double>[]>(n);
-  for (VertexId v = 0; v < n; ++v) {
-    sigma[v].store(0.0, std::memory_order_relaxed);
-  }
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      sigma[v].store(0.0, std::memory_order_relaxed);
+    }
+  });
   std::vector<uint8_t> visited(n, 0);
 
   WallTimer timer;
@@ -197,10 +216,13 @@ RunResult SubsetBc(const CsrGraph& g, const AlgoParams& params,
     VertexSubset next = engine.EdgeMap(levels.back(), fwd, mo);
     if (next.empty()) break;
     ++depth;
-    for (VertexId v : next.Sparse()) {
-      visited[v] = 1;
-      level[v] = depth;
-    }
+    const auto& frontier = next.Sparse();
+    ParallelFor(frontier.size(), kVertexGrain, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        visited[frontier[i]] = 1;
+        level[frontier[i]] = depth;
+      }
+    });
     levels.push_back(std::move(next));
   }
 
@@ -234,9 +256,12 @@ RunResult SubsetCd(const CsrGraph& g, const AlgoParams& params,
   VertexSubsetEngine engine = MakeEngine(g, options);
   const VertexId n = g.num_vertices();
   auto degree = std::make_unique<std::atomic<uint64_t>[]>(n);
-  for (VertexId v = 0; v < n; ++v) {
-    degree[v].store(g.OutDegree(v), std::memory_order_relaxed);
-  }
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      degree[v].store(g.OutDegree(static_cast<VertexId>(v)),
+                      std::memory_order_relaxed);
+    }
+  });
   std::vector<uint8_t> alive(n, 1);
   std::vector<uint64_t> coreness(n, 0);
 
@@ -269,10 +294,13 @@ RunResult SubsetCd(const CsrGraph& g, const AlgoParams& params,
       ++k;
       continue;
     }
-    for (VertexId v : peeled.Sparse()) {
-      coreness[v] = k;
-      alive[v] = 0;
-    }
+    const auto& removed = peeled.Sparse();
+    ParallelFor(removed.size(), kVertexGrain, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        coreness[removed[i]] = k;
+        alive[removed[i]] = 0;
+      }
+    });
     engine.EdgeMap(peeled, peel, mo);
     remaining = engine.VertexFilter(remaining,
                                     [&](VertexId v) { return alive[v] != 0; });
@@ -355,9 +383,11 @@ RunResult SubsetBfs(const CsrGraph& g, const AlgoParams& params,
   const VertexId n = g.num_vertices();
   auto level = std::make_unique<std::atomic<uint32_t>[]>(n);
   constexpr uint32_t kUnreached = 0xffffffffu;
-  for (VertexId v = 0; v < n; ++v) {
-    level[v].store(kUnreached, std::memory_order_relaxed);
-  }
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      level[v].store(kUnreached, std::memory_order_relaxed);
+    }
+  });
   level[params.source].store(0, std::memory_order_relaxed);
 
   WallTimer timer;
@@ -384,9 +414,11 @@ RunResult SubsetBfs(const CsrGraph& g, const AlgoParams& params,
   }
   AlgoOutput out;
   out.ints.resize(n);
-  for (VertexId v = 0; v < n; ++v) {
-    out.ints[v] = level[v].load(std::memory_order_relaxed);
-  }
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      out.ints[v] = level[v].load(std::memory_order_relaxed);
+    }
+  });
   return Finish(engine, timer.Seconds(), std::move(out));
 }
 
@@ -396,9 +428,11 @@ RunResult SubsetLcc(const CsrGraph& g, const AlgoParams& params,
   VertexSubsetEngine engine = MakeEngine(g, options);
   const VertexId n = g.num_vertices();
   auto triangles = std::make_unique<std::atomic<uint64_t>[]>(n);
-  for (VertexId v = 0; v < n; ++v) {
-    triangles[v].store(0, std::memory_order_relaxed);
-  }
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      triangles[v].store(0, std::memory_order_relaxed);
+    }
+  });
 
   WallTimer timer;
   // Forward triangle enumeration crediting all three corners.
@@ -433,13 +467,15 @@ RunResult SubsetLcc(const CsrGraph& g, const AlgoParams& params,
 
   AlgoOutput out;
   out.doubles.resize(n, 0.0);
-  for (VertexId v = 0; v < n; ++v) {
-    uint64_t d = g.OutDegree(v);
-    if (d < 2) continue;
-    out.doubles[v] =
-        static_cast<double>(triangles[v].load(std::memory_order_relaxed)) /
-        (static_cast<double>(d) * static_cast<double>(d - 1) / 2.0);
-  }
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      uint64_t d = g.OutDegree(static_cast<VertexId>(v));
+      if (d < 2) continue;
+      out.doubles[v] =
+          static_cast<double>(triangles[v].load(std::memory_order_relaxed)) /
+          (static_cast<double>(d) * static_cast<double>(d - 1) / 2.0);
+    }
+  });
   return Finish(engine, timer.Seconds(), std::move(out));
 }
 

@@ -27,13 +27,37 @@ class AtomicBitset {
     Clear();
   }
 
-  void Clear() {
-    for (size_t i = 0; i < num_words_; ++i) {
+  void Clear() { ClearWords(0, num_words_); }
+
+  /// Clears the word range [begin, end) — the unit parallel clears split on.
+  void ClearWords(size_t begin, size_t end) {
+    GAB_DCHECK(end <= num_words_);
+    for (size_t i = begin; i < end; ++i) {
       words_[i].store(0, std::memory_order_relaxed);
     }
   }
 
+  /// Sets every valid bit (tail bits of the last word stay clear so
+  /// Count() == size()).
+  void SetAll() {
+    if (num_words_ == 0) return;
+    for (size_t i = 0; i + 1 < num_words_; ++i) {
+      words_[i].store(~uint64_t{0}, std::memory_order_relaxed);
+    }
+    size_t tail = size_ - (num_words_ - 1) * 64;
+    uint64_t mask = tail == 64 ? ~uint64_t{0} : (uint64_t{1} << tail) - 1;
+    words_[num_words_ - 1].store(mask, std::memory_order_relaxed);
+  }
+
   size_t size() const { return size_; }
+  size_t num_words() const { return num_words_; }
+
+  /// Raw 64-bit word i (bit v lives in word v>>6); used by parallel
+  /// bitmap→list packing, which scans words instead of bits.
+  uint64_t Word(size_t i) const {
+    GAB_DCHECK(i < num_words_);
+    return words_[i].load(std::memory_order_relaxed);
+  }
 
   bool Test(size_t i) const {
     GAB_DCHECK(i < size_);

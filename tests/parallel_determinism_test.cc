@@ -1,6 +1,7 @@
-// Bit-identical parallelism guarantees for the ingest pipeline and the
-// reference kernels: every parallelized stage must produce byte-for-byte
-// the same result at GAB_THREADS=1 and GAB_THREADS=8 (including the
+// Bit-identical parallelism guarantees for the ingest pipeline, the
+// reference kernels, and all five computing-model engines: every
+// parallelized stage must produce byte-for-byte the same result at
+// GAB_THREADS=1 and at a higher worker count (including the
 // floating-point PageRank output, whose summation order is pinned by
 // fixed-grain chunking). ScopedThreadPool lets one process run both.
 
@@ -8,15 +9,27 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "algos/pagerank.h"
 #include "algos/triangle_count.h"
 #include "algos/wcc.h"
+#include "engines/trace.h"
+#include "engines/vertex_centric.h"
+#include "engines/vertex_subset.h"
 #include "gen/fft_dg.h"
 #include "gen/ldbc_dg.h"
 #include "graph/builder.h"
+#include "platforms/grape/grape_algos.h"
+#include "platforms/graphx/gx_algos.h"
+#include "platforms/gthinker/gt_algos.h"
+#include "platforms/platform.h"
+#include "platforms/powergraph/pg_algos.h"
+#include "platforms/pregelplus/pp_algos.h"
+#include "platforms/subset_kernels.h"
 #include "util/parallel_primitives.h"
 #include "util/rng.h"
 #include "util/threading.h"
@@ -316,6 +329,225 @@ TEST(ThreadPoolStressTest, ScopedPoolsNest) {
     EXPECT_EQ(DefaultPool().num_threads(), 5u);
   }
   EXPECT_EQ(DefaultPool().num_threads(), 2u);
+}
+
+// ------------------------------------------- Engine determinism ----
+// All five computing-model engines — vertex-subset (Ligra),
+// vertex-centric (Pregel+), GAS (PowerGraph), block-centric (Grape),
+// dataflow (GraphX), plus the subgraph-centric task engine (G-thinker) —
+// must produce identical vertex values, traces, and aggregates at 1
+// worker and at 7 (odd on purpose: chunk boundaries land off word and
+// grain multiples, shaking out off-by-one slicing bugs).
+
+constexpr size_t kEngineThreads = 7;
+
+const CsrGraph& EngineGraph() {
+  static const CsrGraph& g = *new CsrGraph([] {
+    FftDgConfig config;
+    config.num_vertices = 2500;
+    config.weighted = true;
+    config.seed = 17;
+    return GraphBuilder::Build(GenerateFftDg(config));
+  }());
+  return g;
+}
+
+void ExpectTraceIdentical(const ExecutionTrace& a, const ExecutionTrace& b) {
+  EXPECT_EQ(a.num_partitions(), b.num_partitions());
+  ASSERT_EQ(a.num_supersteps(), b.num_supersteps());
+  for (size_t s = 0; s < a.num_supersteps(); ++s) {
+    EXPECT_EQ(a.supersteps()[s].work, b.supersteps()[s].work)
+        << "work diverged in superstep " << s;
+    EXPECT_EQ(a.supersteps()[s].bytes, b.supersteps()[s].bytes)
+        << "bytes diverged in superstep " << s;
+  }
+}
+
+void ExpectRunIdentical(const RunResult& a, const RunResult& b,
+                        bool values_only) {
+  // Exact equality throughout, doubles included: the engines pin their
+  // reduction orders, so even floats must match bit for bit.
+  EXPECT_EQ(a.output.doubles, b.output.doubles);
+  EXPECT_EQ(a.output.ints, b.output.ints);
+  EXPECT_EQ(a.output.scalar, b.output.scalar);
+  if (values_only) return;
+  EXPECT_EQ(a.peak_extra_bytes, b.peak_extra_bytes);
+  ExpectTraceIdentical(a.trace, b.trace);
+}
+
+RunResult LigraBfs(const CsrGraph& g, const AlgoParams& p) {
+  return SubsetBfs(g, p, {});
+}
+RunResult LigraBfsPush(const CsrGraph& g, const AlgoParams& p) {
+  SubsetKernelOptions o;
+  o.force_direction = EdgeMapDirection::kPush;
+  return SubsetBfs(g, p, o);
+}
+RunResult LigraBfsPull(const CsrGraph& g, const AlgoParams& p) {
+  SubsetKernelOptions o;
+  o.force_direction = EdgeMapDirection::kPull;
+  return SubsetBfs(g, p, o);
+}
+RunResult LigraPageRank(const CsrGraph& g, const AlgoParams& p) {
+  return SubsetPageRank(g, p, {});
+}
+RunResult LigraWcc(const CsrGraph& g, const AlgoParams& p) {
+  return SubsetWcc(g, p, {});
+}
+
+struct EngineCase {
+  const char* name;
+  RunResult (*fn)(const CsrGraph&, const AlgoParams&);
+  // WCC on the subset engine chains labels through a live array (an edge
+  // relaxed early in a superstep can propagate further within the same
+  // superstep), so its per-superstep frontier depends on timing; the
+  // fixpoint is unique, so only the output values are compared.
+  bool values_only = false;
+};
+
+class EngineDeterminismTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineDeterminismTest, ThreadCountsAgree) {
+  const EngineCase& c = GetParam();
+  AlgoParams params;
+  RunResult a, b;
+  {
+    ScopedThreadPool scoped(1);
+    a = c.fn(EngineGraph(), params);
+  }
+  {
+    ScopedThreadPool scoped(kEngineThreads);
+    b = c.fn(EngineGraph(), params);
+  }
+  ExpectRunIdentical(a, b, c.values_only);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineDeterminismTest,
+    ::testing::Values(
+        EngineCase{"LigraBfsAuto", &LigraBfs},
+        EngineCase{"LigraBfsPush", &LigraBfsPush},
+        EngineCase{"LigraBfsPull", &LigraBfsPull},
+        EngineCase{"LigraPageRank", &LigraPageRank},
+        EngineCase{"LigraWcc", &LigraWcc, /*values_only=*/true},
+        EngineCase{"VertexCentricPageRank", &PregelPlusPageRank},
+        EngineCase{"VertexCentricWcc", &PregelPlusWcc},
+        EngineCase{"GasPageRank", &PowerGraphPageRank},
+        EngineCase{"GasWcc", &PowerGraphWcc},
+        EngineCase{"BlockCentricPageRank", &GrapePageRank},
+        EngineCase{"BlockCentricWcc", &GrapeWcc},
+        EngineCase{"DataflowPageRank", &GraphxPageRank},
+        EngineCase{"DataflowWcc", &GraphxWcc},
+        EngineCase{"SubgraphCentricTc", &GthinkerTc}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// Sum-aggregators run per partition and merge in fixed partition order,
+// so they too must be bit-identical across worker counts (the doubles
+// especially: HashMin WCC with a per-superstep double aggregate).
+TEST(EngineDeterminismTest, VertexCentricAggregatesAgree) {
+  using Engine = VertexCentricEngine<uint64_t, uint64_t>;
+  const CsrGraph& g = EngineGraph();
+  struct Observed {
+    std::vector<uint64_t> values;
+    double agg_double = 0;
+    int64_t agg_int = 0;
+    uint32_t supersteps = 0;
+    ExecutionTrace trace;
+  };
+  auto run = [&](size_t threads) {
+    ScopedThreadPool scoped(threads);
+    Engine::Config config;
+    config.num_partitions = 48;
+    Engine engine(config);
+    Observed o;
+    o.values = engine.Run(
+        g, [](VertexId v, uint64_t& val) { val = v; },
+        [&](Engine::Context& ctx, VertexId v, uint64_t& val,
+            std::span<const uint64_t> inbox) {
+          uint64_t best = val;
+          for (uint64_t m : inbox) best = std::min(best, m);
+          if (ctx.superstep() == 0 || best < val) {
+            val = best;
+            for (VertexId u : g.OutNeighbors(v)) ctx.SendTo(u, val);
+            ctx.AggregateInt(1);
+            ctx.AggregateDouble(1.0 / (1.0 + v));
+          }
+          ctx.AddWork(1 + g.OutDegree(v));
+        });
+    o.agg_double = engine.final_double_aggregate();
+    o.agg_int = engine.final_int_aggregate();
+    o.supersteps = engine.supersteps_run();
+    o.trace = engine.trace();
+    return o;
+  };
+  Observed a = run(1);
+  Observed b = run(kEngineThreads);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.agg_double, b.agg_double);  // bit-identical, not just close
+  EXPECT_EQ(a.agg_int, b.agg_int);
+  EXPECT_EQ(a.supersteps, b.supersteps);
+  ExpectTraceIdentical(a.trace, b.trace);
+}
+
+// ------------------------------- VertexSubset lazy materialization ----
+// Regression test for the lazy sparse<->dense conversion: many pool
+// workers hammer Sparse()/Dense()/Contains() on shared subsets that start
+// with only one representation. Run under TSan this catches any return of
+// the old unsynchronized materialization; the checks also pin the
+// ascending-order contract.
+
+TEST(VertexSubsetConcurrencyTest, ConcurrentReadersMaterializeSafely) {
+  // Large enough that materialization takes the parallel path (and long
+  // enough to give racing readers a real window).
+  const VertexId n = 100000;
+  ScopedThreadPool scoped(8);
+
+  std::vector<uint8_t> flags(n, 0);
+  size_t expected_size = 0;
+  for (VertexId v = 0; v < n; v += 3) {
+    flags[v] = 1;
+    ++expected_size;
+  }
+  VertexSubset dense_only = VertexSubset::FromDense(n, flags);
+
+  std::vector<VertexId> ids;
+  for (VertexId v = 1; v < n; v += 7) ids.push_back(v);
+  VertexSubset sparse_only = VertexSubset::FromSparse(n, ids);
+
+  std::atomic<uint64_t> contained{0};
+  DefaultPool().RunTasks(24, [&](size_t t, size_t) {
+    const VertexSubset& s = (t % 2 == 0) ? dense_only : sparse_only;
+    switch (t % 3) {
+      case 0: {
+        const std::vector<VertexId>& sp = s.Sparse();
+        EXPECT_TRUE(std::is_sorted(sp.begin(), sp.end()));
+        EXPECT_EQ(sp.size(), s.size());
+        break;
+      }
+      case 1: {
+        const std::vector<uint8_t>& d = s.Dense();
+        EXPECT_EQ(d.size(), static_cast<size_t>(n));
+        break;
+      }
+      default: {
+        uint64_t hits = 0;
+        for (VertexId v = 0; v < n; v += 997) {
+          if (s.Contains(v)) ++hits;
+        }
+        contained.fetch_add(hits, std::memory_order_relaxed);
+        break;
+      }
+    }
+  });
+
+  EXPECT_EQ(dense_only.size(), expected_size);
+  EXPECT_EQ(dense_only.Sparse().size(), expected_size);
+  EXPECT_EQ(sparse_only.Sparse(), ids);
+  const std::vector<uint8_t>& d = sparse_only.Dense();
+  for (VertexId v : ids) EXPECT_EQ(d[v], 1);
+  EXPECT_GT(contained.load(), 0u);
 }
 
 TEST(ThreadPoolStressTest, FixedGrainReduceIsThreadCountInvariant) {

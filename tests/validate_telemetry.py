@@ -72,6 +72,12 @@ def validate_report(path):
                 fail(f"{path}: entry missing '{key}': {e}")
     if not isinstance(doc.get("counters"), dict) or not doc["counters"]:
         fail(f"{path}: counters object missing or empty")
+    env = doc.get("environment")
+    if not isinstance(env, dict):
+        fail(f"{path}: environment object missing")
+    for key in ("threads", "hardware_concurrency"):
+        if not isinstance(env.get(key), int) or env[key] < 1:
+            fail(f"{path}: environment.{key} missing or invalid")
     print(f"{path}: {len(entries)} report entries OK")
 
 
