@@ -13,6 +13,13 @@ namespace {
 int Run() {
   bench::Banner("Figure 9 — Generator efficiency vs density factor",
                 "FFT-DG (failure-free) against LDBC-DG (probe-and-reject)");
+  // Both generators are chunk-parallel on the shared pool with bit-identical
+  // output across GAB_THREADS, so the thread count below shifts wall-clock
+  // rates (Edges/s, Trials/s) but never the Edges/Trials columns. Rerun with
+  // GAB_THREADS=1,2,4,8 (or see bench_micro_generators for the scripted
+  // sweep + BENCH_generators.json) to reproduce the scaling curve.
+  std::printf("generation workers: %zu (GAB_THREADS)\n",
+              DefaultPool().num_threads());
   const VertexId n = static_cast<VertexId>(
       6 * ScaleVertices(bench::BaseScale()));
   Table table({"alpha", "Generator", "Edges", "Trials", "Trials/Edge",

@@ -1,12 +1,33 @@
 // google-benchmark microbenchmarks for the data-generator inner loops:
 // FFT-DG vs LDBC-DG edge production across density factors, plus the
-// classic baselines.
+// classic baselines — followed by a GAB_THREADS ∈ {1, configured} sweep of
+// the chunk-parallel generators and a fused-vs-classic peak-memory probe,
+// both reported to BENCH_generators.json (same shape as the other
+// BENCH_*.json trajectories: top-level environment object + result rows)
+// and through the shared ReportSink when GAB_REPORT_OUT is set. The sweep
+// enforces the same soft speedup gate as bench_micro_engines: fail only on
+// a >10% slowdown at full workers, warn below 1.5x, skip entirely when the
+// pool or the hardware has fewer than 4 threads.
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
 #include "gen/classic.h"
+#include "gen/datasets.h"
 #include "gen/fft_dg.h"
 #include "gen/ldbc_dg.h"
+#include "graph/builder.h"
+#include "util/timer.h"
 
 namespace gab {
 namespace {
@@ -29,6 +50,21 @@ void BM_FftDg(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FftDg)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_FftDgFused(benchmark::State& state) {
+  // The fused generate→CSR pipeline, for comparison against BM_FftDg +
+  // a separate build: one number covers generation and CSR assembly.
+  FftDgConfig config;
+  config.num_vertices = 20000;
+  config.alpha = static_cast<double>(state.range(0));
+  config.weighted = true;
+  config.seed = 7;
+  for (auto _ : state) {
+    CsrGraph g = GenerateFftDgToCsr(config);
+    benchmark::DoNotOptimize(g.out_offsets().data());
+  }
+}
+BENCHMARK(BM_FftDgFused)->Arg(10)->Arg(1000);
 
 void BM_LdbcDg(benchmark::State& state) {
   LdbcDgConfig config = LdbcConfigForAlpha(20000, state.range(0));
@@ -71,7 +107,221 @@ void BM_Rmat(benchmark::State& state) {
 }
 BENCHMARK(BM_Rmat);
 
+// ---------------------------------------------------------------------------
+// GAB_THREADS sweep + fused-path peak-memory probe.
+
+size_t PeakRssBytes() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<size_t>(ru.ru_maxrss) * 1024;  // Linux reports KiB
+}
+
+struct SweepRow {
+  std::string generator;
+  size_t threads = 0;
+  double seconds = 0;
+  uint64_t edges = 0;
+  double speedup = 1.0;
+};
+
+struct MemProbe {
+  std::string dataset;
+  size_t fused_peak_bytes = 0;
+  size_t classic_peak_bytes = 0;
+  size_t csr_bytes = 0;
+  bool identical = true;
+};
+
+void RecordSweepPoint(const SweepRow& row) {
+  ExperimentRecord record;
+  record.platform = "GEN";
+  record.algorithm = row.generator;
+  record.dataset = "sweep/t" + std::to_string(row.threads);
+  record.timing.running_seconds = row.seconds;
+  record.timing.makespan_seconds = row.seconds;
+  record.throughput_eps =
+      row.seconds > 0 ? static_cast<double>(row.edges) / row.seconds : 0;
+  bench::ReportSink::Global().Add(record);
+}
+
+template <typename Fn>
+double TimedBest(const Fn& fn, int trials) {
+  double best = 0;
+  for (int t = 0; t < trials; ++t) {
+    WallTimer timer;
+    fn();
+    double s = timer.Seconds();
+    if (t == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+// Peak-RSS before/after for the fused path on the largest default dataset.
+// Order matters: ru_maxrss is a process-lifetime high-water mark, so the
+// fused (smaller-footprint) path runs FIRST; if the classic
+// generate-then-build path then pushes the mark higher, the delta is the
+// memory the fusion saves.
+MemProbe ProbeFusedMemory(const DatasetSpec& spec) {
+  MemProbe probe;
+  probe.dataset = spec.name;
+  const FftDgConfig config = ConfigForDataset(spec);
+
+  CsrGraph fused = GenerateFftDgToCsr(config);
+  probe.csr_bytes = fused.MemoryBytes();
+  probe.fused_peak_bytes = PeakRssBytes();
+
+  CsrGraph classic = GraphBuilder::Build(GenerateFftDg(config));
+  probe.classic_peak_bytes = PeakRssBytes();
+
+  probe.identical = fused.out_offsets() == classic.out_offsets() &&
+                    fused.out_neighbors() == classic.out_neighbors() &&
+                    fused.out_weights() == classic.out_weights();
+  return probe;
+}
+
+int RunGeneratorSweep() {
+  // Memory probe first, before the sweep inflates the RSS high-water mark.
+  const DatasetSpec largest = DefaultDatasets(bench::BaseScale()).back();
+  MemProbe mem = ProbeFusedMemory(largest);
+
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t hi = std::max<size_t>(1, DefaultPool().num_threads());
+  const int trials = 3;
+
+  std::printf(
+      "\nGenerator GAB_THREADS sweep (1 vs %zu workers, hw=%u, best of %d) "
+      "on %s\n",
+      hi, hw, trials, largest.name.c_str());
+  std::vector<SweepRow> rows;
+  bool identical = mem.identical;
+  int rc = 0;
+
+  struct GenSpec {
+    const char* name;
+    std::function<EdgeList()> fn;
+  };
+  FftDgConfig fft = ConfigForDataset(largest);
+  LdbcDgConfig ldbc = LdbcConfigForAlpha(20000, /*alpha=*/10.0);
+  ldbc.seed = 7;
+  const GenSpec generators[] = {
+      {"FFT-DG", [&] { return GenerateFftDg(fft); }},
+      {"LDBC-DG", [&] { return GenerateLdbcDg(ldbc); }},
+  };
+
+  for (const GenSpec& g : generators) {
+    EdgeList out1, outhi;
+    double t1 = 0, thi = 0;
+    {
+      ScopedThreadPool pool(1);
+      out1 = g.fn();  // warm + output capture
+      t1 = TimedBest([&] { benchmark::DoNotOptimize(g.fn().edges().data()); },
+                     trials);
+    }
+    {
+      ScopedThreadPool pool(hi);
+      outhi = g.fn();
+      thi = TimedBest([&] { benchmark::DoNotOptimize(g.fn().edges().data()); },
+                      trials);
+    }
+    if (out1.edges() != outhi.edges() || out1.weights() != outhi.weights()) {
+      std::fprintf(stderr, "FAIL: %s output diverged across thread counts\n",
+                   g.name);
+      identical = false;
+      rc = 1;
+    }
+    double speedup = thi > 0 ? t1 / thi : 0;
+    rows.push_back({g.name, 1, t1, out1.num_edges(), 1.0});
+    rows.push_back({g.name, hi, thi, outhi.num_edges(), speedup});
+    RecordSweepPoint(rows[rows.size() - 2]);
+    RecordSweepPoint(rows.back());
+    std::printf("  %-8s t1=%.4fs t%zu=%.4fs speedup=%.2fx (%llu edges)\n",
+                g.name, t1, hi, thi, speedup,
+                static_cast<unsigned long long>(out1.num_edges()));
+    if (hi >= 4 && hw >= 4) {
+      if (speedup < 0.9) {
+        std::fprintf(
+            stderr,
+            "FAIL: %s slowed down by >10%% at %zu workers (%.2fx)\n",
+            g.name, hi, speedup);
+        rc = 1;
+      } else if (speedup < 1.5) {
+        std::printf("  WARN: %s speedup %.2fx < 1.5x at %zu workers\n",
+                    g.name, speedup, hi);
+      }
+    } else {
+      std::printf(
+          "  note: speedup gate skipped (workers=%zu, hw=%u; needs >=4)\n",
+          hi, hw);
+    }
+  }
+
+  std::printf(
+      "\nFused generate->CSR on %s: peak RSS %.1f MiB fused vs %.1f MiB "
+      "after classic (CSR itself %.1f MiB); outputs %s\n",
+      mem.dataset.c_str(),
+      static_cast<double>(mem.fused_peak_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(mem.classic_peak_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(mem.csr_bytes) / (1024.0 * 1024.0),
+      mem.identical ? "bit-identical" : "MISMATCH");
+  if (!mem.identical) rc = 1;
+
+  const char* json_path = "BENCH_generators.json";
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"generators\",\n");
+  std::fprintf(f, "  \"environment\": {\"threads\": %zu, "
+               "\"hardware_concurrency\": %u",
+               hi, hw);
+  if (const char* gt = std::getenv("GAB_THREADS")) {
+    std::fprintf(f, ", \"gab_threads\": \"%s\"", gt);
+  }
+  std::fprintf(f, "},\n");
+  std::fprintf(f, "  \"dataset\": \"%s\",\n", largest.name.c_str());
+  std::fprintf(f, "  \"identical_across_threads\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"generator\": \"%s\", \"threads\": %zu, "
+                 "\"seconds\": %.6f, \"edges\": %llu, \"edges_per_s\": %.0f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.generator.c_str(), r.threads, r.seconds,
+                 static_cast<unsigned long long>(r.edges),
+                 r.seconds > 0 ? static_cast<double>(r.edges) / r.seconds : 0,
+                 r.speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"fused\": {\"dataset\": \"%s\", "
+               "\"fused_peak_rss_bytes\": %zu, "
+               "\"classic_peak_rss_bytes\": %zu, \"csr_bytes\": %zu, "
+               "\"peak_reduction\": %.3f}\n",
+               mem.dataset.c_str(), mem.fused_peak_bytes,
+               mem.classic_peak_bytes, mem.csr_bytes,
+               mem.fused_peak_bytes > 0
+                   ? static_cast<double>(mem.classic_peak_bytes) /
+                         static_cast<double>(mem.fused_peak_bytes)
+                   : 0.0);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
+
+  if (!bench::ReportSink::Global().Flush()) rc = 1;
+  return rc;
+}
+
 }  // namespace
 }  // namespace gab
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return gab::RunGeneratorSweep();
+}

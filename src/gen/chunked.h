@@ -1,0 +1,61 @@
+#ifndef GAB_GEN_CHUNKED_H_
+#define GAB_GEN_CHUNKED_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "gen/streams.h"
+#include "graph/builder.h"
+#include "graph/edge_list.h"
+#include "util/threading.h"
+
+namespace gab {
+
+/// Internal helpers shared by the chunk-parallel generators. Generators
+/// produce fixed-grain GenChunk buffers (one forked RNG stream per chunk,
+/// see gen/streams.h) and either hand them to GraphBuilder::GenerateToCsr
+/// (fused path) or flatten them into an EdgeList here.
+namespace gen_internal {
+
+/// Flattens per-chunk generator buffers into one EdgeList in chunk order.
+/// The copy runs on DefaultPool() but the layout is a pure function of the
+/// chunk sizes, so the result is bit-identical for every worker count.
+/// When `max_edges` is nonzero the concatenation is truncated to exactly
+/// min(total, max_edges) edges (chunks must individually respect the cap so
+/// no chunk buffer grows unbounded). Every nonempty chunk must agree on
+/// weightedness.
+inline EdgeList AssembleChunks(VertexId num_vertices,
+                               std::vector<GenChunk>&& chunks,
+                               EdgeId max_edges = 0) {
+  std::vector<size_t> base(chunks.size() + 1, 0);
+  bool weighted = false;
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    base[c + 1] = base[c] + chunks[c].edges.size();
+    if (!chunks[c].weights.empty()) weighted = true;
+  }
+  size_t total = base[chunks.size()];
+  if (max_edges != 0 && total > max_edges) total = max_edges;
+
+  EdgeList out(num_vertices);
+  out.mutable_edges().resize(total);
+  if (weighted) out.mutable_weights().resize(total);
+  DefaultPool().RunTasks(chunks.size(), [&](size_t c, size_t) {
+    if (base[c] >= total) return;
+    const size_t take = std::min(chunks[c].edges.size(), total - base[c]);
+    std::copy_n(chunks[c].edges.begin(), take,
+                out.mutable_edges().begin() + base[c]);
+    if (weighted) {
+      std::copy_n(chunks[c].weights.begin(), take,
+                  out.mutable_weights().begin() + base[c]);
+    }
+  });
+  return out;
+}
+
+}  // namespace gen_internal
+
+}  // namespace gab
+
+#endif  // GAB_GEN_CHUNKED_H_

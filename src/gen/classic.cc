@@ -2,76 +2,136 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "gen/chunked.h"
+#include "gen/streams.h"
+#include "obs/telemetry.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/threading.h"
 
 namespace gab {
 
+// All classic generators are chunk-parallel on DefaultPool() with one RNG
+// stream forked off the config seed per fixed-grain chunk (gen/streams.h),
+// except the preferential-attachment loops (Barabási–Albert and the proxy
+// overlay), which are inherently sequential — each new edge changes the
+// sampling distribution of the next — and therefore run *chunk-serialized*:
+// draws still come from per-chunk forked streams and land in per-chunk
+// buffers, and only the finalization copy runs in parallel. Output is
+// bit-identical for every GAB_THREADS in all cases.
+
 EdgeList GenerateErdosRenyi(VertexId n, EdgeId m, uint64_t seed) {
   GAB_CHECK(n >= 2);
-  Rng rng(seed);
-  EdgeList edges(n);
-  edges.Reserve(m);
-  for (EdgeId i = 0; i < m; ++i) {
-    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
-    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
-    while (v == u) v = static_cast<VertexId>(rng.NextBounded(n));
-    edges.AddEdge(u, v);
+  GAB_SPAN("gen.er");
+  Rng root(seed);
+  const size_t grain = gen_streams::kEdgeChunkGrain;
+  const size_t num_chunks = gen_streams::ChunkCount(m, grain);
+  std::vector<GenChunk> chunks(num_chunks);
+  {
+    GAB_SPAN("gen.er.sample");
+    DefaultPool().RunTasks(num_chunks, [&](size_t c, size_t) {
+      Rng rng = root.ForkStream(gen_streams::kTopologyBase + c);
+      const EdgeId begin = c * grain;
+      const EdgeId end = std::min<EdgeId>(m, begin + grain);
+      chunks[c].edges.reserve(end - begin);
+      for (EdgeId i = begin; i < end; ++i) {
+        VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+        VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        while (v == u) v = static_cast<VertexId>(rng.NextBounded(n));
+        chunks[c].edges.push_back({u, v});
+      }
+    });
   }
-  return edges;
+  GAB_SPAN("gen.er.assemble");
+  return gen_internal::AssembleChunks(n, std::move(chunks));
 }
 
 EdgeList GenerateWattsStrogatz(VertexId n, uint32_t k, double beta,
                                uint64_t seed) {
   GAB_CHECK(n >= 2);
   GAB_CHECK(k >= 1);
-  Rng rng(seed);
-  EdgeList edges(n);
-  edges.Reserve(static_cast<size_t>(n) * k);
-  for (VertexId u = 0; u < n; ++u) {
-    for (uint32_t d = 1; d <= k; ++d) {
-      VertexId v = static_cast<VertexId>((u + d) % n);
-      if (rng.NextUnit() < beta) {
-        // Rewire to a uniform random target.
-        v = static_cast<VertexId>(rng.NextBounded(n));
-        while (v == u) v = static_cast<VertexId>(rng.NextBounded(n));
+  GAB_SPAN("gen.ws");
+  Rng root(seed);
+  const size_t grain = gen_streams::kVertexChunkGrain;
+  const size_t num_chunks = gen_streams::ChunkCount(n, grain);
+  std::vector<GenChunk> chunks(num_chunks);
+  {
+    GAB_SPAN("gen.ws.sample");
+    DefaultPool().RunTasks(num_chunks, [&](size_t c, size_t) {
+      Rng rng = root.ForkStream(gen_streams::kTopologyBase + c);
+      const size_t begin = c * grain;
+      const size_t end = std::min<size_t>(n, begin + grain);
+      chunks[c].edges.reserve((end - begin) * k);
+      for (size_t uv = begin; uv < end; ++uv) {
+        const VertexId u = static_cast<VertexId>(uv);
+        for (uint32_t d = 1; d <= k; ++d) {
+          VertexId v = static_cast<VertexId>((u + d) % n);
+          if (rng.NextUnit() < beta) {
+            // Rewire to a uniform random target.
+            v = static_cast<VertexId>(rng.NextBounded(n));
+            while (v == u) v = static_cast<VertexId>(rng.NextBounded(n));
+          }
+          chunks[c].edges.push_back({u, v});
+        }
       }
-      edges.AddEdge(u, v);
-    }
+    });
   }
-  return edges;
+  GAB_SPAN("gen.ws.assemble");
+  return gen_internal::AssembleChunks(n, std::move(chunks));
 }
 
 EdgeList GenerateBarabasiAlbert(VertexId n, uint32_t attach, uint64_t seed) {
   GAB_CHECK(n >= 2);
   GAB_CHECK(attach >= 1);
-  Rng rng(seed);
-  EdgeList edges(n);
+  GAB_SPAN("gen.ba");
+  Rng root(seed);
   // `targets` holds one entry per edge endpoint, so uniform sampling from it
   // is degree-proportional sampling — the standard BA trick.
   std::vector<VertexId> targets;
   targets.reserve(static_cast<size_t>(n) * attach * 2);
-  // Seed clique over the first attach+1 vertices.
-  VertexId seed_size = std::min<VertexId>(n, attach + 1);
+
+  // Seed clique over the first attach+1 vertices (chunk 0 of the output).
+  const VertexId seed_size = std::min<VertexId>(n, attach + 1);
+  const size_t grain = gen_streams::kVertexChunkGrain;
+  const size_t attach_chunks =
+      gen_streams::ChunkCount(n - seed_size, grain);
+  std::vector<GenChunk> chunks(1 + attach_chunks);
   for (VertexId u = 0; u < seed_size; ++u) {
     for (VertexId v = u + 1; v < seed_size; ++v) {
-      edges.AddEdge(u, v);
+      chunks[0].edges.push_back({u, v});
       targets.push_back(u);
       targets.push_back(v);
     }
   }
-  for (VertexId u = seed_size; u < n; ++u) {
-    for (uint32_t a = 0; a < attach; ++a) {
-      VertexId v = targets[rng.NextBounded(targets.size())];
-      if (v == u) v = static_cast<VertexId>(rng.NextBounded(u));
-      edges.AddEdge(u, v);
-      targets.push_back(u);
-      targets.push_back(v);
+
+  // Chunk-serialized preferential attachment: the loop itself must stay
+  // sequential (every accepted edge reweights the distribution), but each
+  // chunk draws from its own forked stream into its own buffer, so the
+  // realization is identical to what a future parallel sampler over the
+  // same streams would need, and finalization below is a parallel copy.
+  {
+    GAB_SPAN("gen.ba.attach");
+    for (size_t c = 0; c < attach_chunks; ++c) {
+      Rng rng = root.ForkStream(gen_streams::kTopologyBase + c);
+      const size_t begin = seed_size + c * grain;
+      const size_t end = std::min<size_t>(n, begin + grain);
+      chunks[1 + c].edges.reserve((end - begin) * attach);
+      for (size_t uv = begin; uv < end; ++uv) {
+        const VertexId u = static_cast<VertexId>(uv);
+        for (uint32_t a = 0; a < attach; ++a) {
+          VertexId v = targets[rng.NextBounded(targets.size())];
+          if (v == u) v = static_cast<VertexId>(rng.NextBounded(u));
+          chunks[1 + c].edges.push_back({u, v});
+          targets.push_back(u);
+          targets.push_back(v);
+        }
+      }
     }
   }
-  edges.set_num_vertices(n);
-  return edges;
+  GAB_SPAN("gen.ba.assemble");
+  return gen_internal::AssembleChunks(n, std::move(chunks));
 }
 
 EdgeList GenerateRmat(uint32_t scale, EdgeId m, double a, double b, double c,
@@ -79,97 +139,163 @@ EdgeList GenerateRmat(uint32_t scale, EdgeId m, double a, double b, double c,
   GAB_CHECK(scale >= 1 && scale < 31);
   double d = 1.0 - a - b - c;
   GAB_CHECK(d >= 0.0);
-  Rng rng(seed);
-  VertexId n = VertexId{1} << scale;
-  EdgeList edges(n);
-  edges.Reserve(m);
-  for (EdgeId i = 0; i < m; ++i) {
-    VertexId u = 0;
-    VertexId v = 0;
-    for (uint32_t bit = 0; bit < scale; ++bit) {
-      double r = rng.NextUnit();
-      // Quadrant choice: (0,0) w.p. a, (0,1) w.p. b, (1,0) w.p. c, else (1,1).
-      uint32_t ubit = (r >= a + b) ? 1 : 0;
-      uint32_t vbit = (r >= a && r < a + b) || (r >= a + b + c) ? 1 : 0;
-      u = (u << 1) | ubit;
-      v = (v << 1) | vbit;
-    }
-    if (u == v) {
-      v ^= 1;  // deterministic self-loop fixup
-    }
-    edges.AddEdge(u, v);
+  GAB_SPAN("gen.rmat");
+  Rng root(seed);
+  const VertexId n = VertexId{1} << scale;
+  const size_t grain = gen_streams::kEdgeChunkGrain;
+  const size_t num_chunks = gen_streams::ChunkCount(m, grain);
+  std::vector<GenChunk> chunks(num_chunks);
+  {
+    GAB_SPAN("gen.rmat.sample");
+    DefaultPool().RunTasks(num_chunks, [&](size_t chunk, size_t) {
+      Rng rng = root.ForkStream(gen_streams::kTopologyBase + chunk);
+      const EdgeId begin = chunk * grain;
+      const EdgeId end = std::min<EdgeId>(m, begin + grain);
+      chunks[chunk].edges.reserve(end - begin);
+      for (EdgeId i = begin; i < end; ++i) {
+        VertexId u = 0;
+        VertexId v = 0;
+        for (uint32_t bit = 0; bit < scale; ++bit) {
+          double r = rng.NextUnit();
+          // Quadrant choice: (0,0) w.p. a, (0,1) w.p. b, (1,0) w.p. c,
+          // else (1,1).
+          uint32_t ubit = (r >= a + b) ? 1 : 0;
+          uint32_t vbit = (r >= a && r < a + b) || (r >= a + b + c) ? 1 : 0;
+          u = (u << 1) | ubit;
+          v = (v << 1) | vbit;
+        }
+        if (u == v) {
+          v ^= 1;  // deterministic self-loop fixup
+        }
+        chunks[chunk].edges.push_back({u, v});
+      }
+    });
   }
-  edges.set_num_vertices(n);
-  return edges;
+  GAB_SPAN("gen.rmat.assemble");
+  return gen_internal::AssembleChunks(n, std::move(chunks));
 }
 
 EdgeList GenerateRealWorldProxy(const RealWorldProxyConfig& config,
                                 std::vector<uint32_t>* community_of) {
   const VertexId n = config.num_vertices;
   GAB_CHECK(n >= 16);
-  Rng rng(config.seed);
-  EdgeList edges(n);
+  GAB_SPAN("gen.proxy");
+  Rng root(config.seed);
 
-  // Carve [0, n) into contiguous communities with power-law sizes around
-  // mean_community_size (exponent 2.5, min size 8).
+  // Phase 1 (sequential, one draw per community): carve [0, n) into
+  // contiguous communities with power-law sizes around mean_community_size
+  // (exponent 2.5, min size 8), from a dedicated carving stream.
   std::vector<VertexId> community_start;
+  std::vector<VertexId> community_size;
+  {
+    GAB_SPAN("gen.proxy.carve");
+    Rng carve = root.ForkStream(gen_streams::kTopologyBase);
+    VertexId pos = 0;
+    const double gamma = 2.5;
+    const uint32_t min_size = 8;
+    while (pos < n) {
+      double u = carve.NextUnitOpenClosed();
+      double raw = static_cast<double>(min_size) *
+                   std::pow(u, -1.0 / (gamma - 1.0));
+      // Scale so the mean lands near mean_community_size:
+      // E[pareto(min=8, gamma=2.5)] = 8 * 1.5 / 0.5 = 24.
+      raw *= static_cast<double>(config.mean_community_size) / 24.0;
+      VertexId size = static_cast<VertexId>(
+          std::min<double>(raw, static_cast<double>(n) / 4));
+      if (size < min_size) size = min_size;
+      if (pos + size > n) size = n - pos;
+      community_start.push_back(pos);
+      community_size.push_back(size);
+      pos += size;
+    }
+  }
+  const size_t num_communities = community_start.size();
   if (community_of != nullptr) community_of->assign(n, 0);
-  VertexId pos = 0;
-  uint32_t community = 0;
-  const double gamma = 2.5;
-  const uint32_t min_size = 8;
-  while (pos < n) {
-    double u = rng.NextUnitOpenClosed();
-    double raw = static_cast<double>(min_size) *
-                 std::pow(u, -1.0 / (gamma - 1.0));
-    // Scale so the mean lands near mean_community_size:
-    // E[pareto(min=8, gamma=2.5)] = 8 * 1.5 / 0.5 = 24.
-    raw *= static_cast<double>(config.mean_community_size) / 24.0;
-    VertexId size = static_cast<VertexId>(
-        std::min<double>(raw, static_cast<double>(n) / 4));
-    if (size < min_size) size = min_size;
-    if (pos + size > n) size = n - pos;
-    community_start.push_back(pos);
 
-    // Intra-community Watts–Strogatz ring with rewiring *inside* the
-    // community: high clustering, community-local.
-    for (VertexId i = 0; i < size; ++i) {
-      VertexId u_local = pos + i;
-      if (community_of != nullptr) (*community_of)[u_local] = community;
-      for (uint32_t dd = 1; dd <= config.intra_k && dd < size; ++dd) {
-        VertexId v_local = pos + (i + dd) % size;
-        if (rng.NextUnit() < config.intra_beta && size > 2) {
-          v_local = pos + static_cast<VertexId>(rng.NextBounded(size));
-          while (v_local == u_local) {
+  // Phase 2 (parallel, one stream per community): intra-community
+  // Watts–Strogatz ring with rewiring *inside* the community — high
+  // clustering, community-local. Communities own disjoint vertex ranges,
+  // so community_of writes never collide.
+  std::vector<GenChunk> intra(num_communities);
+  {
+    GAB_SPAN("gen.proxy.intra");
+    DefaultPool().RunTasks(num_communities, [&](size_t k, size_t) {
+      Rng rng = root.ForkStream(gen_streams::kCommunityBase + k);
+      const VertexId pos = community_start[k];
+      const VertexId size = community_size[k];
+      for (VertexId i = 0; i < size; ++i) {
+        VertexId u_local = pos + i;
+        if (community_of != nullptr) {
+          (*community_of)[u_local] = static_cast<uint32_t>(k);
+        }
+        for (uint32_t dd = 1; dd <= config.intra_k && dd < size; ++dd) {
+          VertexId v_local = pos + (i + dd) % size;
+          if (rng.NextUnit() < config.intra_beta && size > 2) {
             v_local = pos + static_cast<VertexId>(rng.NextBounded(size));
+            while (v_local == u_local) {
+              v_local = pos + static_cast<VertexId>(rng.NextBounded(size));
+            }
+          }
+          if (u_local < v_local) intra[k].edges.push_back({u_local, v_local});
+          else if (v_local < u_local) {
+            intra[k].edges.push_back({v_local, u_local});
           }
         }
-        if (u_local < v_local) edges.AddEdge(u_local, v_local);
-        else if (v_local < u_local) edges.AddEdge(v_local, u_local);
       }
-    }
-    pos += size;
-    ++community;
+    });
   }
 
-  // Global preferential-attachment overlay: power-law hubs + small diameter.
+  // Degree-proportional target pool seeded from the intra edges in
+  // deterministic community order (parallel copy over chunk prefix sums).
   std::vector<VertexId> targets;
-  targets.reserve(static_cast<size_t>(n) * config.global_attach * 2);
-  for (const Edge& e : edges.edges()) {
-    targets.push_back(e.src);
-    targets.push_back(e.dst);
+  {
+    std::vector<size_t> base(num_communities + 1, 0);
+    for (size_t k = 0; k < num_communities; ++k) {
+      base[k + 1] = base[k] + intra[k].edges.size();
+    }
+    targets.resize(2 * base[num_communities]);
+    targets.reserve(2 * base[num_communities] +
+                    static_cast<size_t>(n) * config.global_attach * 2);
+    DefaultPool().RunTasks(num_communities, [&](size_t k, size_t) {
+      for (size_t i = 0; i < intra[k].edges.size(); ++i) {
+        targets[2 * (base[k] + i)] = intra[k].edges[i].src;
+        targets[2 * (base[k] + i) + 1] = intra[k].edges[i].dst;
+      }
+    });
   }
-  for (VertexId u = 0; u < n; ++u) {
-    for (uint32_t a = 0; a < config.global_attach; ++a) {
-      VertexId v = targets[rng.NextBounded(targets.size())];
-      if (v == u) continue;
-      edges.AddEdge(std::min(u, v), std::max(u, v));
-      targets.push_back(u);
-      targets.push_back(v);
+
+  // Phase 3 (chunk-serialized, like Barabási–Albert): global
+  // preferential-attachment overlay — power-law hubs + small diameter.
+  const size_t grain = gen_streams::kVertexChunkGrain;
+  const size_t overlay_chunks = gen_streams::ChunkCount(n, grain);
+  std::vector<GenChunk> overlay(overlay_chunks);
+  {
+    GAB_SPAN("gen.proxy.overlay");
+    for (size_t c = 0; c < overlay_chunks; ++c) {
+      Rng rng = root.ForkStream(gen_streams::kOverlayBase + c);
+      const size_t begin = c * grain;
+      const size_t end = std::min<size_t>(n, begin + grain);
+      for (size_t uv = begin; uv < end; ++uv) {
+        const VertexId u = static_cast<VertexId>(uv);
+        for (uint32_t a = 0; a < config.global_attach; ++a) {
+          VertexId v = targets[rng.NextBounded(targets.size())];
+          if (v == u) continue;
+          overlay[c].edges.push_back({std::min(u, v), std::max(u, v)});
+          targets.push_back(u);
+          targets.push_back(v);
+        }
+      }
     }
   }
-  edges.set_num_vertices(n);
-  return edges;
+
+  // Phase 4: parallel finalization — intra blocks then overlay chunks, in
+  // deterministic order.
+  GAB_SPAN("gen.proxy.assemble");
+  std::vector<GenChunk> all;
+  all.reserve(num_communities + overlay_chunks);
+  for (auto& chunk : intra) all.push_back(std::move(chunk));
+  for (auto& chunk : overlay) all.push_back(std::move(chunk));
+  return gen_internal::AssembleChunks(n, std::move(all));
 }
 
 }  // namespace gab

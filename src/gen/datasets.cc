@@ -69,8 +69,10 @@ FftDgConfig ConfigForDataset(const DatasetSpec& spec) {
 }
 
 CsrGraph BuildDataset(const DatasetSpec& spec) {
-  EdgeList edges = GenerateFftDg(ConfigForDataset(spec));
-  return GraphBuilder::Build(std::move(edges));
+  // Fused generate→CSR path: bit-identical to
+  // GraphBuilder::Build(GenerateFftDg(config)) at roughly half the peak
+  // memory (no flattened EdgeList, no symmetrized intermediate).
+  return GenerateFftDgToCsr(ConfigForDataset(spec));
 }
 
 }  // namespace gab

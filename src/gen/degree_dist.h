@@ -1,12 +1,15 @@
 #ifndef GAB_GEN_DEGREE_DIST_H_
 #define GAB_GEN_DEGREE_DIST_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "gen/streams.h"
 #include "graph/types.h"
 #include "util/rng.h"
+#include "util/threading.h"
 
 namespace gab {
 
@@ -45,6 +48,28 @@ inline std::vector<uint32_t> SampleTargetDegrees(
   for (VertexId v = 0; v < num_vertices; ++v) {
     degrees[v] = SampleTargetDegree(config, num_vertices, rng);
   }
+  return degrees;
+}
+
+/// Draws target degrees for every vertex in parallel: each fixed-grain
+/// vertex chunk samples from its own budget stream forked off `root`
+/// (gen_streams::kBudgetBase + chunk). The chunk partition depends only on
+/// num_vertices, so the result is bit-identical for every GAB_THREADS —
+/// and, because budgets no longer share a stream with edge sampling,
+/// independent of everything the generator draws afterwards.
+inline std::vector<uint32_t> SampleTargetDegreesParallel(
+    const DegreeDistConfig& config, VertexId num_vertices, const Rng& root) {
+  std::vector<uint32_t> degrees(num_vertices);
+  const size_t grain = gen_streams::kVertexChunkGrain;
+  const size_t chunks = gen_streams::ChunkCount(num_vertices, grain);
+  DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+    Rng rng = root.ForkStream(gen_streams::kBudgetBase + c);
+    const size_t begin = c * grain;
+    const size_t end = std::min<size_t>(num_vertices, begin + grain);
+    for (size_t v = begin; v < end; ++v) {
+      degrees[v] = SampleTargetDegree(config, num_vertices, rng);
+    }
+  });
   return degrees;
 }
 

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "gen/chunked.h"
+#include "gen/streams.h"
+#include "graph/builder.h"
+#include "obs/telemetry.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace gab {
@@ -16,82 +22,176 @@ uint32_t FftDgGroupCount(const FftDgConfig& config) {
   return groups;
 }
 
-EdgeList GenerateFftDg(const FftDgConfig& config, GenStats* stats) {
-  GAB_CHECK(config.num_vertices >= 2);
-  GAB_CHECK(config.alpha >= 1.0);
+namespace {
 
+// Samples one fixed-grain chunk of source vertices
+// [c * grain, min((c + 1) * grain, n - 1)). Gap draws come from the chunk's
+// topology stream and weight draws from its (disjoint) weight stream, so the
+// output is a pure function of (config, budget, c) — chunks run on any
+// worker in any order with bit-identical results, and toggling `weighted`
+// leaves the topology untouched.
+//
+// The emitted edges are sorted by (src, dst) with src < dst and no
+// duplicates (i ascends; j strictly ascends within each i), and consecutive
+// chunks own disjoint ascending src ranges — the exact contract
+// GraphBuilder::GenerateToCsr requires.
+GenChunk SampleFftChunk(const FftDgConfig& config,
+                        const std::vector<uint32_t>& budget, const Rng& root,
+                        uint64_t group_size, size_t c, uint64_t* trials) {
   const VertexId n = config.num_vertices;
-  const uint32_t groups = FftDgGroupCount(config);
-  const uint64_t group_size = (static_cast<uint64_t>(n) + groups - 1) / groups;
+  const uint64_t begin = c * gen_streams::kVertexChunkGrain;
+  const uint64_t end =
+      std::min<uint64_t>(static_cast<uint64_t>(n) - 1,
+                         begin + gen_streams::kVertexChunkGrain);
+  Rng topo = root.ForkStream(gen_streams::kTopologyBase + c);
+  Rng wrng = root.ForkStream(gen_streams::kWeightBase + c);
 
-  Rng rng(config.seed);
-  // Step 1: per-vertex degree budgets (identical to LDBC-DG's step 1),
-  // or caller-fitted budgets when provided.
-  std::vector<uint32_t> budget;
-  if (config.explicit_budgets.empty()) {
-    budget = SampleTargetDegrees(config.degrees, n, rng);
-  } else {
-    GAB_CHECK(config.explicit_budgets.size() == n);
-    budget = config.explicit_budgets;
-  }
-
-  EdgeList edges(n);
-  GenStats local;
-  WallTimer timer;
-
+  GenChunk out;
+  uint64_t local_trials = 0;
   const double inv_alpha = 1.0 / config.alpha;
   const EdgeId max_edges = config.max_edges;
   bool capped = false;
 
   auto emit = [&](VertexId src, uint64_t dst) {
+    out.edges.push_back({src, static_cast<VertexId>(dst)});
     if (config.weighted) {
-      edges.AddEdge(src, static_cast<VertexId>(dst),
-                    static_cast<Weight>(rng.NextBounded(kMaxEdgeWeight) + 1));
-    } else {
-      edges.AddEdge(src, static_cast<VertexId>(dst));
+      out.weights.push_back(
+          static_cast<Weight>(wrng.NextBounded(kMaxEdgeWeight) + 1));
     }
-    ++local.edges;
   };
 
-  for (VertexId i = 0; i < n - 1 && !capped; ++i) {
+  for (uint64_t iv = begin; iv < end && !capped; ++iv) {
+    const VertexId i = static_cast<VertexId>(iv);
     // Group of vertex i; sampled edges must stay inside [i+1, group_end).
     const uint64_t group_end =
-        std::min<uint64_t>((i / group_size + 1) * group_size, n);
+        std::min<uint64_t>((iv / group_size + 1) * group_size, n);
 
     // Chain edge (i, i+1): the c = 0 "adjacent edge always exists" case of
     // the sampling formula; it also guarantees inter-group connectivity.
-    uint64_t j = static_cast<uint64_t>(i) + 1;
-    ++local.trials;
+    uint64_t j = iv + 1;
+    ++local_trials;
     emit(i, j);
-    if (max_edges != 0 && local.edges >= max_edges) break;
+    if (max_edges != 0 && out.edges.size() >= max_edges) break;
 
-    // Step 3, failure-free loop: c tracks the covered distance (j - i);
+    // Step 3, failure-free loop: dist tracks the covered distance (j - i);
     // each draw directly yields the next existing edge or the terminal
     // overshoot past the group boundary.
-    double c = 1.0;
+    double dist = 1.0;
     uint32_t emitted = 1;
     while (emitted < budget[i]) {
-      ++local.trials;
-      double f = rng.NextUnitOpenClosed();
-      double gap_f = std::floor((1.0 / f - 1.0) * c * inv_alpha) + 1.0;
+      ++local_trials;
+      double f = topo.NextUnitOpenClosed();
+      double gap_f = std::floor((1.0 / f - 1.0) * dist * inv_alpha) + 1.0;
       // Overshoot: the next edge would leave the group; vertex i is done
       // (this is the only kind of "wasted" trial FFT-DG ever performs).
       if (gap_f >= static_cast<double>(group_end - j)) break;
       uint64_t gap = static_cast<uint64_t>(gap_f);
       j += gap;
-      c += static_cast<double>(gap);
+      dist += static_cast<double>(gap);
       emit(i, j);
       ++emitted;
-      if (max_edges != 0 && local.edges >= max_edges) {
+      if (max_edges != 0 && out.edges.size() >= max_edges) {
         capped = true;
         break;
       }
     }
   }
 
-  local.seconds = timer.Seconds();
-  if (stats != nullptr) *stats = local;
+  *trials = local_trials;
+  return out;
+}
+
+// Budgets (step 1) + run parameters shared by both output paths.
+struct FftRun {
+  uint64_t group_size = 1;
+  size_t num_chunks = 0;
+  std::vector<uint32_t> budget;
+};
+
+FftRun PlanFftRun(const FftDgConfig& config, const Rng& root) {
+  GAB_CHECK(config.num_vertices >= 2);
+  GAB_CHECK(config.alpha >= 1.0);
+  const VertexId n = config.num_vertices;
+  const uint32_t groups = FftDgGroupCount(config);
+
+  FftRun run;
+  run.group_size = (static_cast<uint64_t>(n) + groups - 1) / groups;
+  run.num_chunks = gen_streams::ChunkCount(static_cast<size_t>(n) - 1,
+                                           gen_streams::kVertexChunkGrain);
+  {
+    GAB_SPAN("gen.fft.budgets");
+    if (config.explicit_budgets.empty()) {
+      run.budget = SampleTargetDegreesParallel(config.degrees, n, root);
+    } else {
+      GAB_CHECK(config.explicit_budgets.size() == n);
+      run.budget = config.explicit_budgets;
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+EdgeList GenerateFftDg(const FftDgConfig& config, GenStats* stats) {
+  GAB_SPAN("gen.fft");
+  const VertexId n = config.num_vertices;
+  Rng root(config.seed);
+  const FftRun run = PlanFftRun(config, root);
+  WallTimer timer;  // stats time the sampling loop, not step 1 (budgets)
+
+  std::vector<GenChunk> chunks(run.num_chunks);
+  std::vector<uint64_t> trials(run.num_chunks, 0);
+  {
+    GAB_SPAN("gen.fft.sample");
+    DefaultPool().RunTasks(run.num_chunks, [&](size_t c, size_t) {
+      chunks[c] = SampleFftChunk(config, run.budget, root, run.group_size, c,
+                                 &trials[c]);
+    });
+  }
+
+  EdgeList edges;
+  {
+    GAB_SPAN("gen.fft.assemble");
+    edges = gen_internal::AssembleChunks(n, std::move(chunks),
+                                         config.max_edges);
+  }
+
+  if (stats != nullptr) {
+    GenStats local;
+    for (uint64_t t : trials) local.trials += t;
+    local.edges = edges.num_edges();
+    local.seconds = timer.Seconds();
+    *stats = local;
+  }
   return edges;
+}
+
+CsrGraph GenerateFftDgToCsr(const FftDgConfig& config, GenStats* stats) {
+  // The cap needs cross-chunk truncation, which the fused path's
+  // pure-function-of-index chunk contract cannot express; capped configs
+  // take the EdgeList path.
+  GAB_CHECK(config.max_edges == 0);
+  GAB_SPAN("gen.fft.fused");
+  const VertexId n = config.num_vertices;
+  Rng root(config.seed);
+  const FftRun run = PlanFftRun(config, root);
+  WallTimer timer;  // sampling + fused CSR assembly
+
+  std::vector<uint64_t> trials(run.num_chunks, 0);
+  CsrGraph g = GraphBuilder::GenerateToCsr(
+      n, run.num_chunks, [&](size_t c) {
+        return SampleFftChunk(config, run.budget, root, run.group_size, c,
+                              &trials[c]);
+      });
+
+  if (stats != nullptr) {
+    GenStats local;
+    for (uint64_t t : trials) local.trials += t;
+    local.edges = g.num_edges();
+    local.seconds = timer.Seconds();
+    *stats = local;
+  }
+  return g;
 }
 
 }  // namespace gab

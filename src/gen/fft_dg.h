@@ -5,6 +5,7 @@
 
 #include "gen/degree_dist.h"
 #include "gen/generator.h"
+#include "graph/csr_graph.h"
 #include "graph/edge_list.h"
 
 namespace gab {
@@ -63,7 +64,22 @@ struct FftDgConfig {
 /// Runs FFT-DG and returns the (forward-only) edge list; callers typically
 /// build an undirected CsrGraph from it. Optionally reports trial/edge/time
 /// statistics for the Figure 9 efficiency experiment.
+///
+/// Generation is chunk-parallel on DefaultPool(): fixed-grain source-vertex
+/// chunks each sample from RNG streams forked off the config seed
+/// (gen/streams.h), so the output is bit-identical for every GAB_THREADS.
 EdgeList GenerateFftDg(const FftDgConfig& config, GenStats* stats = nullptr);
+
+/// Fused generate→CSR fast path: streams the same per-chunk buffers
+/// GenerateFftDg produces straight into GraphBuilder::GenerateToCsr,
+/// skipping the flattened EdgeList, its canonicalize/dedupe sort, and the
+/// symmetrized intermediate — roughly halving peak memory on the default
+/// datasets. The CSR result is bit-identical to
+/// GraphBuilder::Build(GenerateFftDg(config)) at every GAB_THREADS.
+/// Requires max_edges == 0 (the cap needs the EdgeList path's cross-chunk
+/// truncation).
+CsrGraph GenerateFftDgToCsr(const FftDgConfig& config,
+                            GenStats* stats = nullptr);
 
 /// Number of vertex groups the diameter adjustment will use for a config.
 uint32_t FftDgGroupCount(const FftDgConfig& config);

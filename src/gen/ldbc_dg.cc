@@ -1,9 +1,16 @@
 #include "gen/ldbc_dg.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "gen/chunked.h"
+#include "gen/streams.h"
+#include "graph/builder.h"
+#include "obs/telemetry.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace gab {
@@ -16,27 +23,31 @@ LdbcDgConfig LdbcConfigForAlpha(VertexId num_vertices, double alpha) {
   return config;
 }
 
-EdgeList GenerateLdbcDg(const LdbcDgConfig& config, GenStats* stats) {
-  GAB_CHECK(config.num_vertices >= 2);
-  GAB_CHECK(config.base_p > 0.0 && config.base_p < 1.0);
-  GAB_CHECK(config.p_limit > 0.0 && config.p_limit <= 1.0);
+namespace {
 
+// Probes one fixed-grain chunk of source vertices
+// [c * grain, min((c + 1) * grain, n - 1)). Probe draws come from the
+// chunk's topology stream and weight draws from its disjoint weight stream,
+// so the output is a pure function of (config, budget, c). Emitted edges
+// are sorted by (src, dst) with src < dst, unique, and chunk-disjoint in
+// src — the GraphBuilder::GenerateToCsr contract.
+GenChunk ProbeLdbcChunk(const LdbcDgConfig& config,
+                        const std::vector<uint32_t>& budget, const Rng& root,
+                        size_t c, uint64_t* trials) {
   const VertexId n = config.num_vertices;
-  Rng rng(config.seed);
-  std::vector<uint32_t> budget;
-  if (config.explicit_budgets.empty()) {
-    budget = SampleTargetDegrees(config.degrees, n, rng);
-  } else {
-    GAB_CHECK(config.explicit_budgets.size() == n);
-    budget = config.explicit_budgets;
-  }
+  const uint64_t begin = c * gen_streams::kVertexChunkGrain;
+  const uint64_t end =
+      std::min<uint64_t>(static_cast<uint64_t>(n) - 1,
+                         begin + gen_streams::kVertexChunkGrain);
+  Rng topo = root.ForkStream(gen_streams::kTopologyBase + c);
+  Rng wrng = root.ForkStream(gen_streams::kWeightBase + c);
 
-  EdgeList edges(n);
-  GenStats local;
-  WallTimer timer;
+  GenChunk out;
+  uint64_t local_trials = 0;
   bool capped = false;
 
-  for (VertexId i = 0; i < n - 1 && !capped; ++i) {
+  for (uint64_t iv = begin; iv < end && !capped; ++iv) {
+    const VertexId i = static_cast<VertexId>(iv);
     uint32_t accepted = 0;
     // Probability decays multiplicatively with distance until it floors at
     // p_limit; tracking it incrementally avoids a pow() per probe (this is
@@ -44,8 +55,7 @@ EdgeList GenerateLdbcDg(const LdbcDgConfig& config, GenStats* stats) {
     // many more of them per edge).
     double p = 1.0;
     bool floored = false;
-    for (uint64_t j = static_cast<uint64_t>(i) + 1;
-         j < n && accepted < budget[i]; ++j) {
+    for (uint64_t j = iv + 1; j < n && accepted < budget[i]; ++j) {
       if (!floored) {
         p *= config.base_p;
         if (p <= config.p_limit) {
@@ -53,26 +63,101 @@ EdgeList GenerateLdbcDg(const LdbcDgConfig& config, GenStats* stats) {
           floored = true;
         }
       }
-      ++local.trials;
-      if (rng.NextUnit() >= p) continue;  // failed trial
+      ++local_trials;
+      if (topo.NextUnit() >= p) continue;  // failed trial
+      out.edges.push_back({i, static_cast<VertexId>(j)});
       if (config.weighted) {
-        edges.AddEdge(i, static_cast<VertexId>(j),
-                      static_cast<Weight>(rng.NextBounded(kMaxEdgeWeight) + 1));
-      } else {
-        edges.AddEdge(i, static_cast<VertexId>(j));
+        out.weights.push_back(
+            static_cast<Weight>(wrng.NextBounded(kMaxEdgeWeight) + 1));
       }
-      ++local.edges;
       ++accepted;
-      if (config.max_edges != 0 && local.edges >= config.max_edges) {
+      if (config.max_edges != 0 && out.edges.size() >= config.max_edges) {
         capped = true;
         break;
       }
     }
   }
 
-  local.seconds = timer.Seconds();
-  if (stats != nullptr) *stats = local;
+  *trials = local_trials;
+  return out;
+}
+
+std::vector<uint32_t> LdbcBudgets(const LdbcDgConfig& config, const Rng& root) {
+  GAB_CHECK(config.num_vertices >= 2);
+  GAB_CHECK(config.base_p > 0.0 && config.base_p < 1.0);
+  GAB_CHECK(config.p_limit > 0.0 && config.p_limit <= 1.0);
+  GAB_SPAN("gen.ldbc.budgets");
+  if (!config.explicit_budgets.empty()) {
+    GAB_CHECK(config.explicit_budgets.size() == config.num_vertices);
+    return config.explicit_budgets;
+  }
+  return SampleTargetDegreesParallel(config.degrees, config.num_vertices,
+                                     root);
+}
+
+}  // namespace
+
+EdgeList GenerateLdbcDg(const LdbcDgConfig& config, GenStats* stats) {
+  GAB_SPAN("gen.ldbc");
+  const VertexId n = config.num_vertices;
+  Rng root(config.seed);
+  const std::vector<uint32_t> budget = LdbcBudgets(config, root);
+  WallTimer timer;  // stats time the probe loop, not step 1 (budgets)
+
+  const size_t num_chunks = gen_streams::ChunkCount(
+      static_cast<size_t>(n) - 1, gen_streams::kVertexChunkGrain);
+  std::vector<GenChunk> chunks(num_chunks);
+  std::vector<uint64_t> trials(num_chunks, 0);
+  {
+    GAB_SPAN("gen.ldbc.sample");
+    DefaultPool().RunTasks(num_chunks, [&](size_t c, size_t) {
+      chunks[c] = ProbeLdbcChunk(config, budget, root, c, &trials[c]);
+    });
+  }
+
+  EdgeList edges;
+  {
+    GAB_SPAN("gen.ldbc.assemble");
+    edges = gen_internal::AssembleChunks(n, std::move(chunks),
+                                         config.max_edges);
+  }
+
+  if (stats != nullptr) {
+    GenStats local;
+    for (uint64_t t : trials) local.trials += t;
+    local.edges = edges.num_edges();
+    local.seconds = timer.Seconds();
+    *stats = local;
+  }
   return edges;
+}
+
+CsrGraph GenerateLdbcDgToCsr(const LdbcDgConfig& config, GenStats* stats) {
+  // See GenerateFftDgToCsr: the cap needs cross-chunk truncation, which the
+  // fused path's pure-function-of-index chunk contract cannot express.
+  GAB_CHECK(config.max_edges == 0);
+  GAB_SPAN("gen.ldbc.fused");
+  const VertexId n = config.num_vertices;
+  Rng root(config.seed);
+  const std::vector<uint32_t> budget = LdbcBudgets(config, root);
+  WallTimer timer;
+
+  const size_t num_chunks = gen_streams::ChunkCount(
+      static_cast<size_t>(n) - 1, gen_streams::kVertexChunkGrain);
+  std::vector<uint64_t> trials(num_chunks, 0);
+  CsrGraph g = GraphBuilder::GenerateToCsr(
+      n, num_chunks,
+      [&](size_t c) { return ProbeLdbcChunk(config, budget, root, c,
+                                            &trials[c]); });
+
+  if (stats != nullptr) {
+    GenStats local;
+    for (uint64_t t : trials) local.trials += t;
+    local.edges = g.num_edges();
+    local.seconds = timer.Seconds();
+    *stats = local;
+  }
+  return g;
 }
 
 }  // namespace gab

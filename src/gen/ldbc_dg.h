@@ -5,6 +5,7 @@
 
 #include "gen/degree_dist.h"
 #include "gen/generator.h"
+#include "graph/csr_graph.h"
 #include "graph/edge_list.h"
 
 namespace gab {
@@ -44,8 +45,17 @@ struct LdbcDgConfig {
 LdbcDgConfig LdbcConfigForAlpha(VertexId num_vertices, double alpha);
 
 /// Runs LDBC-DG and returns the (forward-only) edge list. Optionally
-/// reports trial/edge/time statistics.
+/// reports trial/edge/time statistics. Chunk-parallel on DefaultPool() with
+/// per-chunk forked RNG streams (gen/streams.h): bit-identical output for
+/// every GAB_THREADS.
 EdgeList GenerateLdbcDg(const LdbcDgConfig& config, GenStats* stats = nullptr);
+
+/// Fused generate→CSR fast path (see GenerateFftDgToCsr): bit-identical to
+/// GraphBuilder::Build(GenerateLdbcDg(config)) at every GAB_THREADS, with
+/// the flattened EdgeList and its sort/symmetrize intermediates skipped.
+/// Requires max_edges == 0.
+CsrGraph GenerateLdbcDgToCsr(const LdbcDgConfig& config,
+                             GenStats* stats = nullptr);
 
 }  // namespace gab
 

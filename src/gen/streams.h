@@ -1,0 +1,54 @@
+#ifndef GAB_GEN_STREAMS_H_
+#define GAB_GEN_STREAMS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gab {
+
+/// Stream-seeding discipline for the parallel generators (DESIGN.md §9).
+///
+/// Every generator owns one root Rng seeded from its config. All
+/// randomness is drawn from sub-streams forked off that root with
+/// Rng::ForkStream(base + index), never from the root directly, so:
+///  - chunks of work are independent and can run on any worker in any
+///    order with bit-identical output across GAB_THREADS;
+///  - orthogonal concerns (topology, weights, degree budgets, …) live in
+///    disjoint stream-id ranges, so toggling one (e.g. weighted on/off)
+///    never perturbs the draws of another.
+///
+/// Stream ids are 64-bit: the high 32 bits select the concern, the low 32
+/// bits the chunk index within it.
+namespace gen_streams {
+
+/// Edge-topology sampling, one stream per work chunk.
+inline constexpr uint64_t kTopologyBase = 0;
+/// Edge-weight drawing, one stream per work chunk. Disjoint from topology
+/// so enabling/disabling weights leaves the generated topology untouched.
+inline constexpr uint64_t kWeightBase = uint64_t{1} << 32;
+/// Per-vertex degree-budget sampling (FFT-DG / LDBC-DG step 1).
+inline constexpr uint64_t kBudgetBase = uint64_t{2} << 32;
+/// Real-world proxy: intra-community wiring, one stream per community.
+inline constexpr uint64_t kCommunityBase = uint64_t{3} << 32;
+/// Real-world proxy: preferential-attachment overlay chunks.
+inline constexpr uint64_t kOverlayBase = uint64_t{4} << 32;
+
+/// Fixed work-chunk grains. These are part of the output contract: the
+/// chunk partition (and hence the stream assignment) depends only on the
+/// input size, never on the worker count, so the same seed produces the
+/// same graph at every GAB_THREADS. Chosen so a chunk is large enough to
+/// amortize task dispatch yet small enough to load-balance skewed
+/// per-vertex costs.
+inline constexpr size_t kVertexChunkGrain = 2048;   // vertices per chunk
+inline constexpr size_t kEdgeChunkGrain = 1 << 16;  // edges per chunk
+
+/// Number of fixed-grain chunks covering `total` items.
+inline constexpr size_t ChunkCount(size_t total, size_t grain) {
+  return total == 0 ? 0 : (total + grain - 1) / grain;
+}
+
+}  // namespace gen_streams
+
+}  // namespace gab
+
+#endif  // GAB_GEN_STREAMS_H_

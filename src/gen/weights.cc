@@ -1,17 +1,35 @@
 #include "gen/weights.h"
 
+#include <algorithm>
+
+#include "gen/streams.h"
+#include "obs/telemetry.h"
 #include "util/rng.h"
+#include "util/threading.h"
 
 namespace gab {
 
 void AssignUniformWeights(EdgeList* edges, uint64_t seed) {
   if (edges->has_weights()) return;
-  Rng rng(seed);
+  GAB_SPAN("gen.weights.assign");
+  // Weights draw from dedicated forked streams (gen_streams::kWeightBase),
+  // never from the raw seed's root sequence, so assigning weights cannot
+  // perturb any topology RNG that shares the seed — and each fixed-grain
+  // edge chunk owns its own stream, so the assignment is parallel yet
+  // bit-identical for every GAB_THREADS.
+  Rng root(seed);
   auto& weights = edges->mutable_weights();
   weights.resize(edges->num_edges());
-  for (auto& w : weights) {
-    w = static_cast<Weight>(rng.NextBounded(kMaxEdgeWeight) + 1);
-  }
+  const size_t grain = gen_streams::kEdgeChunkGrain;
+  const size_t num_chunks = gen_streams::ChunkCount(weights.size(), grain);
+  DefaultPool().RunTasks(num_chunks, [&](size_t c, size_t) {
+    Rng rng = root.ForkStream(gen_streams::kWeightBase + c);
+    const size_t begin = c * grain;
+    const size_t end = std::min<size_t>(weights.size(), begin + grain);
+    for (size_t i = begin; i < end; ++i) {
+      weights[i] = static_cast<Weight>(rng.NextBounded(kMaxEdgeWeight) + 1);
+    }
+  });
 }
 
 }  // namespace gab

@@ -10,6 +10,11 @@ namespace gab {
 /// Assigns uniform integer weights in [1, kMaxEdgeWeight] to every edge of
 /// an unweighted edge list (used to weight graphs from generators that do
 /// not produce weights themselves). No-op if already weighted.
+///
+/// Draws come from per-chunk weight streams forked off `seed`
+/// (gen_streams::kWeightBase), so the assignment runs in parallel with
+/// bit-identical output across GAB_THREADS and never perturbs a topology
+/// RNG sequence sharing the same seed.
 void AssignUniformWeights(EdgeList* edges, uint64_t seed);
 
 }  // namespace gab

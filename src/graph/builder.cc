@@ -227,6 +227,160 @@ Status GraphBuilder::BuildChecked(EdgeList edges, const Options& options,
   return Status::Ok();
 }
 
+CsrGraph GraphBuilder::GenerateToCsr(VertexId num_vertices, size_t num_chunks,
+                                     const ChunkGeneratorFn& generate) {
+  GAB_SPAN("build.fused_csr");
+  GAB_COUNT("build.fused_graphs", 1);
+  const VertexId n = num_vertices;
+
+  // Phase 1: pull every chunk from the generator. Chunks are pure
+  // functions of their index, so workers can produce them in any order.
+  std::vector<GenChunk> chunks(num_chunks);
+  DefaultPool().RunTasks(num_chunks,
+                         [&](size_t c, size_t) { chunks[c] = generate(c); });
+
+  // Concatenated-stream base index per chunk, plus the weighted decision
+  // (all nonempty chunks must agree).
+  std::vector<EdgeId> base(num_chunks + 1, 0);
+  bool weighted = false;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    base[c + 1] = base[c] + chunks[c].edges.size();
+    if (!chunks[c].weights.empty()) weighted = true;
+  }
+  const EdgeId m = base[num_chunks];
+  GAB_COUNT("build.fused_input_edges", m);
+
+  CsrGraph g;
+  g.num_vertices_ = n;
+  g.undirected_ = true;
+  g.num_edges_ = m;
+  if (m == 0) {
+    g.out_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+    return g;
+  }
+
+  // Phase 2a: contract checks + forward (src-keyed) degree histogram.
+  // Chunks own disjoint ascending src ranges, so the counting writes never
+  // collide and need no atomics.
+  std::vector<EdgeId> fwd(static_cast<size_t>(n), 0);
+  DefaultPool().RunTasks(num_chunks, [&](size_t c, size_t) {
+    const auto& e = chunks[c].edges;
+    if (weighted && !e.empty()) {
+      GAB_CHECK(chunks[c].weights.size() == e.size());
+    }
+    for (size_t i = 0; i < e.size(); ++i) {
+      GAB_CHECK(e[i].src < e[i].dst && e[i].dst < n);
+      if (i > 0) GAB_CHECK(e[i - 1] < e[i]);
+      ++fwd[e[i].src];
+    }
+  });
+  // Cross-chunk ordering: ascending, src-disjoint.
+  {
+    const Edge* prev = nullptr;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      if (chunks[c].edges.empty()) continue;
+      if (prev != nullptr) GAB_CHECK(prev->src < chunks[c].edges.front().src);
+      prev = &chunks[c].edges.back();
+    }
+  }
+
+  // Walks the concatenated stream's global index range [lo, hi) without
+  // ever materializing it, visiting each edge (and its weight) in order.
+  auto for_each_global = [&](EdgeId lo, EdgeId hi, auto&& fn) {
+    if (lo >= hi) return;
+    size_t c = static_cast<size_t>(std::upper_bound(base.begin(), base.end(),
+                                                    lo) -
+                                   base.begin()) -
+               1;
+    for (; c < num_chunks && base[c] < hi; ++c) {
+      const EdgeId s = std::max<EdgeId>(lo, base[c]);
+      const EdgeId e = std::min<EdgeId>(hi, base[c + 1]);
+      for (EdgeId i = s; i < e; ++i) {
+        const size_t k = static_cast<size_t>(i - base[c]);
+        fn(chunks[c].edges[k],
+           chunks[c].weights.empty() ? Weight{} : chunks[c].weights[k]);
+      }
+    }
+  };
+
+  // Phase 2b: backward (dst-keyed) histogram with worker-count chunking —
+  // the same stable-scatter shape as ScatterUnsorted: each edge's final
+  // rank equals its global-stream rank within the dst bucket, so the
+  // result is independent of the worker count.
+  const size_t workers = DefaultPool().num_threads();
+  const size_t wchunks =
+      std::max<size_t>(1, std::min<size_t>(static_cast<size_t>(m), workers));
+  std::vector<EdgeId> wb(wchunks + 1);
+  for (size_t w = 0; w <= wchunks; ++w) wb[w] = m * w / wchunks;
+  std::vector<std::vector<EdgeId>> bwd(wchunks);
+  DefaultPool().RunTasks(wchunks, [&](size_t w, size_t) {
+    bwd[w].assign(static_cast<size_t>(n), 0);
+    for_each_global(wb[w], wb[w + 1],
+                    [&](const Edge& e, Weight) { ++bwd[w][e.dst]; });
+  });
+
+  // Phase 3: offsets. A vertex's bucket holds its backward neighbors
+  // (sources u < v, in global order == ascending u) followed by its
+  // forward neighbors (dsts j > v, ascending by construction) — i.e. the
+  // fully sorted adjacency the classic Build produces.
+  std::vector<EdgeId> in_cnt(static_cast<size_t>(n), 0);
+  g.out_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  auto& off = g.out_offsets_;
+  ParallelFor(n, [&](size_t b, size_t e) {
+    for (size_t v = b; v < e; ++v) {
+      EdgeId total = 0;
+      for (size_t w = 0; w < wchunks; ++w) total += bwd[w][v];
+      in_cnt[v] = total;
+      off[v + 1] = total + fwd[v];
+    }
+  });
+  ParallelInclusiveScan(off);
+
+  g.out_neighbors_.resize(static_cast<size_t>(2 * m));
+  if (weighted) g.out_weights_.resize(static_cast<size_t>(2 * m));
+
+  // Phase 4a: backward placement. Turn each worker chunk's histogram into
+  // its starting cursor per vertex (bucket base plus earlier chunks'
+  // counts), then scatter.
+  std::vector<EdgeId> running(static_cast<size_t>(n), 0);
+  for (size_t w = 0; w < wchunks; ++w) {
+    ParallelFor(n, [&](size_t b, size_t e) {
+      for (size_t v = b; v < e; ++v) {
+        EdgeId count = bwd[w][v];
+        bwd[w][v] = off[v] + running[v];
+        running[v] += count;
+      }
+    });
+  }
+  DefaultPool().RunTasks(wchunks, [&](size_t w, size_t) {
+    for_each_global(wb[w], wb[w + 1], [&](const Edge& e, Weight wt) {
+      EdgeId pos = bwd[w][e.dst]++;
+      g.out_neighbors_[pos] = e.src;
+      if (weighted) g.out_weights_[pos] = wt;
+    });
+  });
+
+  // Phase 4b: forward placement. Each chunk owns its src range and its
+  // edges are sorted, so one running cursor per source suffices.
+  DefaultPool().RunTasks(num_chunks, [&](size_t c, size_t) {
+    const auto& e = chunks[c].edges;
+    const auto& w = chunks[c].weights;
+    VertexId cur = kInvalidVertex;
+    EdgeId pos = 0;
+    for (size_t i = 0; i < e.size(); ++i) {
+      if (e[i].src != cur) {
+        cur = e[i].src;
+        pos = off[cur] + in_cnt[cur];
+      }
+      g.out_neighbors_[pos] = e[i].dst;
+      if (weighted) g.out_weights_[pos] = w[i];
+      ++pos;
+    }
+  });
+
+  return g;
+}
+
 CsrGraph GraphBuilder::FromPairs(
     VertexId num_vertices,
     const std::vector<std::pair<VertexId, VertexId>>& pairs, bool undirected) {

@@ -28,9 +28,26 @@ class SplitMix64 {
 /// reproducible bit-for-bit.
 class Rng {
  public:
-  explicit Rng(uint64_t seed) {
+  explicit Rng(uint64_t seed) : seed_(seed) {
     SplitMix64 sm(seed);
     for (auto& s : s_) s = sm.Next();
+  }
+
+  /// Counter-based sub-stream derivation: returns an independent generator
+  /// whose seed is a SplitMix64 mix of this generator's *seed* (not its
+  /// current state) and `stream_id`. Forking is therefore a pure function
+  /// of (seed, stream_id) — any chunk of work can derive its own stream in
+  /// parallel, in any order, and the result never depends on how many
+  /// draws other chunks made. This is what makes the parallel data
+  /// generators bit-identical across GAB_THREADS (DESIGN.md §9).
+  ///
+  /// The double mix (constant-xor, then golden-ratio counter offset)
+  /// decorrelates child streams from the parent's own Xoshiro expansion,
+  /// which also seeds from SplitMix64(seed).
+  Rng ForkStream(uint64_t stream_id) const {
+    SplitMix64 outer(seed_ ^ 0x94d049bb133111ebULL);
+    SplitMix64 inner(outer.Next() + 0x9e3779b97f4a7c15ULL * stream_id);
+    return Rng(inner.Next());
   }
 
   uint64_t Next() {
@@ -80,6 +97,7 @@ class Rng {
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
+  uint64_t seed_;
   uint64_t s_[4];
 };
 

@@ -1,0 +1,274 @@
+// Bit-identical parallelism guarantees for the data generators: every
+// generator must produce a byte-identical EdgeList (and the fused path a
+// byte-identical CsrGraph) at GAB_THREADS=1 and at 7 workers (odd on
+// purpose: chunk boundaries land off word and grain multiples), and across
+// repeated runs with the same seed. The weight-stream separation contract
+// (gen/streams.h) is pinned here too: toggling weights must never perturb
+// the generated topology.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/classic.h"
+#include "gen/datasets.h"
+#include "gen/fft_dg.h"
+#include "gen/ldbc_dg.h"
+#include "gen/weights.h"
+#include "graph/builder.h"
+#include "util/threading.h"
+
+namespace gab {
+namespace {
+
+constexpr size_t kThreadsA = 1;
+constexpr size_t kThreadsB = 7;
+
+// Runs `make` once at 1 worker and twice at 7, expecting all three
+// EdgeLists byte-identical (thread-count invariance + same-seed
+// repeatability in one shot).
+template <typename Fn>
+void ExpectEdgeListInvariant(Fn make) {
+  EdgeList a, b, c;
+  {
+    ScopedThreadPool scoped(kThreadsA);
+    a = make();
+  }
+  {
+    ScopedThreadPool scoped(kThreadsB);
+    b = make();
+    c = make();
+  }
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(b.edges(), c.edges());
+  EXPECT_EQ(b.weights(), c.weights());
+}
+
+void ExpectCsrIdentical(const CsrGraph& a, const CsrGraph& b) {
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.out_offsets(), b.out_offsets());
+  EXPECT_EQ(a.out_neighbors(), b.out_neighbors());
+  EXPECT_EQ(a.out_weights(), b.out_weights());
+}
+
+TEST(GeneratorDeterminismTest, FftDg) {
+  FftDgConfig config;
+  config.num_vertices = 5000;
+  config.weighted = true;
+  config.seed = 7;
+  ExpectEdgeListInvariant([&] { return GenerateFftDg(config); });
+}
+
+TEST(GeneratorDeterminismTest, FftDgWithDiameterGroups) {
+  FftDgConfig config;
+  config.num_vertices = 5000;
+  config.target_diameter = 60;
+  config.seed = 8;
+  ExpectEdgeListInvariant([&] { return GenerateFftDg(config); });
+}
+
+TEST(GeneratorDeterminismTest, FftDgCapped) {
+  FftDgConfig config;
+  config.num_vertices = 5000;
+  config.weighted = true;
+  config.max_edges = 700;
+  config.seed = 9;
+  EdgeList a, b;
+  {
+    ScopedThreadPool scoped(kThreadsA);
+    a = GenerateFftDg(config);
+  }
+  {
+    ScopedThreadPool scoped(kThreadsB);
+    b = GenerateFftDg(config);
+  }
+  EXPECT_EQ(a.num_edges(), 700u);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(GeneratorDeterminismTest, LdbcDg) {
+  LdbcDgConfig config;
+  config.num_vertices = 3000;
+  config.weighted = true;
+  config.seed = 11;
+  ExpectEdgeListInvariant([&] { return GenerateLdbcDg(config); });
+}
+
+TEST(GeneratorDeterminismTest, ErdosRenyi) {
+  ExpectEdgeListInvariant(
+      [] { return GenerateErdosRenyi(4000, 300000, /*seed=*/13); });
+}
+
+TEST(GeneratorDeterminismTest, WattsStrogatz) {
+  ExpectEdgeListInvariant(
+      [] { return GenerateWattsStrogatz(5000, 6, 0.1, /*seed=*/17); });
+}
+
+TEST(GeneratorDeterminismTest, BarabasiAlbert) {
+  ExpectEdgeListInvariant(
+      [] { return GenerateBarabasiAlbert(5000, 4, /*seed=*/19); });
+}
+
+TEST(GeneratorDeterminismTest, Rmat) {
+  ExpectEdgeListInvariant([] {
+    return GenerateRmat(/*scale=*/12, 200000, 0.57, 0.19, 0.19, /*seed=*/23);
+  });
+}
+
+TEST(GeneratorDeterminismTest, RealWorldProxy) {
+  RealWorldProxyConfig config;
+  config.num_vertices = 6000;
+  config.seed = 29;
+  std::vector<uint32_t> com_a, com_b;
+  EdgeList a, b;
+  {
+    ScopedThreadPool scoped(kThreadsA);
+    a = GenerateRealWorldProxy(config, &com_a);
+  }
+  {
+    ScopedThreadPool scoped(kThreadsB);
+    b = GenerateRealWorldProxy(config, &com_b);
+  }
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(com_a, com_b);
+}
+
+TEST(GeneratorDeterminismTest, AssignUniformWeights) {
+  auto make = [] {
+    EdgeList el = GenerateErdosRenyi(2000, 150000, /*seed=*/31);
+    AssignUniformWeights(&el, /*seed=*/37);
+    return el;
+  };
+  ExpectEdgeListInvariant(make);
+}
+
+// ----------------------------------- weight-stream separation ----
+// Weights draw from dedicated forked streams (gen_streams::kWeightBase),
+// so enabling them must leave the topology draws untouched.
+
+TEST(WeightStreamTest, FftWeightsToggleLeavesTopologyUnchanged) {
+  FftDgConfig config;
+  config.num_vertices = 4000;
+  config.seed = 41;
+  config.weighted = false;
+  EdgeList plain = GenerateFftDg(config);
+  config.weighted = true;
+  EdgeList weighted = GenerateFftDg(config);
+  EXPECT_EQ(plain.edges(), weighted.edges());
+  EXPECT_FALSE(plain.has_weights());
+  EXPECT_TRUE(weighted.has_weights());
+}
+
+TEST(WeightStreamTest, LdbcWeightsToggleLeavesTopologyUnchanged) {
+  LdbcDgConfig config;
+  config.num_vertices = 2500;
+  config.seed = 43;
+  config.weighted = false;
+  EdgeList plain = GenerateLdbcDg(config);
+  config.weighted = true;
+  EdgeList weighted = GenerateLdbcDg(config);
+  EXPECT_EQ(plain.edges(), weighted.edges());
+}
+
+TEST(WeightStreamTest, BudgetsUnperturbedByWeights) {
+  // Budgets live in their own stream range too: an explicit-budget run and
+  // a sampled-budget run with the same budgets must agree edge-for-edge.
+  FftDgConfig config;
+  config.num_vertices = 3000;
+  config.seed = 47;
+  EdgeList sampled = GenerateFftDg(config);
+  Rng root(config.seed);
+  config.explicit_budgets =
+      SampleTargetDegreesParallel(config.degrees, config.num_vertices, root);
+  EdgeList explicit_run = GenerateFftDg(config);
+  EXPECT_EQ(sampled.edges(), explicit_run.edges());
+}
+
+// ------------------------------------------- fused generate→CSR ----
+// The fused path must be bit-identical to generate-then-build, at every
+// thread count.
+
+TEST(FusedPathTest, FftFusedMatchesClassicBuild) {
+  FftDgConfig config;
+  config.num_vertices = 5000;
+  config.weighted = true;
+  config.seed = 53;
+  CsrGraph classic = GraphBuilder::Build(GenerateFftDg(config));
+  CsrGraph fused_a, fused_b;
+  {
+    ScopedThreadPool scoped(kThreadsA);
+    fused_a = GenerateFftDgToCsr(config);
+  }
+  {
+    ScopedThreadPool scoped(kThreadsB);
+    fused_b = GenerateFftDgToCsr(config);
+  }
+  ExpectCsrIdentical(classic, fused_a);
+  ExpectCsrIdentical(classic, fused_b);
+}
+
+TEST(FusedPathTest, FftFusedMatchesClassicBuildWithDiameterGroups) {
+  FftDgConfig config;
+  config.num_vertices = 5000;
+  config.target_diameter = 80;
+  config.weighted = true;
+  config.seed = 59;
+  CsrGraph classic = GraphBuilder::Build(GenerateFftDg(config));
+  ExpectCsrIdentical(classic, GenerateFftDgToCsr(config));
+}
+
+TEST(FusedPathTest, LdbcFusedMatchesClassicBuild) {
+  LdbcDgConfig config;
+  config.num_vertices = 2500;
+  config.weighted = true;
+  config.seed = 61;
+  CsrGraph classic = GraphBuilder::Build(GenerateLdbcDg(config));
+  CsrGraph fused_a, fused_b;
+  {
+    ScopedThreadPool scoped(kThreadsA);
+    fused_a = GenerateLdbcDgToCsr(config);
+  }
+  {
+    ScopedThreadPool scoped(kThreadsB);
+    fused_b = GenerateLdbcDgToCsr(config);
+  }
+  ExpectCsrIdentical(classic, fused_a);
+  ExpectCsrIdentical(classic, fused_b);
+}
+
+TEST(FusedPathTest, FusedStatsMatchEdgeListStats) {
+  FftDgConfig config;
+  config.num_vertices = 4000;
+  config.seed = 67;
+  GenStats list_stats, fused_stats;
+  EdgeList el = GenerateFftDg(config, &list_stats);
+  CsrGraph g = GenerateFftDgToCsr(config, &fused_stats);
+  EXPECT_EQ(list_stats.edges, el.num_edges());
+  EXPECT_EQ(fused_stats.edges, g.num_edges());
+  EXPECT_EQ(list_stats.edges, fused_stats.edges);
+  EXPECT_EQ(list_stats.trials, fused_stats.trials);
+}
+
+TEST(FusedPathTest, BuildDatasetIsThreadCountInvariant) {
+  DatasetSpec spec = StdDataset(3);  // 36 vertices: fast, still multi-chunk
+  spec.num_vertices = 4000;          // widen past one vertex chunk
+  CsrGraph a, b;
+  {
+    ScopedThreadPool scoped(kThreadsA);
+    a = BuildDataset(spec);
+  }
+  {
+    ScopedThreadPool scoped(kThreadsB);
+    b = BuildDataset(spec);
+  }
+  ExpectCsrIdentical(a, b);
+  EXPECT_TRUE(a.has_weights());
+}
+
+}  // namespace
+}  // namespace gab

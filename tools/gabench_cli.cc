@@ -87,6 +87,7 @@ int Usage() {
       "  generate   --type fft|ldbc|er|ws|ba|rmat|proxy --n N --out FILE\n"
       "             [--alpha A] [--diameter D] [--weighted] [--seed S]\n"
       "             [--m M (er/rmat)] [--text]\n"
+      "             [--trace-out FILE] [--metrics-out FILE]\n"
       "  info       --in FILE            graph statistics\n"
       "  datasets   [--scale S]          the Table 4 dataset registry\n"
       "  run        --platform AB --algo NAME (--in FILE | --dataset NAME)\n"
@@ -160,6 +161,13 @@ int CmdGenerate(const Flags& flags) {
     std::fprintf(stderr, "error: --out FILE required\n");
     return 1;
   }
+  // Generation is span-instrumented (gen.fft.budgets, gen.fft.sample, ...),
+  // so the telemetry flags work here just as they do for `run`.
+  const std::string trace_out = flags.Get("trace-out", "");
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    obs::Telemetry::Enable();
+  }
 
   EdgeList edges;
   GenStats stats;
@@ -210,6 +218,22 @@ int CmdGenerate(const Flags& flags) {
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 2;
+  }
+  if (!trace_out.empty()) {
+    status = obs::WriteChromeTrace(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    std::printf("trace written: %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    status = obs::WriteMetricsPrometheus(metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    std::printf("metrics written: %s\n", metrics_out.c_str());
   }
   std::printf("wrote %s: %u vertices, %llu edges", out.c_str(),
               edges.num_vertices(),
