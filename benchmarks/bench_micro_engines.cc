@@ -1,9 +1,11 @@
 // google-benchmark microbenchmarks for the engine primitives: EdgeMap in
 // both directions, a vertex-centric superstep, a GAS iteration, and a
 // dataflow (shuffle) superstep on a fixed graph — followed by a
-// GAB_THREADS ∈ {1, hw} sweep of the PR/WCC subset kernels that reports
-// through the shared ReportSink (BENCH_engines.json) and enforces a soft
-// speedup gate (see main below).
+// GAB_THREADS ∈ {1, hw} sweep of the PR/WCC subset kernels and an
+// S7-scale GAP kernel sweep (direction-optimizing BFS and delta-stepping
+// SSSP vs the classic subset kernels, strict/relaxed × original/relabeled)
+// that report through the shared ReportSink (BENCH_engines.json) and
+// enforce soft speedup gates plus a hard equivalence gate (see main).
 
 #include <benchmark/benchmark.h>
 
@@ -13,15 +15,22 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "algos/bfs.h"
+#include "algos/sssp.h"
+#include "algos/verify.h"
 #include "bench_common.h"
 #include "engines/dataflow.h"
 #include "engines/gas.h"
 #include "engines/vertex_centric.h"
 #include "engines/vertex_subset.h"
+#include "gen/datasets.h"
 #include "gen/fft_dg.h"
 #include "graph/builder.h"
+#include "graph/relabel.h"
 #include "platforms/subset_kernels.h"
+#include "util/exec_mode.h"
 #include "util/timer.h"
 
 namespace gab {
@@ -172,12 +181,12 @@ RunResult TimedBest(const Kernel& kernel, int trials, double* best_seconds) {
   return result;
 }
 
-void RecordSweepPoint(const char* algorithm, size_t threads, double seconds,
-                      RunResult run, uint64_t arcs) {
+void RecordSweepPoint(const char* algorithm, std::string dataset,
+                      double seconds, RunResult run, uint64_t arcs) {
   ExperimentRecord record;
   record.platform = "ENGINE";
   record.algorithm = algorithm;
-  record.dataset = "fft20k/t" + std::to_string(threads);
+  record.dataset = std::move(dataset);
   record.timing.running_seconds = seconds;
   record.timing.makespan_seconds = seconds;
   record.throughput_eps =
@@ -215,13 +224,14 @@ int RunThreadSweep() {
       ScopedThreadPool pool(1);
       RunResult run = TimedBest(
           [&] { return k.fn(g, params, options); }, trials, &t1);
-      RecordSweepPoint(k.name, 1, t1, std::move(run), g.num_arcs());
+      RecordSweepPoint(k.name, "fft20k/t1", t1, std::move(run), g.num_arcs());
     }
     {
       ScopedThreadPool pool(hi);
       RunResult run = TimedBest(
           [&] { return k.fn(g, params, options); }, trials, &thi);
-      RecordSweepPoint(k.name, hi, thi, std::move(run), g.num_arcs());
+      RecordSweepPoint(k.name, "fft20k/t" + std::to_string(hi), thi,
+                       std::move(run), g.num_arcs());
     }
     double speedup = thi > 0 ? t1 / thi : 0;
     std::printf("  %-4s t1=%.4fs t%zu=%.4fs speedup=%.2fx\n", k.name, t1, hi,
@@ -243,7 +253,158 @@ int RunThreadSweep() {
           hi, hw);
     }
   }
-  if (!bench::ReportSink::Global().Flush()) rc = 1;
+  return rc;
+}
+
+// ---------------------------------------------------------------------------
+// S7-scale GAP kernel sweep (ISSUE: GAP-grade kernels).
+
+/// The S7-Std power-law dataset (360k vertices, FFT-DG alpha=10, weighted)
+/// — large enough that the direction switch and bucketed frontiers matter.
+const CsrGraph& GapGraph() {
+  static const CsrGraph& g =
+      *new CsrGraph(BuildDataset(StdDataset(7)));
+  return g;
+}
+
+/// Measures the GAP kernels (DirectionOptBfs, DeltaSteppingSssp) against
+/// the classic subset kernels (SubsetBfs, SubsetSssp) on S7-Std, in every
+/// strict/relaxed × original/relabeled combination, recording each point
+/// into BENCH_engines.json as dataset "S7-Std/<mode>/<graph>/t<threads>".
+///
+/// Gates:
+///  - hard: the equivalence verifier must pass on every benchmarked run —
+///    DO-BFS == classic BFS levels, delta-SSSP == classic SSSP distances,
+///    relaxed == strict fixed point, and relabeled outputs mapped back to
+///    original ids == the original-graph outputs;
+///  - soft: DO-BFS and delta-SSSP must each be >= 2x faster than the
+///    classic kernel (strict, original graph) — enforced only with >= 4
+///    workers on >= 4 hardware threads, warned otherwise (same rationale
+///    as the thread-sweep gate).
+int RunGapKernelSweep() {
+  const CsrGraph& g = GapGraph();
+  RelabelPlan plan = BuildRelabelPlan(g, RelabelStrategy::kDegreeDesc);
+  const CsrGraph rl = ApplyRelabelPlan(g, plan);
+  const LocalityStats loc_before = ComputeLocalityStats(g);
+  const LocalityStats loc_after = ComputeLocalityStats(rl);
+
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t threads = std::max<size_t>(1, DefaultPool().num_threads());
+  const int trials = 2;
+  SubsetKernelOptions options;
+  int rc = 0;
+
+  std::printf(
+      "\nGAP kernel sweep: S7-Std (n=%u, arcs=%llu), %zu workers, hw=%u, "
+      "best of %d\n",
+      g.num_vertices(), static_cast<unsigned long long>(g.num_arcs()),
+      threads, hw, trials);
+  std::printf(
+      "  degree relabel: avg neighbor gap %.1f -> %.1f, cache line reuse "
+      "%.3f -> %.3f\n",
+      loc_before.avg_neighbor_gap, loc_after.avg_neighbor_gap,
+      loc_before.cache_line_reuse, loc_after.cache_line_reuse);
+
+  // [mode][graph][kernel]: 0=BFS 1=BFS_DO 2=SSSP 3=SSSP_DELTA.
+  const char* kKernel[4] = {"BFS", "BFS_DO", "SSSP", "SSSP_DELTA"};
+  const char* kMode[2] = {"strict", "relaxed"};
+  const char* kVariant[2] = {"orig", "relabel"};
+  std::vector<uint64_t> out[2][2][4];
+  double secs[2][2][4] = {};
+
+  for (int m = 0; m < 2; ++m) {
+    ScopedExecMode scope(m == 0 ? ExecMode::kStrict : ExecMode::kRelaxed);
+    for (int gv = 0; gv < 2; ++gv) {
+      const CsrGraph& gr = gv == 0 ? g : rl;
+      AlgoParams params;
+      params.source = gv == 0 ? VertexId{0} : plan.old_to_new[0];
+      const std::string dataset = std::string("S7-Std/") + kMode[m] + "/" +
+                                  kVariant[gv] + "/t" +
+                                  std::to_string(threads);
+
+      auto run_kernel = [&](int k, auto&& kernel) {
+        double s = 0;
+        RunResult run = TimedBest(kernel, trials, &s);
+        out[m][gv][k] = run.output.ints;
+        secs[m][gv][k] = s;
+        RecordSweepPoint(kKernel[k], dataset, s, std::move(run),
+                         gr.num_arcs());
+      };
+      run_kernel(0, [&] { return SubsetBfs(gr, params, options); });
+      run_kernel(1, [&] {
+        RunResult r;
+        std::vector<uint32_t> levels = DirectionOptBfs(gr, params.source);
+        r.output.ints.assign(levels.begin(), levels.end());
+        return r;
+      });
+      run_kernel(2, [&] { return SubsetSssp(gr, params, options); });
+      run_kernel(3, [&] {
+        RunResult r;
+        r.output.ints = DeltaSteppingSssp(gr, params.source);
+        return r;
+      });
+      std::printf(
+          "  %-7s/%-7s BFS=%.3fs DO-BFS=%.3fs (%.2fx)  SSSP=%.3fs "
+          "delta-SSSP=%.3fs (%.2fx)\n",
+          kMode[m], kVariant[gv], secs[m][gv][0], secs[m][gv][1],
+          secs[m][gv][1] > 0 ? secs[m][gv][0] / secs[m][gv][1] : 0,
+          secs[m][gv][2], secs[m][gv][3],
+          secs[m][gv][3] > 0 ? secs[m][gv][2] / secs[m][gv][3] : 0);
+    }
+  }
+
+  // Hard equivalence gate over every benchmarked combination.
+  auto check = [&](const VerifyResult& r, const std::string& what) {
+    if (!r.ok) {
+      std::fprintf(stderr, "FAIL: %s: %s\n", what.c_str(), r.detail.c_str());
+      rc = 1;
+    }
+  };
+  for (int m = 0; m < 2; ++m) {
+    for (int gv = 0; gv < 2; ++gv) {
+      const std::string where =
+          std::string(kMode[m]) + "/" + kVariant[gv];
+      check(CompareExact(out[m][gv][1], out[m][gv][0]),
+            "DO-BFS vs classic BFS levels (" + where + ")");
+      check(CompareExact(out[m][gv][3], out[m][gv][2]),
+            "delta-SSSP vs classic SSSP distances (" + where + ")");
+    }
+  }
+  for (int gv = 0; gv < 2; ++gv) {
+    for (int k = 0; k < 4; ++k) {
+      check(VerifyFixedPoint(out[0][gv][k], out[1][gv][k], kKernel[k]),
+            std::string(kKernel[k]) + " (" + kVariant[gv] + ")");
+    }
+  }
+  for (int k = 0; k < 4; ++k) {
+    check(CompareExact(MapToOriginalIds(out[0][1][k], plan), out[0][0][k]),
+          std::string(kKernel[k]) + " relabel round-trip");
+  }
+  if (rc == 0) {
+    std::printf("  equivalence verifier: all %d combinations ok\n", 2 * 2);
+  }
+
+  // Soft speedup gate (strict mode, original graph) — the acceptance bar.
+  const double bfs_speedup =
+      secs[0][0][1] > 0 ? secs[0][0][0] / secs[0][0][1] : 0;
+  const double sssp_speedup =
+      secs[0][0][3] > 0 ? secs[0][0][2] / secs[0][0][3] : 0;
+  std::printf("  GAP speedup vs classic (strict/orig): BFS %.2fx, SSSP "
+              "%.2fx (target >= 2x)\n",
+              bfs_speedup, sssp_speedup);
+  if (threads >= 4 && hw >= 4) {
+    if (bfs_speedup < 2.0 || sssp_speedup < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: GAP kernel below the 2x bar (BFS %.2fx, SSSP "
+                   "%.2fx)\n",
+                   bfs_speedup, sssp_speedup);
+      rc = 1;
+    }
+  } else {
+    std::printf(
+        "  note: 2x gate skipped (workers=%zu, hw=%u; needs >=4)\n",
+        threads, hw);
+  }
   return rc;
 }
 
@@ -255,5 +416,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return gab::RunThreadSweep();
+  int rc = gab::RunThreadSweep();
+  rc |= gab::RunGapKernelSweep();
+  if (!gab::bench::ReportSink::Global().Flush()) rc = 1;
+  return rc;
 }

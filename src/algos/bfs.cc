@@ -1,6 +1,14 @@
 #include "algos/bfs.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <queue>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "util/atomic_bitset.h"
+#include "util/threading.h"
 
 namespace gab {
 
@@ -19,6 +27,200 @@ std::vector<uint32_t> BfsReference(const CsrGraph& g, VertexId source) {
       queue.push(v);
     }
   }
+  return level;
+}
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    double v = std::strtod(env, &end);
+    if (end != env && v > 0.0) return v;
+  }
+  return fallback;
+}
+
+/// Fixed chunk size for frontier-parallel loops (chunk boundaries never
+/// depend on the worker count).
+constexpr size_t kChunk = 1024;
+/// Vertices per pull-direction chunk.
+constexpr size_t kPullChunk = 4096;
+
+/// Runs the chunk loop inline under SerialCutoff() items, on the pool
+/// otherwise (dedicated-kernel twin of the engine's serial fast path).
+template <typename Fn>
+void RunChunked(size_t items, size_t num_chunks, Fn&& fn) {
+  if (items <= SerialCutoff()) {
+    for (size_t c = 0; c < num_chunks; ++c) fn(c, 0);
+    return;
+  }
+  DefaultPool().RunTasks(num_chunks,
+                         [&](size_t c, size_t worker) { fn(c, worker); });
+}
+
+}  // namespace
+
+double DefaultBfsAlpha() {
+  static const double alpha = EnvDouble("GAB_BFS_ALPHA", 15.0);
+  return alpha;
+}
+
+double DefaultBfsBeta() {
+  static const double beta = EnvDouble("GAB_BFS_BETA", 18.0);
+  return beta;
+}
+
+std::vector<uint32_t> DirectionOptBfs(const CsrGraph& g, VertexId source,
+                                      const DirectionOptBfsOptions& options,
+                                      DirectionOptBfsStats* stats) {
+  GAB_SPAN("algo.bfs.direction_opt");
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> level(n, kUnreachedLevel);
+  if (n == 0) return level;
+  const bool can_pull = g.has_in_edges();
+
+  AtomicBitset visited(n);
+  visited.Set(source);
+  level[source] = 0;
+
+  // Sparse frontier for push rounds; dense bitmap pair for pull rounds.
+  std::vector<VertexId> frontier{source};
+  AtomicBitset front_bits(n);
+  AtomicBitset next_bits(n);
+  bool frontier_is_dense = false;
+  size_t frontier_size = 1;
+  uint64_t frontier_edges = g.OutDegree(source);
+  // Out-edge volume still reachable from unexplored vertices — the mu term
+  // of Beamer's growth test.
+  uint64_t unexplored_edges = g.num_arcs() - frontier_edges;
+
+  uint32_t depth = 0;
+  bool pulling = false;
+  DirectionOptBfsStats local_stats;
+
+  while (frontier_size != 0) {
+    GAB_SPAN_VALUE("algo.bfs.level", depth);
+    ++local_stats.rounds;
+    // Beamer policy with hysteresis: grow test while pushing, shrink test
+    // while pulling.
+    if (can_pull) {
+      if (!pulling) {
+        pulling = static_cast<double>(frontier_edges) >
+                  static_cast<double>(unexplored_edges) / options.alpha;
+      } else {
+        pulling = !(static_cast<double>(frontier_size) <
+                    static_cast<double>(n) / options.beta);
+      }
+    }
+
+    const uint32_t next_level = depth + 1;
+    size_t next_size = 0;
+    uint64_t next_edges = 0;
+
+    if (pulling) {
+      ++local_stats.pull_rounds;
+      GAB_COUNT("algo.bfs.pull_rounds", 1);
+      if (!frontier_is_dense) {
+        // push→pull transition: scatter the sparse frontier into bits.
+        front_bits.Clear();
+        RunChunked(frontier.size(), (frontier.size() + kChunk - 1) / kChunk,
+                   [&](size_t c, size_t) {
+                     size_t b = c * kChunk;
+                     size_t e = std::min(b + kChunk, frontier.size());
+                     for (size_t i = b; i < e; ++i) front_bits.Set(frontier[i]);
+                   });
+        frontier_is_dense = true;
+      }
+      const size_t chunks = (static_cast<size_t>(n) + kPullChunk - 1) / kPullChunk;
+      std::vector<size_t> count(chunks, 0);
+      std::vector<uint64_t> degree(chunks, 0);
+      next_bits.Clear();
+      RunChunked(n, chunks, [&](size_t c, size_t) {
+        const VertexId b = static_cast<VertexId>(c * kPullChunk);
+        const VertexId e = static_cast<VertexId>(
+            std::min<size_t>(c * kPullChunk + kPullChunk, n));
+        size_t found = 0;
+        uint64_t deg = 0;
+        for (VertexId v = b; v < e; ++v) {
+          if (visited.Test(v)) continue;
+          for (VertexId u : g.InNeighbors(v)) {
+            if (!front_bits.Test(u)) continue;
+            // Owner-computes: v belongs to exactly this chunk, and every
+            // writer would write the same level, so plain stores suffice.
+            level[v] = next_level;
+            visited.Set(v);
+            next_bits.Set(v);
+            ++found;
+            deg += g.OutDegree(v);
+            break;  // Beamer's early exit: one live parent settles v
+          }
+        }
+        count[c] = found;
+        degree[c] = deg;
+      });
+      for (size_t c = 0; c < chunks; ++c) {
+        next_size += count[c];
+        next_edges += degree[c];
+      }
+      std::swap(front_bits, next_bits);
+    } else {
+      ++local_stats.push_rounds;
+      GAB_COUNT("algo.bfs.push_rounds", 1);
+      if (frontier_is_dense) {
+        // pull→push transition: pack the bitmap into a sparse list.
+        frontier.clear();
+        frontier.reserve(frontier_size);
+        for (size_t w = 0; w < front_bits.num_words(); ++w) {
+          uint64_t bits = front_bits.Word(w);
+          while (bits != 0) {
+            frontier.push_back(static_cast<VertexId>(
+                (w << 6) + static_cast<size_t>(__builtin_ctzll(bits))));
+            bits &= bits - 1;
+          }
+        }
+        frontier_is_dense = false;
+      }
+      const size_t chunks = (frontier.size() + kChunk - 1) / kChunk;
+      std::vector<std::vector<VertexId>> next(chunks);
+      std::vector<uint64_t> degree(chunks, 0);
+      RunChunked(frontier.size(), chunks, [&](size_t c, size_t) {
+        const size_t b = c * kChunk;
+        const size_t e = std::min(b + kChunk, frontier.size());
+        uint64_t deg = 0;
+        for (size_t i = b; i < e; ++i) {
+          for (VertexId v : g.OutNeighbors(frontier[i])) {
+            // TestAndSet dedups claims; every claimer writes the same
+            // level, so the level array is schedule-independent.
+            if (visited.TestAndSet(v)) {
+              level[v] = next_level;
+              next[c].push_back(v);
+              deg += g.OutDegree(v);
+            }
+          }
+        }
+        degree[c] = deg;
+      });
+      std::vector<VertexId> merged;
+      size_t total = 0;
+      for (const auto& nx : next) total += nx.size();
+      merged.reserve(total);
+      for (auto& nx : next) {
+        merged.insert(merged.end(), nx.begin(), nx.end());
+      }
+      frontier = std::move(merged);
+      next_size = total;
+      for (uint64_t d : degree) next_edges += d;
+    }
+
+    unexplored_edges -= std::min(unexplored_edges, next_edges);
+    frontier_size = next_size;
+    frontier_edges = next_edges;
+    ++depth;
+  }
+
+  GAB_GAUGE_SET("algo.bfs.depth", depth);
+  if (stats != nullptr) *stats = local_stats;
   return level;
 }
 

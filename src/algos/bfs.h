@@ -18,6 +18,39 @@ inline constexpr uint32_t kUnreachedLevel = 0xffffffffu;
 /// bench_ablation_diversity.
 std::vector<uint32_t> BfsReference(const CsrGraph& g, VertexId source);
 
+/// Beamer thresholds for direction-optimizing BFS, read once from
+/// GAB_BFS_ALPHA / GAB_BFS_BETA (defaults 15 / 18, the values from the
+/// original direction-optimizing BFS paper that GAP also ships).
+double DefaultBfsAlpha();
+double DefaultBfsBeta();
+
+struct DirectionOptBfsOptions {
+  /// Switch push→pull when frontier out-edges > unexplored edges / alpha.
+  double alpha = DefaultBfsAlpha();
+  /// Switch pull→push when frontier size < num_vertices / beta.
+  double beta = DefaultBfsBeta();
+};
+
+/// Per-run direction telemetry (tests assert the optimizer switched on
+/// hub-heavy graphs and stayed push-only on chains).
+struct DirectionOptBfsStats {
+  uint32_t rounds = 0;
+  uint32_t push_rounds = 0;
+  uint32_t pull_rounds = 0;
+};
+
+/// Direction-optimizing BFS (Beamer): level-synchronous traversal that
+/// pushes from small frontiers and pulls into unexplored vertices when the
+/// frontier's out-edge volume passes the alpha threshold, with bitmap
+/// frontiers in pull rounds. Runs on DefaultPool(); the level array is
+/// schedule-independent (every writer of a vertex writes the same level),
+/// so the output is bit-identical at every GAB_THREADS in both exec modes.
+/// Falls back to push-only when the graph is directed without in-edges.
+std::vector<uint32_t> DirectionOptBfs(
+    const CsrGraph& g, VertexId source,
+    const DirectionOptBfsOptions& options = DirectionOptBfsOptions(),
+    DirectionOptBfsStats* stats = nullptr);
+
 }  // namespace gab
 
 #endif  // GAB_ALGOS_BFS_H_

@@ -1,7 +1,18 @@
 #include "algos/sssp.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <memory>
 #include <queue>
 #include <utility>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "util/atomic_bitset.h"
+#include "util/threading.h"
 
 namespace gab {
 
@@ -30,6 +41,205 @@ std::vector<Dist> SsspReference(const CsrGraph& g, VertexId source) {
     }
   }
   return dist;
+}
+
+namespace {
+
+/// Lock-free min into *slot; true iff value lowered the stored distance.
+bool AtomicMinDist(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t current = slot->load(std::memory_order_relaxed);
+  while (value < current) {
+    if (slot->compare_exchange_weak(current, value,
+                                    std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+constexpr size_t kChunk = 1024;
+
+/// One worker's relaxation state: open-ended bucket lists indexed by the
+/// absolute bucket number (dist / delta), merged into the shared bins
+/// after each phase barrier.
+struct LocalBins {
+  std::vector<std::vector<VertexId>> bins;
+  std::vector<VertexId> settled;
+  uint64_t relaxations = 0;
+
+  void Insert(size_t bucket, VertexId v) {
+    if (bucket >= bins.size()) bins.resize(bucket + 1);
+    bins[bucket].push_back(v);
+  }
+};
+
+}  // namespace
+
+Dist AutoTuneDelta(const CsrGraph& g) {
+  if (const char* env = std::getenv("GAB_SSSP_DELTA")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<Dist>(v);
+  }
+  if (!g.has_weights() || g.num_arcs() == 0) return 1;
+  // Mean weight via fixed-grain chunk partials summed in chunk order:
+  // the same value at every GAB_THREADS.
+  const auto& weights = g.out_weights();
+  uint64_t total = 0;
+  const size_t grain = size_t{1} << 16;
+  const size_t chunks = (weights.size() + grain - 1) / grain;
+  std::vector<uint64_t> partial(chunks, 0);
+  ParallelFor(weights.size(), grain, [&](size_t begin, size_t end) {
+    uint64_t sum = 0;
+    for (size_t i = begin; i < end; ++i) sum += weights[i];
+    partial[begin / grain] = sum;
+  });
+  for (uint64_t p : partial) total += p;
+  Dist mean = static_cast<Dist>(total / weights.size());
+  return std::max<Dist>(1, mean);
+}
+
+std::vector<Dist> DeltaSteppingSssp(const CsrGraph& g, VertexId source,
+                                    Dist delta, DeltaSsspStats* stats) {
+  GAB_SPAN("algo.sssp.delta_stepping");
+  const VertexId n = g.num_vertices();
+  std::vector<Dist> result(n, kInfDist);
+  if (n == 0) return result;
+  if (delta == 0) delta = AutoTuneDelta(g);
+  GAB_GAUGE_SET("algo.sssp.delta", delta);
+
+  auto dist = std::make_unique<std::atomic<uint64_t>[]>(n);
+  ParallelFor(n, size_t{1} << 14, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      dist[v].store(kInfDist, std::memory_order_relaxed);
+    }
+  });
+  dist[source].store(0, std::memory_order_relaxed);
+
+  const bool weighted = g.has_weights();
+  const size_t workers = DefaultPool().num_threads();
+  std::vector<LocalBins> local(workers);
+  // Shared bucket lists, indexed by absolute bucket number. Entries may be
+  // stale (the vertex was since pulled into an earlier bucket); the pop
+  // check discards them.
+  std::vector<std::vector<VertexId>> bins(1);
+  bins[0].push_back(source);
+  // Deduplicates the settled set of the current bucket (a vertex re-popped
+  // by a later light phase relaxes again but is recorded once).
+  AtomicBitset in_settled(n);
+
+  DeltaSsspStats local_stats;
+  local_stats.delta = delta;
+
+  // Relaxes u's edges in [w_lo, w_hi]; every improved neighbor lands in
+  // its target bucket of the worker-local bins.
+  auto relax = [&](VertexId u, Dist du, Weight w_lo, Weight w_hi,
+                   LocalBins& bin) {
+    auto nbrs = g.OutNeighbors(u);
+    auto ws = weighted ? g.OutWeights(u) : std::span<const Weight>{};
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      Weight w = weighted ? ws[i] : Weight{1};
+      if (w < w_lo || w > w_hi) continue;
+      Dist nd = du + w;
+      if (AtomicMinDist(&dist[nbrs[i]], nd)) {
+        ++bin.relaxations;
+        bin.Insert(static_cast<size_t>(nd / delta), nbrs[i]);
+      }
+    }
+  };
+
+  // Runs `body(chunk, worker)` over `items` frontier entries: inline when
+  // small (same chunk boundaries), pooled otherwise.
+  auto run_chunks = [&](size_t items, size_t chunks,
+                        const std::function<void(size_t, size_t)>& body) {
+    if (items <= SerialCutoff()) {
+      for (size_t c = 0; c < chunks; ++c) body(c, 0);
+      return;
+    }
+    DefaultPool().RunTasks(chunks, body);
+  };
+
+  auto merge_local_bins = [&]() {
+    for (LocalBins& lb : local) {
+      local_stats.relaxations += lb.relaxations;
+      lb.relaxations = 0;
+      for (size_t b = 0; b < lb.bins.size(); ++b) {
+        if (lb.bins[b].empty()) continue;
+        if (b >= bins.size()) bins.resize(b + 1);
+        bins[b].insert(bins[b].end(), lb.bins[b].begin(), lb.bins[b].end());
+        lb.bins[b].clear();
+      }
+    }
+  };
+
+  const Weight light_max = static_cast<Weight>(
+      std::min<Dist>(delta, std::numeric_limits<Weight>::max()));
+  std::vector<VertexId> settled;
+  std::vector<VertexId> frontier;
+
+  for (size_t curr = 0; curr < bins.size(); ++curr) {
+    if (bins[curr].empty()) continue;
+    GAB_SPAN_VALUE("algo.sssp.bucket", curr);
+    ++local_stats.buckets_processed;
+    settled.clear();
+    const Dist lo = static_cast<Dist>(curr) * delta;
+    const Dist hi = lo + delta;
+
+    // Light phases: drain the bucket, re-running vertices whose distance
+    // improved within the bucket, until no light relaxation refills it.
+    while (curr < bins.size() && !bins[curr].empty()) {
+      ++local_stats.phases;
+      frontier = std::move(bins[curr]);
+      bins[curr].clear();
+      const size_t chunks = (frontier.size() + kChunk - 1) / kChunk;
+      run_chunks(frontier.size(), chunks, [&](size_t c, size_t worker) {
+        LocalBins& lb = local[worker];
+        const size_t b = c * kChunk;
+        const size_t e = std::min(b + kChunk, frontier.size());
+        for (size_t i = b; i < e; ++i) {
+          VertexId u = frontier[i];
+          Dist du = dist[u].load(std::memory_order_relaxed);
+          if (du < lo || du >= hi) continue;  // settled earlier or stale
+          if (in_settled.TestAndSet(u)) lb.settled.push_back(u);
+          relax(u, du, 1, light_max, lb);
+        }
+      });
+      merge_local_bins();
+    }
+
+    // Collect the settled set (worker-local lists, deduped by the bitmap)
+    // and restore the bitmap's all-zero invariant.
+    for (LocalBins& lb : local) {
+      settled.insert(settled.end(), lb.settled.begin(), lb.settled.end());
+      lb.settled.clear();
+    }
+    for (VertexId v : settled) in_settled.ClearBit(v);
+
+    // Heavy phase: every settled vertex's distance is final, so heavy
+    // edges (w > delta) relax exactly once per vertex.
+    if (light_max < std::numeric_limits<Weight>::max()) {
+      const size_t chunks = (settled.size() + kChunk - 1) / kChunk;
+      run_chunks(settled.size(), chunks, [&](size_t c, size_t worker) {
+        LocalBins& lb = local[worker];
+        const size_t b = c * kChunk;
+        const size_t e = std::min(b + kChunk, settled.size());
+        for (size_t i = b; i < e; ++i) {
+          VertexId u = settled[i];
+          relax(u, dist[u].load(std::memory_order_relaxed),
+                light_max + 1, std::numeric_limits<Weight>::max(), lb);
+        }
+      });
+      merge_local_bins();
+    }
+  }
+
+  ParallelFor(n, size_t{1} << 14, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      result[v] = dist[v].load(std::memory_order_relaxed);
+    }
+  });
+  GAB_GAUGE_SET("algo.sssp.buckets", local_stats.buckets_processed);
+  if (stats != nullptr) *stats = local_stats;
+  return result;
 }
 
 }  // namespace gab

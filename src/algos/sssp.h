@@ -1,6 +1,7 @@
 #ifndef GAB_ALGOS_SSSP_H_
 #define GAB_ALGOS_SSSP_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/csr_graph.h"
@@ -11,6 +12,33 @@ namespace gab {
 /// Unweighted graphs are treated as weight-1 per edge. Unreachable vertices
 /// get kInfDist. The benchmark fixes the source at vertex 0 (paper §7.2).
 std::vector<Dist> SsspReference(const CsrGraph& g, VertexId source);
+
+/// Per-run delta-stepping telemetry.
+struct DeltaSsspStats {
+  /// Bucket width actually used (after auto-tuning / env override).
+  Dist delta = 0;
+  uint64_t buckets_processed = 0;
+  /// Light-edge phases across all buckets (>= buckets_processed).
+  uint64_t phases = 0;
+  /// Successful distance improvements (AtomicMin wins).
+  uint64_t relaxations = 0;
+};
+
+/// Picks the bucket width for `g`: GAB_SSSP_DELTA when set (>0), else the
+/// mean edge weight measured with a fixed-grain deterministic reduction —
+/// roughly half the arcs become light, balancing phase count against
+/// re-relaxation. Unweighted graphs get delta = 1 (exact BFS-like rounds).
+Dist AutoTuneDelta(const CsrGraph& g);
+
+/// Delta-stepping SSSP (Meyer–Sanders, GAP-style): vertices are bucketed
+/// by dist/delta; each bucket is drained with repeated light-edge
+/// (w <= delta) phases, then the settled set relaxes its heavy edges once.
+/// Distances converge to the same fixed point as Dijkstra regardless of
+/// schedule (AtomicMin is commutative), so the output is bit-identical at
+/// every GAB_THREADS in both exec modes. delta = 0 means auto-tune.
+std::vector<Dist> DeltaSteppingSssp(const CsrGraph& g, VertexId source,
+                                    Dist delta = 0,
+                                    DeltaSsspStats* stats = nullptr);
 
 }  // namespace gab
 

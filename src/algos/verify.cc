@@ -65,4 +65,28 @@ VerifyResult ComparePartitions(const std::vector<uint64_t>& actual,
   return VerifyResult::Ok();
 }
 
+VerifyResult VerifyFixedPoint(const std::vector<uint64_t>& strict_out,
+                              const std::vector<uint64_t>& relaxed_out,
+                              const std::string& label) {
+  VerifyResult r = CompareExact(relaxed_out, strict_out);
+  if (!r.ok) {
+    r.detail = label + ": relaxed diverged from strict fixed point (" +
+               r.detail + ")";
+  }
+  return r;
+}
+
+VerifyResult VerifyBoundedDivergence(const std::vector<double>& strict_out,
+                                     const std::vector<double>& relaxed_out,
+                                     double max_abs,
+                                     const std::string& label) {
+  VerifyResult r =
+      CompareDoubles(relaxed_out, strict_out, /*rel_tol=*/1e-7, max_abs);
+  if (!r.ok) {
+    r.detail = label + ": relaxed exceeded divergence bound (" + r.detail +
+               ")";
+  }
+  return r;
+}
+
 }  // namespace gab

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/types.h"
+#include "util/exec_mode.h"
 
 namespace gab {
 
@@ -36,6 +38,42 @@ VerifyResult CompareExact(const std::vector<uint64_t>& actual,
 /// labels canonical, as a second line of defense).
 VerifyResult ComparePartitions(const std::vector<uint64_t>& actual,
                                const std::vector<uint64_t>& expected);
+
+/// --- Strict/relaxed equivalence (util/exec_mode.h) ---
+///
+/// GAB_EXEC_MODE=relaxed drops the engines' ordered frontier merging; the
+/// contract it keeps is *convergence*: monotone fixed-point kernels (BFS
+/// levels, SSSP distances, WCC labels — all driven by commutative
+/// first-writer/min updates) must produce byte-identical outputs, and
+/// accumulation-order-sensitive float kernels (PR, BC) must stay within a
+/// small divergence bound. These helpers are that contract, executable:
+/// tests run them on every kernel and the benches run them after each
+/// relaxed measurement.
+
+/// Exact fixed-point equivalence; `label` names the kernel in the failure
+/// detail (e.g. "bfs levels").
+VerifyResult VerifyFixedPoint(const std::vector<uint64_t>& strict_out,
+                              const std::vector<uint64_t>& relaxed_out,
+                              const std::string& label);
+
+/// Bounded float divergence: every element within max_abs + 1e-7 * |strict|
+/// (relative term covers magnitude-proportional rounding drift).
+VerifyResult VerifyBoundedDivergence(const std::vector<double>& strict_out,
+                                     const std::vector<double>& relaxed_out,
+                                     double max_abs,
+                                     const std::string& label);
+
+/// Runs `kernel` (no arguments, returns its output) with the process exec
+/// mode scoped to `mode`, restoring the previous mode on return. The
+/// standard shape for equivalence checks:
+///   auto s = RunInExecMode(ExecMode::kStrict, run);
+///   auto r = RunInExecMode(ExecMode::kRelaxed, run);
+///   VerifyFixedPoint(s, r, "bfs levels");
+template <typename Kernel>
+auto RunInExecMode(ExecMode mode, Kernel&& kernel) {
+  ScopedExecMode scope(mode);
+  return std::forward<Kernel>(kernel)();
+}
 
 }  // namespace gab
 

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "obs/telemetry.h"
+#include "util/exec_mode.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/parallel_primitives.h"
@@ -30,6 +31,22 @@ constexpr size_t kFrontierGrain = 1024;
 
 /// Words per bitmap-pack chunk (256 words = 16384 vertices).
 constexpr size_t kPackWordGrain = 256;
+
+/// Runs `task(chunk, worker)` for chunks [0, num_chunks): inline when the
+/// driving item count is at or under SerialCutoff() (same chunk boundaries
+/// and per-chunk fault points as the pool path, so results and injected
+/// faults are identical), through the pool otherwise.
+void RunChunks(size_t num_items, size_t num_chunks,
+               const std::function<void(size_t, size_t)>& task) {
+  if (num_items <= SerialCutoff()) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      FaultPoint("pool.task");
+      task(c, 0);
+    }
+    return;
+  }
+  DefaultPool().RunTasks(num_chunks, task);
+}
 
 }  // namespace
 
@@ -193,7 +210,7 @@ uint64_t VertexSubsetEngine::FrontierDegreeSum(
   const auto& sparse = frontier.Sparse();
   const size_t chunks = (sparse.size() + kFrontierGrain - 1) / kFrontierGrain;
   std::vector<uint64_t> partial(chunks, 0);
-  DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+  RunChunks(sparse.size(), chunks, [&](size_t c, size_t) {
     const size_t begin = c * kFrontierGrain;
     const size_t end = std::min(begin + kFrontierGrain, sparse.size());
     uint64_t sum = 0;
@@ -220,17 +237,45 @@ VertexSubset VertexSubsetEngine::EdgeMap(const VertexSubset& frontier,
   }
   EdgeMapDirection dir = options.direction;
   if (dir == EdgeMapDirection::kAuto) {
-    uint64_t frontier_degree = FrontierDegreeSum(frontier);
-    uint64_t threshold =
-        (graph_->num_arcs() + graph_->num_vertices()) /
-        options.threshold_denominator;
-    dir = (frontier_degree + frontier.size() > threshold)
-              ? EdgeMapDirection::kPull
-              : EdgeMapDirection::kPush;
+    if (options.remaining_edges != EdgeMapOptions::kRemainingEdgesUnknown) {
+      // Beamer policy with hysteresis: the cheap shrink test keeps pulling
+      // until the frontier is small again; the growth test compares work
+      // actually ahead of a push (frontier out-edges) against the pull
+      // bound (unexplored in-edges / alpha).
+      if (last_direction_ == EdgeMapDirection::kPull) {
+        dir = static_cast<double>(frontier.size()) <
+                      static_cast<double>(graph_->num_vertices()) /
+                          options.beta
+                  ? EdgeMapDirection::kPush
+                  : EdgeMapDirection::kPull;
+      } else {
+        uint64_t frontier_degree = FrontierDegreeSum(frontier);
+        dir = static_cast<double>(frontier_degree) >
+                      static_cast<double>(options.remaining_edges) /
+                          options.alpha
+                  ? EdgeMapDirection::kPull
+                  : EdgeMapDirection::kPush;
+      }
+    } else {
+      uint64_t frontier_degree = FrontierDegreeSum(frontier);
+      uint64_t threshold =
+          (graph_->num_arcs() + graph_->num_vertices()) /
+          options.threshold_denominator;
+      dir = (frontier_degree + frontier.size() > threshold)
+                ? EdgeMapDirection::kPull
+                : EdgeMapDirection::kPush;
+    }
   }
   last_direction_ = dir;
-  return dir == EdgeMapDirection::kPush ? EdgeMapPush(frontier, f)
-                                        : EdgeMapPull(frontier, f);
+  const bool relaxed = CurrentExecMode() == ExecMode::kRelaxed;
+  if (dir == EdgeMapDirection::kPush) {
+    ++push_count_;
+    GAB_COUNT("ligra.push_maps", 1);
+    return relaxed ? EdgeMapPushRelaxed(frontier, f) : EdgeMapPush(frontier, f);
+  }
+  ++pull_count_;
+  GAB_COUNT("ligra.pull_maps", 1);
+  return relaxed ? EdgeMapPullRelaxed(frontier, f) : EdgeMapPull(frontier, f);
 }
 
 VertexSubset VertexSubsetEngine::EdgeMapPush(const VertexSubset& frontier,
@@ -238,13 +283,16 @@ VertexSubset VertexSubsetEngine::EdgeMapPush(const VertexSubset& frontier,
   const uint32_t num_p = partitioning_->num_partitions();
   // Materialized at the parallel boundary (thread-safe, parallel build).
   const auto& sparse = frontier.Sparse();
-  ParallelFor(out_flags_.num_words(), 4096, [this](size_t b, size_t e) {
-    out_flags_.ClearWords(b, e);
-  });
+  if (flags_dirty_) {
+    ParallelFor(out_flags_.num_words(), 4096, [this](size_t b, size_t e) {
+      out_flags_.ClearWords(b, e);
+    });
+    flags_dirty_ = false;
+  }
 
   PerWorkerTrace acc(num_p);
   const size_t chunks = (sparse.size() + kFrontierGrain - 1) / kFrontierGrain;
-  DefaultPool().RunTasks(chunks, [&](size_t c, size_t worker) {
+  RunChunks(sparse.size(), chunks, [&](size_t c, size_t worker) {
     PerWorkerTrace::Partial& local = acc.partial(worker);
     const size_t begin = c * kFrontierGrain;
     const size_t end = std::min(begin + kFrontierGrain, sparse.size());
@@ -277,10 +325,14 @@ VertexSubset VertexSubsetEngine::EdgeMapPull(const VertexSubset& frontier,
   const uint32_t num_p = partitioning_->num_partitions();
   // Materialized at the parallel boundary (thread-safe, parallel build).
   const auto& in_frontier = frontier.Dense();
-  ParallelFor(out_flags_.num_words(), 4096, [this](size_t b, size_t e) {
-    out_flags_.ClearWords(b, e);
-  });
-  DefaultPool().RunTasks(num_p, [&](size_t pt, size_t) {
+  if (flags_dirty_) {
+    ParallelFor(out_flags_.num_words(), 4096, [this](size_t b, size_t e) {
+      out_flags_.ClearWords(b, e);
+    });
+    flags_dirty_ = false;
+  }
+  // Pull scans every vertex, so the serial cutoff keys on n, not |frontier|.
+  RunChunks(graph_->num_vertices(), num_p, [&](size_t pt, size_t) {
     uint32_t p = static_cast<uint32_t>(pt);
     uint64_t work = 0;
     std::vector<uint64_t> bytes(num_p, 0);
@@ -315,13 +367,144 @@ VertexSubset VertexSubsetEngine::EdgeMapPull(const VertexSubset& frontier,
   return PackOutFlags();
 }
 
+VertexSubset VertexSubsetEngine::EdgeMapPushRelaxed(
+    const VertexSubset& frontier, const Functors& f) {
+  const uint32_t num_p = partitioning_->num_partitions();
+  const auto& sparse = frontier.Sparse();
+  if (flags_dirty_) {
+    ParallelFor(out_flags_.num_words(), 4096, [this](size_t b, size_t e) {
+      out_flags_.ClearWords(b, e);
+    });
+    flags_dirty_ = false;
+  }
+
+  PerWorkerTrace acc(num_p);
+  const size_t chunks = (sparse.size() + kFrontierGrain - 1) / kFrontierGrain;
+  // Per-chunk claim lists replace the bitmap pack: the chunk whose
+  // TestAndSet wins owns the vertex. Which chunk wins is a race, so the
+  // concatenated order (and the split across chunks) is unspecified — but
+  // the union is exactly the set of vertices whose update fired, same as
+  // strict mode.
+  std::vector<std::vector<VertexId>> next(chunks);
+  std::vector<uint64_t> degree_partial(chunks, 0);
+  RunChunks(sparse.size(), chunks, [&](size_t c, size_t worker) {
+    PerWorkerTrace::Partial& local = acc.partial(worker);
+    const size_t begin = c * kFrontierGrain;
+    const size_t end = std::min(begin + kFrontierGrain, sparse.size());
+    uint64_t degree = 0;
+    for (size_t idx = begin; idx < end; ++idx) {
+      VertexId s = sparse[idx];
+      uint32_t p = partitioning_->PartitionOf(s);
+      auto nbrs = graph_->OutNeighbors(s);
+      auto weights = graph_->has_weights() ? graph_->OutWeights(s)
+                                           : std::span<const Weight>{};
+      local.AddWork(p, 1 + nbrs.size());
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        VertexId d = nbrs[i];
+        uint32_t q = partitioning_->PartitionOf(d);
+        if (q != p) local.AddBytes(p, q, sizeof(VertexId) + sizeof(uint64_t));
+        if (f.cond && !f.cond(d)) continue;
+        Weight w = weights.empty() ? Weight{1} : weights[i];
+        if (f.update_atomic(s, d, w) && out_flags_.TestAndSet(d)) {
+          next[c].push_back(d);
+          degree += graph_->OutDegree(d);
+        }
+      }
+    }
+    degree_partial[c] = degree;
+  });
+  acc.CommitTo(&trace_);
+
+  std::vector<size_t> offsets(chunks + 1, 0);
+  for (size_t c = 0; c < chunks; ++c) offsets[c + 1] = offsets[c] + next[c].size();
+  const size_t total = offsets[chunks];
+  if (total == 0) return VertexSubset::Empty(graph_->num_vertices());
+  std::vector<VertexId> merged(total);
+  // Concatenate and restore the bitmap's all-zero invariant by clearing
+  // only the claimed bits (O(frontier), not O(n/64)).
+  RunChunks(total, chunks, [&](size_t c, size_t) {
+    size_t pos = offsets[c];
+    for (VertexId v : next[c]) {
+      merged[pos++] = v;
+      out_flags_.ClearBit(v);
+    }
+  });
+  uint64_t degree_sum = 0;
+  for (uint64_t d : degree_partial) degree_sum += d;
+  VertexSubset out =
+      VertexSubset::FromSparse(graph_->num_vertices(), std::move(merged));
+  out.set_out_degree_sum(degree_sum);
+  return out;
+}
+
+VertexSubset VertexSubsetEngine::EdgeMapPullRelaxed(
+    const VertexSubset& frontier, const Functors& f) {
+  const uint32_t num_p = partitioning_->num_partitions();
+  const auto& in_frontier = frontier.Dense();
+  // Owner-computes: each partition appends to its own list, so the bitmap
+  // (and its clear/pack passes) is skipped entirely.
+  std::vector<std::vector<VertexId>> added(num_p);
+  std::vector<uint64_t> degree_partial(num_p, 0);
+  RunChunks(graph_->num_vertices(), num_p, [&](size_t pt, size_t) {
+    uint32_t p = static_cast<uint32_t>(pt);
+    uint64_t work = 0;
+    uint64_t degree = 0;
+    std::vector<uint64_t> bytes(num_p, 0);
+    for (VertexId d : partitioning_->Members(p)) {
+      if (f.cond && !f.cond(d)) continue;
+      auto nbrs = graph_->InNeighbors(d);
+      auto weights = graph_->has_weights() ? graph_->InWeights(d)
+                                           : std::span<const Weight>{};
+      work += 1 + nbrs.size();
+      bool was_added = false;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        VertexId s = nbrs[i];
+        if (!in_frontier[s]) continue;
+        uint32_t q = partitioning_->PartitionOf(s);
+        if (q != p) bytes[q] += sizeof(VertexId) + sizeof(uint64_t);
+        if (f.update(s, d, weights.empty() ? Weight{1} : weights[i])) {
+          was_added = true;
+        }
+        if (f.pull_early_exit && f.cond && !f.cond(d)) break;
+      }
+      if (was_added) {
+        added[p].push_back(d);
+        degree += graph_->OutDegree(d);
+      }
+    }
+    degree_partial[p] = degree;
+    trace_.AddWork(p, work);
+    for (uint32_t q = 0; q < num_p; ++q) {
+      if (bytes[q] != 0) trace_.AddBytes(p, q, bytes[q]);
+    }
+  });
+
+  std::vector<size_t> offsets(num_p + 1, 0);
+  for (uint32_t p = 0; p < num_p; ++p) {
+    offsets[p + 1] = offsets[p] + added[p].size();
+  }
+  const size_t total = offsets[num_p];
+  if (total == 0) return VertexSubset::Empty(graph_->num_vertices());
+  std::vector<VertexId> merged(total);
+  RunChunks(total, num_p, [&](size_t p, size_t) {
+    std::copy(added[p].begin(), added[p].end(), merged.begin() + offsets[p]);
+  });
+  uint64_t degree_sum = 0;
+  for (uint64_t d : degree_partial) degree_sum += d;
+  VertexSubset out =
+      VertexSubset::FromSparse(graph_->num_vertices(), std::move(merged));
+  out.set_out_degree_sum(degree_sum);
+  return out;
+}
+
 VertexSubset VertexSubsetEngine::PackOutFlags() {
   const VertexId n = graph_->num_vertices();
   const size_t num_words = out_flags_.num_words();
   const size_t chunks = (num_words + kPackWordGrain - 1) / kPackWordGrain;
   if (chunks == 0) return VertexSubset::Empty(n);
   std::vector<size_t> offsets(chunks + 1, 0);
-  DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+  // Pack work is proportional to the word count, so the cutoff keys on it.
+  RunChunks(num_words, chunks, [&](size_t c, size_t) {
     const size_t begin = c * kPackWordGrain;
     const size_t end = std::min(begin + kPackWordGrain, num_words);
     size_t count = 0;
@@ -332,11 +515,13 @@ VertexSubset VertexSubsetEngine::PackOutFlags() {
   });
   for (size_t c = 0; c < chunks; ++c) offsets[c + 1] += offsets[c];
   const size_t total = offsets[chunks];
+  // Bits stay behind for the next EdgeMap's conditional clear.
+  flags_dirty_ = total != 0;
   if (total == 0) return VertexSubset::Empty(n);
 
   std::vector<VertexId> merged(total);
   std::vector<uint64_t> degree_partial(chunks, 0);
-  DefaultPool().RunTasks(chunks, [&](size_t c, size_t) {
+  RunChunks(num_words, chunks, [&](size_t c, size_t) {
     const size_t begin = c * kPackWordGrain;
     const size_t end = std::min(begin + kPackWordGrain, num_words);
     size_t pos = offsets[c];
@@ -371,7 +556,7 @@ void VertexSubsetEngine::VertexMap(const VertexSubset& subset,
   const uint32_t num_p = partitioning_->num_partitions();
   PerWorkerTrace acc(num_p);
   const size_t chunks = (vs.size() + kFrontierGrain - 1) / kFrontierGrain;
-  DefaultPool().RunTasks(chunks, [&](size_t c, size_t worker) {
+  RunChunks(vs.size(), chunks, [&](size_t c, size_t worker) {
     PerWorkerTrace::Partial& local = acc.partial(worker);
     const size_t begin = c * kFrontierGrain;
     const size_t end = std::min(begin + kFrontierGrain, vs.size());
@@ -395,7 +580,7 @@ VertexSubset VertexSubsetEngine::VertexFilter(
   PerWorkerTrace acc(num_p);
   const size_t chunks = (vs.size() + kFrontierGrain - 1) / kFrontierGrain;
   std::vector<std::vector<VertexId>> kept(chunks);
-  DefaultPool().RunTasks(chunks, [&](size_t c, size_t worker) {
+  RunChunks(vs.size(), chunks, [&](size_t c, size_t worker) {
     PerWorkerTrace::Partial& local = acc.partial(worker);
     const size_t begin = c * kFrontierGrain;
     const size_t end = std::min(begin + kFrontierGrain, vs.size());

@@ -95,6 +95,20 @@ struct EdgeMapOptions {
   EdgeMapDirection direction = EdgeMapDirection::kAuto;
   /// kAuto switches to pull when frontier degree sum > arcs / threshold.
   uint64_t threshold_denominator = 20;
+
+  /// Sentinel for remaining_edges: Beamer policy disabled.
+  static constexpr uint64_t kRemainingEdgesUnknown = ~uint64_t{0};
+  /// Out-degree sum of the still-unexplored vertices, maintained by the
+  /// caller (BFS subtracts each frontier's degree sum per level). When set,
+  /// kAuto uses Beamer's direction-optimizing policy with hysteresis
+  /// instead of the one-shot Ligra threshold: push→pull when
+  /// frontier_degree > remaining_edges / alpha, pull→push when
+  /// frontier_size < num_vertices / beta.
+  uint64_t remaining_edges = kRemainingEdgesUnknown;
+  /// Beamer growth threshold (paper default 15; GAB_BFS_ALPHA in bfs).
+  double alpha = 15.0;
+  /// Beamer shrink threshold (paper default 18; GAB_BFS_BETA in bfs).
+  double beta = 18.0;
 };
 
 /// Ligra-style engine: EdgeMap/VertexMap over vertex subsets with
@@ -110,6 +124,15 @@ struct EdgeMapOptions {
 ///  - trace work/bytes aggregate per worker and merge after the barrier
 ///    (PerWorkerTrace), so results, frontier order, and traces are
 ///    bit-identical for every GAB_THREADS.
+///
+/// Under GAB_EXEC_MODE=relaxed (util/exec_mode.h) EdgeMap swaps in cheaper
+/// frontier assembly: push collects per-chunk claim lists (atomic-bitmap
+/// dedup, touched-bit clears) and pull collects per-partition lists,
+/// skipping the full-bitmap clear + rank-based pack passes. The produced
+/// subset has the same *membership* (updates are CAS/first-writer-wins, so
+/// the fixed point is schedule-independent) but its sparse order is
+/// unspecified — the determinism contract above applies to strict mode
+/// only, and algos/verify.h checks the two modes converge.
 class VertexSubsetEngine {
  public:
   struct Functors {
@@ -154,10 +177,20 @@ class VertexSubsetEngine {
 
   /// Direction chosen by the last EdgeMap (exposed for tests/ablation).
   EdgeMapDirection last_direction() const { return last_direction_; }
+  /// Non-empty EdgeMaps executed in each direction (tests assert the
+  /// direction optimizer actually switched).
+  uint64_t push_count() const { return push_count_; }
+  uint64_t pull_count() const { return pull_count_; }
 
  private:
   VertexSubset EdgeMapPush(const VertexSubset& frontier, const Functors& f);
   VertexSubset EdgeMapPull(const VertexSubset& frontier, const Functors& f);
+  /// Relaxed-mode variants (see class comment): same fixed point, cheaper
+  /// frontier assembly, unspecified sparse order.
+  VertexSubset EdgeMapPushRelaxed(const VertexSubset& frontier,
+                                  const Functors& f);
+  VertexSubset EdgeMapPullRelaxed(const VertexSubset& frontier,
+                                  const Functors& f);
 
   /// Frontier out-degree sum for the kAuto decision: cached stamp if the
   /// producing EdgeMap measured it, else one parallel fixed-grain reduce
@@ -173,7 +206,14 @@ class VertexSubsetEngine {
   std::unique_ptr<Partitioning> partitioning_;
   ExecutionTrace trace_;
   AtomicBitset out_flags_;
+  /// True while out_flags_ may hold set bits (strict paths leave the packed
+  /// frontier's bits behind; relaxed paths restore all-zero by clearing
+  /// only the touched bits). Lets each path skip clears it doesn't need
+  /// even when strict and relaxed EdgeMaps interleave.
+  bool flags_dirty_ = false;
   EdgeMapDirection last_direction_ = EdgeMapDirection::kAuto;
+  uint64_t push_count_ = 0;
+  uint64_t pull_count_ = 0;
 };
 
 }  // namespace gab

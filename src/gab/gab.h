@@ -26,6 +26,7 @@
 #include "graph/builder.h"               // IWYU pragma: export
 #include "graph/csr_graph.h"             // IWYU pragma: export
 #include "graph/io.h"                    // IWYU pragma: export
+#include "graph/relabel.h"               // IWYU pragma: export
 #include "obs/exporters.h"               // IWYU pragma: export
 #include "obs/run_report.h"              // IWYU pragma: export
 #include "obs/telemetry.h"               // IWYU pragma: export
@@ -41,6 +42,7 @@
 #include "stats/divergence.h"            // IWYU pragma: export
 #include "stats/graph_stats.h"           // IWYU pragma: export
 #include "usability/framework.h"         // IWYU pragma: export
+#include "util/exec_mode.h"              // IWYU pragma: export
 #include "util/table.h"                  // IWYU pragma: export
 
 #endif  // GAB_GAB_H_

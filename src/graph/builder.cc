@@ -96,6 +96,19 @@ void ScatterUnsorted(const std::vector<Edge>& e, const std::vector<Weight>& w,
   });
 }
 
+// Applies the requested locality relabeling to a freshly assembled CSR and
+// hands the permutation back to the caller. kNone passes the graph through
+// untouched.
+CsrGraph MaybeRelabel(CsrGraph g, const GraphBuilder::Options& options) {
+  if (options.relabel == RelabelStrategy::kNone) return g;
+  RelabelPlan plan = BuildRelabelPlan(g, options.relabel);
+  CsrGraph relabeled = ApplyRelabelPlan(g, plan);
+  if (options.relabel_plan_out != nullptr) {
+    *options.relabel_plan_out = std::move(plan);
+  }
+  return relabeled;
+}
+
 }  // namespace
 
 CsrGraph GraphBuilder::Build(EdgeList edges, const Options& options) {
@@ -199,7 +212,7 @@ CsrGraph GraphBuilder::Build(EdgeList edges, const Options& options) {
                       &g.in_neighbors_, &g.in_weights_);
     }
   }
-  return g;
+  return MaybeRelabel(std::move(g), options);
 }
 
 Status GraphBuilder::BuildChecked(EdgeList edges, const Options& options,

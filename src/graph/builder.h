@@ -5,6 +5,7 @@
 
 #include "graph/csr_graph.h"
 #include "graph/edge_list.h"
+#include "graph/relabel.h"
 #include "util/status.h"
 
 namespace gab {
@@ -33,6 +34,14 @@ class GraphBuilder {
     bool dedupe = true;
     /// For directed graphs, also build the reverse adjacency.
     bool build_in_edges = true;
+    /// Locality relabeling applied after CSR assembly (DESIGN.md §10):
+    /// vertex ids are permuted per the strategy and the CSR rebuilt in the
+    /// new id space. Kernels run faster on the relabeled graph; results
+    /// map back to original ids through the plan written to
+    /// `relabel_plan_out` (see MapToOriginalIds / MapIdValuesToOriginalIds).
+    RelabelStrategy relabel = RelabelStrategy::kNone;
+    /// When non-null and relabel != kNone, receives the applied permutation.
+    RelabelPlan* relabel_plan_out = nullptr;
   };
 
   /// Builds a CSR graph. The input edge list is consumed (moved from) to

@@ -70,6 +70,8 @@ class CsrGraph {
 
  private:
   friend class GraphBuilder;
+  // Relabeling permutes the CSR arrays in place of a rebuild (graph/relabel).
+  friend CsrGraph ApplyRelabelPlan(const CsrGraph& g, const struct RelabelPlan& plan);
 
   VertexId num_vertices_ = 0;
   EdgeId num_edges_ = 0;

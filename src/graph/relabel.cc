@@ -1,0 +1,215 @@
+#include "graph/relabel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "obs/telemetry.h"
+#include "util/logging.h"
+#include "util/parallel_primitives.h"
+#include "util/threading.h"
+
+namespace gab {
+
+namespace {
+
+// Fixed chunk size for the per-vertex passes: chunk boundaries (and thus
+// float summation order in the stats reduction) never depend on the worker
+// count.
+constexpr size_t kVertexGrain = 4096;
+
+// Distance (in vertex-state slots) under which two ids share a 64-byte
+// cache line of 4-byte slots.
+constexpr uint32_t kLineSlots = 64 / sizeof(VertexId);
+
+std::vector<VertexId> InvertPermutation(const std::vector<VertexId>& perm) {
+  std::vector<VertexId> inv(perm.size());
+  ParallelFor(perm.size(), kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      inv[perm[i]] = static_cast<VertexId>(i);
+    }
+  });
+  return inv;
+}
+
+// Permutes one adjacency (offsets/neighbors/weights triple) into dst under
+// old_to_new, re-sorting each list in the new id space with weights riding
+// along. degree(old) is read from the source offsets.
+void PermuteAdjacency(const std::vector<EdgeId>& src_offsets,
+                      const std::vector<VertexId>& src_neighbors,
+                      const std::vector<Weight>& src_weights,
+                      const RelabelPlan& plan,
+                      std::vector<EdgeId>* dst_offsets,
+                      std::vector<VertexId>* dst_neighbors,
+                      std::vector<Weight>* dst_weights) {
+  const size_t n = plan.new_to_old.size();
+  const bool weighted = !src_weights.empty();
+  dst_offsets->assign(n + 1, 0);
+  for (size_t nv = 0; nv < n; ++nv) {
+    VertexId old = plan.new_to_old[nv];
+    (*dst_offsets)[nv + 1] =
+        (*dst_offsets)[nv] + (src_offsets[old + 1] - src_offsets[old]);
+  }
+  dst_neighbors->resize(src_neighbors.size());
+  if (weighted) dst_weights->resize(src_weights.size());
+
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    // Scratch for (mapped neighbor, weight) pairs; reused across the chunk.
+    std::vector<std::pair<VertexId, Weight>> adj;
+    for (size_t nv = begin; nv < end; ++nv) {
+      VertexId old = plan.new_to_old[nv];
+      const EdgeId src_begin = src_offsets[old];
+      const size_t deg = static_cast<size_t>(src_offsets[old + 1] - src_begin);
+      adj.clear();
+      adj.reserve(deg);
+      for (size_t k = 0; k < deg; ++k) {
+        adj.emplace_back(plan.old_to_new[src_neighbors[src_begin + k]],
+                         weighted ? src_weights[src_begin + k] : Weight{0});
+      }
+      // Neighbor ids are unique within a list (CSR invariant), so sorting
+      // by id alone is a total order and the result is deterministic.
+      std::sort(adj.begin(), adj.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      const EdgeId dst_begin = (*dst_offsets)[nv];
+      for (size_t k = 0; k < deg; ++k) {
+        (*dst_neighbors)[dst_begin + k] = adj[k].first;
+        if (weighted) (*dst_weights)[dst_begin + k] = adj[k].second;
+      }
+    }
+  });
+}
+
+}  // namespace
+
+const char* RelabelStrategyName(RelabelStrategy s) {
+  switch (s) {
+    case RelabelStrategy::kNone:
+      return "none";
+    case RelabelStrategy::kDegreeDesc:
+      return "degree";
+    case RelabelStrategy::kHubSort:
+      return "hubsort";
+  }
+  return "unknown";
+}
+
+LocalityStats ComputeLocalityStats(const CsrGraph& g) {
+  GAB_SPAN("build.locality_stats");
+  const size_t n = g.num_vertices();
+  LocalityStats stats;
+  if (n == 0) return stats;
+
+  const size_t num_chunks = (n + kVertexGrain - 1) / kVertexGrain;
+  struct Partial {
+    double gap_sum = 0.0;
+    uint64_t same_line = 0;
+    uint64_t pairs = 0;
+  };
+  std::vector<Partial> partial(num_chunks);
+  ParallelFor(n, kVertexGrain, [&](size_t begin, size_t end) {
+    Partial p;
+    for (size_t v = begin; v < end; ++v) {
+      auto nbrs = g.OutNeighbors(static_cast<VertexId>(v));
+      for (size_t k = 1; k < nbrs.size(); ++k) {
+        // Adjacency lists are sorted ascending, so the gap is non-negative.
+        uint32_t gap = nbrs[k] - nbrs[k - 1];
+        p.gap_sum += static_cast<double>(gap);
+        p.same_line += gap < kLineSlots ? 1 : 0;
+        ++p.pairs;
+      }
+    }
+    partial[begin / kVertexGrain] = p;
+  });
+  // Chunk-order summation: identical at every worker count.
+  double gap_sum = 0.0;
+  uint64_t same_line = 0;
+  for (const Partial& p : partial) {
+    gap_sum += p.gap_sum;
+    same_line += p.same_line;
+    stats.measured_pairs += p.pairs;
+  }
+  if (stats.measured_pairs > 0) {
+    stats.avg_neighbor_gap = gap_sum / static_cast<double>(stats.measured_pairs);
+    stats.cache_line_reuse =
+        static_cast<double>(same_line) / static_cast<double>(stats.measured_pairs);
+  }
+  GAB_GAUGE_SET("relabel.avg_neighbor_gap", stats.avg_neighbor_gap);
+  GAB_GAUGE_SET("relabel.cache_line_reuse", stats.cache_line_reuse);
+  return stats;
+}
+
+RelabelPlan BuildRelabelPlan(const CsrGraph& g, RelabelStrategy strategy) {
+  GAB_SPAN("build.relabel_plan");
+  RelabelPlan plan;
+  if (strategy == RelabelStrategy::kNone) return plan;
+  const size_t n = g.num_vertices();
+  plan.new_to_old.resize(n);
+  std::iota(plan.new_to_old.begin(), plan.new_to_old.end(), VertexId{0});
+
+  if (strategy == RelabelStrategy::kDegreeDesc) {
+    ParallelSort(plan.new_to_old, [&](VertexId a, VertexId b) {
+      size_t da = g.OutDegree(a);
+      size_t db = g.OutDegree(b);
+      if (da != db) return da > db;
+      return a < b;  // tie-break on id: total order → deterministic sort
+    });
+  } else {
+    // Hub sort: hubs (degree strictly above the mean) move to the front in
+    // (degree desc, id asc) order; the tail keeps its original order, which
+    // is exactly what stable_partition preserves.
+    const double mean_degree =
+        n == 0 ? 0.0 : static_cast<double>(g.num_arcs()) / static_cast<double>(n);
+    auto is_hub = [&](VertexId v) {
+      return static_cast<double>(g.OutDegree(v)) > mean_degree;
+    };
+    auto hubs_end =
+        std::stable_partition(plan.new_to_old.begin(), plan.new_to_old.end(),
+                              [&](VertexId v) { return is_hub(v); });
+    std::sort(plan.new_to_old.begin(), hubs_end, [&](VertexId a, VertexId b) {
+      size_t da = g.OutDegree(a);
+      size_t db = g.OutDegree(b);
+      if (da != db) return da > db;
+      return a < b;
+    });
+    GAB_GAUGE_SET("relabel.hub_count",
+                  static_cast<double>(hubs_end - plan.new_to_old.begin()));
+  }
+  plan.old_to_new = InvertPermutation(plan.new_to_old);
+  return plan;
+}
+
+CsrGraph ApplyRelabelPlan(const CsrGraph& g, const RelabelPlan& plan) {
+  GAB_SPAN("build.relabel_apply");
+  GAB_CHECK(plan.old_to_new.size() == g.num_vertices());
+  GAB_CHECK(plan.new_to_old.size() == g.num_vertices());
+
+  CsrGraph out;
+  out.num_vertices_ = g.num_vertices_;
+  out.num_edges_ = g.num_edges_;
+  out.undirected_ = g.undirected_;
+  PermuteAdjacency(g.out_offsets_, g.out_neighbors_, g.out_weights_, plan,
+                   &out.out_offsets_, &out.out_neighbors_, &out.out_weights_);
+  if (!g.in_offsets_.empty()) {
+    PermuteAdjacency(g.in_offsets_, g.in_neighbors_, g.in_weights_, plan,
+                     &out.in_offsets_, &out.in_neighbors_, &out.in_weights_);
+  }
+  GAB_COUNT("relabel.graphs", 1);
+  return out;
+}
+
+std::vector<uint64_t> MapIdValuesToOriginalIds(
+    const std::vector<uint64_t>& relabeled_values, const RelabelPlan& plan) {
+  std::vector<uint64_t> out(relabeled_values.size());
+  ParallelFor(out.size(), kVertexGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      uint64_t val = relabeled_values[plan.old_to_new[v]];
+      // Id-valued entries are mapped through new_to_old; sentinel values
+      // (>= n, e.g. kInfDist or "no parent") pass through unchanged.
+      out[v] = val < plan.new_to_old.size() ? plan.new_to_old[val] : val;
+    }
+  });
+  return out;
+}
+
+}  // namespace gab

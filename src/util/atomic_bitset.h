@@ -69,6 +69,15 @@ class AtomicBitset {
     words_[i >> 6].fetch_or(uint64_t{1} << (i & 63), std::memory_order_relaxed);
   }
 
+  /// Clears bit i. Used to restore the all-zero invariant cheaply after a
+  /// sparse frontier pass (clear only the touched bits instead of every
+  /// word).
+  void ClearBit(size_t i) {
+    GAB_DCHECK(i < size_);
+    words_[i >> 6].fetch_and(~(uint64_t{1} << (i & 63)),
+                             std::memory_order_relaxed);
+  }
+
   /// Atomically sets bit i; returns true iff this call transitioned it 0→1.
   /// This is the primitive that deduplicates frontier insertions.
   bool TestAndSet(size_t i) {

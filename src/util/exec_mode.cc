@@ -1,0 +1,40 @@
+#include "util/exec_mode.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gab {
+
+namespace {
+
+ExecMode ModeFromEnv() {
+  const char* env = std::getenv("GAB_EXEC_MODE");
+  if (env == nullptr || *env == '\0') return ExecMode::kStrict;
+  if (std::strcmp(env, "relaxed") == 0) return ExecMode::kRelaxed;
+  if (std::strcmp(env, "strict") == 0) return ExecMode::kStrict;
+  std::fprintf(stderr, "warning: unknown GAB_EXEC_MODE '%s', using strict\n",
+               env);
+  return ExecMode::kStrict;
+}
+
+// Mutated only from the main thread (same contract as ScopedThreadPool).
+ExecMode g_mode = ModeFromEnv();
+
+}  // namespace
+
+ExecMode CurrentExecMode() { return g_mode; }
+
+void SetExecMode(ExecMode mode) { g_mode = mode; }
+
+const char* ExecModeName(ExecMode mode) {
+  return mode == ExecMode::kRelaxed ? "relaxed" : "strict";
+}
+
+ScopedExecMode::ScopedExecMode(ExecMode mode) : saved_(g_mode) {
+  g_mode = mode;
+}
+
+ScopedExecMode::~ScopedExecMode() { g_mode = saved_; }
+
+}  // namespace gab

@@ -1,0 +1,57 @@
+#ifndef GAB_UTIL_EXEC_MODE_H_
+#define GAB_UTIL_EXEC_MODE_H_
+
+namespace gab {
+
+/// Execution modes trading determinism guarantees for raw speed
+/// (DESIGN.md §10).
+///
+///  - kStrict (default): every parallel stage produces bit-identical
+///    results, frontier orderings, and traces for every GAB_THREADS — the
+///    repository-wide determinism contract the parallel-determinism tests
+///    pin down.
+///  - kRelaxed: engines may drop ordered frontier merging and other
+///    scheduling-independence work. Algorithm *outputs* must still reach
+///    the same fixed point (BFS levels, WCC labels, SSSP distances) or
+///    stay within a bounded float divergence (PR), which the equivalence
+///    verifier in algos/verify.h checks; internal orderings (the order of
+///    a VertexSubset's sparse list, trace merge interleavings) become
+///    scheduling-dependent.
+///
+/// The mode is process-wide, selected once from GAB_EXEC_MODE
+/// ("strict" / "relaxed", default strict) and overridable in-process via
+/// SetExecMode or the RAII ScopedExecMode (tests compare both modes in one
+/// binary). Engines sample the mode per operation, so an override applies
+/// to everything started after it.
+enum class ExecMode {
+  kStrict = 0,
+  kRelaxed,
+};
+
+/// Current process-wide mode: the active override if any, else the cached
+/// GAB_EXEC_MODE parse. Only read from the main thread (engine entry
+/// points), matching ScopedThreadPool's threading contract.
+ExecMode CurrentExecMode();
+
+/// Overrides the mode for everything started after the call.
+void SetExecMode(ExecMode mode);
+
+/// "strict" / "relaxed".
+const char* ExecModeName(ExecMode mode);
+
+/// RAII mode override, restoring the previous mode on destruction. Nests.
+class ScopedExecMode {
+ public:
+  explicit ScopedExecMode(ExecMode mode);
+  ~ScopedExecMode();
+
+  ScopedExecMode(const ScopedExecMode&) = delete;
+  ScopedExecMode& operator=(const ScopedExecMode&) = delete;
+
+ private:
+  ExecMode saved_;
+};
+
+}  // namespace gab
+
+#endif  // GAB_UTIL_EXEC_MODE_H_

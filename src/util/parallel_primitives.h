@@ -139,6 +139,14 @@ void ParallelInclusiveScan(std::vector<T>& a) {
 template <typename Keep, typename Emit>
 size_t ParallelCompact(size_t n, Keep keep, Emit emit) {
   if (n == 0) return 0;
+  if (n <= SerialCutoff()) {
+    // One inline pass; positions are ranks either way.
+    size_t pos = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (keep(i)) emit(i, pos++);
+    }
+    return pos;
+  }
   const size_t workers = DefaultPool().num_threads();
   const size_t chunks = std::min(n, workers * 4);
   std::vector<size_t> bounds(chunks + 1);

@@ -172,6 +172,17 @@ ScopedThreadPool::ScopedThreadPool(size_t num_threads)
 
 ScopedThreadPool::~ScopedThreadPool() { g_pool_override = saved_; }
 
+size_t SerialCutoff() {
+  static const size_t cutoff = [] {
+    if (const char* env = std::getenv("GAB_SERIAL_CUTOFF")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v >= 0) return static_cast<size_t>(v);
+    }
+    return size_t{1} << 13;
+  }();
+  return cutoff;
+}
+
 void ParallelFor(size_t n, size_t grain,
                  const std::function<void(size_t, size_t)>& body) {
   if (n == 0) return;
@@ -179,6 +190,18 @@ void ParallelFor(size_t n, size_t grain,
   size_t num_chunks = (n + grain - 1) / grain;
   if (num_chunks == 1) {
     body(0, n);
+    return;
+  }
+  if (n <= SerialCutoff()) {
+    // Inline chunk loop: identical boundaries and per-chunk fault points,
+    // no batch publication. Injected faults propagate immediately, matching
+    // the single-threaded RunTasks path.
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      size_t begin = chunk * grain;
+      size_t end = begin + grain < n ? begin + grain : n;
+      FaultPoint("pool.task");
+      body(begin, end);
+    }
     return;
   }
   DefaultPool().RunTasks(num_chunks, [&](size_t chunk, size_t) {
@@ -206,6 +229,18 @@ double ParallelReduceSum(size_t n, size_t grain,
   if (n == 0) return 0.0;
   GAB_CHECK(grain > 0);
   size_t num_chunks = (n + grain - 1) / grain;
+  if (n <= SerialCutoff()) {
+    // Same per-chunk partials combined in the same ascending order, so the
+    // float result matches the pool path bit-for-bit.
+    double total = 0.0;
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      size_t begin = chunk * grain;
+      size_t end = begin + grain < n ? begin + grain : n;
+      FaultPoint("pool.task");
+      total += body(begin, end);
+    }
+    return total;
+  }
   std::vector<double> partial(num_chunks, 0.0);
   DefaultPool().RunTasks(num_chunks, [&](size_t chunk, size_t) {
     size_t begin = chunk * grain;

@@ -97,8 +97,18 @@ class ScopedThreadPool {
   ThreadPool* saved_;
 };
 
+/// Element-count threshold below which the data-parallel helpers run their
+/// chunk loops inline instead of dispatching a pool batch: small inputs pay
+/// more in batch publication (cv broadcast + barrier) than they win in
+/// parallelism, which is what made t1-scale baselines overhead-bound.
+/// Tunable via GAB_SERIAL_CUTOFF (elements; read once). Chunk boundaries
+/// are unchanged either way, so results stay bit-identical.
+size_t SerialCutoff();
+
 /// Splits [0, n) into chunks of at most `grain` and runs body(begin, end)
-/// over the default pool. body must be safe to call concurrently.
+/// over the default pool; below SerialCutoff() the chunks run inline on the
+/// calling thread (same boundaries, same fault-injection points).
+/// body must be safe to call concurrently.
 void ParallelFor(size_t n, size_t grain,
                  const std::function<void(size_t, size_t)>& body);
 

@@ -1,0 +1,344 @@
+// Tests for the GAP-grade kernel layer (ISSUE: GAP-grade kernels):
+// direction-optimizing BFS (push/pull switch telemetry + correctness on
+// adversarial shapes), delta-stepping SSSP vs Dijkstra, degree-ordered
+// relabeling round-trips, and strict/relaxed equivalence at 1 and 7
+// workers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "algos/bfs.h"
+#include "algos/sssp.h"
+#include "algos/verify.h"
+#include "algos/wcc.h"
+#include "gen/classic.h"
+#include "gen/fft_dg.h"
+#include "gen/weights.h"
+#include "graph/builder.h"
+#include "graph/relabel.h"
+#include "platforms/subset_kernels.h"
+#include "util/exec_mode.h"
+#include "util/threading.h"
+
+namespace gab {
+namespace {
+
+std::vector<uint64_t> ToU64(const std::vector<uint32_t>& v) {
+  return std::vector<uint64_t>(v.begin(), v.end());
+}
+
+/// Star: hub 0 connected to every other vertex (undirected).
+CsrGraph Star(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId v = 1; v < n; ++v) pairs.push_back({0, v});
+  return GraphBuilder::FromPairs(n, pairs);
+}
+
+/// Chain: 0 - 1 - 2 - ... - (n-1).
+CsrGraph Chain(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId v = 0; v + 1 < n; ++v) pairs.push_back({v, v + 1});
+  return GraphBuilder::FromPairs(n, pairs);
+}
+
+/// Power-law small-world graph (RMAT-class skew) from the FFT-DG
+/// generator: the shape whose hub-heavy middle rounds make the
+/// direction switch pay off.
+CsrGraph PowerLaw(VertexId n, uint64_t seed, bool weighted = false) {
+  FftDgConfig config;
+  config.num_vertices = n;
+  config.seed = seed;
+  config.weighted = weighted;
+  return GraphBuilder::Build(GenerateFftDg(config));
+}
+
+CsrGraph RandomWeighted(uint64_t seed, VertexId n = 1000, EdgeId m = 6000) {
+  EdgeList el = GenerateErdosRenyi(n, m, seed);
+  AssignUniformWeights(&el, seed + 1);
+  return GraphBuilder::Build(std::move(el));
+}
+
+// ----------------------------------------------- direction-opt BFS ----
+
+TEST(DirectionOptBfsTest, StarFromHubIsTwoRounds) {
+  CsrGraph g = Star(5000);
+  DirectionOptBfsStats stats;
+  auto levels = DirectionOptBfs(g, 0, DirectionOptBfsOptions(), &stats);
+  EXPECT_EQ(levels, BfsReference(g, 0));
+  // Round 1 explores every leaf; round 2 drains the leaf frontier.
+  EXPECT_EQ(stats.rounds, 2u);
+}
+
+TEST(DirectionOptBfsTest, StarFromLeafSwitchesToPull) {
+  // From a leaf the second frontier is the hub, whose out-degree is the
+  // whole graph — frontier edges >> unexplored/alpha forces a pull round.
+  CsrGraph g = Star(5000);
+  DirectionOptBfsStats stats;
+  DirectionOptBfsOptions options;
+  options.alpha = 2.0;
+  auto levels = DirectionOptBfs(g, 7, options, &stats);
+  EXPECT_EQ(levels, BfsReference(g, 7));
+  EXPECT_GE(stats.pull_rounds, 1u);
+}
+
+TEST(DirectionOptBfsTest, ChainStaysPushDominated) {
+  // A chain frontier has ~2 out-edges, so the push->pull threshold only
+  // trips in the last rounds when unexplored_edges collapses toward zero
+  // (frontier edges > unexplored/alpha is then trivially true, and the
+  // beta hysteresis flips straight back). The bulk of the traversal must
+  // stay push — the optimizer must not pay dense-scan costs mid-chain.
+  CsrGraph g = Chain(4000);
+  DirectionOptBfsStats stats;
+  auto levels = DirectionOptBfs(g, 0, DirectionOptBfsOptions(), &stats);
+  EXPECT_EQ(levels, BfsReference(g, 0));
+  EXPECT_LE(stats.pull_rounds, 16u);
+  EXPECT_GE(stats.push_rounds, stats.rounds - 16u);
+}
+
+TEST(DirectionOptBfsTest, PowerLawSwitchesBothWays) {
+  CsrGraph g = PowerLaw(8000, 11);
+  DirectionOptBfsStats stats;
+  DirectionOptBfsOptions options;
+  options.alpha = 4.0;  // aggressive enough to trip at this small scale
+  auto levels = DirectionOptBfs(g, 0, options, &stats);
+  EXPECT_EQ(levels, BfsReference(g, 0));
+  EXPECT_GE(stats.push_rounds, 1u);
+  EXPECT_GE(stats.pull_rounds, 1u);
+  EXPECT_EQ(stats.push_rounds + stats.pull_rounds, stats.rounds);
+}
+
+TEST(DirectionOptBfsTest, UnreachableVerticesKeepSentinel) {
+  // Two components: {0,1} and {2,3}.
+  CsrGraph g = GraphBuilder::FromPairs(4, {{0, 1}, {2, 3}});
+  auto levels = DirectionOptBfs(g, 0);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], kUnreachedLevel);
+  EXPECT_EQ(levels[3], kUnreachedLevel);
+}
+
+TEST(DirectionOptBfsTest, MatchesReferenceAcrossSeeds) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    CsrGraph g = PowerLaw(3000, seed);
+    EXPECT_EQ(DirectionOptBfs(g, 5), BfsReference(g, 5)) << "seed " << seed;
+  }
+}
+
+// --------------------------------------------- delta-stepping SSSP ----
+
+TEST(DeltaSsspTest, WeightedPathDistances) {
+  // 0 -5- 1 -3- 2 -7- 3
+  EdgeList el(4);
+  el.AddEdge(0, 1, 5);
+  el.AddEdge(1, 2, 3);
+  el.AddEdge(2, 3, 7);
+  CsrGraph g = GraphBuilder::Build(std::move(el));
+  auto dist = DeltaSteppingSssp(g, 0);
+  EXPECT_EQ(dist, (std::vector<Dist>{0, 5, 8, 15}));
+}
+
+TEST(DeltaSsspTest, MatchesDijkstraAcrossSeedsAndDeltas) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    CsrGraph g = RandomWeighted(seed);
+    auto ref = SsspReference(g, 0);
+    // delta=0 auto-tunes; the fixed deltas cover pure-Dijkstra-like
+    // (delta 1), mid, and pure-Bellman-Ford-like (delta > max weight).
+    for (Dist delta : {Dist{0}, Dist{1}, Dist{8}, Dist{1000}}) {
+      EXPECT_EQ(DeltaSteppingSssp(g, 0, delta), ref)
+          << "seed " << seed << " delta " << delta;
+    }
+  }
+}
+
+TEST(DeltaSsspTest, UnweightedGraphUsesUnitWeights) {
+  CsrGraph g = GraphBuilder::Build(GenerateErdosRenyi(600, 3000, 5));
+  ASSERT_FALSE(g.has_weights());
+  EXPECT_EQ(DeltaSteppingSssp(g, 0), SsspReference(g, 0));
+}
+
+TEST(DeltaSsspTest, UnreachableVerticesStayInfinite) {
+  EdgeList el(4);
+  el.AddEdge(0, 1, 2);
+  el.AddEdge(2, 3, 4);
+  CsrGraph g = GraphBuilder::Build(std::move(el));
+  auto dist = DeltaSteppingSssp(g, 0);
+  EXPECT_EQ(dist[2], kInfDist);
+  EXPECT_EQ(dist[3], kInfDist);
+}
+
+TEST(DeltaSsspTest, StatsReportTunedDeltaAndWork) {
+  CsrGraph g = RandomWeighted(9);
+  DeltaSsspStats stats;
+  DeltaSteppingSssp(g, 0, 0, &stats);
+  EXPECT_GE(stats.delta, 1u);
+  EXPECT_GE(stats.buckets_processed, 1u);
+  EXPECT_GE(stats.phases, stats.buckets_processed);
+  EXPECT_GT(stats.relaxations, 0u);
+}
+
+TEST(DeltaSsspTest, AutoTuneDeltaIsMeanWeight) {
+  EdgeList el(3);
+  el.AddEdge(0, 1, 10);
+  el.AddEdge(1, 2, 20);
+  CsrGraph g = GraphBuilder::Build(std::move(el));
+  // Undirected build stores each weight twice; the mean stays 15.
+  EXPECT_EQ(AutoTuneDelta(g), 15u);
+}
+
+// ----------------------------------------------------- relabeling ----
+
+TEST(RelabelTest, DegreeDescPlanIsAPermutation) {
+  CsrGraph g = PowerLaw(4000, 17);
+  RelabelPlan plan = BuildRelabelPlan(g, RelabelStrategy::kDegreeDesc);
+  ASSERT_EQ(plan.old_to_new.size(), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(plan.old_to_new[plan.new_to_old[v]], v);
+    EXPECT_EQ(plan.new_to_old[plan.old_to_new[v]], v);
+  }
+  // New id order is degree-descending.
+  CsrGraph rl = ApplyRelabelPlan(g, plan);
+  for (VertexId v = 0; v + 1 < rl.num_vertices(); ++v) {
+    EXPECT_GE(rl.OutDegree(v), rl.OutDegree(v + 1));
+  }
+}
+
+TEST(RelabelTest, HubSortKeepsTailOrder) {
+  CsrGraph g = PowerLaw(4000, 23);
+  RelabelPlan plan = BuildRelabelPlan(g, RelabelStrategy::kHubSort);
+  CsrGraph rl = ApplyRelabelPlan(g, plan);
+  // The tail (everything after the hub prefix) preserves original order:
+  // its new_to_old sequence is strictly increasing.
+  double mean = static_cast<double>(g.num_arcs()) / g.num_vertices();
+  VertexId tail_start = 0;
+  while (tail_start < rl.num_vertices() &&
+         rl.OutDegree(tail_start) > mean) {
+    ++tail_start;
+  }
+  for (VertexId v = tail_start; v + 1 < rl.num_vertices(); ++v) {
+    EXPECT_LT(plan.new_to_old[v], plan.new_to_old[v + 1]);
+  }
+}
+
+TEST(RelabelTest, RelabeledGraphIsIsomorphic) {
+  CsrGraph g = PowerLaw(3000, 31, /*weighted=*/true);
+  RelabelPlan plan = BuildRelabelPlan(g, RelabelStrategy::kDegreeDesc);
+  CsrGraph rl = ApplyRelabelPlan(g, plan);
+  EXPECT_EQ(rl.num_vertices(), g.num_vertices());
+  EXPECT_EQ(rl.num_arcs(), g.num_arcs());
+  EXPECT_EQ(rl.has_weights(), g.has_weights());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(rl.OutDegree(plan.old_to_new[v]), g.OutDegree(v));
+  }
+  // Locality stats measure the same pair population on both graphs.
+  EXPECT_EQ(ComputeLocalityStats(g).measured_pairs,
+            ComputeLocalityStats(rl).measured_pairs);
+}
+
+TEST(RelabelTest, PositionalOutputsRoundTrip) {
+  CsrGraph g = PowerLaw(3000, 41, /*weighted=*/true);
+  RelabelPlan plan = BuildRelabelPlan(g, RelabelStrategy::kDegreeDesc);
+  CsrGraph rl = ApplyRelabelPlan(g, plan);
+  // BFS levels and SSSP distances are positional: mapping the relabeled
+  // output back through the plan must equal the original-graph output.
+  auto bfs_rl = DirectionOptBfs(rl, plan.old_to_new[0]);
+  EXPECT_EQ(MapToOriginalIds(bfs_rl, plan), DirectionOptBfs(g, 0));
+  auto sssp_rl = DeltaSteppingSssp(rl, plan.old_to_new[0]);
+  EXPECT_EQ(MapToOriginalIds(sssp_rl, plan), DeltaSteppingSssp(g, 0));
+}
+
+TEST(RelabelTest, IdValuedOutputsRoundTrip) {
+  CsrGraph g = PowerLaw(3000, 43);
+  RelabelPlan plan = BuildRelabelPlan(g, RelabelStrategy::kDegreeDesc);
+  CsrGraph rl = ApplyRelabelPlan(g, plan);
+  // WCC labels are vertex-id-valued: both the index space and the stored
+  // ids need the inverse permutation, after which the labeling must
+  // induce the same partition as the original-graph labels.
+  auto labels_rl = ToU64(WccReference(rl));
+  auto mapped = MapIdValuesToOriginalIds(labels_rl, plan);
+  auto result = ComparePartitions(mapped, ToU64(WccReference(g)));
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(RelabelTest, BuilderOptionAppliesPlan) {
+  FftDgConfig config;
+  config.num_vertices = 2000;
+  config.seed = 47;
+  EdgeList edges = GenerateFftDg(config);
+  EdgeList copy = edges;
+  CsrGraph plain = GraphBuilder::Build(std::move(copy));
+
+  GraphBuilder::Options options;
+  options.relabel = RelabelStrategy::kDegreeDesc;
+  RelabelPlan plan;
+  options.relabel_plan_out = &plan;
+  CsrGraph rl = GraphBuilder::Build(std::move(edges), options);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(rl.num_arcs(), plain.num_arcs());
+  auto mapped = MapToOriginalIds(DirectionOptBfs(rl, plan.old_to_new[0]),
+                                 plan);
+  EXPECT_EQ(mapped, DirectionOptBfs(plain, 0));
+}
+
+// ------------------------------------- strict/relaxed equivalence ----
+
+/// Runs every fixed-point kernel strict and relaxed at `workers` threads
+/// and checks byte-identical outputs (the relaxed-mode contract).
+void ExpectStrictRelaxedEquivalence(size_t workers) {
+  ScopedThreadPool pool(workers);
+  CsrGraph g = PowerLaw(6000, 53, /*weighted=*/true);
+  AlgoParams params;
+  SubsetKernelOptions options;
+
+  auto run_all = [&] {
+    std::vector<std::vector<uint64_t>> outs;
+    outs.push_back(ToU64(DirectionOptBfs(g, 0)));
+    outs.push_back(DeltaSteppingSssp(g, 0));
+    outs.push_back(SubsetBfs(g, params, options).output.ints);
+    outs.push_back(SubsetSssp(g, params, options).output.ints);
+    outs.push_back(SubsetWcc(g, params, options).output.ints);
+    return outs;
+  };
+  auto strict = RunInExecMode(ExecMode::kStrict, run_all);
+  auto relaxed = RunInExecMode(ExecMode::kRelaxed, run_all);
+  const char* names[] = {"DO-BFS", "delta-SSSP", "SubsetBfs", "SubsetSssp",
+                         "SubsetWcc"};
+  for (size_t i = 0; i < strict.size(); ++i) {
+    auto result = VerifyFixedPoint(strict[i], relaxed[i], names[i]);
+    EXPECT_TRUE(result.ok) << result.detail;
+  }
+}
+
+TEST(ExecModeEquivalenceTest, OneWorker) {
+  ExpectStrictRelaxedEquivalence(1);
+}
+
+TEST(ExecModeEquivalenceTest, SevenWorkers) {
+  ExpectStrictRelaxedEquivalence(7);
+}
+
+TEST(ExecModeEquivalenceTest, OutputsIdenticalAcrossWorkerCounts) {
+  // The strict contract is bit-identical across GAB_THREADS; the new
+  // kernels promise the same even in relaxed mode.
+  CsrGraph g = PowerLaw(5000, 59, /*weighted=*/true);
+  std::vector<uint32_t> bfs1, bfs7;
+  std::vector<Dist> sssp1, sssp7;
+  {
+    ScopedThreadPool pool(1);
+    bfs1 = DirectionOptBfs(g, 0);
+    sssp1 = DeltaSteppingSssp(g, 0);
+  }
+  {
+    ScopedThreadPool pool(7);
+    ScopedExecMode scope(ExecMode::kRelaxed);
+    bfs7 = DirectionOptBfs(g, 0);
+    sssp7 = DeltaSteppingSssp(g, 0);
+  }
+  EXPECT_EQ(bfs1, bfs7);
+  EXPECT_EQ(sssp1, sssp7);
+}
+
+}  // namespace
+}  // namespace gab

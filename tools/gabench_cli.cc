@@ -92,6 +92,7 @@ int Usage() {
       "  datasets   [--scale S]          the Table 4 dataset registry\n"
       "  run        --platform AB --algo NAME (--in FILE | --dataset NAME)\n"
       "             [--source V] [--k K] [--iterations I] [--no-verify]\n"
+      "             [--exec-mode strict|relaxed] [--relabel none|degree|hubsort]\n"
       "             [--trace-out FILE] [--metrics-out FILE]\n"
       "             [--report-out FILE]\n"
       "  simulate   (run flags) --machines M --threads T\n"
@@ -101,7 +102,12 @@ int Usage() {
       "on automatically for the telemetry output flags above, or globally\n"
       "via GAB_TRACE=1: --trace-out writes Chrome trace_event JSON (open in\n"
       "Perfetto), --metrics-out writes Prometheus text exposition,\n"
-      "--report-out writes a flat JSON run report.\n",
+      "--report-out writes a flat JSON run report.\n"
+      "\n"
+      "--exec-mode relaxed drops the engines' ordered frontier merging\n"
+      "(same fixed point, faster; see DESIGN.md §10); --relabel runs on a\n"
+      "locality-relabeled copy of the graph and maps results back to the\n"
+      "original vertex ids. Both default to the GAB_EXEC_MODE env / none.\n",
       stderr);
   return 1;
 }
@@ -313,6 +319,26 @@ int CmdRun(const Flags& flags, bool simulate) {
     obs::Telemetry::Enable();
   }
 
+  const std::string mode_name = flags.Get("exec-mode", "");
+  if (!mode_name.empty()) {
+    if (mode_name != "strict" && mode_name != "relaxed") {
+      std::fprintf(stderr, "error: --exec-mode must be strict|relaxed\n");
+      return 1;
+    }
+    SetExecMode(mode_name == "relaxed" ? ExecMode::kRelaxed
+                                       : ExecMode::kStrict);
+  }
+  const std::string relabel_name = flags.Get("relabel", "none");
+  RelabelStrategy relabel = RelabelStrategy::kNone;
+  if (relabel_name == "degree") {
+    relabel = RelabelStrategy::kDegreeDesc;
+  } else if (relabel_name == "hubsort") {
+    relabel = RelabelStrategy::kHubSort;
+  } else if (relabel_name != "none") {
+    std::fprintf(stderr, "error: --relabel must be none|degree|hubsort\n");
+    return 1;
+  }
+
   WallTimer upload_timer;
   std::optional<CsrGraph> g = LoadGraph(flags);
   if (!g) return 2;
@@ -324,6 +350,20 @@ int CmdRun(const Flags& flags, bool simulate) {
   params.iterations =
       static_cast<uint32_t>(flags.GetInt("iterations", 10));
 
+  // Locality relabeling: run (and verify) on the permuted graph with the
+  // permuted source, then map per-vertex outputs back below so everything
+  // the user sees is in original vertex ids.
+  RelabelPlan plan;
+  LocalityStats loc_before;
+  LocalityStats loc_after;
+  if (relabel != RelabelStrategy::kNone) {
+    loc_before = ComputeLocalityStats(*g);
+    plan = BuildRelabelPlan(*g, relabel);
+    *g = ApplyRelabelPlan(*g, plan);
+    loc_after = ComputeLocalityStats(*g);
+    params.source = plan.old_to_new[params.source];
+  }
+
   ExperimentRecord record = ExperimentExecutor::Execute(
       *platform, *algo, *g, flags.Get("dataset", flags.Get("in", "?")),
       params, upload);
@@ -331,6 +371,16 @@ int CmdRun(const Flags& flags, bool simulate) {
   Table table({"Metric", "Value"});
   table.AddRow({"platform", platform->name()});
   table.AddRow({"algorithm", AlgorithmLongName(*algo)});
+  table.AddRow({"exec mode", ExecModeName(CurrentExecMode())});
+  if (relabel != RelabelStrategy::kNone) {
+    table.AddRow({"relabel", RelabelStrategyName(relabel)});
+    table.AddRow({"avg neighbor gap",
+                  Table::Fmt(loc_before.avg_neighbor_gap, 1) + " -> " +
+                      Table::Fmt(loc_after.avg_neighbor_gap, 1)});
+    table.AddRow({"cache line reuse",
+                  Table::Fmt(loc_before.cache_line_reuse, 4) + " -> " +
+                      Table::Fmt(loc_after.cache_line_reuse, 4)});
+  }
   table.AddRow({"upload time (s)", Table::Fmt(upload, 3)});
   table.AddRow({"running time (s)",
                 Table::Fmt(record.timing.running_seconds, 4)});
@@ -350,6 +400,22 @@ int CmdRun(const Flags& flags, bool simulate) {
     if (!verdict.ok) {
       table.Print();
       return 2;
+    }
+  }
+  if (relabel != RelabelStrategy::kNone) {
+    // Inverse-permutation layer: verification ran in the relabeled id
+    // space (against the reference on the same graph); the report below
+    // carries original ids. Label-valued outputs (WCC/LPA seed labels are
+    // vertex ids) map both the index and the stored value.
+    AlgoOutput& out = record.run.output;
+    const size_t n = plan.old_to_new.size();
+    if (out.ints.size() == n) {
+      out.ints = (*algo == Algorithm::kWcc || *algo == Algorithm::kLpa)
+                     ? MapIdValuesToOriginalIds(out.ints, plan)
+                     : MapToOriginalIds(out.ints, plan);
+    }
+    if (out.doubles.size() == n) {
+      out.doubles = MapToOriginalIds(out.doubles, plan);
     }
   }
   ClusterConfig measured_on{
