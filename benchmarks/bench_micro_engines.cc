@@ -14,7 +14,6 @@
 #include <cstdio>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "algos/bfs.h"
@@ -31,6 +30,8 @@
 #include "graph/relabel.h"
 #include "platforms/subset_kernels.h"
 #include "util/exec_mode.h"
+#include "util/rss.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace gab {
@@ -168,21 +169,36 @@ BENCHMARK(BM_DataflowSuperstep);
 
 /// Best-of-N wall time for one kernel invocation, returning the last run
 /// (results are deterministic, so any run's output/trace is representative).
+/// When the kernel itself does not account its memory, peak_extra_bytes is
+/// filled from the process RSS: max of the ru_maxrss high-water delta
+/// (captures transient working sets, but only when a run pushes the
+/// lifetime mark higher) and the current-RSS delta (captures the retained
+/// output arrays even after the high-water mark saturates).
 template <typename Kernel>
 RunResult TimedBest(const Kernel& kernel, int trials, double* best_seconds) {
   RunResult result;
   *best_seconds = 0;
+  const size_t peak_before = PeakRssBytes();
+  const size_t cur_before = CurrentRssBytes();
   for (int t = 0; t < trials; ++t) {
     WallTimer timer;
     result = kernel();
     double s = timer.Seconds();
     if (t == 0 || s < *best_seconds) *best_seconds = s;
   }
+  if (result.peak_extra_bytes == 0) {
+    const size_t peak_after = PeakRssBytes();
+    const size_t cur_after = CurrentRssBytes();
+    const size_t peak_delta = peak_after > peak_before ? peak_after - peak_before : 0;
+    const size_t cur_delta = cur_after > cur_before ? cur_after - cur_before : 0;
+    result.peak_extra_bytes = std::max(peak_delta, cur_delta);
+  }
   return result;
 }
 
 void RecordSweepPoint(const char* algorithm, std::string dataset,
-                      double seconds, RunResult run, uint64_t arcs) {
+                      double seconds, RunResult run, uint64_t arcs,
+                      uint32_t reported_supersteps = 0) {
   ExperimentRecord record;
   record.platform = "ENGINE";
   record.algorithm = algorithm;
@@ -192,6 +208,7 @@ void RecordSweepPoint(const char* algorithm, std::string dataset,
   record.throughput_eps =
       seconds > 0 ? static_cast<double>(arcs) / seconds : 0;
   record.run = std::move(run);
+  record.reported_supersteps = reported_supersteps;
   bench::ReportSink::Global().Add(record);
 }
 
@@ -202,7 +219,7 @@ void RecordSweepPoint(const char* algorithm, std::string dataset,
 /// small graphs cap the parallel fraction).
 int RunThreadSweep() {
   const CsrGraph& g = TestGraph();
-  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const uint32_t hw = ProbedHardware().hardware_concurrency;
   const size_t hi = std::max<size_t>(1, DefaultPool().num_threads());
   const int trials = 3;
   AlgoParams params;
@@ -288,7 +305,7 @@ int RunGapKernelSweep() {
   const LocalityStats loc_before = ComputeLocalityStats(g);
   const LocalityStats loc_after = ComputeLocalityStats(rl);
 
-  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const uint32_t hw = ProbedHardware().hardware_concurrency;
   const size_t threads = std::max<size_t>(1, DefaultPool().num_threads());
   const int trials = 2;
   SubsetKernelOptions options;
@@ -322,27 +339,46 @@ int RunGapKernelSweep() {
                                   kVariant[gv] + "/t" +
                                   std::to_string(threads);
 
-      auto run_kernel = [&](int k, auto&& kernel) {
+      // The GAP kernels bypass the subset engine, so their round counts
+      // are reported explicitly instead of via the (empty) trace —
+      // otherwise BENCH_engines.json shows supersteps:0 for them.
+      uint32_t do_bfs_rounds = 0;
+      uint32_t delta_buckets = 0;
+      auto run_kernel = [&](int k, auto&& kernel,
+                            const uint32_t* supersteps = nullptr) {
         double s = 0;
         RunResult run = TimedBest(kernel, trials, &s);
         out[m][gv][k] = run.output.ints;
         secs[m][gv][k] = s;
         RecordSweepPoint(kKernel[k], dataset, s, std::move(run),
-                         gr.num_arcs());
+                         gr.num_arcs(),
+                         supersteps != nullptr ? *supersteps : 0);
       };
       run_kernel(0, [&] { return SubsetBfs(gr, params, options); });
-      run_kernel(1, [&] {
-        RunResult r;
-        std::vector<uint32_t> levels = DirectionOptBfs(gr, params.source);
-        r.output.ints.assign(levels.begin(), levels.end());
-        return r;
-      });
+      run_kernel(1,
+                 [&] {
+                   RunResult r;
+                   DirectionOptBfsStats stats;
+                   std::vector<uint32_t> levels = DirectionOptBfs(
+                       gr, params.source, DirectionOptBfsOptions(), &stats);
+                   do_bfs_rounds = stats.rounds;
+                   r.output.ints.assign(levels.begin(), levels.end());
+                   return r;
+                 },
+                 &do_bfs_rounds);
       run_kernel(2, [&] { return SubsetSssp(gr, params, options); });
-      run_kernel(3, [&] {
-        RunResult r;
-        r.output.ints = DeltaSteppingSssp(gr, params.source);
-        return r;
-      });
+      run_kernel(3,
+                 [&] {
+                   RunResult r;
+                   DeltaSsspStats stats;
+                   r.output.ints =
+                       DeltaSteppingSssp(gr, params.source, /*delta=*/0,
+                                         &stats);
+                   delta_buckets =
+                       static_cast<uint32_t>(stats.buckets_processed);
+                   return r;
+                 },
+                 &delta_buckets);
       std::printf(
           "  %-7s/%-7s BFS=%.3fs DO-BFS=%.3fs (%.2fx)  SSSP=%.3fs "
           "delta-SSSP=%.3fs (%.2fx)\n",

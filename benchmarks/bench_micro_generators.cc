@@ -11,14 +11,11 @@
 
 #include <benchmark/benchmark.h>
 
-#include <sys/resource.h>
-
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -27,6 +24,8 @@
 #include "gen/fft_dg.h"
 #include "gen/ldbc_dg.h"
 #include "graph/builder.h"
+#include "util/rss.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace gab {
@@ -110,12 +109,6 @@ BENCHMARK(BM_Rmat);
 // ---------------------------------------------------------------------------
 // GAB_THREADS sweep + fused-path peak-memory probe.
 
-size_t PeakRssBytes() {
-  struct rusage ru {};
-  getrusage(RUSAGE_SELF, &ru);
-  return static_cast<size_t>(ru.ru_maxrss) * 1024;  // Linux reports KiB
-}
-
 struct SweepRow {
   std::string generator;
   size_t threads = 0;
@@ -184,7 +177,7 @@ int RunGeneratorSweep() {
   const DatasetSpec largest = DefaultDatasets(bench::BaseScale()).back();
   MemProbe mem = ProbeFusedMemory(largest);
 
-  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const uint32_t hw = ProbedHardware().hardware_concurrency;
   const size_t hi = std::max<size_t>(1, DefaultPool().num_threads());
   const int trials = 3;
 
@@ -274,8 +267,8 @@ int RunGeneratorSweep() {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"generators\",\n");
   std::fprintf(f, "  \"environment\": {\"threads\": %zu, "
-               "\"hardware_concurrency\": %u",
-               hi, hw);
+               "\"hardware_concurrency\": %u, \"cpu_affinity\": %u",
+               hi, hw, ProbedHardware().cpu_affinity);
   if (const char* gt = std::getenv("GAB_THREADS")) {
     std::fprintf(f, ", \"gab_threads\": \"%s\"", gt);
   }

@@ -1,0 +1,286 @@
+// Out-of-core execution benchmark: runs the GraphView subset kernels
+// (PR/WCC/BFS/SSSP) on the S(GAB_SCALE+2)-Std dataset twice — fully
+// resident, then out-of-core from the sharded on-disk CSR behind a
+// ShardCache whose budget is well under half the in-memory footprint —
+// and enforces the OOC acceptance gates:
+//
+//  - hard: every OOC output is bit-identical to the in-memory run;
+//  - hard: the cache's exact accounting stays within budget + one-shard
+//    slack per worker (demand loads may overshoot only while every
+//    resident shard is pinned);
+//  - hard: the process RSS grows by at most budget + 25% slack + the
+//    kernels' own per-vertex arrays while the OOC runs execute (the CSR
+//    is freed first, so growth is cache + algorithm state only);
+//  - informational: per-kernel slowdown vs in-memory and the cache
+//    hit/miss/prefetch profile.
+//
+// GAB_OOC_BUDGET overrides the default budget (40% of the in-memory
+// bytes); GAB_OOC_SHARD_BYTES sizes the shards. Results land in
+// BENCH_ooc.json and, when GAB_REPORT_OUT is set, the shared ReportSink.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/graph_view.h"
+#include "graph/ooc_csr.h"
+#include "graph/shard_cache.h"
+#include "platforms/subset_kernels.h"
+#include "util/rss.h"
+
+namespace gab {
+namespace {
+
+struct OocPoint {
+  const char* name = "";
+  double in_mem_seconds = 0;
+  double ooc_seconds = 0;
+  bool identical = false;
+  ShardCache::Stats cache;
+};
+
+template <typename T>
+bool BitIdentical(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;  // exact — doubles included
+  }
+  return true;
+}
+
+void RecordPoint(const OocPoint& p, const std::string& dataset,
+                 uint64_t arcs, const RunResult& run) {
+  ExperimentRecord record;
+  record.platform = "OOC";
+  record.algorithm = p.name;
+  record.dataset = dataset;
+  record.timing.running_seconds = p.ooc_seconds;
+  record.timing.makespan_seconds = p.ooc_seconds;
+  record.throughput_eps =
+      p.ooc_seconds > 0 ? static_cast<double>(arcs) / p.ooc_seconds : 0;
+  record.run = run;
+  bench::ReportSink::Global().Add(record);
+}
+
+int Run() {
+  const uint32_t scale = bench::BaseScale() + 2;
+  const DatasetSpec spec = StdDataset(scale);
+  bench::Banner(
+      "BENCH_ooc — out-of-core subset kernels under a memory budget",
+      "PR/WCC/BFS/SSSP from a sharded on-disk CSR vs fully resident");
+
+  // In-memory pass first: reference outputs + baseline timings. The range
+  // partitioning is used on both sides so the comparison isolates the
+  // backing, and because contiguous ranges are what keeps OOC pull loops
+  // inside few shards.
+  auto g = std::make_unique<CsrGraph>(BuildDataset(spec));
+  const uint64_t arcs = g->num_arcs();
+  AlgoParams params;
+  SubsetKernelOptions options;
+  options.strategy = PartitionStrategy::kRangeByDegree;
+
+  OocPoint points[4];
+  points[0].name = "PR";
+  points[1].name = "WCC";
+  points[2].name = "BFS";
+  points[3].name = "SSSP";
+  RunResult ref[4];
+  {
+    GraphView view(*g);
+    WallTimer t0;
+    ref[0] = SubsetPageRank(view, params, options);
+    points[0].in_mem_seconds = t0.Seconds();
+    WallTimer t1;
+    ref[1] = SubsetWcc(view, params, options);
+    points[1].in_mem_seconds = t1.Seconds();
+    WallTimer t2;
+    ref[2] = SubsetBfs(view, params, options);
+    points[2].in_mem_seconds = t2.Seconds();
+    WallTimer t3;
+    ref[3] = SubsetSssp(view, params, options);
+    points[3].in_mem_seconds = t3.Seconds();
+  }
+
+  const std::string ooc_path = "bench_ooc_tmp.ooc";
+  Status status = WriteOocCsr(*g, ooc_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAIL: WriteOocCsr: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  OocCsr ooc;
+  status = OocCsr::Open(ooc_path, &ooc);
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAIL: OocCsr::Open: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  const size_t csr_bytes = ooc.InMemoryEquivalentBytes();
+  const VertexId n = ooc.num_vertices();
+
+  size_t budget = ShardCache::BudgetFromEnv();
+  const bool budget_from_env = budget != 0;
+  if (!budget_from_env) budget = csr_bytes * 2 / 5;  // 40% of resident
+  size_t max_shard_bytes = 0;
+  for (uint32_t s = 0; s < ooc.num_shards(); ++s) {
+    max_shard_bytes = std::max(max_shard_bytes, ooc.ShardResidentBytes(s));
+  }
+
+  std::printf(
+      "%s: n=%u arcs=%" PRIu64 ", in-memory %.1f MiB, %u shards "
+      "(largest %.1f MiB), budget %.1f MiB (%.0f%%%s)\n",
+      spec.name.c_str(), n, arcs,
+      static_cast<double>(csr_bytes) / (1024.0 * 1024.0), ooc.num_shards(),
+      static_cast<double>(max_shard_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(budget) / (1024.0 * 1024.0),
+      100.0 * static_cast<double>(budget) / static_cast<double>(csr_bytes),
+      budget_from_env ? ", GAB_OOC_BUDGET" : "");
+
+  int rc = 0;
+  if (!budget_from_env && budget * 2 >= csr_bytes) {
+    std::fprintf(stderr, "FAIL: default budget not under 50%% of CSR\n");
+    rc = 1;
+  }
+
+  // Free the resident CSR so RSS growth during the OOC phase measures the
+  // cache + algorithm state, not the graph.
+  g.reset();
+  const size_t rss_before = CurrentRssBytes();
+  size_t rss_peak_during = rss_before;
+
+  const std::string dataset =
+      spec.name + "/ooc-budget" + std::to_string(budget >> 20) + "m";
+  for (int k = 0; k < 4; ++k) {
+    ShardCache cache(ooc, budget);
+    GraphView view(ooc, &cache);
+    WallTimer timer;
+    RunResult run;
+    switch (k) {
+      case 0: run = SubsetPageRank(view, params, options); break;
+      case 1: run = SubsetWcc(view, params, options); break;
+      case 2: run = SubsetBfs(view, params, options); break;
+      default: run = SubsetSssp(view, params, options); break;
+    }
+    points[k].ooc_seconds = timer.Seconds();
+    cache.WaitIdle();
+    points[k].cache = cache.stats();
+    points[k].identical =
+        k == 0 ? BitIdentical(run.output.doubles, ref[k].output.doubles)
+               : BitIdentical(run.output.ints, ref[k].output.ints);
+    rss_peak_during = std::max(rss_peak_during, CurrentRssBytes());
+    RecordPoint(points[k], dataset, arcs, run);
+  }
+
+  std::printf("\n%-5s %10s %10s %8s %9s %9s %9s %9s %11s %s\n", "algo",
+              "in-mem(s)", "ooc(s)", "slow", "hits", "misses", "evict",
+              "pf-hit", "peak(MiB)", "identical");
+  for (const OocPoint& p : points) {
+    std::printf(
+        "%-5s %10.3f %10.3f %7.2fx %9" PRIu64 " %9" PRIu64 " %9" PRIu64
+        " %9" PRIu64 " %11.1f %s\n",
+        p.name, p.in_mem_seconds, p.ooc_seconds,
+        p.in_mem_seconds > 0 ? p.ooc_seconds / p.in_mem_seconds : 0,
+        p.cache.hits, p.cache.misses, p.cache.evictions,
+        p.cache.prefetch_hits,
+        static_cast<double>(p.cache.peak_resident_bytes) / (1024.0 * 1024.0),
+        p.identical ? "yes" : "NO");
+  }
+
+  // Gate 1: bit-identical outputs.
+  for (const OocPoint& p : points) {
+    if (!p.identical) {
+      std::fprintf(stderr, "FAIL: %s OOC output differs from in-memory\n",
+                   p.name);
+      rc = 1;
+    }
+  }
+
+  // Gate 2: the cache's exact accounting. Prefetches never overshoot;
+  // demand loads may, but only while every resident shard is pinned. A
+  // worker's cursor pins the replacement shard before releasing the old
+  // one, so the pinned working set peaks at two shards per worker.
+  const size_t workers = std::max<size_t>(1, DefaultPool().num_threads());
+  const size_t cache_cap = budget + 2 * max_shard_bytes * workers;
+  for (const OocPoint& p : points) {
+    if (p.cache.peak_resident_bytes > cache_cap) {
+      std::fprintf(stderr,
+                   "FAIL: %s cache peak %zu > budget %zu + %zu slack\n",
+                   p.name, p.cache.peak_resident_bytes, budget,
+                   max_shard_bytes * workers);
+      rc = 1;
+    }
+  }
+
+  // Gate 3: process RSS. Growth during the OOC phase covers the cache
+  // (<= budget + 25% slack) plus the kernels' own per-vertex state (level
+  // arrays, rank/next doubles, frontier bitmaps — allow 64 B/vertex) and
+  // allocator retention.
+  const size_t rss_delta =
+      rss_peak_during > rss_before ? rss_peak_during - rss_before : 0;
+  const size_t rss_cap = budget + budget / 4 + 64ull * n + (8u << 20);
+  std::printf("\nRSS during OOC phase: +%.1f MiB (cap %.1f MiB = budget + "
+              "25%% + per-vertex state)\n",
+              static_cast<double>(rss_delta) / (1024.0 * 1024.0),
+              static_cast<double>(rss_cap) / (1024.0 * 1024.0));
+  if (rss_delta > rss_cap) {
+    std::fprintf(stderr, "FAIL: OOC RSS growth %zu > cap %zu\n", rss_delta,
+                 rss_cap);
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("all OOC gates passed (bit-identical, cache <= budget + "
+                "slack, RSS bounded)\n");
+  }
+
+  const char* json_path = "BENCH_ooc.json";
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not write %s\n", json_path);
+    return 1;
+  }
+  const HardwareInfo& hw = ProbedHardware();
+  std::fprintf(f, "{\n  \"bench\": \"ooc\",\n");
+  std::fprintf(f,
+               "  \"environment\": {\"threads\": %zu, "
+               "\"hardware_concurrency\": %u, \"cpu_affinity\": %u},\n",
+               workers, hw.hardware_concurrency, hw.cpu_affinity);
+  std::fprintf(f, "  \"dataset\": \"%s\",\n", spec.name.c_str());
+  std::fprintf(f,
+               "  \"csr_bytes\": %zu,\n  \"budget_bytes\": %zu,\n"
+               "  \"num_shards\": %u,\n  \"rss_delta_bytes\": %zu,\n",
+               csr_bytes, budget, ooc.num_shards(), rss_delta);
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (int k = 0; k < 4; ++k) {
+    const OocPoint& p = points[k];
+    std::fprintf(
+        f,
+        "    {\"algo\": \"%s\", \"in_mem_seconds\": %.6f, "
+        "\"ooc_seconds\": %.6f, \"identical\": %s, \"hits\": %" PRIu64
+        ", \"misses\": %" PRIu64 ", \"evictions\": %" PRIu64
+        ", \"prefetch_issued\": %" PRIu64 ", \"prefetch_hits\": %" PRIu64
+        ", \"prefetch_dropped\": %" PRIu64
+        ", \"peak_resident_bytes\": %zu}%s\n",
+        p.name, p.in_mem_seconds, p.ooc_seconds,
+        p.identical ? "true" : "false", p.cache.hits, p.cache.misses,
+        p.cache.evictions, p.cache.prefetch_issued, p.cache.prefetch_hits,
+        p.cache.prefetch_dropped, p.cache.peak_resident_bytes,
+        k + 1 < 4 ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
+
+  std::remove(ooc_path.c_str());
+  if (!bench::ReportSink::Global().Flush()) rc = 1;
+  return rc;
+}
+
+}  // namespace
+}  // namespace gab
+
+int main() { return gab::Run(); }

@@ -1,6 +1,7 @@
 #include "engines/vertex_subset.h"
 
 #include <algorithm>
+#include <limits>
 #include <mutex>
 
 #include "obs/telemetry.h"
@@ -197,11 +198,18 @@ void VertexSubset::MaterializeDense() const {
 VertexSubsetEngine::VertexSubsetEngine(const CsrGraph& g,
                                        uint32_t num_partitions,
                                        PartitionStrategy strategy)
-    : graph_(&g),
-      partitioning_(std::make_unique<Partitioning>(g, num_partitions,
-                                                   strategy)),
+    : VertexSubsetEngine(GraphView(g), num_partitions, strategy) {}
+
+VertexSubsetEngine::VertexSubsetEngine(const GraphView& view,
+                                       uint32_t num_partitions,
+                                       PartitionStrategy strategy)
+    : view_(view),
+      partitioning_(std::make_unique<Partitioning>(
+          view.num_vertices(), view.num_arcs(),
+          [&view](VertexId v) { return view.OutDegree(v); }, num_partitions,
+          strategy)),
       trace_(num_partitions),
-      out_flags_(g.num_vertices()) {}
+      out_flags_(view.num_vertices()) {}
 
 uint64_t VertexSubsetEngine::FrontierDegreeSum(
     const VertexSubset& frontier) const {
@@ -214,7 +222,7 @@ uint64_t VertexSubsetEngine::FrontierDegreeSum(
     const size_t begin = c * kFrontierGrain;
     const size_t end = std::min(begin + kFrontierGrain, sparse.size());
     uint64_t sum = 0;
-    for (size_t i = begin; i < end; ++i) sum += graph_->OutDegree(sparse[i]);
+    for (size_t i = begin; i < end; ++i) sum += view_.OutDegree(sparse[i]);
     partial[c] = sum;
   });
   uint64_t total = 0;
@@ -233,7 +241,7 @@ VertexSubset VertexSubsetEngine::EdgeMap(const VertexSubset& frontier,
   trace_.BeginSuperstep();
   if (frontier.empty()) {
     last_direction_ = EdgeMapDirection::kPush;
-    return VertexSubset::Empty(graph_->num_vertices());
+    return VertexSubset::Empty(view_.num_vertices());
   }
   EdgeMapDirection dir = options.direction;
   if (dir == EdgeMapDirection::kAuto) {
@@ -244,7 +252,7 @@ VertexSubset VertexSubsetEngine::EdgeMap(const VertexSubset& frontier,
       // bound (unexplored in-edges / alpha).
       if (last_direction_ == EdgeMapDirection::kPull) {
         dir = static_cast<double>(frontier.size()) <
-                      static_cast<double>(graph_->num_vertices()) /
+                      static_cast<double>(view_.num_vertices()) /
                           options.beta
                   ? EdgeMapDirection::kPush
                   : EdgeMapDirection::kPull;
@@ -259,7 +267,7 @@ VertexSubset VertexSubsetEngine::EdgeMap(const VertexSubset& frontier,
     } else {
       uint64_t frontier_degree = FrontierDegreeSum(frontier);
       uint64_t threshold =
-          (graph_->num_arcs() + graph_->num_vertices()) /
+          (view_.num_arcs() + view_.num_vertices()) /
           options.threshold_denominator;
       dir = (frontier_degree + frontier.size() > threshold)
                 ? EdgeMapDirection::kPull
@@ -268,18 +276,77 @@ VertexSubset VertexSubsetEngine::EdgeMap(const VertexSubset& frontier,
   }
   last_direction_ = dir;
   const bool relaxed = CurrentExecMode() == ExecMode::kRelaxed;
+  VertexSubset next;
   if (dir == EdgeMapDirection::kPush) {
     ++push_count_;
     GAB_COUNT("ligra.push_maps", 1);
-    return relaxed ? EdgeMapPushRelaxed(frontier, f) : EdgeMapPush(frontier, f);
+    next =
+        relaxed ? EdgeMapPushRelaxed(frontier, f) : EdgeMapPush(frontier, f);
+  } else {
+    ++pull_count_;
+    GAB_COUNT("ligra.pull_maps", 1);
+    next =
+        relaxed ? EdgeMapPullRelaxed(frontier, f) : EdgeMapPull(frontier, f);
   }
-  ++pull_count_;
-  GAB_COUNT("ligra.pull_maps", 1);
-  return relaxed ? EdgeMapPullRelaxed(frontier, f) : EdgeMapPull(frontier, f);
+  // Walk the produced frontier's adjacency shards into the cache while the
+  // caller is still in its VertexMap/convergence code — the next EdgeMap
+  // then starts warm. Prefetch never changes values, only IO timing.
+  if (view_.is_ooc()) PrefetchFrontier(next);
+  return next;
 }
 
 VertexSubset VertexSubsetEngine::EdgeMapPush(const VertexSubset& frontier,
                                              const Functors& f) {
+  if (view_.is_ooc()) {
+    return EdgeMapPushT(frontier, f, OocCursorProvider{view_.cache()});
+  }
+  return EdgeMapPushT(frontier, f, CsrCursorProvider{&view_.csr()});
+}
+
+VertexSubset VertexSubsetEngine::EdgeMapPull(const VertexSubset& frontier,
+                                             const Functors& f) {
+  const bool all_active = frontier.size() == view_.num_vertices();
+  if (view_.is_ooc()) {
+    OocCursorProvider provider{view_.cache()};
+    return all_active
+               ? EdgeMapPullT<OocCursorProvider, true>(frontier, f, provider)
+               : EdgeMapPullT<OocCursorProvider, false>(frontier, f, provider);
+  }
+  CsrCursorProvider provider{&view_.csr()};
+  return all_active
+             ? EdgeMapPullT<CsrCursorProvider, true>(frontier, f, provider)
+             : EdgeMapPullT<CsrCursorProvider, false>(frontier, f, provider);
+}
+
+VertexSubset VertexSubsetEngine::EdgeMapPushRelaxed(
+    const VertexSubset& frontier, const Functors& f) {
+  if (view_.is_ooc()) {
+    return EdgeMapPushRelaxedT(frontier, f, OocCursorProvider{view_.cache()});
+  }
+  return EdgeMapPushRelaxedT(frontier, f, CsrCursorProvider{&view_.csr()});
+}
+
+VertexSubset VertexSubsetEngine::EdgeMapPullRelaxed(
+    const VertexSubset& frontier, const Functors& f) {
+  const bool all_active = frontier.size() == view_.num_vertices();
+  if (view_.is_ooc()) {
+    OocCursorProvider provider{view_.cache()};
+    return all_active ? EdgeMapPullRelaxedT<OocCursorProvider, true>(
+                            frontier, f, provider)
+                      : EdgeMapPullRelaxedT<OocCursorProvider, false>(
+                            frontier, f, provider);
+  }
+  CsrCursorProvider provider{&view_.csr()};
+  return all_active ? EdgeMapPullRelaxedT<CsrCursorProvider, true>(frontier, f,
+                                                                   provider)
+                    : EdgeMapPullRelaxedT<CsrCursorProvider, false>(
+                          frontier, f, provider);
+}
+
+template <typename Provider>
+VertexSubset VertexSubsetEngine::EdgeMapPushT(const VertexSubset& frontier,
+                                              const Functors& f,
+                                              Provider provider) {
   const uint32_t num_p = partitioning_->num_partitions();
   // Materialized at the parallel boundary (thread-safe, parallel build).
   const auto& sparse = frontier.Sparse();
@@ -290,18 +357,20 @@ VertexSubset VertexSubsetEngine::EdgeMapPush(const VertexSubset& frontier,
     flags_dirty_ = false;
   }
 
+  const bool weighted = view_.has_weights();
   PerWorkerTrace acc(num_p);
   const size_t chunks = (sparse.size() + kFrontierGrain - 1) / kFrontierGrain;
   RunChunks(sparse.size(), chunks, [&](size_t c, size_t worker) {
+    typename Provider::Cursor cursor = provider.MakeCursor();
     PerWorkerTrace::Partial& local = acc.partial(worker);
     const size_t begin = c * kFrontierGrain;
     const size_t end = std::min(begin + kFrontierGrain, sparse.size());
     for (size_t idx = begin; idx < end; ++idx) {
       VertexId s = sparse[idx];
       uint32_t p = partitioning_->PartitionOf(s);
-      auto nbrs = graph_->OutNeighbors(s);
-      auto weights = graph_->has_weights() ? graph_->OutWeights(s)
-                                           : std::span<const Weight>{};
+      auto nbrs = cursor.OutNeighbors(s);
+      auto weights =
+          weighted ? cursor.OutWeights(s) : std::span<const Weight>{};
       local.AddWork(p, 1 + nbrs.size());
       for (size_t i = 0; i < nbrs.size(); ++i) {
         VertexId d = nbrs[i];
@@ -320,32 +389,42 @@ VertexSubset VertexSubsetEngine::EdgeMapPush(const VertexSubset& frontier,
   return PackOutFlags();
 }
 
-VertexSubset VertexSubsetEngine::EdgeMapPull(const VertexSubset& frontier,
-                                             const Functors& f) {
+template <typename Provider, bool kAllActive>
+VertexSubset VertexSubsetEngine::EdgeMapPullT(const VertexSubset& frontier,
+                                              const Functors& f,
+                                              Provider provider) {
   const uint32_t num_p = partitioning_->num_partitions();
   // Materialized at the parallel boundary (thread-safe, parallel build).
-  const auto& in_frontier = frontier.Dense();
+  // The all-active specialization (tuned dense fallback) never touches the
+  // bitmap: membership is universally true, so the per-edge byte test and
+  // the dense materialization both disappear.
+  [[maybe_unused]] const uint8_t* in_frontier =
+      kAllActive ? nullptr : frontier.Dense().data();
   if (flags_dirty_) {
     ParallelFor(out_flags_.num_words(), 4096, [this](size_t b, size_t e) {
       out_flags_.ClearWords(b, e);
     });
     flags_dirty_ = false;
   }
+  const bool weighted = view_.has_weights();
   // Pull scans every vertex, so the serial cutoff keys on n, not |frontier|.
-  RunChunks(graph_->num_vertices(), num_p, [&](size_t pt, size_t) {
+  RunChunks(view_.num_vertices(), num_p, [&](size_t pt, size_t) {
+    typename Provider::Cursor cursor = provider.MakeCursor();
     uint32_t p = static_cast<uint32_t>(pt);
     uint64_t work = 0;
     std::vector<uint64_t> bytes(num_p, 0);
     for (VertexId d : partitioning_->Members(p)) {
       if (f.cond && !f.cond(d)) continue;
-      auto nbrs = graph_->InNeighbors(d);
-      auto weights = graph_->has_weights() ? graph_->InWeights(d)
-                                           : std::span<const Weight>{};
+      auto nbrs = cursor.InNeighbors(d);
+      auto weights =
+          weighted ? cursor.InWeights(d) : std::span<const Weight>{};
       work += 1 + nbrs.size();
       bool added = false;
       for (size_t i = 0; i < nbrs.size(); ++i) {
         VertexId s = nbrs[i];
-        if (!in_frontier[s]) continue;
+        if constexpr (!kAllActive) {
+          if (!in_frontier[s]) continue;
+        }
         uint32_t q = partitioning_->PartitionOf(s);
         // Pull reads the remote source's state.
         if (q != p) bytes[q] += sizeof(VertexId) + sizeof(uint64_t);
@@ -367,8 +446,9 @@ VertexSubset VertexSubsetEngine::EdgeMapPull(const VertexSubset& frontier,
   return PackOutFlags();
 }
 
-VertexSubset VertexSubsetEngine::EdgeMapPushRelaxed(
-    const VertexSubset& frontier, const Functors& f) {
+template <typename Provider>
+VertexSubset VertexSubsetEngine::EdgeMapPushRelaxedT(
+    const VertexSubset& frontier, const Functors& f, Provider provider) {
   const uint32_t num_p = partitioning_->num_partitions();
   const auto& sparse = frontier.Sparse();
   if (flags_dirty_) {
@@ -378,6 +458,7 @@ VertexSubset VertexSubsetEngine::EdgeMapPushRelaxed(
     flags_dirty_ = false;
   }
 
+  const bool weighted = view_.has_weights();
   PerWorkerTrace acc(num_p);
   const size_t chunks = (sparse.size() + kFrontierGrain - 1) / kFrontierGrain;
   // Per-chunk claim lists replace the bitmap pack: the chunk whose
@@ -388,6 +469,7 @@ VertexSubset VertexSubsetEngine::EdgeMapPushRelaxed(
   std::vector<std::vector<VertexId>> next(chunks);
   std::vector<uint64_t> degree_partial(chunks, 0);
   RunChunks(sparse.size(), chunks, [&](size_t c, size_t worker) {
+    typename Provider::Cursor cursor = provider.MakeCursor();
     PerWorkerTrace::Partial& local = acc.partial(worker);
     const size_t begin = c * kFrontierGrain;
     const size_t end = std::min(begin + kFrontierGrain, sparse.size());
@@ -395,9 +477,9 @@ VertexSubset VertexSubsetEngine::EdgeMapPushRelaxed(
     for (size_t idx = begin; idx < end; ++idx) {
       VertexId s = sparse[idx];
       uint32_t p = partitioning_->PartitionOf(s);
-      auto nbrs = graph_->OutNeighbors(s);
-      auto weights = graph_->has_weights() ? graph_->OutWeights(s)
-                                           : std::span<const Weight>{};
+      auto nbrs = cursor.OutNeighbors(s);
+      auto weights =
+          weighted ? cursor.OutWeights(s) : std::span<const Weight>{};
       local.AddWork(p, 1 + nbrs.size());
       for (size_t i = 0; i < nbrs.size(); ++i) {
         VertexId d = nbrs[i];
@@ -407,7 +489,7 @@ VertexSubset VertexSubsetEngine::EdgeMapPushRelaxed(
         Weight w = weights.empty() ? Weight{1} : weights[i];
         if (f.update_atomic(s, d, w) && out_flags_.TestAndSet(d)) {
           next[c].push_back(d);
-          degree += graph_->OutDegree(d);
+          degree += view_.OutDegree(d);
         }
       }
     }
@@ -418,7 +500,7 @@ VertexSubset VertexSubsetEngine::EdgeMapPushRelaxed(
   std::vector<size_t> offsets(chunks + 1, 0);
   for (size_t c = 0; c < chunks; ++c) offsets[c + 1] = offsets[c] + next[c].size();
   const size_t total = offsets[chunks];
-  if (total == 0) return VertexSubset::Empty(graph_->num_vertices());
+  if (total == 0) return VertexSubset::Empty(view_.num_vertices());
   std::vector<VertexId> merged(total);
   // Concatenate and restore the bitmap's all-zero invariant by clearing
   // only the claimed bits (O(frontier), not O(n/64)).
@@ -432,34 +514,40 @@ VertexSubset VertexSubsetEngine::EdgeMapPushRelaxed(
   uint64_t degree_sum = 0;
   for (uint64_t d : degree_partial) degree_sum += d;
   VertexSubset out =
-      VertexSubset::FromSparse(graph_->num_vertices(), std::move(merged));
+      VertexSubset::FromSparse(view_.num_vertices(), std::move(merged));
   out.set_out_degree_sum(degree_sum);
   return out;
 }
 
-VertexSubset VertexSubsetEngine::EdgeMapPullRelaxed(
-    const VertexSubset& frontier, const Functors& f) {
+template <typename Provider, bool kAllActive>
+VertexSubset VertexSubsetEngine::EdgeMapPullRelaxedT(
+    const VertexSubset& frontier, const Functors& f, Provider provider) {
   const uint32_t num_p = partitioning_->num_partitions();
-  const auto& in_frontier = frontier.Dense();
+  [[maybe_unused]] const uint8_t* in_frontier =
+      kAllActive ? nullptr : frontier.Dense().data();
+  const bool weighted = view_.has_weights();
   // Owner-computes: each partition appends to its own list, so the bitmap
   // (and its clear/pack passes) is skipped entirely.
   std::vector<std::vector<VertexId>> added(num_p);
   std::vector<uint64_t> degree_partial(num_p, 0);
-  RunChunks(graph_->num_vertices(), num_p, [&](size_t pt, size_t) {
+  RunChunks(view_.num_vertices(), num_p, [&](size_t pt, size_t) {
+    typename Provider::Cursor cursor = provider.MakeCursor();
     uint32_t p = static_cast<uint32_t>(pt);
     uint64_t work = 0;
     uint64_t degree = 0;
     std::vector<uint64_t> bytes(num_p, 0);
     for (VertexId d : partitioning_->Members(p)) {
       if (f.cond && !f.cond(d)) continue;
-      auto nbrs = graph_->InNeighbors(d);
-      auto weights = graph_->has_weights() ? graph_->InWeights(d)
-                                           : std::span<const Weight>{};
+      auto nbrs = cursor.InNeighbors(d);
+      auto weights =
+          weighted ? cursor.InWeights(d) : std::span<const Weight>{};
       work += 1 + nbrs.size();
       bool was_added = false;
       for (size_t i = 0; i < nbrs.size(); ++i) {
         VertexId s = nbrs[i];
-        if (!in_frontier[s]) continue;
+        if constexpr (!kAllActive) {
+          if (!in_frontier[s]) continue;
+        }
         uint32_t q = partitioning_->PartitionOf(s);
         if (q != p) bytes[q] += sizeof(VertexId) + sizeof(uint64_t);
         if (f.update(s, d, weights.empty() ? Weight{1} : weights[i])) {
@@ -469,7 +557,7 @@ VertexSubset VertexSubsetEngine::EdgeMapPullRelaxed(
       }
       if (was_added) {
         added[p].push_back(d);
-        degree += graph_->OutDegree(d);
+        degree += view_.OutDegree(d);
       }
     }
     degree_partial[p] = degree;
@@ -484,7 +572,7 @@ VertexSubset VertexSubsetEngine::EdgeMapPullRelaxed(
     offsets[p + 1] = offsets[p] + added[p].size();
   }
   const size_t total = offsets[num_p];
-  if (total == 0) return VertexSubset::Empty(graph_->num_vertices());
+  if (total == 0) return VertexSubset::Empty(view_.num_vertices());
   std::vector<VertexId> merged(total);
   RunChunks(total, num_p, [&](size_t p, size_t) {
     std::copy(added[p].begin(), added[p].end(), merged.begin() + offsets[p]);
@@ -492,13 +580,37 @@ VertexSubset VertexSubsetEngine::EdgeMapPullRelaxed(
   uint64_t degree_sum = 0;
   for (uint64_t d : degree_partial) degree_sum += d;
   VertexSubset out =
-      VertexSubset::FromSparse(graph_->num_vertices(), std::move(merged));
+      VertexSubset::FromSparse(view_.num_vertices(), std::move(merged));
   out.set_out_degree_sum(degree_sum);
   return out;
 }
 
+void VertexSubsetEngine::PrefetchFrontier(const VertexSubset& frontier) {
+  ShardCache* cache = view_.cache();
+  if (cache == nullptr || frontier.empty()) return;
+  const OocCsr& g = *view_.ooc();
+  if (g.num_shards() <= 1) return;
+  GAB_SPAN_VALUE("ooc.prefetch_plan", frontier.size());
+  // Cap the plan at half the budget: the current EdgeMap's working set
+  // stays cache-resident while the prefetcher fills the other half.
+  const size_t cap = cache->budget_bytes() == 0
+                         ? std::numeric_limits<size_t>::max()
+                         : cache->budget_bytes() / 2;
+  const auto& sparse = frontier.Sparse();
+  std::vector<uint8_t> planned(g.num_shards(), 0);
+  size_t planned_bytes = 0;
+  for (VertexId v : sparse) {
+    const uint32_t s = g.ShardOf(v);
+    if (planned[s] != 0) continue;
+    planned[s] = 1;
+    planned_bytes += g.ShardResidentBytes(s);
+    if (planned_bytes > cap) break;
+    cache->Prefetch(s);
+  }
+}
+
 VertexSubset VertexSubsetEngine::PackOutFlags() {
-  const VertexId n = graph_->num_vertices();
+  const VertexId n = view_.num_vertices();
   const size_t num_words = out_flags_.num_words();
   const size_t chunks = (num_words + kPackWordGrain - 1) / kPackWordGrain;
   if (chunks == 0) return VertexSubset::Empty(n);
@@ -532,7 +644,7 @@ VertexSubset VertexSubsetEngine::PackOutFlags() {
         VertexId v = static_cast<VertexId>(
             (w << 6) + static_cast<size_t>(__builtin_ctzll(bits)));
         merged[pos++] = v;
-        degree += graph_->OutDegree(v);
+        degree += view_.OutDegree(v);
         bits &= bits - 1;
       }
     }
@@ -564,7 +676,7 @@ void VertexSubsetEngine::VertexMap(const VertexSubset& subset,
       VertexId v = vs[i];
       fn(v);
       local.AddWork(partitioning_->PartitionOf(v),
-                    1 + (charge_degree ? graph_->OutDegree(v) : 0));
+                    1 + (charge_degree ? view_.OutDegree(v) : 0));
     }
   });
   acc.CommitTo(&trace_);
@@ -598,7 +710,7 @@ VertexSubset VertexSubsetEngine::VertexFilter(
   std::vector<VertexId> merged;
   merged.reserve(total);
   for (const auto& k : kept) merged.insert(merged.end(), k.begin(), k.end());
-  return VertexSubset::FromSparse(graph_->num_vertices(), std::move(merged));
+  return VertexSubset::FromSparse(view_.num_vertices(), std::move(merged));
 }
 
 }  // namespace gab

@@ -9,6 +9,7 @@
 
 #include "engines/trace.h"
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "graph/partition.h"
 #include "util/atomic_bitset.h"
 #include "util/threading.h"
@@ -153,6 +154,17 @@ class VertexSubsetEngine {
   VertexSubsetEngine(const CsrGraph& g, uint32_t num_partitions,
                      PartitionStrategy strategy = PartitionStrategy::kHash);
 
+  /// Engine over either backing (see graph/graph_view.h). The in-memory
+  /// fast path is byte-for-byte the old CsrGraph ctor; an OOC view runs
+  /// the same EdgeMap loops through shard-cache cursors and prefetches the
+  /// produced frontier's shards ahead of the next EdgeMap. Results are
+  /// bit-identical across backings, budgets and thread counts (strict
+  /// mode; relaxed keeps membership equality as before). Prefer a range
+  /// strategy for OOC views: pull then walks shards sequentially instead
+  /// of thrashing the cache hash-partition-style.
+  VertexSubsetEngine(const GraphView& view, uint32_t num_partitions,
+                     PartitionStrategy strategy = PartitionStrategy::kHash);
+
   /// Applies the functors over edges out of `frontier`, returning the new
   /// frontier. Starts a new superstep in the trace.
   VertexSubset EdgeMap(const VertexSubset& frontier, const Functors& f,
@@ -170,7 +182,9 @@ class VertexSubsetEngine {
   VertexSubset VertexFilter(const VertexSubset& subset,
                             const std::function<bool(VertexId)>& fn);
 
-  const CsrGraph& graph() const { return *graph_; }
+  /// The resident CSR (check-fails for OOC engines; use view()).
+  const CsrGraph& graph() const { return view_.csr(); }
+  const GraphView& view() const { return view_; }
   const Partitioning& partitioning() const { return *partitioning_; }
   const ExecutionTrace& trace() const { return trace_; }
   ExecutionTrace& mutable_trace() { return trace_; }
@@ -183,6 +197,8 @@ class VertexSubsetEngine {
   uint64_t pull_count() const { return pull_count_; }
 
  private:
+  /// Backing dispatchers: pick the cursor provider (and, for pull, the
+  /// all-active specialization) and forward to the templates below.
   VertexSubset EdgeMapPush(const VertexSubset& frontier, const Functors& f);
   VertexSubset EdgeMapPull(const VertexSubset& frontier, const Functors& f);
   /// Relaxed-mode variants (see class comment): same fixed point, cheaper
@@ -191,6 +207,32 @@ class VertexSubsetEngine {
                                   const Functors& f);
   VertexSubset EdgeMapPullRelaxed(const VertexSubset& frontier,
                                   const Functors& f);
+
+  /// EdgeMap bodies, templated on the cursor provider so each backing
+  /// compiles its own per-edge loop (no dispatch inside). The pull bodies
+  /// additionally specialize on kAllActive — the tuned dense fallback for
+  /// a saturated frontier (|frontier| == n, e.g. every PR iteration):
+  /// the per-edge in_frontier[s] byte test is skipped and the dense
+  /// bitmap is never materialized. Work/bytes accounting is unchanged
+  /// (every source passes the membership test by definition).
+  template <typename Provider>
+  VertexSubset EdgeMapPushT(const VertexSubset& frontier, const Functors& f,
+                            Provider provider);
+  template <typename Provider, bool kAllActive>
+  VertexSubset EdgeMapPullT(const VertexSubset& frontier, const Functors& f,
+                            Provider provider);
+  template <typename Provider>
+  VertexSubset EdgeMapPushRelaxedT(const VertexSubset& frontier,
+                                   const Functors& f, Provider provider);
+  template <typename Provider, bool kAllActive>
+  VertexSubset EdgeMapPullRelaxedT(const VertexSubset& frontier,
+                                   const Functors& f, Provider provider);
+
+  /// OOC only: asks the shard cache to load the adjacency shards of the
+  /// frontier the next EdgeMap will expand, in frontier order, capped at
+  /// half the cache budget so the prefetch cannot evict the shards the
+  /// current pull/push is still pinning.
+  void PrefetchFrontier(const VertexSubset& frontier);
 
   /// Frontier out-degree sum for the kAuto decision: cached stamp if the
   /// producing EdgeMap measured it, else one parallel fixed-grain reduce
@@ -202,7 +244,7 @@ class VertexSubsetEngine {
   /// worker count), measuring its out-degree sum along the way.
   VertexSubset PackOutFlags();
 
-  const CsrGraph* graph_;
+  GraphView view_;
   std::unique_ptr<Partitioning> partitioning_;
   ExecutionTrace trace_;
   AtomicBitset out_flags_;

@@ -25,8 +25,11 @@
 #include "gen/weights.h"                 // IWYU pragma: export
 #include "graph/builder.h"               // IWYU pragma: export
 #include "graph/csr_graph.h"             // IWYU pragma: export
+#include "graph/graph_view.h"            // IWYU pragma: export
 #include "graph/io.h"                    // IWYU pragma: export
+#include "graph/ooc_csr.h"               // IWYU pragma: export
 #include "graph/relabel.h"               // IWYU pragma: export
+#include "graph/shard_cache.h"           // IWYU pragma: export
 #include "obs/exporters.h"               // IWYU pragma: export
 #include "obs/run_report.h"              // IWYU pragma: export
 #include "obs/telemetry.h"               // IWYU pragma: export

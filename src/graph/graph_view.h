@@ -1,0 +1,160 @@
+#ifndef GAB_GRAPH_GRAPH_VIEW_H_
+#define GAB_GRAPH_GRAPH_VIEW_H_
+
+#include <span>
+
+#include "graph/csr_graph.h"
+#include "graph/ooc_csr.h"
+#include "graph/shard_cache.h"
+#include "util/logging.h"
+
+namespace gab {
+
+/// Uniform, cheap-to-copy handle over the two graph backings an engine can
+/// run on: the fully resident CsrGraph (the zero-overhead default) or an
+/// OocCsr behind a ShardCache (the out-of-core path). Scalar queries —
+/// counts, flags, OutDegree — are branch-free on both backings because
+/// both keep the offsets array resident; adjacency access goes through a
+/// backing-specific *cursor* (below) so engine hot loops compile per
+/// backing with no per-edge virtual dispatch.
+class GraphView {
+ public:
+  explicit GraphView(const CsrGraph& g)
+      : offsets_(g.out_offsets().data()),
+        num_vertices_(g.num_vertices()),
+        num_edges_(g.num_edges()),
+        num_arcs_(g.num_arcs()),
+        undirected_(g.is_undirected()),
+        weighted_(g.has_weights()),
+        csr_(&g) {}
+
+  /// OOC view; `cache` must wrap `g` and outlive every engine using the
+  /// view. Undirected graphs only (the one OocCsr stores).
+  GraphView(const OocCsr& g, ShardCache* cache)
+      : offsets_(g.out_offsets().data()),
+        num_vertices_(g.num_vertices()),
+        num_edges_(g.num_edges()),
+        num_arcs_(g.num_arcs()),
+        undirected_(g.is_undirected()),
+        weighted_(g.has_weights()),
+        ooc_(&g),
+        cache_(cache) {
+    GAB_CHECK(cache != nullptr && &cache->graph() == &g);
+    GAB_CHECK(g.is_undirected());
+  }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return num_edges_; }
+  EdgeId num_arcs() const { return num_arcs_; }
+  bool is_undirected() const { return undirected_; }
+  bool has_weights() const { return weighted_; }
+  bool has_in_edges() const {
+    return csr_ != nullptr ? csr_->has_in_edges() : undirected_;
+  }
+
+  size_t OutDegree(VertexId v) const {
+    return static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  bool is_ooc() const { return ooc_ != nullptr; }
+  /// The resident CSR; check-fails on an OOC view (callers that need raw
+  /// CSR access are in-memory-only by construction).
+  const CsrGraph& csr() const {
+    GAB_CHECK(csr_ != nullptr);
+    return *csr_;
+  }
+  const CsrGraph* csr_or_null() const { return csr_; }
+  const OocCsr* ooc() const { return ooc_; }
+  ShardCache* cache() const { return cache_; }
+
+ private:
+  const EdgeId* offsets_;  // resident on both backings
+  VertexId num_vertices_;
+  EdgeId num_edges_;
+  EdgeId num_arcs_;
+  bool undirected_;
+  bool weighted_;
+  const CsrGraph* csr_ = nullptr;
+  const OocCsr* ooc_ = nullptr;
+  ShardCache* cache_ = nullptr;
+};
+
+/// Adjacency cursor over the resident CSR: stateless pass-through.
+class CsrCursor {
+ public:
+  explicit CsrCursor(const CsrGraph& g) : g_(&g) {}
+
+  std::span<const VertexId> OutNeighbors(VertexId v) {
+    return g_->OutNeighbors(v);
+  }
+  std::span<const Weight> OutWeights(VertexId v) { return g_->OutWeights(v); }
+  std::span<const VertexId> InNeighbors(VertexId v) {
+    return g_->InNeighbors(v);
+  }
+  std::span<const Weight> InWeights(VertexId v) { return g_->InWeights(v); }
+
+ private:
+  const CsrGraph* g_;
+};
+
+/// Adjacency cursor over an OOC graph: holds one pinned shard and swaps it
+/// when the queried vertex leaves the shard's range. Engine loops walk
+/// vertices in ascending order within a chunk/partition, so the common
+/// case is a two-compare range check on the pinned shard; a swap costs one
+/// cache Acquire (hit or demand IO). One cursor per worker task — cursors
+/// are not thread-safe, handles are.
+class OocCursor {
+ public:
+  explicit OocCursor(ShardCache* cache)
+      : cache_(cache),
+        g_(&cache->graph()),
+        offsets_(g_->out_offsets().data()) {}
+
+  std::span<const VertexId> OutNeighbors(VertexId v) {
+    const OocCsr::Shard& s = ShardFor(v);
+    return {s.neighbors.data() + (offsets_[v] - s.first_arc),
+            s.neighbors.data() + (offsets_[v + 1] - s.first_arc)};
+  }
+  std::span<const Weight> OutWeights(VertexId v) {
+    const OocCsr::Shard& s = ShardFor(v);
+    return {s.weights.data() + (offsets_[v] - s.first_arc),
+            s.weights.data() + (offsets_[v + 1] - s.first_arc)};
+  }
+  // OocCsr graphs are undirected, so the stored arcs serve both directions
+  // (mirrors CsrGraph's undirected in == out aliasing).
+  std::span<const VertexId> InNeighbors(VertexId v) { return OutNeighbors(v); }
+  std::span<const Weight> InWeights(VertexId v) { return OutWeights(v); }
+
+ private:
+  const OocCsr::Shard& ShardFor(VertexId v) {
+    const OocCsr::Shard* s = handle_.get();
+    if (s == nullptr || v < s->first_vertex || v >= s->end_vertex) {
+      handle_ = cache_->AcquireOrDie(g_->ShardOf(v));
+      s = handle_.get();
+    }
+    return *s;
+  }
+
+  ShardCache* cache_;
+  const OocCsr* g_;
+  const EdgeId* offsets_;
+  ShardCache::Handle handle_;
+};
+
+/// Cursor factories the engine templates over (one instantiation per
+/// backing keeps the per-edge path free of dispatch).
+struct CsrCursorProvider {
+  const CsrGraph* g;
+  using Cursor = CsrCursor;
+  Cursor MakeCursor() const { return CsrCursor(*g); }
+};
+
+struct OocCursorProvider {
+  ShardCache* cache;
+  using Cursor = OocCursor;
+  Cursor MakeCursor() const { return OocCursor(cache); }
+};
+
+}  // namespace gab
+
+#endif  // GAB_GRAPH_GRAPH_VIEW_H_

@@ -1,0 +1,385 @@
+#include "graph/ooc_csr.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "obs/telemetry.h"
+#include "util/logging.h"
+
+namespace gab {
+
+namespace {
+
+constexpr uint64_t kOocMagic = 0x4741424F4F433031ULL;  // "GABOOC01"
+constexpr uint64_t kFlagUndirected = 1u << 0;
+constexpr uint64_t kFlagWeighted = 1u << 1;
+constexpr size_t kHeaderWords = 8;
+constexpr size_t kHeaderBytes = kHeaderWords * sizeof(uint64_t);
+constexpr size_t kShardMetaWords = 4;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Full pread: loops on partial reads, fails on EOF-before-len.
+Status PreadExact(int fd, void* buf, size_t len, uint64_t file_offset,
+                  const std::string& path) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    ssize_t got = ::pread(fd, p, len, static_cast<off_t>(file_offset));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pread failed at offset " +
+                             std::to_string(file_offset) + " in " + path +
+                             ": " + std::strerror(errno));
+    }
+    if (got == 0) {
+      return Status::IoError("short read (file truncated?) at offset " +
+                             std::to_string(file_offset) + " in " + path);
+    }
+    p += got;
+    len -= static_cast<size_t>(got);
+    file_offset += static_cast<uint64_t>(got);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint64_t DefaultShardTargetBytes() {
+  if (const char* env = std::getenv("GAB_OOC_SHARD_BYTES")) {
+    long long v = std::strtoll(env, nullptr, 10);
+    if (v > 0) return static_cast<uint64_t>(v);
+  }
+  return uint64_t{1} << 20;  // 1 MiB
+}
+
+OocCsr::~OocCsr() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+OocCsr::OocCsr(OocCsr&& other) noexcept { *this = std::move(other); }
+
+OocCsr& OocCsr::operator=(OocCsr&& other) noexcept {
+  if (this == &other) return *this;
+  if (fd_ >= 0) ::close(fd_);
+  path_ = std::move(other.path_);
+  fd_ = other.fd_;
+  other.fd_ = -1;
+  num_vertices_ = other.num_vertices_;
+  num_edges_ = other.num_edges_;
+  num_arcs_ = other.num_arcs_;
+  undirected_ = other.undirected_;
+  weighted_ = other.weighted_;
+  offsets_ = std::move(other.offsets_);
+  shards_ = std::move(other.shards_);
+  shard_first_ = std::move(other.shard_first_);
+  return *this;
+}
+
+uint32_t OocCsr::ShardOf(VertexId v) const {
+  GAB_DCHECK(v < num_vertices_);
+  // Last shard whose first_vertex <= v.
+  size_t lo = 0, hi = shard_first_.size();
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (shard_first_[mid] <= v) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<uint32_t>(lo);
+}
+
+size_t OocCsr::ShardResidentBytes(uint32_t shard_id) const {
+  const ShardMeta& meta = shards_[shard_id];
+  return sizeof(Shard) + static_cast<size_t>(meta.payload_bytes);
+}
+
+size_t OocCsr::InMemoryEquivalentBytes() const {
+  size_t bytes = offsets_.size() * sizeof(EdgeId) +
+                 static_cast<size_t>(num_arcs_) * sizeof(VertexId);
+  if (weighted_) bytes += static_cast<size_t>(num_arcs_) * sizeof(Weight);
+  return bytes;
+}
+
+Status OocCsr::Open(const std::string& path, OocCsr* out) {
+  GAB_SPAN("ooc.open");
+  OocCsr g;
+  g.path_ = path;
+  g.fd_ = ::open(path.c_str(), O_RDONLY);
+  if (g.fd_ < 0) {
+    return Status::IoError("cannot open for read: " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(g.fd_, &st) != 0) {
+    return Status::IoError("cannot stat: " + path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < kHeaderBytes) {
+    return Status::InvalidArgument("truncated header (file shorter than " +
+                                   std::to_string(kHeaderBytes) +
+                                   " bytes): " + path);
+  }
+  uint64_t header[kHeaderWords];
+  Status s = PreadExact(g.fd_, header, sizeof(header), 0, path);
+  if (!s.ok()) return s;
+  if (header[0] != kOocMagic) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  const uint64_t n = header[1];
+  const uint64_t m = header[2];
+  const uint64_t arcs = header[3];
+  const uint64_t flags = header[4];
+  const uint64_t num_shards = header[5];
+  if (n > kInvalidVertex) {
+    return Status::InvalidArgument("vertex count " + std::to_string(n) +
+                                   " exceeds the 32-bit VertexId range in " +
+                                   path);
+  }
+  if ((flags & ~(kFlagUndirected | kFlagWeighted)) != 0) {
+    return Status::InvalidArgument("unknown flag bits in " + path);
+  }
+  g.num_vertices_ = static_cast<VertexId>(n);
+  g.num_edges_ = m;
+  g.num_arcs_ = arcs;
+  g.undirected_ = (flags & kFlagUndirected) != 0;
+  g.weighted_ = (flags & kFlagWeighted) != 0;
+  if (g.undirected_ && arcs != 2 * m) {
+    return Status::InvalidArgument(
+        "undirected arc count " + std::to_string(arcs) + " != 2 * " +
+        std::to_string(m) + " edges in " + path);
+  }
+
+  // Validate the resident-index extent against the file size BEFORE
+  // allocating it (same discipline as ReadEdgeListBinary: a corrupt header
+  // must not drive a huge resize or a short read).
+  const uint64_t arc_bytes =
+      sizeof(VertexId) + (g.weighted_ ? sizeof(Weight) : 0u);
+  const uint64_t offsets_bytes = (n + 1) * sizeof(uint64_t);
+  const uint64_t table_bytes = num_shards * kShardMetaWords * sizeof(uint64_t);
+  const uint64_t payload_base = kHeaderBytes + offsets_bytes + table_bytes;
+  if (n + 1 < n ||
+      offsets_bytes / sizeof(uint64_t) != n + 1 ||
+      num_shards > (std::numeric_limits<uint64_t>::max() - kHeaderBytes -
+                    offsets_bytes) /
+                       (kShardMetaWords * sizeof(uint64_t)) ||
+      arcs > std::numeric_limits<uint64_t>::max() / arc_bytes ||
+      payload_base > file_size ||
+      file_size - payload_base != arcs * arc_bytes) {
+    return Status::InvalidArgument(
+        "file size mismatch in " + path + ": header declares " +
+        std::to_string(n) + " vertices, " + std::to_string(arcs) +
+        (g.weighted_ ? " weighted" : " unweighted") + " arcs in " +
+        std::to_string(num_shards) + " shards (" +
+        std::to_string(payload_base + arcs * arc_bytes) +
+        " bytes), file has " + std::to_string(file_size) + " bytes");
+  }
+  if (num_shards == 0 && arcs != 0) {
+    return Status::InvalidArgument("zero shards but " + std::to_string(arcs) +
+                                   " arcs in " + path);
+  }
+
+  g.offsets_.resize(static_cast<size_t>(n) + 1);
+  s = PreadExact(g.fd_, g.offsets_.data(), offsets_bytes, kHeaderBytes, path);
+  if (!s.ok()) return s;
+  if (g.offsets_[0] != 0 || g.offsets_.back() != arcs) {
+    return Status::InvalidArgument("offsets array does not span [0, " +
+                                   std::to_string(arcs) + "] in " + path);
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    if (g.offsets_[i] < g.offsets_[i - 1]) {
+      return Status::InvalidArgument("offsets not monotone at vertex " +
+                                     std::to_string(i - 1) + " in " + path);
+    }
+  }
+
+  std::vector<uint64_t> raw(static_cast<size_t>(num_shards) * kShardMetaWords);
+  if (!raw.empty()) {
+    s = PreadExact(g.fd_, raw.data(), table_bytes, kHeaderBytes + offsets_bytes,
+                   path);
+    if (!s.ok()) return s;
+  }
+  g.shards_.resize(static_cast<size_t>(num_shards));
+  g.shard_first_.resize(static_cast<size_t>(num_shards));
+  uint64_t expect_vertex = 0;
+  uint64_t expect_offset = payload_base;
+  for (size_t i = 0; i < g.shards_.size(); ++i) {
+    ShardMeta& meta = g.shards_[i];
+    meta.first_vertex = static_cast<VertexId>(raw[i * kShardMetaWords + 0]);
+    meta.end_vertex = static_cast<VertexId>(raw[i * kShardMetaWords + 1]);
+    meta.file_offset = raw[i * kShardMetaWords + 2];
+    meta.payload_bytes = raw[i * kShardMetaWords + 3];
+    const uint64_t shard_arcs =
+        (meta.end_vertex <= n && meta.first_vertex < meta.end_vertex)
+            ? g.offsets_[meta.end_vertex] - g.offsets_[meta.first_vertex]
+            : 0;
+    // Shards must tile [0, n) in order, payloads must tile the file tail
+    // in order, and each payload's size must match the arcs its vertex
+    // range owns — anything else is corruption.
+    if (meta.first_vertex != expect_vertex ||
+        meta.end_vertex <= meta.first_vertex || meta.end_vertex > n ||
+        meta.file_offset != expect_offset ||
+        meta.payload_bytes != shard_arcs * arc_bytes) {
+      return Status::InvalidArgument("corrupt shard table entry " +
+                                     std::to_string(i) + " in " + path);
+    }
+    g.shard_first_[i] = meta.first_vertex;
+    expect_vertex = meta.end_vertex;
+    expect_offset += meta.payload_bytes;
+  }
+  if (expect_vertex != n) {
+    return Status::InvalidArgument("shard table covers vertices [0, " +
+                                   std::to_string(expect_vertex) +
+                                   ") but the graph has " + std::to_string(n) +
+                                   " in " + path);
+  }
+  GAB_GAUGE_SET("ooc.shards", static_cast<double>(num_shards));
+  *out = std::move(g);
+  return Status::Ok();
+}
+
+Status OocCsr::ReadShard(uint32_t shard_id, Shard* out) const {
+  GAB_CHECK(shard_id < shards_.size());
+  GAB_SPAN("ooc.read_shard");
+  const ShardMeta& meta = shards_[shard_id];
+  const EdgeId first_arc = offsets_[meta.first_vertex];
+  const size_t shard_arcs =
+      static_cast<size_t>(offsets_[meta.end_vertex] - first_arc);
+  out->shard_id = shard_id;
+  out->first_vertex = meta.first_vertex;
+  out->end_vertex = meta.end_vertex;
+  out->first_arc = first_arc;
+  out->neighbors.resize(shard_arcs);
+  out->weights.clear();
+  const size_t nbr_bytes = shard_arcs * sizeof(VertexId);
+  Status s = PreadExact(fd_, out->neighbors.data(), nbr_bytes,
+                        meta.file_offset, path_);
+  if (!s.ok()) return s;
+  if (weighted_) {
+    out->weights.resize(shard_arcs);
+    s = PreadExact(fd_, out->weights.data(), shard_arcs * sizeof(Weight),
+                   meta.file_offset + nbr_bytes, path_);
+    if (!s.ok()) return s;
+  }
+  // Endpoint validation mirrors ReadEdgeListBinary: an out-of-range id
+  // would index out of bounds in every engine loop.
+  for (VertexId nbr : out->neighbors) {
+    if (nbr >= num_vertices_) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(shard_id) + " references vertex " +
+          std::to_string(nbr) + " >= declared count " +
+          std::to_string(num_vertices_) + " in " + path_);
+    }
+  }
+  GAB_COUNT("ooc.shard_reads", 1);
+  GAB_COUNT("ooc.shard_read_bytes", meta.payload_bytes);
+  return Status::Ok();
+}
+
+Status WriteOocCsr(const CsrGraph& g, const std::string& path,
+                   uint64_t shard_target_bytes) {
+  GAB_SPAN("ooc.write");
+  if (!g.is_undirected()) {
+    return Status::Unsupported(
+        "OOC CSR currently stores undirected graphs only");
+  }
+  if (shard_target_bytes == 0) shard_target_bytes = DefaultShardTargetBytes();
+  const uint64_t n = g.num_vertices();
+  const uint64_t arcs = g.num_arcs();
+  const bool weighted = g.has_weights();
+  const uint64_t arc_bytes = sizeof(VertexId) + (weighted ? sizeof(Weight) : 0u);
+
+  // Greedy whole-vertex shard boundaries: close a shard once its payload
+  // reaches the target. Oversized single-vertex adjacencies get their own
+  // shard — the cache charges their true size, so the budget still holds.
+  struct Cut {
+    VertexId first = 0;
+    VertexId end = 0;
+  };
+  std::vector<Cut> cuts;
+  const auto& offsets = g.out_offsets();
+  VertexId first = 0;
+  while (first < n) {
+    VertexId end = first;
+    uint64_t bytes = 0;
+    while (end < n) {
+      const uint64_t v_arcs = offsets[end + 1] - offsets[end];
+      const uint64_t v_bytes = v_arcs * arc_bytes;
+      if (end > first && bytes + v_bytes > shard_target_bytes) break;
+      bytes += v_bytes;
+      ++end;
+      if (bytes >= shard_target_bytes) break;
+    }
+    cuts.push_back({first, end});
+    first = end;
+  }
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  uint64_t flags = 1u;  // undirected
+  if (weighted) flags |= 2u;
+  uint64_t header[8] = {kOocMagic,
+                        n,
+                        g.num_edges(),
+                        arcs,
+                        flags,
+                        cuts.size(),
+                        shard_target_bytes,
+                        0};
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) {
+    return Status::IoError("header write failed: " + path);
+  }
+  if (!offsets.empty() &&
+      std::fwrite(offsets.data(), sizeof(EdgeId), offsets.size(), f.get()) !=
+          offsets.size()) {
+    return Status::IoError("offsets write failed: " + path);
+  }
+  uint64_t file_offset = sizeof(header) + offsets.size() * sizeof(EdgeId) +
+                         cuts.size() * 4 * sizeof(uint64_t);
+  for (const Cut& cut : cuts) {
+    const uint64_t shard_arcs = offsets[cut.end] - offsets[cut.first];
+    const uint64_t payload = shard_arcs * arc_bytes;
+    uint64_t row[4] = {cut.first, cut.end, file_offset, payload};
+    if (std::fwrite(row, sizeof(row), 1, f.get()) != 1) {
+      return Status::IoError("shard table write failed: " + path);
+    }
+    file_offset += payload;
+  }
+  const auto& neighbors = g.out_neighbors();
+  const auto& weights = g.out_weights();
+  for (const Cut& cut : cuts) {
+    const size_t a0 = static_cast<size_t>(offsets[cut.first]);
+    const size_t cnt = static_cast<size_t>(offsets[cut.end]) - a0;
+    if (cnt == 0) continue;
+    if (std::fwrite(neighbors.data() + a0, sizeof(VertexId), cnt, f.get()) !=
+        cnt) {
+      return Status::IoError("neighbor write failed: " + path);
+    }
+    if (weighted &&
+        std::fwrite(weights.data() + a0, sizeof(Weight), cnt, f.get()) != cnt) {
+      return Status::IoError("weight write failed: " + path);
+    }
+  }
+  if (std::fflush(f.get()) != 0 || std::ferror(f.get())) {
+    return Status::IoError("write failed: " + path);
+  }
+  GAB_COUNT("ooc.shards_written", cuts.size());
+  return Status::Ok();
+}
+
+}  // namespace gab

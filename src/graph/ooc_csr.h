@@ -1,0 +1,140 @@
+#ifndef GAB_GRAPH_OOC_CSR_H_
+#define GAB_GRAPH_OOC_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace gab {
+
+/// Out-of-core CSR: the in-memory CSR's adjacency arrays persisted as a
+/// sequence of fixed-target-size *edge shards* behind a small resident
+/// index, so engines can run graphs whose edge arrays do not fit in memory
+/// (paper S8+ scales; SAGE's disk-offset allocator is the blueprint).
+///
+/// File layout (single file, little-endian, no alignment padding):
+///   header        8 x u64: magic "GABOOC01", num_vertices, num_edges,
+///                 num_arcs, flags (bit0 undirected, bit1 weighted),
+///                 num_shards, shard_target_bytes, reserved(0)
+///   offsets       (num_vertices + 1) x u64   — the CSR out_offsets array
+///   shard table   num_shards x 4 x u64: {first_vertex, end_vertex,
+///                 file_offset, payload_bytes}
+///   payloads      per shard: neighbors (u32 x arcs), then weights
+///                 (u32 x arcs, weighted files only)
+///
+/// Shard boundaries always fall between vertices (a vertex's adjacency is
+/// never split), chosen greedily so each shard's payload is the first to
+/// reach shard_target_bytes; a single vertex whose adjacency alone exceeds
+/// the target gets a private oversized shard. Only the offsets array and
+/// the shard table stay resident (8(n+1) + 32·shards bytes); everything
+/// else is loaded on demand via ReadShard and cached by ShardCache.
+class OocCsr {
+ public:
+  /// One shard's decoded payload. first_arc == offsets[first_vertex]; a
+  /// vertex v in [first_vertex, end_vertex) has its adjacency at
+  /// [offsets[v] - first_arc, offsets[v+1] - first_arc) in neighbors.
+  struct Shard {
+    uint32_t shard_id = 0;
+    VertexId first_vertex = 0;
+    VertexId end_vertex = 0;
+    EdgeId first_arc = 0;
+    std::vector<VertexId> neighbors;
+    std::vector<Weight> weights;  // empty for unweighted graphs
+
+    size_t MemoryBytes() const {
+      return sizeof(Shard) + neighbors.size() * sizeof(VertexId) +
+             weights.size() * sizeof(Weight);
+    }
+  };
+
+  OocCsr() = default;
+  ~OocCsr();
+
+  OocCsr(OocCsr&& other) noexcept;
+  OocCsr& operator=(OocCsr&& other) noexcept;
+  OocCsr(const OocCsr&) = delete;
+  OocCsr& operator=(const OocCsr&) = delete;
+
+  /// Opens `path`, validates the header, offsets and shard table against
+  /// each other and against the physical file size (before any
+  /// payload-sized allocation), and keeps the file descriptor for
+  /// ReadShard. The resident index is loaded eagerly.
+  static Status Open(const std::string& path, OocCsr* out);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return num_edges_; }
+  EdgeId num_arcs() const { return num_arcs_; }
+  bool is_undirected() const { return undirected_; }
+  bool has_weights() const { return weighted_; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  const std::string& path() const { return path_; }
+
+  size_t OutDegree(VertexId v) const {
+    return static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  const std::vector<EdgeId>& out_offsets() const { return offsets_; }
+
+  /// Shard holding vertex v's adjacency. O(log num_shards).
+  uint32_t ShardOf(VertexId v) const;
+
+  /// Bytes the shard's payload occupies when resident (what ShardCache
+  /// charges against its budget).
+  size_t ShardResidentBytes(uint32_t shard_id) const;
+  VertexId ShardFirstVertex(uint32_t shard_id) const {
+    return shards_[shard_id].first_vertex;
+  }
+  VertexId ShardEndVertex(uint32_t shard_id) const {
+    return shards_[shard_id].end_vertex;
+  }
+
+  /// What the same graph costs fully resident (offsets + neighbors +
+  /// weights), for budget sanity checks and bench reporting.
+  size_t InMemoryEquivalentBytes() const;
+
+  /// Reads and decodes one shard (thread-safe: positioned pread on the
+  /// shared descriptor, no seek state). Fails with kIoError on short reads
+  /// — a file truncated after Open is detected here, not silently zeroed.
+  Status ReadShard(uint32_t shard_id, Shard* out) const;
+
+ private:
+  struct ShardMeta {
+    VertexId first_vertex = 0;
+    VertexId end_vertex = 0;
+    uint64_t file_offset = 0;
+    uint64_t payload_bytes = 0;
+  };
+
+  std::string path_;
+  int fd_ = -1;
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
+  EdgeId num_arcs_ = 0;
+  bool undirected_ = true;
+  bool weighted_ = false;
+  std::vector<EdgeId> offsets_;        // n+1, resident
+  std::vector<ShardMeta> shards_;      // resident
+  std::vector<VertexId> shard_first_;  // shards_[i].first_vertex, for ShardOf
+};
+
+/// Writes `g`'s out-CSR to `path` in the OocCsr format with the given
+/// per-shard payload target (0 picks the 1 MiB default, overridable via
+/// GAB_OOC_SHARD_BYTES). Undirected graphs only: the stored arcs serve
+/// both adjacency directions, exactly as in CsrGraph, which is what the
+/// vertex-subset engine's push and pull paths consume. Directed graphs are
+/// rejected with kUnsupported (a second reverse-adjacency shard sequence
+/// is a straightforward extension — see DESIGN.md).
+Status WriteOocCsr(const CsrGraph& g, const std::string& path,
+                   uint64_t shard_target_bytes = 0);
+
+/// Per-shard payload target in bytes: GAB_OOC_SHARD_BYTES if set and
+/// positive, else 1 MiB.
+uint64_t DefaultShardTargetBytes();
+
+}  // namespace gab
+
+#endif  // GAB_GRAPH_OOC_CSR_H_

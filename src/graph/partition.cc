@@ -6,9 +6,17 @@ namespace gab {
 
 Partitioning::Partitioning(const CsrGraph& g, uint32_t num_partitions,
                            PartitionStrategy strategy)
+    : Partitioning(
+          g.num_vertices(), g.num_arcs(),
+          [&g](VertexId v) { return g.OutDegree(v); }, num_partitions,
+          strategy) {}
+
+Partitioning::Partitioning(VertexId num_vertices, EdgeId num_arcs,
+                           const std::function<size_t(VertexId)>& degree,
+                           uint32_t num_partitions, PartitionStrategy strategy)
     : num_partitions_(num_partitions), strategy_(strategy) {
   GAB_CHECK(num_partitions > 0);
-  const VertexId n = g.num_vertices();
+  const VertexId n = num_vertices;
   members_.resize(num_partitions);
   degree_sum_.assign(num_partitions, 0);
 
@@ -16,7 +24,7 @@ Partitioning::Partitioning(const CsrGraph& g, uint32_t num_partitions,
     for (VertexId v = 0; v < n; ++v) {
       uint32_t p = PartitionOf(v);
       members_[p].push_back(v);
-      degree_sum_[p] += g.OutDegree(v);
+      degree_sum_[p] += degree(v);
     }
     return;
   }
@@ -32,20 +40,20 @@ Partitioning::Partitioning(const CsrGraph& g, uint32_t num_partitions,
       if (p >= num_partitions) p = num_partitions - 1;
       range_owner_[v] = p;
       members_[p].push_back(v);
-      degree_sum_[p] += g.OutDegree(v);
+      degree_sum_[p] += degree(v);
     }
     return;
   }
 
   // kRangeByDegree: contiguous ranges with (approximately) equal degree sum.
-  uint64_t total_degree = g.num_arcs();
+  uint64_t total_degree = num_arcs;
   uint64_t target = total_degree / num_partitions + 1;
   uint32_t p = 0;
   uint64_t acc = 0;
   for (VertexId v = 0; v < n; ++v) {
     range_owner_[v] = p;
     members_[p].push_back(v);
-    uint64_t d = g.OutDegree(v);
+    uint64_t d = degree(v);
     degree_sum_[p] += d;
     acc += d;
     if (acc >= target && p + 1 < num_partitions) {

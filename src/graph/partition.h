@@ -2,6 +2,7 @@
 #define GAB_GRAPH_PARTITION_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/csr_graph.h"
@@ -29,6 +30,15 @@ class Partitioning {
   /// Computes an assignment of g's vertices into num_partitions parts.
   Partitioning(const CsrGraph& g, uint32_t num_partitions,
                PartitionStrategy strategy);
+
+  /// Graph-representation-independent form: everything the strategies need
+  /// is the vertex count, the arc count and a per-vertex out-degree oracle
+  /// (the out-of-core backend partitions from its resident offsets array
+  /// without materializing a CsrGraph). `degree` is only called during
+  /// construction.
+  Partitioning(VertexId num_vertices, EdgeId num_arcs,
+               const std::function<size_t(VertexId)>& degree,
+               uint32_t num_partitions, PartitionStrategy strategy);
 
   uint32_t num_partitions() const { return num_partitions_; }
   PartitionStrategy strategy() const { return strategy_; }

@@ -1,0 +1,222 @@
+#include "graph/shard_cache.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/telemetry.h"
+#include "util/logging.h"
+#include "util/threading.h"
+
+namespace gab {
+
+void ShardCache::Handle::Release() {
+  if (cache_ != nullptr && shard_ != nullptr) cache_->Release(shard_);
+  cache_ = nullptr;
+  shard_ = nullptr;
+}
+
+ShardCache::ShardCache(const OocCsr& graph, size_t budget_bytes)
+    : graph_(graph), budget_bytes_(budget_bytes) {
+  GAB_GAUGE_SET("ooc.cache.budget_bytes", static_cast<double>(budget_bytes));
+}
+
+ShardCache::~ShardCache() {
+  WaitIdle();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& kv : entries_) {
+    GAB_CHECK(kv.second.pins == 0);  // all Handles released before teardown
+  }
+}
+
+size_t ShardCache::ParseByteSize(const char* s) {
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s) return 0;
+  switch (std::tolower(static_cast<unsigned char>(*end))) {
+    case 'k': v <<= 10; break;
+    case 'm': v <<= 20; break;
+    case 'g': v <<= 30; break;
+    default: break;
+  }
+  return static_cast<size_t>(v);
+}
+
+size_t ShardCache::BudgetFromEnv() {
+  return ParseByteSize(std::getenv("GAB_OOC_BUDGET"));
+}
+
+bool ShardCache::EvictForLocked(size_t bytes) {
+  if (budget_bytes_ == 0) return true;
+  while (stats_.resident_bytes + bytes > budget_bytes_ && !lru_.empty()) {
+    const uint32_t victim = lru_.front();
+    lru_.pop_front();
+    auto it = entries_.find(victim);
+    GAB_CHECK(it != entries_.end() && it->second.pins == 0 &&
+              it->second.state == State::kReady);
+    stats_.resident_bytes -= it->second.charged_bytes;
+    entries_.erase(it);
+    ++stats_.evictions;
+    GAB_COUNT("ooc.cache.evictions", 1);
+  }
+  return stats_.resident_bytes + bytes <= budget_bytes_;
+}
+
+Status ShardCache::LoadLocked(std::unique_lock<std::mutex>& lock,
+                              uint32_t shard_id, bool prefetch) {
+  const size_t bytes = graph_.ShardResidentBytes(shard_id);
+  const bool fits = EvictForLocked(bytes);
+  if (!fits) {
+    if (prefetch) {
+      // Prefetches are opportunistic: everything resident is pinned or
+      // loading, so loading more would overshoot the budget for data
+      // nobody asked for yet. Drop it; the demand path will fetch later.
+      ++stats_.prefetch_dropped;
+      GAB_COUNT("ooc.cache.prefetch_dropped", 1);
+      return Status::Ok();
+    }
+    ++stats_.over_budget_loads;
+    GAB_COUNT("ooc.cache.over_budget", 1);
+  }
+  if (prefetch) {
+    ++stats_.prefetch_issued;
+    GAB_COUNT("ooc.cache.prefetch_issued", 1);
+  }
+  Entry& entry = entries_[shard_id];  // inserts, state == kLoading
+  entry.charged_bytes = bytes;
+  stats_.resident_bytes += bytes;
+  if (stats_.resident_bytes > stats_.peak_resident_bytes) {
+    stats_.peak_resident_bytes = stats_.resident_bytes;
+  }
+  GAB_GAUGE_SET("ooc.cache.resident_bytes",
+                static_cast<double>(stats_.resident_bytes));
+
+  OocCsr::Shard shard;
+  lock.unlock();
+  Status s = graph_.ReadShard(shard_id, &shard);
+  lock.lock();
+
+  auto it = entries_.find(shard_id);
+  GAB_CHECK(it != entries_.end() && it->second.state == State::kLoading);
+  if (!s.ok()) {
+    // Unpublish so a later Acquire retries (and surfaces its own error)
+    // instead of pinning a corpse; waiters re-find a missing entry and
+    // issue their own load.
+    stats_.resident_bytes -= it->second.charged_bytes;
+    entries_.erase(it);
+    cv_.notify_all();
+    return s;
+  }
+  it->second.shard = std::move(shard);
+  it->second.state = State::kReady;
+  it->second.status = Status::Ok();
+  it->second.prefetched = prefetch;
+  if (prefetch) {
+    // Unpinned and immediately evictable until someone acquires it.
+    lru_.push_back(shard_id);
+    it->second.lru_pos = std::prev(lru_.end());
+    it->second.in_lru = true;
+  }
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+Status ShardCache::Acquire(uint32_t shard_id, Handle* out) {
+  GAB_CHECK(shard_id < graph_.num_shards());
+  std::unique_lock<std::mutex> lock(mu_);
+  auto pin = [&](Entry& e) {
+    if (e.prefetched) {
+      e.prefetched = false;
+      ++stats_.prefetch_hits;
+      GAB_COUNT("ooc.cache.prefetch_hits", 1);
+    }
+    if (e.pins == 0 && e.in_lru) {
+      lru_.erase(e.lru_pos);
+      e.in_lru = false;
+    }
+    ++e.pins;
+    *out = Handle(this, &e.shard);
+  };
+  while (true) {
+    auto it = entries_.find(shard_id);
+    if (it == entries_.end()) break;
+    if (it->second.state == State::kLoading) {
+      // A demand load or prefetch is already reading this shard; wait for
+      // it to publish rather than reading the same bytes twice.
+      cv_.wait(lock);
+      continue;
+    }
+    ++stats_.hits;
+    GAB_COUNT("ooc.cache.hits", 1);
+    pin(it->second);
+    return Status::Ok();
+  }
+  ++stats_.misses;
+  GAB_COUNT("ooc.cache.misses", 1);
+  Status s = LoadLocked(lock, shard_id, /*prefetch=*/false);
+  if (!s.ok()) return s;
+  auto it = entries_.find(shard_id);
+  GAB_CHECK(it != entries_.end() && it->second.state == State::kReady);
+  pin(it->second);
+  return Status::Ok();
+}
+
+ShardCache::Handle ShardCache::AcquireOrDie(uint32_t shard_id) {
+  Handle h;
+  Status s = Acquire(shard_id, &h);
+  if (!s.ok()) {
+    std::fprintf(stderr, "ShardCache::Acquire(%u) failed: %s\n", shard_id,
+                 s.ToString().c_str());
+    GAB_CHECK(s.ok());
+  }
+  return h;
+}
+
+void ShardCache::Prefetch(uint32_t shard_id) {
+  GAB_CHECK(shard_id < graph_.num_shards());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.count(shard_id) != 0) {
+      ++stats_.prefetch_dropped;
+      GAB_COUNT("ooc.cache.prefetch_dropped", 1);
+      return;
+    }
+    ++outstanding_prefetches_;
+  }
+  DefaultPool().Submit([this, shard_id] {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (entries_.count(shard_id) == 0) {
+      LoadLocked(lock, shard_id, /*prefetch=*/true);
+    } else {
+      ++stats_.prefetch_dropped;
+      GAB_COUNT("ooc.cache.prefetch_dropped", 1);
+    }
+    if (--outstanding_prefetches_ == 0) cv_.notify_all();
+  });
+}
+
+void ShardCache::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return outstanding_prefetches_ == 0; });
+}
+
+void ShardCache::Release(const OocCsr::Shard* shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(shard->shard_id);
+  GAB_CHECK(it != entries_.end() && it->second.pins > 0);
+  Entry& e = it->second;
+  if (--e.pins == 0) {
+    lru_.push_back(shard->shard_id);
+    e.lru_pos = std::prev(lru_.end());
+    e.in_lru = true;
+  }
+}
+
+ShardCache::Stats ShardCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gab

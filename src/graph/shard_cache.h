@@ -1,0 +1,162 @@
+#ifndef GAB_GRAPH_SHARD_CACHE_H_
+#define GAB_GRAPH_SHARD_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "graph/ooc_csr.h"
+#include "util/status.h"
+
+namespace gab {
+
+/// Bounded LRU cache of decoded OocCsr shards — the only resident edge
+/// storage on the out-of-core path (SAGE's VertexCache role). Demand loads
+/// and asynchronous prefetches (ThreadPool::Submit background tasks) fill
+/// it; engines hold pinned handles while iterating a shard's adjacency.
+///
+/// Budget policy: `budget_bytes` (0 = unbounded; see BudgetFromEnv /
+/// GAB_OOC_BUDGET) bounds the sum of resident shard payloads. A load first
+/// evicts ready, unpinned shards in LRU order; if everything resident is
+/// pinned the load proceeds anyway (counted as ooc.cache.over_budget), so
+/// the true peak is budget + the pinned working set — at most two shards
+/// per worker on the engine's access pattern (a cursor pins its
+/// replacement shard before releasing the old one), which is what
+/// bench_ooc's cache-accounting and RSS gates allow for. Prefetches never
+/// overshoot: one that cannot fit without exceeding the budget is dropped.
+///
+/// Correctness is cache-independent by construction: the cache only
+/// decides *when* bytes are resident, never their values, so engine
+/// results are bit-identical at any budget and any thread count.
+///
+/// Thread-safe. IO runs outside the single mutex; concurrent Acquires of a
+/// loading shard wait on it rather than reading twice.
+class ShardCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;          // demand loads that did IO
+    uint64_t prefetch_issued = 0; // background loads actually started
+    uint64_t prefetch_dropped = 0;// prefetches skipped (present or no room)
+    uint64_t prefetch_hits = 0;   // Acquires served by a prefetched shard
+    uint64_t evictions = 0;
+    uint64_t over_budget_loads = 0;
+    size_t resident_bytes = 0;
+    size_t peak_resident_bytes = 0;
+  };
+
+  /// Pinned reference to a resident shard. The shard cannot be evicted
+  /// while a Handle to it exists; destruction (or move-from) unpins.
+  class Handle {
+   public:
+    Handle() = default;
+    ~Handle() { Release(); }
+    Handle(Handle&& other) noexcept { *this = static_cast<Handle&&>(other); }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        Release();
+        cache_ = other.cache_;
+        shard_ = other.shard_;
+        other.cache_ = nullptr;
+        other.shard_ = nullptr;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    const OocCsr::Shard* get() const { return shard_; }
+    const OocCsr::Shard& operator*() const { return *shard_; }
+    const OocCsr::Shard* operator->() const { return shard_; }
+    explicit operator bool() const { return shard_ != nullptr; }
+
+   private:
+    friend class ShardCache;
+    Handle(ShardCache* cache, const OocCsr::Shard* shard)
+        : cache_(cache), shard_(shard) {}
+    void Release();
+
+    ShardCache* cache_ = nullptr;
+    const OocCsr::Shard* shard_ = nullptr;
+  };
+
+  /// `graph` must outlive the cache. budget_bytes == 0 means unbounded.
+  ShardCache(const OocCsr& graph, size_t budget_bytes);
+  /// Waits for outstanding prefetches, then frees everything. All Handles
+  /// must be released first.
+  ~ShardCache();
+
+  ShardCache(const ShardCache&) = delete;
+  ShardCache& operator=(const ShardCache&) = delete;
+
+  /// Pins shard_id, loading it synchronously on a miss. Status-returning
+  /// form for the IO-corruption tests; engines use AcquireOrDie.
+  Status Acquire(uint32_t shard_id, Handle* out);
+
+  /// Acquire that treats IO failure as fatal (GAB_CHECK) — the engines'
+  /// hot path, where a mid-EdgeMap read error is unrecoverable anyway.
+  Handle AcquireOrDie(uint32_t shard_id);
+
+  /// Requests an asynchronous background load of shard_id on the default
+  /// pool. No-op if the shard is resident/loading or would not fit in the
+  /// budget. Never blocks on IO (single-thread pools run it inline).
+  void Prefetch(uint32_t shard_id);
+
+  /// Blocks until no background prefetch is in flight.
+  void WaitIdle();
+
+  Stats stats() const;
+  size_t budget_bytes() const { return budget_bytes_; }
+  const OocCsr& graph() const { return graph_; }
+
+  /// GAB_OOC_BUDGET in bytes (plain integer; k/m/g suffixes accepted),
+  /// 0 = unbounded when unset or unparsable.
+  static size_t BudgetFromEnv();
+
+  /// Parses a byte size with optional k/m/g suffix ("64m" -> 64 MiB);
+  /// 0 when null, empty, or unparsable. Shared by BudgetFromEnv and the
+  /// CLI's --ooc-budget flag.
+  static size_t ParseByteSize(const char* s);
+
+ private:
+  enum class State { kLoading, kReady };
+
+  struct Entry {
+    State state = State::kLoading;
+    OocCsr::Shard shard;
+    Status status;      // load outcome; !ok() entries are never pinned
+    uint32_t pins = 0;
+    bool prefetched = false;  // loaded by Prefetch, not yet hit
+    size_t charged_bytes = 0;
+    // Position in lru_ (valid while state == kReady && pins == 0).
+    std::list<uint32_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Release(const OocCsr::Shard* shard);
+  /// Evicts LRU entries until `bytes` more fit. Called with mu_ held.
+  /// Returns false if the budget cannot be met (remaining entries pinned
+  /// or loading).
+  bool EvictForLocked(size_t bytes);
+  /// Loads shard_id (IO outside the lock) and publishes the result, or
+  /// drops a non-fitting prefetch. Called with mu_ held; returns with mu_
+  /// held. Failure unpublishes the entry and returns the IO status.
+  Status LoadLocked(std::unique_lock<std::mutex>& lock, uint32_t shard_id,
+                    bool prefetch);
+
+  const OocCsr& graph_;
+  const size_t budget_bytes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint32_t, Entry> entries_;
+  std::list<uint32_t> lru_;  // front = least recently used
+  Stats stats_;
+  uint64_t outstanding_prefetches_ = 0;
+};
+
+}  // namespace gab
+
+#endif  // GAB_GRAPH_SHARD_CACHE_H_

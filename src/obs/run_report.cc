@@ -4,7 +4,6 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
-#include <thread>
 
 #include "obs/exporters.h"
 #include "obs/metrics_registry.h"
@@ -44,7 +43,9 @@ RunReportEntry EntryFromRecord(const ExperimentRecord& record) {
   entry.attempts = record.attempts;
   entry.faults_recovered = record.faults_recovered;
   entry.supersteps =
-      static_cast<uint32_t>(record.run.trace.num_supersteps());
+      record.reported_supersteps != 0
+          ? record.reported_supersteps
+          : static_cast<uint32_t>(record.run.trace.num_supersteps());
   entry.peak_extra_bytes = record.run.peak_extra_bytes;
   return entry;
 }
@@ -121,8 +122,13 @@ std::string RunReport::ToJson() const {
   // across machines and thread counts.
   out += "},\"environment\":{";
   AppendFormat(&out, "\"threads\":%zu", DefaultPool().num_threads());
-  AppendFormat(&out, ",\"hardware_concurrency\":%u",
-               std::thread::hardware_concurrency());
+  // Probed after pool init (not std::thread::hardware_concurrency() at an
+  // arbitrary point): under a CPU-affinity mask the raw probe can report 1
+  // while the pool runs 8 workers, which made past BENCH_*.json files claim
+  // "hardware_concurrency":1 alongside "threads":8.
+  const HardwareInfo& hw = ProbedHardware();
+  AppendFormat(&out, ",\"hardware_concurrency\":%u", hw.hardware_concurrency);
+  AppendFormat(&out, ",\"cpu_affinity\":%u", hw.cpu_affinity);
   if (const char* env = std::getenv("GAB_THREADS")) {
     out += ",\"gab_threads\":\"" + JsonEscape(env) + "\"";
   }

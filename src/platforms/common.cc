@@ -8,14 +8,12 @@
 
 namespace gab {
 
-std::vector<double> PageRankBases(const CsrGraph& g,
-                                  const AlgoParams& params) {
-  const double n = static_cast<double>(g.num_vertices());
+namespace {
+
+std::vector<double> PageRankBasesImpl(VertexId num_vertices, uint64_t isolated,
+                                      const AlgoParams& params) {
+  const double n = static_cast<double>(num_vertices);
   const double d = params.pr_damping;
-  uint64_t isolated = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (g.OutDegree(v) == 0) ++isolated;
-  }
   // Isolated vertices all carry the same rank r_t; dangling_t = k * r_t.
   std::vector<double> bases(params.iterations + 1, 0.0);
   double r = 1.0 / n;  // isolated rank before iteration 1
@@ -25,6 +23,26 @@ std::vector<double> PageRankBases(const CsrGraph& g,
     r = bases[t];  // isolated vertices receive nothing: rank == base
   }
   return bases;
+}
+
+}  // namespace
+
+std::vector<double> PageRankBases(const CsrGraph& g,
+                                  const AlgoParams& params) {
+  uint64_t isolated = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.OutDegree(v) == 0) ++isolated;
+  }
+  return PageRankBasesImpl(g.num_vertices(), isolated, params);
+}
+
+std::vector<double> PageRankBases(const GraphView& g,
+                                  const AlgoParams& params) {
+  uint64_t isolated = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.OutDegree(v) == 0) ++isolated;
+  }
+  return PageRankBasesImpl(g.num_vertices(), isolated, params);
 }
 
 bool AtomicMinU64(std::atomic<uint64_t>* slot, uint64_t value) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "platforms/platform.h"
 
 namespace gab {
@@ -19,6 +20,10 @@ namespace gab {
 /// host-side constant table and still match the reference bit-for-bit in
 /// the common case.
 std::vector<double> PageRankBases(const CsrGraph& g,
+                                  const AlgoParams& params);
+/// Same table computed from a GraphView (degrees are resident on both
+/// backings, so this never touches shard payloads).
+std::vector<double> PageRankBases(const GraphView& g,
                                   const AlgoParams& params);
 
 /// Atomic min on a uint64 slot; returns true iff the value decreased.

@@ -16,6 +16,11 @@ VertexSubsetEngine MakeEngine(const CsrGraph& g,
   return VertexSubsetEngine(g, options.num_partitions, options.strategy);
 }
 
+VertexSubsetEngine MakeEngine(const GraphView& view,
+                              const SubsetKernelOptions& options) {
+  return VertexSubsetEngine(view, options.num_partitions, options.strategy);
+}
+
 EdgeMapOptions MapOptions(const SubsetKernelOptions& options) {
   EdgeMapOptions mo;
   mo.direction = options.force_direction;
@@ -40,6 +45,11 @@ constexpr size_t kVertexGrain = 4096;
 }  // namespace
 
 RunResult SubsetPageRank(const CsrGraph& g, const AlgoParams& params,
+                         const SubsetKernelOptions& options) {
+  return SubsetPageRank(GraphView(g), params, options);
+}
+
+RunResult SubsetPageRank(const GraphView& g, const AlgoParams& params,
                          const SubsetKernelOptions& options) {
   VertexSubsetEngine engine = MakeEngine(g, options);
   const VertexId n = g.num_vertices();
@@ -112,6 +122,11 @@ RunResult SubsetLpa(const CsrGraph& g, const AlgoParams& params,
 
 RunResult SubsetSssp(const CsrGraph& g, const AlgoParams& params,
                      const SubsetKernelOptions& options) {
+  return SubsetSssp(GraphView(g), params, options);
+}
+
+RunResult SubsetSssp(const GraphView& g, const AlgoParams& params,
+                     const SubsetKernelOptions& options) {
   VertexSubsetEngine engine = MakeEngine(g, options);
   const VertexId n = g.num_vertices();
   auto dist = std::make_unique<std::atomic<uint64_t>[]>(n);
@@ -147,6 +162,11 @@ RunResult SubsetSssp(const CsrGraph& g, const AlgoParams& params,
 }
 
 RunResult SubsetWcc(const CsrGraph& g, const AlgoParams& params,
+                    const SubsetKernelOptions& options) {
+  return SubsetWcc(GraphView(g), params, options);
+}
+
+RunResult SubsetWcc(const GraphView& g, const AlgoParams& params,
                     const SubsetKernelOptions& options) {
   VertexSubsetEngine engine = MakeEngine(g, options);
   const VertexId n = g.num_vertices();
@@ -378,6 +398,11 @@ RunResult SubsetKc(const CsrGraph& g, const AlgoParams& params,
 }
 
 RunResult SubsetBfs(const CsrGraph& g, const AlgoParams& params,
+                    const SubsetKernelOptions& options) {
+  return SubsetBfs(GraphView(g), params, options);
+}
+
+RunResult SubsetBfs(const GraphView& g, const AlgoParams& params,
                     const SubsetKernelOptions& options) {
   VertexSubsetEngine engine = MakeEngine(g, options);
   const VertexId n = g.num_vertices();

@@ -46,6 +46,23 @@ RunResult SubsetBfs(const CsrGraph& g, const AlgoParams& params,
 RunResult SubsetLcc(const CsrGraph& g, const AlgoParams& params,
                     const SubsetKernelOptions& options);
 
+/// GraphView overloads of the kernels whose graph access is entirely
+/// EdgeMap/degree-based — the ones that can run out-of-core. The CsrGraph
+/// signatures above are thin wrappers over these (a view over a resident
+/// CSR is the zero-overhead fast path). OOC callers should prefer a range
+/// partition strategy (kRange / kRangeByDegree) so partition-owned pull
+/// loops walk contiguous vertex ranges and stay within few shards.
+/// The remaining kernels (LPA/BC/CD/TC/KC/LCC) read adjacency inside
+/// VertexMap lambdas and stay in-memory-only for now.
+RunResult SubsetPageRank(const GraphView& view, const AlgoParams& params,
+                         const SubsetKernelOptions& options);
+RunResult SubsetSssp(const GraphView& view, const AlgoParams& params,
+                     const SubsetKernelOptions& options);
+RunResult SubsetWcc(const GraphView& view, const AlgoParams& params,
+                    const SubsetKernelOptions& options);
+RunResult SubsetBfs(const GraphView& view, const AlgoParams& params,
+                    const SubsetKernelOptions& options);
+
 }  // namespace gab
 
 #endif  // GAB_PLATFORMS_SUBSET_KERNELS_H_

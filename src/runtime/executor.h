@@ -25,6 +25,10 @@ struct ExperimentRecord {
   uint32_t attempts = 1;
   /// Injected transient faults recovered from during this experiment.
   uint32_t faults_recovered = 0;
+  /// Superstep/round count for runs whose engine does not populate the
+  /// trace (e.g. the GAP-style kernels report push/pull rounds or delta
+  /// buckets here). 0 = derive from run.trace.
+  uint32_t reported_supersteps = 0;
 };
 
 /// How Execute() reacts to injected transient faults (util/fault_injector.h):

@@ -1,0 +1,32 @@
+#include "util/rss.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace gab {
+
+size_t PeakRssBytes() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<size_t>(ru.ru_maxrss) * 1024;  // Linux reports KiB
+}
+
+size_t CurrentRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total_pages = 0, resident_pages = 0;
+  int matched = std::fscanf(f, "%llu %llu", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) page = 4096;
+  return static_cast<size_t>(resident_pages) * static_cast<size_t>(page);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace gab

@@ -1,0 +1,24 @@
+#ifndef GAB_UTIL_RSS_H_
+#define GAB_UTIL_RSS_H_
+
+#include <cstddef>
+
+namespace gab {
+
+/// Process-lifetime resident-set high-water mark in bytes (getrusage
+/// ru_maxrss). Monotone: once any phase of the process touched N bytes the
+/// probe never reports less, so order memory-sensitive phases smallest
+/// first when comparing peaks (see bench_micro_generators).
+size_t PeakRssBytes();
+
+/// Current resident-set size in bytes, sampled from /proc/self/statm.
+/// Unlike PeakRssBytes this goes back DOWN when memory is released, which
+/// is what the OOC benches need: they free the in-memory CSR and then gate
+/// the out-of-core run on the *delta* over this baseline rather than on a
+/// high-water mark the build phase already inflated. Returns 0 when the
+/// proc interface is unavailable (non-Linux).
+size_t CurrentRssBytes();
+
+}  // namespace gab
+
+#endif  // GAB_UTIL_RSS_H_

@@ -1,5 +1,9 @@
 #include "util/threading.h"
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include <atomic>
 #include <cstdlib>
 
@@ -27,12 +31,18 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (auto& t : threads_) t.join();
+  // Guarantee every Submit()ted task runs: whatever the workers left in
+  // the queue executes here on the destroying thread (callers — the shard
+  // prefetcher — rely on this to drain their outstanding-task counters).
+  std::unique_lock<std::mutex> lock(mu_);
+  DrainBackgroundLocked(lock);
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
   uint64_t seen_generation = 0;
   while (true) {
     std::shared_ptr<Batch> batch;
+    std::function<void()> bg;
     // Time spent blocked on work_cv_ is the worker's idle gap; only timed
     // while telemetry is on (one relaxed load otherwise).
     uint64_t idle_start_ns =
@@ -41,18 +51,58 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
         return shutdown_ ||
-               (current_ != nullptr && generation_ != seen_generation);
+               (current_ != nullptr && generation_ != seen_generation) ||
+               !background_.empty();
       });
       if (shutdown_) return;
-      seen_generation = generation_;
-      batch = current_;
+      if (current_ != nullptr && generation_ != seen_generation) {
+        // Batches always outrank background work (prefetch IO must never
+        // delay a compute barrier).
+        seen_generation = generation_;
+        batch = current_;
+      } else {
+        bg = std::move(background_.front());
+        background_.pop_front();
+      }
     }
     if (idle_start_ns != 0) {
       GAB_HIST_US("pool.idle_us",
                   (obs::SpanTracer::Global().NowNs() - idle_start_ns) / 1e3);
     }
-    WorkOn(*batch, worker_index);
+    if (batch != nullptr) {
+      WorkOn(*batch, worker_index);
+    } else {
+      bg();
+      GAB_COUNT("pool.background_tasks", 1);
+    }
   }
+}
+
+void ThreadPool::DrainBackgroundLocked(std::unique_lock<std::mutex>& lock) {
+  while (!background_.empty()) {
+    std::function<void()> task = std::move(background_.front());
+    background_.pop_front();
+    lock.unlock();
+    task();
+    GAB_COUNT("pool.background_tasks", 1);
+    lock.lock();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  GAB_COUNT("pool.background_submitted", 1);
+  if (threads_.empty()) {
+    // Single-threaded pool: no worker will ever drain the queue, so the
+    // "background" task degenerates to a synchronous call.
+    task();
+    GAB_COUNT("pool.background_tasks", 1);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    background_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
 }
 
 void ThreadPool::WorkOn(Batch& batch, size_t worker_index) {
@@ -155,14 +205,43 @@ ThreadPool* g_pool_override = nullptr;
 
 ThreadPool& DefaultPool() {
   if (g_pool_override != nullptr) return *g_pool_override;
-  static ThreadPool& pool = *new ThreadPool([] {
-    if (const char* env = std::getenv("GAB_THREADS")) {
-      long v = std::strtol(env, nullptr, 10);
-      if (v > 0) return static_cast<size_t>(v);
-    }
-    return static_cast<size_t>(0);
-  }());
+  static ThreadPool& pool = [] {
+    ThreadPool* p = new ThreadPool([] {
+      if (const char* env = std::getenv("GAB_THREADS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v > 0) return static_cast<size_t>(v);
+      }
+      return static_cast<size_t>(0);
+    }());
+    // Probe the host environment once the pool (and with it the process's
+    // thread runtime) is fully up — see ProbedHardware() in the header.
+    ProbedHardware();
+    return std::ref(*p);
+  }();
   return pool;
+}
+
+const HardwareInfo& ProbedHardware() {
+  static const HardwareInfo info = [] {
+    HardwareInfo h;
+    h.hardware_concurrency = std::thread::hardware_concurrency();
+    if (h.hardware_concurrency == 0) h.hardware_concurrency = 1;
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+      h.cpu_affinity = static_cast<unsigned>(CPU_COUNT(&set));
+    }
+#endif
+    // An affinity mask narrower than the advertised core count is the
+    // truth (taskset/cgroup pinning); one wider means the early
+    // hardware_concurrency probe lied — trust the kernel either way.
+    if (h.cpu_affinity > 0) {
+      h.hardware_concurrency = h.cpu_affinity;
+    }
+    return h;
+  }();
+  return info;
 }
 
 ScopedThreadPool::ScopedThreadPool(size_t num_threads)

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -41,6 +42,16 @@ class ThreadPool {
   void RunTasks(size_t num_tasks,
                 const std::function<void(size_t, size_t)>& fn);
 
+  /// Enqueues a fire-and-forget background task (the OOC shard prefetcher's
+  /// submission path). Background tasks are strictly lower priority than
+  /// RunTasks batches: an idle worker drains the background queue only when
+  /// no batch is runnable, so prefetch IO never delays a compute barrier.
+  /// With no spawned workers (1-thread pool) the task runs inline. Every
+  /// submitted task is guaranteed to execute: the destructor drains the
+  /// queue on the destroying thread after joining workers. Tasks must not
+  /// throw and must not call RunTasks on this pool.
+  void Submit(std::function<void()> task);
+
  private:
   // Heap-allocated and shared with every worker that picks it up, so a
   // straggler worker observing the batch after RunTasks returned still
@@ -63,12 +74,16 @@ class ThreadPool {
 
   void WorkerLoop(size_t worker_index);
   void WorkOn(Batch& batch, size_t worker_index);
+  /// Pops and runs queued background tasks until the queue is empty.
+  /// Called with mu_ held; releases it around each task body.
+  void DrainBackgroundLocked(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::shared_ptr<Batch> current_;
+  std::deque<std::function<void()>> background_;
   uint64_t generation_ = 0;
   bool shutdown_ = false;
 };
@@ -76,6 +91,19 @@ class ThreadPool {
 /// Process-wide default pool, sized from GAB_THREADS (if set) or hardware
 /// concurrency. Never destroyed (intentional leak per static-lifetime rules).
 ThreadPool& DefaultPool();
+
+/// Host execution environment, probed once *after* the default pool exists
+/// (std::thread::hardware_concurrency can report 0/1 early in process
+/// startup under restricted sandboxes, which used to leave bench reports
+/// claiming "hardware_concurrency":1 next to "threads":8). cpu_affinity is
+/// the schedulable-CPU count from sched_getaffinity (0 when unavailable) —
+/// the number that actually bounds wall-clock speedups under taskset/cgroup
+/// pinning, recorded alongside so bench metadata is trustworthy.
+struct HardwareInfo {
+  unsigned hardware_concurrency = 0;
+  unsigned cpu_affinity = 0;
+};
+const HardwareInfo& ProbedHardware();
 
 /// RAII override of DefaultPool() with a pool of `num_threads` workers.
 /// Lets one process exercise the same parallel code at several thread

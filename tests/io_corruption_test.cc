@@ -13,6 +13,7 @@
 #include "graph/builder.h"
 #include "graph/edge_list.h"
 #include "graph/io.h"
+#include "graph/ooc_csr.h"
 
 namespace gab {
 namespace {
@@ -340,6 +341,136 @@ TEST_F(IoCorruptionTest, BuildCheckedRejectsWeightLengthMismatch) {
   Status status =
       GraphBuilder::BuildChecked(std::move(edges), GraphBuilder::Options(), &g);
   EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+// ------------------------------------------------------ OOC shard files ----
+// Same contract as the edge-list readers: every malformed .ooc file must
+// come back as a clean Status from Open/ReadShard — no crash, no
+// header-driven giant allocation, no silently zeroed adjacency.
+//
+// Layout of the valid file below (3 vertices, edges {0,1} and {1,2},
+// weighted, one shard): header 64 B, offsets 4 x u64 at 64, shard table
+// 1 x 32 B at 96, payload at 128 (4 x u32 neighbors, then 4 x u32
+// weights), total 160 B.
+
+class OocCorruptionTest : public IoCorruptionTest {
+ protected:
+  std::string WriteValidOoc(const char* name) {
+    CsrGraph g = GraphBuilder::Build([] {
+      EdgeList edges(3);
+      edges.AddEdge(0, 1, 5);
+      edges.AddEdge(1, 2, 7);
+      return edges;
+    }());
+    std::string path = TempPath(name);
+    EXPECT_TRUE(WriteOocCsr(g, path).ok());
+    return path;
+  }
+
+  Status OpenOoc(const std::string& path) {
+    OocCsr ooc;
+    return OocCsr::Open(path, &ooc);
+  }
+};
+
+TEST_F(OocCorruptionTest, ValidFileOpensAndReads) {
+  std::string path = WriteValidOoc("ooc_valid.ooc");
+  OocCsr ooc;
+  ASSERT_TRUE(OocCsr::Open(path, &ooc).ok());
+  EXPECT_EQ(ooc.num_vertices(), 3u);
+  EXPECT_EQ(ooc.num_edges(), 2u);
+  EXPECT_EQ(ooc.num_arcs(), 4u);
+  EXPECT_TRUE(ooc.has_weights());
+  ASSERT_EQ(ooc.num_shards(), 1u);
+  OocCsr::Shard shard;
+  ASSERT_TRUE(ooc.ReadShard(0, &shard).ok());
+  EXPECT_EQ(shard.neighbors, (std::vector<VertexId>{1, 0, 2, 1}));
+  EXPECT_EQ(shard.weights, (std::vector<Weight>{5, 5, 7, 7}));
+}
+
+TEST_F(OocCorruptionTest, OocMissingFile) {
+  Status status = OpenOoc(TempPath("ooc_nonexistent.ooc"));
+  EXPECT_EQ(status.code(), Status::Code::kIoError);
+}
+
+TEST_F(OocCorruptionTest, OocBadMagic) {
+  std::string path = WriteValidOoc("ooc_bad_magic.ooc");
+  std::vector<char> data = ReadAll(path);
+  data[0] ^= 0x5a;
+  WriteBytes(path, data.data(), data.size());
+  Status status = OpenOoc(path);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(OocCorruptionTest, OocTruncatedHeader) {
+  std::string path = WriteValidOoc("ooc_short_header.ooc");
+  std::vector<char> data = ReadAll(path);
+  WriteBytes(path, data.data(), 32);
+  Status status = OpenOoc(path);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(OocCorruptionTest, OocHugeVertexCountRejectedBeforeAllocation) {
+  std::string path = WriteValidOoc("ooc_huge_n.ooc");
+  std::vector<char> data = ReadAll(path);
+  // num_vertices lives at header word 1. A 100-billion-vertex claim in a
+  // 160-byte file must be rejected by the extent check, not by attempting
+  // an 800 GB offsets allocation.
+  const uint64_t huge = 100ull * 1000 * 1000 * 1000;
+  std::memcpy(data.data() + 8, &huge, sizeof(huge));
+  WriteBytes(path, data.data(), data.size());
+  Status status = OpenOoc(path);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(OocCorruptionTest, OocTruncatedPayloadAtOpen) {
+  std::string path = WriteValidOoc("ooc_short_payload.ooc");
+  std::vector<char> data = ReadAll(path);
+  WriteBytes(path, data.data(), data.size() - 8);
+  Status status = OpenOoc(path);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(OocCorruptionTest, OocTrailingGarbageRejected) {
+  std::string path = WriteValidOoc("ooc_trailing.ooc");
+  std::vector<char> data = ReadAll(path);
+  data.insert(data.end(), {'j', 'u', 'n', 'k'});
+  WriteBytes(path, data.data(), data.size());
+  Status status = OpenOoc(path);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(OocCorruptionTest, OocCorruptShardTableEntry) {
+  std::string path = WriteValidOoc("ooc_bad_table.ooc");
+  std::vector<char> data = ReadAll(path);
+  // Shard table entry 0 starts at byte 96; word 1 is end_vertex. Claiming
+  // the shard covers 7 of 3 vertices breaks the tiling invariant.
+  const uint64_t bogus_end = 7;
+  std::memcpy(data.data() + 96 + 8, &bogus_end, sizeof(bogus_end));
+  WriteBytes(path, data.data(), data.size());
+  Status status = OpenOoc(path);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(OocCorruptionTest, OocOutOfRangeNeighborInPayload) {
+  std::string path = WriteValidOoc("ooc_bad_neighbor.ooc");
+  std::vector<char> data = ReadAll(path);
+  // Payload starts at 128; first neighbor word -> vertex id 9 out of 3.
+  const uint32_t bogus_neighbor = 9;
+  std::memcpy(data.data() + 128, &bogus_neighbor, sizeof(bogus_neighbor));
+  WriteBytes(path, data.data(), data.size());
+  OocCsr ooc;
+  ASSERT_TRUE(OocCsr::Open(path, &ooc).ok());  // index is intact
+  OocCsr::Shard shard;
+  Status status = ooc.ReadShard(0, &shard);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(OocCorruptionTest, OocWriteRejectsDirectedGraph) {
+  CsrGraph g = GraphBuilder::FromPairs(3, {{0, 1}, {1, 2}},
+                                       /*undirected=*/false);
+  Status status = WriteOocCsr(g, TempPath("ooc_directed.ooc"));
+  EXPECT_EQ(status.code(), Status::Code::kUnsupported);
 }
 
 }  // namespace

@@ -1,0 +1,309 @@
+// Out-of-core correctness contract: running a kernel against the sharded
+// on-disk CSR must produce *byte-identical* output to the in-memory run,
+// at every thread count and every cache budget. The cache only decides
+// when shard payloads are resident, never their values, so any divergence
+// here is a real bug (torn read, wrong shard arithmetic, eviction of a
+// pinned shard). Also covers the round-trip fidelity of the .ooc format
+// and the ShardCache pin/evict/prefetch accounting.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/fft_dg.h"
+#include "graph/builder.h"
+#include "graph/graph_view.h"
+#include "graph/ooc_csr.h"
+#include "graph/shard_cache.h"
+#include "platforms/subset_kernels.h"
+#include "util/threading.h"
+
+namespace gab {
+namespace {
+
+// Small enough to build in milliseconds, large enough that a 4 KiB shard
+// target produces dozens of shards (so eviction, prefetch, and cursor
+// shard-swapping all actually exercise).
+constexpr VertexId kNumVertices = 6000;
+constexpr uint64_t kShardTargetBytes = 4096;
+
+class OocDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FftDgConfig config;
+    config.num_vertices = kNumVertices;
+    config.weighted = true;
+    config.seed = 11;
+    graph_ = new CsrGraph(GraphBuilder::Build(GenerateFftDg(config)));
+    path_ = new std::string(::testing::TempDir() + "/ooc_determinism.ooc");
+    ASSERT_TRUE(WriteOocCsr(*graph_, *path_, kShardTargetBytes).ok());
+    ooc_ = new OocCsr();
+    ASSERT_TRUE(OocCsr::Open(*path_, ooc_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete ooc_;
+    std::remove(path_->c_str());
+    delete path_;
+    delete graph_;
+    ooc_ = nullptr;
+    path_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  static size_t MaxShardBytes() {
+    size_t max_bytes = 0;
+    for (uint32_t s = 0; s < ooc_->num_shards(); ++s) {
+      max_bytes = std::max(max_bytes, ooc_->ShardResidentBytes(s));
+    }
+    return max_bytes;
+  }
+
+  static CsrGraph* graph_;
+  static std::string* path_;
+  static OocCsr* ooc_;
+};
+
+CsrGraph* OocDeterminismTest::graph_ = nullptr;
+std::string* OocDeterminismTest::path_ = nullptr;
+OocCsr* OocDeterminismTest::ooc_ = nullptr;
+
+// ------------------------------------------------------- format fidelity ----
+
+TEST_F(OocDeterminismTest, RoundTripMetadataMatches) {
+  EXPECT_EQ(ooc_->num_vertices(), graph_->num_vertices());
+  EXPECT_EQ(ooc_->num_edges(), graph_->num_edges());
+  EXPECT_EQ(ooc_->num_arcs(), graph_->num_arcs());
+  EXPECT_TRUE(ooc_->is_undirected());
+  EXPECT_TRUE(ooc_->has_weights());
+  EXPECT_GT(ooc_->num_shards(), 10u) << "shard target too coarse for test";
+  ASSERT_EQ(ooc_->out_offsets().size(), graph_->out_offsets().size());
+  EXPECT_TRUE(std::equal(ooc_->out_offsets().begin(),
+                         ooc_->out_offsets().end(),
+                         graph_->out_offsets().begin()));
+  for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+    ASSERT_EQ(ooc_->OutDegree(v), graph_->OutDegree(v)) << "vertex " << v;
+  }
+}
+
+TEST_F(OocDeterminismTest, ShardsTileVerticesAndPayloadsMatchCsr) {
+  VertexId next = 0;
+  for (uint32_t s = 0; s < ooc_->num_shards(); ++s) {
+    ASSERT_EQ(ooc_->ShardFirstVertex(s), next);
+    next = ooc_->ShardEndVertex(s);
+    OocCsr::Shard shard;
+    ASSERT_TRUE(ooc_->ReadShard(s, &shard).ok());
+    EXPECT_EQ(shard.shard_id, s);
+    EXPECT_EQ(shard.first_arc, graph_->out_offsets()[shard.first_vertex]);
+    for (VertexId v = shard.first_vertex; v < shard.end_vertex; ++v) {
+      auto expected = graph_->OutNeighbors(v);
+      auto expected_w = graph_->OutWeights(v);
+      const size_t begin =
+          static_cast<size_t>(graph_->out_offsets()[v] - shard.first_arc);
+      ASSERT_LE(begin + expected.size(), shard.neighbors.size());
+      EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                             shard.neighbors.begin() + begin))
+          << "vertex " << v;
+      EXPECT_TRUE(std::equal(expected_w.begin(), expected_w.end(),
+                             shard.weights.begin() + begin))
+          << "vertex " << v;
+    }
+    EXPECT_EQ(ooc_->ShardOf(shard.first_vertex), s);
+    EXPECT_EQ(ooc_->ShardOf(shard.end_vertex - 1), s);
+  }
+  EXPECT_EQ(next, graph_->num_vertices());
+}
+
+// ------------------------------------------------- kernel bit-identity ----
+
+// Exact comparison on purpose — determinism means *bit*-identical, doubles
+// included; "close enough" would mask a nondeterministic reduction order.
+template <typename T>
+void ExpectIdentical(const std::vector<T>& a, const std::vector<T>& b,
+                     const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " diverges at index " << i;
+  }
+}
+
+TEST_F(OocDeterminismTest, KernelsBitIdenticalAcrossThreadsAndBudgets) {
+  AlgoParams params;
+  SubsetKernelOptions options;
+  // Contiguous ranges keep a pull partition's sources inside few shards —
+  // the strategy the CLI's --ooc path uses.
+  options.strategy = PartitionStrategy::kRangeByDegree;
+
+  // In-memory reference (session-default pool).
+  RunResult ref_pr = SubsetPageRank(*graph_, params, options);
+  RunResult ref_wcc = SubsetWcc(*graph_, params, options);
+  RunResult ref_bfs = SubsetBfs(*graph_, params, options);
+  RunResult ref_sssp = SubsetSssp(*graph_, params, options);
+
+  // A budget of ~3 shards forces constant eviction; the second arm is
+  // unbounded by default but honors GAB_OOC_BUDGET, so the ooc_under_budget
+  // ctest entry re-runs the whole matrix under external memory pressure.
+  // Every combination must give the same bits.
+  const size_t budgets[] = {3 * MaxShardBytes(), ShardCache::BudgetFromEnv()};
+  for (size_t num_threads : {size_t{1}, size_t{7}}) {
+    ScopedThreadPool scoped(num_threads);
+    for (size_t budget : budgets) {
+      SCOPED_TRACE("threads=" + std::to_string(num_threads) +
+                   " budget=" + std::to_string(budget));
+      ShardCache cache(*ooc_, budget);
+      GraphView view(*ooc_, &cache);
+      RunResult pr = SubsetPageRank(view, params, options);
+      RunResult wcc = SubsetWcc(view, params, options);
+      RunResult bfs = SubsetBfs(view, params, options);
+      RunResult sssp = SubsetSssp(view, params, options);
+      cache.WaitIdle();
+      ExpectIdentical(pr.output.doubles, ref_pr.output.doubles, "PR");
+      ExpectIdentical(wcc.output.ints, ref_wcc.output.ints, "WCC");
+      ExpectIdentical(bfs.output.ints, ref_bfs.output.ints, "BFS");
+      ExpectIdentical(sssp.output.ints, ref_sssp.output.ints, "SSSP");
+
+      ShardCache::Stats stats = cache.stats();
+      EXPECT_GT(stats.hits + stats.misses, 0u);
+      if (budget == 0) {
+        EXPECT_EQ(stats.evictions, 0u) << "unbounded cache must not evict";
+        EXPECT_LE(stats.misses, ooc_->num_shards())
+            << "unbounded cache re-read a shard";
+      } else {
+        EXPECT_GT(stats.evictions, 0u)
+            << "tiny budget should have forced eviction";
+        // Over-budget demand loads are bounded by the pinned working set:
+        // each worker's cursor holds at most two pins during a swap.
+        EXPECT_LE(stats.peak_resident_bytes,
+                  budget + 2 * MaxShardBytes() * (num_threads + 1))
+            << "resident bytes exceed budget + pinned working set";
+      }
+    }
+  }
+}
+
+TEST_F(OocDeterminismTest, PartitionStrategyDoesNotAffectResults) {
+  AlgoParams params;
+  SubsetKernelOptions range_opts;
+  range_opts.strategy = PartitionStrategy::kRangeByDegree;
+  SubsetKernelOptions hash_opts;
+  hash_opts.strategy = PartitionStrategy::kHash;
+
+  ShardCache cache(*ooc_, 0);
+  GraphView view(*ooc_, &cache);
+  RunResult a = SubsetPageRank(view, params, range_opts);
+  RunResult b = SubsetPageRank(view, params, hash_opts);
+  cache.WaitIdle();
+  ExpectIdentical(a.output.doubles, b.output.doubles, "PR across strategies");
+}
+
+// ----------------------------------------------------- cache semantics ----
+
+TEST_F(OocDeterminismTest, AcquirePinsAndSecondAcquireHits) {
+  // Budget == exactly shard 0's size: anything more must evict or overshoot.
+  ShardCache cache(*ooc_, ooc_->ShardResidentBytes(0));
+  {
+    ShardCache::Handle h = cache.AcquireOrDie(0);
+    ASSERT_TRUE(h);
+    EXPECT_EQ(h->shard_id, 0u);
+    EXPECT_EQ(h->first_vertex, ooc_->ShardFirstVertex(0));
+    // Re-acquiring a pinned shard is a hit, not a second load.
+    ShardCache::Handle h2 = cache.AcquireOrDie(0);
+    EXPECT_EQ(h2.get(), h.get());
+    ShardCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    // Loading another shard while shard 0 is pinned cannot evict it, so
+    // the cache overshoots instead of corrupting the pinned payload.
+    ShardCache::Handle other = cache.AcquireOrDie(1);
+    EXPECT_EQ(h->shard_id, 0u);
+    EXPECT_GT(cache.stats().over_budget_loads, 0u);
+  }
+  // All handles released: the next load may now evict.
+  ShardCache::Handle h3 = cache.AcquireOrDie(2);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST_F(OocDeterminismTest, PrefetchServesLaterAcquire) {
+  ScopedThreadPool scoped(4);
+  ShardCache cache(*ooc_, 0);
+  const uint32_t shards = std::min(8u, ooc_->num_shards());
+  for (uint32_t s = 0; s < shards; ++s) cache.Prefetch(s);
+  cache.WaitIdle();
+  for (uint32_t s = 0; s < shards; ++s) {
+    ShardCache::Handle h = cache.AcquireOrDie(s);
+    EXPECT_EQ(h->shard_id, s);
+  }
+  ShardCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 0u) << "prefetched shards should not demand-load";
+  EXPECT_EQ(stats.prefetch_hits, shards);
+  EXPECT_GT(stats.prefetch_issued, 0u);
+}
+
+TEST_F(OocDeterminismTest, PrefetchRespectsBudget) {
+  ScopedThreadPool scoped(4);
+  // Fill the entire budget with a *pinned* shard: nothing is evictable, so
+  // every prefetch must be dropped rather than overshooting for data
+  // nobody asked for (only demand loads may overshoot).
+  ShardCache cache(*ooc_, ooc_->ShardResidentBytes(0));
+  ShardCache::Handle pin = cache.AcquireOrDie(0);
+  for (uint32_t s = 1; s < ooc_->num_shards(); ++s) cache.Prefetch(s);
+  cache.WaitIdle();
+  ShardCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.prefetch_dropped, ooc_->num_shards() - 1u);
+  EXPECT_EQ(stats.prefetch_issued, 0u);
+  EXPECT_EQ(stats.over_budget_loads, 0u)
+      << "prefetches must never overshoot the budget";
+  EXPECT_LE(stats.peak_resident_bytes, cache.budget_bytes());
+}
+
+TEST_F(OocDeterminismTest, ParseByteSizeSuffixes) {
+  EXPECT_EQ(ShardCache::ParseByteSize(nullptr), 0u);
+  EXPECT_EQ(ShardCache::ParseByteSize(""), 0u);
+  EXPECT_EQ(ShardCache::ParseByteSize("notanumber"), 0u);
+  EXPECT_EQ(ShardCache::ParseByteSize("4096"), 4096u);
+  EXPECT_EQ(ShardCache::ParseByteSize("64k"), 64u << 10);
+  EXPECT_EQ(ShardCache::ParseByteSize("64m"), 64u << 20);
+  EXPECT_EQ(ShardCache::ParseByteSize("2g"), 2ull << 30);
+}
+
+// Truncating the file *after* Open must surface as kIoError on the next
+// uncached read — never as silently zeroed adjacency.
+TEST_F(OocDeterminismTest, TruncationAfterOpenIsAnIoError) {
+  std::string path = ::testing::TempDir() + "/ooc_truncate_late.ooc";
+  ASSERT_TRUE(WriteOocCsr(*graph_, path, kShardTargetBytes).ok());
+  OocCsr ooc;
+  ASSERT_TRUE(OocCsr::Open(path, &ooc).ok());
+  // Chop the last shard's payload in half. pread on the still-open
+  // descriptor sees the new size immediately.
+  OocCsr::Shard last;
+  const uint32_t last_id = ooc.num_shards() - 1;
+  ASSERT_TRUE(ooc.ReadShard(last_id, &last).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full_size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(path.c_str(),
+                       full_size - static_cast<long>(
+                                       last.neighbors.size() *
+                                       sizeof(VertexId) / 2)),
+            0);
+
+  ShardCache cache(ooc, 0);
+  ShardCache::Handle h;
+  Status s = cache.Acquire(last_id, &h);
+  EXPECT_EQ(s.code(), Status::Code::kIoError) << s.ToString();
+  EXPECT_FALSE(h);
+  // The failed load must not leave a phantom charge behind.
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gab

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "gab/gab.h"
+#include "platforms/subset_kernels.h"
 #include "usability/api_spec.h"
 #include "util/threading.h"
 #include "util/timer.h"
@@ -90,9 +91,12 @@ int Usage() {
       "             [--trace-out FILE] [--metrics-out FILE]\n"
       "  info       --in FILE            graph statistics\n"
       "  datasets   [--scale S]          the Table 4 dataset registry\n"
+      "  convert    (--in FILE | --dataset NAME) --out FILE.ooc\n"
+      "             [--shard-bytes N]    sharded on-disk CSR for --ooc runs\n"
       "  run        --platform AB --algo NAME (--in FILE | --dataset NAME)\n"
       "             [--source V] [--k K] [--iterations I] [--no-verify]\n"
       "             [--exec-mode strict|relaxed] [--relabel none|degree|hubsort]\n"
+      "             [--ooc] [--ooc-budget BYTES] [--ooc-path FILE]\n"
       "             [--trace-out FILE] [--metrics-out FILE]\n"
       "             [--report-out FILE]\n"
       "  simulate   (run flags) --machines M --threads T\n"
@@ -107,7 +111,15 @@ int Usage() {
       "--exec-mode relaxed drops the engines' ordered frontier merging\n"
       "(same fixed point, faster; see DESIGN.md §10); --relabel runs on a\n"
       "locality-relabeled copy of the graph and maps results back to the\n"
-      "original vertex ids. Both default to the GAB_EXEC_MODE env / none.\n",
+      "original vertex ids. Both default to the GAB_EXEC_MODE env / none.\n"
+      "\n"
+      "--ooc runs PR|WCC|SSSP out-of-core on the vertex-subset engine: the\n"
+      "graph is served from a sharded on-disk CSR (--in FILE.ooc from\n"
+      "`convert`, or converted on the fly; --ooc-path keeps the file)\n"
+      "through a bounded shard cache. --ooc-budget caps resident edge\n"
+      "bytes (k/m/g suffixes; default GAB_OOC_BUDGET, 0 = unbounded).\n"
+      "Results are bit-identical to the in-memory run at any budget\n"
+      "(DESIGN.md §11); --platform is ignored under --ooc.\n",
       stderr);
   return 1;
 }
@@ -291,7 +303,225 @@ int CmdDatasets(const Flags& flags) {
   return 0;
 }
 
+int CmdConvert(const Flags& flags) {
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --out FILE.ooc required\n");
+    return 1;
+  }
+  std::optional<CsrGraph> g = LoadGraph(flags);
+  if (!g) return 2;
+  const uint64_t shard_bytes =
+      ShardCache::ParseByteSize(flags.Get("shard-bytes", "").c_str());
+  WallTimer timer;
+  Status status = WriteOocCsr(*g, out, shard_bytes);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  OocCsr ooc;
+  status = OocCsr::Open(out, &ooc);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: reopening %s: %s\n", out.c_str(),
+                 status.ToString().c_str());
+    return 2;
+  }
+  Table table({"Metric", "Value"});
+  table.AddRow({"vertices", Table::FmtCount(ooc.num_vertices())});
+  table.AddRow({"edges", Table::FmtCount(ooc.num_edges())});
+  table.AddRow({"shards", Table::FmtCount(ooc.num_shards())});
+  table.AddRow({"shard target (bytes)",
+                Table::FmtCount(shard_bytes == 0 ? DefaultShardTargetBytes()
+                                                 : shard_bytes)});
+  table.AddRow({"in-memory equivalent (bytes)",
+                Table::FmtCount(ooc.InMemoryEquivalentBytes())});
+  table.AddRow({"convert time (s)", Table::Fmt(timer.Seconds(), 3)});
+  table.Print();
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+/// `run --ooc`: PR/WCC/SSSP on the vertex-subset kernels over the sharded
+/// on-disk CSR behind a bounded ShardCache. Input is either a prebuilt
+/// FILE.ooc (from `convert`) or any `run` input converted on the fly to
+/// --ooc-path (a temp file removed after the run when the flag is absent).
+int CmdRunOoc(const Flags& flags) {
+  std::optional<Algorithm> algo = AlgorithmByName(flags.Get("algo", ""));
+  if (!algo || (*algo != Algorithm::kPageRank && *algo != Algorithm::kWcc &&
+                *algo != Algorithm::kSssp)) {
+    std::fprintf(stderr, "error: --ooc supports --algo PR|WCC|SSSP\n");
+    return 1;
+  }
+  const std::string trace_out = flags.Get("trace-out", "");
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  const std::string report_out = flags.Get("report-out", "");
+  if (!trace_out.empty() || !metrics_out.empty() || !report_out.empty()) {
+    obs::Telemetry::Enable();
+  }
+  const std::string mode_name = flags.Get("exec-mode", "");
+  if (!mode_name.empty()) {
+    if (mode_name != "strict" && mode_name != "relaxed") {
+      std::fprintf(stderr, "error: --exec-mode must be strict|relaxed\n");
+      return 1;
+    }
+    SetExecMode(mode_name == "relaxed" ? ExecMode::kRelaxed
+                                       : ExecMode::kStrict);
+  }
+
+  // Resolve the on-disk graph: a FILE.ooc input opens directly (no
+  // in-memory copy ever built — that is the point); anything else builds
+  // the CSR once, writes the shard file, and drops the CSR before running.
+  WallTimer upload_timer;
+  const std::string in = flags.Get("in", "");
+  const bool direct_ooc =
+      in.size() > 4 && in.substr(in.size() - 4) == ".ooc";
+  std::string ooc_path = flags.Get("ooc-path", "");
+  const bool temp_file = !direct_ooc && ooc_path.empty();
+  if (temp_file) ooc_path = "gabench_run_tmp.ooc";
+  std::optional<CsrGraph> g;  // retained only for verification
+  if (direct_ooc) {
+    ooc_path = in;
+  } else {
+    g = LoadGraph(flags);
+    if (!g) return 2;
+    Status status = WriteOocCsr(
+        *g, ooc_path,
+        ShardCache::ParseByteSize(flags.Get("shard-bytes", "").c_str()));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
+  OocCsr ooc;
+  Status status = OocCsr::Open(ooc_path, &ooc);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  double upload = upload_timer.Seconds();
+
+  const size_t budget =
+      flags.Has("ooc-budget")
+          ? ShardCache::ParseByteSize(flags.Get("ooc-budget", "").c_str())
+          : ShardCache::BudgetFromEnv();
+
+  AlgoParams params;
+  params.source = static_cast<VertexId>(flags.GetInt("source", 0));
+  params.iterations =
+      static_cast<uint32_t>(flags.GetInt("iterations", 10));
+  SubsetKernelOptions options;
+  // Contiguous ranges keep each pull partition inside few shards; hash
+  // partitioning would touch every shard from every task.
+  options.strategy = PartitionStrategy::kRangeByDegree;
+
+  RunResult run;
+  ShardCache::Stats cache_stats;
+  {
+    ShardCache cache(ooc, budget);
+    GraphView view(ooc, &cache);
+    switch (*algo) {
+      case Algorithm::kPageRank:
+        run = SubsetPageRank(view, params, options);
+        break;
+      case Algorithm::kWcc:
+        run = SubsetWcc(view, params, options);
+        break;
+      default:
+        run = SubsetSssp(view, params, options);
+        break;
+    }
+    cache.WaitIdle();
+    cache_stats = cache.stats();
+  }
+
+  Table table({"Metric", "Value"});
+  table.AddRow({"algorithm", AlgorithmLongName(*algo)});
+  table.AddRow({"exec mode", ExecModeName(CurrentExecMode())});
+  table.AddRow({"ooc file", ooc_path});
+  table.AddRow({"shards", Table::FmtCount(ooc.num_shards())});
+  table.AddRow({"in-memory equivalent (bytes)",
+                Table::FmtCount(ooc.InMemoryEquivalentBytes())});
+  table.AddRow({"budget (bytes)",
+                budget == 0 ? "unbounded" : Table::FmtCount(budget)});
+  table.AddRow({"cache peak resident (bytes)",
+                Table::FmtCount(cache_stats.peak_resident_bytes)});
+  table.AddRow({"cache hits / misses",
+                Table::FmtCount(cache_stats.hits) + " / " +
+                    Table::FmtCount(cache_stats.misses)});
+  table.AddRow({"evictions", Table::FmtCount(cache_stats.evictions)});
+  table.AddRow({"prefetch issued / hit / dropped",
+                Table::FmtCount(cache_stats.prefetch_issued) + " / " +
+                    Table::FmtCount(cache_stats.prefetch_hits) + " / " +
+                    Table::FmtCount(cache_stats.prefetch_dropped)});
+  table.AddRow({"upload time (s)", Table::Fmt(upload, 3)});
+  table.AddRow({"running time (s)", Table::Fmt(run.seconds, 4)});
+  table.AddRow({"supersteps",
+                std::to_string(run.trace.num_supersteps())});
+
+  int rc = 0;
+  if (!flags.Has("no-verify")) {
+    if (g) {
+      VerifyResult verdict =
+          ExperimentExecutor::Verify(*algo, *g, params, run.output);
+      table.AddRow({"verified", verdict.ok ? "yes" : verdict.detail});
+      if (!verdict.ok) rc = 2;
+    } else {
+      table.AddRow({"verified", "skipped (no in-memory graph; raw .ooc "
+                                "input)"});
+    }
+  }
+
+  if (!report_out.empty()) {
+    ExperimentRecord record;
+    record.platform = "OOC";
+    record.algorithm = AlgorithmName(*algo);
+    record.dataset = flags.Get("dataset", in.empty() ? "?" : in);
+    record.timing.upload_seconds = upload;
+    record.timing.running_seconds = run.seconds;
+    record.timing.makespan_seconds = upload + run.seconds;
+    record.throughput_eps =
+        run.seconds > 0
+            ? static_cast<double>(ooc.num_arcs()) / run.seconds
+            : 0;
+    record.run = run;
+    obs::RunReport report;
+    report.Add(record);
+    status = report.WriteJson(report_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    table.AddRow({"report written", report_out});
+  }
+  if (!trace_out.empty()) {
+    status = obs::WriteChromeTrace(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    table.AddRow({"trace written", trace_out});
+  }
+  if (!metrics_out.empty()) {
+    status = obs::WriteMetricsPrometheus(metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    table.AddRow({"metrics written", metrics_out});
+  }
+  table.Print();
+  if (temp_file) std::remove(ooc_path.c_str());
+  return rc;
+}
+
 int CmdRun(const Flags& flags, bool simulate) {
+  if (flags.Has("ooc")) {
+    if (simulate) {
+      std::fprintf(stderr, "error: simulate does not support --ooc\n");
+      return 1;
+    }
+    return CmdRunOoc(flags);
+  }
   const Platform* platform =
       PlatformByAbbrev(flags.Get("platform", ""));
   if (platform == nullptr) {
@@ -497,6 +727,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "info") return CmdInfo(flags);
   if (command == "datasets") return CmdDatasets(flags);
+  if (command == "convert") return CmdConvert(flags);
   if (command == "run") return CmdRun(flags, /*simulate=*/false);
   if (command == "simulate") return CmdRun(flags, /*simulate=*/true);
   if (command == "usability") return CmdUsability(flags);
