@@ -27,6 +27,8 @@
 #include "gen/datasets.h"
 #include "gen/fft_dg.h"
 #include "graph/builder.h"
+#include "graph/compressed_csr.h"
+#include "graph/graph_view.h"
 #include "graph/relabel.h"
 #include "platforms/subset_kernels.h"
 #include "util/exec_mode.h"
@@ -444,6 +446,74 @@ int RunGapKernelSweep() {
   return rc;
 }
 
+// ---------------------------------------------------------------------------
+// In-memory compressed backing (CompressedCsr, DESIGN.md §14).
+
+/// Runs PR/WCC/SSSP on S7-Std over the resident delta+varint backing and
+/// over the raw CSR, through the same GraphView kernels.
+///
+/// Gates:
+///  - hard: every compressed output is bit-identical to the CSR run;
+///  - informational: adjacency compression ratio, resident-bytes saving,
+///    and per-kernel slowdown (the varint decode cost the saving buys).
+int RunCompressedSweep() {
+  const CsrGraph& g = GapGraph();
+  CompressedCsr comp;
+  Status status = CompressedCsr::FromCsr(g, &comp);
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAIL: CompressedCsr::FromCsr: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  const size_t threads = std::max<size_t>(1, DefaultPool().num_threads());
+  const int trials = 2;
+  AlgoParams params;
+  SubsetKernelOptions options;
+  options.strategy = PartitionStrategy::kRangeByDegree;
+
+  std::printf(
+      "\ncompressed in-memory sweep: S7-Std, adjacency ratio %.2fx, "
+      "resident %.1f -> %.1f MiB, %zu workers\n",
+      comp.AdjacencyCompressionRatio(),
+      static_cast<double>(g.MemoryBytes()) / (1024.0 * 1024.0),
+      static_cast<double>(comp.MemoryBytes()) / (1024.0 * 1024.0), threads);
+
+  struct KernelSpec {
+    const char* name;
+    RunResult (*csr)(const CsrGraph&, const AlgoParams&,
+                     const SubsetKernelOptions&);
+    RunResult (*view)(const GraphView&, const AlgoParams&,
+                      const SubsetKernelOptions&);
+  };
+  const KernelSpec kernels[] = {{"PR", &SubsetPageRank, &SubsetPageRank},
+                                {"WCC", &SubsetWcc, &SubsetWcc},
+                                {"SSSP", &SubsetSssp, &SubsetSssp}};
+  GraphView view(comp);
+  const std::string dataset =
+      "S7-Std/compressed/t" + std::to_string(threads);
+  int rc = 0;
+  for (const KernelSpec& k : kernels) {
+    double raw_s = 0, comp_s = 0;
+    RunResult ref = TimedBest(
+        [&] { return k.csr(g, params, options); }, trials, &raw_s);
+    RunResult run = TimedBest(
+        [&] { return k.view(view, params, options); }, trials, &comp_s);
+    const bool identical = ref.output.doubles == run.output.doubles &&
+                           ref.output.ints == run.output.ints;
+    std::printf("  %-4s csr=%.3fs compressed=%.3fs (%.2fx) %s\n", k.name,
+                raw_s, comp_s, raw_s > 0 ? comp_s / raw_s : 0,
+                identical ? "identical" : "DIFFERS");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s over CompressedCsr differs from the CSR run\n",
+                   k.name);
+      rc = 1;
+    }
+    RecordSweepPoint(k.name, dataset, comp_s, std::move(run), g.num_arcs());
+  }
+  return rc;
+}
+
 }  // namespace
 }  // namespace gab
 
@@ -454,6 +524,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   int rc = gab::RunThreadSweep();
   rc |= gab::RunGapKernelSweep();
+  rc |= gab::RunCompressedSweep();
   if (!gab::bench::ReportSink::Global().Flush()) rc = 1;
   return rc;
 }

@@ -300,6 +300,10 @@ VertexSubset VertexSubsetEngine::EdgeMapPush(const VertexSubset& frontier,
   if (view_.is_ooc()) {
     return EdgeMapPushT(frontier, f, OocCursorProvider{view_.cache()});
   }
+  if (view_.is_compressed()) {
+    return EdgeMapPushT(frontier, f,
+                        CompressedCursorProvider{view_.compressed()});
+  }
   return EdgeMapPushT(frontier, f, CsrCursorProvider{&view_.csr()});
 }
 
@@ -312,6 +316,13 @@ VertexSubset VertexSubsetEngine::EdgeMapPull(const VertexSubset& frontier,
                ? EdgeMapPullT<OocCursorProvider, true>(frontier, f, provider)
                : EdgeMapPullT<OocCursorProvider, false>(frontier, f, provider);
   }
+  if (view_.is_compressed()) {
+    CompressedCursorProvider provider{view_.compressed()};
+    return all_active ? EdgeMapPullT<CompressedCursorProvider, true>(
+                            frontier, f, provider)
+                      : EdgeMapPullT<CompressedCursorProvider, false>(
+                            frontier, f, provider);
+  }
   CsrCursorProvider provider{&view_.csr()};
   return all_active
              ? EdgeMapPullT<CsrCursorProvider, true>(frontier, f, provider)
@@ -322,6 +333,10 @@ VertexSubset VertexSubsetEngine::EdgeMapPushRelaxed(
     const VertexSubset& frontier, const Functors& f) {
   if (view_.is_ooc()) {
     return EdgeMapPushRelaxedT(frontier, f, OocCursorProvider{view_.cache()});
+  }
+  if (view_.is_compressed()) {
+    return EdgeMapPushRelaxedT(frontier, f,
+                               CompressedCursorProvider{view_.compressed()});
   }
   return EdgeMapPushRelaxedT(frontier, f, CsrCursorProvider{&view_.csr()});
 }
@@ -334,6 +349,13 @@ VertexSubset VertexSubsetEngine::EdgeMapPullRelaxed(
     return all_active ? EdgeMapPullRelaxedT<OocCursorProvider, true>(
                             frontier, f, provider)
                       : EdgeMapPullRelaxedT<OocCursorProvider, false>(
+                            frontier, f, provider);
+  }
+  if (view_.is_compressed()) {
+    CompressedCursorProvider provider{view_.compressed()};
+    return all_active ? EdgeMapPullRelaxedT<CompressedCursorProvider, true>(
+                            frontier, f, provider)
+                      : EdgeMapPullRelaxedT<CompressedCursorProvider, false>(
                             frontier, f, provider);
   }
   CsrCursorProvider provider{&view_.csr()};

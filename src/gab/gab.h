@@ -23,7 +23,9 @@
 #include "gen/fft_dg.h"                  // IWYU pragma: export
 #include "gen/ldbc_dg.h"                 // IWYU pragma: export
 #include "gen/weights.h"                 // IWYU pragma: export
+#include "graph/adjacency_codec.h"       // IWYU pragma: export
 #include "graph/builder.h"               // IWYU pragma: export
+#include "graph/compressed_csr.h"        // IWYU pragma: export
 #include "graph/csr_graph.h"             // IWYU pragma: export
 #include "graph/graph_view.h"            // IWYU pragma: export
 #include "graph/io.h"                    // IWYU pragma: export

@@ -1,0 +1,94 @@
+#include "graph/adjacency_codec.h"
+
+#include "util/logging.h"
+
+namespace gab {
+
+size_t EncodedAdjacencySize(VertexId v, const VertexId* neighbors,
+                            size_t degree) {
+  if (degree == 0) return 0;
+  const int64_t first_delta =
+      static_cast<int64_t>(neighbors[0]) - static_cast<int64_t>(v);
+  size_t bytes = VarintSize(ZigzagEncode(first_delta));
+  for (size_t i = 1; i < degree; ++i) {
+    bytes += VarintSize(static_cast<uint64_t>(neighbors[i]) - neighbors[i - 1]);
+  }
+  return bytes;
+}
+
+uint8_t* EncodeAdjacency(VertexId v, const VertexId* neighbors, size_t degree,
+                         uint8_t* out) {
+  if (degree == 0) return out;
+  const int64_t first_delta =
+      static_cast<int64_t>(neighbors[0]) - static_cast<int64_t>(v);
+  out = EncodeVarint(out, ZigzagEncode(first_delta));
+  for (size_t i = 1; i < degree; ++i) {
+    GAB_DCHECK(neighbors[i] >= neighbors[i - 1]);
+    out = EncodeVarint(out, static_cast<uint64_t>(neighbors[i]) -
+                                neighbors[i - 1]);
+  }
+  return out;
+}
+
+void DecodeAdjacency(VertexId v, size_t degree, const uint8_t* bytes,
+                     VertexId* out) {
+  if (degree == 0) return;
+  uint64_t raw;
+  const uint8_t* p = DecodeVarint(bytes, &raw);
+  uint64_t cur = static_cast<uint64_t>(static_cast<int64_t>(v) +
+                                       ZigzagDecode(raw));
+  out[0] = static_cast<VertexId>(cur);
+  for (size_t i = 1; i < degree; ++i) {
+    p = DecodeVarint(p, &raw);
+    cur += raw;
+    out[i] = static_cast<VertexId>(cur);
+  }
+}
+
+Status DecodeAdjacencyChecked(VertexId v, size_t degree, VertexId num_vertices,
+                              const uint8_t* bytes, size_t len, VertexId* out) {
+  const uint8_t* p = bytes;
+  const uint8_t* end = bytes + len;
+  if (degree == 0) {
+    if (len != 0) {
+      return Status::InvalidArgument(
+          "compressed run: empty adjacency with nonzero byte length");
+    }
+    return Status::Ok();
+  }
+  uint64_t raw;
+  p = DecodeVarintChecked(p, end, &raw);
+  if (p == nullptr) {
+    return Status::InvalidArgument(
+        "compressed run: truncated varint in first-neighbor delta");
+  }
+  const int64_t first =
+      static_cast<int64_t>(v) + ZigzagDecode(raw);
+  if (first < 0 || first >= static_cast<int64_t>(num_vertices)) {
+    return Status::InvalidArgument(
+        "compressed run: first-neighbor delta lands outside vertex range");
+  }
+  uint64_t cur = static_cast<uint64_t>(first);
+  if (out != nullptr) out[0] = static_cast<VertexId>(cur);
+  for (size_t i = 1; i < degree; ++i) {
+    p = DecodeVarintChecked(p, end, &raw);
+    if (p == nullptr) {
+      return Status::InvalidArgument(
+          "compressed run: truncated varint in neighbor gap");
+    }
+    cur += raw;
+    if (cur >= num_vertices) {
+      return Status::InvalidArgument(
+          "compressed run: gap overflows vertex range");
+    }
+    if (out != nullptr) out[i] = static_cast<VertexId>(cur);
+  }
+  if (p != end) {
+    return Status::InvalidArgument(
+        "compressed run: decoded neighbor count disagrees with declared "
+        "degree (trailing bytes in run)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace gab

@@ -1,0 +1,127 @@
+#ifndef GAB_GRAPH_ADJACENCY_CODEC_H_
+#define GAB_GRAPH_ADJACENCY_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace gab {
+
+/// Delta + varint codec for sorted adjacency lists — the shared encoding
+/// behind both compressed backings (the in-memory CompressedCsr and the
+/// GABOOC02 shard payload; DESIGN.md §14).
+///
+/// A vertex v's run encodes its ascending neighbor list as
+///   zigzag(first_neighbor - v)  followed by  gap_i = nbr[i] - nbr[i-1]
+/// each as an LEB128 varint (7 value bits per byte, high bit = continue).
+/// The first delta is signed (a neighbor may precede v); gaps are
+/// non-negative (lists are sorted; duplicate arcs give gap 0). On the
+/// paper's power-law graphs gaps are small for hubs and the sign-folded
+/// first delta is small for everyone, which is where the 2-4× adjacency
+/// compression comes from.
+///
+/// Two decoders: the Status-returning checked form validates every byte
+/// (truncated varint, neighbor outside [0, n), run length disagreeing with
+/// the declared degree) and is what shard fills and file validation use;
+/// the unchecked form is the cursor hot path and must only ever see
+/// payloads the checked form already accepted.
+
+// ------------------------------------------------------------- varints ----
+
+/// Bytes EncodeVarint will write for `value` (1..10).
+inline size_t VarintSize(uint64_t value) {
+  size_t bytes = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+/// Writes `value` at `out`, returning the first byte past the encoding.
+inline uint8_t* EncodeVarint(uint8_t* out, uint64_t value) {
+  while (value >= 0x80) {
+    *out++ = static_cast<uint8_t>(value) | 0x80;
+    value >>= 7;
+  }
+  *out++ = static_cast<uint8_t>(value);
+  return out;
+}
+
+/// Unchecked decode (pre-validated data only): returns the first byte past
+/// the varint, storing the value in *value.
+inline const uint8_t* DecodeVarint(const uint8_t* p, uint64_t* value) {
+  uint64_t b = *p++;
+  if (b < 0x80) {
+    *value = b;
+    return p;
+  }
+  uint64_t v = b & 0x7f;
+  unsigned shift = 7;
+  do {
+    b = *p++;
+    v |= (b & 0x7f) << shift;
+    shift += 7;
+  } while (b & 0x80);
+  *value = v;
+  return p;
+}
+
+/// Checked decode: never reads at or past `end`; rejects truncation and
+/// values that overflow 64 bits. Returns nullptr on malformed input.
+inline const uint8_t* DecodeVarintChecked(const uint8_t* p, const uint8_t* end,
+                                          uint64_t* value) {
+  uint64_t v = 0;
+  unsigned shift = 0;
+  while (p < end) {
+    const uint64_t b = *p++;
+    if (shift == 63 && b > 1) return nullptr;  // overflows 64 bits
+    v |= (b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *value = v;
+      return p;
+    }
+    shift += 7;
+    if (shift > 63) return nullptr;
+  }
+  return nullptr;  // truncated: continuation bit set on the last byte
+}
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+// ---------------------------------------------------- adjacency runs ----
+
+/// Exact encoded size of v's run (0 for an empty list). `neighbors` must
+/// be sorted ascending (the CsrGraph/GraphBuilder invariant).
+size_t EncodedAdjacencySize(VertexId v, const VertexId* neighbors,
+                            size_t degree);
+
+/// Encodes v's run at `out` (caller sizes the buffer via
+/// EncodedAdjacencySize); returns the first byte past the run.
+uint8_t* EncodeAdjacency(VertexId v, const VertexId* neighbors, size_t degree,
+                         uint8_t* out);
+
+/// Hot-path decode of a validated run: exactly `degree` ids into `out`.
+void DecodeAdjacency(VertexId v, size_t degree, const uint8_t* bytes,
+                     VertexId* out);
+
+/// Validating decode: the run must occupy exactly `len` bytes, produce
+/// exactly `degree` neighbors, and every neighbor must land in
+/// [0, num_vertices). `out` may be null to validate without materializing
+/// (the GAB_OOC_DECODE=cursor shard fill). Any violation — truncated
+/// varint, gap overflowing the vertex range, byte count disagreeing with
+/// the declared degree — comes back as InvalidArgument, never UB.
+Status DecodeAdjacencyChecked(VertexId v, size_t degree, VertexId num_vertices,
+                              const uint8_t* bytes, size_t len, VertexId* out);
+
+}  // namespace gab
+
+#endif  // GAB_GRAPH_ADJACENCY_CODEC_H_

@@ -240,6 +240,16 @@ Status GraphBuilder::BuildChecked(EdgeList edges, const Options& options,
   return Status::Ok();
 }
 
+Status GraphBuilder::BuildCompressed(EdgeList edges, const Options& options,
+                                     CompressedCsr* out) {
+  if (!options.undirected) {
+    return Status::Unsupported(
+        "BuildCompressed stores undirected graphs only");
+  }
+  CsrGraph g = Build(std::move(edges), options);
+  return CompressedCsr::FromCsr(g, out);
+}
+
 CsrGraph GraphBuilder::GenerateToCsr(VertexId num_vertices, size_t num_chunks,
                                      const ChunkGeneratorFn& generate) {
   GAB_SPAN("build.fused_csr");

@@ -3,6 +3,7 @@
 
 #include <functional>
 
+#include "graph/compressed_csr.h"
 #include "graph/csr_graph.h"
 #include "graph/edge_list.h"
 #include "graph/relabel.h"
@@ -58,6 +59,15 @@ class GraphBuilder {
   /// arrays. Build() itself assumes generator-produced (trusted) input.
   static Status BuildChecked(EdgeList edges, const Options& options,
                              CsrGraph* out);
+
+  /// Builds the delta+varint compressed resident backing (DESIGN.md §14):
+  /// assembles the CSR exactly as Build() — including any relabeling, which
+  /// runs *before* encoding and tightens the deltas — then re-encodes the
+  /// sorted adjacency through CompressedCsr::FromCsr. Undirected only;
+  /// directed input returns kUnsupported. Kernel results over the produced
+  /// backing are bit-identical to Build()'s.
+  static Status BuildCompressed(EdgeList edges, const Options& options,
+                                CompressedCsr* out);
 
   /// Convenience: builds an undirected weighted/unweighted graph from raw
   /// (src, dst) pairs. Used heavily by tests.

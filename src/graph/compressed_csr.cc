@@ -1,0 +1,81 @@
+#include "graph/compressed_csr.h"
+
+#include <utility>
+
+#include "graph/adjacency_codec.h"
+#include "obs/telemetry.h"
+#include "util/logging.h"
+#include "util/threading.h"
+
+namespace gab {
+
+Status CompressedCsr::FromCsr(const CsrGraph& g, CompressedCsr* out) {
+  GAB_SPAN("graph.compress");
+  if (!g.is_undirected()) {
+    return Status::Unsupported(
+        "CompressedCsr stores undirected graphs only (the packed arcs serve "
+        "both directions)");
+  }
+  CompressedCsr c;
+  c.num_vertices_ = g.num_vertices();
+  c.num_edges_ = g.num_edges();
+  c.num_arcs_ = g.num_arcs();
+  c.offsets_ = g.out_offsets();
+  const size_t n = c.num_vertices_;
+  const auto& neighbors = g.out_neighbors();
+
+  // Pass 1: per-vertex encoded sizes (plus the max degree the cursor
+  // scratch buffers size themselves to), then a serial exclusive scan.
+  c.byte_offsets_.assign(n + 1, 0);
+  std::vector<size_t> chunk_max_degree((n + 4095) / 4096, 0);
+  ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+    size_t max_deg = 0;
+    for (size_t v = begin; v < end; ++v) {
+      const size_t a0 = static_cast<size_t>(c.offsets_[v]);
+      const size_t degree = static_cast<size_t>(c.offsets_[v + 1]) - a0;
+      if (degree > max_deg) max_deg = degree;
+      c.byte_offsets_[v + 1] = EncodedAdjacencySize(
+          static_cast<VertexId>(v), neighbors.data() + a0, degree);
+    }
+    chunk_max_degree[begin / 4096] = max_deg;
+  });
+  for (size_t d : chunk_max_degree) {
+    if (d > c.max_degree_) c.max_degree_ = d;
+  }
+  for (size_t v = 0; v < n; ++v) c.byte_offsets_[v + 1] += c.byte_offsets_[v];
+
+  // Pass 2: encode every run into its pre-computed slot.
+  c.packed_.resize(c.byte_offsets_[n]);
+  ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      const size_t a0 = static_cast<size_t>(c.offsets_[v]);
+      const size_t degree = static_cast<size_t>(c.offsets_[v + 1]) - a0;
+      uint8_t* dst =
+          EncodeAdjacency(static_cast<VertexId>(v), neighbors.data() + a0,
+                          degree, c.packed_.data() + c.byte_offsets_[v]);
+      GAB_DCHECK(dst == c.packed_.data() + c.byte_offsets_[v + 1]);
+      (void)dst;
+    }
+  });
+  c.weights_ = g.out_weights();
+
+  GAB_GAUGE_SET("graph.compress.ratio", c.AdjacencyCompressionRatio());
+  GAB_COUNT("graph.compress.packed_bytes", c.packed_.size());
+  *out = std::move(c);
+  return Status::Ok();
+}
+
+size_t CompressedCsr::DecodeOutNeighbors(VertexId v, VertexId* out) const {
+  const size_t degree =
+      static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+  DecodeAdjacency(v, degree, packed_.data() + byte_offsets_[v], out);
+  return degree;
+}
+
+size_t CompressedCsr::MemoryBytes() const {
+  return offsets_.size() * sizeof(EdgeId) +
+         byte_offsets_.size() * sizeof(uint64_t) + packed_.size() +
+         weights_.size() * sizeof(Weight);
+}
+
+}  // namespace gab

@@ -1,0 +1,100 @@
+#ifndef GAB_GRAPH_COMPRESSED_CSR_H_
+#define GAB_GRAPH_COMPRESSED_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace gab {
+
+/// In-memory compressed CSR: the same delta+varint adjacency encoding as
+/// GABOOC02 shards (graph/adjacency_codec, DESIGN.md §14), fully resident.
+/// Neighbor lists live in one packed byte stream indexed by a per-vertex
+/// byte-offset array; weights stay raw (i.i.d. draws do not
+/// delta-compress) and the EdgeId offsets array stays resident, so scalar
+/// queries (OutDegree) cost the same as on CsrGraph. Adjacency reads go
+/// through DecodeOutNeighbors into a caller-owned scratch buffer — the
+/// CompressedCursor (graph/graph_view.h) keeps one per worker, so the
+/// vertex-subset engine and the GraphView kernels (PR/WCC/BFS/SSSP) run
+/// unmodified and bit-identical to the CsrGraph path.
+///
+/// The trade: ~2-4x less adjacency memory traffic on the paper's
+/// power-law graphs for one varint decode per edge read. On
+/// bandwidth-bound traversals that is close to free; bench_micro_engines
+/// reports the measured ratio and slowdown.
+class CompressedCsr {
+ public:
+  CompressedCsr() = default;
+
+  CompressedCsr(CompressedCsr&&) = default;
+  CompressedCsr& operator=(CompressedCsr&&) = default;
+  CompressedCsr(const CompressedCsr&) = delete;
+  CompressedCsr& operator=(const CompressedCsr&) = delete;
+
+  /// Encodes `g`'s adjacency (two parallel passes: size scan, then encode
+  /// into the exactly-sized stream). Undirected graphs only — the packed
+  /// arcs serve both directions, as in OocCsr; directed graphs are
+  /// rejected with kUnsupported.
+  static Status FromCsr(const CsrGraph& g, CompressedCsr* out);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return num_edges_; }
+  EdgeId num_arcs() const { return num_arcs_; }
+  bool is_undirected() const { return true; }
+  bool has_weights() const { return !weights_.empty(); }
+
+  size_t OutDegree(VertexId v) const {
+    return static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  const std::vector<EdgeId>& out_offsets() const { return offsets_; }
+
+  /// Decodes v's neighbor list into `out` (caller guarantees room for
+  /// OutDegree(v) ids — MaxDegree() bounds it) and returns the degree.
+  /// The stream was produced by this class's encoder, so the unchecked
+  /// hot-path decoder is safe.
+  size_t DecodeOutNeighbors(VertexId v, VertexId* out) const;
+
+  /// Weights are stored raw — a direct span, no scratch needed.
+  std::span<const Weight> OutWeights(VertexId v) const {
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  size_t MaxDegree() const { return max_degree_; }
+
+  /// Resident bytes of all arrays (offsets + byte offsets + stream +
+  /// weights) — the number to compare against CsrGraph::MemoryBytes().
+  size_t MemoryBytes() const;
+  /// Adjacency-only split: raw u32 neighbor bytes vs packed stream + its
+  /// byte-offset index — what the codec is measured on (weights ride
+  /// along incompressible in both representations).
+  uint64_t AdjacencyRawBytes() const {
+    return num_arcs_ * sizeof(VertexId);
+  }
+  uint64_t AdjacencyPackedBytes() const {
+    return packed_.size() + byte_offsets_.size() * sizeof(uint64_t);
+  }
+  double AdjacencyCompressionRatio() const {
+    const uint64_t packed = AdjacencyPackedBytes();
+    if (packed == 0) return 1.0;
+    return static_cast<double>(AdjacencyRawBytes()) /
+           static_cast<double>(packed);
+  }
+
+ private:
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
+  EdgeId num_arcs_ = 0;
+  size_t max_degree_ = 0;
+  std::vector<EdgeId> offsets_;         // n+1, arc offsets (as in CsrGraph)
+  std::vector<uint64_t> byte_offsets_;  // n+1, into packed_
+  std::vector<uint8_t> packed_;         // concatenated varint runs
+  std::vector<Weight> weights_;         // raw, parallel to decoded arcs
+};
+
+}  // namespace gab
+
+#endif  // GAB_GRAPH_COMPRESSED_CSR_H_

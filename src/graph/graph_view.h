@@ -1,21 +1,27 @@
 #ifndef GAB_GRAPH_GRAPH_VIEW_H_
 #define GAB_GRAPH_GRAPH_VIEW_H_
 
+#include <cstring>
 #include <span>
+#include <vector>
 
+#include "graph/adjacency_codec.h"
+#include "graph/compressed_csr.h"
 #include "graph/csr_graph.h"
 #include "graph/ooc_csr.h"
 #include "graph/shard_cache.h"
+#include "obs/telemetry.h"
 #include "util/logging.h"
 
 namespace gab {
 
-/// Uniform, cheap-to-copy handle over the two graph backings an engine can
-/// run on: the fully resident CsrGraph (the zero-overhead default) or an
-/// OocCsr behind a ShardCache (the out-of-core path). Scalar queries —
-/// counts, flags, OutDegree — are branch-free on both backings because
-/// both keep the offsets array resident; adjacency access goes through a
-/// backing-specific *cursor* (below) so engine hot loops compile per
+/// Uniform, cheap-to-copy handle over the graph backings an engine can run
+/// on: the fully resident CsrGraph (the zero-overhead default), the
+/// resident delta+varint CompressedCsr, or an OocCsr behind a ShardCache
+/// (the out-of-core path, raw or compressed shards). Scalar queries —
+/// counts, flags, OutDegree — are branch-free on every backing because all
+/// of them keep the offsets array resident; adjacency access goes through
+/// a backing-specific *cursor* (below) so engine hot loops compile per
 /// backing with no per-edge virtual dispatch.
 class GraphView {
  public:
@@ -27,6 +33,16 @@ class GraphView {
         undirected_(g.is_undirected()),
         weighted_(g.has_weights()),
         csr_(&g) {}
+
+  /// Resident compressed view (undirected by construction).
+  explicit GraphView(const CompressedCsr& g)
+      : offsets_(g.out_offsets().data()),
+        num_vertices_(g.num_vertices()),
+        num_edges_(g.num_edges()),
+        num_arcs_(g.num_arcs()),
+        undirected_(true),
+        weighted_(g.has_weights()),
+        comp_(&g) {}
 
   /// OOC view; `cache` must wrap `g` and outlive every engine using the
   /// view. Undirected graphs only (the one OocCsr stores).
@@ -57,24 +73,28 @@ class GraphView {
   }
 
   bool is_ooc() const { return ooc_ != nullptr; }
-  /// The resident CSR; check-fails on an OOC view (callers that need raw
-  /// CSR access are in-memory-only by construction).
+  bool is_compressed() const { return comp_ != nullptr; }
+  /// The resident CSR; check-fails on an OOC or compressed view (callers
+  /// that need raw CSR access are in-memory-uncompressed-only by
+  /// construction).
   const CsrGraph& csr() const {
     GAB_CHECK(csr_ != nullptr);
     return *csr_;
   }
   const CsrGraph* csr_or_null() const { return csr_; }
+  const CompressedCsr* compressed() const { return comp_; }
   const OocCsr* ooc() const { return ooc_; }
   ShardCache* cache() const { return cache_; }
 
  private:
-  const EdgeId* offsets_;  // resident on both backings
+  const EdgeId* offsets_;  // resident on every backing
   VertexId num_vertices_;
   EdgeId num_edges_;
   EdgeId num_arcs_;
   bool undirected_;
   bool weighted_;
   const CsrGraph* csr_ = nullptr;
+  const CompressedCsr* comp_ = nullptr;
   const OocCsr* ooc_ = nullptr;
   ShardCache* cache_ = nullptr;
 };
@@ -97,12 +117,48 @@ class CsrCursor {
   const CsrGraph* g_;
 };
 
+/// Adjacency cursor over the resident CompressedCsr: decodes one vertex
+/// run at a time into a private scratch buffer (sized once to the graph's
+/// max degree), memoizing the last decoded vertex — pull loops read
+/// OutNeighbors then OutWeights for the same vertex and decode once.
+/// Weights are stored raw, so they pass through as a direct span. One
+/// cursor per worker task, exactly like OocCursor.
+class CompressedCursor {
+ public:
+  explicit CompressedCursor(const CompressedCsr& g)
+      : g_(&g), offsets_(g.out_offsets().data()), scratch_(g.MaxDegree()) {}
+
+  std::span<const VertexId> OutNeighbors(VertexId v) {
+    if (decoded_ != v) {
+      g_->DecodeOutNeighbors(v, scratch_.data());
+      decoded_ = v;
+    }
+    return {scratch_.data(),
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+  std::span<const Weight> OutWeights(VertexId v) { return g_->OutWeights(v); }
+  // CompressedCsr graphs are undirected: stored arcs serve both directions.
+  std::span<const VertexId> InNeighbors(VertexId v) { return OutNeighbors(v); }
+  std::span<const Weight> InWeights(VertexId v) { return OutWeights(v); }
+
+ private:
+  const CompressedCsr* g_;
+  const EdgeId* offsets_;
+  std::vector<VertexId> scratch_;
+  VertexId decoded_ = kInvalidVertex;
+};
+
 /// Adjacency cursor over an OOC graph: holds one pinned shard and swaps it
 /// when the queried vertex leaves the shard's range. Engine loops walk
 /// vertices in ascending order within a chunk/partition, so the common
 /// case is a two-compare range check on the pinned shard; a swap costs one
-/// cache Acquire (hit or demand IO). One cursor per worker task — cursors
-/// are not thread-safe, handles are.
+/// cache Acquire (hit or demand IO). On packed shards (GABOOC02 under
+/// GAB_OOC_DECODE=cursor) neighbor runs decode lazily into a per-cursor
+/// scratch buffer — safe unchecked, because ReadShard already validated
+/// every byte at fill time — and weights memcpy out of the unaligned tail.
+/// Decode telemetry aggregates per cursor and flushes on shard swap /
+/// destruction, keeping the per-vertex path free of counter traffic. One
+/// cursor per worker task — cursors are not thread-safe, handles are.
 class OocCursor {
  public:
   explicit OocCursor(ShardCache* cache)
@@ -110,13 +166,63 @@ class OocCursor {
         g_(&cache->graph()),
         offsets_(g_->out_offsets().data()) {}
 
+  OocCursor(OocCursor&& other) noexcept
+      : cache_(other.cache_),
+        g_(other.g_),
+        offsets_(other.offsets_),
+        handle_(std::move(other.handle_)),
+        scratch_(std::move(other.scratch_)),
+        scratch_w_(std::move(other.scratch_w_)),
+        decoded_(other.decoded_),
+        decoded_w_(other.decoded_w_),
+        pending_runs_(other.pending_runs_),
+        pending_arcs_(other.pending_arcs_) {
+    other.pending_runs_ = 0;
+    other.pending_arcs_ = 0;
+    other.decoded_ = kInvalidVertex;
+    other.decoded_w_ = kInvalidVertex;
+  }
+  OocCursor& operator=(OocCursor&&) = delete;
+  OocCursor(const OocCursor&) = delete;
+  OocCursor& operator=(const OocCursor&) = delete;
+
+  ~OocCursor() { FlushDecodeCounts(); }
+
   std::span<const VertexId> OutNeighbors(VertexId v) {
     const OocCsr::Shard& s = ShardFor(v);
+    if (s.is_packed()) {
+      const size_t degree =
+          static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+      if (decoded_ != v) {
+        const uint32_t* run_table = s.RunTable();
+        const size_t local = static_cast<size_t>(v) - s.first_vertex;
+        DecodeAdjacency(v, degree, s.Stream() + run_table[local],
+                        scratch_.data());
+        decoded_ = v;
+        ++pending_runs_;
+        pending_arcs_ += degree;
+      }
+      return {scratch_.data(), degree};
+    }
     return {s.neighbors.data() + (offsets_[v] - s.first_arc),
             s.neighbors.data() + (offsets_[v + 1] - s.first_arc)};
   }
   std::span<const Weight> OutWeights(VertexId v) {
     const OocCsr::Shard& s = ShardFor(v);
+    if (s.is_packed()) {
+      const size_t degree =
+          static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+      if (decoded_w_ != v) {
+        // The weights region follows the variable-length varint stream,
+        // so it is unaligned — copy out, never cast.
+        std::memcpy(scratch_w_.data(),
+                    s.PackedWeights() +
+                        (offsets_[v] - s.first_arc) * sizeof(Weight),
+                    degree * sizeof(Weight));
+        decoded_w_ = v;
+      }
+      return {scratch_w_.data(), degree};
+    }
     return {s.weights.data() + (offsets_[v] - s.first_arc),
             s.weights.data() + (offsets_[v + 1] - s.first_arc)};
   }
@@ -129,16 +235,49 @@ class OocCursor {
   const OocCsr::Shard& ShardFor(VertexId v) {
     const OocCsr::Shard* s = handle_.get();
     if (s == nullptr || v < s->first_vertex || v >= s->end_vertex) {
+      FlushDecodeCounts();
       handle_ = cache_->AcquireOrDie(g_->ShardOf(v));
       s = handle_.get();
+      decoded_ = kInvalidVertex;
+      decoded_w_ = kInvalidVertex;
+      if (s->is_packed()) EnsureScratch(*s);
     }
     return *s;
+  }
+
+  /// Sizes the scratch buffers to the largest degree in the pinned shard
+  /// (one pass over the resident offsets, no payload touch).
+  void EnsureScratch(const OocCsr::Shard& s) {
+    size_t max_degree = 0;
+    for (VertexId v = s.first_vertex; v < s.end_vertex; ++v) {
+      const size_t degree =
+          static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+      if (degree > max_degree) max_degree = degree;
+    }
+    if (scratch_.size() < max_degree) scratch_.resize(max_degree);
+    if (g_->has_weights() && scratch_w_.size() < max_degree) {
+      scratch_w_.resize(max_degree);
+    }
+  }
+
+  void FlushDecodeCounts() {
+    if (pending_runs_ == 0) return;
+    GAB_COUNT("ooc.decode.cursor_runs", pending_runs_);
+    GAB_COUNT("ooc.decode.cursor_arcs", pending_arcs_);
+    pending_runs_ = 0;
+    pending_arcs_ = 0;
   }
 
   ShardCache* cache_;
   const OocCsr* g_;
   const EdgeId* offsets_;
   ShardCache::Handle handle_;
+  std::vector<VertexId> scratch_;
+  std::vector<Weight> scratch_w_;
+  VertexId decoded_ = kInvalidVertex;
+  VertexId decoded_w_ = kInvalidVertex;
+  uint64_t pending_runs_ = 0;
+  uint64_t pending_arcs_ = 0;
 };
 
 /// Cursor factories the engine templates over (one instantiation per
@@ -147,6 +286,12 @@ struct CsrCursorProvider {
   const CsrGraph* g;
   using Cursor = CsrCursor;
   Cursor MakeCursor() const { return CsrCursor(*g); }
+};
+
+struct CompressedCursorProvider {
+  const CompressedCsr* g;
+  using Cursor = CompressedCursor;
+  Cursor MakeCursor() const { return CompressedCursor(*g); }
 };
 
 struct OocCursorProvider {

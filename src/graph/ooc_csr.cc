@@ -12,19 +12,26 @@
 #include <memory>
 #include <utility>
 
+#include "graph/adjacency_codec.h"
 #include "obs/telemetry.h"
 #include "util/logging.h"
+#include "util/threading.h"
 
 namespace gab {
 
 namespace {
 
-constexpr uint64_t kOocMagic = 0x4741424F4F433031ULL;  // "GABOOC01"
+constexpr uint64_t kOocMagic01 = 0x4741424F4F433031ULL;  // "GABOOC01"
+constexpr uint64_t kOocMagic02 = 0x4741424F4F433032ULL;  // "GABOOC02"
 constexpr uint64_t kFlagUndirected = 1u << 0;
 constexpr uint64_t kFlagWeighted = 1u << 1;
 constexpr size_t kHeaderWords = 8;
 constexpr size_t kHeaderBytes = kHeaderWords * sizeof(uint64_t);
 constexpr size_t kShardMetaWords = 4;
+/// A 32-bit neighbor id (or its zigzagged first delta) never needs more
+/// than 5 LEB128 bytes — the per-shard upper bound Open validates
+/// compressed payload sizes against.
+constexpr uint64_t kMaxVarintBytesPerArc = 5;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -66,6 +73,13 @@ uint64_t DefaultShardTargetBytes() {
   return uint64_t{1} << 20;  // 1 MiB
 }
 
+OocDecodeMode DefaultOocDecodeMode() {
+  if (const char* env = std::getenv("GAB_OOC_DECODE")) {
+    if (std::strcmp(env, "cursor") == 0) return OocDecodeMode::kCursorDecode;
+  }
+  return OocDecodeMode::kCacheDecode;
+}
+
 OocCsr::~OocCsr() {
   if (fd_ >= 0) ::close(fd_);
 }
@@ -83,6 +97,8 @@ OocCsr& OocCsr::operator=(OocCsr&& other) noexcept {
   num_arcs_ = other.num_arcs_;
   undirected_ = other.undirected_;
   weighted_ = other.weighted_;
+  compressed_ = other.compressed_;
+  decode_mode_ = other.decode_mode_;
   offsets_ = std::move(other.offsets_);
   shards_ = std::move(other.shards_);
   shard_first_ = std::move(other.shard_first_);
@@ -106,7 +122,17 @@ uint32_t OocCsr::ShardOf(VertexId v) const {
 
 size_t OocCsr::ShardResidentBytes(uint32_t shard_id) const {
   const ShardMeta& meta = shards_[shard_id];
-  return sizeof(Shard) + static_cast<size_t>(meta.payload_bytes);
+  if (!compressed_ || decode_mode_ == OocDecodeMode::kCursorDecode) {
+    // GABOOC01 payloads are resident verbatim; GABOOC02 under cursor
+    // decode stays compressed in the cache — the budget multiplier.
+    return sizeof(Shard) + static_cast<size_t>(meta.payload_bytes);
+  }
+  // GABOOC02 under cache decode: the cache holds the decoded arrays.
+  const uint64_t shard_arcs =
+      offsets_[meta.end_vertex] - offsets_[meta.first_vertex];
+  const uint64_t arc_bytes =
+      sizeof(VertexId) + (weighted_ ? sizeof(Weight) : 0u);
+  return sizeof(Shard) + static_cast<size_t>(shard_arcs * arc_bytes);
 }
 
 size_t OocCsr::InMemoryEquivalentBytes() const {
@@ -114,6 +140,29 @@ size_t OocCsr::InMemoryEquivalentBytes() const {
                  static_cast<size_t>(num_arcs_) * sizeof(VertexId);
   if (weighted_) bytes += static_cast<size_t>(num_arcs_) * sizeof(Weight);
   return bytes;
+}
+
+uint64_t OocCsr::PayloadFileBytes() const {
+  uint64_t total = 0;
+  for (const ShardMeta& meta : shards_) total += meta.payload_bytes;
+  return total;
+}
+
+uint64_t OocCsr::RawPayloadBytes() const {
+  return num_arcs_ * (sizeof(VertexId) + (weighted_ ? sizeof(Weight) : 0u));
+}
+
+uint64_t OocCsr::AdjacencyFileBytes() const {
+  const uint64_t weight_bytes =
+      weighted_ ? num_arcs_ * uint64_t{sizeof(Weight)} : 0;
+  return PayloadFileBytes() - weight_bytes;
+}
+
+double OocCsr::AdjacencyCompressionRatio() const {
+  const uint64_t file_bytes = AdjacencyFileBytes();
+  if (file_bytes == 0) return 1.0;
+  return static_cast<double>(AdjacencyRawBytes()) /
+         static_cast<double>(file_bytes);
 }
 
 Status OocCsr::Open(const std::string& path, OocCsr* out) {
@@ -138,9 +187,12 @@ Status OocCsr::Open(const std::string& path, OocCsr* out) {
   uint64_t header[kHeaderWords];
   Status s = PreadExact(g.fd_, header, sizeof(header), 0, path);
   if (!s.ok()) return s;
-  if (header[0] != kOocMagic) {
+  if (header[0] == kOocMagic02) {
+    g.compressed_ = true;
+  } else if (header[0] != kOocMagic01) {
     return Status::InvalidArgument("bad magic in " + path);
   }
+  g.decode_mode_ = DefaultOocDecodeMode();
   const uint64_t n = header[1];
   const uint64_t m = header[2];
   const uint64_t arcs = header[3];
@@ -167,7 +219,10 @@ Status OocCsr::Open(const std::string& path, OocCsr* out) {
 
   // Validate the resident-index extent against the file size BEFORE
   // allocating it (same discipline as ReadEdgeListBinary: a corrupt header
-  // must not drive a huge resize or a short read).
+  // must not drive a huge resize or a short read). GABOOC01 payload bytes
+  // are an exact function of the header; GABOOC02 payloads are
+  // variable-length, so their sizes are bounds-checked per shard below
+  // and the total is pinned to the file size after the table walk.
   const uint64_t arc_bytes =
       sizeof(VertexId) + (g.weighted_ ? sizeof(Weight) : 0u);
   const uint64_t offsets_bytes = (n + 1) * sizeof(uint64_t);
@@ -180,14 +235,13 @@ Status OocCsr::Open(const std::string& path, OocCsr* out) {
                        (kShardMetaWords * sizeof(uint64_t)) ||
       arcs > std::numeric_limits<uint64_t>::max() / arc_bytes ||
       payload_base > file_size ||
-      file_size - payload_base != arcs * arc_bytes) {
+      (!g.compressed_ && file_size - payload_base != arcs * arc_bytes)) {
     return Status::InvalidArgument(
         "file size mismatch in " + path + ": header declares " +
         std::to_string(n) + " vertices, " + std::to_string(arcs) +
         (g.weighted_ ? " weighted" : " unweighted") + " arcs in " +
-        std::to_string(num_shards) + " shards (" +
-        std::to_string(payload_base + arcs * arc_bytes) +
-        " bytes), file has " + std::to_string(file_size) + " bytes");
+        std::to_string(num_shards) + " shards, file has " +
+        std::to_string(file_size) + " bytes");
   }
   if (num_shards == 0 && arcs != 0) {
     return Status::InvalidArgument("zero shards but " + std::to_string(arcs) +
@@ -224,17 +278,31 @@ Status OocCsr::Open(const std::string& path, OocCsr* out) {
     meta.end_vertex = static_cast<VertexId>(raw[i * kShardMetaWords + 1]);
     meta.file_offset = raw[i * kShardMetaWords + 2];
     meta.payload_bytes = raw[i * kShardMetaWords + 3];
+    const bool range_ok =
+        meta.end_vertex <= n && meta.first_vertex < meta.end_vertex;
     const uint64_t shard_arcs =
-        (meta.end_vertex <= n && meta.first_vertex < meta.end_vertex)
-            ? g.offsets_[meta.end_vertex] - g.offsets_[meta.first_vertex]
-            : 0;
+        range_ok ? g.offsets_[meta.end_vertex] - g.offsets_[meta.first_vertex]
+                 : 0;
     // Shards must tile [0, n) in order, payloads must tile the file tail
     // in order, and each payload's size must match the arcs its vertex
-    // range owns — anything else is corruption.
-    if (meta.first_vertex != expect_vertex ||
-        meta.end_vertex <= meta.first_vertex || meta.end_vertex > n ||
-        meta.file_offset != expect_offset ||
-        meta.payload_bytes != shard_arcs * arc_bytes) {
+    // range owns — exactly for raw payloads, within [run table + weights,
+    // + 5 bytes/arc] for varint payloads — anything else is corruption
+    // (including a GABOOC01 table pasted under a GABOOC02 magic).
+    bool payload_ok;
+    if (g.compressed_) {
+      const uint64_t nv = range_ok ? meta.end_vertex - meta.first_vertex : 0;
+      const uint64_t min_payload = (nv + 1) * sizeof(uint32_t) +
+                                   (g.weighted_ ? shard_arcs * sizeof(Weight)
+                                                : 0);
+      payload_ok = meta.payload_bytes <= file_size - expect_offset &&
+                   meta.payload_bytes >= min_payload &&
+                   meta.payload_bytes <=
+                       min_payload + shard_arcs * kMaxVarintBytesPerArc;
+    } else {
+      payload_ok = meta.payload_bytes == shard_arcs * arc_bytes;
+    }
+    if (meta.first_vertex != expect_vertex || !range_ok ||
+        meta.file_offset != expect_offset || !payload_ok) {
       return Status::InvalidArgument("corrupt shard table entry " +
                                      std::to_string(i) + " in " + path);
     }
@@ -248,6 +316,12 @@ Status OocCsr::Open(const std::string& path, OocCsr* out) {
                                    ") but the graph has " + std::to_string(n) +
                                    " in " + path);
   }
+  if (g.compressed_ && expect_offset != file_size) {
+    return Status::InvalidArgument(
+        "compressed shard payloads end at byte " +
+        std::to_string(expect_offset) + " but the file has " +
+        std::to_string(file_size) + " bytes: " + path);
+  }
   GAB_GAUGE_SET("ooc.shards", static_cast<double>(num_shards));
   *out = std::move(g);
   return Status::Ok();
@@ -257,15 +331,22 @@ Status OocCsr::ReadShard(uint32_t shard_id, Shard* out) const {
   GAB_CHECK(shard_id < shards_.size());
   GAB_SPAN("ooc.read_shard");
   const ShardMeta& meta = shards_[shard_id];
-  const EdgeId first_arc = offsets_[meta.first_vertex];
-  const size_t shard_arcs =
-      static_cast<size_t>(offsets_[meta.end_vertex] - first_arc);
   out->shard_id = shard_id;
   out->first_vertex = meta.first_vertex;
   out->end_vertex = meta.end_vertex;
-  out->first_arc = first_arc;
-  out->neighbors.resize(shard_arcs);
+  out->first_arc = offsets_[meta.first_vertex];
+  out->neighbors.clear();
   out->weights.clear();
+  out->packed.clear();
+  return compressed_ ? ReadShardPacked(meta, shard_id, out)
+                     : ReadShardRaw(meta, shard_id, out);
+}
+
+Status OocCsr::ReadShardRaw(const ShardMeta& meta, uint32_t shard_id,
+                            Shard* out) const {
+  const size_t shard_arcs =
+      static_cast<size_t>(offsets_[meta.end_vertex] - out->first_arc);
+  out->neighbors.resize(shard_arcs);
   const size_t nbr_bytes = shard_arcs * sizeof(VertexId);
   Status s = PreadExact(fd_, out->neighbors.data(), nbr_bytes,
                         meta.file_offset, path_);
@@ -291,8 +372,88 @@ Status OocCsr::ReadShard(uint32_t shard_id, Shard* out) const {
   return Status::Ok();
 }
 
+Status OocCsr::ReadShardPacked(const ShardMeta& meta, uint32_t shard_id,
+                               Shard* out) const {
+  const size_t shard_arcs =
+      static_cast<size_t>(offsets_[meta.end_vertex] - out->first_arc);
+  const size_t nv =
+      static_cast<size_t>(meta.end_vertex) - meta.first_vertex;
+  const size_t run_table_bytes = (nv + 1) * sizeof(uint32_t);
+  const size_t weight_bytes = weighted_ ? shard_arcs * sizeof(Weight) : 0;
+  if (meta.payload_bytes < run_table_bytes + weight_bytes) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(shard_id) +
+        " payload smaller than its run table + weights in " + path_);
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(meta.payload_bytes));
+  Status s = PreadExact(fd_, buf.data(), buf.size(), meta.file_offset, path_);
+  if (!s.ok()) return s;
+
+  // Validate the run table: entry i is vertex (first_vertex + i)'s byte
+  // offset into the varint stream, monotone, spanning it exactly.
+  const uint32_t* run_table = reinterpret_cast<const uint32_t*>(buf.data());
+  const uint64_t stream_bytes =
+      meta.payload_bytes - run_table_bytes - weight_bytes;
+  if (run_table[0] != 0 || run_table[nv] != stream_bytes) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(shard_id) +
+        " run table does not span its varint stream in " + path_);
+  }
+  for (size_t i = 1; i <= nv; ++i) {
+    if (run_table[i] < run_table[i - 1]) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(shard_id) +
+          " run table not monotone at entry " + std::to_string(i) + " in " +
+          path_);
+    }
+  }
+
+  // Decode-validate every run once, here, in BOTH decode modes: cursors
+  // then decode lazily with the unchecked fast path and can never hit a
+  // malformed byte mid-EdgeMap (where the only answer would be a crash).
+  const bool materialize = decode_mode_ == OocDecodeMode::kCacheDecode;
+  if (materialize) out->neighbors.resize(shard_arcs);
+  {
+    GAB_SPAN("ooc.decode.shard");
+    const uint8_t* stream = buf.data() + run_table_bytes;
+    for (size_t i = 0; i < nv; ++i) {
+      const VertexId v = meta.first_vertex + static_cast<VertexId>(i);
+      const size_t degree =
+          static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+      VertexId* dst =
+          materialize
+              ? out->neighbors.data() + (offsets_[v] - out->first_arc)
+              : nullptr;
+      s = DecodeAdjacencyChecked(v, degree, num_vertices_,
+                                 stream + run_table[i],
+                                 run_table[i + 1] - run_table[i], dst);
+      if (!s.ok()) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(shard_id) + " vertex " +
+            std::to_string(v) + ": " + s.message() + " in " + path_);
+      }
+    }
+  }
+  GAB_COUNT("ooc.decode.arcs", shard_arcs);
+  GAB_COUNT("ooc.decode.bytes", stream_bytes);
+  if (materialize) {
+    if (weighted_) {
+      out->weights.resize(shard_arcs);
+      std::memcpy(out->weights.data(),
+                  buf.data() + run_table_bytes + stream_bytes, weight_bytes);
+    }
+  } else {
+    out->packed = std::move(buf);
+  }
+  GAB_COUNT("ooc.shard_reads", 1);
+  GAB_COUNT("ooc.shard_read_bytes", meta.payload_bytes);
+  GAB_COUNT("ooc.io.compressed_bytes", meta.payload_bytes);
+  return Status::Ok();
+}
+
 Status WriteOocCsr(const CsrGraph& g, const std::string& path,
-                   uint64_t shard_target_bytes) {
+                   uint64_t shard_target_bytes, bool compress,
+                   OocWriteStats* stats) {
   GAB_SPAN("ooc.write");
   if (!g.is_undirected()) {
     return Status::Unsupported(
@@ -303,6 +464,25 @@ Status WriteOocCsr(const CsrGraph& g, const std::string& path,
   const uint64_t arcs = g.num_arcs();
   const bool weighted = g.has_weights();
   const uint64_t arc_bytes = sizeof(VertexId) + (weighted ? sizeof(Weight) : 0u);
+  const auto& offsets = g.out_offsets();
+  const auto& neighbors = g.out_neighbors();
+  const auto& weights = g.out_weights();
+
+  // Per-vertex encoded adjacency bytes, so the greedy cuts below target
+  // the *encoded* payload size (a byte budget holds the same shard count
+  // either way) and each shard's exact payload is known before writing.
+  std::vector<uint32_t> enc_bytes;
+  if (compress) {
+    enc_bytes.resize(static_cast<size_t>(n));
+    ParallelFor(static_cast<size_t>(n), 4096, [&](size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        const size_t a0 = static_cast<size_t>(offsets[v]);
+        enc_bytes[v] = static_cast<uint32_t>(EncodedAdjacencySize(
+            static_cast<VertexId>(v), neighbors.data() + a0,
+            static_cast<size_t>(offsets[v + 1]) - a0));
+      }
+    });
+  }
 
   // Greedy whole-vertex shard boundaries: close a shard once its payload
   // reaches the target. Oversized single-vertex adjacencies get their own
@@ -310,22 +490,43 @@ Status WriteOocCsr(const CsrGraph& g, const std::string& path,
   struct Cut {
     VertexId first = 0;
     VertexId end = 0;
+    uint64_t payload = 0;  // exact on-disk payload bytes
   };
   std::vector<Cut> cuts;
-  const auto& offsets = g.out_offsets();
   VertexId first = 0;
   while (first < n) {
     VertexId end = first;
     uint64_t bytes = 0;
     while (end < n) {
       const uint64_t v_arcs = offsets[end + 1] - offsets[end];
-      const uint64_t v_bytes = v_arcs * arc_bytes;
+      // A compressed vertex costs its varint run + one run-table entry +
+      // its raw weights; a raw vertex costs arcs * arc_bytes.
+      const uint64_t v_bytes =
+          compress ? enc_bytes[end] + sizeof(uint32_t) +
+                         (weighted ? v_arcs * sizeof(Weight) : 0)
+                   : v_arcs * arc_bytes;
       if (end > first && bytes + v_bytes > shard_target_bytes) break;
       bytes += v_bytes;
       ++end;
       if (bytes >= shard_target_bytes) break;
     }
-    cuts.push_back({first, end});
+    // The run table has one more entry than the shard has vertices.
+    const uint64_t payload = compress ? bytes + sizeof(uint32_t) : bytes;
+    const uint64_t stream = compress
+                                ? payload -
+                                      (uint64_t{end} - first + 1) *
+                                          sizeof(uint32_t) -
+                                      (weighted ? (offsets[end] -
+                                                   offsets[first]) *
+                                                      sizeof(Weight)
+                                                : 0)
+                                : 0;
+    if (stream > std::numeric_limits<uint32_t>::max()) {
+      return Status::Unsupported(
+          "compressed shard varint stream exceeds 4 GiB (vertex " +
+          std::to_string(first) + "); lower GAB_OOC_SHARD_BYTES");
+    }
+    cuts.push_back({first, end, payload});
     first = end;
   }
 
@@ -333,7 +534,7 @@ Status WriteOocCsr(const CsrGraph& g, const std::string& path,
   if (!f) return Status::IoError("cannot open for write: " + path);
   uint64_t flags = 1u;  // undirected
   if (weighted) flags |= 2u;
-  uint64_t header[8] = {kOocMagic,
+  uint64_t header[8] = {compress ? kOocMagic02 : kOocMagic01,
                         n,
                         g.num_edges(),
                         arcs,
@@ -351,20 +552,48 @@ Status WriteOocCsr(const CsrGraph& g, const std::string& path,
   }
   uint64_t file_offset = sizeof(header) + offsets.size() * sizeof(EdgeId) +
                          cuts.size() * 4 * sizeof(uint64_t);
+  uint64_t total_payload = 0;
   for (const Cut& cut : cuts) {
-    const uint64_t shard_arcs = offsets[cut.end] - offsets[cut.first];
-    const uint64_t payload = shard_arcs * arc_bytes;
-    uint64_t row[4] = {cut.first, cut.end, file_offset, payload};
+    uint64_t row[4] = {cut.first, cut.end, file_offset, cut.payload};
     if (std::fwrite(row, sizeof(row), 1, f.get()) != 1) {
       return Status::IoError("shard table write failed: " + path);
     }
-    file_offset += payload;
+    file_offset += cut.payload;
+    total_payload += cut.payload;
   }
-  const auto& neighbors = g.out_neighbors();
-  const auto& weights = g.out_weights();
+  std::vector<uint8_t> shard_buf;
   for (const Cut& cut : cuts) {
     const size_t a0 = static_cast<size_t>(offsets[cut.first]);
     const size_t cnt = static_cast<size_t>(offsets[cut.end]) - a0;
+    if (compress) {
+      const size_t nv = static_cast<size_t>(cut.end) - cut.first;
+      const size_t run_table_bytes = (nv + 1) * sizeof(uint32_t);
+      const size_t weight_bytes = weighted ? cnt * sizeof(Weight) : 0;
+      shard_buf.resize(static_cast<size_t>(cut.payload) - weight_bytes);
+      uint32_t* run_table = reinterpret_cast<uint32_t*>(shard_buf.data());
+      uint8_t* sp = shard_buf.data() + run_table_bytes;
+      uint32_t stream_off = 0;
+      for (size_t i = 0; i < nv; ++i) {
+        const VertexId v = cut.first + static_cast<VertexId>(i);
+        run_table[i] = stream_off;
+        const size_t va = static_cast<size_t>(offsets[v]);
+        sp = EncodeAdjacency(v, neighbors.data() + va,
+                             static_cast<size_t>(offsets[v + 1]) - va, sp);
+        stream_off += enc_bytes[v];
+      }
+      run_table[nv] = stream_off;
+      GAB_CHECK(sp == shard_buf.data() + shard_buf.size());
+      if (std::fwrite(shard_buf.data(), 1, shard_buf.size(), f.get()) !=
+          shard_buf.size()) {
+        return Status::IoError("compressed payload write failed: " + path);
+      }
+      if (weighted && cnt > 0 &&
+          std::fwrite(weights.data() + a0, sizeof(Weight), cnt, f.get()) !=
+              cnt) {
+        return Status::IoError("weight write failed: " + path);
+      }
+      continue;
+    }
     if (cnt == 0) continue;
     if (std::fwrite(neighbors.data() + a0, sizeof(VertexId), cnt, f.get()) !=
         cnt) {
@@ -377,6 +606,15 @@ Status WriteOocCsr(const CsrGraph& g, const std::string& path,
   }
   if (std::fflush(f.get()) != 0 || std::ferror(f.get())) {
     return Status::IoError("write failed: " + path);
+  }
+  if (stats != nullptr) {
+    stats->num_shards = cuts.size();
+    stats->file_bytes = file_offset;
+    stats->payload_bytes = total_payload;
+    stats->raw_payload_bytes = arcs * arc_bytes;
+    stats->adjacency_raw_bytes = arcs * sizeof(VertexId);
+    stats->adjacency_file_bytes =
+        total_payload - (weighted ? arcs * sizeof(Weight) : 0);
   }
   GAB_COUNT("ooc.shards_written", cuts.size());
   return Status::Ok();

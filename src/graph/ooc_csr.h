@@ -2,6 +2,7 @@
 #define GAB_GRAPH_OOC_CSR_H_
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
@@ -12,20 +13,46 @@
 
 namespace gab {
 
+/// Where compressed (GABOOC02) shard payloads get decoded (DESIGN.md §14):
+///  - kCacheDecode: ReadShard decodes the whole shard while filling the
+///    ShardCache — IO moves compressed bytes, the cache stores decoded
+///    arrays, and cursors are as cheap as on GABOOC01 files. The budget
+///    buys fewer resident arcs per byte than kCursorDecode.
+///  - kCursorDecode: the cache stores the compressed payload verbatim
+///    (budget charged at compressed size — the effective budget multiplier
+///    the compression exists for) and each OocCursor decodes one vertex
+///    run at a time into its private scratch buffer.
+/// Uncompressed (GABOOC01) files ignore the mode. Either way results are
+/// bit-identical: decoding changes when bytes are expanded, never their
+/// values.
+enum class OocDecodeMode {
+  kCacheDecode,
+  kCursorDecode,
+};
+
+/// GAB_OOC_DECODE={cache,cursor}; kCacheDecode when unset or unrecognized.
+OocDecodeMode DefaultOocDecodeMode();
+
 /// Out-of-core CSR: the in-memory CSR's adjacency arrays persisted as a
 /// sequence of fixed-target-size *edge shards* behind a small resident
 /// index, so engines can run graphs whose edge arrays do not fit in memory
 /// (paper S8+ scales; SAGE's disk-offset allocator is the blueprint).
 ///
 /// File layout (single file, little-endian, no alignment padding):
-///   header        8 x u64: magic "GABOOC01", num_vertices, num_edges,
-///                 num_arcs, flags (bit0 undirected, bit1 weighted),
-///                 num_shards, shard_target_bytes, reserved(0)
+///   header        8 x u64: magic "GABOOC01" or "GABOOC02", num_vertices,
+///                 num_edges, num_arcs, flags (bit0 undirected, bit1
+///                 weighted), num_shards, shard_target_bytes, reserved(0)
 ///   offsets       (num_vertices + 1) x u64   — the CSR out_offsets array
 ///   shard table   num_shards x 4 x u64: {first_vertex, end_vertex,
 ///                 file_offset, payload_bytes}
-///   payloads      per shard: neighbors (u32 x arcs), then weights
-///                 (u32 x arcs, weighted files only)
+///   payloads      GABOOC01, per shard: neighbors (u32 x arcs), then
+///                 weights (u32 x arcs, weighted files only)
+///                 GABOOC02, per shard: run-offset table (u32 x
+///                 (shard_vertices + 1), byte offsets into the varint
+///                 stream, last entry == stream length), the concatenated
+///                 per-vertex delta+varint streams (graph/adjacency_codec),
+///                 then raw weights (u32 x arcs, weighted files only —
+///                 weights are i.i.d. draws and do not delta-compress)
 ///
 /// Shard boundaries always fall between vertices (a vertex's adjacency is
 /// never split), chosen greedily so each shard's payload is the first to
@@ -35,20 +62,43 @@ namespace gab {
 /// else is loaded on demand via ReadShard and cached by ShardCache.
 class OocCsr {
  public:
-  /// One shard's decoded payload. first_arc == offsets[first_vertex]; a
+  /// One shard's resident payload. first_arc == offsets[first_vertex]; a
   /// vertex v in [first_vertex, end_vertex) has its adjacency at
-  /// [offsets[v] - first_arc, offsets[v+1] - first_arc) in neighbors.
+  /// [offsets[v] - first_arc, offsets[v+1] - first_arc) in neighbors —
+  /// or, when is_packed() (a GABOOC02 shard under kCursorDecode), still
+  /// compressed in `packed` for cursors to decode per vertex.
   struct Shard {
     uint32_t shard_id = 0;
     VertexId first_vertex = 0;
     VertexId end_vertex = 0;
     EdgeId first_arc = 0;
-    std::vector<VertexId> neighbors;
-    std::vector<Weight> weights;  // empty for unweighted graphs
+    std::vector<VertexId> neighbors;  // empty when is_packed()
+    std::vector<Weight> weights;      // empty for unweighted or packed
+    /// Verbatim GABOOC02 payload (run table + streams + weights),
+    /// validated end-to-end by ReadShard so per-run decode is infallible.
+    std::vector<uint8_t> packed;
+
+    bool is_packed() const { return !packed.empty(); }
+    size_t NumShardVertices() const {
+      return static_cast<size_t>(end_vertex) - first_vertex;
+    }
+    /// Run-offset table (NumShardVertices()+1 entries, relative to the
+    /// stream start). packed.data() comes from operator new, so the u32
+    /// view at offset 0 is aligned.
+    const uint32_t* RunTable() const {
+      return reinterpret_cast<const uint32_t*>(packed.data());
+    }
+    const uint8_t* Stream() const {
+      return packed.data() + (NumShardVertices() + 1) * sizeof(uint32_t);
+    }
+    uint32_t StreamBytes() const { return RunTable()[NumShardVertices()]; }
+    /// Raw weights region (unaligned — follows the variable-length
+    /// stream; read through memcpy, never through a Weight*).
+    const uint8_t* PackedWeights() const { return Stream() + StreamBytes(); }
 
     size_t MemoryBytes() const {
       return sizeof(Shard) + neighbors.size() * sizeof(VertexId) +
-             weights.size() * sizeof(Weight);
+             weights.size() * sizeof(Weight) + packed.size();
     }
   };
 
@@ -63,7 +113,8 @@ class OocCsr {
   /// Opens `path`, validates the header, offsets and shard table against
   /// each other and against the physical file size (before any
   /// payload-sized allocation), and keeps the file descriptor for
-  /// ReadShard. The resident index is loaded eagerly.
+  /// ReadShard. The resident index is loaded eagerly. The decode mode is
+  /// initialized from DefaultOocDecodeMode().
   static Status Open(const std::string& path, OocCsr* out);
 
   VertexId num_vertices() const { return num_vertices_; }
@@ -71,8 +122,15 @@ class OocCsr {
   EdgeId num_arcs() const { return num_arcs_; }
   bool is_undirected() const { return undirected_; }
   bool has_weights() const { return weighted_; }
+  /// True for GABOOC02 files (delta+varint shard payloads).
+  bool is_compressed() const { return compressed_; }
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
   const std::string& path() const { return path_; }
+
+  OocDecodeMode decode_mode() const { return decode_mode_; }
+  /// Takes effect on subsequent ReadShard calls; callers flip it before
+  /// building the ShardCache (resident charging depends on it).
+  void set_decode_mode(OocDecodeMode mode) { decode_mode_ = mode; }
 
   size_t OutDegree(VertexId v) const {
     return static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
@@ -82,8 +140,9 @@ class OocCsr {
   /// Shard holding vertex v's adjacency. O(log num_shards).
   uint32_t ShardOf(VertexId v) const;
 
-  /// Bytes the shard's payload occupies when resident (what ShardCache
-  /// charges against its budget).
+  /// Bytes the shard occupies when resident (what ShardCache charges
+  /// against its budget): decoded arrays for GABOOC01 and for GABOOC02
+  /// under kCacheDecode, the compressed payload under kCursorDecode.
   size_t ShardResidentBytes(uint32_t shard_id) const;
   VertexId ShardFirstVertex(uint32_t shard_id) const {
     return shards_[shard_id].first_vertex;
@@ -91,14 +150,37 @@ class OocCsr {
   VertexId ShardEndVertex(uint32_t shard_id) const {
     return shards_[shard_id].end_vertex;
   }
+  /// The shard's on-disk payload size (compressed bytes for GABOOC02) —
+  /// what one ReadShard moves through IO.
+  uint64_t ShardFileBytes(uint32_t shard_id) const {
+    return shards_[shard_id].payload_bytes;
+  }
 
   /// What the same graph costs fully resident (offsets + neighbors +
   /// weights), for budget sanity checks and bench reporting.
   size_t InMemoryEquivalentBytes() const;
 
-  /// Reads and decodes one shard (thread-safe: positioned pread on the
-  /// shared descriptor, no seek state). Fails with kIoError on short reads
-  /// — a file truncated after Open is detected here, not silently zeroed.
+  /// Sum of on-disk shard payload bytes (== arcs·arc_bytes for GABOOC01).
+  uint64_t PayloadFileBytes() const;
+  /// The payloads' uncompressed equivalent: arcs·(4 or 8) bytes.
+  uint64_t RawPayloadBytes() const;
+  /// Adjacency-only split, excluding the raw weights that ride along
+  /// incompressible in both formats: what the delta+varint encoding is
+  /// actually measured on (run tables count against the encoded side).
+  uint64_t AdjacencyRawBytes() const {
+    return num_arcs_ * sizeof(VertexId);
+  }
+  uint64_t AdjacencyFileBytes() const;
+  /// AdjacencyRawBytes() / AdjacencyFileBytes(); 1.0 for GABOOC01.
+  double AdjacencyCompressionRatio() const;
+
+  /// Reads one shard (thread-safe: positioned pread on the shared
+  /// descriptor, no seek state) and — for GABOOC02 — validates every
+  /// varint run against the codec's checked decoder, materializing
+  /// decoded arrays (kCacheDecode) or keeping the verified compressed
+  /// payload (kCursorDecode). Fails with kIoError on short reads — a file
+  /// truncated after Open is detected here, not silently zeroed — and
+  /// kInvalidArgument on any malformed payload byte.
   Status ReadShard(uint32_t shard_id, Shard* out) const;
 
  private:
@@ -109,6 +191,11 @@ class OocCsr {
     uint64_t payload_bytes = 0;
   };
 
+  Status ReadShardRaw(const ShardMeta& meta, uint32_t shard_id,
+                      Shard* out) const;
+  Status ReadShardPacked(const ShardMeta& meta, uint32_t shard_id,
+                         Shard* out) const;
+
   std::string path_;
   int fd_ = -1;
   VertexId num_vertices_ = 0;
@@ -116,20 +203,36 @@ class OocCsr {
   EdgeId num_arcs_ = 0;
   bool undirected_ = true;
   bool weighted_ = false;
+  bool compressed_ = false;
+  OocDecodeMode decode_mode_ = OocDecodeMode::kCacheDecode;
   std::vector<EdgeId> offsets_;        // n+1, resident
   std::vector<ShardMeta> shards_;      // resident
   std::vector<VertexId> shard_first_;  // shards_[i].first_vertex, for ShardOf
 };
 
+/// Writer accounting for `gabench convert`'s summary line and the benches.
+struct OocWriteStats {
+  uint64_t num_shards = 0;
+  uint64_t file_bytes = 0;           // total bytes written
+  uint64_t payload_bytes = 0;        // on-disk shard payloads
+  uint64_t raw_payload_bytes = 0;    // their uncompressed equivalent
+  uint64_t adjacency_file_bytes = 0; // run tables + varint streams
+  uint64_t adjacency_raw_bytes = 0;  // arcs * sizeof(VertexId)
+};
+
 /// Writes `g`'s out-CSR to `path` in the OocCsr format with the given
 /// per-shard payload target (0 picks the 1 MiB default, overridable via
-/// GAB_OOC_SHARD_BYTES). Undirected graphs only: the stored arcs serve
-/// both adjacency directions, exactly as in CsrGraph, which is what the
-/// vertex-subset engine's push and pull paths consume. Directed graphs are
-/// rejected with kUnsupported (a second reverse-adjacency shard sequence
-/// is a straightforward extension — see DESIGN.md).
+/// GAB_OOC_SHARD_BYTES). `compress` selects GABOOC02 delta+varint payloads
+/// (shard cuts then target the *encoded* payload size, so a budget in
+/// bytes holds the same number of shards either way). Undirected graphs
+/// only: the stored arcs serve both adjacency directions, exactly as in
+/// CsrGraph, which is what the vertex-subset engine's push and pull paths
+/// consume. Directed graphs are rejected with kUnsupported (a second
+/// reverse-adjacency shard sequence is a straightforward extension — see
+/// DESIGN.md).
 Status WriteOocCsr(const CsrGraph& g, const std::string& path,
-                   uint64_t shard_target_bytes = 0);
+                   uint64_t shard_target_bytes = 0, bool compress = false,
+                   OocWriteStats* stats = nullptr);
 
 /// Per-shard payload target in bytes: GAB_OOC_SHARD_BYTES if set and
 /// positive, else 1 MiB.

@@ -109,6 +109,8 @@ Status ShardCache::LoadLocked(std::unique_lock<std::mutex>& lock,
     cv_.notify_all();
     return s;
   }
+  stats_.io_read_bytes += graph_.ShardFileBytes(shard_id);
+  GAB_COUNT("ooc.cache.io_read_bytes", graph_.ShardFileBytes(shard_id));
   it->second.shard = std::move(shard);
   it->second.state = State::kReady;
   it->second.status = Status::Ok();

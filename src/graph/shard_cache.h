@@ -43,6 +43,13 @@ class ShardCache {
     uint64_t prefetch_hits = 0;   // Acquires served by a prefetched shard
     uint64_t evictions = 0;
     uint64_t over_budget_loads = 0;
+    /// On-disk payload bytes moved through ReadShard (compressed bytes for
+    /// GABOOC02 files) — deliberately NOT what the budget gauges charge:
+    /// resident_bytes/peak_resident_bytes track what the shards cost once
+    /// resident (decoded arrays under cache-decode), io_read_bytes tracks
+    /// what the IO path actually transferred. The gap between the two is
+    /// the compression win.
+    uint64_t io_read_bytes = 0;
     size_t resident_bytes = 0;
     size_t peak_resident_bytes = 0;
   };

@@ -1,0 +1,334 @@
+// The delta+varint adjacency codec and the in-memory CompressedCsr
+// backing (DESIGN.md §14). Three layers under test: the varint/zigzag
+// primitives, single-run encode/decode round-trips (including the checked
+// decoder's rejection surface), and CompressedCsr end-to-end — encoding
+// fidelity against the source CsrGraph and kernel bit-identity through
+// GraphView at multiple thread counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "gen/fft_dg.h"
+#include "graph/adjacency_codec.h"
+#include "graph/builder.h"
+#include "graph/compressed_csr.h"
+#include "graph/graph_view.h"
+#include "platforms/subset_kernels.h"
+#include "util/threading.h"
+
+namespace gab {
+namespace {
+
+// ----------------------------------------------------- varint / zigzag ----
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             (1ull << 35) + 17,
+                             ~0ull};
+  uint8_t buf[16];
+  for (uint64_t v : values) {
+    uint8_t* end = EncodeVarint(buf, v);
+    ASSERT_EQ(static_cast<size_t>(end - buf), VarintSize(v)) << v;
+    uint64_t decoded = 0;
+    const uint8_t* p = DecodeVarint(buf, &decoded);
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(p, end);
+    // The checked decoder agrees on well-formed input.
+    decoded = 0;
+    p = DecodeVarintChecked(buf, end, &decoded);
+    ASSERT_NE(p, nullptr) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(p, end);
+  }
+}
+
+TEST(VarintTest, SizeBoundaries) {
+  EXPECT_EQ(VarintSize(0), 1u);
+  EXPECT_EQ(VarintSize(127), 1u);
+  EXPECT_EQ(VarintSize(128), 2u);
+  EXPECT_EQ(VarintSize((1ull << 14) - 1), 2u);
+  EXPECT_EQ(VarintSize(1ull << 14), 3u);
+  EXPECT_EQ(VarintSize((1ull << 28) - 1), 4u);
+  EXPECT_EQ(VarintSize(1ull << 28), 5u);
+  EXPECT_EQ(VarintSize(~0ull), 10u);
+}
+
+TEST(VarintTest, CheckedDecodeRejectsTruncation) {
+  uint8_t buf[16];
+  uint8_t* end = EncodeVarint(buf, 1ull << 40);  // multi-byte
+  uint64_t v;
+  for (const uint8_t* cut = buf; cut < end; ++cut) {
+    EXPECT_EQ(DecodeVarintChecked(buf, cut, &v), nullptr)
+        << "accepted a varint cut at byte " << (cut - buf);
+  }
+}
+
+TEST(VarintTest, CheckedDecodeRejectsOverlongEncoding) {
+  // Eleven continuation bytes: more than any uint64 needs.
+  uint8_t buf[12];
+  std::fill(buf, buf + 11, 0x80);
+  buf[11] = 0x01;
+  uint64_t v;
+  EXPECT_EQ(DecodeVarintChecked(buf, buf + 12, &v), nullptr);
+}
+
+TEST(ZigzagTest, RoundTripsSignedDeltas) {
+  const int64_t values[] = {0, 1, -1, 63, -64, 1ll << 40, -(1ll << 40)};
+  for (int64_t v : values) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v) << v;
+  }
+  // Zigzag keeps small magnitudes small — the property the first-neighbor
+  // delta relies on.
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+}
+
+// ------------------------------------------------------ adjacency runs ----
+
+void ExpectRunRoundTrip(VertexId v, const std::vector<VertexId>& neighbors,
+                        VertexId num_vertices) {
+  const size_t bytes = EncodedAdjacencySize(v, neighbors.data(),
+                                            neighbors.size());
+  std::vector<uint8_t> buf(bytes);
+  uint8_t* end = EncodeAdjacency(v, neighbors.data(), neighbors.size(),
+                                 buf.data());
+  ASSERT_EQ(static_cast<size_t>(end - buf.data()), bytes);
+
+  std::vector<VertexId> decoded(neighbors.size());
+  DecodeAdjacency(v, neighbors.size(), buf.data(), decoded.data());
+  EXPECT_EQ(decoded, neighbors);
+
+  std::vector<VertexId> checked(neighbors.size());
+  ASSERT_TRUE(DecodeAdjacencyChecked(v, neighbors.size(), num_vertices,
+                                     buf.data(), bytes, checked.data())
+                  .ok());
+  EXPECT_EQ(checked, neighbors);
+  // Validate-only mode (null output) takes the same path.
+  EXPECT_TRUE(DecodeAdjacencyChecked(v, neighbors.size(), num_vertices,
+                                     buf.data(), bytes, nullptr)
+                  .ok());
+}
+
+TEST(AdjacencyRunTest, RoundTripsRepresentativeShapes) {
+  ExpectRunRoundTrip(5, {}, 10);                  // empty
+  ExpectRunRoundTrip(5, {7}, 10);                 // single, forward delta
+  ExpectRunRoundTrip(5, {2}, 10);                 // single, negative delta
+  ExpectRunRoundTrip(5, {5}, 10);                 // self (delta 0)
+  ExpectRunRoundTrip(0, {1, 2, 3, 4}, 10);        // dense consecutive
+  ExpectRunRoundTrip(9, {0, 3, 3, 3, 9}, 10);     // duplicates (gap 0)
+  ExpectRunRoundTrip(0, {0, 1u << 30}, 1u << 31);  // huge gap
+}
+
+TEST(AdjacencyRunTest, RandomSortedListsRoundTrip) {
+  std::mt19937 rng(1234);
+  const VertexId n = 1 << 20;
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t degree = rng() % 200;
+    std::vector<VertexId> neighbors(degree);
+    for (auto& x : neighbors) x = rng() % n;
+    std::sort(neighbors.begin(), neighbors.end());
+    ExpectRunRoundTrip(static_cast<VertexId>(rng() % n), neighbors, n);
+  }
+}
+
+TEST(AdjacencyRunTest, CheckedDecodeRejectsMalformedRuns) {
+  const VertexId n = 100;
+  std::vector<VertexId> neighbors = {10, 20, 30};
+  std::vector<uint8_t> buf(
+      EncodedAdjacencySize(50, neighbors.data(), neighbors.size()));
+  EncodeAdjacency(50, neighbors.data(), neighbors.size(), buf.data());
+  std::vector<VertexId> out(8);
+
+  // Truncated mid-run: declared degree can't be satisfied.
+  EXPECT_FALSE(DecodeAdjacencyChecked(50, 3, n, buf.data(), buf.size() - 1,
+                                      out.data())
+                   .ok());
+  // Trailing bytes: decoded count disagrees with declared degree.
+  std::vector<uint8_t> padded = buf;
+  padded.push_back(0x00);
+  EXPECT_FALSE(DecodeAdjacencyChecked(50, 3, n, padded.data(), padded.size(),
+                                      out.data())
+                   .ok());
+  // First neighbor outside [0, n): encode against a larger vertex space.
+  std::vector<VertexId> big = {99};
+  std::vector<uint8_t> big_buf(EncodedAdjacencySize(0, big.data(), 1));
+  EncodeAdjacency(0, big.data(), 1, big_buf.data());
+  EXPECT_TRUE(DecodeAdjacencyChecked(0, 1, n, big_buf.data(), big_buf.size(),
+                                     out.data())
+                  .ok());
+  EXPECT_FALSE(DecodeAdjacencyChecked(0, 1, 99, big_buf.data(),
+                                      big_buf.size(), out.data())
+                   .ok());
+  // Gap overflowing the vertex range.
+  std::vector<VertexId> over = {10, 150};
+  std::vector<uint8_t> over_buf(EncodedAdjacencySize(0, over.data(), 2));
+  EncodeAdjacency(0, over.data(), 2, over_buf.data());
+  EXPECT_FALSE(DecodeAdjacencyChecked(0, 2, n, over_buf.data(),
+                                      over_buf.size(), out.data())
+                   .ok());
+  // Empty run with leftover bytes.
+  EXPECT_FALSE(
+      DecodeAdjacencyChecked(0, 0, n, buf.data(), 1, out.data()).ok());
+}
+
+// ------------------------------------------------------- CompressedCsr ----
+
+class CompressedCsrTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FftDgConfig config;
+    config.num_vertices = 6000;
+    config.weighted = true;
+    config.seed = 11;
+    graph_ = new CsrGraph(GraphBuilder::Build(GenerateFftDg(config)));
+    comp_ = new CompressedCsr();
+    ASSERT_TRUE(CompressedCsr::FromCsr(*graph_, comp_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete comp_;
+    delete graph_;
+    comp_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  static CsrGraph* graph_;
+  static CompressedCsr* comp_;
+};
+
+CsrGraph* CompressedCsrTest::graph_ = nullptr;
+CompressedCsr* CompressedCsrTest::comp_ = nullptr;
+
+TEST_F(CompressedCsrTest, EncodingFidelity) {
+  ASSERT_EQ(comp_->num_vertices(), graph_->num_vertices());
+  EXPECT_EQ(comp_->num_edges(), graph_->num_edges());
+  EXPECT_EQ(comp_->num_arcs(), graph_->num_arcs());
+  EXPECT_TRUE(comp_->has_weights());
+  EXPECT_EQ(comp_->out_offsets(), graph_->out_offsets());
+
+  std::vector<VertexId> scratch(comp_->MaxDegree());
+  size_t max_seen = 0;
+  for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+    auto expected = graph_->OutNeighbors(v);
+    max_seen = std::max(max_seen, expected.size());
+    ASSERT_EQ(comp_->OutDegree(v), expected.size()) << "vertex " << v;
+    const size_t degree = comp_->DecodeOutNeighbors(v, scratch.data());
+    ASSERT_EQ(degree, expected.size()) << "vertex " << v;
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(), scratch.begin()))
+        << "vertex " << v;
+    auto expected_w = graph_->OutWeights(v);
+    auto got_w = comp_->OutWeights(v);
+    ASSERT_EQ(got_w.size(), expected_w.size());
+    ASSERT_TRUE(std::equal(expected_w.begin(), expected_w.end(),
+                           got_w.begin()))
+        << "vertex " << v;
+  }
+  EXPECT_EQ(comp_->MaxDegree(), max_seen);
+}
+
+TEST_F(CompressedCsrTest, CompressesAndShrinksResidentFootprint) {
+  EXPECT_GT(comp_->AdjacencyCompressionRatio(), 1.5)
+      << "delta+varint should beat 1.5x on a degree-ordered power-law graph";
+  EXPECT_LT(comp_->MemoryBytes(), graph_->MemoryBytes());
+  EXPECT_LT(comp_->AdjacencyPackedBytes(), comp_->AdjacencyRawBytes());
+}
+
+TEST_F(CompressedCsrTest, CursorMatchesCsrAccessors) {
+  GraphView view(*comp_);
+  ASSERT_TRUE(view.is_compressed());
+  EXPECT_FALSE(view.is_ooc());
+  CompressedCursor cursor(*comp_);
+  for (VertexId v : {VertexId{0}, VertexId{1}, VertexId{17},
+                     VertexId{5999}}) {
+    auto expected = graph_->OutNeighbors(v);
+    auto got = cursor.OutNeighbors(v);
+    ASSERT_EQ(got.size(), expected.size());
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()));
+    // Re-reading the same vertex (memoized) and then another one both work.
+    auto again = cursor.OutNeighbors(v);
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), again.begin()));
+    auto weights = cursor.OutWeights(v);
+    auto expected_w = graph_->OutWeights(v);
+    EXPECT_TRUE(std::equal(expected_w.begin(), expected_w.end(),
+                           weights.begin()));
+  }
+}
+
+TEST_F(CompressedCsrTest, KernelsBitIdenticalAcrossThreads) {
+  AlgoParams params;
+  SubsetKernelOptions options;
+  options.strategy = PartitionStrategy::kRangeByDegree;
+
+  RunResult ref_pr = SubsetPageRank(*graph_, params, options);
+  RunResult ref_wcc = SubsetWcc(*graph_, params, options);
+  RunResult ref_bfs = SubsetBfs(*graph_, params, options);
+  RunResult ref_sssp = SubsetSssp(*graph_, params, options);
+
+  GraphView view(*comp_);
+  for (size_t num_threads : {size_t{1}, size_t{7}}) {
+    ScopedThreadPool scoped(num_threads);
+    SCOPED_TRACE("threads=" + std::to_string(num_threads));
+    RunResult pr = SubsetPageRank(view, params, options);
+    RunResult wcc = SubsetWcc(view, params, options);
+    RunResult bfs = SubsetBfs(view, params, options);
+    RunResult sssp = SubsetSssp(view, params, options);
+    ASSERT_EQ(pr.output.doubles, ref_pr.output.doubles);
+    ASSERT_EQ(wcc.output.ints, ref_wcc.output.ints);
+    ASSERT_EQ(bfs.output.ints, ref_bfs.output.ints);
+    ASSERT_EQ(sssp.output.ints, ref_sssp.output.ints);
+  }
+}
+
+TEST(CompressedCsrBuildTest, BuilderPathMatchesFromCsr) {
+  FftDgConfig config;
+  config.num_vertices = 2000;
+  config.weighted = true;
+  config.seed = 3;
+  EdgeList edges = GenerateFftDg(config);
+  EdgeList edges_copy = edges;
+
+  GraphBuilder::Options options;
+  CsrGraph g = GraphBuilder::Build(std::move(edges_copy), options);
+  CompressedCsr direct;
+  ASSERT_TRUE(CompressedCsr::FromCsr(g, &direct).ok());
+
+  CompressedCsr built;
+  ASSERT_TRUE(
+      GraphBuilder::BuildCompressed(std::move(edges), options, &built).ok());
+  ASSERT_EQ(built.num_vertices(), direct.num_vertices());
+  ASSERT_EQ(built.num_arcs(), direct.num_arcs());
+  EXPECT_EQ(built.out_offsets(), direct.out_offsets());
+  std::vector<VertexId> a(direct.MaxDegree()), b(built.MaxDegree());
+  for (VertexId v = 0; v < direct.num_vertices(); ++v) {
+    const size_t da = direct.DecodeOutNeighbors(v, a.data());
+    const size_t db = built.DecodeOutNeighbors(v, b.data());
+    ASSERT_EQ(da, db) << "vertex " << v;
+    ASSERT_TRUE(std::equal(a.begin(), a.begin() + da, b.begin()))
+        << "vertex " << v;
+  }
+}
+
+TEST(CompressedCsrBuildTest, DirectedGraphsAreRejected) {
+  GraphBuilder::Options options;
+  options.undirected = false;
+  CompressedCsr out;
+  EdgeList edges(4);
+  edges.AddEdge(0, 1);
+  edges.AddEdge(1, 2);
+  Status s = GraphBuilder::BuildCompressed(std::move(edges), options, &out);
+  EXPECT_EQ(s.code(), Status::Code::kUnsupported);
+}
+
+}  // namespace
+}  // namespace gab

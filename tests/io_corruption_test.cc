@@ -473,5 +473,188 @@ TEST_F(OocCorruptionTest, OocWriteRejectsDirectedGraph) {
   EXPECT_EQ(status.code(), Status::Code::kUnsupported);
 }
 
+// -------------------------------------- compressed (GABOOC02) shards ----
+// The same 3-vertex graph written compressed. Layout: header 64 B,
+// offsets 4 x u64 at 64, shard table 32 B at 96 (payload_bytes at 120),
+// payload at 128 = u32 run table {0, 1, 3, 4} (16 B), varint stream
+// {0x02, 0x01, 0x02, 0x01} at 144 (v0: zigzag(+1); v1: zigzag(-1), gap 2;
+// v2: zigzag(-1)), raw weights {5, 5, 7, 7} at 148, total 164 B.
+// Every byte-level corruption below must surface as a clean Status from
+// Open or ReadShard — in *both* decode modes, since cursor-mode lazy
+// decode is unchecked and relies entirely on ReadShard's validation.
+
+class OocCompressedCorruptionTest : public OocCorruptionTest {
+ protected:
+  static constexpr size_t kRunTableOff = 128;
+  static constexpr size_t kStreamOff = 144;
+  static constexpr size_t kPayloadBytesOff = 120;  // shard table word 3
+
+  std::string WriteValidCompressedOoc(const char* name) {
+    CsrGraph g = GraphBuilder::Build([] {
+      EdgeList edges(3);
+      edges.AddEdge(0, 1, 5);
+      edges.AddEdge(1, 2, 7);
+      return edges;
+    }());
+    std::string path = TempPath(name);
+    EXPECT_TRUE(WriteOocCsr(g, path, /*shard_target_bytes=*/0,
+                            /*compress=*/true)
+                    .ok());
+    return path;
+  }
+
+  // Applies one byte patch and expects ReadShard (not Open) to reject it
+  // under both decode modes with kInvalidArgument.
+  void ExpectReadShardRejects(const char* name, size_t offset,
+                              uint8_t value) {
+    std::string path = WriteValidCompressedOoc(name);
+    std::vector<char> data = ReadAll(path);
+    ASSERT_LT(offset, data.size());
+    data[offset] = static_cast<char>(value);
+    WriteBytes(path, data.data(), data.size());
+    for (OocDecodeMode mode :
+         {OocDecodeMode::kCacheDecode, OocDecodeMode::kCursorDecode}) {
+      OocCsr ooc;
+      ASSERT_TRUE(OocCsr::Open(path, &ooc).ok()) << "index should be intact";
+      ooc.set_decode_mode(mode);
+      OocCsr::Shard shard;
+      Status status = ooc.ReadShard(0, &shard);
+      EXPECT_EQ(status.code(), Status::Code::kInvalidArgument)
+          << name << " mode=" << (mode == OocDecodeMode::kCacheDecode
+                                      ? "cache"
+                                      : "cursor")
+          << ": " << status.ToString();
+    }
+  }
+};
+
+TEST_F(OocCompressedCorruptionTest, ValidCompressedFileReadsInBothModes) {
+  std::string path = WriteValidCompressedOoc("ooc02_valid.ooc");
+  std::vector<char> data = ReadAll(path);
+  ASSERT_EQ(data.size(), 164u) << "layout drifted; update the offsets above";
+  OocCsr ooc;
+  ASSERT_TRUE(OocCsr::Open(path, &ooc).ok());
+  EXPECT_TRUE(ooc.is_compressed());
+  ASSERT_EQ(ooc.num_shards(), 1u);
+
+  ooc.set_decode_mode(OocDecodeMode::kCacheDecode);
+  OocCsr::Shard shard;
+  ASSERT_TRUE(ooc.ReadShard(0, &shard).ok());
+  EXPECT_FALSE(shard.is_packed());
+  EXPECT_EQ(shard.neighbors, (std::vector<VertexId>{1, 0, 2, 1}));
+  EXPECT_EQ(shard.weights, (std::vector<Weight>{5, 5, 7, 7}));
+
+  ooc.set_decode_mode(OocDecodeMode::kCursorDecode);
+  OocCsr::Shard packed;
+  ASSERT_TRUE(ooc.ReadShard(0, &packed).ok());
+  EXPECT_TRUE(packed.is_packed());
+  EXPECT_EQ(packed.NumShardVertices(), 3u);
+  EXPECT_EQ(packed.StreamBytes(), 4u);
+}
+
+TEST_F(OocCompressedCorruptionTest, TruncatedVarintInRun) {
+  // Continuation bit on v2's single-byte run: the varint now claims more
+  // bytes than its run holds.
+  ExpectReadShardRejects("ooc02_trunc_varint.ooc", kStreamOff + 3, 0x81);
+}
+
+TEST_F(OocCompressedCorruptionTest, GapOverflowsVertexRange) {
+  // v1's gap byte 2 -> 127: neighbor 0 + 127 is far outside 3 vertices.
+  ExpectReadShardRejects("ooc02_gap_overflow.ooc", kStreamOff + 2, 0x7f);
+}
+
+TEST_F(OocCompressedCorruptionTest, FirstNeighborDeltaOutOfRange) {
+  // v0's first delta zigzag(+1) -> zigzag(+4): neighbor 4 of 3.
+  ExpectReadShardRejects("ooc02_first_delta.ooc", kStreamOff + 0, 0x08);
+}
+
+TEST_F(OocCompressedCorruptionTest, NegativeFirstNeighborOutOfRange) {
+  // v0's first delta -> zigzag(-1) = 1: neighbor -1.
+  ExpectReadShardRejects("ooc02_neg_delta.ooc", kStreamOff + 0, 0x01);
+}
+
+TEST_F(OocCompressedCorruptionTest, DeclaredDegreeDisagreesWithRunLength) {
+  // Run table entry 1: v0's run grows from 1 byte to 2, but v0's degree
+  // (from the resident offsets) is still 1 — trailing bytes in the run.
+  ExpectReadShardRejects("ooc02_degree_mismatch.ooc", kRunTableOff + 4, 2);
+}
+
+TEST_F(OocCompressedCorruptionTest, RunTableNotMonotone) {
+  // rt[1] = 5 > rt[2] = 3.
+  ExpectReadShardRejects("ooc02_non_monotone.ooc", kRunTableOff + 4, 5);
+}
+
+TEST_F(OocCompressedCorruptionTest, RunTableDoesNotSpanStream) {
+  // rt[3] = 3 != stream_bytes = 4.
+  ExpectReadShardRejects("ooc02_short_span.ooc", kRunTableOff + 12, 3);
+}
+
+TEST_F(OocCompressedCorruptionTest, MixedVersionMagicRejected) {
+  // A GABOOC02 body with the magic flipped to GABOOC01: the raw format's
+  // exact-size validation (4 arcs x 8 B payload = 32 != 36) must reject
+  // at Open — version and payload encoding cannot mix.
+  std::string path = WriteValidCompressedOoc("ooc02_magic_01.ooc");
+  std::vector<char> data = ReadAll(path);
+  ASSERT_EQ(static_cast<uint8_t>(data[0]), 0x32);  // '2' of "GABOOC02"
+  data[0] = 0x31;                                  // "GABOOC01"
+  WriteBytes(path, data.data(), data.size());
+  EXPECT_EQ(OpenOoc(path).code(), Status::Code::kInvalidArgument);
+
+  // And the reverse: a raw GABOOC01 body relabeled as 02. Open's looser
+  // bounds accept it (payload 32 is within [32, 52]), so ReadShard's run
+  // table validation must catch it: the first "run offset" is neighbor id
+  // 1, not 0.
+  std::string raw = WriteValidOoc("ooc01_magic_02.ooc");
+  std::vector<char> raw_data = ReadAll(raw);
+  ASSERT_EQ(static_cast<uint8_t>(raw_data[0]), 0x31);
+  raw_data[0] = 0x32;
+  WriteBytes(raw, raw_data.data(), raw_data.size());
+  OocCsr ooc;
+  ASSERT_TRUE(OocCsr::Open(raw, &ooc).ok());
+  ASSERT_TRUE(ooc.is_compressed());
+  OocCsr::Shard shard;
+  EXPECT_EQ(ooc.ReadShard(0, &shard).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST_F(OocCompressedCorruptionTest, PayloadSmallerThanTablePlusWeights) {
+  // payload_bytes = 20 < run table (16) + weights (16): rejected at Open,
+  // before any shard read.
+  std::string path = WriteValidCompressedOoc("ooc02_tiny_payload.ooc");
+  std::vector<char> data = ReadAll(path);
+  const uint64_t tiny = 20;
+  std::memcpy(data.data() + kPayloadBytesOff, &tiny, sizeof(tiny));
+  WriteBytes(path, data.data(), data.size());
+  EXPECT_EQ(OpenOoc(path).code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(OocCompressedCorruptionTest, PayloadLargerThanFileTail) {
+  std::string path = WriteValidCompressedOoc("ooc02_huge_payload.ooc");
+  std::vector<char> data = ReadAll(path);
+  const uint64_t huge = 4096;
+  std::memcpy(data.data() + kPayloadBytesOff, &huge, sizeof(huge));
+  WriteBytes(path, data.data(), data.size());
+  EXPECT_EQ(OpenOoc(path).code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(OocCompressedCorruptionTest, TrailingGarbageRejected) {
+  // Shard payloads must tile the file tail exactly.
+  std::string path = WriteValidCompressedOoc("ooc02_trailing.ooc");
+  std::vector<char> data = ReadAll(path);
+  data.insert(data.end(), {'j', 'u', 'n', 'k'});
+  WriteBytes(path, data.data(), data.size());
+  EXPECT_EQ(OpenOoc(path).code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(OocCompressedCorruptionTest, TruncationAfterOpenIsAnIoError) {
+  std::string path = WriteValidCompressedOoc("ooc02_trunc_late.ooc");
+  OocCsr ooc;
+  ASSERT_TRUE(OocCsr::Open(path, &ooc).ok());
+  std::vector<char> data = ReadAll(path);
+  WriteBytes(path, data.data(), data.size() - 8);
+  OocCsr::Shard shard;
+  EXPECT_EQ(ooc.ReadShard(0, &shard).code(), Status::Code::kIoError);
+}
+
 }  // namespace
 }  // namespace gab

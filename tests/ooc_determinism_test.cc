@@ -272,6 +272,200 @@ TEST_F(OocDeterminismTest, ParseByteSizeSuffixes) {
   EXPECT_EQ(ShardCache::ParseByteSize("2g"), 2ull << 30);
 }
 
+// --------------------------------------------- compressed (GABOOC02) ----
+
+// Same contract over the delta+varint shard payloads: both decode modes,
+// every thread count, every budget — bit-identical to the in-memory run.
+class OocCompressedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FftDgConfig config;
+    config.num_vertices = kNumVertices;
+    config.weighted = true;
+    config.seed = 11;
+    graph_ = new CsrGraph(GraphBuilder::Build(GenerateFftDg(config)));
+    path_ = new std::string(::testing::TempDir() + "/ooc_compressed.ooc");
+    stats_ = new OocWriteStats();
+    ASSERT_TRUE(WriteOocCsr(*graph_, *path_, kShardTargetBytes,
+                            /*compress=*/true, stats_)
+                    .ok());
+    ooc_ = new OocCsr();
+    ASSERT_TRUE(OocCsr::Open(*path_, ooc_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete ooc_;
+    std::remove(path_->c_str());
+    delete path_;
+    delete stats_;
+    delete graph_;
+    ooc_ = nullptr;
+    path_ = nullptr;
+    stats_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  static size_t MaxShardBytes() {
+    size_t max_bytes = 0;
+    for (uint32_t s = 0; s < ooc_->num_shards(); ++s) {
+      max_bytes = std::max(max_bytes, ooc_->ShardResidentBytes(s));
+    }
+    return max_bytes;
+  }
+
+  static CsrGraph* graph_;
+  static std::string* path_;
+  static OocWriteStats* stats_;
+  static OocCsr* ooc_;
+};
+
+CsrGraph* OocCompressedTest::graph_ = nullptr;
+std::string* OocCompressedTest::path_ = nullptr;
+OocWriteStats* OocCompressedTest::stats_ = nullptr;
+OocCsr* OocCompressedTest::ooc_ = nullptr;
+
+TEST_F(OocCompressedTest, RoundTripMetadataAndWriteStats) {
+  EXPECT_TRUE(ooc_->is_compressed());
+  EXPECT_EQ(ooc_->num_vertices(), graph_->num_vertices());
+  EXPECT_EQ(ooc_->num_edges(), graph_->num_edges());
+  EXPECT_EQ(ooc_->num_arcs(), graph_->num_arcs());
+  EXPECT_TRUE(ooc_->has_weights());
+  EXPECT_GT(ooc_->num_shards(), 10u) << "shard target too coarse for test";
+  EXPECT_TRUE(std::equal(ooc_->out_offsets().begin(),
+                         ooc_->out_offsets().end(),
+                         graph_->out_offsets().begin()));
+  // Writer stats agree with what Open reconstructs from the shard table.
+  EXPECT_EQ(stats_->num_shards, ooc_->num_shards());
+  EXPECT_EQ(stats_->payload_bytes, ooc_->PayloadFileBytes());
+  EXPECT_EQ(stats_->raw_payload_bytes, ooc_->RawPayloadBytes());
+  EXPECT_EQ(stats_->adjacency_raw_bytes, ooc_->AdjacencyRawBytes());
+  EXPECT_EQ(stats_->adjacency_file_bytes, ooc_->AdjacencyFileBytes());
+  // Delta+varint on a degree-ordered CSR must actually compress.
+  EXPECT_GT(ooc_->AdjacencyCompressionRatio(), 1.0);
+  EXPECT_LT(ooc_->PayloadFileBytes(), ooc_->RawPayloadBytes());
+}
+
+// ReadShard in cache-decode mode must reproduce the CSR adjacency exactly
+// (decoded ids and raw weights), shard by shard.
+TEST_F(OocCompressedTest, CacheDecodeShardsMatchCsr) {
+  ooc_->set_decode_mode(OocDecodeMode::kCacheDecode);
+  for (uint32_t s = 0; s < ooc_->num_shards(); ++s) {
+    OocCsr::Shard shard;
+    ASSERT_TRUE(ooc_->ReadShard(s, &shard).ok());
+    EXPECT_FALSE(shard.is_packed());
+    for (VertexId v = shard.first_vertex; v < shard.end_vertex; ++v) {
+      auto expected = graph_->OutNeighbors(v);
+      auto expected_w = graph_->OutWeights(v);
+      const size_t begin =
+          static_cast<size_t>(graph_->out_offsets()[v] - shard.first_arc);
+      ASSERT_LE(begin + expected.size(), shard.neighbors.size());
+      EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                             shard.neighbors.begin() + begin))
+          << "vertex " << v;
+      EXPECT_TRUE(std::equal(expected_w.begin(), expected_w.end(),
+                             shard.weights.begin() + begin))
+          << "vertex " << v;
+    }
+  }
+}
+
+// In cursor mode the shard stays packed and its resident charge is the
+// *compressed* payload, not the decoded arcs.
+TEST_F(OocCompressedTest, CursorModeKeepsShardsPackedAndCharged) {
+  ooc_->set_decode_mode(OocDecodeMode::kCursorDecode);
+  OocCsr::Shard shard;
+  ASSERT_TRUE(ooc_->ReadShard(0, &shard).ok());
+  EXPECT_TRUE(shard.is_packed());
+  EXPECT_EQ(ooc_->ShardResidentBytes(0),
+            sizeof(OocCsr::Shard) + ooc_->ShardFileBytes(0));
+
+  ooc_->set_decode_mode(OocDecodeMode::kCacheDecode);
+  const uint64_t arcs = ooc_->out_offsets()[ooc_->ShardEndVertex(0)] -
+                        ooc_->out_offsets()[ooc_->ShardFirstVertex(0)];
+  const size_t arc_bytes = sizeof(VertexId) + sizeof(Weight);
+  EXPECT_EQ(ooc_->ShardResidentBytes(0),
+            sizeof(OocCsr::Shard) + arcs * arc_bytes);
+}
+
+TEST_F(OocCompressedTest, KernelsBitIdenticalAcrossDecodeModesAndBudgets) {
+  AlgoParams params;
+  SubsetKernelOptions options;
+  options.strategy = PartitionStrategy::kRangeByDegree;
+
+  RunResult ref_pr = SubsetPageRank(*graph_, params, options);
+  RunResult ref_wcc = SubsetWcc(*graph_, params, options);
+  RunResult ref_bfs = SubsetBfs(*graph_, params, options);
+  RunResult ref_sssp = SubsetSssp(*graph_, params, options);
+
+  for (OocDecodeMode mode :
+       {OocDecodeMode::kCacheDecode, OocDecodeMode::kCursorDecode}) {
+    ooc_->set_decode_mode(mode);
+    const size_t budgets[] = {3 * MaxShardBytes(),
+                              ShardCache::BudgetFromEnv()};
+    for (size_t num_threads : {size_t{1}, size_t{7}}) {
+      ScopedThreadPool scoped(num_threads);
+      for (size_t budget : budgets) {
+        SCOPED_TRACE(
+            "mode=" +
+            std::string(mode == OocDecodeMode::kCacheDecode ? "cache"
+                                                            : "cursor") +
+            " threads=" + std::to_string(num_threads) +
+            " budget=" + std::to_string(budget));
+        ShardCache cache(*ooc_, budget);
+        GraphView view(*ooc_, &cache);
+        RunResult pr = SubsetPageRank(view, params, options);
+        RunResult wcc = SubsetWcc(view, params, options);
+        RunResult bfs = SubsetBfs(view, params, options);
+        RunResult sssp = SubsetSssp(view, params, options);
+        cache.WaitIdle();
+        ExpectIdentical(pr.output.doubles, ref_pr.output.doubles, "PR");
+        ExpectIdentical(wcc.output.ints, ref_wcc.output.ints, "WCC");
+        ExpectIdentical(bfs.output.ints, ref_bfs.output.ints, "BFS");
+        ExpectIdentical(sssp.output.ints, ref_sssp.output.ints, "SSSP");
+      }
+    }
+  }
+  ooc_->set_decode_mode(OocDecodeMode::kCacheDecode);
+}
+
+// The satellite contract on ShardCache accounting: io_read_bytes counts
+// *on-disk* (compressed) payload bytes, while resident/peak gauges charge
+// the decoded spans; on a compressible graph the two must split apart.
+TEST_F(OocCompressedTest, IoReadBytesCountCompressedNotDecodedBytes) {
+  ooc_->set_decode_mode(OocDecodeMode::kCacheDecode);
+  ShardCache cache(*ooc_, 0);  // unbounded: every shard loads exactly once
+  for (uint32_t s = 0; s < ooc_->num_shards(); ++s) {
+    ShardCache::Handle h = cache.AcquireOrDie(s);
+    ASSERT_TRUE(h);
+  }
+  ShardCache::Stats stats = cache.stats();
+  // IO side: exactly the sum of on-disk shard payloads.
+  EXPECT_EQ(stats.io_read_bytes, ooc_->PayloadFileBytes());
+  // Resident side: the decoded charge of every shard.
+  size_t decoded = 0;
+  for (uint32_t s = 0; s < ooc_->num_shards(); ++s) {
+    decoded += ooc_->ShardResidentBytes(s);
+  }
+  EXPECT_EQ(stats.resident_bytes, decoded);
+  EXPECT_EQ(stats.peak_resident_bytes, decoded);
+  // The whole point of the format: we read fewer bytes than we decode.
+  EXPECT_LT(stats.io_read_bytes, stats.resident_bytes);
+}
+
+// The same split on the uncompressed format collapses: io == resident
+// payload (modulo the Shard struct overhead).
+TEST_F(OocDeterminismTest, IoReadBytesMatchPayloadOnRawFormat) {
+  ShardCache cache(*ooc_, 0);
+  for (uint32_t s = 0; s < ooc_->num_shards(); ++s) {
+    ShardCache::Handle h = cache.AcquireOrDie(s);
+    ASSERT_TRUE(h);
+  }
+  ShardCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.io_read_bytes, ooc_->PayloadFileBytes());
+  EXPECT_EQ(stats.resident_bytes,
+            stats.io_read_bytes + ooc_->num_shards() * sizeof(OocCsr::Shard));
+}
+
 // Truncating the file *after* Open must surface as kIoError on the next
 // uncached read — never as silently zeroed adjacency.
 TEST_F(OocDeterminismTest, TruncationAfterOpenIsAnIoError) {

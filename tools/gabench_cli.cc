@@ -92,11 +92,14 @@ int Usage() {
       "  info       --in FILE            graph statistics\n"
       "  datasets   [--scale S]          the Table 4 dataset registry\n"
       "  convert    (--in FILE | --dataset NAME) --out FILE.ooc\n"
-      "             [--shard-bytes N]    sharded on-disk CSR for --ooc runs\n"
+      "             [--shard-bytes N] [--compress] [--force]\n"
+      "                                  sharded on-disk CSR for --ooc runs\n"
       "  run        --platform AB --algo NAME (--in FILE | --dataset NAME)\n"
       "             [--source V] [--k K] [--iterations I] [--no-verify]\n"
       "             [--exec-mode strict|relaxed] [--relabel none|degree|hubsort]\n"
+      "             [--compress]\n"
       "             [--ooc] [--ooc-budget BYTES] [--ooc-path FILE]\n"
+      "             [--ooc-decode cache|cursor]\n"
       "             [--trace-out FILE] [--metrics-out FILE]\n"
       "             [--report-out FILE]\n"
       "  simulate   (run flags) --machines M --threads T\n"
@@ -119,7 +122,18 @@ int Usage() {
       "through a bounded shard cache. --ooc-budget caps resident edge\n"
       "bytes (k/m/g suffixes; default GAB_OOC_BUDGET, 0 = unbounded).\n"
       "Results are bit-identical to the in-memory run at any budget\n"
-      "(DESIGN.md §11); --platform is ignored under --ooc.\n",
+      "(DESIGN.md §11); --platform is ignored under --ooc.\n"
+      "\n"
+      "--compress selects the delta+varint adjacency encoding (DESIGN.md\n"
+      "§14): `convert --compress` writes GABOOC02 shard payloads, `run\n"
+      "--compress` executes PR|WCC|SSSP on the resident CompressedCsr\n"
+      "backing, and `run --ooc --compress` converts on the fly to\n"
+      "GABOOC02. --ooc-decode picks where compressed shards decode: at\n"
+      "cache fill (default; IO moves compressed bytes, cache stores\n"
+      "decoded arrays) or lazily per cursor (cache stays compressed — the\n"
+      "full budget multiplier; default GAB_OOC_DECODE). Results are\n"
+      "bit-identical to the uncompressed paths in every mode. `convert`\n"
+      "refuses to overwrite an existing output unless --force is given.\n",
       stderr);
   return 1;
 }
@@ -309,12 +323,25 @@ int CmdConvert(const Flags& flags) {
     std::fprintf(stderr, "error: --out FILE.ooc required\n");
     return 1;
   }
+  // Refuse to silently clobber a prior conversion: a half-overwritten
+  // .ooc is indistinguishable from corruption to everything downstream.
+  if (!flags.Has("force")) {
+    if (std::FILE* existing = std::fopen(out.c_str(), "rb")) {
+      std::fclose(existing);
+      std::fprintf(stderr,
+                   "error: %s already exists; pass --force to overwrite\n",
+                   out.c_str());
+      return 1;
+    }
+  }
   std::optional<CsrGraph> g = LoadGraph(flags);
   if (!g) return 2;
   const uint64_t shard_bytes =
       ShardCache::ParseByteSize(flags.Get("shard-bytes", "").c_str());
+  const bool compress = flags.Has("compress");
   WallTimer timer;
-  Status status = WriteOocCsr(*g, out, shard_bytes);
+  OocWriteStats stats;
+  Status status = WriteOocCsr(*g, out, shard_bytes, compress, &stats);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 2;
@@ -329,15 +356,29 @@ int CmdConvert(const Flags& flags) {
   Table table({"Metric", "Value"});
   table.AddRow({"vertices", Table::FmtCount(ooc.num_vertices())});
   table.AddRow({"edges", Table::FmtCount(ooc.num_edges())});
+  table.AddRow({"format", compress ? "GABOOC02 (delta+varint)" : "GABOOC01"});
   table.AddRow({"shards", Table::FmtCount(ooc.num_shards())});
   table.AddRow({"shard target (bytes)",
                 Table::FmtCount(shard_bytes == 0 ? DefaultShardTargetBytes()
                                                  : shard_bytes)});
+  table.AddRow({"raw payload (bytes)",
+                Table::FmtCount(stats.raw_payload_bytes)});
+  table.AddRow({"on-disk payload (bytes)",
+                Table::FmtCount(stats.payload_bytes)});
+  table.AddRow({"adjacency ratio",
+                Table::Fmt(ooc.AdjacencyCompressionRatio(), 2) + "x"});
   table.AddRow({"in-memory equivalent (bytes)",
                 Table::FmtCount(ooc.InMemoryEquivalentBytes())});
   table.AddRow({"convert time (s)", Table::Fmt(timer.Seconds(), 3)});
   table.Print();
-  std::printf("wrote %s\n", out.c_str());
+  // One grep-friendly summary line (asserted by the cli_ooc ctest entry).
+  std::printf(
+      "wrote %s: %llu shards, raw %llu -> on-disk %llu payload bytes "
+      "(%.2fx adjacency compression)\n",
+      out.c_str(), static_cast<unsigned long long>(stats.num_shards),
+      static_cast<unsigned long long>(stats.raw_payload_bytes),
+      static_cast<unsigned long long>(stats.payload_bytes),
+      ooc.AdjacencyCompressionRatio());
   return 0;
 }
 
@@ -386,7 +427,8 @@ int CmdRunOoc(const Flags& flags) {
     if (!g) return 2;
     Status status = WriteOocCsr(
         *g, ooc_path,
-        ShardCache::ParseByteSize(flags.Get("shard-bytes", "").c_str()));
+        ShardCache::ParseByteSize(flags.Get("shard-bytes", "").c_str()),
+        flags.Has("compress"));
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 2;
@@ -397,6 +439,16 @@ int CmdRunOoc(const Flags& flags) {
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 2;
+  }
+  const std::string decode_name = flags.Get("ooc-decode", "");
+  if (!decode_name.empty()) {
+    if (decode_name != "cache" && decode_name != "cursor") {
+      std::fprintf(stderr, "error: --ooc-decode must be cache|cursor\n");
+      return 1;
+    }
+    ooc.set_decode_mode(decode_name == "cursor"
+                            ? OocDecodeMode::kCursorDecode
+                            : OocDecodeMode::kCacheDecode);
   }
   double upload = upload_timer.Seconds();
 
@@ -438,6 +490,16 @@ int CmdRunOoc(const Flags& flags) {
   table.AddRow({"algorithm", AlgorithmLongName(*algo)});
   table.AddRow({"exec mode", ExecModeName(CurrentExecMode())});
   table.AddRow({"ooc file", ooc_path});
+  table.AddRow({"format", ooc.is_compressed() ? "GABOOC02 (delta+varint)"
+                                              : "GABOOC01"});
+  if (ooc.is_compressed()) {
+    table.AddRow({"decode mode",
+                  ooc.decode_mode() == OocDecodeMode::kCursorDecode
+                      ? "cursor"
+                      : "cache"});
+    table.AddRow({"adjacency ratio",
+                  Table::Fmt(ooc.AdjacencyCompressionRatio(), 2) + "x"});
+  }
   table.AddRow({"shards", Table::FmtCount(ooc.num_shards())});
   table.AddRow({"in-memory equivalent (bytes)",
                 Table::FmtCount(ooc.InMemoryEquivalentBytes())});
@@ -445,6 +507,8 @@ int CmdRunOoc(const Flags& flags) {
                 budget == 0 ? "unbounded" : Table::FmtCount(budget)});
   table.AddRow({"cache peak resident (bytes)",
                 Table::FmtCount(cache_stats.peak_resident_bytes)});
+  table.AddRow({"cache IO read (bytes)",
+                Table::FmtCount(cache_stats.io_read_bytes)});
   table.AddRow({"cache hits / misses",
                 Table::FmtCount(cache_stats.hits) + " / " +
                     Table::FmtCount(cache_stats.misses)});
@@ -514,6 +578,83 @@ int CmdRunOoc(const Flags& flags) {
   return rc;
 }
 
+/// `run --compress` (without --ooc): PR/WCC/SSSP on the vertex-subset
+/// kernels over the resident delta+varint CompressedCsr. The CSR is built
+/// normally, re-encoded through CompressedCsr::FromCsr, and kept only for
+/// verification — the kernels see nothing but the compressed backing.
+int CmdRunCompressed(const Flags& flags) {
+  std::optional<Algorithm> algo = AlgorithmByName(flags.Get("algo", ""));
+  if (!algo || (*algo != Algorithm::kPageRank && *algo != Algorithm::kWcc &&
+                *algo != Algorithm::kSssp)) {
+    std::fprintf(stderr, "error: --compress supports --algo PR|WCC|SSSP\n");
+    return 1;
+  }
+  const std::string mode_name = flags.Get("exec-mode", "");
+  if (!mode_name.empty()) {
+    if (mode_name != "strict" && mode_name != "relaxed") {
+      std::fprintf(stderr, "error: --exec-mode must be strict|relaxed\n");
+      return 1;
+    }
+    SetExecMode(mode_name == "relaxed" ? ExecMode::kRelaxed
+                                       : ExecMode::kStrict);
+  }
+
+  WallTimer upload_timer;
+  std::optional<CsrGraph> g = LoadGraph(flags);
+  if (!g) return 2;
+  CompressedCsr comp;
+  Status status = CompressedCsr::FromCsr(*g, &comp);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  double upload = upload_timer.Seconds();
+
+  AlgoParams params;
+  params.source = static_cast<VertexId>(flags.GetInt("source", 0));
+  params.iterations =
+      static_cast<uint32_t>(flags.GetInt("iterations", 10));
+  SubsetKernelOptions options;
+  options.strategy = PartitionStrategy::kRangeByDegree;
+
+  GraphView view(comp);
+  RunResult run;
+  switch (*algo) {
+    case Algorithm::kPageRank:
+      run = SubsetPageRank(view, params, options);
+      break;
+    case Algorithm::kWcc:
+      run = SubsetWcc(view, params, options);
+      break;
+    default:
+      run = SubsetSssp(view, params, options);
+      break;
+  }
+
+  Table table({"Metric", "Value"});
+  table.AddRow({"algorithm", AlgorithmLongName(*algo)});
+  table.AddRow({"exec mode", ExecModeName(CurrentExecMode())});
+  table.AddRow({"backing", "CompressedCsr (delta+varint)"});
+  table.AddRow({"csr bytes", Table::FmtCount(g->MemoryBytes())});
+  table.AddRow({"compressed bytes", Table::FmtCount(comp.MemoryBytes())});
+  table.AddRow({"adjacency ratio",
+                Table::Fmt(comp.AdjacencyCompressionRatio(), 2) + "x"});
+  table.AddRow({"upload time (s)", Table::Fmt(upload, 3)});
+  table.AddRow({"running time (s)", Table::Fmt(run.seconds, 4)});
+  table.AddRow({"supersteps",
+                std::to_string(run.trace.num_supersteps())});
+
+  int rc = 0;
+  if (!flags.Has("no-verify")) {
+    VerifyResult verdict =
+        ExperimentExecutor::Verify(*algo, *g, params, run.output);
+    table.AddRow({"verified", verdict.ok ? "yes" : verdict.detail});
+    if (!verdict.ok) rc = 2;
+  }
+  table.Print();
+  return rc;
+}
+
 int CmdRun(const Flags& flags, bool simulate) {
   if (flags.Has("ooc")) {
     if (simulate) {
@@ -521,6 +662,13 @@ int CmdRun(const Flags& flags, bool simulate) {
       return 1;
     }
     return CmdRunOoc(flags);
+  }
+  if (flags.Has("compress")) {
+    if (simulate) {
+      std::fprintf(stderr, "error: simulate does not support --compress\n");
+      return 1;
+    }
+    return CmdRunCompressed(flags);
   }
   const Platform* platform =
       PlatformByAbbrev(flags.Get("platform", ""));
